@@ -1,0 +1,66 @@
+//! End-to-end alignment latency — the "on-the-fly / at query time"
+//! budget: how long does aligning one relation take against live
+//! endpoints?
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sofya_core::{Aligner, AlignerConfig};
+use sofya_endpoint::LocalEndpoint;
+use sofya_kbgen::{generate, PairConfig};
+
+fn bench_align_one_relation(c: &mut Criterion) {
+    let pair = generate(&PairConfig::small(11));
+    let source = LocalEndpoint::new("kb2", pair.kb2.clone());
+    let target = LocalEndpoint::new("kb1", pair.kb1.clone());
+    // An equivalent-pair relation: the common case of aligning a query's
+    // relation on the fly.
+    let relation = pair
+        .kb1_relations
+        .iter()
+        .find(|r| r.contains("has"))
+        .unwrap_or(&pair.kb1_relations[0])
+        .clone();
+
+    let mut group = c.benchmark_group("alignment/one_relation");
+    group.sample_size(30);
+    group.bench_function("sse_pca", |b| {
+        let aligner = Aligner::new(&source, &target, AlignerConfig::baseline_pca(3));
+        b.iter(|| black_box(aligner.align_relation(&relation).unwrap().len()))
+    });
+    group.bench_function("sse_cwa", |b| {
+        let aligner = Aligner::new(&source, &target, AlignerConfig::baseline_cwa(3));
+        b.iter(|| black_box(aligner.align_relation(&relation).unwrap().len()))
+    });
+    group.bench_function("ubs", |b| {
+        let aligner = Aligner::new(&source, &target, AlignerConfig::paper_defaults(3));
+        b.iter(|| black_box(aligner.align_relation(&relation).unwrap().len()))
+    });
+    group.finish();
+}
+
+fn bench_align_all_small(c: &mut Criterion) {
+    let pair = generate(&PairConfig::tiny(13));
+    let source = LocalEndpoint::new("kb2", pair.kb2.clone());
+    let target = LocalEndpoint::new("kb1", pair.kb1.clone());
+    let mut group = c.benchmark_group("alignment/all_relations_tiny");
+    group.sample_size(20);
+    group.bench_function("ubs", |b| {
+        let aligner = Aligner::new(&source, &target, AlignerConfig::paper_defaults(3));
+        b.iter(|| black_box(aligner.align_all().unwrap().len()))
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kbgen");
+    group.sample_size(20);
+    group.bench_function("tiny_pair", |b| {
+        b.iter(|| black_box(generate(&PairConfig::tiny(5)).kb2.len()))
+    });
+    group.bench_function("small_pair", |b| {
+        b.iter(|| black_box(generate(&PairConfig::small(5)).kb2.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_align_one_relation, bench_align_all_small, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the SPARQL engine over a generated KB: the exact
+//! query shapes SOFYA issues.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sofya_kbgen::{generate, PairConfig};
+use sofya_sparql::{execute, execute_ask};
+
+fn bench_query_shapes(c: &mut Criterion) {
+    let pair = generate(&PairConfig::small(7));
+    let store = &pair.kb2;
+    let relation = pair
+        .kb2_relations
+        .iter()
+        .find(|r| r.contains("Of0"))
+        .unwrap_or(&pair.kb2_relations[0])
+        .clone();
+    let sa = pair.same_as();
+
+    // A concrete linked subject for the entity-centric shapes.
+    let probe = execute(store, &format!("SELECT ?x ?x2 {{ ?x <{relation}> ?y . ?x <{sa}> ?x2 }} LIMIT 1"))
+        .unwrap();
+    let subject = probe.cell(0, "x").unwrap().as_iri().unwrap().to_owned();
+
+    let mut group = c.benchmark_group("sparql");
+    group.bench_function("facts_page", |b| {
+        let q =
+            format!("SELECT ?x ?y WHERE {{ ?x <{relation}> ?y }} ORDER BY ?x ?y LIMIT 60");
+        b.iter(|| black_box(execute(store, &q).unwrap().len()))
+    });
+    group.bench_function("linked_facts_join", |b| {
+        let q = format!(
+            "SELECT ?x ?y ?x2 ?y2 WHERE {{ ?x <{relation}> ?y . ?x <{sa}> ?x2 . ?y <{sa}> ?y2 }} \
+             ORDER BY ?x ?y LIMIT 60"
+        );
+        b.iter(|| black_box(execute(store, &q).unwrap().len()))
+    });
+    group.bench_function("count_aggregate", |b| {
+        let q = format!("SELECT (COUNT(*) AS ?n) WHERE {{ ?x <{relation}> ?y }}");
+        b.iter(|| black_box(execute(store, &q).unwrap().single_integer()))
+    });
+    group.bench_function("relations_of_entity", |b| {
+        let q = format!("SELECT DISTINCT ?p WHERE {{ <{subject}> ?p ?o }} ORDER BY ?p");
+        b.iter(|| black_box(execute(store, &q).unwrap().len()))
+    });
+    group.bench_function("ask_probe", |b| {
+        let q = format!("ASK {{ <{subject}> <{relation}> ?y }}");
+        b.iter(|| black_box(execute_ask(store, &q).unwrap()))
+    });
+    group.bench_function("not_exists_contrastive", |b| {
+        let r2 = &pair.kb2_relations[1];
+        let q = format!(
+            "SELECT ?x ?y1 ?y2 WHERE {{ ?x <{relation}> ?y1 . ?x <{r2}> ?y2 . \
+             FILTER(?y1 != ?y2) . FILTER NOT EXISTS {{ ?x <{relation}> ?y2 }} }} LIMIT 20"
+        );
+        b.iter(|| black_box(execute(store, &q).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_shapes);
+criterion_main!(benches);

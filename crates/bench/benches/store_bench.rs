@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the triple store: insertion, pattern scans,
+//! existence probes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sofya_rdf::{Term, TriplePattern, TripleStore};
+
+fn build_store(n_subjects: u32, fanout: u32) -> TripleStore {
+    let mut store = TripleStore::new();
+    for s in 0..n_subjects {
+        for p in 0..4u32 {
+            for o in 0..fanout {
+                store.insert_terms(
+                    &Term::iri(format!("e:s{s}")),
+                    &Term::iri(format!("r:p{p}")),
+                    &Term::iri(format!("e:o{}", (s + o * 7) % n_subjects)),
+                );
+            }
+        }
+    }
+    store
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("store/insert_10k", |b| {
+        b.iter(|| {
+            let store = build_store(500, 5);
+            black_box(store.len())
+        })
+    });
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let store = build_store(2000, 5);
+    let p = store.dict().lookup_iri("r:p1").unwrap();
+    let s = store.dict().lookup_iri("e:s100").unwrap();
+    let o = store.dict().lookup_iri("e:o100").unwrap();
+
+    let mut group = c.benchmark_group("store/scan");
+    group.bench_function("by_predicate", |b| {
+        b.iter(|| black_box(store.scan(TriplePattern::with_p(p)).count()))
+    });
+    group.bench_function("by_subject", |b| {
+        b.iter(|| black_box(store.scan(TriplePattern::with_s(s)).count()))
+    });
+    group.bench_function("by_object", |b| {
+        b.iter(|| black_box(store.scan(TriplePattern::with_o(o)).count()))
+    });
+    group.bench_function("subject_predicate", |b| {
+        b.iter(|| black_box(store.scan(TriplePattern::with_sp(s, p)).count()))
+    });
+    group.bench_function("exists_probe", |b| b.iter(|| black_box(store.contains(s, p, o))));
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/predicate_scan_scaling");
+    for size in [500u32, 2000, 8000] {
+        let store = build_store(size, 5);
+        let p = store.dict().lookup_iri("r:p0").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &store, |b, store| {
+            b.iter(|| black_box(store.scan(TriplePattern::with_p(p)).count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_scans, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Micro-benchmarks of the string-similarity functions on name-like
+//! inputs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sofya_textsim::{
+    damerau_osa, jaccard_qgram, jaro_winkler, levenshtein, levenshtein_bounded, monge_elkan,
+    normalize, LiteralMatcher, NormalizeOptions,
+};
+
+const PAIRS: &[(&str, &str)] = &[
+    ("Frank Sinatra", "frank_sinatra"),
+    ("Ella Fitzgerald", "Fitzgerald, Ella"),
+    ("Ludwig van Beethoven", "Beethoven, Ludwig van"),
+    ("Gödel, Kurt", "Kurt Godel"),
+    ("The Shawshank Redemption", "Shawshank Redemption (1994 film)"),
+    ("completely unrelated", "something else entirely"),
+];
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("textsim");
+    group.bench_function("levenshtein", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(levenshtein(x, y));
+            }
+        })
+    });
+    group.bench_function("levenshtein_bounded_3", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(levenshtein_bounded(x, y, 3));
+            }
+        })
+    });
+    group.bench_function("damerau_osa", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(damerau_osa(x, y));
+            }
+        })
+    });
+    group.bench_function("jaro_winkler", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(jaro_winkler(x, y));
+            }
+        })
+    });
+    group.bench_function("qgram_jaccard_2", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(jaccard_qgram(x, y, 2));
+            }
+        })
+    });
+    group.bench_function("monge_elkan", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(monge_elkan(x, y));
+            }
+        })
+    });
+    group.bench_function("normalize", |b| {
+        b.iter(|| {
+            for (x, _) in PAIRS {
+                black_box(normalize(x, NormalizeOptions::default()));
+            }
+        })
+    });
+    group.bench_function("hybrid_matcher", |b| {
+        let m = LiteralMatcher::default();
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(m.matches(x, y));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

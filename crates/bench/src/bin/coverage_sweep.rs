@@ -1,0 +1,67 @@
+//! Experiment S5 — sensitivity to `sameAs` coverage.
+//!
+//! SOFYA leans on entity links for sampling, translation, and UBS's
+//! contrastive checks. This sweep regenerates the pair at different link
+//! coverages and measures how gracefully quality degrades.
+//!
+//! ```text
+//! cargo run --release -p sofya-bench --bin coverage_sweep -- --scale=small
+//! ```
+
+use sofya_bench::{arg, threads_from_args, Scale};
+use sofya_core::AlignerConfig;
+use sofya_eval::report::Table;
+use sofya_eval::{align_direction, evaluate_rules};
+use sofya_kbgen::generate;
+
+fn main() {
+    let seed: u64 = arg("seed", 42);
+    let threads = threads_from_args();
+    let scale = Scale::from_args();
+    let coverages = [0.1, 0.3, 0.5, 0.7, 0.9, 1.0];
+
+    let mut table = Table::new(vec![
+        "sameAs coverage".into(),
+        "UBS P (kb2⊂kb1)".into(),
+        "UBS R (kb2⊂kb1)".into(),
+        "UBS F1 (kb2⊂kb1)".into(),
+        "SSE P".into(),
+        "SSE F1".into(),
+    ]);
+    for &coverage in &coverages {
+        let mut pair_config = scale.pair_config(seed);
+        pair_config.same_as_coverage = coverage;
+        eprintln!("generating pair at coverage {coverage}…");
+        let pair = generate(&pair_config);
+
+        let ubs = align_direction(
+            &pair.kb2,
+            &pair.kb1,
+            pair.kb2_name(),
+            pair.kb1_name(),
+            &AlignerConfig::paper_defaults(seed),
+            threads,
+        )
+        .expect("run failed");
+        let sse = align_direction(
+            &pair.kb2,
+            &pair.kb1,
+            pair.kb2_name(),
+            pair.kb1_name(),
+            &AlignerConfig::baseline_pca(seed),
+            threads,
+        )
+        .expect("run failed");
+        let mu = evaluate_rules(&ubs.rules, &pair.gold, pair.kb2_name(), pair.kb1_name());
+        let ms = evaluate_rules(&sse.rules, &pair.gold, pair.kb2_name(), pair.kb1_name());
+        table.push(vec![
+            format!("{coverage:.1}"),
+            format!("{:.2}", mu.precision()),
+            format!("{:.2}", mu.recall()),
+            format!("{:.2}", mu.f1()),
+            format!("{:.2}", ms.precision()),
+            format!("{:.2}", ms.f1()),
+        ]);
+    }
+    println!("{}", table.render());
+}

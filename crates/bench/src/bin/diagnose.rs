@@ -1,0 +1,92 @@
+//! Diagnostic: classify every accepted rule by its planted gold kind.
+//!
+//! ```text
+//! cargo run --release -p sofya-bench --bin diagnose -- --scale=paper --seed=42
+//! ```
+//!
+//! For each method and direction, prints how many accepted rules are
+//! true, how many are planted traps (overlap / correlated noise /
+//! reverse-subsumption), and how many are unplanted coincidences — the
+//! fastest way to see which trap the pruning misses.
+
+use sofya_bench::{arg, generate_pair_from_args, threads_from_args};
+use sofya_core::{AlignerConfig, SubsumptionRule};
+use sofya_eval::align_direction;
+use sofya_kbgen::{GeneratedPair, MappingKind};
+use std::collections::BTreeMap;
+
+fn classify(pair: &GeneratedPair, rules: &[SubsumptionRule]) -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for r in rules {
+        let label = if pair.gold.is_subsumption(&r.premise, &r.conclusion) {
+            "true"
+        } else {
+            match pair.gold.kind(&r.premise, &r.conclusion) {
+                Some(MappingKind::Overlapping) => "FP: planted overlap",
+                Some(MappingKind::SubsumedBy) => "FP: reverse of true subsumption",
+                Some(MappingKind::Equivalent) => "FP: equivalent (impossible)",
+                None => {
+                    if pair.gold.is_subsumption(&r.conclusion, &r.premise) {
+                        "FP: reverse of true subsumption"
+                    } else {
+                        "FP: unplanted coincidence"
+                    }
+                }
+            }
+        };
+        *counts.entry(label).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn missing(
+    pair: &GeneratedPair,
+    rules: &[SubsumptionRule],
+    premise_kb: &str,
+    conclusion_kb: &str,
+) -> Vec<(String, String)> {
+    let predicted: std::collections::BTreeSet<(String, String)> =
+        rules.iter().map(|r| (r.premise.clone(), r.conclusion.clone())).collect();
+    pair.gold
+        .subsumptions_between(premise_kb, conclusion_kb)
+        .into_iter()
+        .filter(|pc| !predicted.contains(pc))
+        .collect()
+}
+
+fn main() {
+    let seed: u64 = arg("seed", 42);
+    let threads = threads_from_args();
+    let pair = generate_pair_from_args();
+    let verbose = sofya_bench::flag("verbose");
+
+    let methods = [
+        ("SSE pcaconf", AlignerConfig::baseline_pca(seed)),
+        ("UBS pcaconf", AlignerConfig::paper_defaults(seed)),
+    ];
+    for (label, config) in methods {
+        for (src, tgt, sname, tname) in [
+            (&pair.kb2, &pair.kb1, pair.kb2_name(), pair.kb1_name()),
+            (&pair.kb1, &pair.kb2, pair.kb1_name(), pair.kb2_name()),
+        ] {
+            let out = align_direction(src, tgt, sname, tname, &config, threads)
+                .expect("alignment failed");
+            println!("\n== {label} | {sname} ⊂ {tname} | {} rules", out.rules.len());
+            for (kind, count) in classify(&pair, &out.rules) {
+                println!("   {kind:<32} {count}");
+            }
+            let miss = missing(&pair, &out.rules, sname, tname);
+            println!("   missed true rules               {}", miss.len());
+            if verbose {
+                for r in &out.rules {
+                    if !pair.gold.is_subsumption(&r.premise, &r.conclusion) {
+                        println!("   FP {r}");
+                    }
+                }
+                for (p, c) in &miss {
+                    println!("   MISS {p} ⇒ {c}");
+                }
+            }
+        }
+    }
+}

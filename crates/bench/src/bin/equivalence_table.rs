@@ -1,0 +1,45 @@
+//! Experiment S7 — equivalence mining (`r' ⇔ r` as double subsumption).
+//!
+//! §2.1: "Equivalence of relations is expressed as a double subsumption."
+//! This run mines both directions with each method, intersects them, and
+//! scores the resulting equivalences against the planted equivalent
+//! pairs.
+//!
+//! ```text
+//! cargo run --release -p sofya-bench --bin equivalence_table -- --scale=paper
+//! ```
+
+use sofya_bench::{arg, generate_pair_from_args, threads_from_args};
+use sofya_core::AlignerConfig;
+use sofya_eval::mine_equivalences;
+use sofya_eval::report::Table;
+
+fn main() {
+    let seed: u64 = arg("seed", 42);
+    let threads = threads_from_args();
+    let pair = generate_pair_from_args();
+
+    let mut table = Table::new(vec![
+        "method".into(),
+        "mined".into(),
+        "P".into(),
+        "R".into(),
+        "F1".into(),
+    ]);
+    for (label, config) in [
+        ("pcaconf (SSE)", AlignerConfig::baseline_pca(seed)),
+        ("cwaconf (SSE)", AlignerConfig::baseline_cwa(seed)),
+        ("UBS pcaconf", AlignerConfig::paper_defaults(seed)),
+    ] {
+        eprintln!("mining equivalences with {label}…");
+        let out = mine_equivalences(&pair, &config, threads).expect("run failed");
+        table.push(vec![
+            label.to_owned(),
+            out.mined.len().to_string(),
+            format!("{:.2}", out.metrics.precision()),
+            format!("{:.2}", out.metrics.recall()),
+            format!("{:.2}", out.metrics.f1()),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,25 @@
+//! Exports a generated KB pair to disk (`kb1.nt`, `kb2.nt`, `gold.tsv`)
+//! so external tools can consume the corpus.
+//!
+//! ```text
+//! cargo run --release -p sofya-bench --bin export_pair -- --scale=small --out=/tmp/sofya-pair
+//! ```
+
+use sofya_bench::{arg, generate_pair_from_args};
+use sofya_kbgen::export_pair;
+use std::path::PathBuf;
+
+fn main() {
+    let out: PathBuf = PathBuf::from(arg("out", "./sofya-pair".to_owned()));
+    let pair = generate_pair_from_args();
+    let (n1, n2) = export_pair(&pair, &out).expect("export failed");
+    println!(
+        "wrote {} ({} triples), {} ({} triples), {} ({} gold subsumptions)",
+        out.join("kb1.nt").display(),
+        n1,
+        out.join("kb2.nt").display(),
+        n2,
+        out.join("gold.tsv").display(),
+        pair.gold.subsumption_count(),
+    );
+}

@@ -1,0 +1,47 @@
+//! Experiment S2 — alignment quality against sample size.
+//!
+//! The paper evaluates at 10 sample subjects and claims high accuracy
+//! "based on only very small samples"; this sweep shows how quality
+//! grows with the sample and where it saturates, for both SSE-pcaconf
+//! and UBS.
+//!
+//! ```text
+//! cargo run --release -p sofya-bench --bin sample_sweep -- --scale=paper
+//! ```
+
+use sofya_bench::{arg, generate_pair_from_args, threads_from_args};
+use sofya_core::AlignerConfig;
+use sofya_eval::report::Table;
+use sofya_eval::sweep::sample_size_sweep;
+
+fn main() {
+    let seed: u64 = arg("seed", 42);
+    let threads = threads_from_args();
+    let pair = generate_pair_from_args();
+    let sizes = [1usize, 2, 5, 10, 20, 50];
+
+    for (label, base) in [
+        ("pcaconf (SSE)", AlignerConfig::baseline_pca(seed)),
+        ("UBS pcaconf", AlignerConfig::paper_defaults(seed)),
+    ] {
+        eprintln!("sweeping sample size for {label}…");
+        let points = sample_size_sweep(&pair, &base, &sizes, threads).expect("sweep failed");
+        let mut table = Table::new(vec![
+            "sample".into(),
+            format!("{} ⊂ {} P", pair.kb1_name(), pair.kb2_name()),
+            format!("{} ⊂ {} F1", pair.kb1_name(), pair.kb2_name()),
+            format!("{} ⊂ {} P", pair.kb2_name(), pair.kb1_name()),
+            format!("{} ⊂ {} F1", pair.kb2_name(), pair.kb1_name()),
+        ]);
+        for p in &points {
+            table.push(vec![
+                format!("{}", p.x as usize),
+                format!("{:.2}", p.backward.precision()),
+                format!("{:.2}", p.backward.f1()),
+                format!("{:.2}", p.forward.precision()),
+                format!("{:.2}", p.forward.f1()),
+            ]);
+        }
+        println!("\n== {label}\n{}", table.render());
+    }
+}

@@ -1,0 +1,44 @@
+//! Experiment S8 — Table 1 aggregated over several seeds (mean ± std).
+//!
+//! Separates the methods' effect from seed luck: each seed generates an
+//! independent KB pair and the whole Table 1 is re-run on it.
+//!
+//! ```text
+//! cargo run --release -p sofya-bench --bin table1_multiseed -- --scale=small --seeds=5
+//! ```
+
+use sofya_bench::{arg, threads_from_args, Scale};
+use sofya_eval::report::Table;
+use sofya_eval::table1_over_seeds;
+
+fn main() {
+    let first_seed: u64 = arg("seed", 42);
+    let n_seeds: u64 = arg("seeds", 5);
+    let sample_size: usize = arg("sample-size", 10);
+    let threads = threads_from_args();
+    let scale = Scale::from_args();
+    let seeds: Vec<u64> = (0..n_seeds).map(|i| first_seed + i).collect();
+
+    eprintln!("running Table 1 over seeds {seeds:?} at {scale:?} scale…");
+    let rows = table1_over_seeds(&seeds, |s| scale.pair_config(s), sample_size, threads)
+        .expect("runs failed");
+
+    let mut table = Table::new(vec![
+        "ILP".into(),
+        "kb1 ⊂ kb2 P".into(),
+        "kb1 ⊂ kb2 F1".into(),
+        "kb2 ⊂ kb1 P".into(),
+        "kb2 ⊂ kb1 F1".into(),
+    ]);
+    for row in &rows {
+        table.push(vec![
+            row.label.clone(),
+            row.kb1_in_kb2_p.to_string(),
+            row.kb1_in_kb2_f1.to_string(),
+            row.kb2_in_kb1_p.to_string(),
+            row.kb2_in_kb1_f1.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("({} seeds, sample size {sample_size})", seeds.len());
+}

@@ -1,0 +1,53 @@
+//! Experiment S1 — the τ-selection sweep behind Table 1.
+//!
+//! The paper: "we have selected the thresholds τ that led to the highest
+//! average F1 score for both ways implications". This binary regenerates
+//! that selection: F1 against τ for both SSE measures and both
+//! directions.
+//!
+//! ```text
+//! cargo run --release -p sofya-bench --bin threshold_sweep -- --scale=paper
+//! ```
+
+use sofya_bench::{arg, generate_pair_from_args, threads_from_args};
+use sofya_core::AlignerConfig;
+use sofya_eval::report::Table;
+use sofya_eval::sweep::{best_tau, threshold_sweep};
+
+fn main() {
+    let seed: u64 = arg("seed", 42);
+    let threads = threads_from_args();
+    let pair = generate_pair_from_args();
+    let taus: Vec<f64> = (1..=19).map(|i| i as f64 * 0.05).collect();
+
+    for (label, base) in [
+        ("pcaconf (SSE)", AlignerConfig::baseline_pca(seed)),
+        ("cwaconf (SSE)", AlignerConfig::baseline_cwa(seed)),
+    ] {
+        eprintln!("sweeping τ for {label}…");
+        let points = threshold_sweep(&pair, &base, &taus, threads).expect("sweep failed");
+        let mut table = Table::new(vec![
+            "tau".into(),
+            format!("{} ⊂ {} P", pair.kb1_name(), pair.kb2_name()),
+            format!("{} ⊂ {} F1", pair.kb1_name(), pair.kb2_name()),
+            format!("{} ⊂ {} P", pair.kb2_name(), pair.kb1_name()),
+            format!("{} ⊂ {} F1", pair.kb2_name(), pair.kb1_name()),
+            "mean F1".into(),
+        ]);
+        for p in &points {
+            table.push(vec![
+                format!("{:.2}", p.x),
+                format!("{:.2}", p.backward.precision()),
+                format!("{:.2}", p.backward.f1()),
+                format!("{:.2}", p.forward.precision()),
+                format!("{:.2}", p.forward.f1()),
+                format!("{:.3}", p.mean_f1()),
+            ]);
+        }
+        println!("\n== {label}\n{}", table.render());
+        if let Some(best) = best_tau(&points) {
+            println!("best τ by mean F1: {best:.2} (paper used {} for this measure)",
+                if label.starts_with("pca") { "0.3" } else { "0.1" });
+        }
+    }
+}

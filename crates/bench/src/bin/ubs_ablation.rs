@@ -1,0 +1,62 @@
+//! Experiment S4 — ablation of UBS's two contrastive checks.
+//!
+//! §2.2 motivates two failure modes: *subsumptions mistaken for
+//! equivalences* (fixed by the conclusion-side check) and *overlaps
+//! mistaken for subsumptions* (fixed by the premise-side check). This
+//! ablation runs UBS with each check disabled to show both are needed.
+//!
+//! ```text
+//! cargo run --release -p sofya-bench --bin ubs_ablation -- --scale=paper
+//! ```
+
+use sofya_bench::{arg, generate_pair_from_args, threads_from_args};
+use sofya_core::{AlignerConfig, SamplingStrategy};
+use sofya_eval::report::Table;
+use sofya_eval::{align_direction, evaluate_rules};
+
+fn main() {
+    let seed: u64 = arg("seed", 42);
+    let threads = threads_from_args();
+    let pair = generate_pair_from_args();
+
+    let variants: Vec<(&str, AlignerConfig)> = vec![
+        ("no UBS (SSE pcaconf)", AlignerConfig {
+            strategy: SamplingStrategy::Simple,
+            ..AlignerConfig::paper_defaults(seed)
+        }),
+        ("premise-side only", AlignerConfig {
+            ubs_conclusion_side: false,
+            ..AlignerConfig::paper_defaults(seed)
+        }),
+        ("conclusion-side only", AlignerConfig {
+            ubs_premise_side: false,
+            ..AlignerConfig::paper_defaults(seed)
+        }),
+        ("full UBS", AlignerConfig::paper_defaults(seed)),
+    ];
+
+    let mut table = Table::new(vec![
+        "variant".into(),
+        format!("{} ⊂ {} P", pair.kb1_name(), pair.kb2_name()),
+        format!("{} ⊂ {} F1", pair.kb1_name(), pair.kb2_name()),
+        format!("{} ⊂ {} P", pair.kb2_name(), pair.kb1_name()),
+        format!("{} ⊂ {} F1", pair.kb2_name(), pair.kb1_name()),
+    ]);
+    for (label, config) in variants {
+        eprintln!("running {label}…");
+        let fwd = align_direction(&pair.kb2, &pair.kb1, pair.kb2_name(), pair.kb1_name(), &config, threads)
+            .expect("run failed");
+        let bwd = align_direction(&pair.kb1, &pair.kb2, pair.kb1_name(), pair.kb2_name(), &config, threads)
+            .expect("run failed");
+        let mf = evaluate_rules(&fwd.rules, &pair.gold, pair.kb2_name(), pair.kb1_name());
+        let mb = evaluate_rules(&bwd.rules, &pair.gold, pair.kb1_name(), pair.kb2_name());
+        table.push(vec![
+            label.to_owned(),
+            format!("{:.2}", mb.precision()),
+            format!("{:.2}", mb.f1()),
+            format!("{:.2}", mf.precision()),
+            format!("{:.2}", mf.f1()),
+        ]);
+    }
+    println!("{}", table.render());
+}

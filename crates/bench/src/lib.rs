@@ -1,0 +1,100 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one experiment from DESIGN.md's
+//! index (T1, S1–S5). They share a tiny `--key=value` argument parser and
+//! the scale presets defined here, so every experiment is reproducible
+//! from its command line alone.
+
+use sofya_kbgen::{generate, GeneratedPair, PairConfig};
+
+/// Parses `--name=value` from the process arguments.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let prefix = format!("--{name}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+/// Whether a bare `--name` flag is present.
+pub fn flag(name: &str) -> bool {
+    let want = format!("--{name}");
+    std::env::args().any(|a| a == want)
+}
+
+/// Experiment scale, selected with `--scale=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// `tiny` — seconds; for smoke-testing a binary.
+    Tiny,
+    /// `small` — default; tens of seconds, same qualitative shape.
+    Small,
+    /// `paper` — 92 vs 1313 relations as in the paper's Section 3.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `--scale=` (default `small`).
+    pub fn from_args() -> Self {
+        let value: String = arg("scale", "small".to_owned());
+        match value.as_str() {
+            "tiny" => Scale::Tiny,
+            "paper" => Scale::Paper,
+            _ => Scale::Small,
+        }
+    }
+
+    /// The generator preset at this scale.
+    pub fn pair_config(self, seed: u64) -> PairConfig {
+        match self {
+            Scale::Tiny => PairConfig::tiny(seed),
+            Scale::Small => PairConfig::small(seed),
+            Scale::Paper => PairConfig::yago_dbpedia(seed),
+        }
+    }
+}
+
+/// Generates the pair for the CLI-selected scale and seed, echoing the
+/// setup so runs are self-describing.
+pub fn generate_pair_from_args() -> GeneratedPair {
+    let seed: u64 = arg("seed", 42);
+    let scale = Scale::from_args();
+    let config = scale.pair_config(seed);
+    eprintln!(
+        "generating pair: scale {scale:?}, seed {seed}, {} vs {} relations…",
+        config.structures.kb1_relations(),
+        config.structures.kb2_relations()
+    );
+    let pair = generate(&config);
+    eprintln!(
+        "  {}: {} triples | {}: {} triples",
+        pair.kb1_name(),
+        pair.kb1.len(),
+        pair.kb2_name(),
+        pair.kb2.len()
+    );
+    pair
+}
+
+/// Default worker thread count (`--threads=` override).
+pub fn threads_from_args() -> usize {
+    arg("threads", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_returns_default_when_missing() {
+        assert_eq!(arg::<u64>("no-such-arg", 7), 7);
+        assert_eq!(arg::<String>("no-such-arg", "x".into()), "x");
+    }
+
+    #[test]
+    fn scale_presets_grow() {
+        let tiny = Scale::Tiny.pair_config(1);
+        let paper = Scale::Paper.pair_config(1);
+        assert!(tiny.n_entities < paper.n_entities);
+        assert_eq!(paper.structures.kb1_relations(), 92);
+    }
+}

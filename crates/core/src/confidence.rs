@@ -1,0 +1,162 @@
+//! The confidence measures of §2.1 — Equations (1) and (2).
+
+/// Evidence about a single sampled pair `(x, y)` with `r'(x, y)` in the
+/// source KB, after translation into the target KB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairEvidence {
+    /// Whether `r(x, y)` holds in the target KB.
+    pub conclusion_holds: bool,
+    /// Whether the target KB knows *any* `r`-fact of `x`
+    /// (`∃y′ : r(x, y′)`). Always `true` when `conclusion_holds` is.
+    pub subject_has_conclusion: bool,
+}
+
+impl PairEvidence {
+    /// A positive example.
+    pub fn positive() -> Self {
+        Self { conclusion_holds: true, subject_has_conclusion: true }
+    }
+
+    /// A PCA counter-example: the subject's `r`-facts are known, but this
+    /// pair is not one of them.
+    pub fn pca_negative() -> Self {
+        Self { conclusion_holds: false, subject_has_conclusion: true }
+    }
+
+    /// Unknown under PCA: the target KB has no `r`-facts for the subject.
+    pub fn unknown() -> Self {
+        Self { conclusion_holds: false, subject_has_conclusion: false }
+    }
+}
+
+/// The evidence sample backing one candidate rule `r' ⇒ r`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SampleEvidence {
+    /// One entry per sampled source fact `(x, y)`.
+    pub pairs: Vec<PairEvidence>,
+    /// Number of distinct sample subjects the pairs came from.
+    pub subjects: usize,
+}
+
+impl SampleEvidence {
+    /// Support: the number of positive examples
+    /// `#(x,y): r'(x,y) ∧ r(x,y)`.
+    pub fn support(&self) -> usize {
+        self.pairs.iter().filter(|p| p.conclusion_holds).count()
+    }
+
+    /// Total sampled pairs `#(x,y): r'(x,y)`.
+    pub fn total(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// PCA-known pairs `#(x,y): r'(x,y) ∧ ∃y′ r(x,y′)`.
+    pub fn pca_known(&self) -> usize {
+        self.pairs.iter().filter(|p| p.subject_has_conclusion).count()
+    }
+}
+
+/// Closed-world confidence — Equation (1):
+///
+/// ```text
+/// cwaconf(r' ⇒ r) = #(x,y): r'(x,y) ∧ r(x,y)  /  #(x,y): r'(x,y)
+/// ```
+///
+/// Returns 0 for an empty sample.
+pub fn cwaconf(evidence: &SampleEvidence) -> f64 {
+    if evidence.total() == 0 {
+        return 0.0;
+    }
+    evidence.support() as f64 / evidence.total() as f64
+}
+
+/// Partial-completeness confidence — Equation (2):
+///
+/// ```text
+/// pcaconf(r' ⇒ r) = #(x,y): r'(x,y) ∧ r(x,y)  /  #(x,y): r'(x,y) ∧ ∃y′ r(x,y′)
+/// ```
+///
+/// Returns 0 when no sampled subject has known `r`-facts.
+pub fn pcaconf(evidence: &SampleEvidence) -> f64 {
+    let known = evidence.pca_known();
+    if known == 0 {
+        return 0.0;
+    }
+    evidence.support() as f64 / known as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evidence(pos: usize, pca_neg: usize, unknown: usize) -> SampleEvidence {
+        let mut pairs = Vec::new();
+        pairs.extend(std::iter::repeat_n(PairEvidence::positive(), pos));
+        pairs.extend(std::iter::repeat_n(PairEvidence::pca_negative(), pca_neg));
+        pairs.extend(std::iter::repeat_n(PairEvidence::unknown(), unknown));
+        SampleEvidence { pairs, subjects: pos + pca_neg + unknown }
+    }
+
+    #[test]
+    fn worked_example_from_equations() {
+        // 6 positives, 2 PCA counter-examples, 2 unknown subjects:
+        // cwaconf = 6/10, pcaconf = 6/8.
+        let e = evidence(6, 2, 2);
+        assert!((cwaconf(&e) - 0.6).abs() < 1e-12);
+        assert!((pcaconf(&e) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pca_ignores_unknown_subjects_entirely() {
+        let e = evidence(3, 0, 7);
+        assert!((cwaconf(&e) - 0.3).abs() < 1e-12);
+        assert!((pcaconf(&e) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cwa_never_exceeds_pca() {
+        for (p, n, u) in [(5, 3, 2), (1, 0, 9), (0, 5, 5), (10, 0, 0)] {
+            let e = evidence(p, n, u);
+            assert!(cwaconf(&e) <= pcaconf(&e) + 1e-12, "case {p}/{n}/{u}");
+        }
+    }
+
+    #[test]
+    fn empty_sample_is_zero_not_nan() {
+        let e = SampleEvidence::default();
+        assert_eq!(cwaconf(&e), 0.0);
+        assert_eq!(pcaconf(&e), 0.0);
+    }
+
+    #[test]
+    fn all_unknown_pca_is_zero() {
+        let e = evidence(0, 0, 5);
+        assert_eq!(pcaconf(&e), 0.0);
+        assert_eq!(cwaconf(&e), 0.0);
+    }
+
+    #[test]
+    fn perfect_rule_scores_one_under_both() {
+        let e = evidence(8, 0, 0);
+        assert_eq!(cwaconf(&e), 1.0);
+        assert_eq!(pcaconf(&e), 1.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let e = evidence(4, 3, 2);
+        assert_eq!(e.support(), 4);
+        assert_eq!(e.total(), 9);
+        assert_eq!(e.pca_known(), 7);
+    }
+
+    #[test]
+    fn positive_implies_known() {
+        let p = PairEvidence::positive();
+        assert!(p.conclusion_holds && p.subject_has_conclusion);
+        let n = PairEvidence::pca_negative();
+        assert!(!n.conclusion_holds && n.subject_has_conclusion);
+        let u = PairEvidence::unknown();
+        assert!(!u.conclusion_holds && !u.subject_has_conclusion);
+    }
+}

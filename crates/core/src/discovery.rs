@@ -1,0 +1,242 @@
+//! Candidate discovery (§2.1): which source relations could be subsumed
+//! by a given target relation?
+//!
+//! The paper samples facts `r(x, y)` of the target relation, translates
+//! the pairs through `sameAs`, and takes every source relation holding on
+//! a translated pair as a candidate. For entity–literal relations the
+//! translation goes through string similarity instead of `sameAs` links
+//! on the object side.
+
+use crate::config::AlignerConfig;
+use crate::error::AlignError;
+use rand::rngs::StdRng;
+use rand::Rng;
+use sofya_endpoint::helpers;
+use sofya_endpoint::Endpoint;
+use sofya_textsim::LiteralMatcher;
+
+/// Whether a relation is predominantly entity→literal, probed from a
+/// small facts page.
+pub fn relation_is_literal<E: Endpoint + ?Sized>(
+    ep: &E,
+    relation: &str,
+) -> Result<bool, AlignError> {
+    let page = helpers::relation_facts_page(ep, relation, 20, 0)?;
+    if page.is_empty() {
+        return Ok(false);
+    }
+    let literal = page.iter().filter(|(_, o)| o.is_literal()).count();
+    Ok(literal * 2 > page.len())
+}
+
+/// Result of candidate discovery for one target relation.
+#[derive(Debug, Clone, Default)]
+pub struct Discovery {
+    /// Candidate premise relations in the source KB, most frequent first.
+    pub candidates: Vec<String>,
+    /// Target-side subjects sampled during discovery (IRIs in the target
+    /// KB) — reused by UBS for conclusion-side sibling hunting.
+    pub target_subjects: Vec<String>,
+}
+
+/// Discovers candidates for `r` (a relation of the *target* KB).
+pub fn discover(
+    source: &dyn Endpoint,
+    target: &dyn Endpoint,
+    config: &AlignerConfig,
+    relation: &str,
+    relation_literal: bool,
+    rng: &mut StdRng,
+) -> Result<Discovery, AlignError> {
+    if relation_literal {
+        discover_literal(source, target, config, relation, rng)
+    } else {
+        discover_entity(source, target, config, relation, rng)
+    }
+}
+
+fn random_offset(rng: &mut StdRng, count: usize, window: usize) -> usize {
+    let max_offset = count.saturating_sub(window);
+    if max_offset == 0 {
+        0
+    } else {
+        rng.gen_range(0..=max_offset)
+    }
+}
+
+fn discover_entity(
+    source: &dyn Endpoint,
+    target: &dyn Endpoint,
+    config: &AlignerConfig,
+    relation: &str,
+    rng: &mut StdRng,
+) -> Result<Discovery, AlignError> {
+    let count = helpers::linked_entity_fact_count(target, relation, &config.same_as)?;
+    if count == 0 {
+        return Ok(Discovery::default());
+    }
+    let window = config.discovery_facts;
+    let offset = random_offset(rng, count, window);
+    let facts =
+        helpers::linked_entity_facts_page(target, relation, &config.same_as, window, offset)?;
+
+    let mut freq: std::collections::BTreeMap<String, usize> = Default::default();
+    let mut subjects = Vec::new();
+    for (x, _y, x2, y2) in &facts {
+        if let Some(x_iri) = x.as_iri() {
+            if !subjects.iter().any(|s| s == x_iri) {
+                subjects.push(x_iri.to_owned());
+            }
+        }
+        let (Some(x2), Some(y2)) = (x2.as_iri(), y2.as_iri()) else { continue };
+        for rel in helpers::relations_between(source, x2, y2)? {
+            if rel != config.same_as {
+                *freq.entry(rel).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut candidates: Vec<(String, usize)> = freq.into_iter().collect();
+    candidates.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    Ok(Discovery {
+        candidates: candidates.into_iter().map(|(r, _)| r).collect(),
+        target_subjects: subjects,
+    })
+}
+
+fn discover_literal(
+    source: &dyn Endpoint,
+    target: &dyn Endpoint,
+    config: &AlignerConfig,
+    relation: &str,
+    rng: &mut StdRng,
+) -> Result<Discovery, AlignError> {
+    let matcher = LiteralMatcher::new(config.matcher);
+    let window = config.discovery_facts;
+    // Literal facts only need the subject linked.
+    let count = helpers::linked_literal_fact_count(target, relation, &config.same_as)?;
+    if count == 0 {
+        return Ok(Discovery::default());
+    }
+    let offset = random_offset(rng, count, window);
+    let facts =
+        helpers::linked_literal_facts_page(target, relation, &config.same_as, window, offset)?;
+
+    let mut freq: std::collections::BTreeMap<String, usize> = Default::default();
+    let mut subjects = Vec::new();
+    let mut seen_subjects = std::collections::BTreeSet::new();
+    for (x, v, x2) in &facts {
+        let Some(x2_iri) = x2.as_iri() else { continue };
+        if let Some(x_iri) = x.as_iri() {
+            if seen_subjects.insert(x_iri.to_owned()) {
+                subjects.push(x_iri.to_owned());
+            }
+        }
+        if seen_subjects.len() > config.sample_size {
+            break;
+        }
+        let Some(v) = v.as_literal() else { continue };
+        for rel in helpers::relations_of_entity(source, x2_iri)? {
+            if rel == config.same_as {
+                continue;
+            }
+            let objects = helpers::objects_of(source, x2_iri, &rel)?;
+            let matches = objects
+                .iter()
+                .filter_map(|o| o.as_literal())
+                .any(|lex| matcher.matches(lex, v));
+            if matches {
+                *freq.entry(rel).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut candidates: Vec<(String, usize)> = freq.into_iter().collect();
+    candidates.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    Ok(Discovery {
+        candidates: candidates.into_iter().map(|(r, _)| r).collect(),
+        target_subjects: subjects,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sofya_endpoint::LocalEndpoint;
+    use sofya_rdf::{Term, TripleStore};
+
+    const SA: &str = "http://www.w3.org/2002/07/owl#sameAs";
+
+    /// Two tiny stores: yago-style target with `y:born`, dbp-style source
+    /// with `d:birthPlace` over linked entities.
+    fn scenario() -> (LocalEndpoint, LocalEndpoint) {
+        let mut yago = TripleStore::new();
+        let mut dbp = TripleStore::new();
+        for i in 0..6 {
+            let (p_y, p_d) = (format!("y:p{i}"), format!("d:P{i}"));
+            let (c_y, c_d) = (format!("y:c{i}"), format!("d:C{i}"));
+            yago.insert_terms(&Term::iri(&p_y), &Term::iri("y:born"), &Term::iri(&c_y));
+            dbp.insert_terms(&Term::iri(&p_d), &Term::iri("d:birthPlace"), &Term::iri(&c_d));
+            yago.insert_terms(&Term::iri(&p_y), &Term::iri(SA), &Term::iri(&p_d));
+            yago.insert_terms(&Term::iri(&c_y), &Term::iri(SA), &Term::iri(&c_d));
+            dbp.insert_terms(&Term::iri(&p_d), &Term::iri(SA), &Term::iri(&p_y));
+            dbp.insert_terms(&Term::iri(&c_d), &Term::iri(SA), &Term::iri(&c_y));
+            // Name literals for the literal path.
+            yago.insert_terms(
+                &Term::iri(&p_y),
+                &Term::iri("y:label"),
+                &Term::literal(format!("Person Number{i}")),
+            );
+            dbp.insert_terms(
+                &Term::iri(&p_d),
+                &Term::iri("d:name"),
+                &Term::literal(format!("person_number{i}")),
+            );
+        }
+        (LocalEndpoint::new("dbp", dbp), LocalEndpoint::new("yago", yago))
+    }
+
+    fn config() -> AlignerConfig {
+        AlignerConfig::paper_defaults(7)
+    }
+
+    #[test]
+    fn literal_probe_detects_kinds() {
+        let (_, yago) = scenario();
+        assert!(!relation_is_literal(&yago, "y:born").unwrap());
+        assert!(relation_is_literal(&yago, "y:label").unwrap());
+        assert!(!relation_is_literal(&yago, "y:ghost").unwrap());
+    }
+
+    #[test]
+    fn entity_discovery_finds_the_counterpart() {
+        let (dbp, yago) = scenario();
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = discover(&dbp, &yago, &config(), "y:born", false, &mut rng).unwrap();
+        assert_eq!(d.candidates, vec!["d:birthPlace"]);
+        assert!(!d.target_subjects.is_empty());
+    }
+
+    #[test]
+    fn discovery_of_unknown_relation_is_empty() {
+        let (dbp, yago) = scenario();
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = discover(&dbp, &yago, &config(), "y:ghost", false, &mut rng).unwrap();
+        assert!(d.candidates.is_empty());
+    }
+
+    #[test]
+    fn literal_discovery_matches_corrupted_names() {
+        let (dbp, yago) = scenario();
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = discover(&dbp, &yago, &config(), "y:label", true, &mut rng).unwrap();
+        assert_eq!(d.candidates, vec!["d:name"]);
+    }
+
+    #[test]
+    fn discovery_ignores_same_as_itself() {
+        let (dbp, yago) = scenario();
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = discover(&dbp, &yago, &config(), "y:born", false, &mut rng).unwrap();
+        assert!(!d.candidates.iter().any(|c| c == SA));
+    }
+}

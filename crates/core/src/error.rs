@@ -1,0 +1,49 @@
+//! Error type for alignment runs.
+
+use sofya_endpoint::EndpointError;
+use std::fmt;
+
+/// Errors raised during alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignError {
+    /// An endpoint access failed (including quota exhaustion).
+    Endpoint(EndpointError),
+    /// The configuration is invalid (e.g. `sample_size == 0`).
+    Config(String),
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignError::Endpoint(e) => write!(f, "{e}"),
+            AlignError::Config(msg) => write!(f, "invalid aligner configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AlignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlignError::Endpoint(e) => Some(e),
+            AlignError::Config(_) => None,
+        }
+    }
+}
+
+impl From<EndpointError> for AlignError {
+    fn from(e: EndpointError) -> Self {
+        AlignError::Endpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: AlignError = EndpointError::Other("down".into()).into();
+        assert!(e.to_string().contains("down"));
+        assert!(AlignError::Config("sample_size".into()).to_string().contains("sample_size"));
+    }
+}

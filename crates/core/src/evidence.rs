@@ -1,0 +1,285 @@
+//! Validation sampling (§2.2, *Simple Sample Extraction*).
+//!
+//! Builds the paper's sample sets for a candidate rule `r' ⇒ r`:
+//!
+//! * `S^{r'}` — sampled subjects of `r'` that carry `sameAs` links;
+//! * `K'_S`  — the `r'` facts of those subjects (only link-complete facts,
+//!   so incompleteness of the link set is not punished);
+//! * `P_S`   — the pairs translated into `K`;
+//! * evidence per pair — whether `r(x₂, y₂)` holds and whether `K` knows
+//!   any `r`-fact of `x₂` (the PCA denominators).
+
+use crate::config::AlignerConfig;
+use crate::confidence::{PairEvidence, SampleEvidence};
+use crate::error::AlignError;
+use rand::rngs::StdRng;
+use rand::Rng;
+use sofya_endpoint::helpers;
+use sofya_endpoint::Endpoint;
+use sofya_textsim::LiteralMatcher;
+use std::collections::BTreeMap;
+
+fn random_offset(rng: &mut StdRng, count: usize, window: usize) -> usize {
+    let max_offset = count.saturating_sub(window);
+    if max_offset == 0 {
+        0
+    } else {
+        rng.gen_range(0..=max_offset)
+    }
+}
+
+/// How many facts to page in to cover `sample_size` subjects (subjects
+/// have a small object fan-out; 6× is a comfortable envelope).
+fn fact_window(sample_size: usize) -> usize {
+    sample_size * 6
+}
+
+/// Builds evidence for an entity–entity rule `premise ⇒ conclusion`.
+///
+/// Pseudo-randomness: a random page offset into the deterministic order
+/// of the source endpoint's linked facts, seeded per rule by the caller.
+pub fn entity_evidence(
+    source: &dyn Endpoint,
+    target: &dyn Endpoint,
+    config: &AlignerConfig,
+    premise: &str,
+    conclusion: &str,
+    rng: &mut StdRng,
+) -> Result<SampleEvidence, AlignError> {
+    let count = helpers::linked_entity_fact_count(source, premise, &config.same_as)?;
+    if count == 0 {
+        return Ok(SampleEvidence::default());
+    }
+    let window = fact_window(config.sample_size);
+    let offset = random_offset(rng, count, window);
+    let facts =
+        helpers::linked_entity_facts_page(source, premise, &config.same_as, window, offset)?;
+
+    // Group facts by subject, keep the first `sample_size` subjects.
+    let mut by_subject: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+    let mut subject_order: Vec<String> = Vec::new();
+    for (x, _y, x2, y2) in &facts {
+        let (Some(x_iri), Some(x2_iri), Some(y2_iri)) = (x.as_iri(), x2.as_iri(), y2.as_iri())
+        else {
+            continue;
+        };
+        if !by_subject.contains_key(x_iri) {
+            subject_order.push(x_iri.to_owned());
+        }
+        by_subject
+            .entry(x_iri.to_owned())
+            .or_default()
+            .push((x2_iri.to_owned(), y2_iri.to_owned()));
+    }
+    subject_order.truncate(config.sample_size);
+
+    let mut evidence = SampleEvidence { pairs: Vec::new(), subjects: subject_order.len() };
+    for subject in &subject_order {
+        let pairs = &by_subject[subject];
+        // One existence probe per subject: does K know any r-fact of x₂?
+        // (All pairs of one subject share the same translated x₂ because
+        // the page query binds one sameAs image per row; distinct images
+        // are handled per row below.)
+        let mut known_cache: BTreeMap<&str, bool> = BTreeMap::new();
+        for (x2, y2) in pairs {
+            let known = match known_cache.get(x2.as_str()) {
+                Some(&k) => k,
+                None => {
+                    let k = helpers::has_any_fact(target, x2, conclusion)?;
+                    known_cache.insert(x2, k);
+                    k
+                }
+            };
+            if !known {
+                evidence.pairs.push(PairEvidence::unknown());
+                continue;
+            }
+            let holds =
+                helpers::has_fact(target, x2, conclusion, &sofya_rdf::Term::iri(y2.clone()))?;
+            evidence.pairs.push(if holds {
+                PairEvidence::positive()
+            } else {
+                PairEvidence::pca_negative()
+            });
+        }
+    }
+    Ok(evidence)
+}
+
+/// Builds evidence for an entity–literal rule `premise ⇒ conclusion`,
+/// matching literal objects with the configured string-similarity
+/// matcher (§2.2: "apply string similarity functions to align the
+/// literals").
+pub fn literal_evidence(
+    source: &dyn Endpoint,
+    target: &dyn Endpoint,
+    config: &AlignerConfig,
+    premise: &str,
+    conclusion: &str,
+    rng: &mut StdRng,
+) -> Result<SampleEvidence, AlignError> {
+    let matcher = LiteralMatcher::new(config.matcher);
+    let count = helpers::linked_literal_fact_count(source, premise, &config.same_as)?;
+    if count == 0 {
+        return Ok(SampleEvidence::default());
+    }
+    let window = fact_window(config.sample_size);
+    let offset = random_offset(rng, count, window);
+    let facts =
+        helpers::linked_literal_facts_page(source, premise, &config.same_as, window, offset)?;
+
+    let mut by_subject: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+    let mut subject_order: Vec<String> = Vec::new();
+    for (x, v, x2) in &facts {
+        let (Some(x_iri), Some(lex), Some(x2_iri)) = (x.as_iri(), v.as_literal(), x2.as_iri())
+        else {
+            continue;
+        };
+        if !by_subject.contains_key(x_iri) {
+            subject_order.push(x_iri.to_owned());
+        }
+        by_subject
+            .entry(x_iri.to_owned())
+            .or_default()
+            .push((x2_iri.to_owned(), lex.to_owned()));
+    }
+    subject_order.truncate(config.sample_size);
+
+    let mut evidence = SampleEvidence { pairs: Vec::new(), subjects: subject_order.len() };
+    for subject in &subject_order {
+        for (x2, lex) in &by_subject[subject] {
+            let objects = helpers::objects_of(target, x2, conclusion)?;
+            let literals: Vec<&str> = objects.iter().filter_map(|o| o.as_literal()).collect();
+            if literals.is_empty() {
+                evidence.pairs.push(PairEvidence::unknown());
+                continue;
+            }
+            let holds = literals.iter().any(|t| matcher.matches(t, lex));
+            evidence.pairs.push(if holds {
+                PairEvidence::positive()
+            } else {
+                PairEvidence::pca_negative()
+            });
+        }
+    }
+    Ok(evidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::{cwaconf, pcaconf};
+    use rand::SeedableRng;
+    use sofya_endpoint::LocalEndpoint;
+    use sofya_rdf::{Term, TripleStore};
+
+    const SA: &str = "http://www.w3.org/2002/07/owl#sameAs";
+
+    fn link(a: &mut TripleStore, b: &mut TripleStore, ea: &str, eb: &str) {
+        a.insert_terms(&Term::iri(ea), &Term::iri(SA), &Term::iri(eb));
+        b.insert_terms(&Term::iri(eb), &Term::iri(SA), &Term::iri(ea));
+    }
+
+    /// Source `d:birthPlace` with 8 linked facts; target `y:born` knows 6
+    /// of them, contradicts 1 (different object), and knows nothing about
+    /// 1 subject.
+    fn scenario() -> (LocalEndpoint, LocalEndpoint) {
+        let mut dbp = TripleStore::new();
+        let mut yago = TripleStore::new();
+        for i in 0..8 {
+            let (pd, py) = (format!("d:P{i}"), format!("y:p{i}"));
+            let (cd, cy) = (format!("d:C{i}"), format!("y:c{i}"));
+            dbp.insert_terms(&Term::iri(&pd), &Term::iri("d:birthPlace"), &Term::iri(&cd));
+            link(&mut dbp, &mut yago, &pd, &py);
+            link(&mut dbp, &mut yago, &cd, &cy);
+            match i {
+                0..=5 => {
+                    // Positive: y:born(p, c).
+                    yago.insert_terms(&Term::iri(&py), &Term::iri("y:born"), &Term::iri(&cy));
+                }
+                6 => {
+                    // PCA counter-example: y knows a *different* birth place.
+                    yago.insert_terms(&Term::iri(&py), &Term::iri("y:born"), &Term::iri("y:other"));
+                }
+                _ => {
+                    // Unknown: y has no born-facts for p7.
+                }
+            }
+        }
+        (LocalEndpoint::new("dbp", dbp), LocalEndpoint::new("yago", yago))
+    }
+
+    fn config() -> AlignerConfig {
+        AlignerConfig { sample_size: 10, ..AlignerConfig::paper_defaults(3) }
+    }
+
+    #[test]
+    fn entity_evidence_classifies_pairs_per_equations() {
+        let (dbp, yago) = scenario();
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = entity_evidence(&dbp, &yago, &config(), "d:birthPlace", "y:born", &mut rng)
+            .unwrap();
+        assert_eq!(e.total(), 8);
+        assert_eq!(e.support(), 6);
+        assert_eq!(e.pca_known(), 7);
+        assert!((cwaconf(&e) - 6.0 / 8.0).abs() < 1e-12);
+        assert!((pcaconf(&e) - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_size_caps_subjects() {
+        let (dbp, yago) = scenario();
+        let cfg = AlignerConfig { sample_size: 3, ..config() };
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = entity_evidence(&dbp, &yago, &cfg, "d:birthPlace", "y:born", &mut rng).unwrap();
+        assert_eq!(e.subjects, 3);
+        assert_eq!(e.total(), 3); // one fact per subject in this scenario
+    }
+
+    #[test]
+    fn empty_premise_gives_empty_evidence() {
+        let (dbp, yago) = scenario();
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = entity_evidence(&dbp, &yago, &config(), "d:ghost", "y:born", &mut rng).unwrap();
+        assert_eq!(e.total(), 0);
+    }
+
+    #[test]
+    fn literal_evidence_uses_string_similarity() {
+        let mut dbp = TripleStore::new();
+        let mut yago = TripleStore::new();
+        for (i, (d_name, y_name, matches)) in [
+            ("Frank Sinatra", "frank_sinatra", true),
+            ("Ella Fitzgerald", "Fitzgerald, Ella", true),
+            ("Dean Martin", "Completely Different", false),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let (pd, py) = (format!("d:P{i}"), format!("y:p{i}"));
+            dbp.insert_terms(&Term::iri(&pd), &Term::iri("d:name"), &Term::literal(*d_name));
+            yago.insert_terms(&Term::iri(&py), &Term::iri("y:label"), &Term::literal(*y_name));
+            link(&mut dbp, &mut yago, &pd, &py);
+            let _ = matches;
+        }
+        let (dbp, yago) = (LocalEndpoint::new("dbp", dbp), LocalEndpoint::new("yago", yago));
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = literal_evidence(&dbp, &yago, &config(), "d:name", "y:label", &mut rng).unwrap();
+        assert_eq!(e.total(), 3);
+        assert_eq!(e.support(), 2);
+        assert_eq!(e.pca_known(), 3);
+    }
+
+    #[test]
+    fn literal_evidence_unknown_when_target_has_no_literals() {
+        let mut dbp = TripleStore::new();
+        let mut yago = TripleStore::new();
+        dbp.insert_terms(&Term::iri("d:P0"), &Term::iri("d:name"), &Term::literal("Ann"));
+        link(&mut dbp, &mut yago, "d:P0", "y:p0");
+        let (dbp, yago) = (LocalEndpoint::new("dbp", dbp), LocalEndpoint::new("yago", yago));
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = literal_evidence(&dbp, &yago, &config(), "d:name", "y:label", &mut rng).unwrap();
+        assert_eq!(e.total(), 1);
+        assert_eq!(e.pca_known(), 0);
+    }
+}

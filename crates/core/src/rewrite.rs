@@ -1,0 +1,213 @@
+//! Cross-KB query rewriting — the paper's motivating use case.
+//!
+//! A user writes a SPARQL query against KB `K`; SOFYA aligns the query's
+//! relations on the fly and rewrites the query to run against `K'`:
+//! predicates are replaced by their best aligned source relation, and
+//! constant entities are translated through `sameAs`. Because mined rules
+//! are *subsumptions* `r' ⇒ r`, the rewritten query is **sound**: every
+//! answer it returns is an answer to the original query's semantics
+//! (possibly fewer — `K'` may know facts `K` lacks and vice versa, which
+//! is exactly why federating the two is useful).
+
+use crate::error::AlignError;
+use crate::session::AlignmentSession;
+use sofya_endpoint::helpers;
+use sofya_endpoint::Endpoint;
+use sofya_rdf::Term;
+use sofya_sparql::ast::{GroupGraphPattern, NodePattern, Query};
+use sofya_sparql::{parse_query, unparse, SparqlError};
+
+/// Outcome of rewriting one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rewrite {
+    /// The rewritten query text (to be executed on the *source* KB).
+    pub query: String,
+    /// `(target relation, source relation)` substitutions applied.
+    pub mapped: Vec<(String, String)>,
+    /// Target relations for which no rule was mined; their patterns were
+    /// left untouched and will match nothing on the source KB.
+    pub unmapped: Vec<String>,
+    /// Constant entities that had no `sameAs` image (left untouched).
+    pub untranslated: Vec<String>,
+}
+
+/// Errors specific to rewriting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RewriteError {
+    /// The input query did not parse.
+    Parse(SparqlError),
+    /// Alignment failed while resolving a predicate.
+    Align(AlignError),
+}
+
+impl std::fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RewriteError::Parse(e) => write!(f, "rewrite: {e}"),
+            RewriteError::Align(e) => write!(f, "rewrite: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<SparqlError> for RewriteError {
+    fn from(e: SparqlError) -> Self {
+        RewriteError::Parse(e)
+    }
+}
+
+impl From<AlignError> for RewriteError {
+    fn from(e: AlignError) -> Self {
+        RewriteError::Align(e)
+    }
+}
+
+/// Rewrites queries written against the session's *target* KB into
+/// queries on its *source* KB.
+pub struct QueryRewriter<'a, 's> {
+    session: &'s AlignmentSession<'a>,
+    target: &'a dyn Endpoint,
+    same_as: String,
+}
+
+impl<'a, 's> QueryRewriter<'a, 's> {
+    /// Builds a rewriter over an alignment session. `target` must be the
+    /// same endpoint the session aligns against (used for `sameAs`
+    /// translation of constants).
+    pub fn new(session: &'s AlignmentSession<'a>, target: &'a dyn Endpoint) -> Self {
+        let same_as = session.aligner().config().same_as.clone();
+        Self { session, target, same_as }
+    }
+
+    /// Rewrites `query` (written for the target KB) for the source KB.
+    pub fn rewrite(&self, query: &str) -> Result<Rewrite, RewriteError> {
+        let mut ast = parse_query(query)?;
+        let mut report = Rewrite {
+            query: String::new(),
+            mapped: Vec::new(),
+            unmapped: Vec::new(),
+            untranslated: Vec::new(),
+        };
+        match &mut ast {
+            Query::Select(select) => self.rewrite_group(&mut select.pattern, &mut report)?,
+            Query::Ask(pattern) => self.rewrite_group(pattern, &mut report)?,
+        }
+        report.query = unparse(&ast);
+        Ok(report)
+    }
+
+    fn rewrite_group(
+        &self,
+        group: &mut GroupGraphPattern,
+        report: &mut Rewrite,
+    ) -> Result<(), RewriteError> {
+        for tp in &mut group.triples {
+            // Predicates: replace with the best aligned source relation.
+            if let NodePattern::Term(Term::Iri(pred)) = &tp.p {
+                let pred = pred.clone();
+                if pred == self.same_as {
+                    continue;
+                }
+                match self.session.best_premise_for(&pred)? {
+                    Some(premise) => {
+                        report.mapped.push((pred, premise.clone()));
+                        tp.p = NodePattern::Term(Term::iri(premise));
+                    }
+                    None => report.unmapped.push(pred),
+                }
+            }
+            // Constant entities: translate through sameAs.
+            for node in [&mut tp.s, &mut tp.o] {
+                if let NodePattern::Term(Term::Iri(entity)) = node {
+                    let entity = entity.clone();
+                    let images = helpers::same_as_of(self.target, &entity, &self.same_as)
+                        .map_err(AlignError::from)?;
+                    match images.into_iter().next() {
+                        Some(image) => *node = NodePattern::Term(Term::iri(image)),
+                        None => report.untranslated.push(entity),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlignerConfig;
+    use sofya_endpoint::LocalEndpoint;
+    use sofya_rdf::TripleStore;
+
+    const SA: &str = "http://www.w3.org/2002/07/owl#sameAs";
+
+    fn endpoints() -> (LocalEndpoint, LocalEndpoint) {
+        let mut yago = TripleStore::new();
+        let mut dbp = TripleStore::new();
+        for i in 0..8 {
+            let (py, pd) = (format!("y:p{i}"), format!("d:P{i}"));
+            let (cy, cd) = (format!("y:c{i}"), format!("d:C{i}"));
+            yago.insert_terms(&Term::iri(&py), &Term::iri("y:born"), &Term::iri(&cy));
+            dbp.insert_terms(&Term::iri(&pd), &Term::iri("d:birthPlace"), &Term::iri(&cd));
+            yago.insert_terms(&Term::iri(&py), &Term::iri(SA), &Term::iri(&pd));
+            yago.insert_terms(&Term::iri(&cy), &Term::iri(SA), &Term::iri(&cd));
+            dbp.insert_terms(&Term::iri(&pd), &Term::iri(SA), &Term::iri(&py));
+            dbp.insert_terms(&Term::iri(&cd), &Term::iri(SA), &Term::iri(&cy));
+        }
+        (LocalEndpoint::new("dbp", dbp), LocalEndpoint::new("yago", yago))
+    }
+
+    #[test]
+    fn rewrites_predicates_and_constants() {
+        let (dbp, yago) = endpoints();
+        let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
+        let rewriter = QueryRewriter::new(&session, &yago);
+        let rewrite = rewriter.rewrite("SELECT ?who WHERE { ?who <y:born> <y:c3> }").unwrap();
+        assert_eq!(rewrite.mapped, vec![("y:born".to_owned(), "d:birthPlace".to_owned())]);
+        assert!(rewrite.unmapped.is_empty());
+        assert!(rewrite.query.contains("<d:birthPlace>"));
+        assert!(rewrite.query.contains("<d:C3>"));
+        // The rewritten query runs on the source KB and finds the fact.
+        let rs = dbp.select(&rewrite.query).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.cell(0, "who"), Some(&Term::iri("d:P3")));
+    }
+
+    #[test]
+    fn unmapped_relations_are_reported() {
+        let (dbp, yago) = endpoints();
+        let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
+        let rewriter = QueryRewriter::new(&session, &yago);
+        let rewrite = rewriter.rewrite("SELECT ?x { ?x <y:unalignable> ?y }").unwrap();
+        assert_eq!(rewrite.unmapped, vec!["y:unalignable"]);
+        assert!(rewrite.mapped.is_empty());
+    }
+
+    #[test]
+    fn untranslatable_constants_are_reported() {
+        let (dbp, yago) = endpoints();
+        let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
+        let rewriter = QueryRewriter::new(&session, &yago);
+        let rewrite = rewriter.rewrite("SELECT ?x { <y:orphan> <y:born> ?x }").unwrap();
+        assert_eq!(rewrite.untranslated, vec!["y:orphan"]);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let (dbp, yago) = endpoints();
+        let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
+        let rewriter = QueryRewriter::new(&session, &yago);
+        assert!(matches!(rewriter.rewrite("SELECT WHERE"), Err(RewriteError::Parse(_))));
+    }
+
+    #[test]
+    fn ask_queries_rewrite_too() {
+        let (dbp, yago) = endpoints();
+        let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
+        let rewriter = QueryRewriter::new(&session, &yago);
+        let rewrite = rewriter.rewrite("ASK { <y:p2> <y:born> <y:c2> }").unwrap();
+        assert!(dbp.ask(&rewrite.query).unwrap());
+    }
+}

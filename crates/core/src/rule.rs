@@ -1,0 +1,135 @@
+//! Mined rules: subsumptions and equivalences.
+
+use crate::config::ConfidenceMeasure;
+
+/// A mined subsumption `premise ⇒ conclusion`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsumptionRule {
+    /// Relation IRI in the source KB `K'`.
+    pub premise: String,
+    /// Relation IRI in the target KB `K`.
+    pub conclusion: String,
+    /// Confidence under `measure` on the validation sample.
+    pub confidence: f64,
+    /// Number of positive example pairs in the sample.
+    pub support: usize,
+    /// Total sampled pairs.
+    pub sample_pairs: usize,
+    /// The measure that produced `confidence`.
+    pub measure: ConfidenceMeasure,
+    /// Whether this rule was validated through the literal-matching path.
+    pub literal: bool,
+}
+
+impl std::fmt::Display for SubsumptionRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ⇒ {}  (conf {:.3}, support {}/{})",
+            self.premise, self.conclusion, self.confidence, self.support, self.sample_pairs
+        )
+    }
+}
+
+/// A mined equivalence `a ⇔ b` — double subsumption.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquivalenceRule {
+    /// Relation IRI in the source KB.
+    pub source: String,
+    /// Relation IRI in the target KB.
+    pub target: String,
+    /// Confidence of `source ⇒ target`.
+    pub forward_confidence: f64,
+    /// Confidence of `target ⇒ source`.
+    pub backward_confidence: f64,
+}
+
+impl EquivalenceRule {
+    /// The weaker of the two directional confidences.
+    pub fn min_confidence(&self) -> f64 {
+        self.forward_confidence.min(self.backward_confidence)
+    }
+}
+
+impl std::fmt::Display for EquivalenceRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ⇔ {}  (conf {:.3}/{:.3})",
+            self.source, self.target, self.forward_confidence, self.backward_confidence
+        )
+    }
+}
+
+/// Combines rules mined in both directions into equivalences:
+/// `a ⇔ b` iff `a ⇒ b` is in `forward` and `b ⇒ a` in `backward` (§2.1:
+/// equivalence is double subsumption).
+pub fn equivalences(
+    forward: &[SubsumptionRule],
+    backward: &[SubsumptionRule],
+) -> Vec<EquivalenceRule> {
+    let mut out = Vec::new();
+    for f in forward {
+        if let Some(b) = backward
+            .iter()
+            .find(|b| b.premise == f.conclusion && b.conclusion == f.premise)
+        {
+            out.push(EquivalenceRule {
+                source: f.premise.clone(),
+                target: f.conclusion.clone(),
+                forward_confidence: f.confidence,
+                backward_confidence: b.confidence,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(premise: &str, conclusion: &str, conf: f64) -> SubsumptionRule {
+        SubsumptionRule {
+            premise: premise.into(),
+            conclusion: conclusion.into(),
+            confidence: conf,
+            support: 5,
+            sample_pairs: 6,
+            measure: ConfidenceMeasure::Pca,
+            literal: false,
+        }
+    }
+
+    #[test]
+    fn equivalence_requires_both_directions() {
+        let fwd = vec![rule("d:a", "y:a", 0.9), rule("d:b", "y:b", 0.8)];
+        let bwd = vec![rule("y:a", "d:a", 0.7)];
+        let eqs = equivalences(&fwd, &bwd);
+        assert_eq!(eqs.len(), 1);
+        assert_eq!(eqs[0].source, "d:a");
+        assert_eq!(eqs[0].target, "y:a");
+        assert!((eqs[0].min_confidence() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_match_means_no_equivalences() {
+        let fwd = vec![rule("d:a", "y:a", 0.9)];
+        let bwd = vec![rule("y:b", "d:b", 0.9)];
+        assert!(equivalences(&fwd, &bwd).is_empty());
+    }
+
+    #[test]
+    fn displays_are_readable() {
+        let r = rule("d:composerOf", "y:created", 0.912);
+        let s = r.to_string();
+        assert!(s.contains("⇒") && s.contains("0.912"));
+        let e = EquivalenceRule {
+            source: "d:a".into(),
+            target: "y:a".into(),
+            forward_confidence: 0.9,
+            backward_confidence: 0.8,
+        };
+        assert!(e.to_string().contains("⇔"));
+    }
+}

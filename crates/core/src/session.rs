@@ -1,0 +1,139 @@
+//! Query-time alignment sessions.
+//!
+//! The paper's headline scenario is alignment *during query execution*:
+//! the first query touching relation `r` pays the sampling cost, later
+//! queries reuse the mined rules. [`AlignmentSession`] wraps an
+//! [`Aligner`] with a per-relation result cache to provide exactly that
+//! contract.
+
+use crate::aligner::Aligner;
+use crate::config::AlignerConfig;
+use crate::error::AlignError;
+use crate::rule::SubsumptionRule;
+use sofya_endpoint::Endpoint;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A caching facade over [`Aligner`] for query-time use.
+///
+/// Thread-safe: concurrent queries may race to align the same relation
+/// (both compute, last write wins — the results are deterministic, so the
+/// duplicates are identical).
+pub struct AlignmentSession<'a> {
+    aligner: Aligner<'a>,
+    cache: Mutex<HashMap<String, Vec<SubsumptionRule>>>,
+}
+
+impl<'a> AlignmentSession<'a> {
+    /// Creates a session over a source KB `K'` and target KB `K`.
+    pub fn new(source: &'a dyn Endpoint, target: &'a dyn Endpoint, config: AlignerConfig) -> Self {
+        Self { aligner: Aligner::new(source, target, config), cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// The rules for one target relation, aligning on first use.
+    pub fn rules_for(&self, relation: &str) -> Result<Vec<SubsumptionRule>, AlignError> {
+        if let Some(hit) = self.cache.lock().expect("cache poisoned").get(relation) {
+            return Ok(hit.clone());
+        }
+        let rules = self.aligner.align_relation(relation)?;
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(relation.to_owned(), rules.clone());
+        Ok(rules)
+    }
+
+    /// The best source relation for `relation` (highest confidence), if
+    /// any rule was mined.
+    pub fn best_premise_for(&self, relation: &str) -> Result<Option<String>, AlignError> {
+        Ok(self.rules_for(relation)?.first().map(|r| r.premise.clone()))
+    }
+
+    /// Relations already aligned in this session.
+    pub fn cached_relations(&self) -> Vec<String> {
+        let mut relations: Vec<String> =
+            self.cache.lock().expect("cache poisoned").keys().cloned().collect();
+        relations.sort();
+        relations
+    }
+
+    /// Drops one relation's cached rules (e.g. after a KB update).
+    pub fn invalidate(&self, relation: &str) {
+        self.cache.lock().expect("cache poisoned").remove(relation);
+    }
+
+    /// The underlying aligner (for configuration inspection).
+    pub fn aligner(&self) -> &Aligner<'a> {
+        &self.aligner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofya_endpoint::{InstrumentedEndpoint, LocalEndpoint};
+    use sofya_rdf::{Term, TripleStore};
+
+    const SA: &str = "http://www.w3.org/2002/07/owl#sameAs";
+
+    fn endpoints() -> (InstrumentedEndpoint<LocalEndpoint>, InstrumentedEndpoint<LocalEndpoint>) {
+        let mut yago = TripleStore::new();
+        let mut dbp = TripleStore::new();
+        for i in 0..8 {
+            let (py, pd) = (format!("y:p{i}"), format!("d:P{i}"));
+            let (cy, cd) = (format!("y:c{i}"), format!("d:C{i}"));
+            yago.insert_terms(&Term::iri(&py), &Term::iri("y:born"), &Term::iri(&cy));
+            dbp.insert_terms(&Term::iri(&pd), &Term::iri("d:birthPlace"), &Term::iri(&cd));
+            yago.insert_terms(&Term::iri(&py), &Term::iri(SA), &Term::iri(&pd));
+            yago.insert_terms(&Term::iri(&cy), &Term::iri(SA), &Term::iri(&cd));
+            dbp.insert_terms(&Term::iri(&pd), &Term::iri(SA), &Term::iri(&py));
+            dbp.insert_terms(&Term::iri(&cd), &Term::iri(SA), &Term::iri(&cy));
+        }
+        (
+            InstrumentedEndpoint::new(LocalEndpoint::new("dbp", dbp)),
+            InstrumentedEndpoint::new(LocalEndpoint::new("yago", yago)),
+        )
+    }
+
+    #[test]
+    fn second_lookup_is_free() {
+        let (dbp, yago) = endpoints();
+        let counters = dbp.counters();
+        let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
+        let first = session.rules_for("y:born").unwrap();
+        let cost_after_first = counters.total_queries();
+        assert!(cost_after_first > 0);
+        let second = session.rules_for("y:born").unwrap();
+        assert_eq!(first, second);
+        assert_eq!(counters.total_queries(), cost_after_first, "cache hit must issue no queries");
+    }
+
+    #[test]
+    fn best_premise_returns_top_rule() {
+        let (dbp, yago) = endpoints();
+        let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
+        assert_eq!(session.best_premise_for("y:born").unwrap().as_deref(), Some("d:birthPlace"));
+        assert_eq!(session.best_premise_for("y:ghost").unwrap(), None);
+    }
+
+    #[test]
+    fn invalidate_forces_realignment() {
+        let (dbp, yago) = endpoints();
+        let counters = dbp.counters();
+        let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
+        session.rules_for("y:born").unwrap();
+        let before = counters.total_queries();
+        session.invalidate("y:born");
+        session.rules_for("y:born").unwrap();
+        assert!(counters.total_queries() > before);
+    }
+
+    #[test]
+    fn cached_relations_are_listed() {
+        let (dbp, yago) = endpoints();
+        let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
+        assert!(session.cached_relations().is_empty());
+        session.rules_for("y:born").unwrap();
+        assert_eq!(session.cached_relations(), vec!["y:born"]);
+    }
+}

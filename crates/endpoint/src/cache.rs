@@ -1,0 +1,142 @@
+//! Client-side memoisation of identical queries.
+
+use crate::endpoint::Endpoint;
+use crate::error::EndpointError;
+use parking_lot::Mutex;
+use sofya_sparql::ResultSet;
+use std::collections::HashMap;
+
+/// An endpoint wrapper that caches results by exact query string.
+///
+/// SOFYA re-issues identical `sameAs` lookups and existence probes for
+/// entities shared between samples; a client-side cache keeps those free.
+/// Only successful results are cached (a transient failure should be
+/// retried, and quota errors must keep failing).
+pub struct CachingEndpoint<E> {
+    inner: E,
+    select_cache: Mutex<HashMap<String, ResultSet>>,
+    ask_cache: Mutex<HashMap<String, bool>>,
+    hits: Mutex<u64>,
+}
+
+impl<E: Endpoint> CachingEndpoint<E> {
+    /// Wraps `inner` with empty caches.
+    pub fn new(inner: E) -> Self {
+        Self {
+            inner,
+            select_cache: Mutex::new(HashMap::new()),
+            ask_cache: Mutex::new(HashMap::new()),
+            hits: Mutex::new(0),
+        }
+    }
+
+    /// Number of cache hits so far (both query kinds).
+    pub fn hits(&self) -> u64 {
+        *self.hits.lock()
+    }
+
+    /// Number of cached entries (both query kinds).
+    pub fn entries(&self) -> usize {
+        self.select_cache.lock().len() + self.ask_cache.lock().len()
+    }
+
+    /// Drops all cached entries.
+    pub fn clear(&self) {
+        self.select_cache.lock().clear();
+        self.ask_cache.lock().clear();
+    }
+
+    /// The wrapped endpoint.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: Endpoint> Endpoint for CachingEndpoint<E> {
+    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
+        if let Some(hit) = self.select_cache.lock().get(query) {
+            *self.hits.lock() += 1;
+            return Ok(hit.clone());
+        }
+        let rs = self.inner.select(query)?;
+        self.select_cache.lock().insert(query.to_owned(), rs.clone());
+        Ok(rs)
+    }
+
+    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
+        if let Some(&hit) = self.ask_cache.lock().get(query) {
+            *self.hits.lock() += 1;
+            return Ok(hit);
+        }
+        let answer = self.inner.ask(query)?;
+        self.ask_cache.lock().insert(query.to_owned(), answer);
+        Ok(answer)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::InstrumentedEndpoint;
+    use crate::local::LocalEndpoint;
+    use sofya_rdf::{Term, TripleStore};
+
+    fn stack() -> CachingEndpoint<InstrumentedEndpoint<LocalEndpoint>> {
+        let mut store = TripleStore::new();
+        store.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"));
+        CachingEndpoint::new(InstrumentedEndpoint::new(LocalEndpoint::new("kb", store)))
+    }
+
+    #[test]
+    fn repeated_select_hits_cache() {
+        let ep = stack();
+        let counters = ep.inner().counters();
+        let q = "SELECT ?o { <a> <p> ?o }";
+        let first = ep.select(q).unwrap();
+        let second = ep.select(q).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(counters.select_queries(), 1);
+        assert_eq!(ep.hits(), 1);
+    }
+
+    #[test]
+    fn repeated_ask_hits_cache() {
+        let ep = stack();
+        let counters = ep.inner().counters();
+        let q = "ASK { <a> <p> <b> }";
+        assert!(ep.ask(q).unwrap());
+        assert!(ep.ask(q).unwrap());
+        assert_eq!(counters.ask_queries(), 1);
+    }
+
+    #[test]
+    fn different_queries_do_not_collide() {
+        let ep = stack();
+        ep.select("SELECT ?o { <a> <p> ?o }").unwrap();
+        ep.select("SELECT ?s { ?s <p> <b> }").unwrap();
+        assert_eq!(ep.entries(), 2);
+        assert_eq!(ep.hits(), 0);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let ep = stack();
+        let counters = ep.inner().counters();
+        let _ = ep.select("NOT SPARQL");
+        let _ = ep.select("NOT SPARQL");
+        assert_eq!(counters.select_queries(), 2);
+        assert_eq!(ep.entries(), 0);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let ep = stack();
+        ep.select("SELECT ?o { <a> <p> ?o }").unwrap();
+        ep.clear();
+        assert_eq!(ep.entries(), 0);
+    }
+}

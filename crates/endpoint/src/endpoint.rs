@@ -1,0 +1,63 @@
+//! The endpoint trait.
+
+use crate::error::EndpointError;
+use sofya_sparql::ResultSet;
+
+/// A SPARQL endpoint: the only way SOFYA touches a knowledge base.
+///
+/// Implementations must be shareable across threads — the evaluation
+/// harness aligns many relations in parallel against the same endpoints.
+pub trait Endpoint: Send + Sync {
+    /// Executes a `SELECT` query and returns its solutions.
+    fn select(&self, query: &str) -> Result<ResultSet, EndpointError>;
+
+    /// Executes an `ASK` query.
+    fn ask(&self, query: &str) -> Result<bool, EndpointError>;
+
+    /// A short display name (e.g. `"yago"`, `"dbpedia"`), used in reports.
+    fn name(&self) -> &str;
+}
+
+/// Blanket implementation so `Arc<E>` is itself an endpoint; wrappers and
+/// algorithms can hold `Arc<dyn Endpoint>` and compose freely.
+impl<E: Endpoint + ?Sized> Endpoint for std::sync::Arc<E> {
+    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
+        (**self).select(query)
+    }
+
+    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
+        (**self).ask(query)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    struct Fake;
+
+    impl Endpoint for Fake {
+        fn select(&self, _query: &str) -> Result<ResultSet, EndpointError> {
+            Ok(ResultSet::default())
+        }
+        fn ask(&self, _query: &str) -> Result<bool, EndpointError> {
+            Ok(true)
+        }
+        fn name(&self) -> &str {
+            "fake"
+        }
+    }
+
+    #[test]
+    fn arc_of_endpoint_is_endpoint() {
+        let arc: Arc<dyn Endpoint> = Arc::new(Fake);
+        assert_eq!(arc.name(), "fake");
+        assert!(arc.ask("ASK { }").unwrap());
+        assert!(arc.select("SELECT * { }").unwrap().is_empty());
+    }
+}

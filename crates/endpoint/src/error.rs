@@ -1,0 +1,65 @@
+//! Endpoint error type.
+
+use sofya_sparql::SparqlError;
+use std::fmt;
+
+/// Errors surfaced by endpoint implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EndpointError {
+    /// The query failed to parse or evaluate.
+    Sparql(SparqlError),
+    /// The caller exhausted its query budget (see
+    /// [`crate::QuotaEndpoint`]).
+    QuotaExceeded {
+        /// Endpoint name.
+        endpoint: String,
+        /// The configured maximum number of queries.
+        max_queries: u64,
+    },
+    /// Any other failure (kept as text; a remote endpoint would return
+    /// HTTP-level errors here).
+    Other(String),
+}
+
+impl fmt::Display for EndpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EndpointError::Sparql(e) => write!(f, "{e}"),
+            EndpointError::QuotaExceeded { endpoint, max_queries } => {
+                write!(f, "endpoint '{endpoint}': query quota of {max_queries} exhausted")
+            }
+            EndpointError::Other(msg) => write!(f, "endpoint error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EndpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EndpointError::Sparql(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparqlError> for EndpointError {
+    fn from(e: SparqlError) -> Self {
+        EndpointError::Sparql(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let quota = EndpointError::QuotaExceeded { endpoint: "dbpedia".into(), max_queries: 100 };
+        assert!(quota.to_string().contains("dbpedia"));
+        assert!(quota.to_string().contains("100"));
+        let other = EndpointError::Other("boom".into());
+        assert!(other.to_string().contains("boom"));
+        let sparql: EndpointError = SparqlError::parse("x").into();
+        assert!(sparql.to_string().contains("syntax"));
+    }
+}

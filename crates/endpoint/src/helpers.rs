@@ -1,0 +1,414 @@
+//! Typed builders for the query shapes SOFYA issues.
+//!
+//! Keeping the SPARQL strings in one place makes the algorithms in
+//! `sofya-core` read like the paper's pseudo-code and guarantees every
+//! data access goes through the [`Endpoint`] trait (and therefore through
+//! the quota/instrumentation wrappers).
+
+use crate::endpoint::Endpoint;
+use crate::error::EndpointError;
+use sofya_rdf::term::escape_literal;
+use sofya_rdf::Term;
+
+/// Renders a term as a SPARQL constant.
+pub fn term_ref(term: &Term) -> String {
+    match term {
+        Term::Iri(iri) => format!("<{iri}>"),
+        Term::Literal { lexical, lang, datatype } => {
+            let mut s = format!("\"{}\"", escape_literal(lexical));
+            if let Some(lang) = lang {
+                s.push('@');
+                s.push_str(lang);
+            } else if let Some(dt) = datatype {
+                s.push_str("^^<");
+                s.push_str(dt);
+                s.push('>');
+            }
+            s
+        }
+        Term::BNode(label) => format!("_:{label}"),
+    }
+}
+
+/// Renders an IRI string as a SPARQL IRI reference.
+pub fn iri_ref(iri: &str) -> String {
+    format!("<{iri}>")
+}
+
+/// All distinct relation IRIs of the KB.
+pub fn all_relations<E: Endpoint + ?Sized>(ep: &E) -> Result<Vec<String>, EndpointError> {
+    let rs = ep.select("SELECT DISTINCT ?p WHERE { ?s ?p ?o } ORDER BY ?p")?;
+    Ok(rs.column("p").into_iter().filter_map(|t| t.as_iri().map(str::to_owned)).collect())
+}
+
+/// `COUNT(*)` of facts `r(x, y)`.
+pub fn relation_fact_count<E: Endpoint + ?Sized>(
+    ep: &E,
+    relation: &str,
+) -> Result<usize, EndpointError> {
+    let q = format!("SELECT (COUNT(*) AS ?n) WHERE {{ ?x {} ?y }}", iri_ref(relation));
+    let rs = ep.select(&q)?;
+    Ok(rs.single_integer().unwrap_or(0).max(0) as usize)
+}
+
+/// A page of facts `r(x, y)`, ordered deterministically.
+pub fn relation_facts_page<E: Endpoint + ?Sized>(
+    ep: &E,
+    relation: &str,
+    limit: usize,
+    offset: usize,
+) -> Result<Vec<(Term, Term)>, EndpointError> {
+    let q = format!(
+        "SELECT ?x ?y WHERE {{ ?x {} ?y }} ORDER BY ?x ?y LIMIT {limit} OFFSET {offset}",
+        iri_ref(relation)
+    );
+    let rs = ep.select(&q)?;
+    Ok(rs
+        .rows()
+        .iter()
+        .filter_map(|row| Some((row[0].clone()?, row[1].clone()?)))
+        .collect())
+}
+
+/// A page of facts `r(x, y)` where **both** `x` and `y` carry `sameAs`
+/// links (entity–entity sampling, §2.2 of the paper: facts without links
+/// are ignored so incompleteness is not punished).
+///
+/// Returns `(x, y, x', y')` with `x'`, `y'` the linked identifiers in the
+/// other KB.
+pub fn linked_entity_facts_page<E: Endpoint + ?Sized>(
+    ep: &E,
+    relation: &str,
+    same_as: &str,
+    limit: usize,
+    offset: usize,
+) -> Result<Vec<(Term, Term, Term, Term)>, EndpointError> {
+    let q = format!(
+        "SELECT ?x ?y ?x2 ?y2 WHERE {{ ?x {r} ?y . ?x {sa} ?x2 . ?y {sa} ?y2 }} \
+         ORDER BY ?x ?y LIMIT {limit} OFFSET {offset}",
+        r = iri_ref(relation),
+        sa = iri_ref(same_as),
+    );
+    let rs = ep.select(&q)?;
+    Ok(rs
+        .rows()
+        .iter()
+        .filter_map(|row| {
+            Some((row[0].clone()?, row[1].clone()?, row[2].clone()?, row[3].clone()?))
+        })
+        .collect())
+}
+
+/// A page of literal facts `r(x, v)` where `x` carries a `sameAs` link.
+/// Returns `(x, v, x')`.
+pub fn linked_literal_facts_page<E: Endpoint + ?Sized>(
+    ep: &E,
+    relation: &str,
+    same_as: &str,
+    limit: usize,
+    offset: usize,
+) -> Result<Vec<(Term, Term, Term)>, EndpointError> {
+    let q = format!(
+        "SELECT ?x ?v ?x2 WHERE {{ ?x {r} ?v . ?x {sa} ?x2 . FILTER(ISLITERAL(?v)) }} \
+         ORDER BY ?x ?v LIMIT {limit} OFFSET {offset}",
+        r = iri_ref(relation),
+        sa = iri_ref(same_as),
+    );
+    let rs = ep.select(&q)?;
+    Ok(rs
+        .rows()
+        .iter()
+        .filter_map(|row| Some((row[0].clone()?, row[1].clone()?, row[2].clone()?)))
+        .collect())
+}
+
+/// Count of `sameAs`-linked facts of `relation` (the denominator for
+/// paging through [`linked_entity_facts_page`]).
+pub fn linked_entity_fact_count<E: Endpoint + ?Sized>(
+    ep: &E,
+    relation: &str,
+    same_as: &str,
+) -> Result<usize, EndpointError> {
+    let q = format!(
+        "SELECT (COUNT(*) AS ?n) WHERE {{ ?x {r} ?y . ?x {sa} ?x2 . ?y {sa} ?y2 }}",
+        r = iri_ref(relation),
+        sa = iri_ref(same_as),
+    );
+    Ok(ep.select(&q)?.single_integer().unwrap_or(0).max(0) as usize)
+}
+
+/// Count of subject-linked literal facts of `relation`.
+pub fn linked_literal_fact_count<E: Endpoint + ?Sized>(
+    ep: &E,
+    relation: &str,
+    same_as: &str,
+) -> Result<usize, EndpointError> {
+    let q = format!(
+        "SELECT (COUNT(*) AS ?n) WHERE {{ ?x {r} ?v . ?x {sa} ?x2 . FILTER(ISLITERAL(?v)) }}",
+        r = iri_ref(relation),
+        sa = iri_ref(same_as),
+    );
+    Ok(ep.select(&q)?.single_integer().unwrap_or(0).max(0) as usize)
+}
+
+/// Distinct relations of an entity (in subject position).
+pub fn relations_of_entity<E: Endpoint + ?Sized>(
+    ep: &E,
+    entity: &str,
+) -> Result<Vec<String>, EndpointError> {
+    let q = format!("SELECT DISTINCT ?p WHERE {{ {} ?p ?o }} ORDER BY ?p", iri_ref(entity));
+    let rs = ep.select(&q)?;
+    Ok(rs.column("p").into_iter().filter_map(|t| t.as_iri().map(str::to_owned)).collect())
+}
+
+/// Distinct relations holding **between** two given entities.
+pub fn relations_between<E: Endpoint + ?Sized>(
+    ep: &E,
+    subject: &str,
+    object: &str,
+) -> Result<Vec<String>, EndpointError> {
+    let q = format!(
+        "SELECT DISTINCT ?p WHERE {{ {s} ?p {o} }} ORDER BY ?p",
+        s = iri_ref(subject),
+        o = iri_ref(object),
+    );
+    let rs = ep.select(&q)?;
+    Ok(rs.column("p").into_iter().filter_map(|t| t.as_iri().map(str::to_owned)).collect())
+}
+
+/// All objects `y` of `r(x, y)` for a fixed subject.
+pub fn objects_of<E: Endpoint + ?Sized>(
+    ep: &E,
+    subject: &str,
+    relation: &str,
+) -> Result<Vec<Term>, EndpointError> {
+    let q = format!(
+        "SELECT ?y WHERE {{ {s} {r} ?y }} ORDER BY ?y",
+        s = iri_ref(subject),
+        r = iri_ref(relation),
+    );
+    let rs = ep.select(&q)?;
+    Ok(rs.column("y").into_iter().cloned().collect())
+}
+
+/// Existence probe `ASK { s r o }`.
+pub fn has_fact<E: Endpoint + ?Sized>(
+    ep: &E,
+    subject: &str,
+    relation: &str,
+    object: &Term,
+) -> Result<bool, EndpointError> {
+    let q = format!(
+        "ASK {{ {s} {r} {o} }}",
+        s = iri_ref(subject),
+        r = iri_ref(relation),
+        o = term_ref(object),
+    );
+    ep.ask(&q)
+}
+
+/// Whether the subject has *any* `r` fact (the PCA's "knows r-attributes
+/// of x" test).
+pub fn has_any_fact<E: Endpoint + ?Sized>(
+    ep: &E,
+    subject: &str,
+    relation: &str,
+) -> Result<bool, EndpointError> {
+    let q = format!("ASK {{ {s} {r} ?y }}", s = iri_ref(subject), r = iri_ref(relation));
+    ep.ask(&q)
+}
+
+/// The `sameAs` images of an entity.
+pub fn same_as_of<E: Endpoint + ?Sized>(
+    ep: &E,
+    entity: &str,
+    same_as: &str,
+) -> Result<Vec<String>, EndpointError> {
+    let q = format!(
+        "SELECT ?e WHERE {{ {x} {sa} ?e }} ORDER BY ?e",
+        x = iri_ref(entity),
+        sa = iri_ref(same_as),
+    );
+    let rs = ep.select(&q)?;
+    Ok(rs.column("e").into_iter().filter_map(|t| t.as_iri().map(str::to_owned)).collect())
+}
+
+/// UBS discriminating sample (§2.2): subjects `x` with `r1(x, y1)`,
+/// `r2(x, y2)`, `y1 ≠ y2` and **not** `r1(x, y2)`. Returns `(x, y1, y2)`.
+pub fn contrastive_subjects_page<E: Endpoint + ?Sized>(
+    ep: &E,
+    r1: &str,
+    r2: &str,
+    limit: usize,
+    offset: usize,
+) -> Result<Vec<(Term, Term, Term)>, EndpointError> {
+    let q = format!(
+        "SELECT ?x ?y1 ?y2 WHERE {{ ?x {r1} ?y1 . ?x {r2} ?y2 . \
+         FILTER(?y1 != ?y2) . FILTER NOT EXISTS {{ ?x {r1} ?y2 }} }} \
+         ORDER BY ?x ?y1 ?y2 LIMIT {limit} OFFSET {offset}",
+        r1 = iri_ref(r1),
+        r2 = iri_ref(r2),
+    );
+    let rs = ep.select(&q)?;
+    Ok(rs
+        .rows()
+        .iter()
+        .filter_map(|row| Some((row[0].clone()?, row[1].clone()?, row[2].clone()?)))
+        .collect())
+}
+
+/// Like [`contrastive_subjects_page`], but joined with `sameAs` so every
+/// returned sample is guaranteed translatable into the other KB. Returns
+/// `(x', y1', y2')` — the *translated* identifiers.
+pub fn linked_contrastive_subjects_page<E: Endpoint + ?Sized>(
+    ep: &E,
+    r1: &str,
+    r2: &str,
+    same_as: &str,
+    limit: usize,
+    offset: usize,
+) -> Result<Vec<(Term, Term, Term)>, EndpointError> {
+    let q = format!(
+        "SELECT ?xt ?y1t ?y2t WHERE {{ ?x {r1} ?y1 . ?x {r2} ?y2 . \
+         ?x {sa} ?xt . ?y1 {sa} ?y1t . ?y2 {sa} ?y2t . \
+         FILTER(?y1 != ?y2) . FILTER NOT EXISTS {{ ?x {r1} ?y2 }} }} \
+         ORDER BY ?xt ?y1t ?y2t LIMIT {limit} OFFSET {offset}",
+        r1 = iri_ref(r1),
+        r2 = iri_ref(r2),
+        sa = iri_ref(same_as),
+    );
+    let rs = ep.select(&q)?;
+    Ok(rs
+        .rows()
+        .iter()
+        .filter_map(|row| Some((row[0].clone()?, row[1].clone()?, row[2].clone()?)))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalEndpoint;
+    use sofya_rdf::{Term, TripleStore};
+
+    fn movie_endpoint() -> LocalEndpoint {
+        let mut store = TripleStore::new();
+        let facts = [
+            ("m:inception", "r:director", "p:nolan"),
+            ("m:inception", "r:producer", "p:thomas"),
+            ("m:inception", "r:producer", "p:nolan"),
+            ("m:tenet", "r:director", "p:nolan"),
+            ("m:tenet", "r:producer", "p:thomas"),
+        ];
+        for (s, p, o) in facts {
+            store.insert_terms(&Term::iri(s), &Term::iri(p), &Term::iri(o));
+        }
+        store.insert_terms(&Term::iri("m:inception"), &Term::iri("owl:sameAs"), &Term::iri("d:Inception"));
+        store.insert_terms(&Term::iri("p:nolan"), &Term::iri("owl:sameAs"), &Term::iri("d:Nolan"));
+        store.insert_terms(&Term::iri("m:inception"), &Term::iri("r:label"), &Term::literal("Inception"));
+        LocalEndpoint::new("movies", store)
+    }
+
+    #[test]
+    fn term_ref_rendering() {
+        assert_eq!(term_ref(&Term::iri("http://x/a")), "<http://x/a>");
+        assert_eq!(term_ref(&Term::literal("v")), "\"v\"");
+        assert_eq!(term_ref(&Term::lang_literal("v", "en")), "\"v\"@en");
+        assert_eq!(
+            term_ref(&Term::integer(3)),
+            "\"3\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+        assert_eq!(term_ref(&Term::bnode("b")), "_:b");
+        assert_eq!(term_ref(&Term::literal("say \"hi\"")), "\"say \\\"hi\\\"\"");
+    }
+
+    #[test]
+    fn all_relations_lists_predicates() {
+        let ep = movie_endpoint();
+        let rels = all_relations(&ep).unwrap();
+        assert_eq!(rels, vec!["owl:sameAs", "r:director", "r:label", "r:producer"]);
+    }
+
+    #[test]
+    fn relation_fact_count_counts() {
+        let ep = movie_endpoint();
+        assert_eq!(relation_fact_count(&ep, "r:producer").unwrap(), 3);
+        assert_eq!(relation_fact_count(&ep, "r:ghost").unwrap(), 0);
+    }
+
+    #[test]
+    fn relation_facts_page_paginates() {
+        let ep = movie_endpoint();
+        let all = relation_facts_page(&ep, "r:producer", 100, 0).unwrap();
+        assert_eq!(all.len(), 3);
+        let page = relation_facts_page(&ep, "r:producer", 2, 1).unwrap();
+        assert_eq!(page.len(), 2);
+        assert_eq!(page[0], all[1]);
+    }
+
+    #[test]
+    fn linked_entity_facts_require_both_links() {
+        let ep = movie_endpoint();
+        // Only inception→nolan has sameAs on both subject and object, and
+        // both r:director and r:producer connect them.
+        let dir = linked_entity_facts_page(&ep, "r:director", "owl:sameAs", 10, 0).unwrap();
+        assert_eq!(dir.len(), 1);
+        let (x, y, x2, y2) = &dir[0];
+        assert_eq!(x.as_iri(), Some("m:inception"));
+        assert_eq!(y.as_iri(), Some("p:nolan"));
+        assert_eq!(x2.as_iri(), Some("d:Inception"));
+        assert_eq!(y2.as_iri(), Some("d:Nolan"));
+        assert_eq!(linked_entity_fact_count(&ep, "r:director", "owl:sameAs").unwrap(), 1);
+    }
+
+    #[test]
+    fn linked_literal_facts() {
+        let ep = movie_endpoint();
+        let labels = linked_literal_facts_page(&ep, "r:label", "owl:sameAs", 10, 0).unwrap();
+        assert_eq!(labels.len(), 1);
+        assert_eq!(labels[0].1.as_literal(), Some("Inception"));
+    }
+
+    #[test]
+    fn relations_of_and_between() {
+        let ep = movie_endpoint();
+        let rels = relations_of_entity(&ep, "m:inception").unwrap();
+        assert!(rels.contains(&"r:director".to_owned()));
+        assert!(rels.contains(&"r:label".to_owned()));
+        let between = relations_between(&ep, "m:inception", "p:nolan").unwrap();
+        assert_eq!(between, vec!["r:director", "r:producer"]);
+    }
+
+    #[test]
+    fn objects_and_existence() {
+        let ep = movie_endpoint();
+        let objs = objects_of(&ep, "m:inception", "r:producer").unwrap();
+        assert_eq!(objs.len(), 2);
+        assert!(has_fact(&ep, "m:inception", "r:director", &Term::iri("p:nolan")).unwrap());
+        assert!(!has_fact(&ep, "m:tenet", "r:director", &Term::iri("p:thomas")).unwrap());
+        assert!(has_any_fact(&ep, "m:tenet", "r:producer").unwrap());
+        assert!(!has_any_fact(&ep, "p:nolan", "r:producer").unwrap());
+    }
+
+    #[test]
+    fn same_as_resolution() {
+        let ep = movie_endpoint();
+        assert_eq!(same_as_of(&ep, "m:inception", "owl:sameAs").unwrap(), vec!["d:Inception"]);
+        assert!(same_as_of(&ep, "m:tenet", "owl:sameAs").unwrap().is_empty());
+    }
+
+    #[test]
+    fn contrastive_subjects_filter_shared_objects() {
+        let ep = movie_endpoint();
+        // director(x,y1), producer(x,y2), y1≠y2, ¬director(x,y2):
+        // inception: director=nolan, producer∈{thomas,nolan} → y2=thomas
+        //   qualifies (nolan excluded by y1≠y2 and director(x,nolan) holds).
+        // tenet: director=nolan, producer=thomas → qualifies.
+        let rows = contrastive_subjects_page(&ep, "r:director", "r:producer", 10, 0).unwrap();
+        assert_eq!(rows.len(), 2);
+        for (_, y1, y2) in &rows {
+            assert_eq!(y1.as_iri(), Some("p:nolan"));
+            assert_eq!(y2.as_iri(), Some("p:thomas"));
+        }
+    }
+}

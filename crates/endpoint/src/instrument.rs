@@ -1,0 +1,159 @@
+//! Query/transfer accounting for the "few queries" claim.
+
+use crate::endpoint::Endpoint;
+use crate::error::EndpointError;
+use sofya_sparql::ResultSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters accumulated by an [`InstrumentedEndpoint`].
+///
+/// Cheap to clone (the counters are shared), so a harness can keep a
+/// handle while the endpoint is moved into the aligner.
+#[derive(Debug, Clone, Default)]
+pub struct EndpointCounters {
+    select_queries: Arc<AtomicU64>,
+    ask_queries: Arc<AtomicU64>,
+    rows_returned: Arc<AtomicU64>,
+    cells_returned: Arc<AtomicU64>,
+}
+
+impl EndpointCounters {
+    /// Number of `SELECT` queries issued.
+    pub fn select_queries(&self) -> u64 {
+        self.select_queries.load(Ordering::Relaxed)
+    }
+
+    /// Number of `ASK` queries issued.
+    pub fn ask_queries(&self) -> u64 {
+        self.ask_queries.load(Ordering::Relaxed)
+    }
+
+    /// Total queries of both kinds.
+    pub fn total_queries(&self) -> u64 {
+        self.select_queries() + self.ask_queries()
+    }
+
+    /// Total solution rows transferred.
+    pub fn rows_returned(&self) -> u64 {
+        self.rows_returned.load(Ordering::Relaxed)
+    }
+
+    /// Total cells (rows × columns) transferred — a proxy for bytes.
+    pub fn cells_returned(&self) -> u64 {
+        self.cells_returned.load(Ordering::Relaxed)
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.select_queries.store(0, Ordering::Relaxed);
+        self.ask_queries.store(0, Ordering::Relaxed);
+        self.rows_returned.store(0, Ordering::Relaxed);
+        self.cells_returned.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An endpoint wrapper that counts queries and transferred rows.
+pub struct InstrumentedEndpoint<E> {
+    inner: E,
+    counters: EndpointCounters,
+}
+
+impl<E: Endpoint> InstrumentedEndpoint<E> {
+    /// Wraps `inner` with fresh counters.
+    pub fn new(inner: E) -> Self {
+        Self { inner, counters: EndpointCounters::default() }
+    }
+
+    /// A shared handle to the counters.
+    pub fn counters(&self) -> EndpointCounters {
+        self.counters.clone()
+    }
+
+    /// The wrapped endpoint.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: Endpoint> Endpoint for InstrumentedEndpoint<E> {
+    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
+        self.counters.select_queries.fetch_add(1, Ordering::Relaxed);
+        let rs = self.inner.select(query)?;
+        self.counters.rows_returned.fetch_add(rs.len() as u64, Ordering::Relaxed);
+        self.counters.cells_returned.fetch_add(rs.cell_count() as u64, Ordering::Relaxed);
+        Ok(rs)
+    }
+
+    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
+        self.counters.ask_queries.fetch_add(1, Ordering::Relaxed);
+        self.inner.ask(query)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalEndpoint;
+    use sofya_rdf::{Term, TripleStore};
+
+    fn wrapped() -> InstrumentedEndpoint<LocalEndpoint> {
+        let mut store = TripleStore::new();
+        store.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"));
+        store.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::iri("c"));
+        InstrumentedEndpoint::new(LocalEndpoint::new("x", store))
+    }
+
+    #[test]
+    fn counts_selects_rows_and_cells() {
+        let ep = wrapped();
+        let counters = ep.counters();
+        ep.select("SELECT ?s ?o { ?s <p> ?o }").unwrap();
+        ep.select("SELECT ?o { <a> <p> ?o }").unwrap();
+        assert_eq!(counters.select_queries(), 2);
+        assert_eq!(counters.rows_returned(), 4);
+        assert_eq!(counters.cells_returned(), 2 * 2 + 2); // 2 rows × 2 cols + 2 rows × 1 col
+    }
+
+    #[test]
+    fn counts_asks_separately() {
+        let ep = wrapped();
+        let counters = ep.counters();
+        ep.ask("ASK { <a> <p> <b> }").unwrap();
+        assert!(!ep.ask("ASK { <a> <p> <zzz> }").unwrap());
+        assert_eq!(counters.ask_queries(), 2);
+        assert_eq!(counters.select_queries(), 0);
+    }
+
+    #[test]
+    fn failed_queries_still_count_as_issued() {
+        let ep = wrapped();
+        let counters = ep.counters();
+        let _ = ep.select("THIS IS NOT SPARQL");
+        assert_eq!(counters.select_queries(), 1);
+        assert_eq!(counters.rows_returned(), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let ep = wrapped();
+        let counters = ep.counters();
+        ep.select("SELECT ?o { <a> <p> ?o }").unwrap();
+        counters.reset();
+        assert_eq!(counters.total_queries(), 0);
+        assert_eq!(counters.rows_returned(), 0);
+    }
+
+    #[test]
+    fn counter_handle_survives_endpoint_move() {
+        let ep = wrapped();
+        let counters = ep.counters();
+        let moved = ep; // move endpoint elsewhere
+        moved.select("SELECT ?o { <a> <p> ?o }").unwrap();
+        assert_eq!(counters.select_queries(), 1);
+    }
+}

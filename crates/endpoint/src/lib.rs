@@ -1,0 +1,48 @@
+//! # sofya-endpoint
+//!
+//! The endpoint abstraction SOFYA runs against.
+//!
+//! The paper's setting is that each knowledge base is reachable **only**
+//! through a SPARQL endpoint: no dump download, a bounded number of
+//! queries, and per-query result caps (real public endpoints such as
+//! DBpedia's truncate results at a server-side limit). This crate models
+//! that contract:
+//!
+//! * [`Endpoint`] — the trait every KB access goes through (query strings
+//!   in, result tables out; nothing else).
+//! * [`LocalEndpoint`] — an endpoint backed by an in-process
+//!   [`sofya_rdf::TripleStore`] evaluated by `sofya-sparql`; plays the role
+//!   of the remote server in this reproduction.
+//! * [`InstrumentedEndpoint`] — counts queries and transferred rows/cells,
+//!   so experiments can report the paper's "works with few queries" claim
+//!   quantitatively (experiment S3 in DESIGN.md).
+//! * [`QuotaEndpoint`] — enforces a hard query budget and a per-query row
+//!   cap, turning "you may not download the whole KB" into an actual
+//!   runtime error.
+//! * [`CachingEndpoint`] — memoises identical query strings, as a client
+//!   library would.
+//! * [`helpers`] — the typed query builders for every query shape the
+//!   SOFYA algorithms issue (facts of a relation, relations of an entity,
+//!   `sameAs` resolution, existence probes, counts).
+//!
+//! Wrappers compose: `Quota(Instrumented(Local))` is the standard
+//! experiment stack.
+
+pub mod cache;
+pub mod endpoint;
+pub mod error;
+pub mod helpers;
+pub mod instrument;
+pub mod latency;
+pub mod local;
+pub mod quota;
+pub mod retry;
+
+pub use cache::CachingEndpoint;
+pub use endpoint::Endpoint;
+pub use error::EndpointError;
+pub use instrument::{EndpointCounters, InstrumentedEndpoint};
+pub use latency::{LatencyEndpoint, LatencyModel};
+pub use local::LocalEndpoint;
+pub use quota::{QuotaConfig, QuotaEndpoint};
+pub use retry::{FlakyEndpoint, RetryEndpoint};

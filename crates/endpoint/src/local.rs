@@ -1,0 +1,91 @@
+//! An endpoint backed by an in-process triple store.
+
+use crate::endpoint::Endpoint;
+use crate::error::EndpointError;
+use sofya_rdf::TripleStore;
+use sofya_sparql::{execute, execute_ask, ResultSet};
+use std::sync::Arc;
+
+/// The "remote server" of this reproduction: a [`TripleStore`] queried
+/// through `sofya-sparql`. The store is immutable once wrapped, so the
+/// endpoint is trivially thread-safe.
+#[derive(Clone)]
+pub struct LocalEndpoint {
+    name: String,
+    store: Arc<TripleStore>,
+}
+
+impl LocalEndpoint {
+    /// Wraps a store under a display name.
+    pub fn new(name: impl Into<String>, store: TripleStore) -> Self {
+        Self { name: name.into(), store: Arc::new(store) }
+    }
+
+    /// Wraps an already-shared store.
+    pub fn from_arc(name: impl Into<String>, store: Arc<TripleStore>) -> Self {
+        Self { name: name.into(), store }
+    }
+
+    /// Read access to the underlying store (used by generators and tests;
+    /// the alignment algorithms never touch it).
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+}
+
+impl Endpoint for LocalEndpoint {
+    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
+        Ok(execute(&self.store, query)?)
+    }
+
+    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
+        Ok(execute_ask(&self.store, query)?)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for LocalEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalEndpoint")
+            .field("name", &self.name)
+            .field("triples", &self.store.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofya_rdf::Term;
+
+    fn endpoint() -> LocalEndpoint {
+        let mut store = TripleStore::new();
+        store.insert_terms(&Term::iri("e:a"), &Term::iri("r:p"), &Term::iri("e:b"));
+        store.insert_terms(&Term::iri("e:a"), &Term::iri("r:p"), &Term::iri("e:c"));
+        LocalEndpoint::new("test", store)
+    }
+
+    #[test]
+    fn select_and_ask_round_trip() {
+        let ep = endpoint();
+        let rs = ep.select("SELECT ?o { <e:a> <r:p> ?o }").unwrap();
+        assert_eq!(rs.len(), 2);
+        assert!(ep.ask("ASK { <e:a> <r:p> <e:b> }").unwrap());
+        assert!(!ep.ask("ASK { <e:b> <r:p> <e:a> }").unwrap());
+    }
+
+    #[test]
+    fn parse_errors_surface_as_endpoint_errors() {
+        let ep = endpoint();
+        let err = ep.select("SELECT WHERE").unwrap_err();
+        assert!(matches!(err, EndpointError::Sparql(_)));
+    }
+
+    #[test]
+    fn name_is_reported() {
+        assert_eq!(endpoint().name(), "test");
+    }
+}

@@ -1,0 +1,253 @@
+//! Transient-failure simulation and retries.
+//!
+//! Public endpoints fail transiently (timeouts, 503s). [`FlakyEndpoint`]
+//! injects such failures deterministically — every `n`-th query errors —
+//! and [`RetryEndpoint`] re-issues failed queries up to a bound, which is
+//! how a production client would wrap a remote endpoint. Quota errors are
+//! **not** retried: retrying an exhausted budget can never succeed.
+
+use crate::endpoint::Endpoint;
+use crate::error::EndpointError;
+use sofya_sparql::ResultSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Injects a deterministic transient failure every `period`-th query.
+pub struct FlakyEndpoint<E> {
+    inner: E,
+    period: u64,
+    counter: AtomicU64,
+}
+
+impl<E: Endpoint> FlakyEndpoint<E> {
+    /// Wraps `inner`; every `period`-th query (1-based) fails with a
+    /// transient error. `period == 0` never fails.
+    pub fn new(inner: E, period: u64) -> Self {
+        Self { inner, period, counter: AtomicU64::new(0) }
+    }
+
+    fn maybe_fail(&self) -> Result<(), EndpointError> {
+        if self.period == 0 {
+            return Ok(());
+        }
+        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if n % self.period == 0 {
+            Err(EndpointError::Other(format!("simulated transient failure (query #{n})")))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Queries attempted so far (including failed ones).
+    pub fn attempts(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
+impl<E: Endpoint> Endpoint for FlakyEndpoint<E> {
+    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
+        self.maybe_fail()?;
+        self.inner.select(query)
+    }
+
+    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
+        self.maybe_fail()?;
+        self.inner.ask(query)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Retries transient failures up to `max_retries` additional attempts.
+///
+/// Retried errors: [`EndpointError::Other`] (the transport-level class).
+/// SPARQL errors (the query itself is broken) and quota exhaustion are
+/// surfaced immediately.
+pub struct RetryEndpoint<E> {
+    inner: E,
+    max_retries: u32,
+    retries_used: AtomicU64,
+}
+
+impl<E: Endpoint> RetryEndpoint<E> {
+    /// Wraps `inner` with a retry budget per query.
+    pub fn new(inner: E, max_retries: u32) -> Self {
+        Self { inner, max_retries, retries_used: AtomicU64::new(0) }
+    }
+
+    /// Total retries spent across all queries.
+    pub fn retries_used(&self) -> u64 {
+        self.retries_used.load(Ordering::Relaxed)
+    }
+
+    fn with_retries<T>(
+        &self,
+        mut attempt: impl FnMut() -> Result<T, EndpointError>,
+    ) -> Result<T, EndpointError> {
+        let mut last_err = None;
+        for try_no in 0..=self.max_retries {
+            match attempt() {
+                Ok(value) => return Ok(value),
+                Err(e @ EndpointError::Other(_)) => {
+                    if try_no < self.max_retries {
+                        self.retries_used.fetch_add(1, Ordering::Relaxed);
+                    }
+                    last_err = Some(e);
+                }
+                Err(fatal) => return Err(fatal),
+            }
+        }
+        Err(last_err.expect("at least one attempt"))
+    }
+}
+
+impl<E: Endpoint> Endpoint for RetryEndpoint<E> {
+    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
+        self.with_retries(|| self.inner.select(query))
+    }
+
+    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
+        self.with_retries(|| self.inner.ask(query))
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalEndpoint;
+    use crate::quota::{QuotaConfig, QuotaEndpoint};
+    use sofya_rdf::{Term, TripleStore};
+
+    fn base() -> LocalEndpoint {
+        let mut store = TripleStore::new();
+        store.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"));
+        LocalEndpoint::new("kb", store)
+    }
+
+    #[test]
+    fn flaky_fails_on_schedule() {
+        let ep = FlakyEndpoint::new(base(), 3);
+        assert!(ep.ask("ASK { <a> <p> <b> }").is_ok());
+        assert!(ep.ask("ASK { <a> <p> <b> }").is_ok());
+        assert!(ep.ask("ASK { <a> <p> <b> }").is_err()); // 3rd query
+        assert!(ep.ask("ASK { <a> <p> <b> }").is_ok());
+        assert_eq!(ep.attempts(), 4);
+    }
+
+    #[test]
+    fn zero_period_never_fails() {
+        let ep = FlakyEndpoint::new(base(), 0);
+        for _ in 0..10 {
+            ep.ask("ASK { <a> <p> <b> }").unwrap();
+        }
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_failures() {
+        // Every 2nd query fails; one retry always recovers.
+        let ep = RetryEndpoint::new(FlakyEndpoint::new(base(), 2), 1);
+        for _ in 0..10 {
+            ep.ask("ASK { <a> <p> <b> }").unwrap();
+        }
+        assert!(ep.retries_used() > 0);
+    }
+
+    #[test]
+    fn retry_gives_up_after_budget() {
+        // Everything fails; 2 retries then surface the error.
+        let ep = RetryEndpoint::new(FlakyEndpoint::new(base(), 1), 2);
+        let err = ep.ask("ASK { <a> <p> <b> }").unwrap_err();
+        assert!(matches!(err, EndpointError::Other(_)));
+        assert_eq!(ep.retries_used(), 2);
+    }
+
+    #[test]
+    fn sparql_errors_are_not_retried() {
+        let flaky = FlakyEndpoint::new(base(), 0);
+        let ep = RetryEndpoint::new(flaky, 5);
+        let err = ep.select("NOT SPARQL").unwrap_err();
+        assert!(matches!(err, EndpointError::Sparql(_)));
+        assert_eq!(ep.retries_used(), 0);
+    }
+
+    #[test]
+    fn quota_errors_are_not_retried() {
+        let quota = QuotaEndpoint::new(
+            base(),
+            QuotaConfig { max_queries: Some(1), max_rows_per_query: None },
+        );
+        let ep = RetryEndpoint::new(quota, 5);
+        ep.ask("ASK { <a> <p> <b> }").unwrap();
+        let err = ep.ask("ASK { <a> <p> <b> }").unwrap_err();
+        assert!(matches!(err, EndpointError::QuotaExceeded { .. }));
+        assert_eq!(ep.retries_used(), 0);
+    }
+
+    #[test]
+    fn alignment_survives_a_flaky_endpoint_with_retries() {
+        // End-to-end failure injection: SOFYA behind a retry wrapper
+        // completes despite periodic transient failures.
+        use sofya_rdf::parse_ntriples;
+        const SA: &str = "http://www.w3.org/2002/07/owl#sameAs";
+        let mut yago_nt = String::new();
+        let mut dbp_nt = String::new();
+        for i in 0..6 {
+            yago_nt.push_str(&format!("<y:p{i}> <y:born> <y:c{i}> .\n"));
+            dbp_nt.push_str(&format!("<d:P{i}> <d:birthPlace> <d:C{i}> .\n"));
+            for (a, b) in [(format!("y:p{i}"), format!("d:P{i}")), (format!("y:c{i}"), format!("d:C{i}"))] {
+                yago_nt.push_str(&format!("<{a}> <{SA}> <{b}> .\n"));
+                dbp_nt.push_str(&format!("<{b}> <{SA}> <{a}> .\n"));
+            }
+        }
+        let dbp = RetryEndpoint::new(
+            FlakyEndpoint::new(
+                LocalEndpoint::new("dbp", parse_ntriples(&dbp_nt).unwrap()),
+                5,
+            ),
+            3,
+        );
+        let yago = RetryEndpoint::new(
+            FlakyEndpoint::new(
+                LocalEndpoint::new("yago", parse_ntriples(&yago_nt).unwrap()),
+                5,
+            ),
+            3,
+        );
+        let aligner = sofya_core_stub::align(&dbp, &yago);
+        assert_eq!(aligner, vec!["d:birthPlace".to_owned()]);
+    }
+
+    /// Minimal indirection so this crate's tests don't depend on
+    /// `sofya-core` (which depends on us). Mirrors what the aligner does:
+    /// a couple of queries with retries in the loop.
+    mod sofya_core_stub {
+        use super::super::*;
+        use crate::helpers;
+
+        pub fn align<E1: Endpoint, E2: Endpoint>(source: &E1, target: &E2) -> Vec<String> {
+            // Sample a linked fact of y:born in the target, translate,
+            // list relations between the translated pair.
+            let facts = helpers::linked_entity_facts_page(
+                target,
+                "y:born",
+                "http://www.w3.org/2002/07/owl#sameAs",
+                10,
+                0,
+            )
+            .unwrap();
+            let mut out = std::collections::BTreeSet::new();
+            for (_, _, x2, y2) in &facts {
+                let (Some(x2), Some(y2)) = (x2.as_iri(), y2.as_iri()) else { continue };
+                for rel in helpers::relations_between(source, x2, y2).unwrap() {
+                    out.insert(rel);
+                }
+            }
+            out.into_iter().collect()
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Precision / recall / F1 against the generator's gold standard.
+
+use sofya_core::SubsumptionRule;
+use sofya_kbgen::AlignmentGold;
+
+/// Counts of a rule-set evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrecisionRecall {
+    /// Predicted rules that are true in the world model.
+    pub true_positives: usize,
+    /// Predicted rules that are not.
+    pub false_positives: usize,
+    /// True subsumptions the prediction missed.
+    pub false_negatives: usize,
+}
+
+impl PrecisionRecall {
+    /// Builds from raw counts.
+    pub fn new(true_positives: usize, false_positives: usize, false_negatives: usize) -> Self {
+        Self { true_positives, false_positives, false_negatives }
+    }
+
+    /// `tp / (tp + fp)`; 0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; 0 when the gold set is empty.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+impl std::fmt::Display for PrecisionRecall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P {:.2} R {:.2} F1 {:.2} (tp {}, fp {}, fn {})",
+            self.precision(),
+            self.recall(),
+            self.f1(),
+            self.true_positives,
+            self.false_positives,
+            self.false_negatives
+        )
+    }
+}
+
+/// Evaluates predicted rules for one direction against the gold.
+///
+/// `premise_kb` / `conclusion_kb` name the KBs of the direction (as
+/// registered in the gold); the reference set is every true subsumption
+/// between them. Duplicate predictions of one `(premise, conclusion)`
+/// pair count once.
+pub fn evaluate_rules(
+    rules: &[SubsumptionRule],
+    gold: &AlignmentGold,
+    premise_kb: &str,
+    conclusion_kb: &str,
+) -> PrecisionRecall {
+    let mut predicted: std::collections::BTreeSet<(&str, &str)> = Default::default();
+    for r in rules {
+        predicted.insert((r.premise.as_str(), r.conclusion.as_str()));
+    }
+    let reference: std::collections::BTreeSet<(String, String)> =
+        gold.subsumptions_between(premise_kb, conclusion_kb).into_iter().collect();
+
+    let mut tp = 0;
+    let mut fp = 0;
+    for &(p, c) in &predicted {
+        if reference.contains(&(p.to_owned(), c.to_owned())) {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+    }
+    let fn_ = reference
+        .iter()
+        .filter(|(p, c)| !predicted.contains(&(p.as_str(), c.as_str())))
+        .count();
+    PrecisionRecall::new(tp, fp, fn_)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofya_core::ConfidenceMeasure;
+
+    fn rule(premise: &str, conclusion: &str) -> SubsumptionRule {
+        SubsumptionRule {
+            premise: premise.into(),
+            conclusion: conclusion.into(),
+            confidence: 0.9,
+            support: 5,
+            sample_pairs: 6,
+            measure: ConfidenceMeasure::Pca,
+            literal: false,
+        }
+    }
+
+    fn gold() -> AlignmentGold {
+        let mut g = AlignmentGold::default();
+        for (iri, kb) in [
+            ("d:a", "dbp"),
+            ("d:b", "dbp"),
+            ("d:c", "dbp"),
+            ("y:a", "yago"),
+            ("y:b", "yago"),
+        ] {
+            g.register_relation(iri, kb);
+        }
+        g.add_subsumption("d:a", "y:a");
+        g.add_subsumption("d:b", "y:b");
+        g
+    }
+
+    #[test]
+    fn exact_match_scores_perfectly() {
+        let rules = vec![rule("d:a", "y:a"), rule("d:b", "y:b")];
+        let m = evaluate_rules(&rules, &gold(), "dbp", "yago");
+        assert_eq!((m.true_positives, m.false_positives, m.false_negatives), (2, 0, 0));
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn false_positive_and_miss_are_counted() {
+        let rules = vec![rule("d:a", "y:a"), rule("d:c", "y:a")];
+        let m = evaluate_rules(&rules, &gold(), "dbp", "yago");
+        assert_eq!((m.true_positives, m.false_positives, m.false_negatives), (1, 1, 1));
+        assert!((m.precision() - 0.5).abs() < 1e-12);
+        assert!((m.recall() - 0.5).abs() < 1e-12);
+        assert!((m.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_count_once() {
+        let rules = vec![rule("d:a", "y:a"), rule("d:a", "y:a")];
+        let m = evaluate_rules(&rules, &gold(), "dbp", "yago");
+        assert_eq!(m.true_positives, 1);
+        assert_eq!(m.false_positives, 0);
+    }
+
+    #[test]
+    fn empty_prediction_has_zero_precision_full_misses() {
+        let m = evaluate_rules(&[], &gold(), "dbp", "yago");
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.false_negatives, 2);
+    }
+
+    #[test]
+    fn direction_matters() {
+        // y:a ⇒ d:a is NOT in the gold (only d:a ⇒ y:a).
+        let rules = vec![rule("y:a", "d:a")];
+        let m = evaluate_rules(&rules, &gold(), "yago", "dbp");
+        assert_eq!(m.true_positives, 0);
+        assert_eq!(m.false_positives, 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let m = PrecisionRecall::new(3, 1, 2);
+        let s = m.to_string();
+        assert!(s.contains("P 0.75") && s.contains("tp 3"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Generator configuration and the paper-scale presets.
+
+/// Per-KB projection parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KbSideConfig {
+    /// Display name (also used in IRI namespaces).
+    pub name: String,
+    /// Probability that a world entity exists in this KB at all.
+    pub entity_coverage: f64,
+    /// Probability that a subject's *entire* fact set for a relation is
+    /// missing (PCA-compatible incompleteness: the KB knows all or none of
+    /// the r-attributes of x).
+    pub subject_drop: f64,
+    /// Probability that an individual fact is missing even though the
+    /// subject is covered (PCA-violating incompleteness; this is what
+    /// erodes `pcaconf` and UBS recall).
+    pub fact_drop: f64,
+}
+
+impl KbSideConfig {
+    /// A clean, well-curated KB (YAGO-like).
+    pub fn curated(name: impl Into<String>) -> Self {
+        Self { name: name.into(), entity_coverage: 0.9, subject_drop: 0.15, fact_drop: 0.08 }
+    }
+
+    /// A broad, noisier KB (DBpedia-like).
+    pub fn broad(name: impl Into<String>) -> Self {
+        Self { name: name.into(), entity_coverage: 0.85, subject_drop: 0.25, fact_drop: 0.02 }
+    }
+}
+
+/// How many of each planted structure to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructureCounts {
+    /// Equivalent relation pairs (one relation in each KB).
+    pub equivalent: usize,
+    /// Subsumption families: coarse in KB1, `fines_per_family` fine
+    /// relations in KB2.
+    pub subsumption_families: usize,
+    /// Fine relations per subsumption family (≥ 2; one is made dominant).
+    pub fines_per_family: usize,
+    /// Overlap traps: an equivalent pair plus one overlapping KB2-only
+    /// relation each.
+    pub overlap_traps: usize,
+    /// Literal attribute pairs (equivalent, matched by string similarity).
+    pub literal_attrs: usize,
+    /// Uncorrelated noise relations in KB1.
+    pub noise_kb1: usize,
+    /// Uncorrelated noise relations in KB2.
+    pub noise_kb2: usize,
+    /// Correlated-noise relations in KB2 (copy a share of some KB1-mapped
+    /// relation's pairs without being subsumed).
+    pub correlated_noise_kb2: usize,
+}
+
+impl StructureCounts {
+    /// Number of relations this plan yields in KB1.
+    pub fn kb1_relations(&self) -> usize {
+        self.equivalent
+            + self.subsumption_families
+            + self.overlap_traps
+            + self.literal_attrs
+            + self.noise_kb1
+    }
+
+    /// Number of relations this plan yields in KB2.
+    pub fn kb2_relations(&self) -> usize {
+        self.equivalent
+            + self.subsumption_families * self.fines_per_family
+            + self.overlap_traps * 2
+            + self.literal_attrs
+            + self.noise_kb2
+            + self.correlated_noise_kb2
+    }
+}
+
+/// Full generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairConfig {
+    /// RNG seed; equal configs generate identical pairs.
+    pub seed: u64,
+    /// Number of world entities.
+    pub n_entities: usize,
+    /// KB1 — the target KB `K` of the paper (YAGO-like).
+    pub kb1: KbSideConfig,
+    /// KB2 — the source KB `K'` (DBpedia-like).
+    pub kb2: KbSideConfig,
+    /// Structure plan.
+    pub structures: StructureCounts,
+    /// Facts per relation, sampled uniformly from this inclusive range.
+    pub facts_per_relation: (usize, usize),
+    /// Probability that an overlap-trap pair shares the exact (x, y) of
+    /// its partner relation (the director-also-produces rate).
+    pub overlap_rho: f64,
+    /// Share of a subsumption family's facts owned by the dominant fine
+    /// relation.
+    pub dominant_fine_share: f64,
+    /// Pair-copy share for correlated noise relations.
+    pub correlated_noise_rho: f64,
+    /// Probability that an entity present in both KBs gets a `sameAs`
+    /// link.
+    pub same_as_coverage: f64,
+    /// The `sameAs` predicate IRI used in both KBs.
+    pub same_as_iri: String,
+    /// Materialise inverse relations (`p~inv(o, s)` for every entity–
+    /// entity `p(s, o)`) in both KBs, as the paper's §2.2 assumes. Gold
+    /// entries are mirrored onto the inverse predicates. Off by default
+    /// so relation counts match the paper's 92/1313 exactly.
+    pub materialize_inverses: bool,
+}
+
+impl PairConfig {
+    /// Paper-scale preset: 92 relations in the YAGO-like KB1 and 1313 in
+    /// the DBpedia-like KB2, mirroring Section 3 of the paper.
+    pub fn yago_dbpedia(seed: u64) -> Self {
+        let structures = StructureCounts {
+            equivalent: 20,
+            subsumption_families: 8,
+            fines_per_family: 3,
+            overlap_traps: 10,
+            literal_attrs: 6,
+            noise_kb1: 48,
+            noise_kb2: 1199,
+            correlated_noise_kb2: 44,
+        };
+        debug_assert_eq!(structures.kb1_relations(), 92);
+        debug_assert_eq!(structures.kb2_relations(), 1313);
+        Self {
+            seed,
+            n_entities: 4000,
+            kb1: KbSideConfig::curated("yago"),
+            kb2: KbSideConfig::broad("dbpedia"),
+            structures,
+            facts_per_relation: (40, 160),
+            overlap_rho: 0.6,
+            dominant_fine_share: 0.75,
+            correlated_noise_rho: 0.45,
+            same_as_coverage: 0.7,
+            same_as_iri: "http://www.w3.org/2002/07/owl#sameAs".to_owned(),
+            materialize_inverses: false,
+        }
+    }
+
+    /// A small pair for tests and examples (fast to generate and align).
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            n_entities: 600,
+            kb1: KbSideConfig::curated("kb-a"),
+            kb2: KbSideConfig::broad("kb-b"),
+            structures: StructureCounts {
+                equivalent: 6,
+                subsumption_families: 2,
+                fines_per_family: 3,
+                overlap_traps: 3,
+                literal_attrs: 2,
+                noise_kb1: 5,
+                noise_kb2: 20,
+                correlated_noise_kb2: 4,
+            },
+            facts_per_relation: (30, 80),
+            overlap_rho: 0.6,
+            dominant_fine_share: 0.75,
+            correlated_noise_rho: 0.45,
+            same_as_coverage: 0.75,
+            same_as_iri: "http://www.w3.org/2002/07/owl#sameAs".to_owned(),
+            materialize_inverses: false,
+        }
+    }
+
+    /// A minimal pair for unit tests (dozens of facts).
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            n_entities: 120,
+            kb1: KbSideConfig { subject_drop: 0.05, fact_drop: 0.02, ..KbSideConfig::curated("t1") },
+            kb2: KbSideConfig { subject_drop: 0.05, fact_drop: 0.02, ..KbSideConfig::broad("t2") },
+            structures: StructureCounts {
+                equivalent: 2,
+                subsumption_families: 1,
+                fines_per_family: 2,
+                overlap_traps: 1,
+                literal_attrs: 1,
+                noise_kb1: 1,
+                noise_kb2: 3,
+                correlated_noise_kb2: 1,
+            },
+            facts_per_relation: (15, 30),
+            overlap_rho: 0.6,
+            dominant_fine_share: 0.7,
+            correlated_noise_rho: 0.4,
+            same_as_coverage: 0.9,
+            same_as_iri: "http://www.w3.org/2002/07/owl#sameAs".to_owned(),
+            materialize_inverses: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yago_dbpedia_matches_paper_relation_counts() {
+        let cfg = PairConfig::yago_dbpedia(1);
+        assert_eq!(cfg.structures.kb1_relations(), 92);
+        assert_eq!(cfg.structures.kb2_relations(), 1313);
+    }
+
+    #[test]
+    fn presets_are_internally_consistent() {
+        for cfg in [PairConfig::small(0), PairConfig::tiny(0)] {
+            assert!(cfg.structures.fines_per_family >= 2);
+            assert!(cfg.facts_per_relation.0 <= cfg.facts_per_relation.1);
+            assert!((0.0..=1.0).contains(&cfg.overlap_rho));
+            assert!((0.0..=1.0).contains(&cfg.same_as_coverage));
+        }
+    }
+
+    #[test]
+    fn side_presets_have_sane_probabilities() {
+        for side in [KbSideConfig::curated("a"), KbSideConfig::broad("b")] {
+            for p in [side.entity_coverage, side.subject_drop, side.fact_drop] {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn relation_count_arithmetic() {
+        let s = StructureCounts {
+            equivalent: 2,
+            subsumption_families: 1,
+            fines_per_family: 3,
+            overlap_traps: 1,
+            literal_attrs: 1,
+            noise_kb1: 4,
+            noise_kb2: 5,
+            correlated_noise_kb2: 2,
+        };
+        assert_eq!(s.kb1_relations(), 2 + 1 + 1 + 1 + 4);
+        assert_eq!(s.kb2_relations(), 2 + 3 + 2 + 1 + 5 + 2);
+    }
+}

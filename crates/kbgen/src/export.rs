@@ -1,0 +1,91 @@
+//! Exporting generated pairs to disk.
+//!
+//! A generated pair can be persisted as two N-Triples files plus a
+//! tab-separated gold file, so external tools (or a future run without
+//! the generator) can reuse the same corpus. The gold format is one line
+//! per directed true subsumption: `premise<TAB>conclusion`.
+
+use crate::generator::GeneratedPair;
+use crate::gold::AlignmentGold;
+use sofya_rdf::write_ntriples;
+use std::io::Write;
+use std::path::Path;
+
+/// Serialises the gold's directed subsumptions as TSV.
+pub fn gold_to_tsv(gold: &AlignmentGold, kb1: &str, kb2: &str) -> String {
+    let mut out = String::new();
+    for (premise, conclusion) in gold.subsumptions_between(kb2, kb1) {
+        out.push_str(&premise);
+        out.push('\t');
+        out.push_str(&conclusion);
+        out.push('\n');
+    }
+    for (premise, conclusion) in gold.subsumptions_between(kb1, kb2) {
+        out.push_str(&premise);
+        out.push('\t');
+        out.push_str(&conclusion);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a TSV gold file back into `(premise, conclusion)` pairs.
+pub fn gold_from_tsv(text: &str) -> Vec<(String, String)> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| {
+            let mut parts = l.splitn(2, '\t');
+            Some((parts.next()?.to_owned(), parts.next()?.to_owned()))
+        })
+        .collect()
+}
+
+/// Writes `kb1.nt`, `kb2.nt` and `gold.tsv` into `dir` (created if
+/// missing). Returns the number of triples written per KB.
+pub fn export_pair(pair: &GeneratedPair, dir: &Path) -> std::io::Result<(usize, usize)> {
+    std::fs::create_dir_all(dir)?;
+    let mut kb1_file = std::fs::File::create(dir.join("kb1.nt"))?;
+    kb1_file.write_all(write_ntriples(&pair.kb1).as_bytes())?;
+    let mut kb2_file = std::fs::File::create(dir.join("kb2.nt"))?;
+    kb2_file.write_all(write_ntriples(&pair.kb2).as_bytes())?;
+    let mut gold_file = std::fs::File::create(dir.join("gold.tsv"))?;
+    gold_file
+        .write_all(gold_to_tsv(&pair.gold, pair.kb1_name(), pair.kb2_name()).as_bytes())?;
+    Ok((pair.kb1.len(), pair.kb2.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PairConfig;
+    use crate::generator::generate;
+    use sofya_rdf::parse_ntriples;
+
+    #[test]
+    fn gold_tsv_round_trip() {
+        let pair = generate(&PairConfig::tiny(3));
+        let tsv = gold_to_tsv(&pair.gold, pair.kb1_name(), pair.kb2_name());
+        let parsed = gold_from_tsv(&tsv);
+        assert_eq!(parsed.len(), pair.gold.subsumption_count());
+        for (p, c) in &parsed {
+            assert!(pair.gold.is_subsumption(p, c));
+        }
+    }
+
+    #[test]
+    fn export_writes_loadable_files() {
+        let pair = generate(&PairConfig::tiny(5));
+        let dir = std::env::temp_dir().join(format!("sofya-export-test-{}", std::process::id()));
+        let (n1, n2) = export_pair(&pair, &dir).unwrap();
+        assert_eq!(n1, pair.kb1.len());
+        assert_eq!(n2, pair.kb2.len());
+
+        let kb1 = parse_ntriples(&std::fs::read_to_string(dir.join("kb1.nt")).unwrap()).unwrap();
+        let kb2 = parse_ntriples(&std::fs::read_to_string(dir.join("kb2.nt")).unwrap()).unwrap();
+        assert_eq!(kb1.len(), pair.kb1.len());
+        assert_eq!(kb2.len(), pair.kb2.len());
+        let gold = gold_from_tsv(&std::fs::read_to_string(dir.join("gold.tsv")).unwrap());
+        assert!(!gold.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,404 @@
+//! Projection of the world model into two concrete triple stores.
+
+use crate::config::PairConfig;
+use crate::gold::AlignmentGold;
+use crate::names::NameForge;
+use crate::world::{PlantKind, World};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sofya_rdf::{Term, TripleStore};
+use std::collections::BTreeMap;
+
+/// A generated KB pair with its ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedPair {
+    /// The target KB `K` (YAGO-like, curated).
+    pub kb1: TripleStore,
+    /// The source KB `K'` (DBpedia-like, broad).
+    pub kb2: TripleStore,
+    /// World-level alignment gold.
+    pub gold: AlignmentGold,
+    /// The configuration that produced the pair.
+    pub config: PairConfig,
+    /// Relation IRIs materialised in KB1.
+    pub kb1_relations: Vec<String>,
+    /// Relation IRIs materialised in KB2.
+    pub kb2_relations: Vec<String>,
+}
+
+impl GeneratedPair {
+    /// The `sameAs` predicate IRI shared by both stores.
+    pub fn same_as(&self) -> &str {
+        &self.config.same_as_iri
+    }
+
+    /// KB1's display name.
+    pub fn kb1_name(&self) -> &str {
+        &self.config.kb1.name
+    }
+
+    /// KB2's display name.
+    pub fn kb2_name(&self) -> &str {
+        &self.config.kb2.name
+    }
+}
+
+fn kb1_entity_iri(kb1: &str, id: u32) -> String {
+    format!("http://{kb1}.sim/entity/e{id}")
+}
+
+fn kb2_entity_iri(kb2: &str, id: u32) -> String {
+    format!("http://{kb2}.sim/resource/E{id}")
+}
+
+/// Generates a KB pair from a configuration. Deterministic in
+/// `config.seed`.
+pub fn generate(config: &PairConfig) -> GeneratedPair {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let world = World::build(config, &mut rng);
+
+    // Entity existence and sameAs linking.
+    let n = world.n_entities as usize;
+    let exists1: Vec<bool> = (0..n).map(|_| rng.gen_bool(config.kb1.entity_coverage)).collect();
+    let exists2: Vec<bool> = (0..n).map(|_| rng.gen_bool(config.kb2.entity_coverage)).collect();
+    let linked: Vec<bool> = (0..n)
+        .map(|i| exists1[i] && exists2[i] && rng.gen_bool(config.same_as_coverage))
+        .collect();
+
+    let mut kb1 = TripleStore::new();
+    let mut kb2 = TripleStore::new();
+    let kb1_name = config.kb1.name.clone();
+    let kb2_name = config.kb2.name.clone();
+
+    // sameAs triples, both directions.
+    let same_as = Term::iri(&config.same_as_iri);
+    for (i, &is_linked) in linked.iter().enumerate() {
+        if is_linked {
+            let e1 = Term::iri(kb1_entity_iri(&kb1_name, i as u32));
+            let e2 = Term::iri(kb2_entity_iri(&kb2_name, i as u32));
+            kb1.insert_terms(&e1, &same_as, &e2);
+            kb2.insert_terms(&e2, &same_as, &e1);
+        }
+    }
+
+    // Project every planted relation into each KB where materialised.
+    let mut kb1_relations: Vec<String> = Vec::new();
+    let mut kb2_relations: Vec<String> = Vec::new();
+    for rel in &world.relations {
+        for (is_kb1, iri) in [(true, &rel.kb1_iri), (false, &rel.kb2_iri)] {
+            let Some(iri) = iri else { continue };
+            let side = if is_kb1 { &config.kb1 } else { &config.kb2 };
+            let exists = if is_kb1 { &exists1 } else { &exists2 };
+            let store = if is_kb1 { &mut kb1 } else { &mut kb2 };
+            let pred = Term::iri(iri);
+            if is_kb1 {
+                kb1_relations.push(iri.clone());
+            } else {
+                kb2_relations.push(iri.clone());
+            }
+
+            // Group by subject for PCA-compatible subject-level drops.
+            let mut by_subject: BTreeMap<u32, Vec<&(u32, u32)>> = BTreeMap::new();
+            for fact in &rel.entity_facts {
+                by_subject.entry(fact.0).or_default().push(fact);
+            }
+            for (subject, facts) in by_subject {
+                if !exists[subject as usize] || rng.gen_bool(side.subject_drop) {
+                    continue;
+                }
+                for &&(s, o) in &facts {
+                    if !exists[o as usize] || rng.gen_bool(side.fact_drop) {
+                        continue;
+                    }
+                    let (s_iri, o_iri) = if is_kb1 {
+                        (kb1_entity_iri(&kb1_name, s), kb1_entity_iri(&kb1_name, o))
+                    } else {
+                        (kb2_entity_iri(&kb2_name, s), kb2_entity_iri(&kb2_name, o))
+                    };
+                    store.insert_terms(&Term::iri(s_iri), &pred, &Term::iri(o_iri));
+                }
+            }
+
+            // Literal facts: same structure, with per-KB surface corruption.
+            let mut by_subject: BTreeMap<u32, Vec<&(u32, String)>> = BTreeMap::new();
+            for fact in &rel.literal_facts {
+                by_subject.entry(fact.0).or_default().push(fact);
+            }
+            for (subject, facts) in by_subject {
+                if !exists[subject as usize] || rng.gen_bool(side.subject_drop) {
+                    continue;
+                }
+                for (s, base) in facts {
+                    if rng.gen_bool(side.fact_drop) {
+                        continue;
+                    }
+                    let s_iri = if is_kb1 {
+                        kb1_entity_iri(&kb1_name, *s)
+                    } else {
+                        kb2_entity_iri(&kb2_name, *s)
+                    };
+                    let surface = NameForge::corrupt(&mut rng, base);
+                    store.insert_terms(&Term::iri(s_iri), &pred, &Term::literal(surface));
+                }
+            }
+        }
+    }
+
+    // Gold derivation from plant kinds.
+    let mut gold = AlignmentGold::default();
+    let key_to_kb1: BTreeMap<&str, &str> = world
+        .relations
+        .iter()
+        .filter_map(|r| r.kb1_iri.as_deref().map(|iri| (r.key.as_str(), iri)))
+        .collect();
+    for rel in &world.relations {
+        if let Some(iri) = &rel.kb1_iri {
+            gold.register_relation(iri, &kb1_name);
+        }
+        if let Some(iri) = &rel.kb2_iri {
+            gold.register_relation(iri, &kb2_name);
+        }
+        match &rel.kind {
+            PlantKind::Equivalent | PlantKind::OverlapMain | PlantKind::LiteralAttr => {
+                if let (Some(a), Some(b)) = (&rel.kb1_iri, &rel.kb2_iri) {
+                    gold.add_equivalent(a, b);
+                }
+            }
+            PlantKind::Fine { family, .. } => {
+                let coarse_key = format!("coarse{family}");
+                if let (Some(fine_iri), Some(coarse_iri)) =
+                    (&rel.kb2_iri, key_to_kb1.get(coarse_key.as_str()))
+                {
+                    gold.add_subsumption(fine_iri, coarse_iri);
+                }
+            }
+            PlantKind::OverlapSide { main_key } => {
+                if let (Some(side_iri), Some(main_iri)) =
+                    (&rel.kb2_iri, key_to_kb1.get(main_key.as_str()))
+                {
+                    gold.add_overlap(side_iri, main_iri);
+                }
+            }
+            PlantKind::CorrelatedNoise { target_key } => {
+                if let (Some(cn_iri), Some(target_iri)) =
+                    (&rel.kb2_iri, key_to_kb1.get(target_key.as_str()))
+                {
+                    gold.add_overlap(cn_iri, target_iri);
+                }
+            }
+            PlantKind::Coarse { .. } | PlantKind::Noise => {}
+        }
+    }
+
+    // Optional inverse materialisation (the paper's §2.2 preprocessing):
+    // every entity–entity predicate gets its `~inv` twin, and every gold
+    // entry is mirrored onto the inverses (p ⇒ c implies p⁻ ⇒ c⁻).
+    // Literal relations have no inverses (a literal cannot be a subject),
+    // so only twins that actually exist in a store are registered.
+    if config.materialize_inverses {
+        let keep = |iri: &str| iri != config.same_as_iri;
+        sofya_rdf::materialize_inverses_filtered(&mut kb1, keep);
+        sofya_rdf::materialize_inverses_filtered(&mut kb2, keep);
+        let exists_in = |store: &TripleStore, iri: &str| store.dict().lookup_iri(iri).is_some();
+
+        let mut inverse_gold = gold.clone();
+        for (kb_name, store, relations) in [
+            (&kb1_name, &kb1, &mut kb1_relations),
+            (&kb2_name, &kb2, &mut kb2_relations),
+        ] {
+            let mut inverses = Vec::new();
+            for relation in relations.iter() {
+                let inv = sofya_rdf::inverse_iri(relation);
+                if exists_in(store, &inv) {
+                    inverse_gold.register_relation(&inv, kb_name);
+                    inverses.push(inv);
+                }
+            }
+            relations.extend(inverses);
+        }
+        for (premise_kb, conclusion_kb, premise_store, conclusion_store) in [
+            (&kb2_name, &kb1_name, &kb2, &kb1),
+            (&kb1_name, &kb2_name, &kb1, &kb2),
+        ] {
+            for (premise, conclusion) in gold.subsumptions_between(premise_kb, conclusion_kb) {
+                let (p_inv, c_inv) =
+                    (sofya_rdf::inverse_iri(&premise), sofya_rdf::inverse_iri(&conclusion));
+                if exists_in(premise_store, &p_inv) && exists_in(conclusion_store, &c_inv) {
+                    inverse_gold.add_subsumption(&p_inv, &c_inv);
+                }
+            }
+        }
+        gold = inverse_gold;
+    }
+
+    GeneratedPair { kb1, kb2, gold, config: config.clone(), kb1_relations, kb2_relations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofya_rdf::TriplePattern;
+
+    #[test]
+    fn generates_expected_relation_counts() {
+        let cfg = PairConfig::tiny(2);
+        let pair = generate(&cfg);
+        assert_eq!(pair.kb1_relations.len(), cfg.structures.kb1_relations());
+        assert_eq!(pair.kb2_relations.len(), cfg.structures.kb2_relations());
+        assert!(!pair.kb1.is_empty());
+        assert!(!pair.kb2.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = PairConfig::tiny(42);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.kb1.len(), b.kb1.len());
+        assert_eq!(a.kb2.len(), b.kb2.len());
+        let tri_a: Vec<String> = a
+            .kb1
+            .iter()
+            .map(|t| {
+                let (s, p, o) = a.kb1.resolve(t);
+                format!("{s} {p} {o}")
+            })
+            .collect();
+        let tri_b: Vec<String> = b
+            .kb1
+            .iter()
+            .map(|t| {
+                let (s, p, o) = b.kb1.resolve(t);
+                format!("{s} {p} {o}")
+            })
+            .collect();
+        assert_eq!(tri_a, tri_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&PairConfig::tiny(1));
+        let b = generate(&PairConfig::tiny(2));
+        assert_ne!(a.kb1.len(), b.kb1.len());
+    }
+
+    #[test]
+    fn same_as_links_are_symmetric_across_stores() {
+        let pair = generate(&PairConfig::tiny(5));
+        let sa1 = pair.kb1.dict().lookup_iri(pair.same_as()).expect("links exist");
+        let sa2 = pair.kb2.dict().lookup_iri(pair.same_as()).expect("links exist");
+        let n1 = pair.kb1.count(TriplePattern::with_p(sa1));
+        let n2 = pair.kb2.count(TriplePattern::with_p(sa2));
+        assert_eq!(n1, n2);
+        assert!(n1 > 0);
+        // Every kb1 link e1→e2 has the mirror e2→e1 in kb2.
+        for t in pair.kb1.triples_with_predicate(sa1) {
+            let (e1, _, e2) = pair.kb1.resolve(t);
+            let e2_in_2 = pair.kb2.dict().lookup(e2).expect("e2 interned in kb2");
+            let e1_in_2 = pair.kb2.dict().lookup(e1).expect("e1 interned in kb2");
+            assert!(pair.kb2.contains(e2_in_2, sa2, e1_in_2));
+        }
+    }
+
+    #[test]
+    fn gold_contains_all_planted_structures() {
+        let cfg = PairConfig::tiny(7);
+        let pair = generate(&cfg);
+        let s = cfg.structures;
+        // Equivalences: equivalent + overlap mains + literal attrs, each in
+        // both directions.
+        let d_to_y = pair.gold.subsumptions_between(pair.kb2_name(), pair.kb1_name());
+        let y_to_d = pair.gold.subsumptions_between(pair.kb1_name(), pair.kb2_name());
+        let equivalences = s.equivalent + s.overlap_traps + s.literal_attrs;
+        assert_eq!(y_to_d.len(), equivalences);
+        assert_eq!(d_to_y.len(), equivalences + s.subsumption_families * s.fines_per_family);
+    }
+
+    #[test]
+    fn projected_fine_facts_are_subset_of_world_coarse() {
+        // Instance-level check through the stores: every kb2 fine fact,
+        // translated by world id, appears in the coarse world fact set.
+        let cfg = PairConfig::tiny(11);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let world = World::build(&cfg, &mut rng);
+        let pair = generate(&cfg);
+        let coarse_world: std::collections::BTreeSet<(u32, u32)> = world
+            .relations
+            .iter()
+            .find(|r| r.key == "coarse0")
+            .unwrap()
+            .entity_facts
+            .iter()
+            .copied()
+            .collect();
+        let fine = world.relations.iter().find(|r| r.key == "fine0_0").unwrap();
+        let fine_iri = fine.kb2_iri.as_ref().unwrap();
+        if let Some(p) = pair.kb2.dict().lookup_iri(fine_iri) {
+            for t in pair.kb2.triples_with_predicate(p) {
+                let (s, _, o) = pair.kb2.resolve(t);
+                let sid: u32 = s.as_iri().unwrap().rsplit('E').next().unwrap().parse().unwrap();
+                let oid: u32 = o.as_iri().unwrap().rsplit('E').next().unwrap().parse().unwrap();
+                assert!(coarse_world.contains(&(sid, oid)));
+            }
+        }
+    }
+
+    #[test]
+    fn literal_relations_have_literal_objects() {
+        let pair = generate(&PairConfig::tiny(13));
+        let lit_iri = pair
+            .kb1_relations
+            .iter()
+            .find(|r| r.contains("label"))
+            .expect("literal attr planted");
+        if let Some(p) = pair.kb1.dict().lookup_iri(lit_iri) {
+            let mut any = false;
+            for t in pair.kb1.triples_with_predicate(p) {
+                assert!(pair.kb1.resolve(t).2.is_literal());
+                any = true;
+            }
+            assert!(any);
+        }
+    }
+
+    #[test]
+    fn inverse_materialisation_extends_stores_and_gold() {
+        let mut cfg = PairConfig::tiny(19);
+        cfg.materialize_inverses = true;
+        let pair = generate(&cfg);
+        let plain = generate(&PairConfig::tiny(19));
+
+        // Stores grow; sameAs is never inverted.
+        assert!(pair.kb1.len() > plain.kb1.len());
+        assert!(pair
+            .kb1
+            .dict()
+            .lookup_iri(&format!("{}~inv", pair.same_as()))
+            .is_none());
+
+        // Every non-literal gold subsumption is mirrored on the inverses.
+        for (p, c) in plain.gold.subsumptions_between(plain.kb2_name(), plain.kb1_name()) {
+            let (p_inv, c_inv) = (sofya_rdf::inverse_iri(&p), sofya_rdf::inverse_iri(&c));
+            let literal = pair.kb2.dict().lookup_iri(&p_inv).is_none();
+            if !literal {
+                assert!(
+                    pair.gold.is_subsumption(&p_inv, &c_inv),
+                    "missing inverse gold {p_inv} ⇒ {c_inv}"
+                );
+            }
+        }
+        // Relation lists include the inverses.
+        assert!(pair.kb1_relations.iter().any(|r| sofya_rdf::is_inverse_iri(r)));
+    }
+
+    #[test]
+    fn paper_scale_preset_generates_92_and_1313_relations() {
+        // Generation only (no alignment) to keep the test fast.
+        let cfg = PairConfig::yago_dbpedia(3);
+        let pair = generate(&cfg);
+        assert_eq!(pair.kb1_relations.len(), 92);
+        assert_eq!(pair.kb2_relations.len(), 1313);
+        assert!(pair.kb1.len() > 5_000);
+        assert!(pair.kb2.len() > 20_000);
+    }
+}

@@ -1,0 +1,175 @@
+//! The ground-truth alignment produced alongside a generated pair.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The semantic relationship between two relations, as planted by the
+/// generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MappingKind {
+    /// `a ⇔ b`: identical fact sets in the world model.
+    Equivalent,
+    /// `a ⇒ b` only: `a`'s world facts are a strict subset of `b`'s.
+    SubsumedBy,
+    /// Facts correlate but neither subsumes the other.
+    Overlapping,
+}
+
+/// Ground truth: which subsumptions between relation IRIs hold in the
+/// world model, plus the full kind map for analysis.
+#[derive(Debug, Clone, Default)]
+pub struct AlignmentGold {
+    /// Directed true subsumptions `(premise, conclusion)`: premise ⇒
+    /// conclusion. Equivalences contribute both directions.
+    subsumptions: BTreeSet<(String, String)>,
+    /// Kind of every *related* pair, keyed `(a, b)` with both orders
+    /// stored for `Equivalent`/`Overlapping` and the premise-first order
+    /// for `SubsumedBy`.
+    kinds: BTreeMap<(String, String), MappingKind>,
+    /// Relations per KB (IRI → KB name), for completeness checks.
+    kb_of: BTreeMap<String, String>,
+}
+
+impl AlignmentGold {
+    /// Registers a relation as belonging to a KB.
+    pub fn register_relation(&mut self, iri: &str, kb: &str) {
+        self.kb_of.insert(iri.to_owned(), kb.to_owned());
+    }
+
+    /// Declares `a ⇔ b`.
+    pub fn add_equivalent(&mut self, a: &str, b: &str) {
+        self.subsumptions.insert((a.to_owned(), b.to_owned()));
+        self.subsumptions.insert((b.to_owned(), a.to_owned()));
+        self.kinds.insert((a.to_owned(), b.to_owned()), MappingKind::Equivalent);
+        self.kinds.insert((b.to_owned(), a.to_owned()), MappingKind::Equivalent);
+    }
+
+    /// Declares `premise ⇒ conclusion` (strict subsumption).
+    pub fn add_subsumption(&mut self, premise: &str, conclusion: &str) {
+        self.subsumptions.insert((premise.to_owned(), conclusion.to_owned()));
+        self.kinds.insert((premise.to_owned(), conclusion.to_owned()), MappingKind::SubsumedBy);
+    }
+
+    /// Declares a non-subsuming overlap between `a` and `b`.
+    pub fn add_overlap(&mut self, a: &str, b: &str) {
+        self.kinds.insert((a.to_owned(), b.to_owned()), MappingKind::Overlapping);
+        self.kinds.insert((b.to_owned(), a.to_owned()), MappingKind::Overlapping);
+    }
+
+    /// Whether `premise ⇒ conclusion` is true in the world model.
+    pub fn is_subsumption(&self, premise: &str, conclusion: &str) -> bool {
+        self.subsumptions.contains(&(premise.to_owned(), conclusion.to_owned()))
+    }
+
+    /// Whether `a ⇔ b` is true.
+    pub fn is_equivalent(&self, a: &str, b: &str) -> bool {
+        self.is_subsumption(a, b) && self.is_subsumption(b, a)
+    }
+
+    /// The planted kind for a pair, if any relationship was planted.
+    pub fn kind(&self, a: &str, b: &str) -> Option<MappingKind> {
+        self.kinds.get(&(a.to_owned(), b.to_owned())).copied()
+    }
+
+    /// All true subsumptions whose premise lives in `premise_kb` and whose
+    /// conclusion lives in `conclusion_kb` — the reference set for one
+    /// direction of Table 1.
+    pub fn subsumptions_between(&self, premise_kb: &str, conclusion_kb: &str) -> Vec<(String, String)> {
+        self.subsumptions
+            .iter()
+            .filter(|(p, c)| {
+                self.kb_of.get(p).is_some_and(|kb| kb == premise_kb)
+                    && self.kb_of.get(c).is_some_and(|kb| kb == conclusion_kb)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// All registered relations of one KB.
+    pub fn relations_of(&self, kb: &str) -> Vec<String> {
+        self.kb_of
+            .iter()
+            .filter(|(_, k)| k.as_str() == kb)
+            .map(|(iri, _)| iri.clone())
+            .collect()
+    }
+
+    /// The KB a relation was registered under.
+    pub fn kb_of(&self, iri: &str) -> Option<&str> {
+        self.kb_of.get(iri).map(String::as_str)
+    }
+
+    /// Total number of directed true subsumptions.
+    pub fn subsumption_count(&self) -> usize {
+        self.subsumptions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gold() -> AlignmentGold {
+        let mut g = AlignmentGold::default();
+        g.register_relation("y:born", "yago");
+        g.register_relation("d:birthPlace", "dbpedia");
+        g.register_relation("y:created", "yago");
+        g.register_relation("d:composerOf", "dbpedia");
+        g.register_relation("d:producer", "dbpedia");
+        g.register_relation("y:directed", "yago");
+        g.add_equivalent("y:born", "d:birthPlace");
+        g.add_subsumption("d:composerOf", "y:created");
+        g.add_overlap("d:producer", "y:directed");
+        g
+    }
+
+    #[test]
+    fn equivalence_is_double_subsumption() {
+        let g = gold();
+        assert!(g.is_subsumption("y:born", "d:birthPlace"));
+        assert!(g.is_subsumption("d:birthPlace", "y:born"));
+        assert!(g.is_equivalent("y:born", "d:birthPlace"));
+    }
+
+    #[test]
+    fn strict_subsumption_is_one_directional() {
+        let g = gold();
+        assert!(g.is_subsumption("d:composerOf", "y:created"));
+        assert!(!g.is_subsumption("y:created", "d:composerOf"));
+        assert!(!g.is_equivalent("d:composerOf", "y:created"));
+    }
+
+    #[test]
+    fn overlap_is_no_subsumption() {
+        let g = gold();
+        assert!(!g.is_subsumption("d:producer", "y:directed"));
+        assert!(!g.is_subsumption("y:directed", "d:producer"));
+        assert_eq!(g.kind("d:producer", "y:directed"), Some(MappingKind::Overlapping));
+    }
+
+    #[test]
+    fn directional_reference_sets() {
+        let g = gold();
+        let d_to_y = g.subsumptions_between("dbpedia", "yago");
+        assert!(d_to_y.contains(&("d:composerOf".into(), "y:created".into())));
+        assert!(d_to_y.contains(&("d:birthPlace".into(), "y:born".into())));
+        assert_eq!(d_to_y.len(), 2);
+        let y_to_d = g.subsumptions_between("yago", "dbpedia");
+        assert_eq!(y_to_d, vec![("y:born".to_owned(), "d:birthPlace".to_owned())]);
+    }
+
+    #[test]
+    fn relations_of_kb() {
+        let g = gold();
+        assert_eq!(g.relations_of("yago").len(), 3);
+        assert_eq!(g.relations_of("dbpedia").len(), 3);
+        assert_eq!(g.kb_of("y:born"), Some("yago"));
+        assert_eq!(g.kb_of("ghost"), None);
+    }
+
+    #[test]
+    fn unplanted_pairs_have_no_kind() {
+        let g = gold();
+        assert_eq!(g.kind("y:born", "y:created"), None);
+        assert!(!g.is_subsumption("y:born", "y:created"));
+    }
+}

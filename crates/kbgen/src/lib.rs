@@ -1,0 +1,60 @@
+//! # sofya-kbgen
+//!
+//! A seeded generator of knowledge-base *pairs* with ground-truth relation
+//! alignments.
+//!
+//! ## Why this exists
+//!
+//! The paper evaluates on YAGO2 (92 relations) and DBpedia (1313
+//! relations). Those dumps are not available offline — and more
+//! importantly, they come without a complete alignment gold standard, so
+//! the paper's precision numbers were hand-judged. This generator replaces
+//! them with a *world model* projected into two KBs whose true alignment
+//! is known by construction, which lets every experiment compute exact
+//! precision/recall.
+//!
+//! The generator plants exactly the semantic structures whose confusion
+//! SOFYA's evaluation measures:
+//!
+//! * **Equivalent pairs** — one world relation materialised in both KBs
+//!   under different IRIs (`wasBornIn` vs `bornInCountry`).
+//! * **Subsumption families** — a coarse relation in the YAGO-like KB
+//!   (`creatorOf`) whose fact set is the union of several fine relations
+//!   in the DBpedia-like KB (`composerOf`, `writerOf`, …). Gold:
+//!   `fine ⇒ coarse` only. One fine relation is made *dominant* so that a
+//!   small random sample of the coarse relation often sees only dominant
+//!   facts — the paper's "subsumption mistaken for equivalence" trap.
+//! * **Overlap traps** — `directedBy` in both KBs (equivalent), plus
+//!   `hasProducer` only in the DBpedia-like KB whose pairs coincide with
+//!   the director's with probability ρ. Gold: no subsumption between
+//!   producer and director — the paper's "overlap mistaken for
+//!   subsumption" trap.
+//! * **Literal attributes** — name/label relations whose lexical forms are
+//!   corrupted differently per KB (case, punctuation, accents, token
+//!   order, typos), exercising the string-similarity path.
+//! * **Noise relations** — the long tail that makes DBpedia 1313 relations
+//!   wide; a configurable fraction is *correlated noise* that copies a
+//!   share of some other relation's pairs (more overlap traps).
+//!
+//! Incompleteness is modelled at two levels, matching the PCA discussion
+//! in the paper: *subject-level* (a KB knows all or none of the
+//! r-attributes of x — invisible to `pcaconf`) and *fact-level* (random
+//! missing facts — the thing that actually erodes `pcaconf` and UBS
+//! recall). `sameAs` links cover a configurable fraction of shared
+//! entities.
+//!
+//! Everything is driven by a single `u64` seed; equal configs produce
+//! byte-identical KBs.
+
+pub mod config;
+pub mod export;
+pub mod generator;
+pub mod gold;
+pub mod names;
+pub mod world;
+
+pub use config::{KbSideConfig, PairConfig, StructureCounts};
+pub use export::{export_pair, gold_from_tsv, gold_to_tsv};
+pub use generator::{generate, GeneratedPair};
+pub use gold::{AlignmentGold, MappingKind};
+pub use names::NameForge;

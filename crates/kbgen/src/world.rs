@@ -1,0 +1,508 @@
+//! The world model: planted relations with their true fact sets.
+//!
+//! The world is the "reality" both KBs imperfectly describe. Every planted
+//! relation records which KB(s) it is materialised in and its complete
+//! fact set; [`crate::generator`] projects these facts into the two
+//! stores with per-KB incompleteness.
+
+use crate::config::PairConfig;
+use crate::names::NameForge;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Why a relation was planted — determines the gold alignment entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlantKind {
+    /// Materialised in both KBs with identical world facts.
+    Equivalent,
+    /// KB1-only coarse relation; facts are the union of its family's fine
+    /// relations.
+    Coarse {
+        /// Family index.
+        family: usize,
+    },
+    /// KB2-only fine relation inside a subsumption family.
+    Fine {
+        /// Family index.
+        family: usize,
+        /// Whether this fine relation owns the dominant share of the
+        /// family's facts (the equivalence-trap bait).
+        dominant: bool,
+    },
+    /// The equivalent half of an overlap trap (both KBs).
+    OverlapMain,
+    /// KB2-only relation correlated with its trap's main relation.
+    OverlapSide {
+        /// `key` of the main relation it overlaps.
+        main_key: String,
+    },
+    /// Literal attribute (both KBs, corrupted per KB at projection).
+    LiteralAttr,
+    /// Unrelated filler relation (one KB).
+    Noise,
+    /// KB2-only relation copying a share of a KB1-mapped relation's pairs.
+    CorrelatedNoise {
+        /// `key` of the relation whose pairs it partially copies.
+        target_key: String,
+    },
+}
+
+/// A relation in the world model.
+#[derive(Debug, Clone)]
+pub struct PlantedRelation {
+    /// Stable debugging key (`eq3`, `fine2_1`, `ovside4`, …).
+    pub key: String,
+    /// IRI in KB1, if materialised there.
+    pub kb1_iri: Option<String>,
+    /// IRI in KB2, if materialised there.
+    pub kb2_iri: Option<String>,
+    /// Structural role.
+    pub kind: PlantKind,
+    /// Entity–entity world facts `(subject, object)` by world entity id.
+    pub entity_facts: Vec<(u32, u32)>,
+    /// Entity–literal world facts `(subject, base lexical form)`.
+    pub literal_facts: Vec<(u32, String)>,
+}
+
+impl PlantedRelation {
+    /// Whether this is an entity–literal relation.
+    pub fn is_literal(&self) -> bool {
+        !self.literal_facts.is_empty()
+    }
+}
+
+/// The complete world model.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Number of world entities (ids `0..n_entities`).
+    pub n_entities: u32,
+    /// Base display name per entity (for literal attributes).
+    pub entity_names: Vec<String>,
+    /// All planted relations.
+    pub relations: Vec<PlantedRelation>,
+}
+
+/// KB1 relation namespace.
+pub fn kb1_rel_iri(kb1_name: &str, local: &str) -> String {
+    format!("http://{kb1_name}.sim/rel/{local}")
+}
+
+/// KB2 relation namespace.
+pub fn kb2_rel_iri(kb2_name: &str, local: &str) -> String {
+    format!("http://{kb2_name}.sim/prop/{local}")
+}
+
+impl World {
+    /// Builds the world model for `config` using `rng`.
+    pub fn build(config: &PairConfig, rng: &mut StdRng) -> Self {
+        let n = config.n_entities as u32;
+        let entity_names = (0..n).map(|_| NameForge::full_name(rng)).collect();
+        let mut w = World { n_entities: n, entity_names, relations: Vec::new() };
+        let s = config.structures;
+
+        for i in 0..s.equivalent {
+            w.plant_equivalent(config, rng, i);
+        }
+        for f in 0..s.subsumption_families {
+            w.plant_family(config, rng, f);
+        }
+        for i in 0..s.overlap_traps {
+            w.plant_overlap_trap(config, rng, i);
+        }
+        for i in 0..s.literal_attrs {
+            w.plant_literal_attr(config, rng, i);
+        }
+        for i in 0..s.noise_kb1 {
+            w.plant_noise(config, rng, i, true);
+        }
+        for i in 0..s.noise_kb2 {
+            w.plant_noise(config, rng, i, false);
+        }
+        for i in 0..s.correlated_noise_kb2 {
+            w.plant_correlated_noise(config, rng, i);
+        }
+        w
+    }
+
+    fn fact_budget(&self, config: &PairConfig, rng: &mut StdRng) -> usize {
+        rng.gen_range(config.facts_per_relation.0..=config.facts_per_relation.1)
+    }
+
+    /// Random facts over a fresh subject pool; subjects get 1–3 objects.
+    fn random_facts(&self, rng: &mut StdRng, n_facts: usize) -> Vec<(u32, u32)> {
+        let mut facts = Vec::with_capacity(n_facts);
+        let mut seen = std::collections::BTreeSet::new();
+        while facts.len() < n_facts {
+            let subject = rng.gen_range(0..self.n_entities);
+            let fanout = rng.gen_range(1..=3usize).min(n_facts - facts.len());
+            for _ in 0..fanout {
+                let object = rng.gen_range(0..self.n_entities);
+                if object != subject && seen.insert((subject, object)) {
+                    facts.push((subject, object));
+                }
+            }
+        }
+        facts
+    }
+
+    fn plant_equivalent(&mut self, config: &PairConfig, rng: &mut StdRng, i: usize) {
+        let n = self.fact_budget(config, rng);
+        let word = NameForge::word(rng);
+        let rel = PlantedRelation {
+            key: format!("eq{i}"),
+            kb1_iri: Some(kb1_rel_iri(&config.kb1.name, &format!("has{word}{i}"))),
+            kb2_iri: Some(kb2_rel_iri(&config.kb2.name, &format!("{}Of{i}", word.to_lowercase()))),
+            kind: PlantKind::Equivalent,
+            entity_facts: self.random_facts(rng, n),
+            literal_facts: Vec::new(),
+        };
+        self.relations.push(rel);
+    }
+
+    /// A subsumption family: fine relations over a shared subject pool with
+    /// disjoint object segments; the coarse relation is their exact union.
+    fn plant_family(&mut self, config: &PairConfig, rng: &mut StdRng, family: usize) {
+        let fines = config.structures.fines_per_family;
+        let total = self.fact_budget(config, rng) * fines.max(1);
+        // Shared subject pool, deliberately small so subjects appear in
+        // several fine relations (UBS needs contrastive subjects).
+        let pool_size = (total / 3).clamp(8, 200);
+        let mut pool: Vec<u32> = (0..self.n_entities).collect();
+        pool.shuffle(rng);
+        pool.truncate(pool_size);
+
+        // Fact shares: one dominant fine, the rest split evenly.
+        let dom_share = config.dominant_fine_share.clamp(0.0, 1.0);
+        let mut shares = vec![(1.0 - dom_share) / (fines - 1).max(1) as f64; fines];
+        shares[0] = dom_share;
+
+        let mut seen = std::collections::BTreeSet::new();
+        let mut union: Vec<(u32, u32)> = Vec::new();
+        let word = NameForge::word(rng);
+        for (fi, share) in shares.iter().enumerate() {
+            let n_facts = ((total as f64) * share).round().max(4.0) as usize;
+            let mut facts = Vec::with_capacity(n_facts);
+            // Disjoint object segments per fine relation: offset the object
+            // id space so fines never share (s, o) pairs.
+            while facts.len() < n_facts {
+                let subject = pool[rng.gen_range(0..pool.len())];
+                let object = rng.gen_range(0..self.n_entities);
+                // Partition objects by residue class to keep segments
+                // disjoint across fines.
+                let object = object - (object % fines as u32) + fi as u32;
+                let object = object.min(self.n_entities - 1);
+                if object % fines as u32 != fi as u32 {
+                    continue;
+                }
+                if object != subject && seen.insert((subject, object)) {
+                    facts.push((subject, object));
+                }
+            }
+            union.extend(facts.iter().copied());
+            self.relations.push(PlantedRelation {
+                key: format!("fine{family}_{fi}"),
+                kb1_iri: None,
+                kb2_iri: Some(kb2_rel_iri(
+                    &config.kb2.name,
+                    &format!("{}Part{family}x{fi}", word.to_lowercase()),
+                )),
+                kind: PlantKind::Fine { family, dominant: fi == 0 },
+                entity_facts: facts,
+                literal_facts: Vec::new(),
+            });
+        }
+        self.relations.push(PlantedRelation {
+            key: format!("coarse{family}"),
+            kb1_iri: Some(kb1_rel_iri(&config.kb1.name, &format!("created{word}{family}"))),
+            kb2_iri: None,
+            kind: PlantKind::Coarse { family },
+            entity_facts: union,
+            literal_facts: Vec::new(),
+        });
+    }
+
+    /// Overlap trap: `main` (both KBs, equivalent) and `side` (KB2-only)
+    /// sharing pairs with probability ρ plus same-subject different-object
+    /// extras.
+    fn plant_overlap_trap(&mut self, config: &PairConfig, rng: &mut StdRng, i: usize) {
+        let n = self.fact_budget(config, rng);
+        let main_facts = self.random_facts(rng, n);
+        let mut seen: std::collections::BTreeSet<(u32, u32)> =
+            main_facts.iter().copied().collect();
+        let mut side_facts = Vec::new();
+        // ρ-copied pairs: the director who also produces.
+        for &(x, y) in &main_facts {
+            if rng.gen_bool(config.overlap_rho) {
+                side_facts.push((x, y));
+            }
+        }
+        // Same-subject, different-object extras: the producer who is not
+        // the director — UBS's contradiction material.
+        let subjects: Vec<u32> = {
+            let s: std::collections::BTreeSet<u32> = main_facts.iter().map(|&(x, _)| x).collect();
+            s.into_iter().collect()
+        };
+        for &x in &subjects {
+            if rng.gen_bool(0.8) {
+                let y = rng.gen_range(0..self.n_entities);
+                if y != x && seen.insert((x, y)) {
+                    side_facts.push((x, y));
+                }
+            }
+        }
+        let word = NameForge::word(rng);
+        self.relations.push(PlantedRelation {
+            key: format!("ovmain{i}"),
+            kb1_iri: Some(kb1_rel_iri(&config.kb1.name, &format!("directed{word}{i}"))),
+            kb2_iri: Some(kb2_rel_iri(&config.kb2.name, &format!("{}Director{i}", word.to_lowercase()))),
+            kind: PlantKind::OverlapMain,
+            entity_facts: main_facts,
+            literal_facts: Vec::new(),
+        });
+        self.relations.push(PlantedRelation {
+            key: format!("ovside{i}"),
+            kb1_iri: None,
+            kb2_iri: Some(kb2_rel_iri(&config.kb2.name, &format!("{}Producer{i}", word.to_lowercase()))),
+            kind: PlantKind::OverlapSide { main_key: format!("ovmain{i}") },
+            entity_facts: side_facts,
+            literal_facts: Vec::new(),
+        });
+    }
+
+    fn plant_literal_attr(&mut self, config: &PairConfig, rng: &mut StdRng, i: usize) {
+        let n = self.fact_budget(config, rng);
+        let mut subjects: Vec<u32> = (0..self.n_entities).collect();
+        subjects.shuffle(rng);
+        subjects.truncate(n);
+        // Each attribute gets its own value per subject (a motto, an alias,
+        // a place name…): if every literal attribute reused the entity's
+        // display name, distinct attributes would genuinely overlap on
+        // shared subjects and the "equivalent" gold would be wrong.
+        let facts: Vec<(u32, String)> =
+            subjects.into_iter().map(|s| (s, NameForge::full_name(rng))).collect();
+        let word = NameForge::word(rng);
+        self.relations.push(PlantedRelation {
+            key: format!("lit{i}"),
+            kb1_iri: Some(kb1_rel_iri(&config.kb1.name, &format!("label{word}{i}"))),
+            kb2_iri: Some(kb2_rel_iri(&config.kb2.name, &format!("{}Name{i}", word.to_lowercase()))),
+            kind: PlantKind::LiteralAttr,
+            entity_facts: Vec::new(),
+            literal_facts: facts,
+        });
+    }
+
+    fn plant_noise(&mut self, config: &PairConfig, rng: &mut StdRng, i: usize, kb1: bool) {
+        // Noise relations are numerous (DBpedia's long tail); keep them
+        // small so generation stays fast without changing the shape of the
+        // experiments.
+        let n = (self.fact_budget(config, rng) / 3).max(5);
+        let word = NameForge::word(rng);
+        let (kb1_iri, kb2_iri, key) = if kb1 {
+            (Some(kb1_rel_iri(&config.kb1.name, &format!("misc{word}{i}"))), None, format!("noise1_{i}"))
+        } else {
+            (None, Some(kb2_rel_iri(&config.kb2.name, &format!("{}Info{i}", word.to_lowercase()))), format!("noise2_{i}"))
+        };
+        self.relations.push(PlantedRelation {
+            key,
+            kb1_iri,
+            kb2_iri,
+            kind: PlantKind::Noise,
+            entity_facts: self.random_facts(rng, n),
+            literal_facts: Vec::new(),
+        });
+    }
+
+    /// Correlated noise: copies a share of an existing *KB1-materialised*
+    /// relation's pairs, then pads with fresh pairs. Creates exactly the
+    /// moderate-confidence false candidates the SSE baselines fall for.
+    fn plant_correlated_noise(&mut self, config: &PairConfig, rng: &mut StdRng, i: usize) {
+        let targets: Vec<usize> = self
+            .relations
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                r.kb1_iri.is_some()
+                    && !r.is_literal()
+                    && matches!(r.kind, PlantKind::Equivalent | PlantKind::OverlapMain)
+            })
+            .map(|(idx, _)| idx)
+            .collect();
+        if targets.is_empty() {
+            return;
+        }
+        let target_idx = targets[i % targets.len()];
+        let target_key = self.relations[target_idx].key.clone();
+        let target_facts = self.relations[target_idx].entity_facts.clone();
+        let mut seen: std::collections::BTreeSet<(u32, u32)> =
+            target_facts.iter().copied().collect();
+        let mut facts = Vec::new();
+        for &(x, y) in &target_facts {
+            if rng.gen_bool(config.correlated_noise_rho) {
+                facts.push((x, y));
+            }
+        }
+        // Padding on the same subjects with fresh objects, so the copied
+        // share really is a conditional probability rather than a subset.
+        let pad = target_facts.len() - facts.len().min(target_facts.len());
+        for _ in 0..pad {
+            let &(x, _) = &target_facts[rng.gen_range(0..target_facts.len())];
+            let y = rng.gen_range(0..self.n_entities);
+            if y != x && seen.insert((x, y)) {
+                facts.push((x, y));
+            }
+        }
+        let word = NameForge::word(rng);
+        self.relations.push(PlantedRelation {
+            key: format!("cnoise{i}"),
+            kb1_iri: None,
+            kb2_iri: Some(kb2_rel_iri(&config.kb2.name, &format!("{}Link{i}", word.to_lowercase()))),
+            kind: PlantKind::CorrelatedNoise { target_key },
+            entity_facts: facts,
+            literal_facts: Vec::new(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn world(seed: u64) -> (PairConfig, World) {
+        let cfg = PairConfig::tiny(seed);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let w = World::build(&cfg, &mut rng);
+        (cfg, w)
+    }
+
+    #[test]
+    fn relation_counts_match_plan() {
+        let (cfg, w) = world(1);
+        let kb1 = w.relations.iter().filter(|r| r.kb1_iri.is_some()).count();
+        let kb2 = w.relations.iter().filter(|r| r.kb2_iri.is_some()).count();
+        assert_eq!(kb1, cfg.structures.kb1_relations());
+        assert_eq!(kb2, cfg.structures.kb2_relations());
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (_, a) = world(9);
+        let (_, b) = world(9);
+        assert_eq!(a.relations.len(), b.relations.len());
+        for (ra, rb) in a.relations.iter().zip(&b.relations) {
+            assert_eq!(ra.key, rb.key);
+            assert_eq!(ra.entity_facts, rb.entity_facts);
+            assert_eq!(ra.literal_facts, rb.literal_facts);
+        }
+    }
+
+    #[test]
+    fn coarse_is_union_of_fines() {
+        let (_, w) = world(3);
+        let coarse = w.relations.iter().find(|r| r.key == "coarse0").unwrap();
+        let mut fine_union: std::collections::BTreeSet<(u32, u32)> = Default::default();
+        for r in &w.relations {
+            if matches!(r.kind, PlantKind::Fine { family: 0, .. }) {
+                fine_union.extend(r.entity_facts.iter().copied());
+            }
+        }
+        let coarse_set: std::collections::BTreeSet<(u32, u32)> =
+            coarse.entity_facts.iter().copied().collect();
+        assert_eq!(coarse_set, fine_union);
+        // Strictness: every fine is a proper subset.
+        for r in &w.relations {
+            if matches!(r.kind, PlantKind::Fine { family: 0, .. }) {
+                let fine_set: std::collections::BTreeSet<(u32, u32)> =
+                    r.entity_facts.iter().copied().collect();
+                assert!(fine_set.is_subset(&coarse_set));
+                assert!(fine_set.len() < coarse_set.len());
+            }
+        }
+    }
+
+    #[test]
+    fn dominant_fine_owns_majority_share() {
+        let (cfg, w) = world(5);
+        let dominant = w
+            .relations
+            .iter()
+            .find(|r| matches!(r.kind, PlantKind::Fine { family: 0, dominant: true }))
+            .unwrap();
+        let family_total: usize = w
+            .relations
+            .iter()
+            .filter(|r| matches!(r.kind, PlantKind::Fine { family: 0, .. }))
+            .map(|r| r.entity_facts.len())
+            .sum();
+        let share = dominant.entity_facts.len() as f64 / family_total as f64;
+        assert!(share > cfg.dominant_fine_share - 0.2, "share {share}");
+    }
+
+    #[test]
+    fn overlap_side_shares_and_diverges() {
+        let (_, w) = world(7);
+        let main = w.relations.iter().find(|r| r.key == "ovmain0").unwrap();
+        let side = w.relations.iter().find(|r| r.key == "ovside0").unwrap();
+        let main_set: std::collections::BTreeSet<(u32, u32)> =
+            main.entity_facts.iter().copied().collect();
+        let shared = side.entity_facts.iter().filter(|f| main_set.contains(f)).count();
+        let diverging = side.entity_facts.len() - shared;
+        assert!(shared > 0, "side must share pairs with main");
+        assert!(diverging > 0, "side must have contradiction material");
+        // Divergent side facts reuse main subjects (same movie, different
+        // person) — required for contrastive sampling.
+        let main_subjects: std::collections::BTreeSet<u32> =
+            main.entity_facts.iter().map(|&(x, _)| x).collect();
+        assert!(side
+            .entity_facts
+            .iter()
+            .filter(|f| !main_set.contains(*f))
+            .any(|&(x, _)| main_subjects.contains(&x)));
+    }
+
+    #[test]
+    fn literal_attr_has_per_subject_values() {
+        let (_, w) = world(11);
+        let lit = w.relations.iter().find(|r| r.key == "lit0").unwrap();
+        assert!(lit.is_literal());
+        let mut subjects = std::collections::BTreeSet::new();
+        for (s, name) in &lit.literal_facts {
+            assert!(!name.is_empty());
+            assert!(subjects.insert(*s), "one value per subject");
+        }
+    }
+
+    #[test]
+    fn correlated_noise_copies_target_pairs() {
+        let (cfg, w) = world(13);
+        let cn = w.relations.iter().find(|r| r.key == "cnoise0").unwrap();
+        let PlantKind::CorrelatedNoise { target_key } = &cn.kind else {
+            panic!("wrong kind");
+        };
+        let target = w.relations.iter().find(|r| &r.key == target_key).unwrap();
+        let target_set: std::collections::BTreeSet<(u32, u32)> =
+            target.entity_facts.iter().copied().collect();
+        let shared = cn.entity_facts.iter().filter(|f| target_set.contains(f)).count();
+        let ratio = shared as f64 / cn.entity_facts.len() as f64;
+        assert!(shared > 0);
+        assert!(
+            ratio < 0.95,
+            "correlated noise must not be an actual subsumption (ratio {ratio})"
+        );
+        let _ = cfg;
+    }
+
+    #[test]
+    fn facts_have_no_self_loops_or_duplicates() {
+        let (_, w) = world(17);
+        for r in &w.relations {
+            let mut seen = std::collections::BTreeSet::new();
+            for &(s, o) in &r.entity_facts {
+                assert_ne!(s, o, "self loop in {}", r.key);
+                assert!(seen.insert((s, o)), "duplicate fact in {}", r.key);
+                assert!(s < w.n_entities && o < w.n_entities);
+            }
+        }
+    }
+}

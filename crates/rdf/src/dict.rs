@@ -1,0 +1,199 @@
+//! Dictionary encoding of RDF terms.
+//!
+//! Every [`Term`] that enters a store is interned once and afterwards
+//! referred to by a dense [`TermId`] (`u32`). This keeps triples at twelve
+//! bytes and makes joins integer comparisons.
+//!
+//! The hash map uses a small FNV-1a based hasher defined here instead of
+//! SipHash: dictionary keys are not attacker-controlled in this system and
+//! the offline dependency list does not include `rustc-hash`, so we ship the
+//! ~20-line equivalent ourselves (see DESIGN.md §5).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::term::Term;
+
+/// A dense identifier for an interned [`Term`].
+///
+/// Ids are assigned sequentially starting from 0 and are only meaningful
+/// relative to the [`Dict`] that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TermId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// FNV-1a, a tiny non-cryptographic hasher.
+///
+/// Quality is sufficient for interning strings we generate ourselves and it
+/// is markedly faster than SipHash for short keys.
+#[derive(Debug, Default, Clone)]
+pub struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut state = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            state ^= u64::from(b);
+            state = state.wrapping_mul(PRIME);
+        }
+        self.0 = state;
+    }
+}
+
+/// `HashMap` keyed with [`FnvHasher`].
+pub type FnvHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+
+/// A bidirectional Term ⇄ TermId dictionary.
+#[derive(Debug, Default, Clone)]
+pub struct Dict {
+    terms: Vec<Term>,
+    ids: FnvHashMap<Term, TermId>,
+}
+
+impl Dict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Interns a term, returning its id. Idempotent.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow: >4G terms"));
+        self.terms.push(term.clone());
+        self.ids.insert(term.clone(), id);
+        id
+    }
+
+    /// Interns an IRI string.
+    pub fn intern_iri(&mut self, iri: &str) -> TermId {
+        self.intern(&Term::iri(iri))
+    }
+
+    /// Looks up the id of an already-interned term.
+    pub fn lookup(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Looks up the id of an already-interned IRI.
+    pub fn lookup_iri(&self, iri: &str) -> Option<TermId> {
+        self.lookup(&Term::iri(iri))
+    }
+
+    /// Resolves an id back to its term.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by this dictionary.
+    pub fn resolve(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Resolves an id, returning `None` for foreign ids.
+    pub fn try_resolve(&self, id: TermId) -> Option<&Term> {
+        self.terms.get(id.index())
+    }
+
+    /// Iterates over all `(id, term)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms.iter().enumerate().map(|(i, t)| (TermId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dict::new();
+        let a1 = d.intern(&Term::iri("http://x/a"));
+        let a2 = d.intern(&Term::iri("http://x/a"));
+        assert_eq!(a1, a2);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_sequential() {
+        let mut d = Dict::new();
+        let a = d.intern(&Term::iri("a"));
+        let b = d.intern(&Term::iri("b"));
+        let c = d.intern(&Term::literal("b"));
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+    }
+
+    #[test]
+    fn literal_and_iri_with_same_text_are_distinct() {
+        let mut d = Dict::new();
+        let iri = d.intern(&Term::iri("x"));
+        let lit = d.intern(&Term::literal("x"));
+        assert_ne!(iri, lit);
+    }
+
+    #[test]
+    fn resolve_round_trip() {
+        let mut d = Dict::new();
+        let term = Term::lang_literal("hello", "en");
+        let id = d.intern(&term);
+        assert_eq!(d.resolve(id), &term);
+    }
+
+    #[test]
+    fn lookup_missing_is_none() {
+        let d = Dict::new();
+        assert_eq!(d.lookup_iri("nope"), None);
+        assert_eq!(d.try_resolve(TermId(0)), None);
+    }
+
+    #[test]
+    fn iter_covers_all_terms_in_order() {
+        let mut d = Dict::new();
+        d.intern(&Term::iri("a"));
+        d.intern(&Term::iri("b"));
+        let collected: Vec<_> = d.iter().map(|(id, t)| (id.0, t.clone())).collect();
+        assert_eq!(collected, vec![(0, Term::iri("a")), (1, Term::iri("b"))]);
+    }
+
+    #[test]
+    fn fnv_hasher_distinguishes_short_keys() {
+        fn hash(s: &str) -> u64 {
+            let mut h = FnvHasher::default();
+            h.write(s.as_bytes());
+            h.finish()
+        }
+        assert_ne!(hash("a"), hash("b"));
+        assert_ne!(hash("ab"), hash("ba"));
+        assert_eq!(hash("same"), hash("same"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for RDF parsing and store operations.
+
+use std::fmt;
+
+/// Errors raised by the `sofya-rdf` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// An N-Triples line could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A term id did not belong to the store's dictionary.
+    UnknownTermId(u32),
+}
+
+impl RdfError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        RdfError::Parse { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Parse { line, message } => {
+                write!(f, "N-Triples parse error at line {line}: {message}")
+            }
+            RdfError::UnknownTermId(id) => write!(f, "unknown term id #{id}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RdfError::parse(3, "expected '<'");
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("expected '<'"));
+        assert!(RdfError::UnknownTermId(9).to_string().contains("#9"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Inverse-relation materialisation.
+//!
+//! The paper (§2.2) assumes "the inverse relations have been added to the
+//! two KBs", so that mining only needs to consider direct rules: a rule
+//! involving `r⁻` is found as a direct rule over the materialised inverse
+//! predicate. This module implements that preprocessing step.
+//!
+//! The inverse of `<iri>` is named `<iri~inv>`; the suffix is chosen so it
+//! cannot collide with generated vocabulary (generators never emit `~`).
+
+use crate::dict::TermId;
+use crate::store::TripleStore;
+use crate::term::Term;
+
+/// Suffix appended to a predicate IRI to name its inverse.
+pub const INVERSE_SUFFIX: &str = "~inv";
+
+/// Returns the IRI of the inverse of `iri`.
+///
+/// Applying this twice yields the original IRI (involution), so inverses of
+/// inverses do not pile up suffixes.
+pub fn inverse_iri(iri: &str) -> String {
+    match iri.strip_suffix(INVERSE_SUFFIX) {
+        Some(base) => base.to_owned(),
+        None => format!("{iri}{INVERSE_SUFFIX}"),
+    }
+}
+
+/// Whether `iri` names a materialised inverse predicate.
+pub fn is_inverse_iri(iri: &str) -> bool {
+    iri.ends_with(INVERSE_SUFFIX)
+}
+
+/// Materialises `p⁻(o, s)` for every entity–entity triple `p(s, o)` whose
+/// predicate is not itself an inverse.
+///
+/// Triples with literal objects are skipped: a literal cannot be a subject,
+/// so their inverses are not valid RDF. Returns the number of inverse
+/// triples inserted.
+pub fn materialize_inverses(store: &mut TripleStore) -> usize {
+    materialize_inverses_filtered(store, |_| true)
+}
+
+/// Like [`materialize_inverses`], inverting only predicates for which
+/// `keep` returns `true` (used to exclude `sameAs` and other
+/// infrastructure predicates).
+pub fn materialize_inverses_filtered(
+    store: &mut TripleStore,
+    keep: impl Fn(&str) -> bool,
+) -> usize {
+    let triples: Vec<(TermId, TermId, TermId)> = store
+        .iter()
+        .filter_map(|t| {
+            let p_term = store.dict().resolve(t.p);
+            let p_iri = p_term.as_iri()?;
+            if is_inverse_iri(p_iri) || !keep(p_iri) {
+                return None;
+            }
+            if store.dict().resolve(t.o).is_literal() {
+                return None;
+            }
+            Some((t.s, t.p, t.o))
+        })
+        .collect();
+
+    let mut inserted = 0;
+    for (s, p, o) in triples {
+        let p_iri = store
+            .dict()
+            .resolve(p)
+            .as_iri()
+            .expect("filtered to IRI predicates above")
+            .to_owned();
+        let inv = store.intern(&Term::iri(inverse_iri(&p_iri)));
+        if store.insert(o, inv, s) {
+            inserted += 1;
+        }
+    }
+    inserted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_iri_is_an_involution() {
+        assert_eq!(inverse_iri("http://kb/p"), "http://kb/p~inv");
+        assert_eq!(inverse_iri(&inverse_iri("http://kb/p")), "http://kb/p");
+    }
+
+    #[test]
+    fn is_inverse_detects_suffix() {
+        assert!(is_inverse_iri("http://kb/p~inv"));
+        assert!(!is_inverse_iri("http://kb/p"));
+    }
+
+    #[test]
+    fn materializes_entity_entity_inverses() {
+        let mut store = TripleStore::new();
+        store.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"));
+        let added = materialize_inverses(&mut store);
+        assert_eq!(added, 1);
+        let inv = store.dict().lookup_iri("p~inv").unwrap();
+        let (a, b) =
+            (store.dict().lookup_iri("a").unwrap(), store.dict().lookup_iri("b").unwrap());
+        assert!(store.contains(b, inv, a));
+    }
+
+    #[test]
+    fn skips_literal_objects() {
+        let mut store = TripleStore::new();
+        store.insert_terms(&Term::iri("a"), &Term::iri("name"), &Term::literal("Alice"));
+        assert_eq!(materialize_inverses(&mut store), 0);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn filtered_variant_skips_excluded_predicates() {
+        let mut store = TripleStore::new();
+        store.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"));
+        store.insert_terms(&Term::iri("a"), &Term::iri("sameAs"), &Term::iri("b"));
+        let added = materialize_inverses_filtered(&mut store, |iri| iri != "sameAs");
+        assert_eq!(added, 1);
+        assert!(store.dict().lookup_iri("sameAs~inv").is_none());
+    }
+
+    #[test]
+    fn idempotent_on_second_run() {
+        let mut store = TripleStore::new();
+        store.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"));
+        store.insert_terms(&Term::iri("b"), &Term::iri("q"), &Term::iri("c"));
+        assert_eq!(materialize_inverses(&mut store), 2);
+        // Second run adds nothing: inverses are skipped as sources and the
+        // forward triples' inverses already exist.
+        assert_eq!(materialize_inverses(&mut store), 0);
+        assert_eq!(store.len(), 4);
+    }
+}

@@ -1,0 +1,54 @@
+//! # sofya-rdf
+//!
+//! An in-memory, dictionary-encoded RDF triple store.
+//!
+//! This crate is the storage substrate for the SOFYA relation-alignment
+//! system (Koutraki, Preda, Vodislav — EDBT 2016). SOFYA assumes each
+//! knowledge base is reachable only through a SPARQL endpoint; the endpoint
+//! in this reproduction is backed by the [`TripleStore`] defined here.
+//!
+//! ## Design
+//!
+//! * RDF terms ([`Term`]) are interned into `u32` identifiers by a
+//!   [`Dict`] so triples are three machine words and join keys compare as
+//!   integers.
+//! * The store keeps three sorted permutation indexes (SPO, POS, OSP) so
+//!   every triple-pattern shape resolves to a contiguous range scan.
+//! * A small N-Triples subset parser/serialiser ([`ntriples`]) provides
+//!   durable text I/O for fixtures and examples.
+//! * [`stats`] computes the per-predicate statistics (fact counts,
+//!   functionality) used by SOFYA's candidate pruning and the SPARQL
+//!   engine's join ordering.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sofya_rdf::{Term, TripleStore};
+//!
+//! let mut store = TripleStore::new();
+//! store.insert_terms(
+//!     &Term::iri("http://kb/Frank_Sinatra"),
+//!     &Term::iri("http://kb/wasBornIn"),
+//!     &Term::iri("http://kb/USA"),
+//! );
+//! let born_in = store.dict().lookup_iri("http://kb/wasBornIn").unwrap();
+//! assert_eq!(store.triples_with_predicate(born_in).count(), 1);
+//! ```
+
+pub mod dict;
+pub mod error;
+pub mod inverse;
+pub mod ntriples;
+pub mod stats;
+pub mod store;
+pub mod term;
+pub mod triple;
+
+pub use dict::{Dict, TermId};
+pub use error::RdfError;
+pub use inverse::{inverse_iri, is_inverse_iri, materialize_inverses, materialize_inverses_filtered};
+pub use ntriples::{parse_ntriples, write_ntriples};
+pub use stats::{PredicateStats, StoreStats};
+pub use store::TripleStore;
+pub use term::Term;
+pub use triple::{Triple, TriplePattern};

@@ -1,0 +1,185 @@
+//! Per-predicate and store-level statistics.
+//!
+//! SOFYA's candidate pruning and the SPARQL engine's join ordering both
+//! need cheap cardinality estimates: how many facts a predicate has, how
+//! many distinct subjects/objects, and its *functionality* (the AMIE
+//! measure: #distinct subjects / #facts — 1.0 means the relation maps each
+//! subject to a single object).
+
+use std::collections::BTreeMap;
+
+use crate::dict::TermId;
+use crate::store::TripleStore;
+
+/// Statistics for a single predicate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredicateStats {
+    /// The predicate's term id.
+    pub predicate: TermId,
+    /// Total number of facts `p(x, y)`.
+    pub facts: usize,
+    /// Number of distinct subjects.
+    pub distinct_subjects: usize,
+    /// Number of distinct objects.
+    pub distinct_objects: usize,
+    /// Fraction of facts whose object is a literal.
+    pub literal_object_ratio: f64,
+}
+
+impl PredicateStats {
+    /// AMIE functionality: `distinct_subjects / facts` (0 for empty relations).
+    pub fn functionality(&self) -> f64 {
+        if self.facts == 0 {
+            0.0
+        } else {
+            self.distinct_subjects as f64 / self.facts as f64
+        }
+    }
+
+    /// Inverse functionality: `distinct_objects / facts`.
+    pub fn inverse_functionality(&self) -> f64 {
+        if self.facts == 0 {
+            0.0
+        } else {
+            self.distinct_objects as f64 / self.facts as f64
+        }
+    }
+
+    /// Whether the relation is predominantly entity→literal.
+    pub fn is_literal_relation(&self) -> bool {
+        self.literal_object_ratio > 0.5
+    }
+}
+
+/// Statistics for a whole store, keyed by predicate.
+#[derive(Debug, Clone, Default)]
+pub struct StoreStats {
+    by_predicate: BTreeMap<TermId, PredicateStats>,
+    total_triples: usize,
+}
+
+impl StoreStats {
+    /// Computes statistics for every predicate in `store` in one pass per
+    /// predicate range (POS index order).
+    pub fn compute(store: &TripleStore) -> Self {
+        let mut by_predicate = BTreeMap::new();
+        for p in store.predicates() {
+            let mut facts = 0usize;
+            let mut literal_objects = 0usize;
+            let mut subjects = std::collections::BTreeSet::new();
+            let mut objects = std::collections::BTreeSet::new();
+            for t in store.triples_with_predicate(p) {
+                facts += 1;
+                subjects.insert(t.s);
+                objects.insert(t.o);
+                if store.dict().resolve(t.o).is_literal() {
+                    literal_objects += 1;
+                }
+            }
+            by_predicate.insert(
+                p,
+                PredicateStats {
+                    predicate: p,
+                    facts,
+                    distinct_subjects: subjects.len(),
+                    distinct_objects: objects.len(),
+                    literal_object_ratio: if facts == 0 {
+                        0.0
+                    } else {
+                        literal_objects as f64 / facts as f64
+                    },
+                },
+            );
+        }
+        Self { by_predicate, total_triples: store.len() }
+    }
+
+    /// Stats for one predicate, if present.
+    pub fn get(&self, p: TermId) -> Option<&PredicateStats> {
+        self.by_predicate.get(&p)
+    }
+
+    /// Iterates over all predicate stats in predicate-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &PredicateStats> {
+        self.by_predicate.values()
+    }
+
+    /// Number of distinct predicates.
+    pub fn predicate_count(&self) -> usize {
+        self.by_predicate.len()
+    }
+
+    /// Total triples in the store at computation time.
+    pub fn total_triples(&self) -> usize {
+        self.total_triples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn sample_store() -> TripleStore {
+        let mut s = TripleStore::new();
+        // p: 3 facts, 2 subjects, 3 objects, all entities.
+        s.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::iri("x"));
+        s.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::iri("y"));
+        s.insert_terms(&Term::iri("b"), &Term::iri("p"), &Term::iri("z"));
+        // name: 2 facts, literal objects.
+        s.insert_terms(&Term::iri("a"), &Term::iri("name"), &Term::literal("Alice"));
+        s.insert_terms(&Term::iri("b"), &Term::iri("name"), &Term::literal("Bob"));
+        s
+    }
+
+    #[test]
+    fn counts_are_correct() {
+        let store = sample_store();
+        let stats = StoreStats::compute(&store);
+        assert_eq!(stats.predicate_count(), 2);
+        assert_eq!(stats.total_triples(), 5);
+
+        let p = store.dict().lookup_iri("p").unwrap();
+        let ps = stats.get(p).unwrap();
+        assert_eq!(ps.facts, 3);
+        assert_eq!(ps.distinct_subjects, 2);
+        assert_eq!(ps.distinct_objects, 3);
+        assert_eq!(ps.literal_object_ratio, 0.0);
+        assert!(!ps.is_literal_relation());
+    }
+
+    #[test]
+    fn functionality_measures() {
+        let store = sample_store();
+        let stats = StoreStats::compute(&store);
+        let p = store.dict().lookup_iri("p").unwrap();
+        let ps = stats.get(p).unwrap();
+        assert!((ps.functionality() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((ps.inverse_functionality() - 1.0).abs() < 1e-12);
+
+        let name = store.dict().lookup_iri("name").unwrap();
+        let ns = stats.get(name).unwrap();
+        assert_eq!(ns.functionality(), 1.0);
+        assert!(ns.is_literal_relation());
+    }
+
+    #[test]
+    fn empty_relation_yields_zero_functionality() {
+        let ps = PredicateStats {
+            predicate: TermId(0),
+            facts: 0,
+            distinct_subjects: 0,
+            distinct_objects: 0,
+            literal_object_ratio: 0.0,
+        };
+        assert_eq!(ps.functionality(), 0.0);
+        assert_eq!(ps.inverse_functionality(), 0.0);
+    }
+
+    #[test]
+    fn missing_predicate_is_none() {
+        let stats = StoreStats::compute(&TripleStore::new());
+        assert!(stats.get(TermId(0)).is_none());
+        assert_eq!(stats.predicate_count(), 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! The in-memory triple store with three permutation indexes.
+
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+use crate::dict::{Dict, TermId};
+use crate::term::Term;
+use crate::triple::{Triple, TriplePattern};
+
+type Key = (u32, u32, u32);
+
+/// An in-memory, dictionary-encoded triple store.
+///
+/// Three sorted permutation indexes (SPO, POS, OSP) guarantee that any
+/// triple pattern with at least one bound position is answered by a
+/// contiguous range scan; the fully-unbound pattern scans SPO.
+///
+/// The store is append-only (plus [`TripleStore::remove`]) and
+/// single-writer; the endpoint layer wraps it for shared access.
+#[derive(Debug, Default, Clone)]
+pub struct TripleStore {
+    dict: Dict,
+    spo: BTreeSet<Key>,
+    pos: BTreeSet<Key>,
+    osp: BTreeSet<Key>,
+}
+
+/// Builds the `(Bound, Bound)` range covering all keys with prefix `a`
+/// (and optionally `a, b`).
+fn prefix_range(a: u32, b: Option<u32>) -> (Bound<Key>, Bound<Key>) {
+    match b {
+        None => {
+            let lo = Bound::Included((a, 0, 0));
+            let hi = if a == u32::MAX {
+                Bound::Unbounded
+            } else {
+                Bound::Excluded((a + 1, 0, 0))
+            };
+            (lo, hi)
+        }
+        Some(b) => {
+            let lo = Bound::Included((a, b, 0));
+            let hi = if b == u32::MAX {
+                if a == u32::MAX {
+                    Bound::Unbounded
+                } else {
+                    Bound::Excluded((a + 1, 0, 0))
+                }
+            } else {
+                Bound::Excluded((a, b + 1, 0))
+            };
+            (lo, hi)
+        }
+    }
+}
+
+impl TripleStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The term dictionary.
+    pub fn dict(&self) -> &Dict {
+        &self.dict
+    }
+
+    /// Mutable access to the dictionary (to pre-intern vocabulary).
+    pub fn dict_mut(&mut self) -> &mut Dict {
+        &mut self.dict
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Whether the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Interns a term in this store's dictionary.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        self.dict.intern(term)
+    }
+
+    /// Inserts an encoded triple. Returns `false` if it was already present.
+    pub fn insert(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        let fresh = self.spo.insert((s.0, p.0, o.0));
+        if fresh {
+            self.pos.insert((p.0, o.0, s.0));
+            self.osp.insert((o.0, s.0, p.0));
+        }
+        fresh
+    }
+
+    /// Interns the three terms and inserts the triple.
+    pub fn insert_terms(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        let s = self.dict.intern(s);
+        let p = self.dict.intern(p);
+        let o = self.dict.intern(o);
+        self.insert(s, p, o)
+    }
+
+    /// Removes a triple. Returns `true` if it was present.
+    pub fn remove(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        let was = self.spo.remove(&(s.0, p.0, o.0));
+        if was {
+            self.pos.remove(&(p.0, o.0, s.0));
+            self.osp.remove(&(o.0, s.0, p.0));
+        }
+        was
+    }
+
+    /// Existence probe for a fully-bound triple.
+    pub fn contains(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        self.spo.contains(&(s.0, p.0, o.0))
+    }
+
+    /// Scans all triples matching `pattern`.
+    ///
+    /// Index selection:
+    /// * subject bound → SPO (prefix `s` or `s,p`),
+    /// * else predicate bound → POS (prefix `p` or `p,o`),
+    /// * else object bound → OSP (prefix `o`),
+    /// * nothing bound → full SPO scan.
+    pub fn scan(&self, pattern: TriplePattern) -> Box<dyn Iterator<Item = Triple> + '_> {
+        let TriplePattern { s, p, o } = pattern;
+        match (s, p, o) {
+            (Some(s), p, o) => {
+                let range = prefix_range(s.0, p.map(|p| p.0));
+                Box::new(self.spo.range(range).filter_map(move |&(ks, kp, ko)| {
+                    let t = Triple::new(TermId(ks), TermId(kp), TermId(ko));
+                    (o.is_none_or(|o| o.0 == ko)).then_some(t)
+                }))
+            }
+            (None, Some(p), o) => {
+                let range = prefix_range(p.0, o.map(|o| o.0));
+                Box::new(
+                    self.pos
+                        .range(range)
+                        .map(|&(kp, ko, ks)| Triple::new(TermId(ks), TermId(kp), TermId(ko))),
+                )
+            }
+            (None, None, Some(o)) => {
+                let range = prefix_range(o.0, None);
+                Box::new(
+                    self.osp
+                        .range(range)
+                        .map(|&(ko, ks, kp)| Triple::new(TermId(ks), TermId(kp), TermId(ko))),
+                )
+            }
+            (None, None, None) => Box::new(
+                self.spo.iter().map(|&(ks, kp, ko)| Triple::new(TermId(ks), TermId(kp), TermId(ko))),
+            ),
+        }
+    }
+
+    /// Number of triples matching `pattern` (computed by scanning).
+    pub fn count(&self, pattern: TriplePattern) -> usize {
+        self.scan(pattern).count()
+    }
+
+    /// All triples with predicate `p`.
+    pub fn triples_with_predicate(&self, p: TermId) -> impl Iterator<Item = Triple> + '_ {
+        self.scan(TriplePattern::with_p(p))
+    }
+
+    /// All triples with subject `s`.
+    pub fn triples_with_subject(&self, s: TermId) -> impl Iterator<Item = Triple> + '_ {
+        self.scan(TriplePattern::with_s(s))
+    }
+
+    /// All triples with object `o`.
+    pub fn triples_with_object(&self, o: TermId) -> impl Iterator<Item = Triple> + '_ {
+        self.scan(TriplePattern::with_o(o))
+    }
+
+    /// The distinct predicates in the store, ascending by id.
+    pub fn predicates(&self) -> Vec<TermId> {
+        let mut out = Vec::new();
+        let mut last: Option<u32> = None;
+        for &(p, _, _) in &self.pos {
+            if last != Some(p) {
+                out.push(TermId(p));
+                last = Some(p);
+            }
+        }
+        out
+    }
+
+    /// Distinct subjects of predicate `p`, ascending by id.
+    pub fn subjects_of(&self, p: TermId) -> Vec<TermId> {
+        let subjects: BTreeSet<u32> = self.triples_with_predicate(p).map(|t| t.s.0).collect();
+        subjects.into_iter().map(TermId).collect()
+    }
+
+    /// Distinct objects of predicate `p`, ascending by id.
+    pub fn objects_of(&self, p: TermId) -> Vec<TermId> {
+        let objects: BTreeSet<u32> = self.triples_with_predicate(p).map(|t| t.o.0).collect();
+        objects.into_iter().map(TermId).collect()
+    }
+
+    /// Objects `y` with `p(x, y)` for the given subject.
+    pub fn objects_for(&self, s: TermId, p: TermId) -> Vec<TermId> {
+        self.scan(TriplePattern::with_sp(s, p)).map(|t| t.o).collect()
+    }
+
+    /// Subjects `x` with `p(x, y)` for the given object.
+    pub fn subjects_for(&self, p: TermId, o: TermId) -> Vec<TermId> {
+        self.scan(TriplePattern::with_po(p, o)).map(|t| t.s).collect()
+    }
+
+    /// Distinct predicates `p` such that `p(s, ·)` exists.
+    pub fn predicates_of_subject(&self, s: TermId) -> Vec<TermId> {
+        let preds: BTreeSet<u32> = self.triples_with_subject(s).map(|t| t.p.0).collect();
+        preds.into_iter().map(TermId).collect()
+    }
+
+    /// Resolves a triple back to terms (for display / serialisation).
+    pub fn resolve(&self, t: Triple) -> (&Term, &Term, &Term) {
+        (self.dict.resolve(t.s), self.dict.resolve(t.p), self.dict.resolve(t.o))
+    }
+
+    /// Iterates over all triples in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.scan(TriplePattern::any())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(facts: &[(&str, &str, &str)]) -> TripleStore {
+        let mut s = TripleStore::new();
+        for (a, b, c) in facts {
+            s.insert_terms(&Term::iri(*a), &Term::iri(*b), &Term::iri(*c));
+        }
+        s
+    }
+
+    #[test]
+    fn insert_is_deduplicating() {
+        let mut s = TripleStore::new();
+        assert!(s.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::iri("b")));
+        assert!(!s.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::iri("b")));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn remove_updates_all_indexes() {
+        let mut s = store_with(&[("a", "p", "b")]);
+        let (a, p, b) = (
+            s.dict().lookup_iri("a").unwrap(),
+            s.dict().lookup_iri("p").unwrap(),
+            s.dict().lookup_iri("b").unwrap(),
+        );
+        assert!(s.remove(a, p, b));
+        assert!(!s.remove(a, p, b));
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.count(TriplePattern::with_p(p)), 0);
+        assert_eq!(s.count(TriplePattern::with_o(b)), 0);
+    }
+
+    #[test]
+    fn scan_each_pattern_shape_agrees_with_filtering() {
+        let s = store_with(&[
+            ("a", "p", "b"),
+            ("a", "p", "c"),
+            ("a", "q", "b"),
+            ("b", "p", "c"),
+            ("c", "q", "a"),
+        ]);
+        let ids: Vec<TermId> = ["a", "b", "c", "p", "q"]
+            .iter()
+            .map(|n| s.dict().lookup_iri(n).unwrap())
+            .collect();
+        let (a, b, c, p, q) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+
+        let all: Vec<Triple> = s.iter().collect();
+        let shapes = vec![
+            TriplePattern::any(),
+            TriplePattern::with_s(a),
+            TriplePattern::with_p(p),
+            TriplePattern::with_o(b),
+            TriplePattern::with_sp(a, p),
+            TriplePattern::with_po(q, b),
+            TriplePattern::with_so(a, c),
+            TriplePattern::exact(b, p, c),
+            TriplePattern::exact(b, p, b),
+        ];
+        for pat in shapes {
+            let scanned: BTreeSet<Triple> = s.scan(pat).collect();
+            let filtered: BTreeSet<Triple> =
+                all.iter().copied().filter(|t| pat.matches(t)).collect();
+            assert_eq!(scanned, filtered, "pattern {pat:?}");
+        }
+        let _ = c;
+    }
+
+    #[test]
+    fn predicates_are_distinct_and_sorted() {
+        let s = store_with(&[("a", "p", "b"), ("b", "p", "c"), ("a", "q", "b")]);
+        let preds = s.predicates();
+        assert_eq!(preds.len(), 2);
+        assert!(preds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn subjects_objects_helpers() {
+        let s = store_with(&[("a", "p", "b"), ("a", "p", "c"), ("b", "p", "c"), ("a", "q", "d")]);
+        let p = s.dict().lookup_iri("p").unwrap();
+        let a = s.dict().lookup_iri("a").unwrap();
+        assert_eq!(s.subjects_of(p).len(), 2);
+        assert_eq!(s.objects_of(p).len(), 2);
+        assert_eq!(s.objects_for(a, p).len(), 2);
+        assert_eq!(s.predicates_of_subject(a).len(), 2);
+    }
+
+    #[test]
+    fn contains_probe() {
+        let s = store_with(&[("a", "p", "b")]);
+        let (a, p, b) = (
+            s.dict().lookup_iri("a").unwrap(),
+            s.dict().lookup_iri("p").unwrap(),
+            s.dict().lookup_iri("b").unwrap(),
+        );
+        assert!(s.contains(a, p, b));
+        assert!(!s.contains(b, p, a));
+    }
+
+    #[test]
+    fn prefix_range_handles_max_ids() {
+        // Regression guard for overflow at u32::MAX boundaries.
+        let (lo, hi) = prefix_range(u32::MAX, None);
+        assert_eq!(lo, Bound::Included((u32::MAX, 0, 0)));
+        assert_eq!(hi, Bound::Unbounded);
+        let (_, hi) = prefix_range(u32::MAX, Some(u32::MAX));
+        assert_eq!(hi, Bound::Unbounded);
+        let (_, hi) = prefix_range(3, Some(u32::MAX));
+        assert_eq!(hi, Bound::Excluded((4, 0, 0)));
+    }
+
+    #[test]
+    fn resolve_round_trips_terms() {
+        let mut s = TripleStore::new();
+        s.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::literal("v"));
+        let t = s.iter().next().unwrap();
+        let (a, p, v) = s.resolve(t);
+        assert_eq!(a, &Term::iri("a"));
+        assert_eq!(p, &Term::iri("p"));
+        assert_eq!(v, &Term::literal("v"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Encoded triples and triple patterns.
+
+use crate::dict::TermId;
+
+/// A dictionary-encoded RDF triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject term id.
+    pub s: TermId,
+    /// Predicate term id.
+    pub p: TermId,
+    /// Object term id.
+    pub o: TermId,
+}
+
+impl Triple {
+    /// Builds a triple from its three components.
+    pub fn new(s: TermId, p: TermId, o: TermId) -> Self {
+        Self { s, p, o }
+    }
+}
+
+/// A triple pattern: each position is either bound to a term id or a
+/// wildcard (`None`).
+///
+/// Patterns drive the store's index selection: the set of bound positions
+/// determines which permutation index gives a contiguous range scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TriplePattern {
+    /// Subject constraint.
+    pub s: Option<TermId>,
+    /// Predicate constraint.
+    pub p: Option<TermId>,
+    /// Object constraint.
+    pub o: Option<TermId>,
+}
+
+impl TriplePattern {
+    /// The fully unbound pattern, matching every triple.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Pattern with only the subject bound.
+    pub fn with_s(s: TermId) -> Self {
+        Self { s: Some(s), ..Self::default() }
+    }
+
+    /// Pattern with only the predicate bound.
+    pub fn with_p(p: TermId) -> Self {
+        Self { p: Some(p), ..Self::default() }
+    }
+
+    /// Pattern with only the object bound.
+    pub fn with_o(o: TermId) -> Self {
+        Self { o: Some(o), ..Self::default() }
+    }
+
+    /// Pattern with subject and predicate bound.
+    pub fn with_sp(s: TermId, p: TermId) -> Self {
+        Self { s: Some(s), p: Some(p), o: None }
+    }
+
+    /// Pattern with predicate and object bound.
+    pub fn with_po(p: TermId, o: TermId) -> Self {
+        Self { s: None, p: Some(p), o: Some(o) }
+    }
+
+    /// Pattern with subject and object bound.
+    pub fn with_so(s: TermId, o: TermId) -> Self {
+        Self { s: Some(s), p: None, o: Some(o) }
+    }
+
+    /// Fully-bound pattern (an existence probe).
+    pub fn exact(s: TermId, p: TermId, o: TermId) -> Self {
+        Self { s: Some(s), p: Some(p), o: Some(o) }
+    }
+
+    /// Number of bound positions (0–3).
+    pub fn bound_count(&self) -> usize {
+        usize::from(self.s.is_some()) + usize::from(self.p.is_some()) + usize::from(self.o.is_some())
+    }
+
+    /// Whether `t` satisfies every bound position of the pattern.
+    pub fn matches(&self, t: &Triple) -> bool {
+        self.s.is_none_or(|s| s == t.s)
+            && self.p.is_none_or(|p| p == t.p)
+            && self.o.is_none_or(|o| o == t.o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> TermId {
+        TermId(n)
+    }
+
+    #[test]
+    fn bound_count_for_each_shape() {
+        assert_eq!(TriplePattern::any().bound_count(), 0);
+        assert_eq!(TriplePattern::with_p(id(1)).bound_count(), 1);
+        assert_eq!(TriplePattern::with_sp(id(1), id(2)).bound_count(), 2);
+        assert_eq!(TriplePattern::exact(id(1), id(2), id(3)).bound_count(), 3);
+    }
+
+    #[test]
+    fn matches_respects_every_bound_position() {
+        let t = Triple::new(id(1), id(2), id(3));
+        assert!(TriplePattern::any().matches(&t));
+        assert!(TriplePattern::with_sp(id(1), id(2)).matches(&t));
+        assert!(!TriplePattern::with_sp(id(1), id(9)).matches(&t));
+        assert!(TriplePattern::exact(id(1), id(2), id(3)).matches(&t));
+        assert!(!TriplePattern::exact(id(1), id(2), id(4)).matches(&t));
+        assert!(TriplePattern::with_so(id(1), id(3)).matches(&t));
+        assert!(!TriplePattern::with_o(id(1)).matches(&t));
+    }
+
+    #[test]
+    fn triple_ordering_is_spo_lexicographic() {
+        let a = Triple::new(id(1), id(1), id(2));
+        let b = Triple::new(id(1), id(2), id(1));
+        let c = Triple::new(id(2), id(0), id(0));
+        assert!(a < b && b < c);
+    }
+}

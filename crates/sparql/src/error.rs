@@ -1,0 +1,68 @@
+//! Error type for SPARQL parsing and evaluation.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing, planning, or evaluating a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlError {
+    /// Lexical error: unexpected character or unterminated token.
+    Lex {
+        /// Byte offset into the query string.
+        offset: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Syntax error during parsing.
+    Parse {
+        /// Human-readable description, including what was expected.
+        message: String,
+    },
+    /// Semantic / evaluation error (e.g. type error in a FILTER).
+    Eval {
+        /// Description of the failure.
+        message: String,
+    },
+}
+
+impl SparqlError {
+    /// Constructs a lexical error.
+    pub fn lex(offset: usize, message: impl Into<String>) -> Self {
+        SparqlError::Lex { offset, message: message.into() }
+    }
+
+    /// Constructs a parse error.
+    pub fn parse(message: impl Into<String>) -> Self {
+        SparqlError::Parse { message: message.into() }
+    }
+
+    /// Constructs an evaluation error.
+    pub fn eval(message: impl Into<String>) -> Self {
+        SparqlError::Eval { message: message.into() }
+    }
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Lex { offset, message } => {
+                write!(f, "SPARQL lexical error at byte {offset}: {message}")
+            }
+            SparqlError::Parse { message } => write!(f, "SPARQL syntax error: {message}"),
+            SparqlError::Eval { message } => write!(f, "SPARQL evaluation error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SparqlError::lex(4, "bad char").to_string().contains("byte 4"));
+        assert!(SparqlError::parse("expected WHERE").to_string().contains("syntax"));
+        assert!(SparqlError::eval("type error").to_string().contains("evaluation"));
+    }
+}

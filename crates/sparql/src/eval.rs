@@ -1,0 +1,711 @@
+//! Query evaluation: index nested-loop joins over the planned BGP.
+
+use crate::ast::{Builtin, Projection, Query, SelectQuery};
+use crate::error::SparqlError;
+use crate::parser::parse_query;
+use crate::plan::{GroupPlan, PExpr, Slot};
+use crate::solution::ResultSet;
+use crate::value::Value;
+use sofya_rdf::{Term, TermId, TriplePattern, TripleStore};
+
+/// The outcome of executing an arbitrary query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// Rows from a `SELECT`.
+    Solutions(ResultSet),
+    /// Answer of an `ASK`.
+    Boolean(bool),
+}
+
+/// Parses and executes any supported query.
+pub fn execute_query(store: &TripleStore, query: &str) -> Result<QueryOutcome, SparqlError> {
+    match parse_query(query)? {
+        Query::Select(select) => Ok(QueryOutcome::Solutions(execute_select(store, &select)?)),
+        Query::Ask(pattern) => {
+            let plan = GroupPlan::build(store, &pattern, &[]);
+            Ok(QueryOutcome::Boolean(any_solution(store, &plan, None)?))
+        }
+    }
+}
+
+/// Parses and executes a `SELECT` query.
+pub fn execute(store: &TripleStore, query: &str) -> Result<ResultSet, SparqlError> {
+    match execute_query(store, query)? {
+        QueryOutcome::Solutions(rs) => Ok(rs),
+        QueryOutcome::Boolean(_) => {
+            Err(SparqlError::eval("expected a SELECT query, found ASK"))
+        }
+    }
+}
+
+/// Parses and executes an `ASK` query.
+pub fn execute_ask(store: &TripleStore, query: &str) -> Result<bool, SparqlError> {
+    match execute_query(store, query)? {
+        QueryOutcome::Boolean(b) => Ok(b),
+        QueryOutcome::Solutions(_) => {
+            Err(SparqlError::eval("expected an ASK query, found SELECT"))
+        }
+    }
+}
+
+/// Executes a parsed `SELECT` query.
+pub fn execute_select(store: &TripleStore, query: &SelectQuery) -> Result<ResultSet, SparqlError> {
+    let plan = GroupPlan::build(store, &query.pattern, &[]);
+
+    // Early-stop hint: when no DISTINCT / ORDER BY / aggregation /
+    // subgroup is in play, we only ever need offset+limit raw rows.
+    let early_stop = if !query.distinct
+        && query.order_by.is_empty()
+        && !plan.has_subgroups()
+        && !matches!(query.projection, Projection::Count { .. })
+    {
+        query.limit.map(|l| l.saturating_add(query.offset.unwrap_or(0)))
+    } else {
+        None
+    };
+
+    let binding = vec![None; plan.var_names.len()];
+    let bindings = eval_group(store, &plan, binding, early_stop)?;
+
+    // Aggregation short-circuits projection.
+    if let Projection::Count { var, distinct, alias } = &query.projection {
+        let count = match var {
+            None => bindings.len(),
+            Some(v) => {
+                let idx = plan
+                    .var_names
+                    .iter()
+                    .position(|name| name == v)
+                    .ok_or_else(|| SparqlError::eval(format!("COUNT of unknown variable ?{v}")))?;
+                let values = bindings.iter().filter_map(|b| b[idx]);
+                if *distinct {
+                    let set: std::collections::BTreeSet<TermId> = values.collect();
+                    set.len()
+                } else {
+                    values.count()
+                }
+            }
+        };
+        return Ok(ResultSet::new(
+            vec![alias.clone()],
+            vec![vec![Some(Term::integer(count as i64))]],
+        ));
+    }
+
+    // Projection.
+    let projected_vars: Vec<String> = match &query.projection {
+        Projection::Star => plan.var_names.clone(),
+        Projection::Vars(vars) => vars.clone(),
+        Projection::Count { .. } => unreachable!("handled above"),
+    };
+    let col_indices: Vec<Option<usize>> = projected_vars
+        .iter()
+        .map(|v| plan.var_names.iter().position(|name| name == v))
+        .collect();
+
+    let mut rows: Vec<Vec<Option<Term>>> = bindings
+        .iter()
+        .map(|b| {
+            col_indices
+                .iter()
+                .map(|ci| ci.and_then(|i| b[i]).map(|id| store.dict().resolve(id).clone()))
+                .collect()
+        })
+        .collect();
+
+    if query.distinct {
+        let mut seen = std::collections::BTreeSet::new();
+        rows.retain(|row| {
+            let key: Vec<String> =
+                row.iter().map(|c| c.as_ref().map(|t| t.to_string()).unwrap_or_default()).collect();
+            seen.insert(key)
+        });
+    }
+
+    if !query.order_by.is_empty() {
+        let key_indices: Vec<(usize, bool)> = query
+            .order_by
+            .iter()
+            .filter_map(|k| {
+                projected_vars.iter().position(|v| v == &k.var).map(|i| (i, k.descending))
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            for &(i, desc) in &key_indices {
+                let ord = a[i].cmp(&b[i]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    let offset = query.offset.unwrap_or(0);
+    let rows: Vec<_> = rows
+        .into_iter()
+        .skip(offset)
+        .take(query.limit.unwrap_or(usize::MAX))
+        .collect();
+
+    Ok(ResultSet::new(projected_vars, rows))
+}
+
+/// Whether the plan admits at least one solution (used by ASK and EXISTS).
+fn any_solution(
+    store: &TripleStore,
+    plan: &GroupPlan,
+    seed: Option<&[Option<TermId>]>,
+) -> Result<bool, SparqlError> {
+    let mut binding = vec![None; plan.var_names.len()];
+    if let Some(seed) = seed {
+        binding[..seed.len()].copy_from_slice(seed);
+    }
+    let early_stop = if plan.has_subgroups() { None } else { Some(1) };
+    let out = eval_group(store, plan, binding, early_stop)?;
+    Ok(!out.is_empty())
+}
+
+/// Evaluates a full group: basic pattern join, then `UNION` blocks, then
+/// `OPTIONAL` left-joins, then the group's post-filters.
+fn eval_group(
+    store: &TripleStore,
+    plan: &GroupPlan,
+    seed: Vec<Option<TermId>>,
+    early_stop: Option<usize>,
+) -> Result<Vec<Vec<Option<TermId>>>, SparqlError> {
+    let mut solutions = Vec::new();
+    let mut binding = seed;
+    collect_solutions(store, plan, 0, &mut binding, early_stop, &mut solutions)?;
+
+    for block in &plan.unions {
+        let mut next = Vec::new();
+        for solution in &solutions {
+            for branch in block {
+                // Branch plans share the parent's variable table as a
+                // prefix; the branch may bind additional variables.
+                let mut seed = solution.clone();
+                seed.resize(branch.var_names.len(), None);
+                next.extend(eval_group(store, branch, seed, None)?);
+            }
+        }
+        solutions = next;
+    }
+
+    for optional in &plan.optionals {
+        let mut next = Vec::new();
+        for solution in &solutions {
+            let mut seed = solution.clone();
+            seed.resize(optional.var_names.len(), None);
+            let extended = eval_group(store, optional, seed, None)?;
+            if extended.is_empty() {
+                next.push(solution.clone());
+            } else {
+                next.extend(extended);
+            }
+        }
+        solutions = next;
+    }
+
+    if !plan.post_filters.is_empty() {
+        let mut kept = Vec::with_capacity(solutions.len());
+        for solution in solutions {
+            let mut pass = true;
+            for filter in &plan.post_filters {
+                if !filter_passes(store, filter, &solution)? {
+                    pass = false;
+                    break;
+                }
+            }
+            if pass {
+                kept.push(solution);
+            }
+        }
+        solutions = kept;
+    }
+
+    // Sub-group bindings may be longer than the parent's table when
+    // branches introduced EXISTS-local variables; truncate to the
+    // parent's width so all rows agree.
+    for solution in &mut solutions {
+        solution.truncate(plan.var_names.len());
+        solution.resize(plan.var_names.len(), None);
+    }
+    Ok(solutions)
+}
+
+/// Recursive index nested-loop join.
+fn collect_solutions(
+    store: &TripleStore,
+    plan: &GroupPlan,
+    level: usize,
+    binding: &mut Vec<Option<TermId>>,
+    early_stop: Option<usize>,
+    out: &mut Vec<Vec<Option<TermId>>>,
+) -> Result<(), SparqlError> {
+    if early_stop.is_some_and(|lim| out.len() >= lim) {
+        return Ok(());
+    }
+    // Filters scheduled at this level.
+    for filter in &plan.filters_at[level] {
+        if !filter_passes(store, filter, binding)? {
+            return Ok(());
+        }
+    }
+    if level == plan.patterns.len() {
+        out.push(binding.clone());
+        return Ok(());
+    }
+
+    let pattern = &plan.patterns[level];
+    if pattern.is_unsatisfiable() {
+        return Ok(());
+    }
+
+    let resolve = |slot: Slot, binding: &[Option<TermId>]| -> Option<TermId> {
+        match slot {
+            Slot::Const(id) => id,
+            Slot::Var(i) => binding[i],
+        }
+    };
+    let scan_pattern = TriplePattern {
+        s: resolve(pattern.s, binding),
+        p: resolve(pattern.p, binding),
+        o: resolve(pattern.o, binding),
+    };
+
+    // Collect candidate triples eagerly per level: the binding vector is
+    // mutated inside the loop, and the scan borrow must end first.
+    let matches: Vec<_> = store.scan(scan_pattern).collect();
+    for triple in matches {
+        let mut touched: [Option<usize>; 3] = [None; 3];
+        if !bind_slot(pattern.s, triple.s, binding, &mut touched[0])
+            || !bind_slot(pattern.p, triple.p, binding, &mut touched[1])
+            || !bind_slot(pattern.o, triple.o, binding, &mut touched[2])
+        {
+            undo(binding, &touched);
+            continue;
+        }
+        collect_solutions(store, plan, level + 1, binding, early_stop, out)?;
+        undo(binding, &touched);
+        if early_stop.is_some_and(|lim| out.len() >= lim) {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Binds a variable slot to `id`, recording the write in `touched`.
+/// Returns `false` on conflict with an existing binding (repeated variable
+/// within one pattern, e.g. `?x <p> ?x`).
+fn bind_slot(
+    slot: Slot,
+    id: TermId,
+    binding: &mut [Option<TermId>],
+    touched: &mut Option<usize>,
+) -> bool {
+    match slot {
+        Slot::Const(_) => true,
+        Slot::Var(i) => match binding[i] {
+            Some(existing) => existing == id,
+            None => {
+                binding[i] = Some(id);
+                *touched = Some(i);
+                true
+            }
+        },
+    }
+}
+
+fn undo(binding: &mut [Option<TermId>], touched: &[Option<usize>; 3]) {
+    for t in touched.iter().flatten() {
+        binding[*t] = None;
+    }
+}
+
+/// Evaluates a filter; evaluation errors count as `false` per SPARQL.
+fn filter_passes(
+    store: &TripleStore,
+    filter: &PExpr,
+    binding: &[Option<TermId>],
+) -> Result<bool, SparqlError> {
+    match eval_expr(store, filter, binding) {
+        Ok(v) => Ok(v.effective_boolean().unwrap_or(false)),
+        Err(_) => Ok(false),
+    }
+}
+
+fn var_value(
+    store: &TripleStore,
+    idx: usize,
+    binding: &[Option<TermId>],
+) -> Result<Value, SparqlError> {
+    let id = binding
+        .get(idx)
+        .copied()
+        .flatten()
+        .ok_or_else(|| SparqlError::eval("unbound variable in expression"))?;
+    Ok(Value::Term(store.dict().resolve(id).clone()))
+}
+
+fn eval_expr(
+    store: &TripleStore,
+    expr: &PExpr,
+    binding: &[Option<TermId>],
+) -> Result<Value, SparqlError> {
+    match expr {
+        PExpr::Var(i) => var_value(store, *i, binding),
+        PExpr::Const(t) => Ok(Value::Term(t.clone())),
+        PExpr::Compare(op, a, b) => {
+            let va = eval_expr(store, a, binding)?;
+            let vb = eval_expr(store, b, binding)?;
+            Ok(Value::Bool(va.compare(*op, &vb)?))
+        }
+        PExpr::And(a, b) => {
+            let va = eval_expr(store, a, binding)?.effective_boolean()?;
+            if !va {
+                return Ok(Value::Bool(false));
+            }
+            let vb = eval_expr(store, b, binding)?.effective_boolean()?;
+            Ok(Value::Bool(vb))
+        }
+        PExpr::Or(a, b) => {
+            let va = eval_expr(store, a, binding)?.effective_boolean()?;
+            if va {
+                return Ok(Value::Bool(true));
+            }
+            let vb = eval_expr(store, b, binding)?.effective_boolean()?;
+            Ok(Value::Bool(vb))
+        }
+        PExpr::Not(inner) => {
+            let v = eval_expr(store, inner, binding)?.effective_boolean()?;
+            Ok(Value::Bool(!v))
+        }
+        PExpr::Call(builtin, args) => eval_builtin(store, *builtin, args, binding),
+        PExpr::Exists { plan, negated } => {
+            let found = any_solution(store, plan, Some(binding))?;
+            Ok(Value::Bool(found != *negated))
+        }
+    }
+}
+
+fn eval_builtin(
+    store: &TripleStore,
+    builtin: Builtin,
+    args: &[PExpr],
+    binding: &[Option<TermId>],
+) -> Result<Value, SparqlError> {
+    match builtin {
+        Builtin::Bound => {
+            let bound = match &args[0] {
+                PExpr::Var(i) => binding.get(*i).copied().flatten().is_some(),
+                _ => true,
+            };
+            Ok(Value::Bool(bound))
+        }
+        Builtin::Str => {
+            let v = eval_expr(store, &args[0], binding)?;
+            Ok(Value::Str(v.string_form()?))
+        }
+        Builtin::Lang => {
+            let v = eval_expr(store, &args[0], binding)?;
+            match v {
+                Value::Term(Term::Literal { lang, .. }) => {
+                    Ok(Value::Str(lang.unwrap_or_default()))
+                }
+                _ => Err(SparqlError::eval("LANG expects a literal")),
+            }
+        }
+        Builtin::Datatype => {
+            let v = eval_expr(store, &args[0], binding)?;
+            match v {
+                Value::Term(Term::Literal { datatype, lang, .. }) => {
+                    let dt = match (datatype, lang) {
+                        (Some(dt), _) => dt,
+                        (None, Some(_)) => {
+                            "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString".to_owned()
+                        }
+                        (None, None) => "http://www.w3.org/2001/XMLSchema#string".to_owned(),
+                    };
+                    Ok(Value::Term(Term::iri(dt)))
+                }
+                _ => Err(SparqlError::eval("DATATYPE expects a literal")),
+            }
+        }
+        Builtin::IsIri | Builtin::IsLiteral | Builtin::IsBlank => {
+            let v = eval_expr(store, &args[0], binding)?;
+            let Value::Term(t) = v else {
+                return Ok(Value::Bool(false));
+            };
+            Ok(Value::Bool(match builtin {
+                Builtin::IsIri => t.is_iri(),
+                Builtin::IsLiteral => t.is_literal(),
+                _ => t.is_bnode(),
+            }))
+        }
+        Builtin::StrStarts | Builtin::StrEnds | Builtin::Contains => {
+            let a = eval_expr(store, &args[0], binding)?.string_form()?;
+            let b = eval_expr(store, &args[1], binding)?.string_form()?;
+            Ok(Value::Bool(match builtin {
+                Builtin::StrStarts => a.starts_with(&b),
+                Builtin::StrEnds => a.ends_with(&b),
+                _ => a.contains(&b),
+            }))
+        }
+        Builtin::Regex => {
+            let text = eval_expr(store, &args[0], binding)?.string_form()?;
+            let pattern = eval_expr(store, &args[1], binding)?.string_form()?;
+            Ok(Value::Bool(regex_lite(&text, &pattern)))
+        }
+    }
+}
+
+/// Anchored-substring "regex" dialect: `^p` = prefix, `p$` = suffix,
+/// `^p$` = exact, otherwise substring. Documented in the crate docs; full
+/// regular expressions are out of scope (and not needed by SOFYA).
+fn regex_lite(text: &str, pattern: &str) -> bool {
+    match (pattern.strip_prefix('^'), pattern.strip_suffix('$')) {
+        (Some(_), Some(_)) => {
+            let inner = &pattern[1..pattern.len() - 1];
+            text == inner
+        }
+        (Some(prefix), None) => text.starts_with(prefix),
+        (None, Some(suffix)) => text.ends_with(suffix),
+        (None, None) => text.contains(pattern),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_store() -> TripleStore {
+        let mut s = TripleStore::new();
+        for (a, p, b) in [
+            ("e:s1", "r:bornIn", "e:usa"),
+            ("e:s2", "r:bornIn", "e:usa"),
+            ("e:s3", "r:bornIn", "e:france"),
+            ("e:s1", "r:livesIn", "e:usa"),
+            ("e:s3", "r:livesIn", "e:usa"),
+        ] {
+            s.insert_terms(&Term::iri(a), &Term::iri(p), &Term::iri(b));
+        }
+        s.insert_terms(&Term::iri("e:s1"), &Term::iri("r:name"), &Term::literal("Frank Sinatra"));
+        s.insert_terms(&Term::iri("e:s2"), &Term::iri("r:name"), &Term::literal("Ella"));
+        s.insert_terms(&Term::iri("e:s1"), &Term::iri("r:age"), &Term::integer(82));
+        s.insert_terms(&Term::iri("e:s2"), &Term::iri("r:age"), &Term::integer(79));
+        s
+    }
+
+    #[test]
+    fn simple_select() {
+        let s = demo_store();
+        let rs = execute(&s, "SELECT ?x WHERE { ?x <r:bornIn> <e:usa> }").unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn join_two_patterns() {
+        let s = demo_store();
+        let rs =
+            execute(&s, "SELECT ?x { ?x <r:bornIn> <e:usa> . ?x <r:livesIn> <e:usa> }").unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.cell(0, "x"), Some(&Term::iri("e:s1")));
+    }
+
+    #[test]
+    fn variable_predicate() {
+        let s = demo_store();
+        let rs = execute(&s, "SELECT DISTINCT ?p { <e:s1> ?p ?y }").unwrap();
+        let mut preds: Vec<String> =
+            rs.column("p").iter().map(|t| t.as_iri().unwrap().to_owned()).collect();
+        preds.sort();
+        assert_eq!(preds, vec!["r:age", "r:bornIn", "r:livesIn", "r:name"]);
+    }
+
+    #[test]
+    fn filter_neq_between_vars() {
+        let s = demo_store();
+        let rs = execute(
+            &s,
+            "SELECT ?x ?a ?b { ?x <r:bornIn> ?a . ?x <r:livesIn> ?b . FILTER(?a != ?b) }",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.cell(0, "x"), Some(&Term::iri("e:s3")));
+    }
+
+    #[test]
+    fn filter_numeric_comparison() {
+        let s = demo_store();
+        let rs = execute(&s, "SELECT ?x { ?x <r:age> ?a FILTER(?a > 80) }").unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.cell(0, "x"), Some(&Term::iri("e:s1")));
+    }
+
+    #[test]
+    fn filter_string_builtins() {
+        let s = demo_store();
+        let rs = execute(
+            &s,
+            "SELECT ?x { ?x <r:name> ?n FILTER(STRSTARTS(STR(?n), \"Frank\")) }",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        let rs = execute(&s, "SELECT ?x { ?x <r:name> ?n FILTER(CONTAINS(STR(?n), \"ll\")) }")
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn regex_lite_dialect() {
+        assert!(regex_lite("Frank Sinatra", "Sinatra$"));
+        assert!(regex_lite("Frank Sinatra", "^Frank"));
+        assert!(regex_lite("Frank Sinatra", "nk Si"));
+        assert!(regex_lite("abc", "^abc$"));
+        assert!(!regex_lite("abcd", "^abc$"));
+    }
+
+    #[test]
+    fn not_exists_filter() {
+        let s = demo_store();
+        // People born in the USA who do NOT live in the USA: none (s1 lives
+        // there, s2 has no livesIn at all — wait, s2 has no livesIn fact, so
+        // NOT EXISTS holds for s2).
+        let rs = execute(
+            &s,
+            "SELECT ?x { ?x <r:bornIn> <e:usa> FILTER NOT EXISTS { ?x <r:livesIn> <e:usa> } }",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.cell(0, "x"), Some(&Term::iri("e:s2")));
+    }
+
+    #[test]
+    fn exists_filter() {
+        let s = demo_store();
+        let rs = execute(
+            &s,
+            "SELECT ?x { ?x <r:bornIn> ?c FILTER EXISTS { ?x <r:livesIn> <e:usa> } }",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn distinct_and_order_and_limit() {
+        let s = demo_store();
+        let rs = execute(
+            &s,
+            "SELECT DISTINCT ?c { ?x <r:bornIn> ?c } ORDER BY ?c LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 2);
+        // Ordered ascending: e:france before e:usa.
+        assert_eq!(rs.cell(0, "c"), Some(&Term::iri("e:france")));
+    }
+
+    #[test]
+    fn order_by_desc() {
+        let s = demo_store();
+        let rs = execute(&s, "SELECT ?x ?a { ?x <r:age> ?a } ORDER BY DESC(?a)").unwrap();
+        assert_eq!(rs.cell(0, "x"), Some(&Term::iri("e:s1")));
+    }
+
+    #[test]
+    fn limit_offset_pagination() {
+        let s = demo_store();
+        let all = execute(&s, "SELECT ?x ?y { ?x <r:bornIn> ?y } ORDER BY ?x").unwrap();
+        let page2 = execute(&s, "SELECT ?x ?y { ?x <r:bornIn> ?y } ORDER BY ?x LIMIT 2 OFFSET 1")
+            .unwrap();
+        assert_eq!(page2.len(), 2);
+        assert_eq!(page2.rows()[0], all.rows()[1]);
+        assert_eq!(page2.rows()[1], all.rows()[2]);
+    }
+
+    #[test]
+    fn count_star() {
+        let s = demo_store();
+        let rs = execute(&s, "SELECT (COUNT(*) AS ?n) { ?x <r:bornIn> ?y }").unwrap();
+        assert_eq!(rs.single_integer(), Some(3));
+    }
+
+    #[test]
+    fn count_distinct_var() {
+        let s = demo_store();
+        let rs = execute(&s, "SELECT (COUNT(DISTINCT ?y) AS ?n) { ?x <r:bornIn> ?y }").unwrap();
+        assert_eq!(rs.single_integer(), Some(2));
+    }
+
+    #[test]
+    fn ask_true_and_false() {
+        let s = demo_store();
+        assert!(execute_ask(&s, "ASK { <e:s1> <r:bornIn> <e:usa> }").unwrap());
+        assert!(!execute_ask(&s, "ASK { <e:s1> <r:bornIn> <e:france> }").unwrap());
+    }
+
+    #[test]
+    fn unknown_constant_yields_empty_not_error() {
+        let s = demo_store();
+        let rs = execute(&s, "SELECT ?x { ?x <r:ghost> ?y }").unwrap();
+        assert!(rs.is_empty());
+        assert!(!execute_ask(&s, "ASK { <e:nobody> ?p ?y }").unwrap());
+    }
+
+    #[test]
+    fn repeated_variable_in_pattern() {
+        let mut s = demo_store();
+        s.insert_terms(&Term::iri("e:loop"), &Term::iri("r:knows"), &Term::iri("e:loop"));
+        let rs = execute(&s, "SELECT ?x { ?x <r:knows> ?x }").unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.cell(0, "x"), Some(&Term::iri("e:loop")));
+    }
+
+    #[test]
+    fn star_projection_covers_all_vars() {
+        let s = demo_store();
+        let rs = execute(&s, "SELECT * { ?x <r:bornIn> ?y }").unwrap();
+        assert_eq!(rs.vars(), &["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn projection_of_unbound_var_is_allowed() {
+        let s = demo_store();
+        let rs = execute(&s, "SELECT ?x ?ghost { ?x <r:bornIn> <e:usa> }").unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.cell(0, "ghost"), None);
+    }
+
+    #[test]
+    fn filter_error_is_false_not_fatal() {
+        let s = demo_store();
+        // LANG of an IRI errors; the row is dropped, not the query.
+        let rs = execute(&s, "SELECT ?x { ?x <r:bornIn> ?y FILTER(LANG(?y) = \"en\") }").unwrap();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn ask_via_execute_is_error() {
+        let s = demo_store();
+        assert!(execute(&s, "ASK { ?x <r:bornIn> ?y }").is_err());
+        assert!(execute_ask(&s, "SELECT ?x { ?x <r:bornIn> ?y }").is_err());
+    }
+
+    #[test]
+    fn early_stop_respects_limit_without_order() {
+        let s = demo_store();
+        let rs = execute(&s, "SELECT ?x { ?x <r:bornIn> ?y } LIMIT 1").unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn empty_pattern_yields_single_empty_solution() {
+        let s = demo_store();
+        // Zero triple patterns: one solution with nothing bound (per the
+        // SPARQL algebra, the empty BGP's multiset is { μ0 }).
+        let rs = execute(&s, "SELECT (COUNT(*) AS ?n) { }").unwrap();
+        assert_eq!(rs.single_integer(), Some(1));
+        assert!(execute_ask(&s, "ASK { }").unwrap());
+    }
+}

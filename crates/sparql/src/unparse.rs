@@ -1,0 +1,207 @@
+//! AST → query-string serialisation.
+//!
+//! Needed by query *rewriting* (SOFYA's motivating use case: take a query
+//! written for KB `K`, align its relations on the fly, and re-issue it
+//! against KB `K'`). `parse_query(unparse(q))` is the identity on the
+//! AST, which the round-trip tests below and the workspace property tests
+//! enforce.
+
+use crate::ast::{
+    Builtin, CompareOp, Expr, GroupGraphPattern, NodePattern, Projection, Query, SelectQuery,
+    TriplePatternAst,
+};
+use sofya_rdf::Term;
+use std::fmt::Write;
+
+/// Serialises a query back to SPARQL text.
+pub fn unparse(query: &Query) -> String {
+    match query {
+        Query::Select(s) => unparse_select(s),
+        Query::Ask(p) => format!("ASK {}", unparse_group(p)),
+    }
+}
+
+fn unparse_select(q: &SelectQuery) -> String {
+    let mut out = String::from("SELECT ");
+    if q.distinct {
+        out.push_str("DISTINCT ");
+    }
+    match &q.projection {
+        Projection::Star => out.push('*'),
+        Projection::Vars(vars) => {
+            let names: Vec<String> = vars.iter().map(|v| format!("?{v}")).collect();
+            out.push_str(&names.join(" "));
+        }
+        Projection::Count { var, distinct, alias } => {
+            out.push_str("(COUNT(");
+            if *distinct {
+                out.push_str("DISTINCT ");
+            }
+            match var {
+                Some(v) => {
+                    let _ = write!(out, "?{v}");
+                }
+                None => out.push('*'),
+            }
+            let _ = write!(out, ") AS ?{alias})");
+        }
+    }
+    out.push_str(" WHERE ");
+    out.push_str(&unparse_group(&q.pattern));
+    if !q.order_by.is_empty() {
+        out.push_str(" ORDER BY");
+        for key in &q.order_by {
+            if key.descending {
+                let _ = write!(out, " DESC(?{})", key.var);
+            } else {
+                let _ = write!(out, " ?{}", key.var);
+            }
+        }
+    }
+    if let Some(limit) = q.limit {
+        let _ = write!(out, " LIMIT {limit}");
+    }
+    if let Some(offset) = q.offset {
+        let _ = write!(out, " OFFSET {offset}");
+    }
+    out
+}
+
+fn unparse_group(group: &GroupGraphPattern) -> String {
+    let mut out = String::from("{ ");
+    for tp in &group.triples {
+        out.push_str(&unparse_triple(tp));
+        out.push_str(" . ");
+    }
+    for block in &group.unions {
+        let rendered: Vec<String> = block.iter().map(unparse_group).collect();
+        out.push_str(&rendered.join(" UNION "));
+        out.push_str(" . ");
+    }
+    for optional in &group.optionals {
+        let _ = write!(out, "OPTIONAL {} . ", unparse_group(optional));
+    }
+    for filter in &group.filters {
+        let _ = write!(out, "FILTER({}) . ", unparse_expr(filter));
+    }
+    out.push('}');
+    out
+}
+
+fn unparse_triple(tp: &TriplePatternAst) -> String {
+    format!("{} {} {}", unparse_node(&tp.s), unparse_node(&tp.p), unparse_node(&tp.o))
+}
+
+fn unparse_node(node: &NodePattern) -> String {
+    match node {
+        NodePattern::Var(v) => format!("?{v}"),
+        NodePattern::Term(t) => unparse_term(t),
+    }
+}
+
+fn unparse_term(term: &Term) -> String {
+    // N-Triples syntax is valid SPARQL for constants.
+    term.to_string()
+}
+
+fn compare_op(op: CompareOp) -> &'static str {
+    match op {
+        CompareOp::Eq => "=",
+        CompareOp::Neq => "!=",
+        CompareOp::Lt => "<",
+        CompareOp::Le => "<=",
+        CompareOp::Gt => ">",
+        CompareOp::Ge => ">=",
+    }
+}
+
+fn builtin_name(b: Builtin) -> &'static str {
+    match b {
+        Builtin::Bound => "BOUND",
+        Builtin::Str => "STR",
+        Builtin::Lang => "LANG",
+        Builtin::Datatype => "DATATYPE",
+        Builtin::IsIri => "ISIRI",
+        Builtin::IsLiteral => "ISLITERAL",
+        Builtin::IsBlank => "ISBLANK",
+        Builtin::StrStarts => "STRSTARTS",
+        Builtin::StrEnds => "STRENDS",
+        Builtin::Contains => "CONTAINS",
+        Builtin::Regex => "REGEX",
+    }
+}
+
+fn unparse_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Var(v) => format!("?{v}"),
+        Expr::Const(t) => unparse_term(t),
+        Expr::Compare(op, a, b) => {
+            format!("({} {} {})", unparse_expr(a), compare_op(*op), unparse_expr(b))
+        }
+        Expr::And(a, b) => format!("({} && {})", unparse_expr(a), unparse_expr(b)),
+        Expr::Or(a, b) => format!("({} || {})", unparse_expr(a), unparse_expr(b)),
+        Expr::Not(inner) => format!("(!{})", unparse_expr(inner)),
+        Expr::Call(builtin, args) => {
+            let rendered: Vec<String> = args.iter().map(unparse_expr).collect();
+            format!("{}({})", builtin_name(*builtin), rendered.join(", "))
+        }
+        Expr::Exists { pattern, negated } => {
+            let keyword = if *negated { "NOT EXISTS" } else { "EXISTS" };
+            format!("{keyword} {}", unparse_group(pattern))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn round_trip(q: &str) {
+        let ast = parse_query(q).unwrap_or_else(|e| panic!("parse {q}: {e}"));
+        let text = unparse(&ast);
+        let again = parse_query(&text).unwrap_or_else(|e| panic!("reparse {text}: {e}"));
+        assert_eq!(ast, again, "round trip changed the AST for {q}\nunparsed: {text}");
+    }
+
+    #[test]
+    fn round_trips_basic_queries() {
+        round_trip("SELECT ?x WHERE { ?x <p> ?y }");
+        round_trip("SELECT DISTINCT ?x ?y { ?x <p> ?y . ?y <q> <a> }");
+        round_trip("SELECT * { ?x <p> \"lit\"@en }");
+        round_trip("ASK { <a> <p> <b> }");
+    }
+
+    #[test]
+    fn round_trips_modifiers() {
+        round_trip("SELECT ?x { ?x <p> ?y } ORDER BY ?x DESC(?y) LIMIT 5 OFFSET 2");
+        round_trip("SELECT (COUNT(*) AS ?n) { ?x <p> ?y }");
+        round_trip("SELECT (COUNT(DISTINCT ?x) AS ?n) { ?x <p> ?y }");
+    }
+
+    #[test]
+    fn round_trips_filters() {
+        round_trip("SELECT ?x { ?x <p> ?y FILTER(?x != ?y) }");
+        round_trip("SELECT ?x { ?x <p> ?y FILTER(?y > 3 && BOUND(?x) || !ISLITERAL(?y)) }");
+        round_trip("SELECT ?x { ?x <p> ?y FILTER(STRSTARTS(STR(?y), \"A\")) }");
+        round_trip("SELECT ?x { ?x <p> ?y FILTER NOT EXISTS { ?x <q> ?y } }");
+        round_trip("SELECT ?x { ?x <p> ?y FILTER EXISTS { ?x <q> ?z } }");
+    }
+
+    #[test]
+    fn round_trips_typed_literals() {
+        round_trip("SELECT ?x { ?x <age> 42 }");
+        round_trip("SELECT ?x { ?x <name> \"O'Neil \\\"Bob\\\"\" }");
+        round_trip("SELECT ?x { ?x <dt> \"2020\"^^<http://www.w3.org/2001/XMLSchema#gYear> }");
+    }
+
+    #[test]
+    fn unparsed_text_is_executable() {
+        use sofya_rdf::{Term, TripleStore};
+        let mut store = TripleStore::new();
+        store.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"));
+        let ast = parse_query("SELECT ?x { ?x <p> ?y }").unwrap();
+        let rs = crate::eval::execute(&store, &unparse(&ast)).unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Behavioural tests for `OPTIONAL` and `UNION` (documented subset
+//! semantics; see `GroupGraphPattern`).
+
+use sofya_rdf::{Term, TripleStore};
+use sofya_sparql::{execute, execute_ask, parse_query, unparse};
+
+fn store() -> TripleStore {
+    let mut s = TripleStore::new();
+    for (a, p, b) in [
+        ("e:alice", "r:knows", "e:bob"),
+        ("e:bob", "r:knows", "e:carol"),
+        ("e:carol", "r:knows", "e:alice"),
+        ("e:alice", "r:worksAt", "e:acme"),
+        ("e:bob", "r:studiesAt", "e:uni"),
+    ] {
+        s.insert_terms(&Term::iri(a), &Term::iri(p), &Term::iri(b));
+    }
+    s.insert_terms(&Term::iri("e:alice"), &Term::iri("r:name"), &Term::literal("Alice"));
+    s
+}
+
+#[test]
+fn union_concatenates_branch_solutions() {
+    let s = store();
+    let rs = execute(
+        &s,
+        "SELECT ?who ?place { { ?who <r:worksAt> ?place } UNION { ?who <r:studiesAt> ?place } }",
+    )
+    .unwrap();
+    assert_eq!(rs.len(), 2);
+    let mut pairs: Vec<(String, String)> = rs
+        .rows()
+        .iter()
+        .map(|r| (r[0].as_ref().unwrap().to_string(), r[1].as_ref().unwrap().to_string()))
+        .collect();
+    pairs.sort();
+    assert_eq!(
+        pairs,
+        vec![
+            ("<e:alice>".to_owned(), "<e:acme>".to_owned()),
+            ("<e:bob>".to_owned(), "<e:uni>".to_owned()),
+        ]
+    );
+}
+
+#[test]
+fn union_branches_join_with_the_outer_pattern() {
+    let s = store();
+    // Outer pattern binds ?who to people Alice knows (bob); the union
+    // then asks for bob's affiliation either way.
+    let rs = execute(
+        &s,
+        "SELECT ?who ?place { <e:alice> <r:knows> ?who . \
+         { ?who <r:worksAt> ?place } UNION { ?who <r:studiesAt> ?place } }",
+    )
+    .unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.cell(0, "who"), Some(&Term::iri("e:bob")));
+    assert_eq!(rs.cell(0, "place"), Some(&Term::iri("e:uni")));
+}
+
+#[test]
+fn three_way_union() {
+    let s = store();
+    let rs = execute(
+        &s,
+        "SELECT ?x { { ?x <r:worksAt> ?a } UNION { ?x <r:studiesAt> ?a } UNION { ?x <r:name> ?a } }",
+    )
+    .unwrap();
+    assert_eq!(rs.len(), 3);
+}
+
+#[test]
+fn optional_keeps_unmatched_solutions() {
+    let s = store();
+    let rs = execute(
+        &s,
+        "SELECT ?who ?employer { ?who <r:knows> ?other . \
+         OPTIONAL { ?who <r:worksAt> ?employer } } ORDER BY ?who",
+    )
+    .unwrap();
+    // Three knowers; only alice has an employer.
+    assert_eq!(rs.len(), 3);
+    assert_eq!(rs.cell(0, "employer"), Some(&Term::iri("e:acme"))); // alice
+    assert_eq!(rs.cell(1, "employer"), None); // bob
+    assert_eq!(rs.cell(2, "employer"), None); // carol
+}
+
+#[test]
+fn optional_multiplies_on_multiple_matches() {
+    let mut s = store();
+    s.insert_terms(&Term::iri("e:alice"), &Term::iri("r:worksAt"), &Term::iri("e:globex"));
+    let rs = execute(
+        &s,
+        "SELECT ?employer { <e:alice> <r:knows> ?x . OPTIONAL { <e:alice> <r:worksAt> ?employer } }",
+    )
+    .unwrap();
+    assert_eq!(rs.len(), 2); // one base solution × two optional matches
+}
+
+#[test]
+fn nested_group_is_inner_join() {
+    let s = store();
+    let rs = execute(&s, "SELECT ?x { ?x <r:knows> ?y . { ?x <r:worksAt> ?w } }").unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.cell(0, "x"), Some(&Term::iri("e:alice")));
+}
+
+#[test]
+fn filter_on_optional_var_runs_post_join() {
+    let s = store();
+    // BOUND over an optional variable: keeps only solutions where the
+    // optional matched.
+    let rs = execute(
+        &s,
+        "SELECT ?who { ?who <r:knows> ?other . OPTIONAL { ?who <r:worksAt> ?w } FILTER(BOUND(?w)) }",
+    )
+    .unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.cell(0, "who"), Some(&Term::iri("e:alice")));
+
+    let rs = execute(
+        &s,
+        "SELECT ?who { ?who <r:knows> ?other . OPTIONAL { ?who <r:worksAt> ?w } FILTER(!BOUND(?w)) }",
+    )
+    .unwrap();
+    assert_eq!(rs.len(), 2);
+}
+
+#[test]
+fn ask_sees_through_unions() {
+    let s = store();
+    assert!(execute_ask(&s, "ASK { { <e:alice> <r:worksAt> ?x } UNION { <e:alice> <r:studiesAt> ?x } }")
+        .unwrap());
+    assert!(!execute_ask(&s, "ASK { { <e:carol> <r:worksAt> ?x } UNION { <e:carol> <r:studiesAt> ?x } }")
+        .unwrap());
+}
+
+#[test]
+fn count_over_union() {
+    let s = store();
+    let rs = execute(
+        &s,
+        "SELECT (COUNT(*) AS ?n) { { ?x <r:worksAt> ?a } UNION { ?x <r:studiesAt> ?a } }",
+    )
+    .unwrap();
+    assert_eq!(rs.single_integer(), Some(2));
+}
+
+#[test]
+fn star_projection_includes_optional_and_union_vars() {
+    let s = store();
+    let rs = execute(
+        &s,
+        "SELECT * { ?who <r:knows> ?other OPTIONAL { ?who <r:worksAt> ?w } }",
+    )
+    .unwrap();
+    assert!(rs.vars().contains(&"w".to_owned()));
+}
+
+#[test]
+fn distinct_applies_after_union() {
+    let mut s = store();
+    // Make bob both work and study at e:uni so the union duplicates.
+    s.insert_terms(&Term::iri("e:bob"), &Term::iri("r:worksAt"), &Term::iri("e:uni"));
+    let rs = execute(
+        &s,
+        "SELECT DISTINCT ?x ?a { { ?x <r:worksAt> ?a } UNION { ?x <r:studiesAt> ?a } }",
+    )
+    .unwrap();
+    let plain = execute(
+        &s,
+        "SELECT ?x ?a { { ?x <r:worksAt> ?a } UNION { ?x <r:studiesAt> ?a } }",
+    )
+    .unwrap();
+    assert_eq!(plain.len(), 3);
+    assert_eq!(rs.len(), 2);
+}
+
+#[test]
+fn unparse_round_trips_optional_and_union() {
+    for q in [
+        "SELECT ?x { { ?x <p> ?y } UNION { ?x <q> ?y } }",
+        "SELECT ?x { ?x <p> ?y OPTIONAL { ?x <q> ?z } }",
+        "SELECT ?x { ?x <p> ?y . { ?x <a> ?b } UNION { ?x <c> ?d } UNION { ?x <e> ?f } OPTIONAL { ?x <g> ?h FILTER(?h != ?x) } }",
+    ] {
+        let ast = parse_query(q).unwrap();
+        let text = unparse(&ast);
+        let again = parse_query(&text).unwrap();
+        assert_eq!(ast, again, "round trip failed for {q}: {text}");
+    }
+}
+
+#[test]
+fn optional_inside_union_branch() {
+    let s = store();
+    let rs = execute(
+        &s,
+        "SELECT ?x ?n { { ?x <r:worksAt> ?a OPTIONAL { ?x <r:name> ?n } } UNION { ?x <r:studiesAt> ?a } }",
+    )
+    .unwrap();
+    assert_eq!(rs.len(), 2);
+    let alice_row = rs
+        .rows()
+        .iter()
+        .find(|r| r[0] == Some(Term::iri("e:alice")))
+        .expect("alice present");
+    assert_eq!(alice_row[1], Some(Term::literal("Alice")));
+}

@@ -1,0 +1,164 @@
+//! Property test: the engine's answer to a random BGP join must equal a
+//! naive nested-loop evaluation done by hand, whatever plan the optimiser
+//! picks.
+
+use proptest::prelude::*;
+use sofya_rdf::{Term, TripleStore};
+use sofya_sparql::execute;
+use std::collections::BTreeSet;
+
+const ENTITIES: u32 = 8;
+const PREDICATES: u32 = 3;
+const VARS: &[&str] = &["a", "b", "c"];
+
+/// A random triple-pattern position: variable index or constant id.
+#[derive(Debug, Clone, Copy)]
+enum Node {
+    Var(usize),
+    Entity(u32),
+    Predicate(u32),
+}
+
+fn node_text(n: Node) -> String {
+    match n {
+        Node::Var(i) => format!("?{}", VARS[i]),
+        Node::Entity(e) => format!("<e{e}>"),
+        Node::Predicate(p) => format!("<p{p}>"),
+    }
+}
+
+fn subject_or_object() -> impl Strategy<Value = Node> {
+    prop_oneof![
+        (0..VARS.len()).prop_map(Node::Var),
+        (0..ENTITIES).prop_map(Node::Entity),
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = Node> {
+    prop_oneof![
+        (0..VARS.len()).prop_map(Node::Var),
+        (0..PREDICATES).prop_map(Node::Predicate),
+    ]
+}
+
+type PatternSpec = Vec<(Node, Node, Node)>;
+
+fn build_store(facts: &[(u32, u32, u32)]) -> TripleStore {
+    let mut store = TripleStore::new();
+    for &(s, p, o) in facts {
+        store.insert_terms(
+            &Term::iri(format!("e{s}")),
+            &Term::iri(format!("p{p}")),
+            &Term::iri(format!("e{o}")),
+        );
+    }
+    store
+}
+
+/// Brute force: enumerate all bindings of the three variables over the
+/// term universe and keep those satisfying every pattern.
+fn brute_force(store: &TripleStore, patterns: &PatternSpec) -> BTreeSet<Vec<String>> {
+    // Universe: every term that occurs anywhere (entities and predicates).
+    let mut universe: Vec<String> = Vec::new();
+    for e in 0..ENTITIES {
+        universe.push(format!("e{e}"));
+    }
+    for p in 0..PREDICATES {
+        universe.push(format!("p{p}"));
+    }
+    let mut out = BTreeSet::new();
+    let n = universe.len();
+    for ia in 0..n {
+        for ib in 0..n {
+            for ic in 0..n {
+                let assignment = [&universe[ia], &universe[ib], &universe[ic]];
+                let resolve = |node: Node| -> String {
+                    match node {
+                        Node::Var(v) => assignment[v].clone(),
+                        Node::Entity(e) => format!("e{e}"),
+                        Node::Predicate(p) => format!("p{p}"),
+                    }
+                };
+                let ok = patterns.iter().all(|&(s, p, o)| {
+                    let (s, p, o) = (resolve(s), resolve(p), resolve(o));
+                    match (
+                        store.dict().lookup_iri(&s),
+                        store.dict().lookup_iri(&p),
+                        store.dict().lookup_iri(&o),
+                    ) {
+                        (Some(s), Some(p), Some(o)) => store.contains(s, p, o),
+                        _ => false,
+                    }
+                });
+                if ok {
+                    out.insert(assignment.iter().map(|s| s.to_string()).collect());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Which variables actually appear in the pattern (unused ones roam the
+/// whole universe in the brute force, so we project them away).
+fn used_vars(patterns: &PatternSpec) -> [bool; 3] {
+    let mut used = [false; 3];
+    for &(s, p, o) in patterns {
+        for n in [s, p, o] {
+            if let Node::Var(v) = n {
+                used[v] = true;
+            }
+        }
+    }
+    used
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_matches_brute_force(
+        facts in proptest::collection::vec(
+            (0..ENTITIES, 0..PREDICATES, 0..ENTITIES), 1..25),
+        patterns in proptest::collection::vec(
+            (subject_or_object(), predicate(), subject_or_object()), 1..4),
+    ) {
+        let store = build_store(&facts);
+        let query = format!(
+            "SELECT ?a ?b ?c WHERE {{ {} }}",
+            patterns
+                .iter()
+                .map(|&(s, p, o)| format!("{} {} {}", node_text(s), node_text(p), node_text(o)))
+                .collect::<Vec<_>>()
+                .join(" . ")
+        );
+        let rs = execute(&store, &query).unwrap();
+        let used = used_vars(&patterns);
+
+        // Project engine rows onto used variables.
+        let mut engine: BTreeSet<Vec<String>> = BTreeSet::new();
+        for row in rs.rows() {
+            let projected: Vec<String> = (0..3)
+                .map(|i| {
+                    if used[i] {
+                        row[i].as_ref().map(|t| t.as_iri().unwrap().to_owned()).unwrap_or_default()
+                    } else {
+                        String::new()
+                    }
+                })
+                .collect();
+            engine.insert(projected);
+        }
+
+        // Project brute-force rows the same way.
+        let mut brute: BTreeSet<Vec<String>> = BTreeSet::new();
+        for row in brute_force(&store, &patterns) {
+            let projected: Vec<String> = (0..3)
+                .map(|i| if used[i] { row[i].clone() } else { String::new() })
+                .collect();
+            brute.insert(projected);
+        }
+
+        prop_assert_eq!(engine, brute, "query: {}", query);
+    }
+}

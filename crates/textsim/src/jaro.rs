@@ -1,0 +1,126 @@
+//! Jaro and Jaro–Winkler similarity.
+
+/// Jaro similarity in `[0, 1]`.
+///
+/// Characters match when equal and within the standard window
+/// `max(|a|,|b|)/2 − 1`; the score combines match counts and
+/// transpositions per Jaro's formula. Two empty strings score `1.0`; an
+/// empty vs non-empty pair scores `0.0`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    // First pass: find matches in order of a.
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Second pass: matched characters of b in b-order.
+    let matches_b: Vec<char> =
+        b.iter().zip(b_used.iter()).filter_map(|(&c, &used)| used.then_some(c)).collect();
+    let transpositions =
+        matches_a.iter().zip(matches_b.iter()).filter(|(x, y)| x != y).count() / 2;
+    let m = m as f64;
+    let t = transpositions as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity: Jaro boosted by up to 4 characters of common
+/// prefix with scaling factor `p = 0.1`.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    const PREFIX_SCALE: f64 = 0.1;
+    const MAX_PREFIX: usize = 4;
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(MAX_PREFIX)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * PREFIX_SCALE * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn textbook_values() {
+        // Winkler's canonical examples.
+        assert!(close(jaro("MARTHA", "MARHTA"), 0.944));
+        assert!(close(jaro_winkler("MARTHA", "MARHTA"), 0.961));
+        assert!(close(jaro("DIXON", "DICKSONX"), 0.767));
+        assert!(close(jaro_winkler("DIXON", "DICKSONX"), 0.813));
+        assert!(close(jaro("DWAYNE", "DUANE"), 0.822));
+    }
+
+    #[test]
+    fn identity_and_disjoint() {
+        assert_eq!(jaro("same", "same"), 1.0);
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn empty_string_conventions() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("", "abc"), 0.0);
+        assert_eq!(jaro("abc", ""), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("MARTHA", "MARHTA"), ("DIXON", "DICKSONX"), ("x", "xyz")] {
+            assert!(close(jaro(a, b), jaro(b, a)));
+            assert!(close(jaro_winkler(a, b), jaro_winkler(b, a)));
+        }
+    }
+
+    #[test]
+    fn winkler_boost_only_helps_shared_prefixes() {
+        // Same Jaro, different prefixes → JW ranks prefix-sharing higher.
+        let with_prefix = jaro_winkler("prefixab", "prefixba");
+        let without = jaro_winkler("abprefix", "baprefix");
+        assert!(with_prefix > without);
+    }
+
+    #[test]
+    fn winkler_never_below_jaro_and_bounded() {
+        for (a, b) in [("MARTHA", "MARHTA"), ("abcd", "abdc"), ("a", "b")] {
+            let j = jaro(a, b);
+            let jw = jaro_winkler(a, b);
+            assert!(jw >= j - 1e-12);
+            assert!((0.0..=1.0).contains(&jw));
+        }
+    }
+
+    #[test]
+    fn single_char_behaviour() {
+        assert_eq!(jaro("a", "a"), 1.0);
+        assert_eq!(jaro("a", "b"), 0.0);
+    }
+}

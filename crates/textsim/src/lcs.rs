@@ -1,0 +1,89 @@
+//! Longest common subsequence similarity.
+//!
+//! LCS tolerates *insertions* on either side better than edit distance
+//! ("The Shawshank Redemption" vs "Shawshank Redemption (1994 film)"),
+//! which is common in cross-KB labels that add qualifiers.
+
+/// Length of the longest common subsequence of `a` and `b`, over Unicode
+/// scalar values. O(|a|·|b|) time, two-row space.
+pub fn lcs_length(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; short.len() + 1];
+    let mut cur = vec![0usize; short.len() + 1];
+    for &lc in long.iter() {
+        for (j, &sc) in short.iter().enumerate() {
+            cur[j + 1] = if lc == sc { prev[j] + 1 } else { prev[j + 1].max(cur[j]) };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// LCS similarity: `|LCS| / max(|a|, |b|)`, in `[0, 1]`; `1.0` for two
+/// empty strings.
+pub fn lcs_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let denom = la.max(lb);
+    if denom == 0 {
+        return 1.0;
+    }
+    lcs_length(a, b) as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(lcs_length("ABCBDAB", "BDCABA"), 4); // BCBA or BDAB
+        assert_eq!(lcs_length("abc", "abc"), 3);
+        assert_eq!(lcs_length("abc", "def"), 0);
+        assert_eq!(lcs_length("", "abc"), 0);
+        assert_eq!(lcs_length("", ""), 0);
+    }
+
+    #[test]
+    fn subsequence_not_substring() {
+        assert_eq!(lcs_length("axbxc", "abc"), 3);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(lcs_length("sunday", "saturday"), lcs_length("saturday", "sunday"));
+    }
+
+    #[test]
+    fn qualifier_tolerant() {
+        let s = lcs_similarity("shawshank redemption", "shawshank redemption 1994 film");
+        assert!(s > 0.65, "got {s}");
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(lcs_similarity("", ""), 1.0);
+        assert_eq!(lcs_similarity("same", "same"), 1.0);
+        assert_eq!(lcs_similarity("abc", "xyz"), 0.0);
+        for (a, b) in [("a", "ab"), ("frank", "sinatra")] {
+            let v = lcs_similarity(a, b);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn lcs_relates_to_levenshtein() {
+        // |a| + |b| − 2·LCS ≥ levenshtein distance bound relation:
+        // the insert/delete-only edit distance equals |a|+|b|−2·LCS and
+        // upper-bounds Levenshtein.
+        for (a, b) in [("kitten", "sitting"), ("abc", "abcd"), ("flaw", "lawn")] {
+            let indel = a.chars().count() + b.chars().count() - 2 * lcs_length(a, b);
+            assert!(crate::levenshtein::levenshtein(a, b) <= indel, "{a} vs {b}");
+        }
+    }
+}

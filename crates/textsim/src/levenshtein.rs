@@ -1,0 +1,176 @@
+//! Edit distances: Levenshtein and Damerau (optimal string alignment).
+
+/// Levenshtein distance between `a` and `b` (insertions, deletions,
+/// substitutions, unit cost), computed over Unicode scalar values with the
+/// classic two-row dynamic program — O(|a|·|b|) time, O(min) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // Keep the shorter string in the inner dimension for less memory.
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur: Vec<usize> = vec![0; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein distance with an early exit: returns `None` as soon as the
+/// distance provably exceeds `bound`. Useful when only "close enough"
+/// matters, which is the literal-matcher case.
+pub fn levenshtein_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > bound {
+        return None;
+    }
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return (long.len() <= bound).then_some(long.len());
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur: Vec<usize> = vec![0; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        let mut row_min = cur[0];
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+            row_min = row_min.min(cur[j + 1]);
+        }
+        if row_min > bound {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[short.len()];
+    (d <= bound).then_some(d)
+}
+
+/// Damerau–Levenshtein in the *optimal string alignment* variant:
+/// additionally counts adjacent transpositions as one edit, but never
+/// edits a substring twice.
+pub fn damerau_osa(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let cols = b.len() + 1;
+    // Three rows needed for the transposition lookback.
+    let mut rows: Vec<Vec<usize>> = vec![vec![0; cols]; a.len() + 1];
+    for (i, row) in rows.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for (j, cell) in rows[0].iter_mut().enumerate() {
+        *cell = j;
+    }
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut d = (rows[i - 1][j] + 1)
+                .min(rows[i][j - 1] + 1)
+                .min(rows[i - 1][j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                d = d.min(rows[i - 2][j - 2] + 1);
+            }
+            rows[i][j] = d;
+        }
+    }
+    rows[a.len()][b.len()]
+}
+
+/// Levenshtein similarity: `1 − d / max(|a|, |b|)`, in `[0, 1]`; `1.0` for
+/// two empty strings.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let denom = la.max(lb);
+    if denom == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn is_symmetric() {
+        assert_eq!(levenshtein("sunday", "saturday"), levenshtein("saturday", "sunday"));
+    }
+
+    #[test]
+    fn unicode_counts_scalars_not_bytes() {
+        // 'é' is 2 bytes but one scalar: one substitution.
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn bounded_agrees_with_unbounded_within_bound() {
+        let pairs = [("kitten", "sitting"), ("abc", "abc"), ("", "xyz"), ("flaw", "lawn")];
+        for (a, b) in pairs {
+            let d = levenshtein(a, b);
+            assert_eq!(levenshtein_bounded(a, b, d), Some(d), "{a} vs {b}");
+            assert_eq!(levenshtein_bounded(a, b, d + 2), Some(d));
+            if d > 0 {
+                assert_eq!(levenshtein_bounded(a, b, d - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_rejects_on_length_gap_fast() {
+        assert_eq!(levenshtein_bounded("ab", "abcdefgh", 3), None);
+    }
+
+    #[test]
+    fn damerau_counts_transposition_as_one() {
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_osa("ca", "ac"), 1);
+        // "sinatra" → "sintara" is a single adjacent swap of 'a'/'t'.
+        assert_eq!(damerau_osa("sinatra", "sintara"), 1);
+        assert_eq!(damerau_osa("frank", "farnk"), 1);
+    }
+
+    #[test]
+    fn damerau_never_exceeds_levenshtein() {
+        let pairs =
+            [("kitten", "sitting"), ("ca", "ac"), ("frank", "farnk"), ("abcdef", "fedcba")];
+        for (a, b) in pairs {
+            assert!(damerau_osa(a, b) <= levenshtein(a, b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn similarity_bounds_and_identity() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("frank sinatra", "frank sinatra jr");
+        assert!(s > 0.7 && s < 1.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Text normalisation applied before similarity measurement.
+//!
+//! Literal surface forms across knowledge bases differ in case,
+//! punctuation, diacritics, and whitespace ("Frank Sinatra" vs
+//! "frank_SINATRA" vs "Fránk  Sinatra."). Normalising both sides first
+//! makes the character- and gram-level measures meaningful.
+
+/// Options controlling [`normalize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalizeOptions {
+    /// Lower-case everything.
+    pub case_fold: bool,
+    /// Replace punctuation and underscores with spaces.
+    pub strip_punctuation: bool,
+    /// Collapse runs of whitespace to a single space and trim the ends.
+    pub squash_whitespace: bool,
+    /// Map common Latin-1/Latin-Extended accented letters to ASCII.
+    pub ascii_fold: bool,
+}
+
+impl Default for NormalizeOptions {
+    /// All transformations enabled — the matcher's default pipeline.
+    fn default() -> Self {
+        Self { case_fold: true, strip_punctuation: true, squash_whitespace: true, ascii_fold: true }
+    }
+}
+
+/// Normalises `input` according to `options`. Operations are applied in
+/// the order: ASCII folding, case folding, punctuation stripping,
+/// whitespace squashing.
+pub fn normalize(input: &str, options: NormalizeOptions) -> String {
+    let mut s: String = if options.ascii_fold { ascii_fold(input) } else { input.to_owned() };
+    if options.case_fold {
+        s = s.to_lowercase();
+    }
+    if options.strip_punctuation {
+        s = s
+            .chars()
+            .map(|c| if c.is_alphanumeric() || c.is_whitespace() { c } else { ' ' })
+            .collect();
+    }
+    if options.squash_whitespace {
+        s = s.split_whitespace().collect::<Vec<_>>().join(" ");
+    }
+    s
+}
+
+/// Maps accented Latin letters to their ASCII base letter; characters
+/// without a mapping pass through unchanged.
+///
+/// Covers Latin-1 Supplement and the ligatures/strokes that occur in
+/// European names (the dominant case in YAGO/DBpedia labels). This is a
+/// table-driven fold, not full Unicode NFKD (out of scope offline).
+pub fn ascii_fold(input: &str) -> String {
+    input.chars().map(fold_char).collect()
+}
+
+fn fold_char(c: char) -> char {
+    match c {
+        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'ā' | 'ă' | 'ą' => 'a',
+        'À' | 'Á' | 'Â' | 'Ã' | 'Ä' | 'Å' | 'Ā' | 'Ă' | 'Ą' => 'A',
+        'ç' | 'ć' | 'č' | 'ĉ' => 'c',
+        'Ç' | 'Ć' | 'Č' | 'Ĉ' => 'C',
+        'ď' | 'đ' => 'd',
+        'Ď' | 'Đ' => 'D',
+        'è' | 'é' | 'ê' | 'ë' | 'ē' | 'ĕ' | 'ė' | 'ę' | 'ě' => 'e',
+        'È' | 'É' | 'Ê' | 'Ë' | 'Ē' | 'Ĕ' | 'Ė' | 'Ę' | 'Ě' => 'E',
+        'ĝ' | 'ğ' | 'ġ' | 'ģ' => 'g',
+        'Ĝ' | 'Ğ' | 'Ġ' | 'Ģ' => 'G',
+        'ĥ' | 'ħ' => 'h',
+        'Ĥ' | 'Ħ' => 'H',
+        'ì' | 'í' | 'î' | 'ï' | 'ĩ' | 'ī' | 'ĭ' | 'į' | 'ı' => 'i',
+        'Ì' | 'Í' | 'Î' | 'Ï' | 'Ĩ' | 'Ī' | 'Ĭ' | 'Į' | 'İ' => 'I',
+        'ĵ' => 'j',
+        'Ĵ' => 'J',
+        'ķ' => 'k',
+        'Ķ' => 'K',
+        'ĺ' | 'ļ' | 'ľ' | 'ł' => 'l',
+        'Ĺ' | 'Ļ' | 'Ľ' | 'Ł' => 'L',
+        'ñ' | 'ń' | 'ņ' | 'ň' => 'n',
+        'Ñ' | 'Ń' | 'Ņ' | 'Ň' => 'N',
+        'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ø' | 'ō' | 'ŏ' | 'ő' => 'o',
+        'Ò' | 'Ó' | 'Ô' | 'Õ' | 'Ö' | 'Ø' | 'Ō' | 'Ŏ' | 'Ő' => 'O',
+        'ŕ' | 'ŗ' | 'ř' => 'r',
+        'Ŕ' | 'Ŗ' | 'Ř' => 'R',
+        'ś' | 'ŝ' | 'ş' | 'š' => 's',
+        'Ś' | 'Ŝ' | 'Ş' | 'Š' => 'S',
+        'ţ' | 'ť' | 'ŧ' => 't',
+        'Ţ' | 'Ť' | 'Ŧ' => 'T',
+        'ù' | 'ú' | 'û' | 'ü' | 'ũ' | 'ū' | 'ŭ' | 'ů' | 'ű' | 'ų' => 'u',
+        'Ù' | 'Ú' | 'Û' | 'Ü' | 'Ũ' | 'Ū' | 'Ŭ' | 'Ů' | 'Ű' | 'Ų' => 'U',
+        'ŵ' => 'w',
+        'Ŵ' => 'W',
+        'ý' | 'ÿ' | 'ŷ' => 'y',
+        'Ý' | 'Ÿ' | 'Ŷ' => 'Y',
+        'ź' | 'ż' | 'ž' => 'z',
+        'Ź' | 'Ż' | 'Ž' => 'Z',
+        'ß' => 's',
+        'æ' => 'a',
+        'Æ' => 'A',
+        'œ' => 'o',
+        'Œ' => 'O',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pipeline_canonicalises_name_variants() {
+        let opts = NormalizeOptions::default();
+        assert_eq!(normalize("Frank Sinatra", opts), "frank sinatra");
+        assert_eq!(normalize("frank_SINATRA", opts), "frank sinatra");
+        assert_eq!(normalize("  Fránk   Sinatra. ", opts), "frank sinatra");
+    }
+
+    #[test]
+    fn ascii_fold_handles_common_accents() {
+        assert_eq!(ascii_fold("Čajkovskij"), "Cajkovskij");
+        assert_eq!(ascii_fold("Gödel"), "Godel");
+        assert_eq!(ascii_fold("FRANÇAIS"), "FRANCAIS");
+        assert_eq!(ascii_fold("Łódź"), "Lodz");
+    }
+
+    #[test]
+    fn fold_passes_through_unmapped_chars() {
+        assert_eq!(ascii_fold("日本語 abc"), "日本語 abc");
+    }
+
+    #[test]
+    fn options_can_be_disabled_individually() {
+        let opts = NormalizeOptions {
+            case_fold: false,
+            strip_punctuation: false,
+            squash_whitespace: false,
+            ascii_fold: false,
+        };
+        assert_eq!(normalize("A-B  C", opts), "A-B  C");
+
+        let only_case = NormalizeOptions { case_fold: true, ..opts };
+        assert_eq!(normalize("A-B", only_case), "a-b");
+    }
+
+    #[test]
+    fn punctuation_becomes_single_space_after_squash() {
+        let opts = NormalizeOptions::default();
+        assert_eq!(normalize("a,b;c", opts), "a b c");
+        assert_eq!(normalize("O'Neil", opts), "o neil");
+    }
+
+    #[test]
+    fn empty_and_whitespace_only_inputs() {
+        let opts = NormalizeOptions::default();
+        assert_eq!(normalize("", opts), "");
+        assert_eq!(normalize("   \t ", opts), "");
+        assert_eq!(normalize("...", opts), "");
+    }
+}

@@ -1,0 +1,215 @@
+//! q-gram profiles and the set/vector coefficients over them.
+//!
+//! A q-gram profile is the multiset of all length-`q` character windows of
+//! a string, with the conventional `#`-padding at both ends so short
+//! strings still produce grams.
+
+use std::collections::BTreeMap;
+
+/// Padding character added (q−1 times) to both ends before gram
+/// extraction.
+pub const PAD: char = '#';
+
+/// A multiset of q-grams with counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QgramProfile {
+    q: usize,
+    counts: BTreeMap<String, usize>,
+    total: usize,
+}
+
+impl QgramProfile {
+    /// Builds the profile of `s` for gram size `q` (≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `q == 0`.
+    pub fn new(s: &str, q: usize) -> Self {
+        assert!(q > 0, "gram size must be at least 1");
+        let mut padded: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * (q - 1));
+        padded.extend(std::iter::repeat_n(PAD, q - 1));
+        padded.extend(s.chars());
+        padded.extend(std::iter::repeat_n(PAD, q - 1));
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut total = 0;
+        if padded.len() >= q {
+            for window in padded.windows(q) {
+                *counts.entry(window.iter().collect()).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        Self { q, counts, total }
+    }
+
+    /// The gram size.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of distinct grams.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total gram count (with multiplicity).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Count of one gram.
+    pub fn count(&self, gram: &str) -> usize {
+        self.counts.get(gram).copied().unwrap_or(0)
+    }
+
+    /// Multiset intersection size with another profile.
+    pub fn intersection(&self, other: &Self) -> usize {
+        self.counts
+            .iter()
+            .map(|(g, &c)| c.min(other.count(g)))
+            .sum()
+    }
+
+    /// Dot product of the two count vectors.
+    pub fn dot(&self, other: &Self) -> u64 {
+        self.counts
+            .iter()
+            .map(|(g, &c)| c as u64 * other.count(g) as u64)
+            .sum()
+    }
+
+    /// Euclidean norm of the count vector.
+    pub fn norm(&self) -> f64 {
+        (self.counts.values().map(|&c| (c as u64 * c as u64) as f64).sum::<f64>()).sqrt()
+    }
+}
+
+/// Multiset Jaccard coefficient over q-gram profiles: `|∩| / |∪|`.
+pub fn jaccard_qgram(a: &str, b: &str, q: usize) -> f64 {
+    let pa = QgramProfile::new(a, q);
+    let pb = QgramProfile::new(b, q);
+    let inter = pa.intersection(&pb);
+    let union = pa.total() + pb.total() - inter;
+    if union == 0 {
+        return 1.0;
+    }
+    inter as f64 / union as f64
+}
+
+/// Dice (Sørensen) coefficient: `2|∩| / (|A| + |B|)`.
+pub fn dice_qgram(a: &str, b: &str, q: usize) -> f64 {
+    let pa = QgramProfile::new(a, q);
+    let pb = QgramProfile::new(b, q);
+    let denom = pa.total() + pb.total();
+    if denom == 0 {
+        return 1.0;
+    }
+    2.0 * pa.intersection(&pb) as f64 / denom as f64
+}
+
+/// Overlap coefficient: `|∩| / min(|A|, |B|)`.
+pub fn overlap_qgram(a: &str, b: &str, q: usize) -> f64 {
+    let pa = QgramProfile::new(a, q);
+    let pb = QgramProfile::new(b, q);
+    let denom = pa.total().min(pb.total());
+    if denom == 0 {
+        return 1.0;
+    }
+    pa.intersection(&pb) as f64 / denom as f64
+}
+
+/// Cosine similarity of the gram count vectors.
+pub fn cosine_qgram(a: &str, b: &str, q: usize) -> f64 {
+    let pa = QgramProfile::new(a, q);
+    let pb = QgramProfile::new(b, q);
+    let denom = pa.norm() * pb.norm();
+    if denom == 0.0 {
+        // Both empty → identical; one empty → disjoint.
+        return if pa.total() == pb.total() { 1.0 } else { 0.0 };
+    }
+    pa.dot(&pb) as f64 / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_counts_with_padding() {
+        // "ab" with q=2 → grams: #a, ab, b#.
+        let p = QgramProfile::new("ab", 2);
+        assert_eq!(p.total(), 3);
+        assert_eq!(p.count("#a"), 1);
+        assert_eq!(p.count("ab"), 1);
+        assert_eq!(p.count("b#"), 1);
+        assert_eq!(p.count("zz"), 0);
+    }
+
+    #[test]
+    fn profile_of_empty_string() {
+        let p = QgramProfile::new("", 2);
+        // Padding alone: "##" → one gram.
+        assert_eq!(p.total(), 1);
+        let p1 = QgramProfile::new("", 1);
+        assert_eq!(p1.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gram size")]
+    fn zero_q_panics() {
+        let _ = QgramProfile::new("abc", 0);
+    }
+
+    #[test]
+    fn repeated_grams_counted_with_multiplicity() {
+        let p = QgramProfile::new("aaaa", 2);
+        assert_eq!(p.count("aa"), 3);
+        assert_eq!(p.total(), 5);
+        assert_eq!(p.distinct(), 3); // #a, aa, a#
+    }
+
+    #[test]
+    fn identical_strings_score_one() {
+        for f in [jaccard_qgram, dice_qgram, overlap_qgram, cosine_qgram] {
+            assert!((f("sinatra", "sinatra", 2) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn disjoint_strings_score_zero() {
+        for f in [jaccard_qgram, dice_qgram, overlap_qgram, cosine_qgram] {
+            assert_eq!(f("aaa", "zzz", 2), 0.0);
+        }
+    }
+
+    #[test]
+    fn coefficient_ordering_jaccard_le_dice() {
+        // Dice ≥ Jaccard always.
+        for (a, b) in [("frank", "franck"), ("night", "nacht"), ("abc", "abd")] {
+            assert!(dice_qgram(a, b, 2) >= jaccard_qgram(a, b, 2) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn overlap_is_one_for_substring_profiles() {
+        // q=1, no padding effect: grams of "ab" ⊂ grams of "xaby"? With q=1
+        // there is no padding (q-1=0). "ab" grams {a,b}; "aabb" grams
+        // {a,a,b,b} — min total is 2, intersection 2.
+        assert_eq!(overlap_qgram("ab", "aabb", 1), 1.0);
+    }
+
+    #[test]
+    fn symmetry_of_all_coefficients() {
+        for f in [jaccard_qgram, dice_qgram, overlap_qgram, cosine_qgram] {
+            assert!((f("martha", "marhta", 2) - f("marhta", "martha", 2)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bounds_zero_one() {
+        for f in [jaccard_qgram, dice_qgram, overlap_qgram, cosine_qgram] {
+            for (a, b) in [("a", "ab"), ("frank", "sinatra"), ("", "x"), ("", "")] {
+                let v = f(a, b, 2);
+                assert!((0.0..=1.0 + 1e-12).contains(&v), "{a:?} {b:?} → {v}");
+            }
+        }
+    }
+}

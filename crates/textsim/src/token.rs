@@ -1,0 +1,107 @@
+//! Token-level similarity: whole-word measures for multi-word literals.
+
+use crate::jaro::jaro_winkler;
+
+/// Splits on whitespace. Inputs are expected to be pre-normalised (see
+/// [`crate::normalize`]), so no further cleanup happens here.
+pub fn tokenize(s: &str) -> Vec<&str> {
+    s.split_whitespace().collect()
+}
+
+/// Jaccard coefficient over the *sets* of tokens.
+///
+/// Word order and duplicates are ignored — the right behaviour for
+/// "Sinatra, Frank" vs "Frank Sinatra".
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let sa: std::collections::BTreeSet<&str> = tokenize(a).into_iter().collect();
+    let sb: std::collections::BTreeSet<&str> = tokenize(b).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Monge–Elkan similarity: for each token of `a`, the best
+/// [`jaro_winkler`] match in `b`, averaged; symmetrised by taking the mean
+/// of both directions.
+///
+/// Tolerates both token reordering *and* per-token typos, at O(|a|·|b|)
+/// token comparisons.
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let ta = tokenize(a);
+    let tb = tokenize(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let directed = |xs: &[&str], ys: &[&str]| -> f64 {
+        xs.iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| jaro_winkler(x, y))
+                    .fold(0.0_f64, f64::max)
+            })
+            .sum::<f64>()
+            / xs.len() as f64
+    };
+    (directed(&ta, &tb) + directed(&tb, &ta)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_on_whitespace() {
+        assert_eq!(tokenize("frank  sinatra"), vec!["frank", "sinatra"]);
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn token_jaccard_ignores_order_and_duplicates() {
+        assert_eq!(token_jaccard("frank sinatra", "sinatra frank"), 1.0);
+        assert_eq!(token_jaccard("a a b", "a b"), 1.0);
+        assert_eq!(token_jaccard("a b", "b c"), 1.0 / 3.0);
+        assert_eq!(token_jaccard("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn token_jaccard_empty_conventions() {
+        assert_eq!(token_jaccard("", ""), 1.0);
+        assert_eq!(token_jaccard("", "a"), 0.0);
+    }
+
+    #[test]
+    fn monge_elkan_tolerates_reorder_plus_typo() {
+        let s = monge_elkan("frank sinatra", "sinatra frnak");
+        assert!(s > 0.85, "got {s}");
+        assert_eq!(monge_elkan("frank sinatra", "frank sinatra"), 1.0);
+    }
+
+    #[test]
+    fn monge_elkan_is_symmetric_by_construction() {
+        let a = "barack hussein obama";
+        let b = "obama barack";
+        assert!((monge_elkan(a, b) - monge_elkan(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monge_elkan_empty_conventions() {
+        assert_eq!(monge_elkan("", ""), 1.0);
+        assert_eq!(monge_elkan("", "x"), 0.0);
+        assert_eq!(monge_elkan("x", ""), 0.0);
+    }
+
+    #[test]
+    fn monge_elkan_bounded() {
+        for (a, b) in [("a b c", "x y"), ("one", "two three"), ("q", "q")] {
+            let v = monge_elkan(a, b);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

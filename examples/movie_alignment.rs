@@ -1,0 +1,72 @@
+//! The paper's movie example, end to end, on hand-written data.
+//!
+//! K (a YAGO-like KB) has `directedBy`; K' (a DBpedia-like KB) has
+//! `hasDirector` (truly equivalent) and `hasProducer` (merely
+//! overlapping: directors often produce their own movies). A naive
+//! instance-based miner concludes `hasProducer ⇒ directedBy`; SOFYA's
+//! Unbiased Sample Extraction finds a movie whose producer is *not* its
+//! director and prunes the rule.
+//!
+//! ```text
+//! cargo run --release --example movie_alignment
+//! ```
+
+use sofya::align::{Aligner, AlignerConfig};
+use sofya::endpoint::LocalEndpoint;
+use sofya::rdf::parse_ntriples;
+
+const SAME_AS: &str = "http://www.w3.org/2002/07/owl#sameAs";
+
+fn yago_triples() -> String {
+    let mut nt = String::new();
+    for i in 0..12 {
+        nt.push_str(&format!("<y:m{i}> <y:directedBy> <y:dir{i}> .\n"));
+        nt.push_str(&format!("<y:m{i}> <{SAME_AS}> <d:M{i}> .\n"));
+        nt.push_str(&format!("<y:dir{i}> <{SAME_AS}> <d:Dir{i}> .\n"));
+        nt.push_str(&format!("<y:pr{i}> <{SAME_AS}> <d:Pr{i}> .\n"));
+    }
+    nt
+}
+
+fn dbp_triples() -> String {
+    let mut nt = String::new();
+    for i in 0..12 {
+        nt.push_str(&format!("<d:M{i}> <d:hasDirector> <d:Dir{i}> .\n"));
+        // Two thirds of the directors also produce (the trap)…
+        if i % 3 != 0 {
+            nt.push_str(&format!("<d:M{i}> <d:hasProducer> <d:Dir{i}> .\n"));
+        }
+        // …and every movie also has a dedicated producer who directs
+        // nothing — SOFYA's contradiction material.
+        nt.push_str(&format!("<d:M{i}> <d:hasProducer> <d:Pr{i}> .\n"));
+        nt.push_str(&format!("<d:M{i}> <{SAME_AS}> <y:m{i}> .\n"));
+        nt.push_str(&format!("<d:Dir{i}> <{SAME_AS}> <y:dir{i}> .\n"));
+        nt.push_str(&format!("<d:Pr{i}> <{SAME_AS}> <y:pr{i}> .\n"));
+    }
+    nt
+}
+
+fn main() {
+    let yago = parse_ntriples(&yago_triples()).expect("valid N-Triples");
+    let dbp = parse_ntriples(&dbp_triples()).expect("valid N-Triples");
+    println!("K  (yago): {} triples — relations: directedBy", yago.len());
+    println!("K' (dbp):  {} triples — relations: hasDirector, hasProducer", dbp.len());
+
+    let source = LocalEndpoint::new("dbp", dbp);
+    let target = LocalEndpoint::new("yago", yago);
+
+    println!("\n— Simple Sample Extraction (pcaconf, τ > 0.3) —");
+    let baseline = Aligner::new(&source, &target, AlignerConfig::baseline_pca(7));
+    for rule in baseline.align_relation("y:directedBy").expect("alignment failed") {
+        let verdict = if rule.premise.contains("Producer") { "WRONG (overlap)" } else { "correct" };
+        println!("  {rule}   ← {verdict}");
+    }
+
+    println!("\n— Unbiased Sample Extraction (UBS) —");
+    let ubs = Aligner::new(&source, &target, AlignerConfig::paper_defaults(7));
+    for rule in ubs.align_relation("y:directedBy").expect("alignment failed") {
+        println!("  {rule}   ← survives contrastive checking");
+    }
+    println!("\nUBS sampled movies whose producer differs from their director;");
+    println!("one such contradiction was enough to prune hasProducer ⇒ directedBy.");
+}

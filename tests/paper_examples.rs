@@ -1,0 +1,118 @@
+//! The paper's two §2.2 examples, encoded literally and run through the
+//! full stack: N-Triples → store → SPARQL endpoint → aligner.
+
+use sofya::align::{equivalences, Aligner, AlignerConfig};
+use sofya::endpoint::LocalEndpoint;
+use sofya::rdf::parse_ntriples;
+
+const SA: &str = "http://www.w3.org/2002/07/owl#sameAs";
+
+/// Builds the composer/writer KBs: K has `creatorOf` (coarse), K' has
+/// `composerOf` and `writerOf` (fine). Every person creates one song and
+/// one book, so `creatorOf ⇒ composerOf` looks half-true to PCA.
+fn creator_kbs() -> (LocalEndpoint, LocalEndpoint) {
+    let mut yago_nt = String::new();
+    let mut dbp_nt = String::new();
+    for i in 0..10 {
+        yago_nt.push_str(&format!("<y:p{i}> <y:creatorOf> <y:song{i}> .\n"));
+        yago_nt.push_str(&format!("<y:p{i}> <y:creatorOf> <y:book{i}> .\n"));
+        dbp_nt.push_str(&format!("<d:P{i}> <d:composerOf> <d:Song{i}> .\n"));
+        dbp_nt.push_str(&format!("<d:P{i}> <d:writerOf> <d:Book{i}> .\n"));
+        for (a, b) in [
+            (format!("y:p{i}"), format!("d:P{i}")),
+            (format!("y:song{i}"), format!("d:Song{i}")),
+            (format!("y:book{i}"), format!("d:Book{i}")),
+        ] {
+            yago_nt.push_str(&format!("<{a}> <{SA}> <{b}> .\n"));
+            dbp_nt.push_str(&format!("<{b}> <{SA}> <{a}> .\n"));
+        }
+    }
+    (
+        LocalEndpoint::new("dbp", parse_ntriples(&dbp_nt).unwrap()),
+        LocalEndpoint::new("yago", parse_ntriples(&yago_nt).unwrap()),
+    )
+}
+
+#[test]
+fn composer_of_implies_creator_of_but_not_conversely() {
+    let (dbp, yago) = creator_kbs();
+    // Forward direction: true subsumptions survive UBS.
+    let fwd = Aligner::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
+    let rules = fwd.align_relation("y:creatorOf").unwrap();
+    let premises: Vec<&str> = rules.iter().map(|r| r.premise.as_str()).collect();
+    assert!(premises.contains(&"d:composerOf"));
+    assert!(premises.contains(&"d:writerOf"));
+
+    // Reverse direction: creatorOf ⇒ composerOf must be pruned by UBS…
+    let bwd = Aligner::new(&yago, &dbp, AlignerConfig::paper_defaults(1));
+    let rules = bwd.align_relation("d:composerOf").unwrap();
+    assert!(rules.iter().all(|r| r.premise != "y:creatorOf"), "{rules:?}");
+
+    // …whereas the SSE baseline falls for it.
+    let sse = Aligner::new(&yago, &dbp, AlignerConfig::baseline_pca(1));
+    let rules = sse.align_relation("d:composerOf").unwrap();
+    assert!(rules.iter().any(|r| r.premise == "y:creatorOf"), "{rules:?}");
+}
+
+#[test]
+fn no_false_equivalence_for_subsumption_families() {
+    let (dbp, yago) = creator_kbs();
+    let fwd = Aligner::new(&dbp, &yago, AlignerConfig::paper_defaults(2)).align_all().unwrap();
+    let bwd = Aligner::new(&yago, &dbp, AlignerConfig::paper_defaults(2)).align_all().unwrap();
+    let eqs = equivalences(&fwd, &bwd);
+    assert!(
+        eqs.is_empty(),
+        "composerOf/writerOf are strictly subsumed, never equivalent: {eqs:?}"
+    );
+}
+
+/// Director/producer: the overlap trap from §2.2.
+fn movie_kbs() -> (LocalEndpoint, LocalEndpoint) {
+    let mut yago_nt = String::new();
+    let mut dbp_nt = String::new();
+    for i in 0..12 {
+        yago_nt.push_str(&format!("<y:m{i}> <y:directedBy> <y:dir{i}> .\n"));
+        dbp_nt.push_str(&format!("<d:M{i}> <d:hasDirector> <d:Dir{i}> .\n"));
+        if i % 3 != 0 {
+            dbp_nt.push_str(&format!("<d:M{i}> <d:hasProducer> <d:Dir{i}> .\n"));
+        }
+        dbp_nt.push_str(&format!("<d:M{i}> <d:hasProducer> <d:Pr{i}> .\n"));
+        for (a, b) in [
+            (format!("y:m{i}"), format!("d:M{i}")),
+            (format!("y:dir{i}"), format!("d:Dir{i}")),
+            (format!("y:pr{i}"), format!("d:Pr{i}")),
+        ] {
+            yago_nt.push_str(&format!("<{a}> <{SA}> <{b}> .\n"));
+            dbp_nt.push_str(&format!("<{b}> <{SA}> <{a}> .\n"));
+        }
+    }
+    (
+        LocalEndpoint::new("dbp", parse_ntriples(&dbp_nt).unwrap()),
+        LocalEndpoint::new("yago", parse_ntriples(&yago_nt).unwrap()),
+    )
+}
+
+#[test]
+fn producer_overlap_is_pruned_only_by_ubs() {
+    let (dbp, yago) = movie_kbs();
+    let sse = Aligner::new(&dbp, &yago, AlignerConfig::baseline_pca(3));
+    let sse_rules = sse.align_relation("y:directedBy").unwrap();
+    assert!(sse_rules.iter().any(|r| r.premise == "d:hasProducer"));
+
+    let ubs = Aligner::new(&dbp, &yago, AlignerConfig::paper_defaults(3));
+    let ubs_rules = ubs.align_relation("y:directedBy").unwrap();
+    let premises: Vec<&str> = ubs_rules.iter().map(|r| r.premise.as_str()).collect();
+    assert_eq!(premises, vec!["d:hasDirector"]);
+}
+
+#[test]
+fn director_equivalence_is_mined_across_directions() {
+    let (dbp, yago) = movie_kbs();
+    let fwd = Aligner::new(&dbp, &yago, AlignerConfig::paper_defaults(4)).align_all().unwrap();
+    let bwd = Aligner::new(&yago, &dbp, AlignerConfig::paper_defaults(4)).align_all().unwrap();
+    let eqs = equivalences(&fwd, &bwd);
+    assert_eq!(eqs.len(), 1);
+    assert_eq!(eqs[0].source, "d:hasDirector");
+    assert_eq!(eqs[0].target, "y:directedBy");
+    assert!(eqs[0].min_confidence() > 0.9);
+}

@@ -1,0 +1,150 @@
+//! Cross-checks of the SPARQL engine against brute-force evaluation on
+//! generated data: whatever the planner decides, results must equal a
+//! naive filter over all triples.
+
+use sofya::kbgen::{generate, PairConfig};
+use sofya::rdf::{Term, TripleStore};
+use sofya::sparql::{execute, execute_ask};
+
+fn store() -> TripleStore {
+    generate(&PairConfig::tiny(9)).kb2
+}
+
+/// Naive evaluation of `?x <p> ?y`: all (s, o) pairs of predicate p.
+fn facts_of(store: &TripleStore, p: &str) -> Vec<(Term, Term)> {
+    let Some(p) = store.dict().lookup_iri(p) else { return Vec::new() };
+    store
+        .triples_with_predicate(p)
+        .map(|t| {
+            let (s, _, o) = store.resolve(t);
+            (s.clone(), o.clone())
+        })
+        .collect()
+}
+
+fn a_predicate(store: &TripleStore) -> String {
+    let preds = store.predicates();
+    // Pick a content predicate (not sameAs) deterministically.
+    preds
+        .iter()
+        .map(|&p| store.dict().resolve(p).as_iri().unwrap().to_owned())
+        .find(|iri| !iri.contains("sameAs"))
+        .expect("store has content predicates")
+}
+
+#[test]
+fn single_pattern_matches_brute_force() {
+    let s = store();
+    let p = a_predicate(&s);
+    let rs = execute(&s, &format!("SELECT ?x ?y WHERE {{ ?x <{p}> ?y }}")).unwrap();
+    let mut engine: Vec<(Term, Term)> = rs
+        .rows()
+        .iter()
+        .map(|r| (r[0].clone().unwrap(), r[1].clone().unwrap()))
+        .collect();
+    let mut brute = facts_of(&s, &p);
+    engine.sort();
+    brute.sort();
+    assert_eq!(engine, brute);
+}
+
+#[test]
+fn join_matches_nested_loop_over_facts() {
+    let s = store();
+    let p = a_predicate(&s);
+    // ?x <p> ?y . ?y ?q ?z — brute force: for every (x,y) of p, every
+    // triple with subject y.
+    let rs = execute(&s, &format!("SELECT ?x ?y ?z WHERE {{ ?x <{p}> ?y . ?y ?q ?z }}")).unwrap();
+    let mut brute = Vec::new();
+    for (x, y) in facts_of(&s, &p) {
+        if let Some(y_id) = s.dict().lookup(&y) {
+            for t in s.triples_with_subject(y_id) {
+                let (_, _, z) = s.resolve(t);
+                brute.push((x.clone(), y.clone(), z.clone()));
+            }
+        }
+    }
+    let mut engine: Vec<(Term, Term, Term)> = rs
+        .rows()
+        .iter()
+        .map(|r| (r[0].clone().unwrap(), r[1].clone().unwrap(), r[2].clone().unwrap()))
+        .collect();
+    engine.sort();
+    brute.sort();
+    assert_eq!(engine, brute);
+}
+
+#[test]
+fn not_exists_complements_exists() {
+    let s = store();
+    let p = a_predicate(&s);
+    let all = execute(&s, &format!("SELECT ?x WHERE {{ ?x <{p}> ?y }}")).unwrap().len();
+    let with = execute(
+        &s,
+        &format!("SELECT ?x WHERE {{ ?x <{p}> ?y FILTER EXISTS {{ ?x ?q ?z }} }}"),
+    )
+    .unwrap()
+    .len();
+    let without = execute(
+        &s,
+        &format!("SELECT ?x WHERE {{ ?x <{p}> ?y FILTER NOT EXISTS {{ ?x ?q ?z }} }}"),
+    )
+    .unwrap()
+    .len();
+    // Every subject of p trivially has some triple (p itself), so EXISTS
+    // keeps everything and NOT EXISTS keeps nothing.
+    assert_eq!(with, all);
+    assert_eq!(without, 0);
+}
+
+#[test]
+fn count_equals_row_count() {
+    let s = store();
+    let p = a_predicate(&s);
+    let rows = execute(&s, &format!("SELECT ?x ?y WHERE {{ ?x <{p}> ?y }}")).unwrap().len();
+    let count = execute(&s, &format!("SELECT (COUNT(*) AS ?n) WHERE {{ ?x <{p}> ?y }}"))
+        .unwrap()
+        .single_integer()
+        .unwrap();
+    assert_eq!(rows as i64, count);
+}
+
+#[test]
+fn distinct_never_increases_and_dedupes() {
+    let s = store();
+    let p = a_predicate(&s);
+    let plain = execute(&s, &format!("SELECT ?x WHERE {{ ?x <{p}> ?y }}")).unwrap();
+    let distinct = execute(&s, &format!("SELECT DISTINCT ?x WHERE {{ ?x <{p}> ?y }}")).unwrap();
+    assert!(distinct.len() <= plain.len());
+    let mut seen = std::collections::BTreeSet::new();
+    for row in distinct.rows() {
+        assert!(seen.insert(format!("{:?}", row)), "duplicate row after DISTINCT");
+    }
+}
+
+#[test]
+fn limit_offset_slices_ordered_results() {
+    let s = store();
+    let p = a_predicate(&s);
+    let all = execute(&s, &format!("SELECT ?x ?y WHERE {{ ?x <{p}> ?y }} ORDER BY ?x ?y")).unwrap();
+    for (limit, offset) in [(1usize, 0usize), (3, 2), (100, 1)] {
+        let page = execute(
+            &s,
+            &format!(
+                "SELECT ?x ?y WHERE {{ ?x <{p}> ?y }} ORDER BY ?x ?y LIMIT {limit} OFFSET {offset}"
+            ),
+        )
+        .unwrap();
+        let expected: Vec<_> = all.rows().iter().skip(offset).take(limit).cloned().collect();
+        assert_eq!(page.rows(), &expected[..], "limit {limit} offset {offset}");
+    }
+}
+
+#[test]
+fn ask_agrees_with_select_emptiness() {
+    let s = store();
+    let p = a_predicate(&s);
+    let non_empty = !execute(&s, &format!("SELECT ?x {{ ?x <{p}> ?y }} LIMIT 1")).unwrap().is_empty();
+    assert_eq!(execute_ask(&s, &format!("ASK {{ ?x <{p}> ?y }}")).unwrap(), non_empty);
+    assert!(!execute_ask(&s, "ASK { ?x <urn:no-such-predicate> ?y }").unwrap());
+}
