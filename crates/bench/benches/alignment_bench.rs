@@ -62,5 +62,10 @@ fn bench_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_align_one_relation, bench_align_all_small, bench_generation);
+criterion_group!(
+    benches,
+    bench_align_one_relation,
+    bench_align_all_small,
+    bench_generation
+);
 criterion_main!(benches);

@@ -17,14 +17,16 @@ fn bench_query_shapes(c: &mut Criterion) {
     let sa = pair.same_as();
 
     // A concrete linked subject for the entity-centric shapes.
-    let probe = execute(store, &format!("SELECT ?x ?x2 {{ ?x <{relation}> ?y . ?x <{sa}> ?x2 }} LIMIT 1"))
-        .unwrap();
+    let probe = execute(
+        store,
+        &format!("SELECT ?x ?x2 {{ ?x <{relation}> ?y . ?x <{sa}> ?x2 }} LIMIT 1"),
+    )
+    .unwrap();
     let subject = probe.cell(0, "x").unwrap().as_iri().unwrap().to_owned();
 
     let mut group = c.benchmark_group("sparql");
     group.bench_function("facts_page", |b| {
-        let q =
-            format!("SELECT ?x ?y WHERE {{ ?x <{relation}> ?y }} ORDER BY ?x ?y LIMIT 60");
+        let q = format!("SELECT ?x ?y WHERE {{ ?x <{relation}> ?y }} ORDER BY ?x ?y LIMIT 60");
         b.iter(|| black_box(execute(store, &q).unwrap().len()))
     });
     group.bench_function("linked_facts_join", |b| {

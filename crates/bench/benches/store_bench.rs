@@ -48,7 +48,9 @@ fn bench_scans(c: &mut Criterion) {
     group.bench_function("subject_predicate", |b| {
         b.iter(|| black_box(store.scan(TriplePattern::with_sp(s, p)).count()))
     });
-    group.bench_function("exists_probe", |b| b.iter(|| black_box(store.contains(s, p, o))));
+    group.bench_function("exists_probe", |b| {
+        b.iter(|| black_box(store.contains(s, p, o)))
+    });
     group.finish();
 }
 

@@ -12,7 +12,10 @@ const PAIRS: &[(&str, &str)] = &[
     ("Ella Fitzgerald", "Fitzgerald, Ella"),
     ("Ludwig van Beethoven", "Beethoven, Ludwig van"),
     ("Gödel, Kurt", "Kurt Godel"),
-    ("The Shawshank Redemption", "Shawshank Redemption (1994 film)"),
+    (
+        "The Shawshank Redemption",
+        "Shawshank Redemption (1994 film)",
+    ),
     ("completely unrelated", "something else entirely"),
 ];
 

@@ -45,8 +45,10 @@ fn missing(
     premise_kb: &str,
     conclusion_kb: &str,
 ) -> Vec<(String, String)> {
-    let predicted: std::collections::BTreeSet<(String, String)> =
-        rules.iter().map(|r| (r.premise.clone(), r.conclusion.clone())).collect();
+    let predicted: std::collections::BTreeSet<(String, String)> = rules
+        .iter()
+        .map(|r| (r.premise.clone(), r.conclusion.clone()))
+        .collect();
     pair.gold
         .subsumptions_between(premise_kb, conclusion_kb)
         .into_iter()
@@ -71,7 +73,10 @@ fn main() {
         ] {
             let out = align_direction(src, tgt, sname, tname, &config, threads)
                 .expect("alignment failed");
-            println!("\n== {label} | {sname} ⊂ {tname} | {} rules", out.rules.len());
+            println!(
+                "\n== {label} | {sname} ⊂ {tname} | {} rules",
+                out.rules.len()
+            );
             for (kind, count) in classify(&pair, &out.rules) {
                 println!("   {kind:<32} {count}");
             }

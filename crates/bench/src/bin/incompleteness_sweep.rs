@@ -38,7 +38,10 @@ fn main() {
         let pair = generate(&pair_config);
 
         let mut row = vec![format!("{drop:.2}")];
-        for config in [AlignerConfig::paper_defaults(seed), AlignerConfig::baseline_pca(seed)] {
+        for config in [
+            AlignerConfig::paper_defaults(seed),
+            AlignerConfig::baseline_pca(seed),
+        ] {
             let out = align_direction(
                 &pair.kb2,
                 &pair.kb1,

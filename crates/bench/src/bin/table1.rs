@@ -23,7 +23,11 @@ fn main() {
     let result = run_table1(&pair, seed, sample_size, threads).expect("alignment failed");
     let elapsed = start.elapsed();
 
-    println!("\nTable 1 — alignment subsumptions ({} and {} relations)", pair.kb1_name(), pair.kb2_name());
+    println!(
+        "\nTable 1 — alignment subsumptions ({} and {} relations)",
+        pair.kb1_name(),
+        pair.kb2_name()
+    );
     println!("{}", result.render());
     println!("paper reference (YAGO2 / DBpedia, sample size 10):");
     println!("  pcaconf tau>0.3   yago⊂dbpd P 0.55 F1 0.58 | dbpd⊂yago P 0.51 F1 0.48");

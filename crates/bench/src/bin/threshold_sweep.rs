@@ -46,8 +46,14 @@ fn main() {
         }
         println!("\n== {label}\n{}", table.render());
         if let Some(best) = best_tau(&points) {
-            println!("best τ by mean F1: {best:.2} (paper used {} for this measure)",
-                if label.starts_with("pca") { "0.3" } else { "0.1" });
+            println!(
+                "best τ by mean F1: {best:.2} (paper used {} for this measure)",
+                if label.starts_with("pca") {
+                    "0.3"
+                } else {
+                    "0.1"
+                }
+            );
         }
     }
 }

@@ -20,18 +20,27 @@ fn main() {
     let pair = generate_pair_from_args();
 
     let variants: Vec<(&str, AlignerConfig)> = vec![
-        ("no UBS (SSE pcaconf)", AlignerConfig {
-            strategy: SamplingStrategy::Simple,
-            ..AlignerConfig::paper_defaults(seed)
-        }),
-        ("premise-side only", AlignerConfig {
-            ubs_conclusion_side: false,
-            ..AlignerConfig::paper_defaults(seed)
-        }),
-        ("conclusion-side only", AlignerConfig {
-            ubs_premise_side: false,
-            ..AlignerConfig::paper_defaults(seed)
-        }),
+        (
+            "no UBS (SSE pcaconf)",
+            AlignerConfig {
+                strategy: SamplingStrategy::Simple,
+                ..AlignerConfig::paper_defaults(seed)
+            },
+        ),
+        (
+            "premise-side only",
+            AlignerConfig {
+                ubs_conclusion_side: false,
+                ..AlignerConfig::paper_defaults(seed)
+            },
+        ),
+        (
+            "conclusion-side only",
+            AlignerConfig {
+                ubs_premise_side: false,
+                ..AlignerConfig::paper_defaults(seed)
+            },
+        ),
         ("full UBS", AlignerConfig::paper_defaults(seed)),
     ];
 
@@ -44,10 +53,24 @@ fn main() {
     ]);
     for (label, config) in variants {
         eprintln!("running {label}…");
-        let fwd = align_direction(&pair.kb2, &pair.kb1, pair.kb2_name(), pair.kb1_name(), &config, threads)
-            .expect("run failed");
-        let bwd = align_direction(&pair.kb1, &pair.kb2, pair.kb1_name(), pair.kb2_name(), &config, threads)
-            .expect("run failed");
+        let fwd = align_direction(
+            &pair.kb2,
+            &pair.kb1,
+            pair.kb2_name(),
+            pair.kb1_name(),
+            &config,
+            threads,
+        )
+        .expect("run failed");
+        let bwd = align_direction(
+            &pair.kb1,
+            &pair.kb2,
+            pair.kb1_name(),
+            pair.kb2_name(),
+            &config,
+            threads,
+        )
+        .expect("run failed");
         let mf = evaluate_rules(&fwd.rules, &pair.gold, pair.kb2_name(), pair.kb1_name());
         let mb = evaluate_rules(&bwd.rules, &pair.gold, pair.kb1_name(), pair.kb2_name());
         table.push(vec![

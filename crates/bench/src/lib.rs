@@ -77,7 +77,12 @@ pub fn generate_pair_from_args() -> GeneratedPair {
 
 /// Default worker thread count (`--threads=` override).
 pub fn threads_from_args() -> usize {
-    arg("threads", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+    arg(
+        "threads",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    )
 }
 
 #[cfg(test)]

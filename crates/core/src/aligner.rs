@@ -1,7 +1,7 @@
 //! The alignment orchestrator.
 
-use crate::config::{AlignerConfig, ConfidenceMeasure, SamplingStrategy};
 use crate::confidence::{cwaconf, pcaconf, SampleEvidence};
+use crate::config::{AlignerConfig, ConfidenceMeasure, SamplingStrategy};
 use crate::discovery;
 use crate::error::AlignError;
 use crate::evidence;
@@ -38,7 +38,11 @@ impl<'a> Aligner<'a> {
     /// Creates an aligner. `source` is `K'` (where premises live),
     /// `target` is `K` (whose relations get aligned).
     pub fn new(source: &'a dyn Endpoint, target: &'a dyn Endpoint, config: AlignerConfig) -> Self {
-        Self { source, target, config }
+        Self {
+            source,
+            target,
+            config,
+        }
     }
 
     /// The configuration in effect.
@@ -64,8 +68,14 @@ impl<'a> Aligner<'a> {
         }
         let mut rng = self.relation_rng(relation);
         let is_literal = discovery::relation_is_literal(self.target, relation)?;
-        let found =
-            discovery::discover(self.source, self.target, &self.config, relation, is_literal, &mut rng)?;
+        let found = discovery::discover(
+            self.source,
+            self.target,
+            &self.config,
+            relation,
+            is_literal,
+            &mut rng,
+        )?;
 
         // Validate every candidate on its own sample.
         let mut scored: Vec<Scored> = Vec::new();
@@ -105,7 +115,12 @@ impl<'a> Aligner<'a> {
                 ConfidenceMeasure::Pca => pcaconf(&ev),
             };
             if confidence > self.config.tau {
-                scored.push(Scored { premise: premise.clone(), evidence: ev, confidence, literal: is_literal });
+                scored.push(Scored {
+                    premise: premise.clone(),
+                    evidence: ev,
+                    confidence,
+                    literal: is_literal,
+                });
             }
         }
 
@@ -189,16 +204,35 @@ mod tests {
             link(&mut yago, &mut dbp, &dir_y, &dir_d);
             link(&mut yago, &mut dbp, &pr_y, &pr_d);
             // Ground truth: every movie has exactly one director...
-            yago.insert_terms(&Term::iri(&my), &Term::iri("y:directedBy"), &Term::iri(&dir_y));
-            dbp.insert_terms(&Term::iri(&md), &Term::iri("d:hasDirector"), &Term::iri(&dir_d));
+            yago.insert_terms(
+                &Term::iri(&my),
+                &Term::iri("y:directedBy"),
+                &Term::iri(&dir_y),
+            );
+            dbp.insert_terms(
+                &Term::iri(&md),
+                &Term::iri("d:hasDirector"),
+                &Term::iri(&dir_d),
+            );
             // ...who also produces 2/3 of the time (the overlap trap)...
             if i % 3 != 0 {
-                dbp.insert_terms(&Term::iri(&md), &Term::iri("d:hasProducer"), &Term::iri(&dir_d));
+                dbp.insert_terms(
+                    &Term::iri(&md),
+                    &Term::iri("d:hasProducer"),
+                    &Term::iri(&dir_d),
+                );
             }
             // ...plus a dedicated producer who directs nothing.
-            dbp.insert_terms(&Term::iri(&md), &Term::iri("d:hasProducer"), &Term::iri(&pr_d));
+            dbp.insert_terms(
+                &Term::iri(&md),
+                &Term::iri("d:hasProducer"),
+                &Term::iri(&pr_d),
+            );
         }
-        (LocalEndpoint::new("dbp", dbp), LocalEndpoint::new("yago", yago))
+        (
+            LocalEndpoint::new("dbp", dbp),
+            LocalEndpoint::new("yago", yago),
+        )
     }
 
     #[test]
@@ -207,7 +241,10 @@ mod tests {
         let aligner = Aligner::new(&dbp, &yago, AlignerConfig::baseline_pca(5));
         let rules = aligner.align_relation("y:directedBy").unwrap();
         let premises: Vec<&str> = rules.iter().map(|r| r.premise.as_str()).collect();
-        assert!(premises.contains(&"d:hasDirector"), "true rule must be found: {premises:?}");
+        assert!(
+            premises.contains(&"d:hasDirector"),
+            "true rule must be found: {premises:?}"
+        );
         assert!(
             premises.contains(&"d:hasProducer"),
             "the SSE baseline should accept the overlap trap: {premises:?}"
@@ -220,7 +257,11 @@ mod tests {
         let aligner = Aligner::new(&dbp, &yago, AlignerConfig::paper_defaults(5));
         let rules = aligner.align_relation("y:directedBy").unwrap();
         let premises: Vec<&str> = rules.iter().map(|r| r.premise.as_str()).collect();
-        assert_eq!(premises, vec!["d:hasDirector"], "UBS must keep exactly the true rule");
+        assert_eq!(
+            premises,
+            vec!["d:hasDirector"],
+            "UBS must keep exactly the true rule"
+        );
     }
 
     /// The paper's creator example: K' (yago side of this direction) has
@@ -239,12 +280,31 @@ mod tests {
             link(&mut yago, &mut dbp, &py, &pd);
             link(&mut yago, &mut dbp, &song_y, &song_d);
             link(&mut yago, &mut dbp, &book_y, &book_d);
-            yago.insert_terms(&Term::iri(&py), &Term::iri("y:creatorOf"), &Term::iri(&song_y));
-            yago.insert_terms(&Term::iri(&py), &Term::iri("y:creatorOf"), &Term::iri(&book_y));
-            dbp.insert_terms(&Term::iri(&pd), &Term::iri("d:composerOf"), &Term::iri(&song_d));
-            dbp.insert_terms(&Term::iri(&pd), &Term::iri("d:writerOf"), &Term::iri(&book_d));
+            yago.insert_terms(
+                &Term::iri(&py),
+                &Term::iri("y:creatorOf"),
+                &Term::iri(&song_y),
+            );
+            yago.insert_terms(
+                &Term::iri(&py),
+                &Term::iri("y:creatorOf"),
+                &Term::iri(&book_y),
+            );
+            dbp.insert_terms(
+                &Term::iri(&pd),
+                &Term::iri("d:composerOf"),
+                &Term::iri(&song_d),
+            );
+            dbp.insert_terms(
+                &Term::iri(&pd),
+                &Term::iri("d:writerOf"),
+                &Term::iri(&book_d),
+            );
         }
-        (LocalEndpoint::new("dbp", dbp), LocalEndpoint::new("yago", yago))
+        (
+            LocalEndpoint::new("dbp", dbp),
+            LocalEndpoint::new("yago", yago),
+        )
     }
 
     #[test]

@@ -14,18 +14,27 @@ pub struct PairEvidence {
 impl PairEvidence {
     /// A positive example.
     pub fn positive() -> Self {
-        Self { conclusion_holds: true, subject_has_conclusion: true }
+        Self {
+            conclusion_holds: true,
+            subject_has_conclusion: true,
+        }
     }
 
     /// A PCA counter-example: the subject's `r`-facts are known, but this
     /// pair is not one of them.
     pub fn pca_negative() -> Self {
-        Self { conclusion_holds: false, subject_has_conclusion: true }
+        Self {
+            conclusion_holds: false,
+            subject_has_conclusion: true,
+        }
     }
 
     /// Unknown under PCA: the target KB has no `r`-facts for the subject.
     pub fn unknown() -> Self {
-        Self { conclusion_holds: false, subject_has_conclusion: false }
+        Self {
+            conclusion_holds: false,
+            subject_has_conclusion: false,
+        }
     }
 }
 
@@ -52,7 +61,10 @@ impl SampleEvidence {
 
     /// PCA-known pairs `#(x,y): r'(x,y) ∧ ∃y′ r(x,y′)`.
     pub fn pca_known(&self) -> usize {
-        self.pairs.iter().filter(|p| p.subject_has_conclusion).count()
+        self.pairs
+            .iter()
+            .filter(|p| p.subject_has_conclusion)
+            .count()
     }
 }
 
@@ -94,7 +106,10 @@ mod tests {
         pairs.extend(std::iter::repeat_n(PairEvidence::positive(), pos));
         pairs.extend(std::iter::repeat_n(PairEvidence::pca_negative(), pca_neg));
         pairs.extend(std::iter::repeat_n(PairEvidence::unknown(), unknown));
-        SampleEvidence { pairs, subjects: pos + pca_neg + unknown }
+        SampleEvidence {
+            pairs,
+            subjects: pos + pca_neg + unknown,
+        }
     }
 
     #[test]

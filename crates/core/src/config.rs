@@ -106,13 +106,19 @@ impl AlignerConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), crate::AlignError> {
         if self.sample_size == 0 {
-            return Err(crate::AlignError::Config("sample_size must be positive".into()));
+            return Err(crate::AlignError::Config(
+                "sample_size must be positive".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.tau) {
-            return Err(crate::AlignError::Config("tau must be within [0, 1]".into()));
+            return Err(crate::AlignError::Config(
+                "tau must be within [0, 1]".into(),
+            ));
         }
         if self.discovery_facts == 0 {
-            return Err(crate::AlignError::Config("discovery_facts must be positive".into()));
+            return Err(crate::AlignError::Config(
+                "discovery_facts must be positive".into(),
+            ));
         }
         if self.same_as.is_empty() {
             return Err(crate::AlignError::Config("same_as IRI must be set".into()));
@@ -137,8 +143,14 @@ mod tests {
 
     #[test]
     fn baselines_use_simple_sampling() {
-        assert_eq!(AlignerConfig::baseline_pca(0).strategy, SamplingStrategy::Simple);
-        assert_eq!(AlignerConfig::baseline_cwa(0).strategy, SamplingStrategy::Simple);
+        assert_eq!(
+            AlignerConfig::baseline_pca(0).strategy,
+            SamplingStrategy::Simple
+        );
+        assert_eq!(
+            AlignerConfig::baseline_cwa(0).strategy,
+            SamplingStrategy::Simple
+        );
         assert!((AlignerConfig::baseline_cwa(0).tau - 0.1).abs() < 1e-12);
     }
 

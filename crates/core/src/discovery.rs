@@ -88,7 +88,9 @@ fn discover_entity(
                 subjects.push(x_iri.to_owned());
             }
         }
-        let (Some(x2), Some(y2)) = (x2.as_iri(), y2.as_iri()) else { continue };
+        let (Some(x2), Some(y2)) = (x2.as_iri(), y2.as_iri()) else {
+            continue;
+        };
         for rel in helpers::relations_between(source, x2, y2)? {
             if rel != config.same_as {
                 *freq.entry(rel).or_insert(0) += 1;
@@ -175,7 +177,11 @@ mod tests {
             let (p_y, p_d) = (format!("y:p{i}"), format!("d:P{i}"));
             let (c_y, c_d) = (format!("y:c{i}"), format!("d:C{i}"));
             yago.insert_terms(&Term::iri(&p_y), &Term::iri("y:born"), &Term::iri(&c_y));
-            dbp.insert_terms(&Term::iri(&p_d), &Term::iri("d:birthPlace"), &Term::iri(&c_d));
+            dbp.insert_terms(
+                &Term::iri(&p_d),
+                &Term::iri("d:birthPlace"),
+                &Term::iri(&c_d),
+            );
             yago.insert_terms(&Term::iri(&p_y), &Term::iri(SA), &Term::iri(&p_d));
             yago.insert_terms(&Term::iri(&c_y), &Term::iri(SA), &Term::iri(&c_d));
             dbp.insert_terms(&Term::iri(&p_d), &Term::iri(SA), &Term::iri(&p_y));
@@ -192,7 +198,10 @@ mod tests {
                 &Term::literal(format!("person_number{i}")),
             );
         }
-        (LocalEndpoint::new("dbp", dbp), LocalEndpoint::new("yago", yago))
+        (
+            LocalEndpoint::new("dbp", dbp),
+            LocalEndpoint::new("yago", yago),
+        )
     }
 
     fn config() -> AlignerConfig {

@@ -44,6 +44,8 @@ mod tests {
     fn display_and_conversion() {
         let e: AlignError = EndpointError::Other("down".into()).into();
         assert!(e.to_string().contains("down"));
-        assert!(AlignError::Config("sample_size".into()).to_string().contains("sample_size"));
+        assert!(AlignError::Config("sample_size".into())
+            .to_string()
+            .contains("sample_size"));
     }
 }

@@ -9,8 +9,8 @@
 //! * evidence per pair — whether `r(x₂, y₂)` holds and whether `K` knows
 //!   any `r`-fact of `x₂` (the PCA denominators).
 
-use crate::config::AlignerConfig;
 use crate::confidence::{PairEvidence, SampleEvidence};
+use crate::config::AlignerConfig;
 use crate::error::AlignError;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -73,7 +73,10 @@ pub fn entity_evidence(
     }
     subject_order.truncate(config.sample_size);
 
-    let mut evidence = SampleEvidence { pairs: Vec::new(), subjects: subject_order.len() };
+    let mut evidence = SampleEvidence {
+        pairs: Vec::new(),
+        subjects: subject_order.len(),
+    };
     for subject in &subject_order {
         let pairs = &by_subject[subject];
         // One existence probe per subject: does K know any r-fact of x₂?
@@ -145,7 +148,10 @@ pub fn literal_evidence(
     }
     subject_order.truncate(config.sample_size);
 
-    let mut evidence = SampleEvidence { pairs: Vec::new(), subjects: subject_order.len() };
+    let mut evidence = SampleEvidence {
+        pairs: Vec::new(),
+        subjects: subject_order.len(),
+    };
     for subject in &subject_order {
         for (x2, lex) in &by_subject[subject] {
             let objects = helpers::objects_of(target, x2, conclusion)?;
@@ -206,19 +212,25 @@ mod tests {
                 }
             }
         }
-        (LocalEndpoint::new("dbp", dbp), LocalEndpoint::new("yago", yago))
+        (
+            LocalEndpoint::new("dbp", dbp),
+            LocalEndpoint::new("yago", yago),
+        )
     }
 
     fn config() -> AlignerConfig {
-        AlignerConfig { sample_size: 10, ..AlignerConfig::paper_defaults(3) }
+        AlignerConfig {
+            sample_size: 10,
+            ..AlignerConfig::paper_defaults(3)
+        }
     }
 
     #[test]
     fn entity_evidence_classifies_pairs_per_equations() {
         let (dbp, yago) = scenario();
         let mut rng = StdRng::seed_from_u64(0);
-        let e = entity_evidence(&dbp, &yago, &config(), "d:birthPlace", "y:born", &mut rng)
-            .unwrap();
+        let e =
+            entity_evidence(&dbp, &yago, &config(), "d:birthPlace", "y:born", &mut rng).unwrap();
         assert_eq!(e.total(), 8);
         assert_eq!(e.support(), 6);
         assert_eq!(e.pca_known(), 7);
@@ -229,7 +241,10 @@ mod tests {
     #[test]
     fn sample_size_caps_subjects() {
         let (dbp, yago) = scenario();
-        let cfg = AlignerConfig { sample_size: 3, ..config() };
+        let cfg = AlignerConfig {
+            sample_size: 3,
+            ..config()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let e = entity_evidence(&dbp, &yago, &cfg, "d:birthPlace", "y:born", &mut rng).unwrap();
         assert_eq!(e.subjects, 3);
@@ -257,12 +272,23 @@ mod tests {
         .enumerate()
         {
             let (pd, py) = (format!("d:P{i}"), format!("y:p{i}"));
-            dbp.insert_terms(&Term::iri(&pd), &Term::iri("d:name"), &Term::literal(*d_name));
-            yago.insert_terms(&Term::iri(&py), &Term::iri("y:label"), &Term::literal(*y_name));
+            dbp.insert_terms(
+                &Term::iri(&pd),
+                &Term::iri("d:name"),
+                &Term::literal(*d_name),
+            );
+            yago.insert_terms(
+                &Term::iri(&py),
+                &Term::iri("y:label"),
+                &Term::literal(*y_name),
+            );
             link(&mut dbp, &mut yago, &pd, &py);
             let _ = matches;
         }
-        let (dbp, yago) = (LocalEndpoint::new("dbp", dbp), LocalEndpoint::new("yago", yago));
+        let (dbp, yago) = (
+            LocalEndpoint::new("dbp", dbp),
+            LocalEndpoint::new("yago", yago),
+        );
         let mut rng = StdRng::seed_from_u64(0);
         let e = literal_evidence(&dbp, &yago, &config(), "d:name", "y:label", &mut rng).unwrap();
         assert_eq!(e.total(), 3);
@@ -274,9 +300,16 @@ mod tests {
     fn literal_evidence_unknown_when_target_has_no_literals() {
         let mut dbp = TripleStore::new();
         let mut yago = TripleStore::new();
-        dbp.insert_terms(&Term::iri("d:P0"), &Term::iri("d:name"), &Term::literal("Ann"));
+        dbp.insert_terms(
+            &Term::iri("d:P0"),
+            &Term::iri("d:name"),
+            &Term::literal("Ann"),
+        );
         link(&mut dbp, &mut yago, "d:P0", "y:p0");
-        let (dbp, yago) = (LocalEndpoint::new("dbp", dbp), LocalEndpoint::new("yago", yago));
+        let (dbp, yago) = (
+            LocalEndpoint::new("dbp", dbp),
+            LocalEndpoint::new("yago", yago),
+        );
         let mut rng = StdRng::seed_from_u64(0);
         let e = literal_evidence(&dbp, &yago, &config(), "d:name", "y:label", &mut rng).unwrap();
         assert_eq!(e.total(), 1);

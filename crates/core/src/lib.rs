@@ -44,8 +44,8 @@
 //! ```
 
 pub mod aligner;
-pub mod config;
 pub mod confidence;
+pub mod config;
 pub mod discovery;
 pub mod error;
 pub mod evidence;
@@ -55,8 +55,8 @@ pub mod session;
 pub mod unbiased;
 
 pub use aligner::Aligner;
-pub use config::{AlignerConfig, ConfidenceMeasure, SamplingStrategy};
 pub use confidence::{cwaconf, pcaconf, PairEvidence, SampleEvidence};
+pub use config::{AlignerConfig, ConfidenceMeasure, SamplingStrategy};
 pub use error::AlignError;
 pub use rewrite::{QueryRewriter, Rewrite, RewriteError};
 pub use rule::{equivalences, EquivalenceRule, SubsumptionRule};

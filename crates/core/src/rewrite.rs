@@ -77,7 +77,11 @@ impl<'a, 's> QueryRewriter<'a, 's> {
     /// translation of constants).
     pub fn new(session: &'s AlignmentSession<'a>, target: &'a dyn Endpoint) -> Self {
         let same_as = session.aligner().config().same_as.clone();
-        Self { session, target, same_as }
+        Self {
+            session,
+            target,
+            same_as,
+        }
     }
 
     /// Rewrites `query` (written for the target KB) for the source KB.
@@ -156,7 +160,10 @@ mod tests {
             dbp.insert_terms(&Term::iri(&pd), &Term::iri(SA), &Term::iri(&py));
             dbp.insert_terms(&Term::iri(&cd), &Term::iri(SA), &Term::iri(&cy));
         }
-        (LocalEndpoint::new("dbp", dbp), LocalEndpoint::new("yago", yago))
+        (
+            LocalEndpoint::new("dbp", dbp),
+            LocalEndpoint::new("yago", yago),
+        )
     }
 
     #[test]
@@ -164,8 +171,13 @@ mod tests {
         let (dbp, yago) = endpoints();
         let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
         let rewriter = QueryRewriter::new(&session, &yago);
-        let rewrite = rewriter.rewrite("SELECT ?who WHERE { ?who <y:born> <y:c3> }").unwrap();
-        assert_eq!(rewrite.mapped, vec![("y:born".to_owned(), "d:birthPlace".to_owned())]);
+        let rewrite = rewriter
+            .rewrite("SELECT ?who WHERE { ?who <y:born> <y:c3> }")
+            .unwrap();
+        assert_eq!(
+            rewrite.mapped,
+            vec![("y:born".to_owned(), "d:birthPlace".to_owned())]
+        );
         assert!(rewrite.unmapped.is_empty());
         assert!(rewrite.query.contains("<d:birthPlace>"));
         assert!(rewrite.query.contains("<d:C3>"));
@@ -180,7 +192,9 @@ mod tests {
         let (dbp, yago) = endpoints();
         let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
         let rewriter = QueryRewriter::new(&session, &yago);
-        let rewrite = rewriter.rewrite("SELECT ?x { ?x <y:unalignable> ?y }").unwrap();
+        let rewrite = rewriter
+            .rewrite("SELECT ?x { ?x <y:unalignable> ?y }")
+            .unwrap();
         assert_eq!(rewrite.unmapped, vec!["y:unalignable"]);
         assert!(rewrite.mapped.is_empty());
     }
@@ -190,7 +204,9 @@ mod tests {
         let (dbp, yago) = endpoints();
         let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
         let rewriter = QueryRewriter::new(&session, &yago);
-        let rewrite = rewriter.rewrite("SELECT ?x { <y:orphan> <y:born> ?x }").unwrap();
+        let rewrite = rewriter
+            .rewrite("SELECT ?x { <y:orphan> <y:born> ?x }")
+            .unwrap();
         assert_eq!(rewrite.untranslated, vec!["y:orphan"]);
     }
 
@@ -199,7 +215,10 @@ mod tests {
         let (dbp, yago) = endpoints();
         let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
         let rewriter = QueryRewriter::new(&session, &yago);
-        assert!(matches!(rewriter.rewrite("SELECT WHERE"), Err(RewriteError::Parse(_))));
+        assert!(matches!(
+            rewriter.rewrite("SELECT WHERE"),
+            Err(RewriteError::Parse(_))
+        ));
     }
 
     #[test]

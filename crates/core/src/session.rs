@@ -27,7 +27,10 @@ pub struct AlignmentSession<'a> {
 impl<'a> AlignmentSession<'a> {
     /// Creates a session over a source KB `K'` and target KB `K`.
     pub fn new(source: &'a dyn Endpoint, target: &'a dyn Endpoint, config: AlignerConfig) -> Self {
-        Self { aligner: Aligner::new(source, target, config), cache: Mutex::new(HashMap::new()) }
+        Self {
+            aligner: Aligner::new(source, target, config),
+            cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The rules for one target relation, aligning on first use.
@@ -51,8 +54,13 @@ impl<'a> AlignmentSession<'a> {
 
     /// Relations already aligned in this session.
     pub fn cached_relations(&self) -> Vec<String> {
-        let mut relations: Vec<String> =
-            self.cache.lock().expect("cache poisoned").keys().cloned().collect();
+        let mut relations: Vec<String> = self
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .keys()
+            .cloned()
+            .collect();
         relations.sort();
         relations
     }
@@ -76,7 +84,10 @@ mod tests {
 
     const SA: &str = "http://www.w3.org/2002/07/owl#sameAs";
 
-    fn endpoints() -> (InstrumentedEndpoint<LocalEndpoint>, InstrumentedEndpoint<LocalEndpoint>) {
+    fn endpoints() -> (
+        InstrumentedEndpoint<LocalEndpoint>,
+        InstrumentedEndpoint<LocalEndpoint>,
+    ) {
         let mut yago = TripleStore::new();
         let mut dbp = TripleStore::new();
         for i in 0..8 {
@@ -105,14 +116,21 @@ mod tests {
         assert!(cost_after_first > 0);
         let second = session.rules_for("y:born").unwrap();
         assert_eq!(first, second);
-        assert_eq!(counters.total_queries(), cost_after_first, "cache hit must issue no queries");
+        assert_eq!(
+            counters.total_queries(),
+            cost_after_first,
+            "cache hit must issue no queries"
+        );
     }
 
     #[test]
     fn best_premise_returns_top_rule() {
         let (dbp, yago) = endpoints();
         let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
-        assert_eq!(session.best_premise_for("y:born").unwrap().as_deref(), Some("d:birthPlace"));
+        assert_eq!(
+            session.best_premise_for("y:born").unwrap().as_deref(),
+            Some("d:birthPlace")
+        );
         assert_eq!(session.best_premise_for("y:ghost").unwrap(), None);
     }
 

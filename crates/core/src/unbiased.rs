@@ -43,7 +43,11 @@ pub fn conclusion_siblings(
     }
     let mut siblings: Vec<(String, usize)> = freq.into_iter().collect();
     siblings.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    Ok(siblings.into_iter().map(|(r, _)| r).take(config.max_siblings).collect())
+    Ok(siblings
+        .into_iter()
+        .map(|(r, _)| r)
+        .take(config.max_siblings)
+        .collect())
 }
 
 /// Applies UBS pruning to the accepted candidates of `relation`.
@@ -105,7 +109,11 @@ fn premise_side_contradiction(
     suspect: &str,
     premises: &[String],
 ) -> Result<bool, AlignError> {
-    for sibling in premises.iter().filter(|p| p.as_str() != suspect).take(config.max_siblings) {
+    for sibling in premises
+        .iter()
+        .filter(|p| p.as_str() != suspect)
+        .take(config.max_siblings)
+    {
         let samples = helpers::linked_contrastive_subjects_page(
             source,
             sibling,
@@ -115,8 +123,7 @@ fn premise_side_contradiction(
             0,
         )?;
         for (xt, y1t, y2t) in &samples {
-            let (Some(xt), Some(y1t), Some(y2t)) = (xt.as_iri(), y1t.as_iri(), y2t.as_iri())
-            else {
+            let (Some(xt), Some(y1t), Some(y2t)) = (xt.as_iri(), y1t.as_iri(), y2t.as_iri()) else {
                 continue;
             };
             // r(x,y₁) holds and r(x,y₂) does not: (x,y₂) is a PCA
@@ -150,7 +157,9 @@ fn conclusion_side_contradiction(
             0,
         )?;
         for (xs, _y1s, y2s) in &samples {
-            let (Some(xs), Some(y2s)) = (xs.as_iri(), y2s.as_iri()) else { continue };
+            let (Some(xs), Some(y2s)) = (xs.as_iri(), y2s.as_iri()) else {
+                continue;
+            };
             // The contrastive sample certifies r(x,y₁) ∧ ¬r(x,y₂). If the
             // suspect premise holds on (x,y₂), the rule suspect ⇒ r has a
             // counter-example.

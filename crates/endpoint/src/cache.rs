@@ -1,10 +1,13 @@
 //! Client-side memoisation of identical queries.
 
+use crate::clock::Clock;
 use crate::endpoint::Endpoint;
 use crate::error::EndpointError;
 use parking_lot::Mutex;
 use sofya_sparql::ResultSet;
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// An endpoint wrapper that caches results by exact query string.
 ///
@@ -12,21 +15,39 @@ use std::collections::HashMap;
 /// entities shared between samples; a client-side cache keeps those free.
 /// Only successful results are cached (a transient failure should be
 /// retried, and quota errors must keep failing).
+///
+/// [`CachingEndpoint::with_ttl`] adds expiry against an injected
+/// [`Clock`]: an entry older than the TTL counts as a miss, is evicted,
+/// and the fresh result is re-cached with a new timestamp. Without a TTL
+/// entries live until [`CachingEndpoint::clear`].
 pub struct CachingEndpoint<E> {
     inner: E,
-    select_cache: Mutex<HashMap<String, ResultSet>>,
-    ask_cache: Mutex<HashMap<String, bool>>,
+    select_cache: Mutex<HashMap<String, (ResultSet, Duration)>>,
+    ask_cache: Mutex<HashMap<String, (bool, Duration)>>,
     hits: Mutex<u64>,
+    expirations: Mutex<u64>,
+    ttl: Option<(Duration, Arc<dyn Clock>)>,
 }
 
 impl<E: Endpoint> CachingEndpoint<E> {
-    /// Wraps `inner` with empty caches.
+    /// Wraps `inner` with empty caches and no expiry.
     pub fn new(inner: E) -> Self {
         Self {
             inner,
             select_cache: Mutex::new(HashMap::new()),
             ask_cache: Mutex::new(HashMap::new()),
             hits: Mutex::new(0),
+            expirations: Mutex::new(0),
+            ttl: None,
+        }
+    }
+
+    /// Wraps `inner` with caches whose entries expire once `clock` has
+    /// advanced by at least `ttl` since insertion.
+    pub fn with_ttl(inner: E, ttl: Duration, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            ttl: Some((ttl, clock)),
+            ..Self::new(inner)
         }
     }
 
@@ -35,7 +56,13 @@ impl<E: Endpoint> CachingEndpoint<E> {
         *self.hits.lock()
     }
 
-    /// Number of cached entries (both query kinds).
+    /// Number of entries evicted because their TTL lapsed.
+    pub fn expirations(&self) -> u64 {
+        *self.expirations.lock()
+    }
+
+    /// Number of cached entries (both query kinds; expired entries that
+    /// have not been touched since lapsing still count).
     pub fn entries(&self) -> usize {
         self.select_cache.lock().len() + self.ask_cache.lock().len()
     }
@@ -50,26 +77,67 @@ impl<E: Endpoint> CachingEndpoint<E> {
     pub fn inner(&self) -> &E {
         &self.inner
     }
+
+    /// Current simulated time (zero when no clock is attached).
+    fn now(&self) -> Duration {
+        self.ttl
+            .as_ref()
+            .map(|(_, clock)| clock.now())
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Whether an entry stamped at `stamp` is still fresh.
+    fn fresh(&self, stamp: Duration) -> bool {
+        match &self.ttl {
+            Some((ttl, clock)) => clock.now().saturating_sub(stamp) < *ttl,
+            None => true,
+        }
+    }
+
+    /// Cache lookup with expiry: a lapsed entry is evicted and reported
+    /// as a miss.
+    fn lookup<V: Clone>(
+        &self,
+        cache: &Mutex<HashMap<String, (V, Duration)>>,
+        query: &str,
+    ) -> Option<V> {
+        let mut cache = cache.lock();
+        match cache.get(query) {
+            Some((value, stamp)) if self.fresh(*stamp) => {
+                let value = value.clone();
+                *self.hits.lock() += 1;
+                Some(value)
+            }
+            Some(_) => {
+                cache.remove(query);
+                *self.expirations.lock() += 1;
+                None
+            }
+            None => None,
+        }
+    }
 }
 
 impl<E: Endpoint> Endpoint for CachingEndpoint<E> {
     fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
-        if let Some(hit) = self.select_cache.lock().get(query) {
-            *self.hits.lock() += 1;
-            return Ok(hit.clone());
+        if let Some(hit) = self.lookup(&self.select_cache, query) {
+            return Ok(hit);
         }
         let rs = self.inner.select(query)?;
-        self.select_cache.lock().insert(query.to_owned(), rs.clone());
+        self.select_cache
+            .lock()
+            .insert(query.to_owned(), (rs.clone(), self.now()));
         Ok(rs)
     }
 
     fn ask(&self, query: &str) -> Result<bool, EndpointError> {
-        if let Some(&hit) = self.ask_cache.lock().get(query) {
-            *self.hits.lock() += 1;
+        if let Some(hit) = self.lookup(&self.ask_cache, query) {
             return Ok(hit);
         }
         let answer = self.inner.ask(query)?;
-        self.ask_cache.lock().insert(query.to_owned(), answer);
+        self.ask_cache
+            .lock()
+            .insert(query.to_owned(), (answer, self.now()));
         Ok(answer)
     }
 

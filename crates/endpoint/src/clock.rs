@@ -1,0 +1,66 @@
+//! Injected time for the resilience wrappers.
+//!
+//! Nothing in this crate reads wall time: wrappers that model waiting
+//! (retry backoff) or ageing (cache TTLs) take a [`Clock`] and *charge*
+//! simulated time to it, the same philosophy as
+//! [`crate::latency::LatencyEndpoint`]. Tests drive a [`ManualClock`] by
+//! hand, so timing behaviour is fully deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonic simulated time source.
+pub trait Clock: Send + Sync {
+    /// Time elapsed since the clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// Moves the clock forward. Wrappers call this to model time they
+    /// would have spent waiting (e.g. a backoff delay).
+    fn advance(&self, by: Duration);
+}
+
+/// A [`Clock`] advanced explicitly — by tests or by wrappers charging
+/// simulated waits. Starts at zero.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Jumps to an absolute instant (must not move backwards in sane use;
+    /// not enforced — tests own the clock).
+    pub fn set(&self, to: Duration) {
+        self.nanos.store(to.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+
+    fn advance(&self, by: Duration) {
+        self.nanos
+            .fetch_add(by.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_millis(250));
+        c.advance(Duration::from_millis(750));
+        assert_eq!(c.now(), Duration::from_secs(1));
+        c.set(Duration::from_secs(10));
+        assert_eq!(c.now(), Duration::from_secs(10));
+    }
+}

@@ -25,8 +25,14 @@ impl fmt::Display for EndpointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EndpointError::Sparql(e) => write!(f, "{e}"),
-            EndpointError::QuotaExceeded { endpoint, max_queries } => {
-                write!(f, "endpoint '{endpoint}': query quota of {max_queries} exhausted")
+            EndpointError::QuotaExceeded {
+                endpoint,
+                max_queries,
+            } => {
+                write!(
+                    f,
+                    "endpoint '{endpoint}': query quota of {max_queries} exhausted"
+                )
             }
             EndpointError::Other(msg) => write!(f, "endpoint error: {msg}"),
         }
@@ -54,7 +60,10 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let quota = EndpointError::QuotaExceeded { endpoint: "dbpedia".into(), max_queries: 100 };
+        let quota = EndpointError::QuotaExceeded {
+            endpoint: "dbpedia".into(),
+            max_queries: 100,
+        };
         assert!(quota.to_string().contains("dbpedia"));
         assert!(quota.to_string().contains("100"));
         let other = EndpointError::Other("boom".into());

@@ -14,7 +14,11 @@ use sofya_rdf::Term;
 pub fn term_ref(term: &Term) -> String {
     match term {
         Term::Iri(iri) => format!("<{iri}>"),
-        Term::Literal { lexical, lang, datatype } => {
+        Term::Literal {
+            lexical,
+            lang,
+            datatype,
+        } => {
             let mut s = format!("\"{}\"", escape_literal(lexical));
             if let Some(lang) = lang {
                 s.push('@');
@@ -38,7 +42,11 @@ pub fn iri_ref(iri: &str) -> String {
 /// All distinct relation IRIs of the KB.
 pub fn all_relations<E: Endpoint + ?Sized>(ep: &E) -> Result<Vec<String>, EndpointError> {
     let rs = ep.select("SELECT DISTINCT ?p WHERE { ?s ?p ?o } ORDER BY ?p")?;
-    Ok(rs.column("p").into_iter().filter_map(|t| t.as_iri().map(str::to_owned)).collect())
+    Ok(rs
+        .column("p")
+        .into_iter()
+        .filter_map(|t| t.as_iri().map(str::to_owned))
+        .collect())
 }
 
 /// `COUNT(*)` of facts `r(x, y)`.
@@ -46,7 +54,10 @@ pub fn relation_fact_count<E: Endpoint + ?Sized>(
     ep: &E,
     relation: &str,
 ) -> Result<usize, EndpointError> {
-    let q = format!("SELECT (COUNT(*) AS ?n) WHERE {{ ?x {} ?y }}", iri_ref(relation));
+    let q = format!(
+        "SELECT (COUNT(*) AS ?n) WHERE {{ ?x {} ?y }}",
+        iri_ref(relation)
+    );
     let rs = ep.select(&q)?;
     Ok(rs.single_integer().unwrap_or(0).max(0) as usize)
 }
@@ -94,7 +105,12 @@ pub fn linked_entity_facts_page<E: Endpoint + ?Sized>(
         .rows()
         .iter()
         .filter_map(|row| {
-            Some((row[0].clone()?, row[1].clone()?, row[2].clone()?, row[3].clone()?))
+            Some((
+                row[0].clone()?,
+                row[1].clone()?,
+                row[2].clone()?,
+                row[3].clone()?,
+            ))
         })
         .collect())
 }
@@ -156,9 +172,16 @@ pub fn relations_of_entity<E: Endpoint + ?Sized>(
     ep: &E,
     entity: &str,
 ) -> Result<Vec<String>, EndpointError> {
-    let q = format!("SELECT DISTINCT ?p WHERE {{ {} ?p ?o }} ORDER BY ?p", iri_ref(entity));
+    let q = format!(
+        "SELECT DISTINCT ?p WHERE {{ {} ?p ?o }} ORDER BY ?p",
+        iri_ref(entity)
+    );
     let rs = ep.select(&q)?;
-    Ok(rs.column("p").into_iter().filter_map(|t| t.as_iri().map(str::to_owned)).collect())
+    Ok(rs
+        .column("p")
+        .into_iter()
+        .filter_map(|t| t.as_iri().map(str::to_owned))
+        .collect())
 }
 
 /// Distinct relations holding **between** two given entities.
@@ -173,7 +196,11 @@ pub fn relations_between<E: Endpoint + ?Sized>(
         o = iri_ref(object),
     );
     let rs = ep.select(&q)?;
-    Ok(rs.column("p").into_iter().filter_map(|t| t.as_iri().map(str::to_owned)).collect())
+    Ok(rs
+        .column("p")
+        .into_iter()
+        .filter_map(|t| t.as_iri().map(str::to_owned))
+        .collect())
 }
 
 /// All objects `y` of `r(x, y)` for a fixed subject.
@@ -214,7 +241,11 @@ pub fn has_any_fact<E: Endpoint + ?Sized>(
     subject: &str,
     relation: &str,
 ) -> Result<bool, EndpointError> {
-    let q = format!("ASK {{ {s} {r} ?y }}", s = iri_ref(subject), r = iri_ref(relation));
+    let q = format!(
+        "ASK {{ {s} {r} ?y }}",
+        s = iri_ref(subject),
+        r = iri_ref(relation)
+    );
     ep.ask(&q)
 }
 
@@ -230,7 +261,11 @@ pub fn same_as_of<E: Endpoint + ?Sized>(
         sa = iri_ref(same_as),
     );
     let rs = ep.select(&q)?;
-    Ok(rs.column("e").into_iter().filter_map(|t| t.as_iri().map(str::to_owned)).collect())
+    Ok(rs
+        .column("e")
+        .into_iter()
+        .filter_map(|t| t.as_iri().map(str::to_owned))
+        .collect())
 }
 
 /// UBS discriminating sample (§2.2): subjects `x` with `r1(x, y1)`,
@@ -303,9 +338,21 @@ mod tests {
         for (s, p, o) in facts {
             store.insert_terms(&Term::iri(s), &Term::iri(p), &Term::iri(o));
         }
-        store.insert_terms(&Term::iri("m:inception"), &Term::iri("owl:sameAs"), &Term::iri("d:Inception"));
-        store.insert_terms(&Term::iri("p:nolan"), &Term::iri("owl:sameAs"), &Term::iri("d:Nolan"));
-        store.insert_terms(&Term::iri("m:inception"), &Term::iri("r:label"), &Term::literal("Inception"));
+        store.insert_terms(
+            &Term::iri("m:inception"),
+            &Term::iri("owl:sameAs"),
+            &Term::iri("d:Inception"),
+        );
+        store.insert_terms(
+            &Term::iri("p:nolan"),
+            &Term::iri("owl:sameAs"),
+            &Term::iri("d:Nolan"),
+        );
+        store.insert_terms(
+            &Term::iri("m:inception"),
+            &Term::iri("r:label"),
+            &Term::literal("Inception"),
+        );
         LocalEndpoint::new("movies", store)
     }
 
@@ -326,7 +373,10 @@ mod tests {
     fn all_relations_lists_predicates() {
         let ep = movie_endpoint();
         let rels = all_relations(&ep).unwrap();
-        assert_eq!(rels, vec!["owl:sameAs", "r:director", "r:label", "r:producer"]);
+        assert_eq!(
+            rels,
+            vec!["owl:sameAs", "r:director", "r:label", "r:producer"]
+        );
     }
 
     #[test]
@@ -358,7 +408,10 @@ mod tests {
         assert_eq!(y.as_iri(), Some("p:nolan"));
         assert_eq!(x2.as_iri(), Some("d:Inception"));
         assert_eq!(y2.as_iri(), Some("d:Nolan"));
-        assert_eq!(linked_entity_fact_count(&ep, "r:director", "owl:sameAs").unwrap(), 1);
+        assert_eq!(
+            linked_entity_fact_count(&ep, "r:director", "owl:sameAs").unwrap(),
+            1
+        );
     }
 
     #[test]
@@ -393,7 +446,10 @@ mod tests {
     #[test]
     fn same_as_resolution() {
         let ep = movie_endpoint();
-        assert_eq!(same_as_of(&ep, "m:inception", "owl:sameAs").unwrap(), vec!["d:Inception"]);
+        assert_eq!(
+            same_as_of(&ep, "m:inception", "owl:sameAs").unwrap(),
+            vec!["d:Inception"]
+        );
         assert!(same_as_of(&ep, "m:tenet", "owl:sameAs").unwrap().is_empty());
     }
 

@@ -62,7 +62,10 @@ pub struct InstrumentedEndpoint<E> {
 impl<E: Endpoint> InstrumentedEndpoint<E> {
     /// Wraps `inner` with fresh counters.
     pub fn new(inner: E) -> Self {
-        Self { inner, counters: EndpointCounters::default() }
+        Self {
+            inner,
+            counters: EndpointCounters::default(),
+        }
     }
 
     /// A shared handle to the counters.
@@ -80,8 +83,12 @@ impl<E: Endpoint> Endpoint for InstrumentedEndpoint<E> {
     fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
         self.counters.select_queries.fetch_add(1, Ordering::Relaxed);
         let rs = self.inner.select(query)?;
-        self.counters.rows_returned.fetch_add(rs.len() as u64, Ordering::Relaxed);
-        self.counters.cells_returned.fetch_add(rs.cell_count() as u64, Ordering::Relaxed);
+        self.counters
+            .rows_returned
+            .fetch_add(rs.len() as u64, Ordering::Relaxed);
+        self.counters
+            .cells_returned
+            .fetch_add(rs.cell_count() as u64, Ordering::Relaxed);
         Ok(rs)
     }
 

@@ -25,12 +25,18 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// A same-continent public endpoint: 20 ms RTT, 50 µs/row.
     pub fn wan() -> Self {
-        Self { round_trip: Duration::from_millis(20), per_row: Duration::from_micros(50) }
+        Self {
+            round_trip: Duration::from_millis(20),
+            per_row: Duration::from_micros(50),
+        }
     }
 
     /// A cross-continent endpoint: 120 ms RTT, 50 µs/row.
     pub fn intercontinental() -> Self {
-        Self { round_trip: Duration::from_millis(120), per_row: Duration::from_micros(50) }
+        Self {
+            round_trip: Duration::from_millis(120),
+            per_row: Duration::from_micros(50),
+        }
     }
 }
 
@@ -44,7 +50,11 @@ pub struct LatencyEndpoint<E> {
 impl<E: Endpoint> LatencyEndpoint<E> {
     /// Wraps `inner` under a latency model.
     pub fn new(inner: E, model: LatencyModel) -> Self {
-        Self { inner, model, simulated_nanos: AtomicU64::new(0) }
+        Self {
+            inner,
+            model,
+            simulated_nanos: AtomicU64::new(0),
+        }
     }
 
     /// Total simulated network time so far.

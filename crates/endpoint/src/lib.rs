@@ -29,6 +29,7 @@
 //! experiment stack.
 
 pub mod cache;
+pub mod clock;
 pub mod endpoint;
 pub mod error;
 pub mod helpers;
@@ -39,10 +40,11 @@ pub mod quota;
 pub mod retry;
 
 pub use cache::CachingEndpoint;
+pub use clock::{Clock, ManualClock};
 pub use endpoint::Endpoint;
 pub use error::EndpointError;
 pub use instrument::{EndpointCounters, InstrumentedEndpoint};
 pub use latency::{LatencyEndpoint, LatencyModel};
 pub use local::LocalEndpoint;
 pub use quota::{QuotaConfig, QuotaEndpoint};
-pub use retry::{FlakyEndpoint, RetryEndpoint};
+pub use retry::{BackoffPolicy, FlakyEndpoint, RetryEndpoint};

@@ -18,12 +18,18 @@ pub struct LocalEndpoint {
 impl LocalEndpoint {
     /// Wraps a store under a display name.
     pub fn new(name: impl Into<String>, store: TripleStore) -> Self {
-        Self { name: name.into(), store: Arc::new(store) }
+        Self {
+            name: name.into(),
+            store: Arc::new(store),
+        }
     }
 
     /// Wraps an already-shared store.
     pub fn from_arc(name: impl Into<String>, store: Arc<TripleStore>) -> Self {
-        Self { name: name.into(), store }
+        Self {
+            name: name.into(),
+            store,
+        }
     }
 
     /// Read access to the underlying store (used by generators and tests;

@@ -25,7 +25,10 @@ pub struct QuotaConfig {
 impl Default for QuotaConfig {
     /// A DBpedia-like default: 10 000 queries, 10 000 rows per query.
     fn default() -> Self {
-        Self { max_queries: Some(10_000), max_rows_per_query: Some(10_000) }
+        Self {
+            max_queries: Some(10_000),
+            max_rows_per_query: Some(10_000),
+        }
     }
 }
 
@@ -42,7 +45,11 @@ pub struct QuotaEndpoint<E> {
 impl<E: Endpoint> QuotaEndpoint<E> {
     /// Wraps `inner` under `config`.
     pub fn new(inner: E, config: QuotaConfig) -> Self {
-        Self { inner, config, used: AtomicU64::new(0) }
+        Self {
+            inner,
+            config,
+            used: AtomicU64::new(0),
+        }
     }
 
     /// Queries already spent.
@@ -127,7 +134,10 @@ mod tests {
     fn rows_are_truncated_at_cap() {
         let ep = QuotaEndpoint::new(
             base(),
-            QuotaConfig { max_queries: None, max_rows_per_query: Some(5) },
+            QuotaConfig {
+                max_queries: None,
+                max_rows_per_query: Some(5),
+            },
         );
         let rs = ep.select("SELECT ?s { ?s <r:p> ?o }").unwrap();
         assert_eq!(rs.len(), 5);
@@ -137,7 +147,10 @@ mod tests {
     fn under_cap_results_are_untouched() {
         let ep = QuotaEndpoint::new(
             base(),
-            QuotaConfig { max_queries: None, max_rows_per_query: Some(100) },
+            QuotaConfig {
+                max_queries: None,
+                max_rows_per_query: Some(100),
+            },
         );
         let rs = ep.select("SELECT ?s { ?s <r:p> ?o }").unwrap();
         assert_eq!(rs.len(), 20);
@@ -147,13 +160,19 @@ mod tests {
     fn query_budget_is_enforced() {
         let ep = QuotaEndpoint::new(
             base(),
-            QuotaConfig { max_queries: Some(3), max_rows_per_query: None },
+            QuotaConfig {
+                max_queries: Some(3),
+                max_rows_per_query: None,
+            },
         );
         for _ in 0..3 {
             ep.ask("ASK { <e:0> <r:p> <e:o> }").unwrap();
         }
         let err = ep.ask("ASK { <e:0> <r:p> <e:o> }").unwrap_err();
-        assert!(matches!(err, EndpointError::QuotaExceeded { max_queries: 3, .. }));
+        assert!(matches!(
+            err,
+            EndpointError::QuotaExceeded { max_queries: 3, .. }
+        ));
         assert_eq!(ep.used_queries(), 4); // the failed attempt was charged
         assert_eq!(ep.remaining_queries(), 0);
     }
@@ -162,7 +181,10 @@ mod tests {
     fn select_and_ask_share_the_budget() {
         let ep = QuotaEndpoint::new(
             base(),
-            QuotaConfig { max_queries: Some(2), max_rows_per_query: None },
+            QuotaConfig {
+                max_queries: Some(2),
+                max_rows_per_query: None,
+            },
         );
         ep.select("SELECT ?s { ?s <r:p> ?o }").unwrap();
         ep.ask("ASK { <e:0> <r:p> <e:o> }").unwrap();
@@ -173,7 +195,10 @@ mod tests {
     fn unlimited_config_never_errs() {
         let ep = QuotaEndpoint::new(
             base(),
-            QuotaConfig { max_queries: None, max_rows_per_query: None },
+            QuotaConfig {
+                max_queries: None,
+                max_rows_per_query: None,
+            },
         );
         for _ in 0..100 {
             ep.ask("ASK { <e:0> <r:p> <e:o> }").unwrap();

@@ -6,10 +6,13 @@
 //! how a production client would wrap a remote endpoint. Quota errors are
 //! **not** retried: retrying an exhausted budget can never succeed.
 
+use crate::clock::Clock;
 use crate::endpoint::Endpoint;
 use crate::error::EndpointError;
 use sofya_sparql::ResultSet;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Injects a deterministic transient failure every `period`-th query.
 pub struct FlakyEndpoint<E> {
@@ -22,7 +25,11 @@ impl<E: Endpoint> FlakyEndpoint<E> {
     /// Wraps `inner`; every `period`-th query (1-based) fails with a
     /// transient error. `period == 0` never fails.
     pub fn new(inner: E, period: u64) -> Self {
-        Self { inner, period, counter: AtomicU64::new(0) }
+        Self {
+            inner,
+            period,
+            counter: AtomicU64::new(0),
+        }
     }
 
     fn maybe_fail(&self) -> Result<(), EndpointError> {
@@ -31,7 +38,9 @@ impl<E: Endpoint> FlakyEndpoint<E> {
         }
         let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
         if n % self.period == 0 {
-            Err(EndpointError::Other(format!("simulated transient failure (query #{n})")))
+            Err(EndpointError::Other(format!(
+                "simulated transient failure (query #{n})"
+            )))
         } else {
             Ok(())
         }
@@ -59,26 +68,97 @@ impl<E: Endpoint> Endpoint for FlakyEndpoint<E> {
     }
 }
 
+/// Exponential backoff schedule: retry `k` (0-based) waits
+/// `base · factor^k`, capped at `max_delay`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Multiplier between consecutive retries.
+    pub factor: u32,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+}
+
+impl BackoffPolicy {
+    /// The conventional doubling schedule with a 30 s cap.
+    pub fn exponential(base: Duration) -> Self {
+        Self {
+            base,
+            factor: 2,
+            max_delay: Duration::from_secs(30),
+        }
+    }
+
+    /// Delay before retry number `retry` (0-based).
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        self.base
+            .saturating_mul(self.factor.saturating_pow(retry))
+            .min(self.max_delay)
+    }
+}
+
 /// Retries transient failures up to `max_retries` additional attempts.
 ///
 /// Retried errors: [`EndpointError::Other`] (the transport-level class).
 /// SPARQL errors (the query itself is broken) and quota exhaustion are
 /// surfaced immediately.
+///
+/// With [`RetryEndpoint::with_backoff`] each retry also charges an
+/// exponential delay to an injected [`Clock`] — the crate never sleeps,
+/// it *accounts* the time a production client would have waited, so the
+/// schedule is testable deterministically.
 pub struct RetryEndpoint<E> {
     inner: E,
     max_retries: u32,
     retries_used: AtomicU64,
+    backoff: Option<(BackoffPolicy, Arc<dyn Clock>)>,
+    backoff_nanos: AtomicU64,
 }
 
 impl<E: Endpoint> RetryEndpoint<E> {
-    /// Wraps `inner` with a retry budget per query.
+    /// Wraps `inner` with a retry budget per query (no backoff
+    /// accounting).
     pub fn new(inner: E, max_retries: u32) -> Self {
-        Self { inner, max_retries, retries_used: AtomicU64::new(0) }
+        Self {
+            inner,
+            max_retries,
+            retries_used: AtomicU64::new(0),
+            backoff: None,
+            backoff_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Wraps `inner` with a retry budget and an exponential backoff
+    /// schedule charged to `clock` before every retry.
+    pub fn with_backoff(
+        inner: E,
+        max_retries: u32,
+        policy: BackoffPolicy,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        Self {
+            inner,
+            max_retries,
+            retries_used: AtomicU64::new(0),
+            backoff: Some((policy, clock)),
+            backoff_nanos: AtomicU64::new(0),
+        }
     }
 
     /// Total retries spent across all queries.
     pub fn retries_used(&self) -> u64 {
         self.retries_used.load(Ordering::Relaxed)
+    }
+
+    /// Total simulated time spent backing off across all queries.
+    pub fn backoff_time(&self) -> Duration {
+        Duration::from_nanos(self.backoff_nanos.load(Ordering::Relaxed))
+    }
+
+    /// The wrapped endpoint.
+    pub fn inner(&self) -> &E {
+        &self.inner
     }
 
     fn with_retries<T>(
@@ -92,6 +172,12 @@ impl<E: Endpoint> RetryEndpoint<E> {
                 Err(e @ EndpointError::Other(_)) => {
                     if try_no < self.max_retries {
                         self.retries_used.fetch_add(1, Ordering::Relaxed);
+                        if let Some((policy, clock)) = &self.backoff {
+                            let delay = policy.delay_for(try_no);
+                            clock.advance(delay);
+                            self.backoff_nanos
+                                .fetch_add(delay.as_nanos() as u64, Ordering::Relaxed);
+                        }
                     }
                     last_err = Some(e);
                 }
@@ -179,7 +265,10 @@ mod tests {
     fn quota_errors_are_not_retried() {
         let quota = QuotaEndpoint::new(
             base(),
-            QuotaConfig { max_queries: Some(1), max_rows_per_query: None },
+            QuotaConfig {
+                max_queries: Some(1),
+                max_rows_per_query: None,
+            },
         );
         let ep = RetryEndpoint::new(quota, 5);
         ep.ask("ASK { <a> <p> <b> }").unwrap();
@@ -199,7 +288,10 @@ mod tests {
         for i in 0..6 {
             yago_nt.push_str(&format!("<y:p{i}> <y:born> <y:c{i}> .\n"));
             dbp_nt.push_str(&format!("<d:P{i}> <d:birthPlace> <d:C{i}> .\n"));
-            for (a, b) in [(format!("y:p{i}"), format!("d:P{i}")), (format!("y:c{i}"), format!("d:C{i}"))] {
+            for (a, b) in [
+                (format!("y:p{i}"), format!("d:P{i}")),
+                (format!("y:c{i}"), format!("d:C{i}")),
+            ] {
                 yago_nt.push_str(&format!("<{a}> <{SA}> <{b}> .\n"));
                 dbp_nt.push_str(&format!("<{b}> <{SA}> <{a}> .\n"));
             }
@@ -242,7 +334,9 @@ mod tests {
             .unwrap();
             let mut out = std::collections::BTreeSet::new();
             for (_, _, x2, y2) in &facts {
-                let (Some(x2), Some(y2)) = (x2.as_iri(), y2.as_iri()) else { continue };
+                let (Some(x2), Some(y2)) = (x2.as_iri(), y2.as_iri()) else {
+                    continue;
+                };
                 for rel in helpers::relations_between(source, x2, y2).unwrap() {
                     out.insert(rel);
                 }

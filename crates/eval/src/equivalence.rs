@@ -65,9 +65,15 @@ pub fn mine_equivalences(
             fp += 1;
         }
     }
-    let fn_ = gold_pairs.iter().filter(|pair| !predicted.contains(*pair)).count();
+    let fn_ = gold_pairs
+        .iter()
+        .filter(|pair| !predicted.contains(*pair))
+        .count();
 
-    Ok(EquivalenceOutcome { mined, metrics: PrecisionRecall::new(tp, fp, fn_) })
+    Ok(EquivalenceOutcome {
+        mined,
+        metrics: PrecisionRecall::new(tp, fp, fn_),
+    })
 }
 
 #[cfg(test)]
@@ -85,7 +91,11 @@ mod tests {
             "equivalence precision too low: {}",
             out.metrics
         );
-        assert!(out.metrics.recall() >= 0.4, "equivalence recall too low: {}", out.metrics);
+        assert!(
+            out.metrics.recall() >= 0.4,
+            "equivalence recall too low: {}",
+            out.metrics
+        );
     }
 
     #[test]

@@ -17,7 +17,11 @@ pub struct PrecisionRecall {
 impl PrecisionRecall {
     /// Builds from raw counts.
     pub fn new(true_positives: usize, false_positives: usize, false_negatives: usize) -> Self {
-        Self { true_positives, false_positives, false_negatives }
+        Self {
+            true_positives,
+            false_positives,
+            false_negatives,
+        }
     }
 
     /// `tp / (tp + fp)`; 0 when nothing was predicted.
@@ -83,8 +87,10 @@ pub fn evaluate_rules(
     for r in rules {
         predicted.insert((r.premise.as_str(), r.conclusion.as_str()));
     }
-    let reference: std::collections::BTreeSet<(String, String)> =
-        gold.subsumptions_between(premise_kb, conclusion_kb).into_iter().collect();
+    let reference: std::collections::BTreeSet<(String, String)> = gold
+        .subsumptions_between(premise_kb, conclusion_kb)
+        .into_iter()
+        .collect();
 
     let mut tp = 0;
     let mut fp = 0;
@@ -139,7 +145,10 @@ mod tests {
     fn exact_match_scores_perfectly() {
         let rules = vec![rule("d:a", "y:a"), rule("d:b", "y:b")];
         let m = evaluate_rules(&rules, &gold(), "dbp", "yago");
-        assert_eq!((m.true_positives, m.false_positives, m.false_negatives), (2, 0, 0));
+        assert_eq!(
+            (m.true_positives, m.false_positives, m.false_negatives),
+            (2, 0, 0)
+        );
         assert_eq!(m.precision(), 1.0);
         assert_eq!(m.recall(), 1.0);
         assert_eq!(m.f1(), 1.0);
@@ -149,7 +158,10 @@ mod tests {
     fn false_positive_and_miss_are_counted() {
         let rules = vec![rule("d:a", "y:a"), rule("d:c", "y:a")];
         let m = evaluate_rules(&rules, &gold(), "dbp", "yago");
-        assert_eq!((m.true_positives, m.false_positives, m.false_negatives), (1, 1, 1));
+        assert_eq!(
+            (m.true_positives, m.false_positives, m.false_negatives),
+            (1, 1, 1)
+        );
         assert!((m.precision() - 0.5).abs() < 1e-12);
         assert!((m.recall() - 0.5).abs() < 1e-12);
         assert!((m.f1() - 0.5).abs() < 1e-12);

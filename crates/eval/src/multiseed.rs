@@ -20,14 +20,17 @@ impl Aggregate {
     /// Computes mean and standard deviation of `values`.
     pub fn of(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Self { mean: 0.0, std_dev: 0.0 };
+            return Self {
+                mean: 0.0,
+                std_dev: 0.0,
+            };
         }
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         let std_dev = if values.len() < 2 {
             0.0
         } else {
-            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-                / (values.len() - 1) as f64;
+            let var =
+                values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
             var.sqrt()
         };
         Self { mean, std_dev }
@@ -119,8 +122,7 @@ mod tests {
 
     #[test]
     fn multiseed_table1_keeps_the_ubs_gap() {
-        let rows =
-            table1_over_seeds(&[7, 8], PairConfig::tiny, 8, 4).unwrap();
+        let rows = table1_over_seeds(&[7, 8], PairConfig::tiny, 8, 4).unwrap();
         assert_eq!(rows.len(), 3);
         let pca = &rows[0];
         let ubs = &rows[2];

@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given header.
     pub fn new(header: Vec<String>) -> Self {
-        Self { header, rows: Vec::new() }
+        Self {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; short rows are padded with empty cells.

@@ -1,7 +1,7 @@
 //! Parallel alignment of every relation in one direction, with endpoint
 //! cost accounting.
 
-use sofya_core::{Aligner, AlignerConfig, AlignError, SubsumptionRule};
+use sofya_core::{AlignError, Aligner, AlignerConfig, SubsumptionRule};
 use sofya_endpoint::{Endpoint, EndpointCounters, InstrumentedEndpoint, LocalEndpoint};
 use sofya_rdf::TripleStore;
 
@@ -49,10 +49,8 @@ pub fn align_direction(
     config: &AlignerConfig,
     threads: usize,
 ) -> Result<DirectionOutcome, AlignError> {
-    let source =
-        InstrumentedEndpoint::new(LocalEndpoint::new(source_name, source_store.clone()));
-    let target =
-        InstrumentedEndpoint::new(LocalEndpoint::new(target_name, target_store.clone()));
+    let source = InstrumentedEndpoint::new(LocalEndpoint::new(source_name, source_store.clone()));
+    let target = InstrumentedEndpoint::new(LocalEndpoint::new(target_name, target_store.clone()));
     let source_counters = source.counters();
     let target_counters = target.counters();
 
@@ -89,24 +87,25 @@ pub fn align_all_parallel(
     let relations = Aligner::new(source, target, config.clone()).target_relations()?;
     let threads = threads.max(1).min(relations.len().max(1));
 
-    let results: Vec<Result<Vec<SubsumptionRule>, AlignError>> =
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for worker in 0..threads {
-                let relations = &relations;
-                let config = config.clone();
-                handles.push(scope.spawn(move |_| {
-                    let aligner = Aligner::new(source, target, config);
-                    let mut out = Vec::new();
-                    for relation in relations.iter().skip(worker).step_by(threads) {
-                        out.extend(aligner.align_relation(relation)?);
-                    }
-                    Ok(out)
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("crossbeam scope");
+    let results: Vec<Result<Vec<SubsumptionRule>, AlignError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for worker in 0..threads {
+            let relations = &relations;
+            let config = config.clone();
+            handles.push(scope.spawn(move || {
+                let aligner = Aligner::new(source, target, config);
+                let mut out = Vec::new();
+                for relation in relations.iter().skip(worker).step_by(threads) {
+                    out.extend(aligner.align_relation(relation)?);
+                }
+                Ok(out)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
 
     let mut rules = Vec::new();
     for r in results {

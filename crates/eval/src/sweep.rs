@@ -59,8 +59,18 @@ pub fn threshold_sweep(
     Ok(taus
         .iter()
         .map(|&tau| {
-            let f: Vec<_> = fwd.rules.iter().filter(|r| r.confidence > tau).cloned().collect();
-            let b: Vec<_> = bwd.rules.iter().filter(|r| r.confidence > tau).cloned().collect();
+            let f: Vec<_> = fwd
+                .rules
+                .iter()
+                .filter(|r| r.confidence > tau)
+                .cloned()
+                .collect();
+            let b: Vec<_> = bwd
+                .rules
+                .iter()
+                .filter(|r| r.confidence > tau)
+                .cloned()
+                .collect();
             SweepPoint {
                 x: tau,
                 forward: evaluate_rules(&f, &pair.gold, pair.kb2_name(), pair.kb1_name()),
@@ -74,7 +84,11 @@ pub fn threshold_sweep(
 pub fn best_tau(points: &[SweepPoint]) -> Option<f64> {
     points
         .iter()
-        .max_by(|a, b| a.mean_f1().partial_cmp(&b.mean_f1()).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| {
+            a.mean_f1()
+                .partial_cmp(&b.mean_f1())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .map(|p| p.x)
 }
 

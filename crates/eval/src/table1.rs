@@ -94,18 +94,27 @@ pub fn run_table1(
 ) -> Result<Table1Result, AlignError> {
     let mut rows = Vec::new();
     let methods: Vec<(String, AlignerConfig)> = vec![
-        ("pcaconf (SSE), tau>0.3".to_owned(), AlignerConfig {
-            sample_size,
-            ..AlignerConfig::baseline_pca(seed)
-        }),
-        ("cwaconf (SSE), tau>0.1".to_owned(), AlignerConfig {
-            sample_size,
-            ..AlignerConfig::baseline_cwa(seed)
-        }),
-        ("UBS pcaconf".to_owned(), AlignerConfig {
-            sample_size,
-            ..AlignerConfig::paper_defaults(seed)
-        }),
+        (
+            "pcaconf (SSE), tau>0.3".to_owned(),
+            AlignerConfig {
+                sample_size,
+                ..AlignerConfig::baseline_pca(seed)
+            },
+        ),
+        (
+            "cwaconf (SSE), tau>0.1".to_owned(),
+            AlignerConfig {
+                sample_size,
+                ..AlignerConfig::baseline_cwa(seed)
+            },
+        ),
+        (
+            "UBS pcaconf".to_owned(),
+            AlignerConfig {
+                sample_size,
+                ..AlignerConfig::paper_defaults(seed)
+            },
+        ),
     ];
 
     for (label, config) in methods {

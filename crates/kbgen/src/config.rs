@@ -20,12 +20,22 @@ pub struct KbSideConfig {
 impl KbSideConfig {
     /// A clean, well-curated KB (YAGO-like).
     pub fn curated(name: impl Into<String>) -> Self {
-        Self { name: name.into(), entity_coverage: 0.9, subject_drop: 0.15, fact_drop: 0.08 }
+        Self {
+            name: name.into(),
+            entity_coverage: 0.9,
+            subject_drop: 0.15,
+            fact_drop: 0.08,
+        }
     }
 
     /// A broad, noisier KB (DBpedia-like).
     pub fn broad(name: impl Into<String>) -> Self {
-        Self { name: name.into(), entity_coverage: 0.85, subject_drop: 0.25, fact_drop: 0.02 }
+        Self {
+            name: name.into(),
+            entity_coverage: 0.85,
+            subject_drop: 0.25,
+            fact_drop: 0.02,
+        }
     }
 }
 
@@ -173,8 +183,16 @@ impl PairConfig {
         Self {
             seed,
             n_entities: 120,
-            kb1: KbSideConfig { subject_drop: 0.05, fact_drop: 0.02, ..KbSideConfig::curated("t1") },
-            kb2: KbSideConfig { subject_drop: 0.05, fact_drop: 0.02, ..KbSideConfig::broad("t2") },
+            kb1: KbSideConfig {
+                subject_drop: 0.05,
+                fact_drop: 0.02,
+                ..KbSideConfig::curated("t1")
+            },
+            kb2: KbSideConfig {
+                subject_drop: 0.05,
+                fact_drop: 0.02,
+                ..KbSideConfig::broad("t2")
+            },
             structures: StructureCounts {
                 equivalent: 2,
                 subsumption_families: 1,

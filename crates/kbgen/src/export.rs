@@ -49,8 +49,7 @@ pub fn export_pair(pair: &GeneratedPair, dir: &Path) -> std::io::Result<(usize, 
     let mut kb2_file = std::fs::File::create(dir.join("kb2.nt"))?;
     kb2_file.write_all(write_ntriples(&pair.kb2).as_bytes())?;
     let mut gold_file = std::fs::File::create(dir.join("gold.tsv"))?;
-    gold_file
-        .write_all(gold_to_tsv(&pair.gold, pair.kb1_name(), pair.kb2_name()).as_bytes())?;
+    gold_file.write_all(gold_to_tsv(&pair.gold, pair.kb1_name(), pair.kb2_name()).as_bytes())?;
     Ok((pair.kb1.len(), pair.kb2.len()))
 }
 

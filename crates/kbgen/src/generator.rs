@@ -59,8 +59,12 @@ pub fn generate(config: &PairConfig) -> GeneratedPair {
 
     // Entity existence and sameAs linking.
     let n = world.n_entities as usize;
-    let exists1: Vec<bool> = (0..n).map(|_| rng.gen_bool(config.kb1.entity_coverage)).collect();
-    let exists2: Vec<bool> = (0..n).map(|_| rng.gen_bool(config.kb2.entity_coverage)).collect();
+    let exists1: Vec<bool> = (0..n)
+        .map(|_| rng.gen_bool(config.kb1.entity_coverage))
+        .collect();
+    let exists2: Vec<bool> = (0..n)
+        .map(|_| rng.gen_bool(config.kb2.entity_coverage))
+        .collect();
     let linked: Vec<bool> = (0..n)
         .map(|i| exists1[i] && exists2[i] && rng.gen_bool(config.same_as_coverage))
         .collect();
@@ -221,8 +225,10 @@ pub fn generate(config: &PairConfig) -> GeneratedPair {
             (&kb1_name, &kb2_name, &kb1, &kb2),
         ] {
             for (premise, conclusion) in gold.subsumptions_between(premise_kb, conclusion_kb) {
-                let (p_inv, c_inv) =
-                    (sofya_rdf::inverse_iri(&premise), sofya_rdf::inverse_iri(&conclusion));
+                let (p_inv, c_inv) = (
+                    sofya_rdf::inverse_iri(&premise),
+                    sofya_rdf::inverse_iri(&conclusion),
+                );
                 if exists_in(premise_store, &p_inv) && exists_in(conclusion_store, &c_inv) {
                     inverse_gold.add_subsumption(&p_inv, &c_inv);
                 }
@@ -231,7 +237,14 @@ pub fn generate(config: &PairConfig) -> GeneratedPair {
         gold = inverse_gold;
     }
 
-    GeneratedPair { kb1, kb2, gold, config: config.clone(), kb1_relations, kb2_relations }
+    GeneratedPair {
+        kb1,
+        kb2,
+        gold,
+        config: config.clone(),
+        kb1_relations,
+        kb2_relations,
+    }
 }
 
 #[cfg(test)]
@@ -285,8 +298,16 @@ mod tests {
     #[test]
     fn same_as_links_are_symmetric_across_stores() {
         let pair = generate(&PairConfig::tiny(5));
-        let sa1 = pair.kb1.dict().lookup_iri(pair.same_as()).expect("links exist");
-        let sa2 = pair.kb2.dict().lookup_iri(pair.same_as()).expect("links exist");
+        let sa1 = pair
+            .kb1
+            .dict()
+            .lookup_iri(pair.same_as())
+            .expect("links exist");
+        let sa2 = pair
+            .kb2
+            .dict()
+            .lookup_iri(pair.same_as())
+            .expect("links exist");
         let n1 = pair.kb1.count(TriplePattern::with_p(sa1));
         let n2 = pair.kb2.count(TriplePattern::with_p(sa2));
         assert_eq!(n1, n2);
@@ -307,11 +328,18 @@ mod tests {
         let s = cfg.structures;
         // Equivalences: equivalent + overlap mains + literal attrs, each in
         // both directions.
-        let d_to_y = pair.gold.subsumptions_between(pair.kb2_name(), pair.kb1_name());
-        let y_to_d = pair.gold.subsumptions_between(pair.kb1_name(), pair.kb2_name());
+        let d_to_y = pair
+            .gold
+            .subsumptions_between(pair.kb2_name(), pair.kb1_name());
+        let y_to_d = pair
+            .gold
+            .subsumptions_between(pair.kb1_name(), pair.kb2_name());
         let equivalences = s.equivalent + s.overlap_traps + s.literal_attrs;
         assert_eq!(y_to_d.len(), equivalences);
-        assert_eq!(d_to_y.len(), equivalences + s.subsumption_families * s.fines_per_family);
+        assert_eq!(
+            d_to_y.len(),
+            equivalences + s.subsumption_families * s.fines_per_family
+        );
     }
 
     #[test]
@@ -336,8 +364,22 @@ mod tests {
         if let Some(p) = pair.kb2.dict().lookup_iri(fine_iri) {
             for t in pair.kb2.triples_with_predicate(p) {
                 let (s, _, o) = pair.kb2.resolve(t);
-                let sid: u32 = s.as_iri().unwrap().rsplit('E').next().unwrap().parse().unwrap();
-                let oid: u32 = o.as_iri().unwrap().rsplit('E').next().unwrap().parse().unwrap();
+                let sid: u32 = s
+                    .as_iri()
+                    .unwrap()
+                    .rsplit('E')
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                let oid: u32 = o
+                    .as_iri()
+                    .unwrap()
+                    .rsplit('E')
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .unwrap();
                 assert!(coarse_world.contains(&(sid, oid)));
             }
         }
@@ -377,7 +419,10 @@ mod tests {
             .is_none());
 
         // Every non-literal gold subsumption is mirrored on the inverses.
-        for (p, c) in plain.gold.subsumptions_between(plain.kb2_name(), plain.kb1_name()) {
+        for (p, c) in plain
+            .gold
+            .subsumptions_between(plain.kb2_name(), plain.kb1_name())
+        {
             let (p_inv, c_inv) = (sofya_rdf::inverse_iri(&p), sofya_rdf::inverse_iri(&c));
             let literal = pair.kb2.dict().lookup_iri(&p_inv).is_none();
             if !literal {
@@ -388,7 +433,10 @@ mod tests {
             }
         }
         // Relation lists include the inverses.
-        assert!(pair.kb1_relations.iter().any(|r| sofya_rdf::is_inverse_iri(r)));
+        assert!(pair
+            .kb1_relations
+            .iter()
+            .any(|r| sofya_rdf::is_inverse_iri(r)));
     }
 
     #[test]

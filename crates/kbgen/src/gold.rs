@@ -39,25 +39,34 @@ impl AlignmentGold {
     pub fn add_equivalent(&mut self, a: &str, b: &str) {
         self.subsumptions.insert((a.to_owned(), b.to_owned()));
         self.subsumptions.insert((b.to_owned(), a.to_owned()));
-        self.kinds.insert((a.to_owned(), b.to_owned()), MappingKind::Equivalent);
-        self.kinds.insert((b.to_owned(), a.to_owned()), MappingKind::Equivalent);
+        self.kinds
+            .insert((a.to_owned(), b.to_owned()), MappingKind::Equivalent);
+        self.kinds
+            .insert((b.to_owned(), a.to_owned()), MappingKind::Equivalent);
     }
 
     /// Declares `premise ⇒ conclusion` (strict subsumption).
     pub fn add_subsumption(&mut self, premise: &str, conclusion: &str) {
-        self.subsumptions.insert((premise.to_owned(), conclusion.to_owned()));
-        self.kinds.insert((premise.to_owned(), conclusion.to_owned()), MappingKind::SubsumedBy);
+        self.subsumptions
+            .insert((premise.to_owned(), conclusion.to_owned()));
+        self.kinds.insert(
+            (premise.to_owned(), conclusion.to_owned()),
+            MappingKind::SubsumedBy,
+        );
     }
 
     /// Declares a non-subsuming overlap between `a` and `b`.
     pub fn add_overlap(&mut self, a: &str, b: &str) {
-        self.kinds.insert((a.to_owned(), b.to_owned()), MappingKind::Overlapping);
-        self.kinds.insert((b.to_owned(), a.to_owned()), MappingKind::Overlapping);
+        self.kinds
+            .insert((a.to_owned(), b.to_owned()), MappingKind::Overlapping);
+        self.kinds
+            .insert((b.to_owned(), a.to_owned()), MappingKind::Overlapping);
     }
 
     /// Whether `premise ⇒ conclusion` is true in the world model.
     pub fn is_subsumption(&self, premise: &str, conclusion: &str) -> bool {
-        self.subsumptions.contains(&(premise.to_owned(), conclusion.to_owned()))
+        self.subsumptions
+            .contains(&(premise.to_owned(), conclusion.to_owned()))
     }
 
     /// Whether `a ⇔ b` is true.
@@ -73,7 +82,11 @@ impl AlignmentGold {
     /// All true subsumptions whose premise lives in `premise_kb` and whose
     /// conclusion lives in `conclusion_kb` — the reference set for one
     /// direction of Table 1.
-    pub fn subsumptions_between(&self, premise_kb: &str, conclusion_kb: &str) -> Vec<(String, String)> {
+    pub fn subsumptions_between(
+        &self,
+        premise_kb: &str,
+        conclusion_kb: &str,
+    ) -> Vec<(String, String)> {
         self.subsumptions
             .iter()
             .filter(|(p, c)| {
@@ -143,7 +156,10 @@ mod tests {
         let g = gold();
         assert!(!g.is_subsumption("d:producer", "y:directed"));
         assert!(!g.is_subsumption("y:directed", "d:producer"));
-        assert_eq!(g.kind("d:producer", "y:directed"), Some(MappingKind::Overlapping));
+        assert_eq!(
+            g.kind("d:producer", "y:directed"),
+            Some(MappingKind::Overlapping)
+        );
     }
 
     #[test]
@@ -154,7 +170,10 @@ mod tests {
         assert!(d_to_y.contains(&("d:birthPlace".into(), "y:born".into())));
         assert_eq!(d_to_y.len(), 2);
         let y_to_d = g.subsumptions_between("yago", "dbpedia");
-        assert_eq!(y_to_d, vec![("y:born".to_owned(), "d:birthPlace".to_owned())]);
+        assert_eq!(
+            y_to_d,
+            vec![("y:born".to_owned(), "d:birthPlace".to_owned())]
+        );
     }
 
     #[test]

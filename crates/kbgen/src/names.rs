@@ -9,15 +9,22 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "d", "dr", "f", "fr", "g", "gr", "h", "j", "k", "kl", "l", "m", "n",
-    "p", "pr", "r", "s", "sh", "st", "t", "th", "v", "w", "z",
+    "b", "br", "c", "ch", "d", "dr", "f", "fr", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p",
+    "pr", "r", "s", "sh", "st", "t", "th", "v", "w", "z",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ia", "ei", "ou", "ae"];
 const CODAS: &[&str] = &["", "n", "r", "s", "l", "m", "k", "t", "nd", "rt", "ss"];
 
 /// Accent substitutions used by [`NameForge::corrupt`].
-const ACCENTS: &[(char, char)] =
-    &[('a', 'á'), ('e', 'é'), ('i', 'í'), ('o', 'ö'), ('u', 'ü'), ('c', 'ç'), ('n', 'ñ')];
+const ACCENTS: &[(char, char)] = &[
+    ('a', 'á'),
+    ('e', 'é'),
+    ('i', 'í'),
+    ('o', 'ö'),
+    ('u', 'ü'),
+    ('c', 'ç'),
+    ('n', 'ñ'),
+];
 
 /// A seeded generator of names and their corrupted variants.
 ///
@@ -65,7 +72,11 @@ impl NameForge {
             3 => {
                 let tokens: Vec<&str> = name.split(' ').collect();
                 if tokens.len() >= 2 {
-                    format!("{}, {}", tokens[tokens.len() - 1], tokens[..tokens.len() - 1].join(" "))
+                    format!(
+                        "{}, {}",
+                        tokens[tokens.len() - 1],
+                        tokens[..tokens.len() - 1].join(" ")
+                    )
                 } else {
                     name.to_owned()
                 }
@@ -82,7 +93,7 @@ impl NameForge {
         let target = ACCENTS
             .iter()
             .filter(|(plain, _)| lower.contains(*plain))
-            .nth(rng.gen_range(0..3) % ACCENTS.len().max(1));
+            .nth(rng.gen_range(0..3usize));
         let Some(&(plain, fancy)) = target else {
             return name.to_owned();
         };

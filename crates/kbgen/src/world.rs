@@ -98,7 +98,11 @@ impl World {
     pub fn build(config: &PairConfig, rng: &mut StdRng) -> Self {
         let n = config.n_entities as u32;
         let entity_names = (0..n).map(|_| NameForge::full_name(rng)).collect();
-        let mut w = World { n_entities: n, entity_names, relations: Vec::new() };
+        let mut w = World {
+            n_entities: n,
+            entity_names,
+            relations: Vec::new(),
+        };
         let s = config.structures;
 
         for i in 0..s.equivalent {
@@ -152,7 +156,10 @@ impl World {
         let rel = PlantedRelation {
             key: format!("eq{i}"),
             kb1_iri: Some(kb1_rel_iri(&config.kb1.name, &format!("has{word}{i}"))),
-            kb2_iri: Some(kb2_rel_iri(&config.kb2.name, &format!("{}Of{i}", word.to_lowercase()))),
+            kb2_iri: Some(kb2_rel_iri(
+                &config.kb2.name,
+                &format!("{}Of{i}", word.to_lowercase()),
+            )),
             kind: PlantKind::Equivalent,
             entity_facts: self.random_facts(rng, n),
             literal_facts: Vec::new(),
@@ -207,14 +214,20 @@ impl World {
                     &config.kb2.name,
                     &format!("{}Part{family}x{fi}", word.to_lowercase()),
                 )),
-                kind: PlantKind::Fine { family, dominant: fi == 0 },
+                kind: PlantKind::Fine {
+                    family,
+                    dominant: fi == 0,
+                },
                 entity_facts: facts,
                 literal_facts: Vec::new(),
             });
         }
         self.relations.push(PlantedRelation {
             key: format!("coarse{family}"),
-            kb1_iri: Some(kb1_rel_iri(&config.kb1.name, &format!("created{word}{family}"))),
+            kb1_iri: Some(kb1_rel_iri(
+                &config.kb1.name,
+                &format!("created{word}{family}"),
+            )),
             kb2_iri: None,
             kind: PlantKind::Coarse { family },
             entity_facts: union,
@@ -228,8 +241,7 @@ impl World {
     fn plant_overlap_trap(&mut self, config: &PairConfig, rng: &mut StdRng, i: usize) {
         let n = self.fact_budget(config, rng);
         let main_facts = self.random_facts(rng, n);
-        let mut seen: std::collections::BTreeSet<(u32, u32)> =
-            main_facts.iter().copied().collect();
+        let mut seen: std::collections::BTreeSet<(u32, u32)> = main_facts.iter().copied().collect();
         let mut side_facts = Vec::new();
         // ρ-copied pairs: the director who also produces.
         for &(x, y) in &main_facts {
@@ -255,7 +267,10 @@ impl World {
         self.relations.push(PlantedRelation {
             key: format!("ovmain{i}"),
             kb1_iri: Some(kb1_rel_iri(&config.kb1.name, &format!("directed{word}{i}"))),
-            kb2_iri: Some(kb2_rel_iri(&config.kb2.name, &format!("{}Director{i}", word.to_lowercase()))),
+            kb2_iri: Some(kb2_rel_iri(
+                &config.kb2.name,
+                &format!("{}Director{i}", word.to_lowercase()),
+            )),
             kind: PlantKind::OverlapMain,
             entity_facts: main_facts,
             literal_facts: Vec::new(),
@@ -263,8 +278,13 @@ impl World {
         self.relations.push(PlantedRelation {
             key: format!("ovside{i}"),
             kb1_iri: None,
-            kb2_iri: Some(kb2_rel_iri(&config.kb2.name, &format!("{}Producer{i}", word.to_lowercase()))),
-            kind: PlantKind::OverlapSide { main_key: format!("ovmain{i}") },
+            kb2_iri: Some(kb2_rel_iri(
+                &config.kb2.name,
+                &format!("{}Producer{i}", word.to_lowercase()),
+            )),
+            kind: PlantKind::OverlapSide {
+                main_key: format!("ovmain{i}"),
+            },
             entity_facts: side_facts,
             literal_facts: Vec::new(),
         });
@@ -279,13 +299,18 @@ impl World {
         // a place name…): if every literal attribute reused the entity's
         // display name, distinct attributes would genuinely overlap on
         // shared subjects and the "equivalent" gold would be wrong.
-        let facts: Vec<(u32, String)> =
-            subjects.into_iter().map(|s| (s, NameForge::full_name(rng))).collect();
+        let facts: Vec<(u32, String)> = subjects
+            .into_iter()
+            .map(|s| (s, NameForge::full_name(rng)))
+            .collect();
         let word = NameForge::word(rng);
         self.relations.push(PlantedRelation {
             key: format!("lit{i}"),
             kb1_iri: Some(kb1_rel_iri(&config.kb1.name, &format!("label{word}{i}"))),
-            kb2_iri: Some(kb2_rel_iri(&config.kb2.name, &format!("{}Name{i}", word.to_lowercase()))),
+            kb2_iri: Some(kb2_rel_iri(
+                &config.kb2.name,
+                &format!("{}Name{i}", word.to_lowercase()),
+            )),
             kind: PlantKind::LiteralAttr,
             entity_facts: Vec::new(),
             literal_facts: facts,
@@ -299,9 +324,20 @@ impl World {
         let n = (self.fact_budget(config, rng) / 3).max(5);
         let word = NameForge::word(rng);
         let (kb1_iri, kb2_iri, key) = if kb1 {
-            (Some(kb1_rel_iri(&config.kb1.name, &format!("misc{word}{i}"))), None, format!("noise1_{i}"))
+            (
+                Some(kb1_rel_iri(&config.kb1.name, &format!("misc{word}{i}"))),
+                None,
+                format!("noise1_{i}"),
+            )
         } else {
-            (None, Some(kb2_rel_iri(&config.kb2.name, &format!("{}Info{i}", word.to_lowercase()))), format!("noise2_{i}"))
+            (
+                None,
+                Some(kb2_rel_iri(
+                    &config.kb2.name,
+                    &format!("{}Info{i}", word.to_lowercase()),
+                )),
+                format!("noise2_{i}"),
+            )
         };
         self.relations.push(PlantedRelation {
             key,
@@ -356,7 +392,10 @@ impl World {
         self.relations.push(PlantedRelation {
             key: format!("cnoise{i}"),
             kb1_iri: None,
-            kb2_iri: Some(kb2_rel_iri(&config.kb2.name, &format!("{}Link{i}", word.to_lowercase()))),
+            kb2_iri: Some(kb2_rel_iri(
+                &config.kb2.name,
+                &format!("{}Link{i}", word.to_lowercase()),
+            )),
             kind: PlantKind::CorrelatedNoise { target_key },
             entity_facts: facts,
             literal_facts: Vec::new(),
@@ -427,7 +466,15 @@ mod tests {
         let dominant = w
             .relations
             .iter()
-            .find(|r| matches!(r.kind, PlantKind::Fine { family: 0, dominant: true }))
+            .find(|r| {
+                matches!(
+                    r.kind,
+                    PlantKind::Fine {
+                        family: 0,
+                        dominant: true
+                    }
+                )
+            })
             .unwrap();
         let family_total: usize = w
             .relations
@@ -446,7 +493,11 @@ mod tests {
         let side = w.relations.iter().find(|r| r.key == "ovside0").unwrap();
         let main_set: std::collections::BTreeSet<(u32, u32)> =
             main.entity_facts.iter().copied().collect();
-        let shared = side.entity_facts.iter().filter(|f| main_set.contains(f)).count();
+        let shared = side
+            .entity_facts
+            .iter()
+            .filter(|f| main_set.contains(f))
+            .count();
         let diverging = side.entity_facts.len() - shared;
         assert!(shared > 0, "side must share pairs with main");
         assert!(diverging > 0, "side must have contradiction material");
@@ -483,7 +534,11 @@ mod tests {
         let target = w.relations.iter().find(|r| &r.key == target_key).unwrap();
         let target_set: std::collections::BTreeSet<(u32, u32)> =
             target.entity_facts.iter().copied().collect();
-        let shared = cn.entity_facts.iter().filter(|f| target_set.contains(f)).count();
+        let shared = cn
+            .entity_facts
+            .iter()
+            .filter(|f| target_set.contains(f))
+            .count();
         let ratio = shared as f64 / cn.entity_facts.len() as f64;
         assert!(shared > 0);
         assert!(

@@ -51,7 +51,11 @@ impl Hasher for FnvHasher {
     #[inline]
     fn write(&mut self, bytes: &[u8]) {
         const PRIME: u64 = 0x0000_0100_0000_01B3;
-        let mut state = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        let mut state = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
         for &b in bytes {
             state ^= u64::from(b);
             state = state.wrapping_mul(PRIME);
@@ -127,7 +131,10 @@ impl Dict {
 
     /// Iterates over all `(id, term)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
-        self.terms.iter().enumerate().map(|(i, t)| (TermId(i as u32), t))
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
     }
 }
 

@@ -19,7 +19,10 @@ pub enum RdfError {
 impl RdfError {
     /// Convenience constructor for parse errors.
     pub fn parse(line: usize, message: impl Into<String>) -> Self {
-        RdfError::Parse { line, message: message.into() }
+        RdfError::Parse {
+            line,
+            message: message.into(),
+        }
     }
 }
 

@@ -102,8 +102,10 @@ mod tests {
         let added = materialize_inverses(&mut store);
         assert_eq!(added, 1);
         let inv = store.dict().lookup_iri("p~inv").unwrap();
-        let (a, b) =
-            (store.dict().lookup_iri("a").unwrap(), store.dict().lookup_iri("b").unwrap());
+        let (a, b) = (
+            store.dict().lookup_iri("a").unwrap(),
+            store.dict().lookup_iri("b").unwrap(),
+        );
         assert!(store.contains(b, inv, a));
     }
 

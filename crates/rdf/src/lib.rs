@@ -46,7 +46,9 @@ pub mod triple;
 
 pub use dict::{Dict, TermId};
 pub use error::RdfError;
-pub use inverse::{inverse_iri, is_inverse_iri, materialize_inverses, materialize_inverses_filtered};
+pub use inverse::{
+    inverse_iri, is_inverse_iri, materialize_inverses, materialize_inverses_filtered,
+};
 pub use ntriples::{parse_ntriples, write_ntriples};
 pub use stats::{PredicateStats, StoreStats};
 pub use store::TripleStore;

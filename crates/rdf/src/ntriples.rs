@@ -25,7 +25,11 @@ pub fn parse_ntriples_into(input: &str, store: &mut TripleStore) -> Result<(), R
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut cursor = Cursor { line, pos: 0, lineno };
+        let mut cursor = Cursor {
+            line,
+            pos: 0,
+            lineno,
+        };
         let s = cursor.parse_term()?;
         cursor.skip_ws();
         let p = cursor.parse_term()?;
@@ -157,11 +161,19 @@ impl<'a> Cursor<'a> {
             }
             let lang = lang_part[..end].to_owned();
             self.pos += 1 + end;
-            Ok(Term::Literal { lexical, lang: Some(lang), datatype: None })
+            Ok(Term::Literal {
+                lexical,
+                lang: Some(lang),
+                datatype: None,
+            })
         } else if rest.starts_with("^^") {
             self.pos += 2;
             let dt = self.parse_iri()?;
-            Ok(Term::Literal { lexical, lang: None, datatype: Some(dt) })
+            Ok(Term::Literal {
+                lexical,
+                lang: None,
+                datatype: Some(dt),
+            })
         } else {
             Ok(Term::literal(lexical))
         }

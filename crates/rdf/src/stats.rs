@@ -91,7 +91,10 @@ impl StoreStats {
                 },
             );
         }
-        Self { by_predicate, total_triples: store.len() }
+        Self {
+            by_predicate,
+            total_triples: store.len(),
+        }
     }
 
     /// Stats for one predicate, if present.

@@ -152,7 +152,9 @@ impl TripleStore {
                 )
             }
             (None, None, None) => Box::new(
-                self.spo.iter().map(|&(ks, kp, ko)| Triple::new(TermId(ks), TermId(kp), TermId(ko))),
+                self.spo
+                    .iter()
+                    .map(|&(ks, kp, ko)| Triple::new(TermId(ks), TermId(kp), TermId(ko))),
             ),
         }
     }
@@ -204,12 +206,16 @@ impl TripleStore {
 
     /// Objects `y` with `p(x, y)` for the given subject.
     pub fn objects_for(&self, s: TermId, p: TermId) -> Vec<TermId> {
-        self.scan(TriplePattern::with_sp(s, p)).map(|t| t.o).collect()
+        self.scan(TriplePattern::with_sp(s, p))
+            .map(|t| t.o)
+            .collect()
     }
 
     /// Subjects `x` with `p(x, y)` for the given object.
     pub fn subjects_for(&self, p: TermId, o: TermId) -> Vec<TermId> {
-        self.scan(TriplePattern::with_po(p, o)).map(|t| t.s).collect()
+        self.scan(TriplePattern::with_po(p, o))
+            .map(|t| t.s)
+            .collect()
     }
 
     /// Distinct predicates `p` such that `p(s, ·)` exists.
@@ -220,7 +226,11 @@ impl TripleStore {
 
     /// Resolves a triple back to terms (for display / serialisation).
     pub fn resolve(&self, t: Triple) -> (&Term, &Term, &Term) {
-        (self.dict.resolve(t.s), self.dict.resolve(t.p), self.dict.resolve(t.o))
+        (
+            self.dict.resolve(t.s),
+            self.dict.resolve(t.p),
+            self.dict.resolve(t.o),
+        )
     }
 
     /// Iterates over all triples in SPO order.
@@ -310,7 +320,12 @@ mod tests {
 
     #[test]
     fn subjects_objects_helpers() {
-        let s = store_with(&[("a", "p", "b"), ("a", "p", "c"), ("b", "p", "c"), ("a", "q", "d")]);
+        let s = store_with(&[
+            ("a", "p", "b"),
+            ("a", "p", "c"),
+            ("b", "p", "c"),
+            ("a", "q", "d"),
+        ]);
         let p = s.dict().lookup_iri("p").unwrap();
         let a = s.dict().lookup_iri("a").unwrap();
         assert_eq!(s.subjects_of(p).len(), 2);

@@ -32,22 +32,37 @@ impl Term {
 
     /// Builds a plain (string) literal.
     pub fn literal(lexical: impl Into<String>) -> Self {
-        Term::Literal { lexical: lexical.into(), lang: None, datatype: None }
+        Term::Literal {
+            lexical: lexical.into(),
+            lang: None,
+            datatype: None,
+        }
     }
 
     /// Builds a language-tagged literal.
     pub fn lang_literal(lexical: impl Into<String>, lang: impl Into<String>) -> Self {
-        Term::Literal { lexical: lexical.into(), lang: Some(lang.into()), datatype: None }
+        Term::Literal {
+            lexical: lexical.into(),
+            lang: Some(lang.into()),
+            datatype: None,
+        }
     }
 
     /// Builds a typed literal.
     pub fn typed_literal(lexical: impl Into<String>, datatype: impl Into<String>) -> Self {
-        Term::Literal { lexical: lexical.into(), lang: None, datatype: Some(datatype.into()) }
+        Term::Literal {
+            lexical: lexical.into(),
+            lang: None,
+            datatype: Some(datatype.into()),
+        }
     }
 
     /// Builds an integer literal typed as `xsd:integer`.
     pub fn integer(value: i64) -> Self {
-        Term::typed_literal(value.to_string(), "http://www.w3.org/2001/XMLSchema#integer")
+        Term::typed_literal(
+            value.to_string(),
+            "http://www.w3.org/2001/XMLSchema#integer",
+        )
     }
 
     /// Builds a blank node.
@@ -109,7 +124,11 @@ impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Term::Iri(v) => write!(f, "<{v}>"),
-            Term::Literal { lexical, lang, datatype } => {
+            Term::Literal {
+                lexical,
+                lang,
+                datatype,
+            } => {
                 write!(f, "\"{}\"", escape_literal(lexical))?;
                 if let Some(lang) = lang {
                     write!(f, "@{lang}")?;
@@ -186,8 +205,14 @@ mod tests {
 
     #[test]
     fn local_name_extraction() {
-        assert_eq!(Term::iri("http://kb/ont#wasBornIn").local_name(), Some("wasBornIn"));
-        assert_eq!(Term::iri("http://kb/wasBornIn").local_name(), Some("wasBornIn"));
+        assert_eq!(
+            Term::iri("http://kb/ont#wasBornIn").local_name(),
+            Some("wasBornIn")
+        );
+        assert_eq!(
+            Term::iri("http://kb/wasBornIn").local_name(),
+            Some("wasBornIn")
+        );
         assert_eq!(Term::iri("wasBornIn").local_name(), Some("wasBornIn"));
         assert_eq!(Term::literal("x").local_name(), None);
     }
@@ -204,7 +229,10 @@ mod tests {
 
     #[test]
     fn display_lang_literal() {
-        assert_eq!(Term::lang_literal("bonjour", "fr").to_string(), "\"bonjour\"@fr");
+        assert_eq!(
+            Term::lang_literal("bonjour", "fr").to_string(),
+            "\"bonjour\"@fr"
+        );
     }
 
     #[test]
@@ -240,8 +268,12 @@ mod tests {
 
     #[test]
     fn term_ordering_is_total() {
-        let mut terms =
-            vec![Term::literal("b"), Term::iri("a"), Term::bnode("c"), Term::literal("a")];
+        let mut terms = vec![
+            Term::literal("b"),
+            Term::iri("a"),
+            Term::bnode("c"),
+            Term::literal("a"),
+        ];
         terms.sort();
         // Sorting must not panic and must be deterministic.
         let again = {

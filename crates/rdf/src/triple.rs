@@ -43,42 +43,69 @@ impl TriplePattern {
 
     /// Pattern with only the subject bound.
     pub fn with_s(s: TermId) -> Self {
-        Self { s: Some(s), ..Self::default() }
+        Self {
+            s: Some(s),
+            ..Self::default()
+        }
     }
 
     /// Pattern with only the predicate bound.
     pub fn with_p(p: TermId) -> Self {
-        Self { p: Some(p), ..Self::default() }
+        Self {
+            p: Some(p),
+            ..Self::default()
+        }
     }
 
     /// Pattern with only the object bound.
     pub fn with_o(o: TermId) -> Self {
-        Self { o: Some(o), ..Self::default() }
+        Self {
+            o: Some(o),
+            ..Self::default()
+        }
     }
 
     /// Pattern with subject and predicate bound.
     pub fn with_sp(s: TermId, p: TermId) -> Self {
-        Self { s: Some(s), p: Some(p), o: None }
+        Self {
+            s: Some(s),
+            p: Some(p),
+            o: None,
+        }
     }
 
     /// Pattern with predicate and object bound.
     pub fn with_po(p: TermId, o: TermId) -> Self {
-        Self { s: None, p: Some(p), o: Some(o) }
+        Self {
+            s: None,
+            p: Some(p),
+            o: Some(o),
+        }
     }
 
     /// Pattern with subject and object bound.
     pub fn with_so(s: TermId, o: TermId) -> Self {
-        Self { s: Some(s), p: None, o: Some(o) }
+        Self {
+            s: Some(s),
+            p: None,
+            o: Some(o),
+        }
     }
 
     /// Fully-bound pattern (an existence probe).
     pub fn exact(s: TermId, p: TermId, o: TermId) -> Self {
-        Self { s: Some(s), p: Some(p), o: Some(o) }
+        Self {
+            s: Some(s),
+            p: Some(p),
+            o: Some(o),
+        }
     }
 
     /// Number of bound positions (0–3).
     pub fn bound_count(&self) -> usize {
-        usize::from(self.s.is_some()) + usize::from(self.p.is_some()) + usize::from(self.o.is_some())
+        usize::from(self.s.is_some())
+            + usize::from(self.p.is_some())
+            + usize::from(self.o.is_some())
     }
 
     /// Whether `t` satisfies every bound position of the pattern.

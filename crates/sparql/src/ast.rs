@@ -260,7 +260,10 @@ mod tests {
     fn free_vars_ignores_exists_bodies() {
         let e = Expr::And(
             Box::new(Expr::Var("a".into())),
-            Box::new(Expr::Exists { pattern: GroupGraphPattern::default(), negated: true }),
+            Box::new(Expr::Exists {
+                pattern: GroupGraphPattern::default(),
+                negated: true,
+            }),
         );
         let mut vars = Vec::new();
         e.free_vars(&mut vars);

@@ -27,17 +27,24 @@ pub enum SparqlError {
 impl SparqlError {
     /// Constructs a lexical error.
     pub fn lex(offset: usize, message: impl Into<String>) -> Self {
-        SparqlError::Lex { offset, message: message.into() }
+        SparqlError::Lex {
+            offset,
+            message: message.into(),
+        }
     }
 
     /// Constructs a parse error.
     pub fn parse(message: impl Into<String>) -> Self {
-        SparqlError::Parse { message: message.into() }
+        SparqlError::Parse {
+            message: message.into(),
+        }
     }
 
     /// Constructs an evaluation error.
     pub fn eval(message: impl Into<String>) -> Self {
-        SparqlError::Eval { message: message.into() }
+        SparqlError::Eval {
+            message: message.into(),
+        }
     }
 }
 
@@ -61,8 +68,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SparqlError::lex(4, "bad char").to_string().contains("byte 4"));
-        assert!(SparqlError::parse("expected WHERE").to_string().contains("syntax"));
-        assert!(SparqlError::eval("type error").to_string().contains("evaluation"));
+        assert!(SparqlError::lex(4, "bad char")
+            .to_string()
+            .contains("byte 4"));
+        assert!(SparqlError::parse("expected WHERE")
+            .to_string()
+            .contains("syntax"));
+        assert!(SparqlError::eval("type error")
+            .to_string()
+            .contains("evaluation"));
     }
 }

@@ -32,9 +32,7 @@ pub fn execute_query(store: &TripleStore, query: &str) -> Result<QueryOutcome, S
 pub fn execute(store: &TripleStore, query: &str) -> Result<ResultSet, SparqlError> {
     match execute_query(store, query)? {
         QueryOutcome::Solutions(rs) => Ok(rs),
-        QueryOutcome::Boolean(_) => {
-            Err(SparqlError::eval("expected a SELECT query, found ASK"))
-        }
+        QueryOutcome::Boolean(_) => Err(SparqlError::eval("expected a SELECT query, found ASK")),
     }
 }
 
@@ -42,9 +40,7 @@ pub fn execute(store: &TripleStore, query: &str) -> Result<ResultSet, SparqlErro
 pub fn execute_ask(store: &TripleStore, query: &str) -> Result<bool, SparqlError> {
     match execute_query(store, query)? {
         QueryOutcome::Boolean(b) => Ok(b),
-        QueryOutcome::Solutions(_) => {
-            Err(SparqlError::eval("expected an ASK query, found SELECT"))
-        }
+        QueryOutcome::Solutions(_) => Err(SparqlError::eval("expected an ASK query, found SELECT")),
     }
 }
 
@@ -59,7 +55,9 @@ pub fn execute_select(store: &TripleStore, query: &SelectQuery) -> Result<Result
         && !plan.has_subgroups()
         && !matches!(query.projection, Projection::Count { .. })
     {
-        query.limit.map(|l| l.saturating_add(query.offset.unwrap_or(0)))
+        query
+            .limit
+            .map(|l| l.saturating_add(query.offset.unwrap_or(0)))
     } else {
         None
     };
@@ -68,7 +66,12 @@ pub fn execute_select(store: &TripleStore, query: &SelectQuery) -> Result<Result
     let bindings = eval_group(store, &plan, binding, early_stop)?;
 
     // Aggregation short-circuits projection.
-    if let Projection::Count { var, distinct, alias } = &query.projection {
+    if let Projection::Count {
+        var,
+        distinct,
+        alias,
+    } = &query.projection
+    {
         let count = match var {
             None => bindings.len(),
             Some(v) => {
@@ -108,7 +111,10 @@ pub fn execute_select(store: &TripleStore, query: &SelectQuery) -> Result<Result
         .map(|b| {
             col_indices
                 .iter()
-                .map(|ci| ci.and_then(|i| b[i]).map(|id| store.dict().resolve(id).clone()))
+                .map(|ci| {
+                    ci.and_then(|i| b[i])
+                        .map(|id| store.dict().resolve(id).clone())
+                })
                 .collect()
         })
         .collect();
@@ -116,8 +122,10 @@ pub fn execute_select(store: &TripleStore, query: &SelectQuery) -> Result<Result
     if query.distinct {
         let mut seen = std::collections::BTreeSet::new();
         rows.retain(|row| {
-            let key: Vec<String> =
-                row.iter().map(|c| c.as_ref().map(|t| t.to_string()).unwrap_or_default()).collect();
+            let key: Vec<String> = row
+                .iter()
+                .map(|c| c.as_ref().map(|t| t.to_string()).unwrap_or_default())
+                .collect();
             seen.insert(key)
         });
     }
@@ -127,7 +135,10 @@ pub fn execute_select(store: &TripleStore, query: &SelectQuery) -> Result<Result
             .order_by
             .iter()
             .filter_map(|k| {
-                projected_vars.iter().position(|v| v == &k.var).map(|i| (i, k.descending))
+                projected_vars
+                    .iter()
+                    .position(|v| v == &k.var)
+                    .map(|i| (i, k.descending))
             })
             .collect();
         rows.sort_by(|a, b| {
@@ -411,9 +422,7 @@ fn eval_builtin(
         Builtin::Lang => {
             let v = eval_expr(store, &args[0], binding)?;
             match v {
-                Value::Term(Term::Literal { lang, .. }) => {
-                    Ok(Value::Str(lang.unwrap_or_default()))
-                }
+                Value::Term(Term::Literal { lang, .. }) => Ok(Value::Str(lang.unwrap_or_default())),
                 _ => Err(SparqlError::eval("LANG expects a literal")),
             }
         }
@@ -491,8 +500,16 @@ mod tests {
         ] {
             s.insert_terms(&Term::iri(a), &Term::iri(p), &Term::iri(b));
         }
-        s.insert_terms(&Term::iri("e:s1"), &Term::iri("r:name"), &Term::literal("Frank Sinatra"));
-        s.insert_terms(&Term::iri("e:s2"), &Term::iri("r:name"), &Term::literal("Ella"));
+        s.insert_terms(
+            &Term::iri("e:s1"),
+            &Term::iri("r:name"),
+            &Term::literal("Frank Sinatra"),
+        );
+        s.insert_terms(
+            &Term::iri("e:s2"),
+            &Term::iri("r:name"),
+            &Term::literal("Ella"),
+        );
         s.insert_terms(&Term::iri("e:s1"), &Term::iri("r:age"), &Term::integer(82));
         s.insert_terms(&Term::iri("e:s2"), &Term::iri("r:age"), &Term::integer(79));
         s
@@ -508,8 +525,11 @@ mod tests {
     #[test]
     fn join_two_patterns() {
         let s = demo_store();
-        let rs =
-            execute(&s, "SELECT ?x { ?x <r:bornIn> <e:usa> . ?x <r:livesIn> <e:usa> }").unwrap();
+        let rs = execute(
+            &s,
+            "SELECT ?x { ?x <r:bornIn> <e:usa> . ?x <r:livesIn> <e:usa> }",
+        )
+        .unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.cell(0, "x"), Some(&Term::iri("e:s1")));
     }
@@ -518,8 +538,11 @@ mod tests {
     fn variable_predicate() {
         let s = demo_store();
         let rs = execute(&s, "SELECT DISTINCT ?p { <e:s1> ?p ?y }").unwrap();
-        let mut preds: Vec<String> =
-            rs.column("p").iter().map(|t| t.as_iri().unwrap().to_owned()).collect();
+        let mut preds: Vec<String> = rs
+            .column("p")
+            .iter()
+            .map(|t| t.as_iri().unwrap().to_owned())
+            .collect();
         preds.sort();
         assert_eq!(preds, vec!["r:age", "r:bornIn", "r:livesIn", "r:name"]);
     }
@@ -553,8 +576,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rs.len(), 1);
-        let rs = execute(&s, "SELECT ?x { ?x <r:name> ?n FILTER(CONTAINS(STR(?n), \"ll\")) }")
-            .unwrap();
+        let rs = execute(
+            &s,
+            "SELECT ?x { ?x <r:name> ?n FILTER(CONTAINS(STR(?n), \"ll\")) }",
+        )
+        .unwrap();
         assert_eq!(rs.len(), 1);
     }
 
@@ -617,8 +643,11 @@ mod tests {
     fn limit_offset_pagination() {
         let s = demo_store();
         let all = execute(&s, "SELECT ?x ?y { ?x <r:bornIn> ?y } ORDER BY ?x").unwrap();
-        let page2 = execute(&s, "SELECT ?x ?y { ?x <r:bornIn> ?y } ORDER BY ?x LIMIT 2 OFFSET 1")
-            .unwrap();
+        let page2 = execute(
+            &s,
+            "SELECT ?x ?y { ?x <r:bornIn> ?y } ORDER BY ?x LIMIT 2 OFFSET 1",
+        )
+        .unwrap();
         assert_eq!(page2.len(), 2);
         assert_eq!(page2.rows()[0], all.rows()[1]);
         assert_eq!(page2.rows()[1], all.rows()[2]);
@@ -656,7 +685,11 @@ mod tests {
     #[test]
     fn repeated_variable_in_pattern() {
         let mut s = demo_store();
-        s.insert_terms(&Term::iri("e:loop"), &Term::iri("r:knows"), &Term::iri("e:loop"));
+        s.insert_terms(
+            &Term::iri("e:loop"),
+            &Term::iri("r:knows"),
+            &Term::iri("e:loop"),
+        );
         let rs = execute(&s, "SELECT ?x { ?x <r:knows> ?x }").unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.cell(0, "x"), Some(&Term::iri("e:loop")));
@@ -681,7 +714,11 @@ mod tests {
     fn filter_error_is_false_not_fatal() {
         let s = demo_store();
         // LANG of an IRI errors; the row is dropped, not the query.
-        let rs = execute(&s, "SELECT ?x { ?x <r:bornIn> ?y FILTER(LANG(?y) = \"en\") }").unwrap();
+        let rs = execute(
+            &s,
+            "SELECT ?x { ?x <r:bornIn> ?y FILTER(LANG(?y) = \"en\") }",
+        )
+        .unwrap();
         assert!(rs.is_empty());
     }
 

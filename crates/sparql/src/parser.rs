@@ -56,7 +56,9 @@ impl Parser {
         if &got == want {
             Ok(())
         } else {
-            Err(SparqlError::parse(format!("expected {want:?}, found {got:?}")))
+            Err(SparqlError::parse(format!(
+                "expected {want:?}, found {got:?}"
+            )))
         }
     }
 
@@ -73,7 +75,10 @@ impl Parser {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(SparqlError::parse(format!("expected keyword {kw}, found {:?}", self.peek())))
+            Err(SparqlError::parse(format!(
+                "expected keyword {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -95,8 +100,13 @@ impl Parser {
             loop {
                 match self.peek() {
                     Some(Token::Var(_)) => {
-                        let Token::Var(v) = self.next()? else { unreachable!() };
-                        order_by.push(OrderKey { var: v, descending: false });
+                        let Token::Var(v) = self.next()? else {
+                            unreachable!()
+                        };
+                        order_by.push(OrderKey {
+                            var: v,
+                            descending: false,
+                        });
                     }
                     Some(Token::Keyword(k)) if k == "ASC" || k == "DESC" => {
                         let descending = k == "DESC";
@@ -127,13 +137,22 @@ impl Parser {
             }
         }
 
-        Ok(Query::Select(SelectQuery { projection, distinct, pattern, order_by, limit, offset }))
+        Ok(Query::Select(SelectQuery {
+            projection,
+            distinct,
+            pattern,
+            order_by,
+            limit,
+            offset,
+        }))
     }
 
     fn parse_usize(&mut self) -> Result<usize, SparqlError> {
         match self.next()? {
             Token::Integer(n) if n >= 0 => Ok(n as usize),
-            other => Err(SparqlError::parse(format!("expected non-negative integer, found {other:?}"))),
+            other => Err(SparqlError::parse(format!(
+                "expected non-negative integer, found {other:?}"
+            ))),
         }
     }
 
@@ -167,12 +186,18 @@ impl Parser {
                     return Err(SparqlError::parse("expected variable after AS"));
                 };
                 self.expect(&Token::RParen)?;
-                Ok(Projection::Count { var, distinct, alias })
+                Ok(Projection::Count {
+                    var,
+                    distinct,
+                    alias,
+                })
             }
             Some(Token::Var(_)) => {
                 let mut vars = Vec::new();
                 while let Some(Token::Var(_)) = self.peek() {
-                    let Token::Var(v) = self.next()? else { unreachable!() };
+                    let Token::Var(v) = self.next()? else {
+                        unreachable!()
+                    };
                     vars.push(v);
                 }
                 Ok(Projection::Vars(vars))
@@ -226,7 +251,11 @@ impl Parser {
                         self.pos += 1;
                     }
                 }
-                None => return Err(SparqlError::parse("unterminated group pattern, expected '}'")),
+                None => {
+                    return Err(SparqlError::parse(
+                        "unterminated group pattern, expected '}'",
+                    ))
+                }
             }
         }
         Ok(group)
@@ -249,9 +278,9 @@ impl Parser {
             Token::BNode(label) => Ok(NodePattern::Term(Term::bnode(label))),
             Token::Str(s) => Ok(NodePattern::Term(self.finish_literal(s)?)),
             Token::Integer(n) => Ok(NodePattern::Term(Term::integer(n))),
-            other => {
-                Err(SparqlError::parse(format!("expected triple-pattern node, found {other:?}")))
-            }
+            other => Err(SparqlError::parse(format!(
+                "expected triple-pattern node, found {other:?}"
+            ))),
         }
     }
 
@@ -259,16 +288,18 @@ impl Parser {
     fn finish_literal(&mut self, lexical: String) -> Result<Term, SparqlError> {
         match self.peek() {
             Some(Token::LangTag(_)) => {
-                let Token::LangTag(lang) = self.next()? else { unreachable!() };
+                let Token::LangTag(lang) = self.next()? else {
+                    unreachable!()
+                };
                 Ok(Term::lang_literal(lexical, lang))
             }
             Some(Token::DoubleCaret) => {
                 self.pos += 1;
                 match self.next()? {
                     Token::Iri(dt) => Ok(Term::typed_literal(lexical, dt)),
-                    other => {
-                        Err(SparqlError::parse(format!("expected datatype IRI, found {other:?}")))
-                    }
+                    other => Err(SparqlError::parse(format!(
+                        "expected datatype IRI, found {other:?}"
+                    ))),
                 }
             }
             _ => Ok(Term::literal(lexical)),
@@ -354,7 +385,9 @@ impl Parser {
                 Ok(Expr::Not(Box::new(inner)))
             }
             Token::Keyword(kw) => self.parse_keyword_primary(&kw),
-            other => Err(SparqlError::parse(format!("expected expression, found {other:?}"))),
+            other => Err(SparqlError::parse(format!(
+                "expected expression, found {other:?}"
+            ))),
         }
     }
 
@@ -369,11 +402,17 @@ impl Parser {
             "NOT" => {
                 self.expect_keyword("EXISTS")?;
                 let pattern = self.parse_group()?;
-                return Ok(Expr::Exists { pattern, negated: true });
+                return Ok(Expr::Exists {
+                    pattern,
+                    negated: true,
+                });
             }
             "EXISTS" => {
                 let pattern = self.parse_group()?;
-                return Ok(Expr::Exists { pattern, negated: false });
+                return Ok(Expr::Exists {
+                    pattern,
+                    negated: false,
+                });
             }
             "BOUND" => Builtin::Bound,
             "STR" => Builtin::Str,
@@ -387,7 +426,9 @@ impl Parser {
             "CONTAINS" => Builtin::Contains,
             "REGEX" => Builtin::Regex,
             other => {
-                return Err(SparqlError::parse(format!("unexpected keyword {other} in expression")))
+                return Err(SparqlError::parse(format!(
+                    "unexpected keyword {other} in expression"
+                )))
             }
         };
         self.expect(&Token::LParen)?;
@@ -455,7 +496,11 @@ mod tests {
         let q = select("SELECT (COUNT(*) AS ?n) WHERE { ?x <p> ?y }");
         assert_eq!(
             q.projection,
-            Projection::Count { var: None, distinct: false, alias: "n".into() }
+            Projection::Count {
+                var: None,
+                distinct: false,
+                alias: "n".into()
+            }
         );
     }
 
@@ -464,7 +509,11 @@ mod tests {
         let q = select("SELECT (COUNT(DISTINCT ?x) AS ?n) WHERE { ?x <p> ?y }");
         assert_eq!(
             q.projection,
-            Projection::Count { var: Some("x".into()), distinct: true, alias: "n".into() }
+            Projection::Count {
+                var: Some("x".into()),
+                distinct: true,
+                alias: "n".into()
+            }
         );
     }
 
@@ -482,8 +531,14 @@ mod tests {
         assert_eq!(
             q.order_by,
             vec![
-                OrderKey { var: "x".into(), descending: false },
-                OrderKey { var: "y".into(), descending: true },
+                OrderKey {
+                    var: "x".into(),
+                    descending: false
+                },
+                OrderKey {
+                    var: "y".into(),
+                    descending: true
+                },
             ]
         );
     }
@@ -526,14 +581,16 @@ mod tests {
     #[test]
     fn parses_exists_inside_parens() {
         let q = select("SELECT ?x { ?x <p> ?y FILTER(EXISTS { ?x <q> ?y }) }");
-        assert!(matches!(&q.pattern.filters[0], Expr::Exists { negated: false, .. }));
+        assert!(matches!(
+            &q.pattern.filters[0],
+            Expr::Exists { negated: false, .. }
+        ));
     }
 
     #[test]
     fn parses_builtins() {
-        let q = select(
-            "SELECT ?x { ?x <name> ?n FILTER(ISLITERAL(?n) && STRSTARTS(STR(?n), \"A\")) }",
-        );
+        let q =
+            select("SELECT ?x { ?x <name> ?n FILTER(ISLITERAL(?n) && STRSTARTS(STR(?n), \"A\")) }");
         assert_eq!(q.pattern.filters.len(), 1);
     }
 

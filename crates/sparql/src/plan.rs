@@ -221,7 +221,10 @@ impl GroupPlan {
             .unions
             .iter()
             .map(|block| {
-                block.iter().map(|branch| GroupPlan::build(store, branch, &var_names)).collect()
+                block
+                    .iter()
+                    .map(|branch| GroupPlan::build(store, branch, &var_names))
+                    .collect()
             })
             .collect();
         let optionals: Vec<GroupPlan> = pattern
@@ -230,7 +233,14 @@ impl GroupPlan {
             .map(|optional| GroupPlan::build(store, optional, &var_names))
             .collect();
 
-        GroupPlan { var_names, patterns: ordered, filters_at, post_filters, unions, optionals }
+        GroupPlan {
+            var_names,
+            patterns: ordered,
+            filters_at,
+            post_filters,
+            unions,
+            optionals,
+        }
     }
 
     /// Whether the plan has union or optional sub-plans (disables the
@@ -311,7 +321,10 @@ fn compile_expr(expr: &Expr, store: &TripleStore, var_names: &[String]) -> PExpr
             // A filter variable not bound anywhere in the pattern is
             // permanently unbound; represent it as a fresh out-of-range
             // index so evaluation yields "unbound".
-            let idx = var_names.iter().position(|v| v == name).unwrap_or(usize::MAX);
+            let idx = var_names
+                .iter()
+                .position(|v| v == name)
+                .unwrap_or(usize::MAX);
             PExpr::Var(idx)
         }
         Expr::Const(t) => PExpr::Const(t.clone()),
@@ -329,12 +342,18 @@ fn compile_expr(expr: &Expr, store: &TripleStore, var_names: &[String]) -> PExpr
             Box::new(compile_expr(b, store, var_names)),
         ),
         Expr::Not(inner) => PExpr::Not(Box::new(compile_expr(inner, store, var_names))),
-        Expr::Call(builtin, args) => {
-            PExpr::Call(*builtin, args.iter().map(|a| compile_expr(a, store, var_names)).collect())
-        }
+        Expr::Call(builtin, args) => PExpr::Call(
+            *builtin,
+            args.iter()
+                .map(|a| compile_expr(a, store, var_names))
+                .collect(),
+        ),
         Expr::Exists { pattern, negated } => {
             let plan = GroupPlan::build(store, pattern, var_names);
-            PExpr::Exists { plan: Box::new(plan), negated: *negated }
+            PExpr::Exists {
+                plan: Box::new(plan),
+                negated: *negated,
+            }
         }
     }
 }
@@ -380,7 +399,10 @@ mod tests {
     #[test]
     fn filter_scheduled_at_earliest_possible_level() {
         let store = demo_store();
-        let plan = plan_of(&store, "SELECT ?x { ?x <p> ?y . ?y <q> ?z . FILTER(?x != ?y) }");
+        let plan = plan_of(
+            &store,
+            "SELECT ?x { ?x <p> ?y . ?y <q> ?z . FILTER(?x != ?y) }",
+        );
         // ?x and ?y are both bound after the first pattern (which mentions
         // both), so the filter must be scheduled at level 1.
         assert_eq!(plan.filters_at[1].len(), 1);
@@ -390,7 +412,10 @@ mod tests {
     #[test]
     fn exists_subplan_shares_outer_prefix() {
         let store = demo_store();
-        let plan = plan_of(&store, "SELECT ?x { ?x <p> ?y FILTER NOT EXISTS { ?x <q> ?w } }");
+        let plan = plan_of(
+            &store,
+            "SELECT ?x { ?x <p> ?y FILTER NOT EXISTS { ?x <q> ?w } }",
+        );
         let exists = plan
             .filters_at
             .iter()

@@ -65,9 +65,36 @@ pub enum Token {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "DISTINCT", "WHERE", "FILTER", "LIMIT", "OFFSET", "ORDER", "BY", "ASC", "DESC",
-    "ASK", "COUNT", "AS", "BOUND", "STR", "LANG", "DATATYPE", "ISIRI", "ISLITERAL", "ISBLANK",
-    "STRSTARTS", "STRENDS", "CONTAINS", "REGEX", "EXISTS", "NOT", "TRUE", "FALSE", "UNION", "OPTIONAL",
+    "SELECT",
+    "DISTINCT",
+    "WHERE",
+    "FILTER",
+    "LIMIT",
+    "OFFSET",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "ASK",
+    "COUNT",
+    "AS",
+    "BOUND",
+    "STR",
+    "LANG",
+    "DATATYPE",
+    "ISIRI",
+    "ISLITERAL",
+    "ISBLANK",
+    "STRSTARTS",
+    "STRENDS",
+    "CONTAINS",
+    "REGEX",
+    "EXISTS",
+    "NOT",
+    "TRUE",
+    "FALSE",
+    "UNION",
+    "OPTIONAL",
 ];
 
 /// Tokenises a query string.
@@ -278,7 +305,12 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
                 }
                 i = end;
             }
-            other => return Err(SparqlError::lex(i, format!("unexpected character '{other}'"))),
+            other => {
+                return Err(SparqlError::lex(
+                    i,
+                    format!("unexpected character '{other}'"),
+                ))
+            }
         }
     }
     Ok(tokens)
@@ -366,7 +398,10 @@ mod tests {
     #[test]
     fn integers_with_sign() {
         let toks = tokenize("10 -3 +7").unwrap();
-        assert_eq!(toks, vec![Token::Integer(10), Token::Integer(-3), Token::Integer(7)]);
+        assert_eq!(
+            toks,
+            vec![Token::Integer(10), Token::Integer(-3), Token::Integer(7)]
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ fn unparse_select(q: &SelectQuery) -> String {
             let names: Vec<String> = vars.iter().map(|v| format!("?{v}")).collect();
             out.push_str(&names.join(" "));
         }
-        Projection::Count { var, distinct, alias } => {
+        Projection::Count {
+            var,
+            distinct,
+            alias,
+        } => {
             out.push_str("(COUNT(");
             if *distinct {
                 out.push_str("DISTINCT ");
@@ -89,7 +93,12 @@ fn unparse_group(group: &GroupGraphPattern) -> String {
 }
 
 fn unparse_triple(tp: &TriplePatternAst) -> String {
-    format!("{} {} {}", unparse_node(&tp.s), unparse_node(&tp.p), unparse_node(&tp.o))
+    format!(
+        "{} {} {}",
+        unparse_node(&tp.s),
+        unparse_node(&tp.p),
+        unparse_node(&tp.o)
+    )
 }
 
 fn unparse_node(node: &NodePattern) -> String {
@@ -136,7 +145,12 @@ fn unparse_expr(expr: &Expr) -> String {
         Expr::Var(v) => format!("?{v}"),
         Expr::Const(t) => unparse_term(t),
         Expr::Compare(op, a, b) => {
-            format!("({} {} {})", unparse_expr(a), compare_op(*op), unparse_expr(b))
+            format!(
+                "({} {} {})",
+                unparse_expr(a),
+                compare_op(*op),
+                unparse_expr(b)
+            )
         }
         Expr::And(a, b) => format!("({} && {})", unparse_expr(a), unparse_expr(b)),
         Expr::Or(a, b) => format!("({} || {})", unparse_expr(a), unparse_expr(b)),
@@ -161,7 +175,10 @@ mod tests {
         let ast = parse_query(q).unwrap_or_else(|e| panic!("parse {q}: {e}"));
         let text = unparse(&ast);
         let again = parse_query(&text).unwrap_or_else(|e| panic!("reparse {text}: {e}"));
-        assert_eq!(ast, again, "round trip changed the AST for {q}\nunparsed: {text}");
+        assert_eq!(
+            ast, again,
+            "round trip changed the AST for {q}\nunparsed: {text}"
+        );
     }
 
     #[test]

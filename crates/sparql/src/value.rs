@@ -36,20 +36,18 @@ impl Value {
             Value::Bool(b) => Ok(*b),
             Value::Int(i) => Ok(*i != 0),
             Value::Str(s) => Ok(!s.is_empty()),
-            Value::Term(Term::Literal { lexical, datatype, .. }) => {
-                match datatype.as_deref() {
-                    Some(XSD_BOOLEAN) => match lexical.as_str() {
-                        "true" | "1" => Ok(true),
-                        "false" | "0" => Ok(false),
-                        other => Err(SparqlError::eval(format!("invalid xsd:boolean '{other}'"))),
-                    },
-                    Some(XSD_INTEGER) => Ok(lexical.parse::<i64>().map(|v| v != 0).unwrap_or(false)),
-                    _ => Ok(!lexical.is_empty()),
-                }
-            }
-            Value::Term(other) => {
-                Err(SparqlError::eval(format!("no boolean value for {other}")))
-            }
+            Value::Term(Term::Literal {
+                lexical, datatype, ..
+            }) => match datatype.as_deref() {
+                Some(XSD_BOOLEAN) => match lexical.as_str() {
+                    "true" | "1" => Ok(true),
+                    "false" | "0" => Ok(false),
+                    other => Err(SparqlError::eval(format!("invalid xsd:boolean '{other}'"))),
+                },
+                Some(XSD_INTEGER) => Ok(lexical.parse::<i64>().map(|v| v != 0).unwrap_or(false)),
+                _ => Ok(!lexical.is_empty()),
+            },
+            Value::Term(other) => Err(SparqlError::eval(format!("no boolean value for {other}"))),
         }
     }
 
@@ -73,11 +71,9 @@ impl Value {
         match self {
             Value::Int(i) => Some(*i),
             Value::Str(s) => s.parse().ok(),
-            Value::Term(Term::Literal { lexical, datatype, .. })
-                if datatype.as_deref() == Some(XSD_INTEGER) =>
-            {
-                lexical.parse().ok()
-            }
+            Value::Term(Term::Literal {
+                lexical, datatype, ..
+            }) if datatype.as_deref() == Some(XSD_INTEGER) => lexical.parse().ok(),
             _ => None,
         }
     }

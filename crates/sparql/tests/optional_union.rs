@@ -15,7 +15,11 @@ fn store() -> TripleStore {
     ] {
         s.insert_terms(&Term::iri(a), &Term::iri(p), &Term::iri(b));
     }
-    s.insert_terms(&Term::iri("e:alice"), &Term::iri("r:name"), &Term::literal("Alice"));
+    s.insert_terms(
+        &Term::iri("e:alice"),
+        &Term::iri("r:name"),
+        &Term::literal("Alice"),
+    );
     s
 }
 
@@ -31,7 +35,12 @@ fn union_concatenates_branch_solutions() {
     let mut pairs: Vec<(String, String)> = rs
         .rows()
         .iter()
-        .map(|r| (r[0].as_ref().unwrap().to_string(), r[1].as_ref().unwrap().to_string()))
+        .map(|r| {
+            (
+                r[0].as_ref().unwrap().to_string(),
+                r[1].as_ref().unwrap().to_string(),
+            )
+        })
         .collect();
     pairs.sort();
     assert_eq!(
@@ -89,7 +98,11 @@ fn optional_keeps_unmatched_solutions() {
 #[test]
 fn optional_multiplies_on_multiple_matches() {
     let mut s = store();
-    s.insert_terms(&Term::iri("e:alice"), &Term::iri("r:worksAt"), &Term::iri("e:globex"));
+    s.insert_terms(
+        &Term::iri("e:alice"),
+        &Term::iri("r:worksAt"),
+        &Term::iri("e:globex"),
+    );
     let rs = execute(
         &s,
         "SELECT ?employer { <e:alice> <r:knows> ?x . OPTIONAL { <e:alice> <r:worksAt> ?employer } }",
@@ -130,10 +143,16 @@ fn filter_on_optional_var_runs_post_join() {
 #[test]
 fn ask_sees_through_unions() {
     let s = store();
-    assert!(execute_ask(&s, "ASK { { <e:alice> <r:worksAt> ?x } UNION { <e:alice> <r:studiesAt> ?x } }")
-        .unwrap());
-    assert!(!execute_ask(&s, "ASK { { <e:carol> <r:worksAt> ?x } UNION { <e:carol> <r:studiesAt> ?x } }")
-        .unwrap());
+    assert!(execute_ask(
+        &s,
+        "ASK { { <e:alice> <r:worksAt> ?x } UNION { <e:alice> <r:studiesAt> ?x } }"
+    )
+    .unwrap());
+    assert!(!execute_ask(
+        &s,
+        "ASK { { <e:carol> <r:worksAt> ?x } UNION { <e:carol> <r:studiesAt> ?x } }"
+    )
+    .unwrap());
 }
 
 #[test]
@@ -162,7 +181,11 @@ fn star_projection_includes_optional_and_union_vars() {
 fn distinct_applies_after_union() {
     let mut s = store();
     // Make bob both work and study at e:uni so the union duplicates.
-    s.insert_terms(&Term::iri("e:bob"), &Term::iri("r:worksAt"), &Term::iri("e:uni"));
+    s.insert_terms(
+        &Term::iri("e:bob"),
+        &Term::iri("r:worksAt"),
+        &Term::iri("e:uni"),
+    );
     let rs = execute(
         &s,
         "SELECT DISTINCT ?x ?a { { ?x <r:worksAt> ?a } UNION { ?x <r:studiesAt> ?a } }",

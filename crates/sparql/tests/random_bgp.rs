@@ -113,6 +113,195 @@ fn used_vars(patterns: &PatternSpec) -> [bool; 3] {
     used
 }
 
+// --------------------------------------------------------------------------
+// Beyond plain BGPs: FILTER / OPTIONAL / UNION against a naive oracle that
+// implements the documented subset semantics (see `GroupGraphPattern`):
+// base join first, then each UNION block joins every solution with each
+// branch, then OPTIONALs left-join, then filters on the final rows.
+// --------------------------------------------------------------------------
+
+/// A solution mapping for the three query variables, by index.
+type OBinding = [Option<String>; 3];
+
+#[derive(Debug, Clone, Copy)]
+enum FilterRhs {
+    Var(usize),
+    Entity(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FilterSpec {
+    lhs: usize,
+    rhs: FilterRhs,
+    negated: bool,
+}
+
+type TripleSpec = (Node, Node, Node);
+
+#[derive(Debug, Clone)]
+struct GroupSpec {
+    base: Vec<TripleSpec>,
+    union: Option<(TripleSpec, TripleSpec)>,
+    optional: Option<TripleSpec>,
+    filter: Option<FilterSpec>,
+}
+
+fn group_query_text(spec: &GroupSpec) -> String {
+    let triple =
+        |&(s, p, o): &TripleSpec| format!("{} {} {}", node_text(s), node_text(p), node_text(o));
+    let mut body = spec.base.iter().map(triple).collect::<Vec<_>>().join(" . ");
+    if let Some((b1, b2)) = &spec.union {
+        if !body.is_empty() {
+            body.push_str(" . ");
+        }
+        body.push_str(&format!("{{ {} }} UNION {{ {} }}", triple(b1), triple(b2)));
+    }
+    if let Some(opt) = &spec.optional {
+        body.push_str(&format!(" OPTIONAL {{ {} }}", triple(opt)));
+    }
+    if let Some(f) = &spec.filter {
+        let rhs = match f.rhs {
+            FilterRhs::Var(v) => format!("?{}", VARS[v]),
+            FilterRhs::Entity(e) => format!("<e{e}>"),
+        };
+        let op = if f.negated { "!=" } else { "=" };
+        body.push_str(&format!(" FILTER(?{} {op} {rhs})", VARS[f.lhs]));
+    }
+    format!("SELECT ?a ?b ?c WHERE {{ {body} }}")
+}
+
+/// Extends `binding` so `node` matches `value`; `false` on conflict.
+fn try_bind(binding: &mut OBinding, node: Node, value: &str) -> bool {
+    match node {
+        Node::Var(i) => match &binding[i] {
+            Some(existing) => existing == value,
+            None => {
+                binding[i] = Some(value.to_owned());
+                true
+            }
+        },
+        Node::Entity(e) => value == format!("e{e}"),
+        Node::Predicate(p) => value == format!("p{p}"),
+    }
+}
+
+/// Naive nested-loop join of `patterns` over the raw fact list, starting
+/// from `seed` (correlated semantics: seeds carry outer bindings).
+fn oracle_bgp(
+    facts: &[(u32, u32, u32)],
+    patterns: &[TripleSpec],
+    seed: &OBinding,
+) -> Vec<OBinding> {
+    let mut sols = vec![seed.clone()];
+    for &(ps, pp, po) in patterns {
+        let mut next = Vec::new();
+        for sol in &sols {
+            for &(fs, fp, fo) in facts {
+                let mut cand = sol.clone();
+                if try_bind(&mut cand, ps, &format!("e{fs}"))
+                    && try_bind(&mut cand, pp, &format!("p{fp}"))
+                    && try_bind(&mut cand, po, &format!("e{fo}"))
+                {
+                    next.push(cand);
+                }
+            }
+        }
+        sols = next;
+    }
+    sols
+}
+
+/// Full-group oracle: base, then UNION (join-concat), then OPTIONAL
+/// (left join), then filters on the final rows. A filter touching an
+/// unbound variable is an evaluation error, which SPARQL (and the engine)
+/// treats as `false`.
+fn oracle_eval(facts: &[(u32, u32, u32)], spec: &GroupSpec) -> BTreeSet<Vec<String>> {
+    let mut sols = oracle_bgp(facts, &spec.base, &[None, None, None]);
+    if let Some((b1, b2)) = &spec.union {
+        let mut next = Vec::new();
+        for sol in &sols {
+            next.extend(oracle_bgp(facts, std::slice::from_ref(b1), sol));
+            next.extend(oracle_bgp(facts, std::slice::from_ref(b2), sol));
+        }
+        sols = next;
+    }
+    if let Some(opt) = &spec.optional {
+        let mut next = Vec::new();
+        for sol in &sols {
+            let extended = oracle_bgp(facts, std::slice::from_ref(opt), sol);
+            if extended.is_empty() {
+                next.push(sol.clone());
+            } else {
+                next.extend(extended);
+            }
+        }
+        sols = next;
+    }
+    if let Some(f) = &spec.filter {
+        sols.retain(|sol| {
+            let rhs = match f.rhs {
+                FilterRhs::Var(v) => sol[v].clone(),
+                FilterRhs::Entity(e) => Some(format!("e{e}")),
+            };
+            match (&sol[f.lhs], rhs) {
+                (Some(l), Some(r)) => {
+                    if f.negated {
+                        *l != r
+                    } else {
+                        *l == r
+                    }
+                }
+                _ => false,
+            }
+        });
+    }
+    sols.into_iter()
+        .map(|sol| sol.iter().map(|v| v.clone().unwrap_or_default()).collect())
+        .collect()
+}
+
+fn engine_rows(store: &TripleStore, query: &str) -> BTreeSet<Vec<String>> {
+    let rs = execute(store, query).unwrap();
+    let mut out = BTreeSet::new();
+    for row in rs.rows() {
+        out.insert(
+            (0..3)
+                .map(|i| {
+                    row[i]
+                        .as_ref()
+                        .map(|t| t.as_iri().unwrap().to_owned())
+                        .unwrap_or_default()
+                })
+                .collect(),
+        );
+    }
+    out
+}
+
+fn triple_spec() -> impl Strategy<Value = TripleSpec> {
+    (subject_or_object(), predicate(), subject_or_object())
+}
+
+fn maybe<S>(strategy: S) -> impl Strategy<Value = Option<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: Clone,
+{
+    prop_oneof![Just(None), strategy.prop_map(Some)]
+}
+
+fn filter_spec() -> impl Strategy<Value = FilterSpec> {
+    (
+        0..VARS.len(),
+        prop_oneof![
+            (0..VARS.len()).prop_map(FilterRhs::Var),
+            (0..ENTITIES).prop_map(FilterRhs::Entity),
+        ],
+        (0u32..2).prop_map(|b| b == 1),
+    )
+        .prop_map(|(lhs, rhs, negated)| FilterSpec { lhs, rhs, negated })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -160,5 +349,73 @@ proptest! {
         }
 
         prop_assert_eq!(engine, brute, "query: {}", query);
+    }
+
+    /// FILTER over a random BGP: `?x = ?y`, `?x != ?y`, and comparisons
+    /// against entity constants, including filters over variables the
+    /// patterns never bind (which must empty the result, not error).
+    #[test]
+    fn engine_matches_oracle_with_filter(
+        facts in proptest::collection::vec(
+            (0..ENTITIES, 0..PREDICATES, 0..ENTITIES), 1..20),
+        base in proptest::collection::vec(triple_spec(), 1..4),
+        filter in filter_spec(),
+    ) {
+        let spec = GroupSpec { base, union: None, optional: None, filter: Some(filter) };
+        let store = build_store(&facts);
+        let query = group_query_text(&spec);
+        prop_assert_eq!(
+            engine_rows(&store, &query),
+            oracle_eval(&facts, &spec),
+            "query: {}",
+            query
+        );
+    }
+
+    /// UNION and OPTIONAL around a random base pattern: the planner's
+    /// greedy join ordering only sees the base BGP, so this checks that
+    /// group composition (join-concat unions, left-join optionals) is
+    /// preserved whatever order the base join runs in.
+    #[test]
+    fn engine_matches_oracle_on_union_and_optional(
+        facts in proptest::collection::vec(
+            (0..ENTITIES, 0..PREDICATES, 0..ENTITIES), 1..20),
+        base in proptest::collection::vec(triple_spec(), 0..3),
+        union in maybe((triple_spec(), triple_spec())),
+        optional in maybe(triple_spec()),
+    ) {
+        let spec = GroupSpec { base, union, optional, filter: None };
+        let store = build_store(&facts);
+        let query = group_query_text(&spec);
+        prop_assert_eq!(
+            engine_rows(&store, &query),
+            oracle_eval(&facts, &spec),
+            "query: {}",
+            query
+        );
+    }
+
+    /// The full mix: base + UNION + OPTIONAL + FILTER in one group, so
+    /// filter scheduling (during-join vs post-group) is exercised against
+    /// apply-at-the-end oracle semantics, which the documented subset
+    /// guarantees to be equivalent.
+    #[test]
+    fn engine_matches_oracle_on_full_groups(
+        facts in proptest::collection::vec(
+            (0..ENTITIES, 0..PREDICATES, 0..ENTITIES), 1..16),
+        base in proptest::collection::vec(triple_spec(), 0..3),
+        union in maybe((triple_spec(), triple_spec())),
+        optional in maybe(triple_spec()),
+        filter in maybe(filter_spec()),
+    ) {
+        let spec = GroupSpec { base, union, optional, filter };
+        let store = build_store(&facts);
+        let query = group_query_text(&spec);
+        prop_assert_eq!(
+            engine_rows(&store, &query),
+            oracle_eval(&facts, &spec),
+            "query: {}",
+            query
+        );
     }
 }

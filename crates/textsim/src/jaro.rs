@@ -35,10 +35,17 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // Second pass: matched characters of b in b-order.
-    let matches_b: Vec<char> =
-        b.iter().zip(b_used.iter()).filter_map(|(&c, &used)| used.then_some(c)).collect();
-    let transpositions =
-        matches_a.iter().zip(matches_b.iter()).filter(|(x, y)| x != y).count() / 2;
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter_map(|(&c, &used)| used.then_some(c))
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
     let m = m as f64;
     let t = transpositions as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0

@@ -9,7 +9,11 @@
 pub fn lcs_length(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     if short.is_empty() {
         return 0;
     }
@@ -17,7 +21,11 @@ pub fn lcs_length(a: &str, b: &str) -> usize {
     let mut cur = vec![0usize; short.len() + 1];
     for &lc in long.iter() {
         for (j, &sc) in short.iter().enumerate() {
-            cur[j + 1] = if lc == sc { prev[j] + 1 } else { prev[j + 1].max(cur[j]) };
+            cur[j + 1] = if lc == sc {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
         }
         std::mem::swap(&mut prev, &mut cur);
     }
@@ -56,7 +64,10 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        assert_eq!(lcs_length("sunday", "saturday"), lcs_length("saturday", "sunday"));
+        assert_eq!(
+            lcs_length("sunday", "saturday"),
+            lcs_length("saturday", "sunday")
+        );
     }
 
     #[test]

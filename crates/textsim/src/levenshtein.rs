@@ -7,7 +7,11 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     // Keep the shorter string in the inner dimension for less memory.
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     if short.is_empty() {
         return long.len();
     }
@@ -33,7 +37,11 @@ pub fn levenshtein_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
     if a.len().abs_diff(b.len()) > bound {
         return None;
     }
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     if short.is_empty() {
         return (long.len() <= bound).then_some(long.len());
     }
@@ -120,7 +128,10 @@ mod tests {
 
     #[test]
     fn is_symmetric() {
-        assert_eq!(levenshtein("sunday", "saturday"), levenshtein("saturday", "sunday"));
+        assert_eq!(
+            levenshtein("sunday", "saturday"),
+            levenshtein("saturday", "sunday")
+        );
     }
 
     #[test]
@@ -131,7 +142,12 @@ mod tests {
 
     #[test]
     fn bounded_agrees_with_unbounded_within_bound() {
-        let pairs = [("kitten", "sitting"), ("abc", "abc"), ("", "xyz"), ("flaw", "lawn")];
+        let pairs = [
+            ("kitten", "sitting"),
+            ("abc", "abc"),
+            ("", "xyz"),
+            ("flaw", "lawn"),
+        ];
         for (a, b) in pairs {
             let d = levenshtein(a, b);
             assert_eq!(levenshtein_bounded(a, b, d), Some(d), "{a} vs {b}");
@@ -158,8 +174,12 @@ mod tests {
 
     #[test]
     fn damerau_never_exceeds_levenshtein() {
-        let pairs =
-            [("kitten", "sitting"), ("ca", "ac"), ("frank", "farnk"), ("abcdef", "fedcba")];
+        let pairs = [
+            ("kitten", "sitting"),
+            ("ca", "ac"),
+            ("frank", "farnk"),
+            ("abcdef", "fedcba"),
+        ];
         for (a, b) in pairs {
             assert!(damerau_osa(a, b) <= levenshtein(a, b), "{a} vs {b}");
         }

@@ -129,7 +129,10 @@ mod tests {
             SimilarityMeasure::MongeElkan,
             SimilarityMeasure::Hybrid,
         ] {
-            let m = LiteralMatcher::new(MatcherConfig { measure, ..MatcherConfig::default() });
+            let m = LiteralMatcher::new(MatcherConfig {
+                measure,
+                ..MatcherConfig::default()
+            });
             assert_eq!(m.similarity("A.B.", "a b"), 1.0, "{measure:?}");
         }
     }
@@ -145,7 +148,10 @@ mod tests {
             SimilarityMeasure::MongeElkan,
             SimilarityMeasure::Hybrid,
         ] {
-            let m = LiteralMatcher::new(MatcherConfig { measure, ..MatcherConfig::default() });
+            let m = LiteralMatcher::new(MatcherConfig {
+                measure,
+                ..MatcherConfig::default()
+            });
             let v = m.similarity("composer of music", "writer of books");
             assert!((0.0..=1.0).contains(&v), "{measure:?} → {v}");
         }
@@ -163,7 +169,10 @@ mod tests {
             SimilarityMeasure::QgramDice,
             SimilarityMeasure::MongeElkan,
         ] {
-            let m = LiteralMatcher::new(MatcherConfig { measure: component, ..base });
+            let m = LiteralMatcher::new(MatcherConfig {
+                measure: component,
+                ..base
+            });
             for (a, b) in [("frank sinatra", "sinatra f."), ("berlin", "berlln")] {
                 assert!(hybrid.similarity(a, b) >= m.similarity(a, b) - 1e-12);
             }
@@ -172,8 +181,14 @@ mod tests {
 
     #[test]
     fn threshold_is_respected() {
-        let strict = LiteralMatcher::new(MatcherConfig { threshold: 0.99, ..Default::default() });
-        let lax = LiteralMatcher::new(MatcherConfig { threshold: 0.5, ..Default::default() });
+        let strict = LiteralMatcher::new(MatcherConfig {
+            threshold: 0.99,
+            ..Default::default()
+        });
+        let lax = LiteralMatcher::new(MatcherConfig {
+            threshold: 0.5,
+            ..Default::default()
+        });
         let (a, b) = ("Frank Sinatra", "Frank Sinatre");
         assert!(!strict.matches(a, b));
         assert!(lax.matches(a, b));

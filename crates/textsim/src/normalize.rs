@@ -21,7 +21,12 @@ pub struct NormalizeOptions {
 impl Default for NormalizeOptions {
     /// All transformations enabled — the matcher's default pipeline.
     fn default() -> Self {
-        Self { case_fold: true, strip_punctuation: true, squash_whitespace: true, ascii_fold: true }
+        Self {
+            case_fold: true,
+            strip_punctuation: true,
+            squash_whitespace: true,
+            ascii_fold: true,
+        }
     }
 }
 
@@ -29,14 +34,24 @@ impl Default for NormalizeOptions {
 /// the order: ASCII folding, case folding, punctuation stripping,
 /// whitespace squashing.
 pub fn normalize(input: &str, options: NormalizeOptions) -> String {
-    let mut s: String = if options.ascii_fold { ascii_fold(input) } else { input.to_owned() };
+    let mut s: String = if options.ascii_fold {
+        ascii_fold(input)
+    } else {
+        input.to_owned()
+    };
     if options.case_fold {
         s = s.to_lowercase();
     }
     if options.strip_punctuation {
         s = s
             .chars()
-            .map(|c| if c.is_alphanumeric() || c.is_whitespace() { c } else { ' ' })
+            .map(|c| {
+                if c.is_alphanumeric() || c.is_whitespace() {
+                    c
+                } else {
+                    ' '
+                }
+            })
             .collect();
     }
     if options.squash_whitespace {
@@ -139,7 +154,10 @@ mod tests {
         };
         assert_eq!(normalize("A-B  C", opts), "A-B  C");
 
-        let only_case = NormalizeOptions { case_fold: true, ..opts };
+        let only_case = NormalizeOptions {
+            case_fold: true,
+            ..opts
+        };
         assert_eq!(normalize("A-B", only_case), "a-b");
     }
 

@@ -78,7 +78,12 @@ impl QgramProfile {
 
     /// Euclidean norm of the count vector.
     pub fn norm(&self) -> f64 {
-        (self.counts.values().map(|&c| (c as u64 * c as u64) as f64).sum::<f64>()).sqrt()
+        (self
+            .counts
+            .values()
+            .map(|&c| (c as u64 * c as u64) as f64)
+            .sum::<f64>())
+        .sqrt()
     }
 }
 

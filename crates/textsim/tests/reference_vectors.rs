@@ -1,0 +1,229 @@
+//! Reference-vector tests: published values from the string-similarity
+//! literature and well-known library documentation, plus Unicode and
+//! empty-string edge cases. These pin the implementations to the
+//! *conventional* definitions so a refactor cannot silently drift (e.g.
+//! byte-indexed edit distance, unpadded q-grams, or a different Winkler
+//! prefix cap).
+
+use sofya_textsim::{
+    cosine_qgram, damerau_osa, dice_qgram, jaccard_qgram, jaro, jaro_winkler, lcs_length,
+    lcs_similarity, levenshtein, levenshtein_bounded, levenshtein_similarity, overlap_qgram,
+};
+
+fn close(actual: f64, expected: f64) -> bool {
+    (actual - expected).abs() < 1e-4
+}
+
+// ------------------------------------------------------------ levenshtein
+
+#[test]
+fn levenshtein_published_vectors() {
+    // Classic textbook pairs (Wagner–Fischer literature, Jurafsky &
+    // Martin §2.5 for intention/execution with unit substitution cost).
+    for (a, b, d) in [
+        ("kitten", "sitting", 3),
+        ("flaw", "lawn", 2),
+        ("saturday", "sunday", 3),
+        ("intention", "execution", 5),
+        ("gumbo", "gambol", 2),
+        ("book", "back", 2),
+        ("", "", 0),
+        ("", "abc", 3),
+        ("abc", "", 3),
+        ("same", "same", 0),
+    ] {
+        assert_eq!(levenshtein(a, b), d, "levenshtein({a:?}, {b:?})");
+        assert_eq!(levenshtein(b, a), d, "symmetry ({a:?}, {b:?})");
+    }
+}
+
+#[test]
+fn levenshtein_counts_scalar_values_not_bytes() {
+    // One edit per accented/multi-byte character: a byte-indexed
+    // implementation would report 2 (é is two bytes in UTF-8).
+    assert_eq!(levenshtein("café", "cafe"), 1);
+    assert_eq!(levenshtein("über", "uber"), 1);
+    assert_eq!(levenshtein("日本語", "日本"), 1);
+    assert_eq!(levenshtein("🦀rust", "rust"), 1);
+    assert_eq!(levenshtein("straße", "strasse"), 2); // ß → s, +s
+}
+
+#[test]
+fn levenshtein_bounded_matches_unbounded() {
+    for (a, b) in [
+        ("kitten", "sitting"),
+        ("saturday", "sunday"),
+        ("", "abc"),
+        ("café", "cafe"),
+    ] {
+        let d = levenshtein(a, b);
+        assert_eq!(levenshtein_bounded(a, b, d), Some(d));
+        assert_eq!(levenshtein_bounded(a, b, d + 1), Some(d));
+        if d > 0 {
+            assert_eq!(levenshtein_bounded(a, b, d - 1), None);
+        }
+    }
+}
+
+#[test]
+fn levenshtein_similarity_normalised_by_longer_string() {
+    assert!(close(
+        levenshtein_similarity("kitten", "sitting"),
+        1.0 - 3.0 / 7.0
+    ));
+    assert_eq!(levenshtein_similarity("", ""), 1.0);
+    assert_eq!(levenshtein_similarity("", "abc"), 0.0);
+    assert_eq!(levenshtein_similarity("same", "same"), 1.0);
+}
+
+#[test]
+fn damerau_osa_published_vectors() {
+    // A single adjacent transposition costs 1…
+    assert_eq!(damerau_osa("martha", "marhta"), 1);
+    assert_eq!(damerau_osa("ab", "ba"), 1);
+    // …but the OSA variant never edits a substring twice: CA → ABC is 3
+    // under OSA (2 under unrestricted Damerau) — the standard vector
+    // distinguishing the two variants.
+    assert_eq!(damerau_osa("ca", "abc"), 3);
+    // Without transpositions OSA equals Levenshtein.
+    assert_eq!(damerau_osa("kitten", "sitting"), 3);
+    // Empty-string and Unicode conventions follow Levenshtein.
+    assert_eq!(damerau_osa("", "abc"), 3);
+    assert_eq!(damerau_osa("日本語", "日語本"), 1);
+}
+
+// ------------------------------------------------------- jaro / winkler
+
+#[test]
+fn jaro_published_vectors() {
+    // Winkler (1990) census-deduplication examples, as reproduced across
+    // the record-linkage literature and library test suites.
+    for (a, b, expected) in [
+        ("MARTHA", "MARHTA", 0.9444),
+        ("DIXON", "DICKSONX", 0.7667),
+        ("DWAYNE", "DUANE", 0.8222),
+        ("JELLYFISH", "SMELLYFISH", 0.8963),
+        ("CRATE", "TRACE", 0.7333),
+    ] {
+        assert!(
+            close(jaro(a, b), expected),
+            "jaro({a:?}, {b:?}) = {}, want {expected}",
+            jaro(a, b)
+        );
+        assert!(close(jaro(b, a), expected), "symmetry ({a:?}, {b:?})");
+    }
+}
+
+#[test]
+fn jaro_winkler_published_vectors() {
+    for (a, b, expected) in [
+        ("MARTHA", "MARHTA", 0.9611),
+        ("DIXON", "DICKSONX", 0.8133),
+        ("DWAYNE", "DUANE", 0.8400),
+        // No shared prefix → Winkler boost is zero, JW == Jaro.
+        ("JELLYFISH", "SMELLYFISH", 0.8963),
+        ("CRATE", "TRACE", 0.7333),
+    ] {
+        assert!(
+            close(jaro_winkler(a, b), expected),
+            "jaro_winkler({a:?}, {b:?}) = {}, want {expected}",
+            jaro_winkler(a, b)
+        );
+    }
+}
+
+#[test]
+fn jaro_winkler_prefix_cap_is_four() {
+    // Identical 5-char prefix, then disjoint tails: the boost must use
+    // prefix length 4, not 5. With j = jaro(a, b), JW = j + 4·0.1·(1−j).
+    let (a, b) = ("abcdeXYZ", "abcdePQR");
+    let j = jaro(a, b);
+    let jw = jaro_winkler(a, b);
+    assert!(close(jw, j + 4.0 * 0.1 * (1.0 - j)), "jw={jw} j={j}");
+}
+
+#[test]
+fn jaro_empty_and_unicode_edges() {
+    assert_eq!(jaro("", ""), 1.0);
+    assert_eq!(jaro_winkler("", ""), 1.0);
+    assert_eq!(jaro("", "abc"), 0.0);
+    assert_eq!(jaro_winkler("abc", ""), 0.0);
+    // Scalar-value semantics: one transposed CJK pair behaves like ASCII.
+    assert!(close(jaro("日本", "本日"), jaro("ab", "ba")));
+    assert_eq!(jaro("🦀", "🦀"), 1.0);
+}
+
+// ----------------------------------------------------------------- qgram
+
+#[test]
+fn qgram_night_nacht_vectors() {
+    // The classic bigram example (Ukkonen 1992 and most q-gram papers),
+    // here with `#`-padding: "night" → {#n, ni, ig, gh, ht, t#} and
+    // "nacht" → {#n, na, ac, ch, ht, t#}; the profiles share {#n, ht, t#}.
+    assert!(close(jaccard_qgram("night", "nacht", 2), 3.0 / 9.0));
+    assert!(close(dice_qgram("night", "nacht", 2), 6.0 / 12.0));
+    assert!(close(overlap_qgram("night", "nacht", 2), 3.0 / 6.0));
+    // All counts are 1 → cosine = 3 / (√6·√6).
+    assert!(close(cosine_qgram("night", "nacht", 2), 0.5));
+}
+
+#[test]
+fn qgram_multiset_counting() {
+    // "aaaa" → {#a, aa×3, a#} (5 grams), "aa" → {#a, aa, a#} (3 grams);
+    // multiset intersection is 3.
+    assert!(close(jaccard_qgram("aaaa", "aa", 2), 3.0 / 5.0));
+    assert!(close(dice_qgram("aaaa", "aa", 2), 6.0 / 8.0));
+    assert!(close(overlap_qgram("aaaa", "aa", 2), 1.0));
+}
+
+#[test]
+fn qgram_empty_and_unicode_edges() {
+    for f in [jaccard_qgram, dice_qgram, overlap_qgram, cosine_qgram] {
+        assert_eq!(f("", "", 2), 1.0, "empty-empty must be identical");
+        assert_eq!(f("", "x", 2), 0.0, "empty vs non-empty is disjoint");
+        // close() rather than == : cosine accumulates float error.
+        assert!(close(f("sofya", "sofya", 3), 1.0));
+    }
+    // "日本語" → {#日, 日本, 本語, 語#}, "日本" → {#日, 日本, 本#}:
+    // 2 shared grams, union 5.
+    assert!(close(jaccard_qgram("日本語", "日本", 2), 2.0 / 5.0));
+}
+
+// ------------------------------------------------------------------- lcs
+
+#[test]
+fn lcs_published_vectors() {
+    // CLRS (Introduction to Algorithms, §15.4) dynamic-programming
+    // example and the Wikipedia LCS article's pair.
+    assert_eq!(lcs_length("AGGTAB", "GXTXAYB"), 4); // GTAB
+    assert_eq!(lcs_length("XMJYAUZ", "MZJAWXU"), 4); // MJAU
+    assert_eq!(lcs_length("ABCBDAB", "BDCABA"), 4); // BCBA
+    assert_eq!(lcs_length("banana", "atana"), 4); // aana
+}
+
+#[test]
+fn lcs_empty_and_unicode_edges() {
+    assert_eq!(lcs_length("", ""), 0);
+    assert_eq!(lcs_length("", "abc"), 0);
+    assert_eq!(lcs_similarity("", ""), 1.0);
+    assert_eq!(lcs_similarity("", "abc"), 0.0);
+    // Scalar-value semantics: é counts as one symbol.
+    assert_eq!(lcs_length("café", "cafe"), 3);
+    assert!(close(lcs_similarity("café", "cafe"), 0.75));
+    assert_eq!(lcs_length("日本語", "語日本"), 2);
+}
+
+#[test]
+fn lcs_tolerates_qualifier_insertions() {
+    // The cross-KB label case the measure exists for: added qualifiers
+    // keep a high score because LCS only pays for insertions.
+    let sim = lcs_similarity("shawshank redemption", "shawshank redemption (1994 film)");
+    assert!(sim > 0.6, "got {sim}");
+    // With edits on both ends (article dropped, qualifier added) edit
+    // distance pays twice while LCS still keeps the common core.
+    let (a, b) = (
+        "the shawshank redemption",
+        "shawshank redemption (1994 film)",
+    );
+    assert!(lcs_similarity(a, b) > levenshtein_similarity(a, b));
+}

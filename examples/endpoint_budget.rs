@@ -12,8 +12,7 @@
 
 use sofya::align::{AlignError, Aligner, AlignerConfig};
 use sofya::endpoint::{
-    CachingEndpoint, EndpointError, InstrumentedEndpoint, LocalEndpoint, QuotaConfig,
-    QuotaEndpoint,
+    CachingEndpoint, EndpointError, InstrumentedEndpoint, LocalEndpoint, QuotaConfig, QuotaEndpoint,
 };
 use sofya::kbgen::{generate, PairConfig};
 
@@ -29,7 +28,10 @@ fn main() {
                 name,
                 store.clone(),
             ))),
-            QuotaConfig { max_queries: budget, max_rows_per_query: Some(10_000) },
+            QuotaConfig {
+                max_queries: budget,
+                max_rows_per_query: Some(10_000),
+            },
         )
     };
 
@@ -61,7 +63,10 @@ fn main() {
     let target = stack(&pair.kb1, "yago", Some(5));
     let aligner = Aligner::new(&source, &target, AlignerConfig::paper_defaults(1));
     match aligner.align_relation(&relation) {
-        Err(AlignError::Endpoint(EndpointError::QuotaExceeded { endpoint, max_queries })) => {
+        Err(AlignError::Endpoint(EndpointError::QuotaExceeded {
+            endpoint,
+            max_queries,
+        })) => {
             println!("\nwith a 5-query budget: endpoint '{endpoint}' cut us off after {max_queries} queries — as a real service would");
         }
         other => println!("\nunexpected outcome under starvation budget: {other:?}"),

@@ -44,7 +44,11 @@ fn main() {
 
     // 1. Answer on the target KB directly.
     let local_answers = yago.select(&user_query).expect("query failed");
-    println!("{} answers from {} alone", local_answers.len(), pair.kb1_name());
+    println!(
+        "{} answers from {} alone",
+        local_answers.len(),
+        pair.kb1_name()
+    );
 
     // 2. Align on the fly and rewrite for the other KB.
     let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(42));
@@ -64,7 +68,11 @@ fn main() {
 
     // 3. Answers from the other KB, translated back through sameAs.
     let remote_answers = dbp.select(&rewrite.query).expect("rewritten query failed");
-    println!("\n{} answers from {}", remote_answers.len(), pair.kb2_name());
+    println!(
+        "\n{} answers from {}",
+        remote_answers.len(),
+        pair.kb2_name()
+    );
 
     // 4. Federate: union over sameAs-canonical identifiers.
     let canon = |iri: &str, ep: &dyn Endpoint| -> String {
@@ -82,7 +90,9 @@ fn main() {
     let before = federated.len();
     for row in remote_answers.rows() {
         if let (Some(x), Some(y)) = (row[0].as_ref(), row[1].as_ref()) {
-            let (Some(x), Some(y)) = (x.as_iri(), y.as_iri()) else { continue };
+            let (Some(x), Some(y)) = (x.as_iri(), y.as_iri()) else {
+                continue;
+            };
             federated.insert((
                 format!("<{}>", canon(x, &dbp)),
                 format!("<{}>", canon(y, &dbp)),
@@ -103,9 +113,11 @@ fn main() {
     let _ = rewriter
         .rewrite(&format!("SELECT ?x WHERE {{ ?x <{relation}> ?y }}"))
         .expect("rewrite failed");
-    let second_cost = dbp.simulated_time() + yago.simulated_time() - clock
-        - Duration::ZERO;
-    println!("second query over the same relation: alignment cost {:?} (cached)", round(second_cost));
+    let second_cost = dbp.simulated_time() + yago.simulated_time() - clock - Duration::ZERO;
+    println!(
+        "second query over the same relation: alignment cost {:?} (cached)",
+        round(second_cost)
+    );
 }
 
 fn round(d: Duration) -> Duration {

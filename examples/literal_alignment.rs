@@ -32,8 +32,16 @@ fn main() {
     let mut dbp = TripleStore::new();
     for (i, (y_name, d_name)) in people.iter().enumerate() {
         let (py, pd) = (format!("y:p{i}"), format!("d:P{i}"));
-        yago.insert_terms(&Term::iri(&py), &Term::iri("y:label"), &Term::literal(*y_name));
-        dbp.insert_terms(&Term::iri(&pd), &Term::iri("d:name"), &Term::literal(*d_name));
+        yago.insert_terms(
+            &Term::iri(&py),
+            &Term::iri("y:label"),
+            &Term::literal(*y_name),
+        );
+        dbp.insert_terms(
+            &Term::iri(&pd),
+            &Term::iri("d:name"),
+            &Term::literal(*d_name),
+        );
         yago.insert_terms(&Term::iri(&py), &Term::iri(SAME_AS), &Term::iri(&pd));
         dbp.insert_terms(&Term::iri(&pd), &Term::iri(SAME_AS), &Term::iri(&py));
     }
@@ -63,5 +71,8 @@ fn main() {
     for rule in &rules {
         println!("  {rule}   (literal path: {})", rule.literal);
     }
-    assert!(rules.iter().any(|r| r.premise == "d:name"), "d:name should align to y:label");
+    assert!(
+        rules.iter().any(|r| r.premise == "d:name"),
+        "d:name should align to y:label"
+    );
 }

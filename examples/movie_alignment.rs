@@ -50,21 +50,34 @@ fn main() {
     let yago = parse_ntriples(&yago_triples()).expect("valid N-Triples");
     let dbp = parse_ntriples(&dbp_triples()).expect("valid N-Triples");
     println!("K  (yago): {} triples — relations: directedBy", yago.len());
-    println!("K' (dbp):  {} triples — relations: hasDirector, hasProducer", dbp.len());
+    println!(
+        "K' (dbp):  {} triples — relations: hasDirector, hasProducer",
+        dbp.len()
+    );
 
     let source = LocalEndpoint::new("dbp", dbp);
     let target = LocalEndpoint::new("yago", yago);
 
     println!("\n— Simple Sample Extraction (pcaconf, τ > 0.3) —");
     let baseline = Aligner::new(&source, &target, AlignerConfig::baseline_pca(7));
-    for rule in baseline.align_relation("y:directedBy").expect("alignment failed") {
-        let verdict = if rule.premise.contains("Producer") { "WRONG (overlap)" } else { "correct" };
+    for rule in baseline
+        .align_relation("y:directedBy")
+        .expect("alignment failed")
+    {
+        let verdict = if rule.premise.contains("Producer") {
+            "WRONG (overlap)"
+        } else {
+            "correct"
+        };
         println!("  {rule}   ← {verdict}");
     }
 
     println!("\n— Unbiased Sample Extraction (UBS) —");
     let ubs = Aligner::new(&source, &target, AlignerConfig::paper_defaults(7));
-    for rule in ubs.align_relation("y:directedBy").expect("alignment failed") {
+    for rule in ubs
+        .align_relation("y:directedBy")
+        .expect("alignment failed")
+    {
         println!("  {rule}   ← survives contrastive checking");
     }
     println!("\nUBS sampled movies whose producer differs from their director;");

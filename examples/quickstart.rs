@@ -34,7 +34,10 @@ fn main() {
     let aligner = Aligner::new(&source, &target, AlignerConfig::paper_defaults(42));
     let rules = aligner.align_all().expect("alignment failed");
 
-    println!("\nmined {} subsumption rules (source ⇒ target):", rules.len());
+    println!(
+        "\nmined {} subsumption rules (source ⇒ target):",
+        rules.len()
+    );
     for rule in rules.iter().take(10) {
         println!("  {rule}");
     }

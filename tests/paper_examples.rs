@@ -46,19 +46,29 @@ fn composer_of_implies_creator_of_but_not_conversely() {
     // Reverse direction: creatorOf ⇒ composerOf must be pruned by UBS…
     let bwd = Aligner::new(&yago, &dbp, AlignerConfig::paper_defaults(1));
     let rules = bwd.align_relation("d:composerOf").unwrap();
-    assert!(rules.iter().all(|r| r.premise != "y:creatorOf"), "{rules:?}");
+    assert!(
+        rules.iter().all(|r| r.premise != "y:creatorOf"),
+        "{rules:?}"
+    );
 
     // …whereas the SSE baseline falls for it.
     let sse = Aligner::new(&yago, &dbp, AlignerConfig::baseline_pca(1));
     let rules = sse.align_relation("d:composerOf").unwrap();
-    assert!(rules.iter().any(|r| r.premise == "y:creatorOf"), "{rules:?}");
+    assert!(
+        rules.iter().any(|r| r.premise == "y:creatorOf"),
+        "{rules:?}"
+    );
 }
 
 #[test]
 fn no_false_equivalence_for_subsumption_families() {
     let (dbp, yago) = creator_kbs();
-    let fwd = Aligner::new(&dbp, &yago, AlignerConfig::paper_defaults(2)).align_all().unwrap();
-    let bwd = Aligner::new(&yago, &dbp, AlignerConfig::paper_defaults(2)).align_all().unwrap();
+    let fwd = Aligner::new(&dbp, &yago, AlignerConfig::paper_defaults(2))
+        .align_all()
+        .unwrap();
+    let bwd = Aligner::new(&yago, &dbp, AlignerConfig::paper_defaults(2))
+        .align_all()
+        .unwrap();
     let eqs = equivalences(&fwd, &bwd);
     assert!(
         eqs.is_empty(),
@@ -108,8 +118,12 @@ fn producer_overlap_is_pruned_only_by_ubs() {
 #[test]
 fn director_equivalence_is_mined_across_directions() {
     let (dbp, yago) = movie_kbs();
-    let fwd = Aligner::new(&dbp, &yago, AlignerConfig::paper_defaults(4)).align_all().unwrap();
-    let bwd = Aligner::new(&yago, &dbp, AlignerConfig::paper_defaults(4)).align_all().unwrap();
+    let fwd = Aligner::new(&dbp, &yago, AlignerConfig::paper_defaults(4))
+        .align_all()
+        .unwrap();
+    let bwd = Aligner::new(&yago, &dbp, AlignerConfig::paper_defaults(4))
+        .align_all()
+        .unwrap();
     let eqs = equivalences(&fwd, &bwd);
     assert_eq!(eqs.len(), 1);
     assert_eq!(eqs[0].source, "d:hasDirector");

@@ -12,7 +12,9 @@ fn store() -> TripleStore {
 
 /// Naive evaluation of `?x <p> ?y`: all (s, o) pairs of predicate p.
 fn facts_of(store: &TripleStore, p: &str) -> Vec<(Term, Term)> {
-    let Some(p) = store.dict().lookup_iri(p) else { return Vec::new() };
+    let Some(p) = store.dict().lookup_iri(p) else {
+        return Vec::new();
+    };
     store
         .triples_with_predicate(p)
         .map(|t| {
@@ -54,7 +56,11 @@ fn join_matches_nested_loop_over_facts() {
     let p = a_predicate(&s);
     // ?x <p> ?y . ?y ?q ?z — brute force: for every (x,y) of p, every
     // triple with subject y.
-    let rs = execute(&s, &format!("SELECT ?x ?y ?z WHERE {{ ?x <{p}> ?y . ?y ?q ?z }}")).unwrap();
+    let rs = execute(
+        &s,
+        &format!("SELECT ?x ?y ?z WHERE {{ ?x <{p}> ?y . ?y ?q ?z }}"),
+    )
+    .unwrap();
     let mut brute = Vec::new();
     for (x, y) in facts_of(&s, &p) {
         if let Some(y_id) = s.dict().lookup(&y) {
@@ -67,7 +73,13 @@ fn join_matches_nested_loop_over_facts() {
     let mut engine: Vec<(Term, Term, Term)> = rs
         .rows()
         .iter()
-        .map(|r| (r[0].clone().unwrap(), r[1].clone().unwrap(), r[2].clone().unwrap()))
+        .map(|r| {
+            (
+                r[0].clone().unwrap(),
+                r[1].clone().unwrap(),
+                r[2].clone().unwrap(),
+            )
+        })
         .collect();
     engine.sort();
     brute.sort();
@@ -78,7 +90,9 @@ fn join_matches_nested_loop_over_facts() {
 fn not_exists_complements_exists() {
     let s = store();
     let p = a_predicate(&s);
-    let all = execute(&s, &format!("SELECT ?x WHERE {{ ?x <{p}> ?y }}")).unwrap().len();
+    let all = execute(&s, &format!("SELECT ?x WHERE {{ ?x <{p}> ?y }}"))
+        .unwrap()
+        .len();
     let with = execute(
         &s,
         &format!("SELECT ?x WHERE {{ ?x <{p}> ?y FILTER EXISTS {{ ?x ?q ?z }} }}"),
@@ -101,11 +115,16 @@ fn not_exists_complements_exists() {
 fn count_equals_row_count() {
     let s = store();
     let p = a_predicate(&s);
-    let rows = execute(&s, &format!("SELECT ?x ?y WHERE {{ ?x <{p}> ?y }}")).unwrap().len();
-    let count = execute(&s, &format!("SELECT (COUNT(*) AS ?n) WHERE {{ ?x <{p}> ?y }}"))
+    let rows = execute(&s, &format!("SELECT ?x ?y WHERE {{ ?x <{p}> ?y }}"))
         .unwrap()
-        .single_integer()
-        .unwrap();
+        .len();
+    let count = execute(
+        &s,
+        &format!("SELECT (COUNT(*) AS ?n) WHERE {{ ?x <{p}> ?y }}"),
+    )
+    .unwrap()
+    .single_integer()
+    .unwrap();
     assert_eq!(rows as i64, count);
 }
 
@@ -118,7 +137,10 @@ fn distinct_never_increases_and_dedupes() {
     assert!(distinct.len() <= plain.len());
     let mut seen = std::collections::BTreeSet::new();
     for row in distinct.rows() {
-        assert!(seen.insert(format!("{:?}", row)), "duplicate row after DISTINCT");
+        assert!(
+            seen.insert(format!("{:?}", row)),
+            "duplicate row after DISTINCT"
+        );
     }
 }
 
@@ -126,7 +148,11 @@ fn distinct_never_increases_and_dedupes() {
 fn limit_offset_slices_ordered_results() {
     let s = store();
     let p = a_predicate(&s);
-    let all = execute(&s, &format!("SELECT ?x ?y WHERE {{ ?x <{p}> ?y }} ORDER BY ?x ?y")).unwrap();
+    let all = execute(
+        &s,
+        &format!("SELECT ?x ?y WHERE {{ ?x <{p}> ?y }} ORDER BY ?x ?y"),
+    )
+    .unwrap();
     for (limit, offset) in [(1usize, 0usize), (3, 2), (100, 1)] {
         let page = execute(
             &s,
@@ -135,7 +161,13 @@ fn limit_offset_slices_ordered_results() {
             ),
         )
         .unwrap();
-        let expected: Vec<_> = all.rows().iter().skip(offset).take(limit).cloned().collect();
+        let expected: Vec<_> = all
+            .rows()
+            .iter()
+            .skip(offset)
+            .take(limit)
+            .cloned()
+            .collect();
         assert_eq!(page.rows(), &expected[..], "limit {limit} offset {offset}");
     }
 }
@@ -144,7 +176,12 @@ fn limit_offset_slices_ordered_results() {
 fn ask_agrees_with_select_emptiness() {
     let s = store();
     let p = a_predicate(&s);
-    let non_empty = !execute(&s, &format!("SELECT ?x {{ ?x <{p}> ?y }} LIMIT 1")).unwrap().is_empty();
-    assert_eq!(execute_ask(&s, &format!("ASK {{ ?x <{p}> ?y }}")).unwrap(), non_empty);
+    let non_empty = !execute(&s, &format!("SELECT ?x {{ ?x <{p}> ?y }} LIMIT 1"))
+        .unwrap()
+        .is_empty();
+    assert_eq!(
+        execute_ask(&s, &format!("ASK {{ ?x <{p}> ?y }}")).unwrap(),
+        non_empty
+    );
     assert!(!execute_ask(&s, "ASK { ?x <urn:no-such-predicate> ?y }").unwrap());
 }

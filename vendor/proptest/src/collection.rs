@@ -1,0 +1,25 @@
+//! Collection strategies; only `vec` is needed.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `proptest::collection::vec(element, size_range)` — the size is drawn
+/// uniformly from the half-open range, then that many elements are drawn.
+pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "collection::vec: empty size range");
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.in_range(self.size.start as u64, self.size.end as u64) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

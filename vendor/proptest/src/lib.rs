@@ -1,0 +1,122 @@
+//! Minimal, dependency-free stand-in for `proptest` (1.x API subset).
+//!
+//! Offline builds cannot fetch the real crate, so this shim implements the
+//! surface SOFYA's property tests use:
+//!
+//! - the [`strategy::Strategy`] trait with `prop_map` / `prop_filter` /
+//!   `boxed`, implemented for regex-literal `&str`, integer ranges, and
+//!   tuples;
+//! - [`collection::vec`] for sized vectors;
+//! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros;
+//! - [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate, by design: generation is purely random
+//! (no shrinking — a failing case prints its inputs instead), and string
+//! "regexes" support the subset actually used in the tests (`.`, character
+//! classes with ranges, `{n}` / `{m,n}` quantifiers, alternation-free
+//! concatenation). Seeds are derived deterministically from the test name
+//! so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Mirrors the real macro's grammar for the forms used in this workspace:
+/// an optional `#![proptest_config(...)]` header followed by one or more
+/// `fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let __inputs = format!(
+                        concat!("case #{}: ", $(stringify!($arg), " = {:?}; ",)+),
+                        __case, $(&$arg,)+
+                    );
+                    let __guard = $crate::test_runner::FailureReport::arm(__inputs);
+                    { $body }
+                    __guard.disarm();
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Assertion macros. The real crate returns `Err` for shrinking; without
+/// shrinking a panic is equivalent and keeps bodies plain blocks.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}

@@ -1,0 +1,269 @@
+//! Generation of strings from the regex subset the workspace's tests use:
+//! concatenations of `.`, literal characters, and character classes
+//! (`[a-z0-9:/._-]`, `[ -~]`, ...), each optionally quantified with
+//! `{n}`, `{m,n}`, `?`, `*`, or `+`.
+//!
+//! `.` draws mostly printable ASCII but mixes in multi-byte code points so
+//! Unicode handling is exercised the way the real crate would.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any character from the sample pool.
+    Any,
+    /// A single literal character.
+    Literal(char),
+    /// A character class: literal members plus inclusive ranges.
+    Class {
+        singles: Vec<char>,
+        ranges: Vec<(char, char)>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Sample pool for `.`: printable ASCII plus a few multi-byte characters
+/// (Latin-1 supplement, Greek, CJK, an astral-plane emoji) in a ratio that
+/// keeps most strings readable.
+const UNICODE_EXTRAS: &[char] = &['é', 'ß', 'λ', 'Ω', 'ü', '日', '本', '→', '…', '🦀'];
+
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let n = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.in_range(piece.min as u64, piece.max as u64 + 1) as usize
+        };
+        for _ in 0..n {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Any => {
+            // ~1 in 8 characters is non-ASCII.
+            if rng.below(8) == 0 {
+                UNICODE_EXTRAS[rng.below(UNICODE_EXTRAS.len())]
+            } else {
+                char::from(b' ' + rng.below(95) as u8)
+            }
+        }
+        Atom::Literal(c) => *c,
+        Atom::Class { singles, ranges } => {
+            // Weight members by cardinality so wide ranges dominate.
+            let range_card: usize = ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as usize) - (lo as usize) + 1)
+                .sum();
+            let total = singles.len() + range_card;
+            assert!(total > 0, "empty character class");
+            let mut pick = rng.below(total);
+            if pick < singles.len() {
+                return singles[pick];
+            }
+            pick -= singles.len();
+            for &(lo, hi) in ranges {
+                let card = (hi as usize) - (lo as usize) + 1;
+                if pick < card {
+                    return char::from_u32(lo as u32 + pick as u32)
+                        .expect("class range produced an invalid scalar");
+                }
+                pick -= card;
+            }
+            unreachable!("class sampling out of bounds")
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                class
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                Atom::Literal(unescape(c))
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i, pattern);
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Atom, usize) {
+    let mut singles = Vec::new();
+    let mut ranges = Vec::new();
+    assert!(
+        chars.get(i) != Some(&'^'),
+        "negated classes are not supported by the proptest shim: {pattern:?}"
+    );
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            unescape(
+                *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in class: {pattern:?}")),
+            )
+        } else {
+            chars[i]
+        };
+        i += 1;
+        // `X-Y` is a range unless the `-` is last in the class (then it is
+        // a literal member, like the `-` in `[a-z0-9:/._-]`).
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&n| n != ']') {
+            let hi = if chars[i + 1] == '\\' {
+                i += 1;
+                unescape(
+                    *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling escape in class: {pattern:?}")),
+                )
+            } else {
+                chars[i + 1]
+            };
+            assert!(c <= hi, "inverted class range {c:?}-{hi:?} in {pattern:?}");
+            ranges.push((c, hi));
+            i += 2;
+        } else {
+            singles.push(c);
+        }
+    }
+    assert!(
+        chars.get(i) == Some(&']'),
+        "unterminated character class in {pattern:?}"
+    );
+    (Atom::Class { singles, ranges }, i + 1)
+}
+
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier lower bound"),
+                    hi.trim().parse().expect("bad quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            };
+            (min, max, close + 1)
+        }
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_from_pattern;
+    use crate::test_runner::TestRng;
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::deterministic(pattern);
+        (0..n)
+            .map(|_| generate_from_pattern(pattern, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn dot_quantified_respects_length() {
+        for s in gen_many(".{0,24}", 200) {
+            assert!(s.chars().count() <= 24);
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash_is_literal() {
+        for s in gen_many("[a-z0-9:/._-]{1,10}", 300) {
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || ":/._-".contains(c),
+                    "unexpected char {c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        for s in gen_many("[ -~]{1,8}", 300) {
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c), "outside printable ASCII: {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_count_is_exact() {
+        for s in gen_many("[a-z]{2}", 100) {
+            assert_eq!(s.chars().count(), 2);
+        }
+    }
+
+    #[test]
+    fn concatenation_of_pieces() {
+        for s in gen_many("[a-z][a-z0-9]{0,3}", 200) {
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().count() <= 4);
+        }
+    }
+
+    #[test]
+    fn dot_mixes_in_unicode() {
+        let all: String = gen_many(".{0,24}", 400).concat();
+        assert!(!all.is_ascii(), "expected some non-ASCII output from `.`");
+    }
+}

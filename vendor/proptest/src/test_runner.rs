@@ -1,0 +1,101 @@
+//! Test-loop plumbing: configuration, the deterministic RNG, and the
+//! failure reporter that substitutes for shrinking.
+
+/// Subset of the real `ProptestConfig`: only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 128 keeps the heavier differential
+        // suites fast while still exploring a wide input space.
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// The workspace's vendored `rand::rngs::StdRng`, seeded from a SplitMix64
+/// expansion of the test name's FNV-1a hash — every test gets its own
+/// reproducible stream. Wrapping the shared generator (instead of copying
+/// its core) keeps exactly one RNG implementation in the workspace.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::seed_from_u64(h)
+    }
+
+    pub fn seed_from_u64(state: u64) -> Self {
+        use rand::SeedableRng;
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(state),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below: empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform `u64` in `[lo, hi)` (works for any integer width the
+    /// strategies need after casting).
+    pub fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "in_range: empty range");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    pub fn in_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "in_range_i64: empty range");
+        let span = (hi as i128 - lo as i128) as u128;
+        (lo as i128 + (self.next_u64() as u128 % span) as i128) as i64
+    }
+}
+
+/// Prints the generated inputs if the test body panics — the no-shrink
+/// substitute for proptest's minimal failing case.
+pub struct FailureReport {
+    inputs: Option<String>,
+}
+
+impl FailureReport {
+    pub fn arm(inputs: String) -> Self {
+        FailureReport {
+            inputs: Some(inputs),
+        }
+    }
+
+    pub fn disarm(mut self) {
+        self.inputs = None;
+    }
+}
+
+impl Drop for FailureReport {
+    fn drop(&mut self) {
+        if let Some(inputs) = &self.inputs {
+            if std::thread::panicking() {
+                eprintln!("proptest shim: failing inputs -> {inputs}");
+            }
+        }
+    }
+}
