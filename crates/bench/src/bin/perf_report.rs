@@ -1,0 +1,371 @@
+//! Machine-readable perf trajectory: runs the store / SPARQL / alignment
+//! micro-suites on fixed-seed kbgen KBs and writes `BENCH_store_sparql.json`
+//! at the repo root (median ns/op per case).
+//!
+//! Modes:
+//! * default — run every case, write the JSON. If a previous JSON exists,
+//!   each case's `baseline_ns` is carried forward so the file always shows
+//!   before/after numbers across PRs; a case's first appearance seeds its
+//!   baseline with the current median.
+//! * `--small` — run only the `*_small` cases (fast enough for CI).
+//! * `--check` — re-run (respecting `--small`) and compare against the
+//!   committed JSON instead of writing: any tracked case slower than
+//!   2x its committed `median_ns` fails with exit code 1 (cases under
+//!   2µs are exempt — they measure timer overhead, not the engine, and
+//!   vary with the host machine). This is the CI soft guard; skip it
+//!   with a `[skip-perf]` commit tag.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use sofya_core::{Aligner, AlignerConfig};
+use sofya_endpoint::LocalEndpoint;
+use sofya_kbgen::{generate, GeneratedPair, PairConfig, StructureCounts};
+use sofya_rdf::{Term, TriplePattern, TripleStore};
+use sofya_sparql::{execute, execute_ask};
+
+const SEED: u64 = 42;
+
+/// Default output path: the workspace root, two levels above this crate.
+fn default_out_path() -> String {
+    format!(
+        "{}/../../BENCH_store_sparql.json",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+/// ~100k-triple KB2: a scaled-up `small` preset, deterministic in `SEED`.
+fn big_config() -> PairConfig {
+    let mut cfg = PairConfig::small(SEED);
+    cfg.n_entities = 20_000;
+    cfg.structures = StructureCounts {
+        equivalent: 20,
+        subsumption_families: 4,
+        fines_per_family: 3,
+        overlap_traps: 8,
+        literal_attrs: 4,
+        noise_kb1: 10,
+        noise_kb2: 1050,
+        correlated_noise_kb2: 20,
+    };
+    cfg.facts_per_relation = (300, 500);
+    cfg
+}
+
+/// Measures `f` repeatedly and returns the median ns per call.
+fn median_ns(mut f: impl FnMut() -> u64) -> u64 {
+    // Warm-up (also keeps the result observable).
+    let mut sink = 0u64;
+    sink = sink.wrapping_add(f());
+
+    let mut samples: Vec<u64> = Vec::new();
+    let budget_start = Instant::now();
+    // At least 9 samples; stop early once we have them and ~1.5s elapsed.
+    while samples.len() < 9 || (budget_start.elapsed().as_millis() < 1500 && samples.len() < 301) {
+        let t0 = Instant::now();
+        sink = sink.wrapping_add(f());
+        samples.push(t0.elapsed().as_nanos() as u64);
+        if budget_start.elapsed().as_millis() >= 1500 && samples.len() >= 9 {
+            break;
+        }
+    }
+    std::hint::black_box(sink);
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// The relation of `pair.kb2` with the most facts (plus its fact count).
+fn biggest_relation(pair: &GeneratedPair) -> (String, usize) {
+    let mut best = (String::new(), 0usize);
+    for r in &pair.kb2_relations {
+        if let Some(id) = pair.kb2.dict().lookup_iri(r) {
+            let n = pair.kb2.count(TriplePattern::with_p(id));
+            if n > best.1 {
+                best = (r.clone(), n);
+            }
+        }
+    }
+    best
+}
+
+/// The relation with the fewest (but nonzero) facts.
+fn smallest_relation(pair: &GeneratedPair) -> (String, usize) {
+    let mut best = (String::new(), usize::MAX);
+    for r in &pair.kb2_relations {
+        if let Some(id) = pair.kb2.dict().lookup_iri(r) {
+            let n = pair.kb2.count(TriplePattern::with_p(id));
+            if n > 0 && n < best.1 {
+                best = (r.clone(), n);
+            }
+        }
+    }
+    best
+}
+
+struct Suite {
+    cases: Vec<(String, u64)>,
+    small_only: bool,
+}
+
+impl Suite {
+    fn run(&mut self, name: &str, small: bool, f: impl FnMut() -> u64) {
+        if self.small_only && !small {
+            return;
+        }
+        let med = median_ns(f);
+        eprintln!("  {name:<44} {med:>12} ns/op");
+        self.cases.push((name.to_owned(), med));
+    }
+}
+
+fn store_cases(suite: &mut Suite, tag: &str, small: bool, pair: &GeneratedPair) {
+    let store = &pair.kb2;
+    let (big_rel, _) = biggest_relation(pair);
+    let big_id = store.dict().lookup_iri(&big_rel).unwrap();
+
+    // Bulk load: re-insert every triple of kb2 into a fresh store.
+    let triples: Vec<(Term, Term, Term)> = store
+        .iter()
+        .map(|t| {
+            let (s, p, o) = store.resolve(t);
+            (s.clone(), p.clone(), o.clone())
+        })
+        .collect();
+    suite.run(&format!("store/bulk_load_{tag}"), small, || {
+        let mut fresh = TripleStore::new();
+        for (s, p, o) in &triples {
+            fresh.insert_terms(s, p, o);
+        }
+        fresh.len() as u64
+    });
+
+    suite.run(&format!("store/scan_predicate_{tag}"), small, || {
+        store
+            .scan(TriplePattern::with_p(big_id))
+            .map(|t| u64::from(t.o.0))
+            .sum()
+    });
+
+    // Subject-prefix probes across 1k subjects of the big relation.
+    let subjects: Vec<_> = store
+        .scan(TriplePattern::with_p(big_id))
+        .map(|t| t.s)
+        .take(1000)
+        .collect();
+    suite.run(&format!("store/probe_sp_{tag}"), small, || {
+        let mut n = 0u64;
+        for &s in &subjects {
+            n += store.scan(TriplePattern::with_sp(s, big_id)).count() as u64;
+        }
+        n
+    });
+
+    suite.run(&format!("store/count_pattern_{tag}"), small, || {
+        let mut n = 0u64;
+        for r in &pair.kb2_relations {
+            if let Some(id) = store.dict().lookup_iri(r) {
+                n += store.count(TriplePattern::with_p(id)) as u64;
+            }
+        }
+        n
+    });
+}
+
+fn sparql_cases(suite: &mut Suite, tag: &str, small: bool, pair: &GeneratedPair) {
+    let store = &pair.kb2;
+    let sa = pair.same_as().to_owned();
+    let (big_rel, _) = biggest_relation(pair);
+    let (small_rel, _) = smallest_relation(pair);
+
+    // The SOFYA evidence-join shape, written in an unremarkable order:
+    // sameAs first, so a written-order evaluator starts from the widest
+    // pattern while a selectivity-driven planner starts from the relation.
+    let multi = format!(
+        "SELECT ?x ?y ?x2 ?y2 WHERE {{ ?x <{sa}> ?x2 . ?x <{small_rel}> ?y . ?y <{sa}> ?y2 }}"
+    );
+    suite.run(&format!("sparql/multi_pattern_select_{tag}"), small, || {
+        execute(store, &multi).unwrap().len() as u64
+    });
+
+    // Worst-case written order: the widest predicate in the KB (sameAs,
+    // one fact per linked entity) first, the tiny relation last.
+    let worst = format!("SELECT ?x ?y ?z WHERE {{ ?x <{sa}> ?y . ?x <{small_rel}> ?z }}");
+    suite.run(&format!("sparql/worst_case_order_{tag}"), small, || {
+        execute(store, &worst).unwrap().len() as u64
+    });
+
+    let probe_subject = store
+        .scan(TriplePattern::with_p(
+            store.dict().lookup_iri(&big_rel).unwrap(),
+        ))
+        .map(|t| t.s)
+        .next()
+        .unwrap();
+    let probe_iri = match store.dict().resolve(probe_subject) {
+        Term::Iri(i) => i.clone(),
+        other => other.to_string(),
+    };
+    let ask = format!("ASK {{ <{probe_iri}> <{big_rel}> ?y }}");
+    suite.run(&format!("sparql/ask_probe_{tag}"), small, || {
+        u64::from(execute_ask(store, &ask).unwrap())
+    });
+
+    let count = format!("SELECT (COUNT(*) AS ?n) WHERE {{ ?x <{big_rel}> ?y }}");
+    suite.run(&format!("sparql/count_star_{tag}"), small, || {
+        execute(store, &count).unwrap().single_integer().unwrap() as u64
+    });
+
+    let distinct = format!("SELECT DISTINCT ?x WHERE {{ ?x <{big_rel}> ?y }}");
+    suite.run(&format!("sparql/distinct_project_{tag}"), small, || {
+        execute(store, &distinct).unwrap().len() as u64
+    });
+}
+
+fn alignment_cases(suite: &mut Suite, pair: &GeneratedPair) {
+    let source = LocalEndpoint::new("kb2", pair.kb2.clone());
+    let target = LocalEndpoint::new("kb1", pair.kb1.clone());
+    let config = AlignerConfig::paper_defaults(SEED);
+    let relation = pair.kb1_relations[0].clone();
+    suite.run("align/align_relation_small", true, || {
+        let aligner = Aligner::new(&source, &target, config.clone());
+        aligner.align_relation(&relation).unwrap().len() as u64
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON in/out (offline build: no serde).
+// ---------------------------------------------------------------------------
+
+/// Extracts `"key": <number>` fields nested under `"case-name": { … }`.
+/// Line-oriented: this binary writes one case per line, and case names
+/// (the only keys containing `/`) never collide with field names.
+fn parse_cases(json: &str, field: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in json.lines() {
+        let line = line.trim();
+        let Some(name) = line.strip_prefix('"').and_then(|l| l.split('"').next()) else {
+            continue;
+        };
+        if !name.contains('/') {
+            continue;
+        }
+        if let Some(pos) = line.find(&format!("\"{field}\"")) {
+            let num: String = line[pos + field.len() + 2..]
+                .chars()
+                .skip_while(|c| *c == ':' || c.is_whitespace())
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            if let Ok(v) = num.parse() {
+                out.insert(name.to_owned(), v);
+            }
+        }
+    }
+    out
+}
+
+fn write_json(
+    path: &str,
+    kb_triples_big: usize,
+    kb_triples_small: usize,
+    cases: &[(String, u64)],
+    baselines: &BTreeMap<String, u64>,
+) {
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str("  \"schema\": 1,\n");
+    body.push_str(&format!("  \"seed\": {SEED},\n"));
+    body.push_str(&format!("  \"kb_triples_100k\": {kb_triples_big},\n"));
+    body.push_str(&format!("  \"kb_triples_small\": {kb_triples_small},\n"));
+    body.push_str("  \"cases\": {\n");
+    for (i, (name, median)) in cases.iter().enumerate() {
+        let baseline = *baselines.get(name).unwrap_or(median);
+        let speedup = baseline as f64 / (*median).max(1) as f64;
+        body.push_str(&format!(
+            "    \"{name}\": {{ \"baseline_ns\": {baseline}, \"median_ns\": {median}, \"speedup\": {speedup:.2} }}{}\n",
+            if i + 1 == cases.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  }\n}\n");
+    std::fs::write(path, body).expect("write BENCH json");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small_only = args.iter().any(|a| a == "--small");
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(default_out_path);
+
+    eprintln!("generating fixed-seed KBs (seed {SEED})…");
+    let small_pair = generate(&PairConfig::small(SEED));
+    eprintln!("  small: kb2 = {} triples", small_pair.kb2.len());
+    let big_pair = if small_only {
+        None
+    } else {
+        let p = generate(&big_config());
+        eprintln!("  big:   kb2 = {} triples", p.kb2.len());
+        Some(p)
+    };
+
+    let mut suite = Suite {
+        cases: Vec::new(),
+        small_only,
+    };
+
+    eprintln!("running cases…");
+    store_cases(&mut suite, "small", true, &small_pair);
+    sparql_cases(&mut suite, "small", true, &small_pair);
+    alignment_cases(&mut suite, &small_pair);
+    if let Some(big) = &big_pair {
+        store_cases(&mut suite, "100k", false, big);
+        sparql_cases(&mut suite, "100k", false, big);
+    }
+
+    let existing = std::fs::read_to_string(&out_path).unwrap_or_default();
+
+    if check {
+        let committed = parse_cases(&existing, "median_ns");
+        if committed.is_empty() {
+            eprintln!("--check: no committed medians found at {out_path}; nothing to compare");
+            return;
+        }
+        let mut failed = false;
+        for (name, median) in &suite.cases {
+            if let Some(&want) = committed.get(name) {
+                // Sub-2µs cases are dominated by timer and closure overhead
+                // and swing with the host machine, not with regressions;
+                // exempt them from the cross-machine guard.
+                if want < 2_000 {
+                    continue;
+                }
+                let ratio = *median as f64 / want.max(1) as f64;
+                if ratio > 2.0 {
+                    eprintln!(
+                        "REGRESSION {name}: {median} ns vs committed {want} ns ({ratio:.2}x)"
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            eprintln!("perf check failed (>2x regression). Tag the commit [skip-perf] to bypass.");
+            std::process::exit(1);
+        }
+        eprintln!("perf check OK ({} cases within 2x)", suite.cases.len());
+        return;
+    }
+
+    let baselines = parse_cases(&existing, "baseline_ns");
+    let big_triples = big_pair.as_ref().map(|p| p.kb2.len()).unwrap_or(0);
+    write_json(
+        &out_path,
+        big_triples,
+        small_pair.kb2.len(),
+        &suite.cases,
+        &baselines,
+    );
+    eprintln!("wrote {out_path}");
+}

@@ -75,9 +75,13 @@ pub fn relation_facts_page<E: Endpoint + ?Sized>(
     );
     let rs = ep.select(&q)?;
     Ok(rs
-        .rows()
-        .iter()
-        .filter_map(|row| Some((row[0].clone()?, row[1].clone()?)))
+        .into_parts()
+        .1
+        .into_iter()
+        .filter_map(|row| {
+            let mut cells = row.into_iter();
+            Some((cells.next()??, cells.next()??))
+        })
         .collect())
 }
 
@@ -102,14 +106,16 @@ pub fn linked_entity_facts_page<E: Endpoint + ?Sized>(
     );
     let rs = ep.select(&q)?;
     Ok(rs
-        .rows()
-        .iter()
+        .into_parts()
+        .1
+        .into_iter()
         .filter_map(|row| {
+            let mut cells = row.into_iter();
             Some((
-                row[0].clone()?,
-                row[1].clone()?,
-                row[2].clone()?,
-                row[3].clone()?,
+                cells.next()??,
+                cells.next()??,
+                cells.next()??,
+                cells.next()??,
             ))
         })
         .collect())
@@ -132,9 +138,13 @@ pub fn linked_literal_facts_page<E: Endpoint + ?Sized>(
     );
     let rs = ep.select(&q)?;
     Ok(rs
-        .rows()
-        .iter()
-        .filter_map(|row| Some((row[0].clone()?, row[1].clone()?, row[2].clone()?)))
+        .into_parts()
+        .1
+        .into_iter()
+        .filter_map(|row| {
+            let mut cells = row.into_iter();
+            Some((cells.next()??, cells.next()??, cells.next()??))
+        })
         .collect())
 }
 
@@ -286,9 +296,13 @@ pub fn contrastive_subjects_page<E: Endpoint + ?Sized>(
     );
     let rs = ep.select(&q)?;
     Ok(rs
-        .rows()
-        .iter()
-        .filter_map(|row| Some((row[0].clone()?, row[1].clone()?, row[2].clone()?)))
+        .into_parts()
+        .1
+        .into_iter()
+        .filter_map(|row| {
+            let mut cells = row.into_iter();
+            Some((cells.next()??, cells.next()??, cells.next()??))
+        })
         .collect())
 }
 
@@ -314,9 +328,13 @@ pub fn linked_contrastive_subjects_page<E: Endpoint + ?Sized>(
     );
     let rs = ep.select(&q)?;
     Ok(rs
-        .rows()
-        .iter()
-        .filter_map(|row| Some((row[0].clone()?, row[1].clone()?, row[2].clone()?)))
+        .into_parts()
+        .1
+        .into_iter()
+        .filter_map(|row| {
+            let mut cells = row.into_iter();
+            Some((cells.next()??, cells.next()??, cells.next()??))
+        })
         .collect())
 }
 

@@ -2,26 +2,26 @@
 
 use crate::endpoint::Endpoint;
 use crate::error::EndpointError;
-use sofya_rdf::TripleStore;
-use sofya_sparql::{execute, execute_ask, ResultSet};
-use std::sync::Arc;
+use sofya_rdf::{StoreStats, TripleStore};
+use sofya_sparql::{execute_with_options, PlanOptions, QueryOutcome, ResultSet};
+use std::sync::{Arc, OnceLock};
 
 /// The "remote server" of this reproduction: a [`TripleStore`] queried
 /// through `sofya-sparql`. The store is immutable once wrapped, so the
-/// endpoint is trivially thread-safe.
+/// endpoint is trivially thread-safe — and that immutability also lets it
+/// compute [`StoreStats`] once (lazily, on the first query) and feed them
+/// to the selectivity-driven query planner on every request.
 #[derive(Clone)]
 pub struct LocalEndpoint {
     name: String,
     store: Arc<TripleStore>,
+    stats: Arc<OnceLock<StoreStats>>,
 }
 
 impl LocalEndpoint {
     /// Wraps a store under a display name.
     pub fn new(name: impl Into<String>, store: TripleStore) -> Self {
-        Self {
-            name: name.into(),
-            store: Arc::new(store),
-        }
+        Self::from_arc(name, Arc::new(store))
     }
 
     /// Wraps an already-shared store.
@@ -29,6 +29,7 @@ impl LocalEndpoint {
         Self {
             name: name.into(),
             store,
+            stats: Arc::new(OnceLock::new()),
         }
     }
 
@@ -37,15 +38,38 @@ impl LocalEndpoint {
     pub fn store(&self) -> &TripleStore {
         &self.store
     }
+
+    /// Cardinality statistics for the wrapped store, computed on first
+    /// use and shared by all clones of this endpoint.
+    pub fn stats(&self) -> &StoreStats {
+        self.stats.get_or_init(|| StoreStats::compute(&self.store))
+    }
+
+    fn plan_options(&self) -> PlanOptions<'_> {
+        PlanOptions {
+            stats: Some(self.stats()),
+            ..PlanOptions::default()
+        }
+    }
 }
 
 impl Endpoint for LocalEndpoint {
     fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
-        Ok(execute(&self.store, query)?)
+        match execute_with_options(&self.store, query, self.plan_options())? {
+            QueryOutcome::Solutions(rs) => Ok(rs),
+            QueryOutcome::Boolean(_) => Err(EndpointError::Sparql(
+                sofya_sparql::SparqlError::eval("expected a SELECT query, found ASK"),
+            )),
+        }
     }
 
     fn ask(&self, query: &str) -> Result<bool, EndpointError> {
-        Ok(execute_ask(&self.store, query)?)
+        match execute_with_options(&self.store, query, self.plan_options())? {
+            QueryOutcome::Boolean(b) => Ok(b),
+            QueryOutcome::Solutions(_) => Err(EndpointError::Sparql(
+                sofya_sparql::SparqlError::eval("expected an ASK query, found SELECT"),
+            )),
+        }
     }
 
     fn name(&self) -> &str {

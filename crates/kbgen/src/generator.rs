@@ -237,6 +237,11 @@ pub fn generate(config: &PairConfig) -> GeneratedPair {
         gold = inverse_gold;
     }
 
+    // Compact the stores' insert buffers: generated KBs are read-heavy
+    // from here on, and a flushed store scans single contiguous runs.
+    kb1.flush();
+    kb2.flush();
+
     GeneratedPair {
         kb1,
         kb2,

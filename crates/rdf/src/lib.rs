@@ -12,8 +12,12 @@
 //! * RDF terms ([`Term`]) are interned into `u32` identifiers by a
 //!   [`Dict`] so triples are three machine words and join keys compare as
 //!   integers.
-//! * The store keeps three sorted permutation indexes (SPO, POS, OSP) so
-//!   every triple-pattern shape resolves to a contiguous range scan.
+//! * The store keeps three *flat sorted* permutation indexes (SPO, POS,
+//!   OSP — plain `Vec`s, binary-search prefix bounds) so every
+//!   triple-pattern shape resolves to a contiguous, zero-allocation range
+//!   scan and an O(log n) exact cardinality
+//!   ([`TripleStore::count_pattern`]). Writes land in a small sorted
+//!   insert buffer merged on a threshold.
 //! * A small N-Triples subset parser/serialiser ([`ntriples`]) provides
 //!   durable text I/O for fixtures and examples.
 //! * [`stats`] computes the per-predicate statistics (fact counts,
@@ -51,6 +55,6 @@ pub use inverse::{
 };
 pub use ntriples::{parse_ntriples, write_ntriples};
 pub use stats::{PredicateStats, StoreStats};
-pub use store::TripleStore;
+pub use store::{PatternScan, TripleStore};
 pub use term::Term;
 pub use triple::{Triple, TriplePattern};

@@ -56,6 +56,8 @@ impl PredicateStats {
 pub struct StoreStats {
     by_predicate: BTreeMap<TermId, PredicateStats>,
     total_triples: usize,
+    distinct_subjects: usize,
+    distinct_objects: usize,
 }
 
 impl StoreStats {
@@ -63,6 +65,8 @@ impl StoreStats {
     /// predicate range (POS index order).
     pub fn compute(store: &TripleStore) -> Self {
         let mut by_predicate = BTreeMap::new();
+        let mut all_subjects = std::collections::BTreeSet::new();
+        let mut all_objects = std::collections::BTreeSet::new();
         for p in store.predicates() {
             let mut facts = 0usize;
             let mut literal_objects = 0usize;
@@ -76,6 +80,8 @@ impl StoreStats {
                     literal_objects += 1;
                 }
             }
+            all_subjects.extend(subjects.iter().copied());
+            all_objects.extend(objects.iter().copied());
             by_predicate.insert(
                 p,
                 PredicateStats {
@@ -94,6 +100,8 @@ impl StoreStats {
         Self {
             by_predicate,
             total_triples: store.len(),
+            distinct_subjects: all_subjects.len(),
+            distinct_objects: all_objects.len(),
         }
     }
 
@@ -115,6 +123,16 @@ impl StoreStats {
     /// Total triples in the store at computation time.
     pub fn total_triples(&self) -> usize {
         self.total_triples
+    }
+
+    /// Distinct subjects across the whole store (any predicate).
+    pub fn distinct_subjects(&self) -> usize {
+        self.distinct_subjects
+    }
+
+    /// Distinct objects across the whole store (any predicate).
+    pub fn distinct_objects(&self) -> usize {
+        self.distinct_objects
     }
 }
 
@@ -177,6 +195,14 @@ mod tests {
         };
         assert_eq!(ps.functionality(), 0.0);
         assert_eq!(ps.inverse_functionality(), 0.0);
+    }
+
+    #[test]
+    fn store_level_distinct_counts() {
+        let stats = StoreStats::compute(&sample_store());
+        // Subjects a, b; objects x, y, z plus the two name literals.
+        assert_eq!(stats.distinct_subjects(), 2);
+        assert_eq!(stats.distinct_objects(), 5);
     }
 
     #[test]

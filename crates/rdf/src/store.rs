@@ -1,7 +1,18 @@
-//! The in-memory triple store with three permutation indexes.
-
-use std::collections::BTreeSet;
-use std::ops::Bound;
+//! The in-memory triple store: flat sorted permutation indexes with
+//! zero-allocation prefix scans.
+//!
+//! Three flat sorted `Vec<(u32, u32, u32)>` runs (SPO, POS, OSP) replace
+//! the earlier `BTreeSet` permutations: a prefix lookup is two binary
+//! searches yielding a contiguous slice, iteration is a linear walk over
+//! dense memory, and exact pattern cardinalities come from the same
+//! bounds in O(log n) ([`TripleStore::count_pattern`]).
+//!
+//! Writes go through a small *insert buffer* — a second sorted run per
+//! permutation — merged into the main run whenever it reaches the merge
+//! threshold (amortized O(1) index maintenance per insert at repo scales).
+//! Reads consult both runs through a two-way merge, so results are always
+//! exact regardless of pending buffered inserts; [`TripleStore::flush`]
+//! compacts eagerly after a bulk load.
 
 use crate::dict::{Dict, TermId};
 use crate::term::Term;
@@ -9,48 +20,198 @@ use crate::triple::{Triple, TriplePattern};
 
 type Key = (u32, u32, u32);
 
-/// An in-memory, dictionary-encoded triple store.
-///
-/// Three sorted permutation indexes (SPO, POS, OSP) guarantee that any
-/// triple pattern with at least one bound position is answered by a
-/// contiguous range scan; the fully-unbound pattern scans SPO.
-///
-/// The store is append-only (plus [`TripleStore::remove`]) and
-/// single-writer; the endpoint layer wraps it for shared access.
-#[derive(Debug, Default, Clone)]
-pub struct TripleStore {
-    dict: Dict,
-    spo: BTreeSet<Key>,
-    pos: BTreeSet<Key>,
-    osp: BTreeSet<Key>,
+/// Buffered inserts per permutation before they are merged into the main
+/// run. Small enough that the sorted insertion memmove stays cheap, large
+/// enough that merges amortize.
+const DEFAULT_MERGE_THRESHOLD: usize = 1024;
+
+/// Which permutation a key run is sorted by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Perm {
+    /// `(s, p, o)`
+    Spo,
+    /// `(p, o, s)`
+    Pos,
+    /// `(o, s, p)`
+    Osp,
 }
 
-/// Builds the `(Bound, Bound)` range covering all keys with prefix `a`
-/// (and optionally `a, b`).
-fn prefix_range(a: u32, b: Option<u32>) -> (Bound<Key>, Bound<Key>) {
-    match b {
-        None => {
-            let lo = Bound::Included((a, 0, 0));
-            let hi = if a == u32::MAX {
-                Bound::Unbounded
-            } else {
-                Bound::Excluded((a + 1, 0, 0))
-            };
-            (lo, hi)
+impl Perm {
+    #[inline]
+    fn decode(self, k: Key) -> Triple {
+        let (a, b, c) = k;
+        match self {
+            Perm::Spo => Triple::new(TermId(a), TermId(b), TermId(c)),
+            Perm::Pos => Triple::new(TermId(c), TermId(a), TermId(b)),
+            Perm::Osp => Triple::new(TermId(b), TermId(c), TermId(a)),
         }
-        Some(b) => {
-            let lo = Bound::Included((a, b, 0));
-            let hi = if b == u32::MAX {
-                if a == u32::MAX {
-                    Bound::Unbounded
-                } else {
-                    Bound::Excluded((a + 1, 0, 0))
-                }
-            } else {
-                Bound::Excluded((a, b + 1, 0))
-            };
-            (lo, hi)
+    }
+}
+
+/// The sub-slice of a sorted run whose keys start with the given prefix.
+///
+/// Bound positions must form a prefix of the permutation order (`a`, then
+/// `a,b`, then `a,b,c`). Implemented with `partition_point`, so there is
+/// no successor arithmetic and no `u32::MAX` edge case (the old
+/// `prefix_range` computed `a + 1` exclusive bounds and had to special-case
+/// every saturated id).
+#[inline]
+fn prefix_slice(run: &[Key], a: Option<u32>, b: Option<u32>, c: Option<u32>) -> &[Key] {
+    let (lo, hi) = match (a, b, c) {
+        (None, _, _) => (0, run.len()),
+        (Some(a), None, _) => (
+            run.partition_point(|&(x, _, _)| x < a),
+            run.partition_point(|&(x, _, _)| x <= a),
+        ),
+        (Some(a), Some(b), None) => (
+            run.partition_point(|&(x, y, _)| (x, y) < (a, b)),
+            run.partition_point(|&(x, y, _)| (x, y) <= (a, b)),
+        ),
+        (Some(a), Some(b), Some(c)) => (
+            run.partition_point(|&k| k < (a, b, c)),
+            run.partition_point(|&k| k <= (a, b, c)),
+        ),
+    };
+    &run[lo..hi]
+}
+
+/// A zero-allocation pattern scan: a two-way sorted merge over the main
+/// run's prefix slice and the insert buffer's prefix slice, decoded to
+/// [`Triple`]s on the fly.
+///
+/// Yields triples in the permutation's sort order. The length is exact
+/// ([`ExactSizeIterator`]), because every pattern shape maps to pure
+/// prefix ranges on one of the three permutations — no residual filtering.
+#[derive(Debug, Clone)]
+pub struct PatternScan<'a> {
+    main: &'a [Key],
+    buf: &'a [Key],
+    perm: Perm,
+}
+
+impl Iterator for PatternScan<'_> {
+    type Item = Triple;
+
+    #[inline]
+    fn next(&mut self) -> Option<Triple> {
+        let take_main = match (self.main.first(), self.buf.first()) {
+            (Some(m), Some(b)) => m <= b,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        let key = if take_main {
+            let k = self.main[0];
+            self.main = &self.main[1..];
+            k
+        } else {
+            let k = self.buf[0];
+            self.buf = &self.buf[1..];
+            k
+        };
+        Some(self.perm.decode(key))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.main.len() + self.buf.len();
+        (n, Some(n))
+    }
+
+    #[inline]
+    fn count(self) -> usize {
+        self.main.len() + self.buf.len()
+    }
+}
+
+impl ExactSizeIterator for PatternScan<'_> {}
+
+/// An in-memory, dictionary-encoded triple store.
+///
+/// Any triple pattern shape is answered by a contiguous prefix range on
+/// one of the three permutations:
+///
+/// | bound          | index | prefix      |
+/// |----------------|-------|-------------|
+/// | `s` / `s,p` / `s,p,o` | SPO | `s` / `s,p` / `s,p,o` |
+/// | `p` / `p,o`    | POS   | `p` / `p,o` |
+/// | `o` / `o,s`    | OSP   | `o` / `o,s` |
+/// | nothing        | SPO   | full run    |
+///
+/// The store is append-mostly (plus [`TripleStore::remove`]) and
+/// single-writer; the endpoint layer wraps it for shared access. All read
+/// methods take `&self` and never allocate for the scan itself.
+#[derive(Debug, Clone)]
+pub struct TripleStore {
+    dict: Dict,
+    spo: Vec<Key>,
+    pos: Vec<Key>,
+    osp: Vec<Key>,
+    buf_spo: Vec<Key>,
+    buf_pos: Vec<Key>,
+    buf_osp: Vec<Key>,
+    merge_threshold: usize,
+}
+
+impl Default for TripleStore {
+    fn default() -> Self {
+        Self {
+            dict: Dict::new(),
+            spo: Vec::new(),
+            pos: Vec::new(),
+            osp: Vec::new(),
+            buf_spo: Vec::new(),
+            buf_pos: Vec::new(),
+            buf_osp: Vec::new(),
+            merge_threshold: DEFAULT_MERGE_THRESHOLD,
         }
+    }
+}
+
+/// Merges the sorted `buf` into the sorted `main` in place (backward
+/// merge: one resize, no scratch allocation), leaving `buf` empty.
+fn merge_run(main: &mut Vec<Key>, buf: &mut Vec<Key>) {
+    if buf.is_empty() {
+        return;
+    }
+    if main.is_empty() {
+        std::mem::swap(main, buf);
+        return;
+    }
+    let old = main.len();
+    main.resize(old + buf.len(), (0, 0, 0));
+    let mut i = old; // one past the next unmerged main element
+    let mut j = buf.len(); // one past the next unmerged buf element
+    let mut k = main.len(); // one past the next write position
+    while j > 0 {
+        if i > 0 && main[i - 1] > buf[j - 1] {
+            main[k - 1] = main[i - 1];
+            i -= 1;
+        } else {
+            main[k - 1] = buf[j - 1];
+            j -= 1;
+        }
+        k -= 1;
+    }
+    buf.clear();
+}
+
+/// Inserts `key` into a sorted run, preserving order. The caller
+/// guarantees the key is not already present.
+#[inline]
+fn sorted_insert(run: &mut Vec<Key>, key: Key) {
+    let at = run.partition_point(|&k| k < key);
+    run.insert(at, key);
+}
+
+/// Removes `key` from a sorted run if present; `true` on removal.
+fn sorted_remove(run: &mut Vec<Key>, key: Key) -> bool {
+    match run.binary_search(&key) {
+        Ok(at) => {
+            run.remove(at);
+            true
+        }
+        Err(_) => false,
     }
 }
 
@@ -72,12 +233,18 @@ impl TripleStore {
 
     /// Number of triples.
     pub fn len(&self) -> usize {
-        self.spo.len()
+        self.spo.len() + self.buf_spo.len()
     }
 
     /// Whether the store holds no triples.
     pub fn is_empty(&self) -> bool {
-        self.spo.is_empty()
+        self.len() == 0
+    }
+
+    /// Overrides the insert-buffer merge threshold (tuning / test knob).
+    pub fn set_merge_threshold(&mut self, threshold: usize) {
+        self.merge_threshold = threshold.max(1);
+        self.maybe_merge();
     }
 
     /// Interns a term in this store's dictionary.
@@ -87,12 +254,20 @@ impl TripleStore {
 
     /// Inserts an encoded triple. Returns `false` if it was already present.
     pub fn insert(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
-        let fresh = self.spo.insert((s.0, p.0, o.0));
-        if fresh {
-            self.pos.insert((p.0, o.0, s.0));
-            self.osp.insert((o.0, s.0, p.0));
+        let key = (s.0, p.0, o.0);
+        // The dedup probe on the buffer doubles as the insertion point.
+        let at = match self.buf_spo.binary_search(&key) {
+            Ok(_) => return false,
+            Err(at) => at,
+        };
+        if self.spo.binary_search(&key).is_ok() {
+            return false;
         }
-        fresh
+        self.buf_spo.insert(at, key);
+        sorted_insert(&mut self.buf_pos, (p.0, o.0, s.0));
+        sorted_insert(&mut self.buf_osp, (o.0, s.0, p.0));
+        self.maybe_merge();
+        true
     }
 
     /// Interns the three terms and inserts the triple.
@@ -105,85 +280,120 @@ impl TripleStore {
 
     /// Removes a triple. Returns `true` if it was present.
     pub fn remove(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
-        let was = self.spo.remove(&(s.0, p.0, o.0));
-        if was {
-            self.pos.remove(&(p.0, o.0, s.0));
-            self.osp.remove(&(o.0, s.0, p.0));
+        let key = (s.0, p.0, o.0);
+        if sorted_remove(&mut self.buf_spo, key) {
+            sorted_remove(&mut self.buf_pos, (p.0, o.0, s.0));
+            sorted_remove(&mut self.buf_osp, (o.0, s.0, p.0));
+            return true;
         }
-        was
+        if sorted_remove(&mut self.spo, key) {
+            sorted_remove(&mut self.pos, (p.0, o.0, s.0));
+            sorted_remove(&mut self.osp, (o.0, s.0, p.0));
+            return true;
+        }
+        false
+    }
+
+    /// Merges pending buffered inserts into the main runs. Reads are
+    /// exact either way; this only compacts (useful after a bulk load).
+    pub fn flush(&mut self) {
+        merge_run(&mut self.spo, &mut self.buf_spo);
+        merge_run(&mut self.pos, &mut self.buf_pos);
+        merge_run(&mut self.osp, &mut self.buf_osp);
+    }
+
+    fn maybe_merge(&mut self) {
+        if self.buf_spo.len() >= self.merge_threshold {
+            self.flush();
+        }
     }
 
     /// Existence probe for a fully-bound triple.
     pub fn contains(&self, s: TermId, p: TermId, o: TermId) -> bool {
-        self.spo.contains(&(s.0, p.0, o.0))
+        let key = (s.0, p.0, o.0);
+        self.spo.binary_search(&key).is_ok() || self.buf_spo.binary_search(&key).is_ok()
     }
 
-    /// Scans all triples matching `pattern`.
-    ///
-    /// Index selection:
-    /// * subject bound → SPO (prefix `s` or `s,p`),
-    /// * else predicate bound → POS (prefix `p` or `p,o`),
-    /// * else object bound → OSP (prefix `o`),
-    /// * nothing bound → full SPO scan.
-    pub fn scan(&self, pattern: TriplePattern) -> Box<dyn Iterator<Item = Triple> + '_> {
+    /// Picks the permutation and prefix for a pattern shape.
+    #[inline]
+    fn select_index(&self, pattern: TriplePattern) -> (Perm, [Option<u32>; 3]) {
         let TriplePattern { s, p, o } = pattern;
+        let (s, p, o) = (s.map(|t| t.0), p.map(|t| t.0), o.map(|t| t.0));
         match (s, p, o) {
-            (Some(s), p, o) => {
-                let range = prefix_range(s.0, p.map(|p| p.0));
-                Box::new(self.spo.range(range).filter_map(move |&(ks, kp, ko)| {
-                    let t = Triple::new(TermId(ks), TermId(kp), TermId(ko));
-                    (o.is_none_or(|o| o.0 == ko)).then_some(t)
-                }))
-            }
-            (None, Some(p), o) => {
-                let range = prefix_range(p.0, o.map(|o| o.0));
-                Box::new(
-                    self.pos
-                        .range(range)
-                        .map(|&(kp, ko, ks)| Triple::new(TermId(ks), TermId(kp), TermId(ko))),
-                )
-            }
-            (None, None, Some(o)) => {
-                let range = prefix_range(o.0, None);
-                Box::new(
-                    self.osp
-                        .range(range)
-                        .map(|&(ko, ks, kp)| Triple::new(TermId(ks), TermId(kp), TermId(ko))),
-                )
-            }
-            (None, None, None) => Box::new(
-                self.spo
-                    .iter()
-                    .map(|&(ks, kp, ko)| Triple::new(TermId(ks), TermId(kp), TermId(ko))),
-            ),
+            (Some(s), Some(p), o) => (Perm::Spo, [Some(s), Some(p), o]),
+            (Some(s), None, Some(o)) => (Perm::Osp, [Some(o), Some(s), None]),
+            (Some(s), None, None) => (Perm::Spo, [Some(s), None, None]),
+            (None, Some(p), o) => (Perm::Pos, [Some(p), o, None]),
+            (None, None, Some(o)) => (Perm::Osp, [Some(o), None, None]),
+            (None, None, None) => (Perm::Spo, [None, None, None]),
         }
     }
 
-    /// Number of triples matching `pattern` (computed by scanning).
+    /// Borrowed range scan for `pattern`: binary-search prefix bounds on
+    /// the selected permutation, returning a zero-allocation iterator over
+    /// the matching slices of the main run and the insert buffer.
+    #[inline]
+    pub fn scan_range(&self, pattern: TriplePattern) -> PatternScan<'_> {
+        let (perm, [a, b, c]) = self.select_index(pattern);
+        let (main, buf) = match perm {
+            Perm::Spo => (&self.spo, &self.buf_spo),
+            Perm::Pos => (&self.pos, &self.buf_pos),
+            Perm::Osp => (&self.osp, &self.buf_osp),
+        };
+        PatternScan {
+            main: prefix_slice(main, a, b, c),
+            buf: prefix_slice(buf, a, b, c),
+            perm,
+        }
+    }
+
+    /// Scans all triples matching `pattern` (alias of
+    /// [`TripleStore::scan_range`], kept for API continuity).
+    #[inline]
+    pub fn scan(&self, pattern: TriplePattern) -> PatternScan<'_> {
+        self.scan_range(pattern)
+    }
+
+    /// Exact number of triples matching `pattern`, in O(log n): the size
+    /// of the prefix ranges, no iteration.
+    #[inline]
+    pub fn count_pattern(&self, pattern: TriplePattern) -> usize {
+        self.scan_range(pattern).len()
+    }
+
+    /// Number of triples matching `pattern` (same as
+    /// [`TripleStore::count_pattern`]).
     pub fn count(&self, pattern: TriplePattern) -> usize {
-        self.scan(pattern).count()
+        self.count_pattern(pattern)
     }
 
     /// All triples with predicate `p`.
     pub fn triples_with_predicate(&self, p: TermId) -> impl Iterator<Item = Triple> + '_ {
-        self.scan(TriplePattern::with_p(p))
+        self.scan_range(TriplePattern::with_p(p))
     }
 
     /// All triples with subject `s`.
     pub fn triples_with_subject(&self, s: TermId) -> impl Iterator<Item = Triple> + '_ {
-        self.scan(TriplePattern::with_s(s))
+        self.scan_range(TriplePattern::with_s(s))
     }
 
     /// All triples with object `o`.
     pub fn triples_with_object(&self, o: TermId) -> impl Iterator<Item = Triple> + '_ {
-        self.scan(TriplePattern::with_o(o))
+        self.scan_range(TriplePattern::with_o(o))
     }
 
     /// The distinct predicates in the store, ascending by id.
     pub fn predicates(&self) -> Vec<TermId> {
         let mut out = Vec::new();
         let mut last: Option<u32> = None;
-        for &(p, _, _) in &self.pos {
+        // POS order groups by predicate; merge both runs in order.
+        let scan = PatternScan {
+            main: &self.pos,
+            buf: &self.buf_pos,
+            perm: Perm::Pos,
+        };
+        for t in scan {
+            let p = t.p.0;
             if last != Some(p) {
                 out.push(TermId(p));
                 last = Some(p);
@@ -194,33 +404,36 @@ impl TripleStore {
 
     /// Distinct subjects of predicate `p`, ascending by id.
     pub fn subjects_of(&self, p: TermId) -> Vec<TermId> {
-        let subjects: BTreeSet<u32> = self.triples_with_predicate(p).map(|t| t.s.0).collect();
+        let subjects: std::collections::BTreeSet<u32> =
+            self.triples_with_predicate(p).map(|t| t.s.0).collect();
         subjects.into_iter().map(TermId).collect()
     }
 
     /// Distinct objects of predicate `p`, ascending by id.
     pub fn objects_of(&self, p: TermId) -> Vec<TermId> {
-        let objects: BTreeSet<u32> = self.triples_with_predicate(p).map(|t| t.o.0).collect();
+        let objects: std::collections::BTreeSet<u32> =
+            self.triples_with_predicate(p).map(|t| t.o.0).collect();
         objects.into_iter().map(TermId).collect()
     }
 
     /// Objects `y` with `p(x, y)` for the given subject.
     pub fn objects_for(&self, s: TermId, p: TermId) -> Vec<TermId> {
-        self.scan(TriplePattern::with_sp(s, p))
+        self.scan_range(TriplePattern::with_sp(s, p))
             .map(|t| t.o)
             .collect()
     }
 
     /// Subjects `x` with `p(x, y)` for the given object.
     pub fn subjects_for(&self, p: TermId, o: TermId) -> Vec<TermId> {
-        self.scan(TriplePattern::with_po(p, o))
+        self.scan_range(TriplePattern::with_po(p, o))
             .map(|t| t.s)
             .collect()
     }
 
     /// Distinct predicates `p` such that `p(s, ·)` exists.
     pub fn predicates_of_subject(&self, s: TermId) -> Vec<TermId> {
-        let preds: BTreeSet<u32> = self.triples_with_subject(s).map(|t| t.p.0).collect();
+        let preds: std::collections::BTreeSet<u32> =
+            self.triples_with_subject(s).map(|t| t.p.0).collect();
         preds.into_iter().map(TermId).collect()
     }
 
@@ -235,13 +448,14 @@ impl TripleStore {
 
     /// Iterates over all triples in SPO order.
     pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.scan(TriplePattern::any())
+        self.scan_range(TriplePattern::any())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
 
     fn store_with(facts: &[(&str, &str, &str)]) -> TripleStore {
         let mut s = TripleStore::new();
@@ -260,6 +474,17 @@ mod tests {
     }
 
     #[test]
+    fn insert_dedup_across_merge_boundary() {
+        let mut s = TripleStore::new();
+        s.set_merge_threshold(2);
+        assert!(s.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::iri("b")));
+        assert!(s.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::iri("c")));
+        // First triple now lives in the main run; duplicate must be caught.
+        assert!(!s.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::iri("b")));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
     fn remove_updates_all_indexes() {
         let mut s = store_with(&[("a", "p", "b")]);
         let (a, p, b) = (
@@ -272,6 +497,24 @@ mod tests {
         assert_eq!(s.len(), 0);
         assert_eq!(s.count(TriplePattern::with_p(p)), 0);
         assert_eq!(s.count(TriplePattern::with_o(b)), 0);
+    }
+
+    #[test]
+    fn remove_from_main_run_after_flush() {
+        let mut s = store_with(&[("a", "p", "b"), ("a", "p", "c"), ("b", "q", "a")]);
+        s.flush();
+        let (a, p, b) = (
+            s.dict().lookup_iri("a").unwrap(),
+            s.dict().lookup_iri("p").unwrap(),
+            s.dict().lookup_iri("b").unwrap(),
+        );
+        assert!(s.remove(a, p, b));
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains(a, p, b));
+        assert_eq!(s.count(TriplePattern::with_sp(a, p)), 1);
+        // Reinsertion after a main-run removal works (goes to the buffer).
+        assert!(s.insert(a, p, b));
+        assert!(s.contains(a, p, b));
     }
 
     #[test]
@@ -306,8 +549,110 @@ mod tests {
             let filtered: BTreeSet<Triple> =
                 all.iter().copied().filter(|t| pat.matches(t)).collect();
             assert_eq!(scanned, filtered, "pattern {pat:?}");
+            assert_eq!(s.count_pattern(pat), filtered.len(), "count {pat:?}");
+            assert_eq!(s.scan(pat).len(), filtered.len(), "exact size {pat:?}");
         }
         let _ = c;
+    }
+
+    /// `count_pattern` against brute-force counts over every shape, with a
+    /// split main-run/buffer state (threshold forces partial merges).
+    #[test]
+    fn count_pattern_matches_brute_force_across_runs() {
+        let mut s = TripleStore::new();
+        s.set_merge_threshold(8);
+        // A deterministic pseudo-random fact mix with duplicates.
+        let mut x: u32 = 7;
+        let mut facts = Vec::new();
+        for _ in 0..200 {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            let sid = (x >> 3) % 13;
+            let pid = (x >> 9) % 5;
+            let oid = (x >> 16) % 11;
+            facts.push((format!("s{sid}"), format!("p{pid}"), format!("o{oid}")));
+        }
+        for (a, b, c) in &facts {
+            s.insert_terms(
+                &Term::iri(a.clone()),
+                &Term::iri(b.clone()),
+                &Term::iri(c.clone()),
+            );
+        }
+        let all: Vec<Triple> = s.iter().collect();
+        assert_eq!(all.len(), s.len());
+
+        let ids: Vec<Option<TermId>> = (0..14)
+            .map(|i| s.dict().lookup_iri(&format!("s{i}")))
+            .collect();
+        let pids: Vec<Option<TermId>> = (0..6)
+            .map(|i| s.dict().lookup_iri(&format!("p{i}")))
+            .collect();
+        let oids: Vec<Option<TermId>> = (0..12)
+            .map(|i| s.dict().lookup_iri(&format!("o{i}")))
+            .collect();
+        for &sid in ids.iter().chain([None].iter()) {
+            for &pid in pids.iter().chain([None].iter()) {
+                for &oid in oids.iter().chain([None].iter()) {
+                    let pat = TriplePattern {
+                        s: sid,
+                        p: pid,
+                        o: oid,
+                    };
+                    let brute = all.iter().filter(|t| pat.matches(t)).count();
+                    assert_eq!(s.count_pattern(pat), brute, "pattern {pat:?}");
+                }
+            }
+        }
+    }
+
+    /// Insert-buffer merge around duplicates and removed triples: the
+    /// store must agree with a BTreeSet model under a mixed op sequence
+    /// that repeatedly crosses the merge threshold.
+    #[test]
+    fn buffer_merge_agrees_with_set_model() {
+        let mut s = TripleStore::new();
+        s.set_merge_threshold(4);
+        let mut model: BTreeSet<(u32, u32, u32)> = BTreeSet::new();
+        let mut x: u32 = 99;
+        for step in 0..600 {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            let sid = s.intern(&Term::iri(format!("s{}", (x >> 3) % 9)));
+            let pid = s.intern(&Term::iri(format!("p{}", (x >> 9) % 4)));
+            let oid = s.intern(&Term::iri(format!("o{}", (x >> 16) % 9)));
+            if step % 5 == 4 {
+                let was = s.remove(sid, pid, oid);
+                assert_eq!(was, model.remove(&(sid.0, pid.0, oid.0)), "step {step}");
+            } else {
+                let fresh = s.insert(sid, pid, oid);
+                assert_eq!(fresh, model.insert((sid.0, pid.0, oid.0)), "step {step}");
+            }
+            assert_eq!(s.len(), model.len(), "step {step}");
+        }
+        let scanned: BTreeSet<(u32, u32, u32)> = s.iter().map(|t| (t.s.0, t.p.0, t.o.0)).collect();
+        assert_eq!(scanned, model);
+        // Spot-check pattern counts after the churn.
+        for p in s.predicates() {
+            let brute = model.iter().filter(|&&(_, kp, _)| kp == p.0).count();
+            assert_eq!(s.count_pattern(TriplePattern::with_p(p)), brute);
+        }
+        s.flush();
+        let scanned: BTreeSet<(u32, u32, u32)> = s.iter().map(|t| (t.s.0, t.p.0, t.o.0)).collect();
+        assert_eq!(scanned, model);
+    }
+
+    #[test]
+    fn scan_is_sorted_in_permutation_order_across_runs() {
+        let mut s = TripleStore::new();
+        s.set_merge_threshold(3);
+        for i in [5u32, 1, 9, 3, 7, 2, 8] {
+            s.insert_terms(
+                &Term::iri(format!("s{i}")),
+                &Term::iri("p"),
+                &Term::iri(format!("o{i}")),
+            );
+        }
+        let keys: Vec<(u32, u32, u32)> = s.iter().map(|t| (t.s.0, t.p.0, t.o.0)).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "SPO order: {keys:?}");
     }
 
     #[test]
@@ -346,16 +691,49 @@ mod tests {
         assert!(!s.contains(b, p, a));
     }
 
+    /// Regression guard for the old `prefix_range` successor arithmetic:
+    /// a dictionary larger than `u16::MAX` terms probed at its maximum
+    /// assigned id, and raw probes at `u32::MAX`, must neither panic nor
+    /// miss triples.
     #[test]
-    fn prefix_range_handles_max_ids() {
-        // Regression guard for overflow at u32::MAX boundaries.
-        let (lo, hi) = prefix_range(u32::MAX, None);
-        assert_eq!(lo, Bound::Included((u32::MAX, 0, 0)));
-        assert_eq!(hi, Bound::Unbounded);
-        let (_, hi) = prefix_range(u32::MAX, Some(u32::MAX));
-        assert_eq!(hi, Bound::Unbounded);
-        let (_, hi) = prefix_range(3, Some(u32::MAX));
-        assert_eq!(hi, Bound::Excluded((4, 0, 0)));
+    fn prefix_bounds_handle_max_ids() {
+        let mut s = TripleStore::new();
+        // Intern more than u16::MAX terms so ids outgrow 16 bits.
+        let n = u32::from(u16::MAX) + 5;
+        for i in 0..n {
+            s.dict_mut().intern(&Term::iri(format!("filler{i}")));
+        }
+        let p = s.intern(&Term::iri("p"));
+        let max_s = s.intern(&Term::iri("subject-with-max-id"));
+        assert!(max_s.0 > u32::from(u16::MAX));
+        let o = s.intern(&Term::iri("object"));
+        s.insert(max_s, p, o);
+
+        // The highest assigned ids appear in every position.
+        assert_eq!(s.count_pattern(TriplePattern::with_s(max_s)), 1);
+        assert_eq!(s.count_pattern(TriplePattern::with_sp(max_s, p)), 1);
+        assert_eq!(s.count_pattern(TriplePattern::with_so(max_s, o)), 1);
+        assert_eq!(s.count_pattern(TriplePattern::exact(max_s, p, o)), 1);
+        assert_eq!(s.scan(TriplePattern::with_s(max_s)).count(), 1);
+
+        // Saturated raw ids (foreign to the dictionary) are safe probes.
+        let max = TermId(u32::MAX);
+        assert_eq!(s.count_pattern(TriplePattern::with_s(max)), 0);
+        assert_eq!(s.count_pattern(TriplePattern::with_sp(max, max)), 0);
+        assert_eq!(s.count_pattern(TriplePattern::exact(max, max, max)), 0);
+        assert_eq!(s.scan(TriplePattern::with_o(max)).count(), 0);
+        assert!(!s.contains(max, max, max));
+    }
+
+    #[test]
+    fn flush_is_idempotent_and_preserves_content() {
+        let mut s = store_with(&[("a", "p", "b"), ("b", "p", "c")]);
+        let before: Vec<Triple> = s.iter().collect();
+        s.flush();
+        s.flush();
+        let after: Vec<Triple> = s.iter().collect();
+        assert_eq!(before, after);
+        assert_eq!(s.len(), 2);
     }
 
     #[test]

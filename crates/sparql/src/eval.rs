@@ -3,7 +3,7 @@
 use crate::ast::{Builtin, Projection, Query, SelectQuery};
 use crate::error::SparqlError;
 use crate::parser::parse_query;
-use crate::plan::{GroupPlan, PExpr, Slot};
+use crate::plan::{GroupPlan, PExpr, PlanOptions, Slot};
 use crate::solution::ResultSet;
 use crate::value::Value;
 use sofya_rdf::{Term, TermId, TriplePattern, TripleStore};
@@ -19,10 +19,27 @@ pub enum QueryOutcome {
 
 /// Parses and executes any supported query.
 pub fn execute_query(store: &TripleStore, query: &str) -> Result<QueryOutcome, SparqlError> {
+    execute_with_options(store, query, PlanOptions::default())
+}
+
+/// Parses and executes any supported query with explicit [`PlanOptions`]
+/// (statistics-driven join ordering, or written-order evaluation).
+pub fn execute_with_options(
+    store: &TripleStore,
+    query: &str,
+    opts: PlanOptions<'_>,
+) -> Result<QueryOutcome, SparqlError> {
     match parse_query(query)? {
-        Query::Select(select) => Ok(QueryOutcome::Solutions(execute_select(store, &select)?)),
+        Query::Select(select) => Ok(QueryOutcome::Solutions(execute_select_with(
+            store, &select, opts,
+        )?)),
         Query::Ask(pattern) => {
-            let plan = GroupPlan::build(store, &pattern, &[]);
+            let plan = GroupPlan::build_with(store, &pattern, &[], opts);
+            // A bare pattern set resolves through the flat indexes without
+            // running the join at all: non-emptiness of the prefix range.
+            if let Some(n) = exact_pattern_count(store, &plan) {
+                return Ok(QueryOutcome::Boolean(n > 0));
+            }
             Ok(QueryOutcome::Boolean(any_solution(store, &plan, None)?))
         }
     }
@@ -44,9 +61,100 @@ pub fn execute_ask(store: &TripleStore, query: &str) -> Result<bool, SparqlError
     }
 }
 
+/// The exact row count of `plan`, when it can be read straight off the
+/// store's indexes: no filters or sub-groups, and at most one triple
+/// pattern whose variables are all distinct. `None` when the plan needs
+/// the full join machinery. The empty pattern set contributes the single
+/// empty solution μ0.
+fn exact_pattern_count(store: &TripleStore, plan: &GroupPlan) -> Option<usize> {
+    if plan.has_subgroups() || plan.filters_at.iter().any(|f| !f.is_empty()) {
+        return None;
+    }
+    match plan.patterns.len() {
+        0 => Some(1),
+        1 => {
+            let p = &plan.patterns[0];
+            if p.is_unsatisfiable() {
+                return Some(0);
+            }
+            // Repeated variables (`?x <p> ?x`) constrain matches beyond the
+            // prefix range; fall back to the join.
+            let mut vars: Vec<usize> = Vec::with_capacity(3);
+            let mut consts: [Option<TermId>; 3] = [None; 3];
+            for (slot, c) in [p.s, p.p, p.o].into_iter().zip(consts.iter_mut()) {
+                match slot {
+                    Slot::Var(i) => {
+                        if vars.contains(&i) {
+                            return None;
+                        }
+                        vars.push(i);
+                    }
+                    Slot::Const(id) => *c = id,
+                }
+            }
+            Some(store.count_pattern(TriplePattern {
+                s: consts[0],
+                p: consts[1],
+                o: consts[2],
+            }))
+        }
+        _ => None,
+    }
+}
+
 /// Executes a parsed `SELECT` query.
 pub fn execute_select(store: &TripleStore, query: &SelectQuery) -> Result<ResultSet, SparqlError> {
-    let plan = GroupPlan::build(store, &query.pattern, &[]);
+    execute_select_with(store, query, PlanOptions::default())
+}
+
+/// The single-row result of an aggregate projection, with the query's
+/// solution modifiers applied: `OFFSET ≥ 1` or `LIMIT 0` drop the row.
+fn aggregate_row(query: &SelectQuery, alias: &str, count: usize) -> ResultSet {
+    let survives = query.offset.unwrap_or(0) == 0 && query.limit.unwrap_or(usize::MAX) >= 1;
+    let rows = if survives {
+        vec![vec![Some(Term::integer(count as i64))]]
+    } else {
+        Vec::new()
+    };
+    ResultSet::new(vec![alias.to_owned()], rows)
+}
+
+/// Executes a parsed `SELECT` query with explicit [`PlanOptions`].
+pub fn execute_select_with(
+    store: &TripleStore,
+    query: &SelectQuery,
+    opts: PlanOptions<'_>,
+) -> Result<ResultSet, SparqlError> {
+    let plan = GroupPlan::build_with(store, &query.pattern, &[], opts);
+
+    // COUNT over a bare pattern short-circuits through the index bounds:
+    // no join, no binding materialisation.
+    if let Projection::Count {
+        var,
+        distinct: false,
+        alias,
+    } = &query.projection
+    {
+        let var_always_bound = match var {
+            None => true,
+            Some(v) => plan
+                .var_names
+                .iter()
+                .position(|name| name == v)
+                .is_some_and(|idx| {
+                    plan.patterns.iter().any(|p| {
+                        [p.s, p.p, p.o]
+                            .iter()
+                            .any(|slot| matches!(slot, Slot::Var(i) if *i == idx))
+                    })
+                }),
+        };
+        if var_always_bound {
+            if let Some(n) = exact_pattern_count(store, &plan) {
+                return Ok(aggregate_row(query, alias, n));
+            }
+        }
+    }
 
     // Early-stop hint: when no DISTINCT / ORDER BY / aggregation /
     // subgroup is in play, we only ever need offset+limit raw rows.
@@ -89,13 +197,12 @@ pub fn execute_select(store: &TripleStore, query: &SelectQuery) -> Result<Result
                 }
             }
         };
-        return Ok(ResultSet::new(
-            vec![alias.clone()],
-            vec![vec![Some(Term::integer(count as i64))]],
-        ));
+        return Ok(aggregate_row(query, alias, count));
     }
 
-    // Projection.
+    // Projection stays at the interned-id level for deduplication,
+    // ordering, and pagination; terms are resolved (and cloned) only for
+    // the rows that actually survive OFFSET/LIMIT.
     let projected_vars: Vec<String> = match &query.projection {
         Projection::Star => plan.var_names.clone(),
         Projection::Vars(vars) => vars.clone(),
@@ -106,28 +213,16 @@ pub fn execute_select(store: &TripleStore, query: &SelectQuery) -> Result<Result
         .map(|v| plan.var_names.iter().position(|name| name == v))
         .collect();
 
-    let mut rows: Vec<Vec<Option<Term>>> = bindings
+    let mut id_rows: Vec<Vec<Option<TermId>>> = bindings
         .iter()
-        .map(|b| {
-            col_indices
-                .iter()
-                .map(|ci| {
-                    ci.and_then(|i| b[i])
-                        .map(|id| store.dict().resolve(id).clone())
-                })
-                .collect()
-        })
+        .map(|b| col_indices.iter().map(|ci| ci.and_then(|i| b[i])).collect())
         .collect();
 
     if query.distinct {
+        // The dictionary is injective (one id per distinct term), so id
+        // equality is term equality — no string keys needed.
         let mut seen = std::collections::BTreeSet::new();
-        rows.retain(|row| {
-            let key: Vec<String> = row
-                .iter()
-                .map(|c| c.as_ref().map(|t| t.to_string()).unwrap_or_default())
-                .collect();
-            seen.insert(key)
-        });
+        id_rows.retain(|row| seen.insert(row.clone()));
     }
 
     if !query.order_by.is_empty() {
@@ -141,9 +236,10 @@ pub fn execute_select(store: &TripleStore, query: &SelectQuery) -> Result<Result
                     .map(|i| (i, k.descending))
             })
             .collect();
-        rows.sort_by(|a, b| {
+        let term_of = |cell: Option<TermId>| cell.map(|id| store.dict().resolve(id));
+        id_rows.sort_by(|a, b| {
             for &(i, desc) in &key_indices {
-                let ord = a[i].cmp(&b[i]);
+                let ord = term_of(a[i]).cmp(&term_of(b[i]));
                 let ord = if desc { ord.reverse() } else { ord };
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
@@ -154,10 +250,15 @@ pub fn execute_select(store: &TripleStore, query: &SelectQuery) -> Result<Result
     }
 
     let offset = query.offset.unwrap_or(0);
-    let rows: Vec<_> = rows
+    let rows: Vec<Vec<Option<Term>>> = id_rows
         .into_iter()
         .skip(offset)
         .take(query.limit.unwrap_or(usize::MAX))
+        .map(|row| {
+            row.into_iter()
+                .map(|cell| cell.map(|id| store.dict().resolve(id).clone()))
+                .collect()
+        })
         .collect();
 
     Ok(ResultSet::new(projected_vars, rows))
@@ -286,10 +387,10 @@ fn collect_solutions(
         o: resolve(pattern.o, binding),
     };
 
-    // Collect candidate triples eagerly per level: the binding vector is
-    // mutated inside the loop, and the scan borrow must end first.
-    let matches: Vec<_> = store.scan(scan_pattern).collect();
-    for triple in matches {
+    // Zero-allocation: the scan is a borrowed slice walk over the store's
+    // flat indexes (it borrows only `store`, so mutating the binding
+    // vector and recursing are both fine inside the loop).
+    for triple in store.scan_range(scan_pattern) {
         let mut touched: [Option<usize>; 3] = [None; 3];
         if !bind_slot(pattern.s, triple.s, binding, &mut touched[0])
             || !bind_slot(pattern.p, triple.p, binding, &mut touched[1])
@@ -665,6 +766,41 @@ mod tests {
         let s = demo_store();
         let rs = execute(&s, "SELECT (COUNT(DISTINCT ?y) AS ?n) { ?x <r:bornIn> ?y }").unwrap();
         assert_eq!(rs.single_integer(), Some(2));
+    }
+
+    #[test]
+    fn count_respects_limit_and_offset_modifiers() {
+        let s = demo_store();
+        // Index-shortcut path (single pattern, no filters).
+        let rs = execute(&s, "SELECT (COUNT(*) AS ?n) { ?x <r:bornIn> ?y } LIMIT 0").unwrap();
+        assert!(rs.is_empty());
+        let rs = execute(&s, "SELECT (COUNT(*) AS ?n) { ?x <r:bornIn> ?y } OFFSET 1").unwrap();
+        assert!(rs.is_empty());
+        let rs = execute(&s, "SELECT (COUNT(*) AS ?n) { ?x <r:bornIn> ?y } LIMIT 1").unwrap();
+        assert_eq!(rs.single_integer(), Some(3));
+        // Fallback path (join required: two patterns).
+        let rs = execute(
+            &s,
+            "SELECT (COUNT(*) AS ?n) { ?x <r:bornIn> ?y . ?x <r:livesIn> ?z } LIMIT 0",
+        )
+        .unwrap();
+        assert!(rs.is_empty());
+        let rs = execute(
+            &s,
+            "SELECT (COUNT(*) AS ?n) { ?x <r:bornIn> ?y . ?x <r:livesIn> ?z } OFFSET 2",
+        )
+        .unwrap();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn count_of_var_uses_index_when_var_is_in_pattern() {
+        let s = demo_store();
+        let rs = execute(&s, "SELECT (COUNT(?x) AS ?n) { ?x <r:bornIn> ?y }").unwrap();
+        assert_eq!(rs.single_integer(), Some(3));
+        // A variable the pattern never binds counts zero rows (fallback).
+        let rs = execute(&s, "SELECT (COUNT(?ghost) AS ?n) { ?x <r:bornIn> ?y }");
+        assert!(rs.is_err() || rs.unwrap().single_integer() == Some(0));
     }
 
     #[test]

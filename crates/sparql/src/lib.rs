@@ -48,7 +48,10 @@ pub mod value;
 
 pub use ast::{Expr, NodePattern, Projection, Query, SelectQuery, TriplePatternAst};
 pub use error::SparqlError;
-pub use eval::{execute, execute_ask, execute_query, QueryOutcome};
+pub use eval::{
+    execute, execute_ask, execute_query, execute_select_with, execute_with_options, QueryOutcome,
+};
 pub use parser::parse_query;
+pub use plan::PlanOptions;
 pub use solution::ResultSet;
 pub use unparse::unparse;

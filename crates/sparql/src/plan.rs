@@ -8,7 +8,24 @@
 //! nested-loop join.
 
 use crate::ast::{Builtin, CompareOp, Expr, GroupGraphPattern, NodePattern};
-use sofya_rdf::{Term, TermId, TripleStore};
+use sofya_rdf::{StoreStats, Term, TermId, TriplePattern, TripleStore};
+
+/// Planner knobs.
+///
+/// The default plans with greedy selectivity-driven join reordering and
+/// no precomputed statistics (the planner then falls back to exact
+/// [`TripleStore::count_pattern`] prefix counts alone, which are computed
+/// per candidate in O(log n)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanOptions<'a> {
+    /// Keep the written pattern order (disables reordering; used by the
+    /// planner-differential tests and as an escape hatch).
+    pub preserve_order: bool,
+    /// Precomputed store statistics. When present, bound-variable
+    /// positions are discounted by per-predicate distinct-value counts
+    /// instead of a square-root fallback.
+    pub stats: Option<&'a StoreStats>,
+}
 
 /// One position of a planned pattern.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -132,6 +149,16 @@ impl GroupPlan {
     /// Plans `pattern` against `store`, with `outer_vars` naming variables
     /// inherited from an enclosing scope (empty for top-level queries).
     pub fn build(store: &TripleStore, pattern: &GroupGraphPattern, outer_vars: &[String]) -> Self {
+        Self::build_with(store, pattern, outer_vars, PlanOptions::default())
+    }
+
+    /// Plans `pattern` with explicit [`PlanOptions`].
+    pub fn build_with(
+        store: &TripleStore,
+        pattern: &GroupGraphPattern,
+        outer_vars: &[String],
+        opts: PlanOptions<'_>,
+    ) -> Self {
         // Pre-collect every variable of the group tree so the parent and
         // all union/optional sub-plans agree on one binding width.
         let mut var_names: Vec<String> = outer_vars.to_vec();
@@ -164,24 +191,34 @@ impl GroupPlan {
             })
             .collect();
 
-        // Greedy ordering: repeatedly pick the most selective pattern given
-        // the variables bound so far.
+        // Greedy ordering: repeatedly pick the pattern with the smallest
+        // estimated result cardinality given the variables bound so far.
         let outer_len = outer_vars.len();
         let mut bound: Vec<bool> = vec![false; var_names.len()];
         for b in bound.iter_mut().take(outer_len) {
             *b = true;
         }
         let mut ordered: Vec<PlannedPattern> = Vec::with_capacity(patterns.len());
+        if opts.preserve_order {
+            for p in &patterns {
+                for slot in p.slots() {
+                    if let Slot::Var(v) = slot {
+                        bound[v] = true;
+                    }
+                }
+            }
+            ordered.append(&mut patterns);
+        }
         while !patterns.is_empty() {
             // Stable tie-break: the first pattern among equals wins, so plans
-            // are deterministic and follow query order when scores tie.
+            // are deterministic and follow query order when estimates tie.
             let mut best_idx = 0;
-            let mut best_score = selectivity_score(&patterns[0], &bound);
+            let mut best_cost = estimated_cardinality(store, opts.stats, &patterns[0], &bound);
             for (i, p) in patterns.iter().enumerate().skip(1) {
-                let score = selectivity_score(p, &bound);
-                if score > best_score {
+                let cost = estimated_cardinality(store, opts.stats, p, &bound);
+                if cost < best_cost {
                     best_idx = i;
-                    best_score = score;
+                    best_cost = cost;
                 }
             }
             let chosen = patterns.remove(best_idx);
@@ -204,7 +241,7 @@ impl GroupPlan {
         let mut filters_at: Vec<Vec<PExpr>> = vec![Vec::new(); levels + 1];
         let mut post_filters = Vec::new();
         for filter in &pattern.filters {
-            let compiled = compile_expr(filter, store, &var_names);
+            let compiled = compile_expr(filter, store, &var_names, opts);
             let mut used = Vec::new();
             compiled.max_outer_var(var_names.len(), &mut used);
             if used.iter().any(|&v| !bgp_bound[v]) {
@@ -223,14 +260,14 @@ impl GroupPlan {
             .map(|block| {
                 block
                     .iter()
-                    .map(|branch| GroupPlan::build(store, branch, &var_names))
+                    .map(|branch| GroupPlan::build_with(store, branch, &var_names, opts))
                     .collect()
             })
             .collect();
         let optionals: Vec<GroupPlan> = pattern
             .optionals
             .iter()
-            .map(|optional| GroupPlan::build(store, optional, &var_names))
+            .map(|optional| GroupPlan::build_with(store, optional, &var_names, opts))
             .collect();
 
         GroupPlan {
@@ -267,33 +304,83 @@ fn encode(
     }
 }
 
-/// Selectivity heuristic. Higher runs earlier.
+/// Estimated result cardinality of running `p` next. Lower runs earlier.
 ///
-/// * An unsatisfiable pattern wins outright: it empties the result at cost
-///   zero.
-/// * Otherwise count bound positions (constants and already-bound
-///   variables), weighing subject/object bindings slightly above predicate
-///   bindings — predicates partition the store far more coarsely than
-///   entities do.
-fn selectivity_score(p: &PlannedPattern, bound: &[bool]) -> i32 {
+/// The estimate starts from the *exact* prefix count of the pattern's
+/// constant positions (an O(log n) binary-search pair on the store's flat
+/// indexes — [`TripleStore::count_pattern`]); an unsatisfiable pattern is
+/// free (it empties the result immediately). Each position held by an
+/// already-bound variable narrows the scan further at runtime, so the
+/// count is discounted by the number of distinct values that position can
+/// take: per-predicate distinct subject/object counts when statistics are
+/// available and the predicate is constant, store-level distincts for a
+/// variable predicate, and a square-root damping when no statistics exist.
+/// A pattern sharing no variable with the rows produced so far is a
+/// Cartesian product; its estimate is penalised so connected patterns win
+/// unless the disconnected one is vastly smaller.
+fn estimated_cardinality(
+    store: &TripleStore,
+    stats: Option<&StoreStats>,
+    p: &PlannedPattern,
+    bound: &[bool],
+) -> f64 {
     if p.is_unsatisfiable() {
-        return i32::MAX;
+        return 0.0;
     }
-    let slot_bound = |s: Slot| match s {
-        Slot::Const(_) => true,
-        Slot::Var(i) => bound[i],
+    let const_of = |s: Slot| match s {
+        Slot::Const(id) => id,
+        Slot::Var(_) => None,
     };
-    let mut score = 0;
-    if slot_bound(p.s) {
-        score += 3;
+    let tp = TriplePattern {
+        s: const_of(p.s),
+        p: const_of(p.p),
+        o: const_of(p.o),
+    };
+    let mut card = store.count_pattern(tp) as f64;
+
+    let bound_var = |s: Slot| matches!(s, Slot::Var(i) if bound[i]);
+    let pred_stats = tp.p.and_then(|pid| stats.map(|st| st.get(pid)));
+    let discount = |card: f64, distinct: Option<usize>| -> f64 {
+        match distinct {
+            Some(d) => card / (d.max(1) as f64),
+            // No statistics: damp by sqrt, i.e. assume a bound variable
+            // keeps roughly the square root of the matching triples.
+            None => card.sqrt(),
+        }
+    };
+    let mut card_after = card;
+    if bound_var(p.s) {
+        let d = match pred_stats {
+            Some(ps) => ps.map(|ps| ps.distinct_subjects).or(Some(1)),
+            None => stats.map(|st| st.distinct_subjects()),
+        };
+        card_after = discount(card_after, d);
     }
-    if slot_bound(p.p) {
-        score += 2;
+    if bound_var(p.o) {
+        let d = match pred_stats {
+            Some(ps) => ps.map(|ps| ps.distinct_objects).or(Some(1)),
+            None => stats.map(|st| st.distinct_objects()),
+        };
+        card_after = discount(card_after, d);
     }
-    if slot_bound(p.o) {
-        score += 3;
+    if bound_var(p.p) {
+        let d = stats.map(StoreStats::predicate_count);
+        card_after = discount(card_after, d);
     }
-    score
+    card = card_after.max(f64::MIN_POSITIVE);
+
+    // Cartesian-product penalty: joining a pattern that shares no bound
+    // variable multiplies the intermediate result instead of narrowing it.
+    let any_bound = bound.iter().any(|b| *b);
+    let has_var = p.slots().iter().any(|s| matches!(s, Slot::Var(_)));
+    let shares = p
+        .slots()
+        .iter()
+        .any(|s| matches!(s, Slot::Var(i) if bound[*i]));
+    if any_bound && has_var && !shares {
+        card *= 1e6;
+    }
+    card
 }
 
 /// Earliest pattern level at which every index in `used` is bound.
@@ -315,7 +402,12 @@ fn earliest_level(used: &[usize], outer_len: usize, ordered: &[PlannedPattern]) 
     ordered.len()
 }
 
-fn compile_expr(expr: &Expr, store: &TripleStore, var_names: &[String]) -> PExpr {
+fn compile_expr(
+    expr: &Expr,
+    store: &TripleStore,
+    var_names: &[String],
+    opts: PlanOptions<'_>,
+) -> PExpr {
     match expr {
         Expr::Var(name) => {
             // A filter variable not bound anywhere in the pattern is
@@ -330,26 +422,26 @@ fn compile_expr(expr: &Expr, store: &TripleStore, var_names: &[String]) -> PExpr
         Expr::Const(t) => PExpr::Const(t.clone()),
         Expr::Compare(op, a, b) => PExpr::Compare(
             *op,
-            Box::new(compile_expr(a, store, var_names)),
-            Box::new(compile_expr(b, store, var_names)),
+            Box::new(compile_expr(a, store, var_names, opts)),
+            Box::new(compile_expr(b, store, var_names, opts)),
         ),
         Expr::And(a, b) => PExpr::And(
-            Box::new(compile_expr(a, store, var_names)),
-            Box::new(compile_expr(b, store, var_names)),
+            Box::new(compile_expr(a, store, var_names, opts)),
+            Box::new(compile_expr(b, store, var_names, opts)),
         ),
         Expr::Or(a, b) => PExpr::Or(
-            Box::new(compile_expr(a, store, var_names)),
-            Box::new(compile_expr(b, store, var_names)),
+            Box::new(compile_expr(a, store, var_names, opts)),
+            Box::new(compile_expr(b, store, var_names, opts)),
         ),
-        Expr::Not(inner) => PExpr::Not(Box::new(compile_expr(inner, store, var_names))),
+        Expr::Not(inner) => PExpr::Not(Box::new(compile_expr(inner, store, var_names, opts))),
         Expr::Call(builtin, args) => PExpr::Call(
             *builtin,
             args.iter()
-                .map(|a| compile_expr(a, store, var_names))
+                .map(|a| compile_expr(a, store, var_names, opts))
                 .collect(),
         ),
         Expr::Exists { pattern, negated } => {
-            let plan = GroupPlan::build(store, pattern, var_names);
+            let plan = GroupPlan::build_with(store, pattern, var_names, opts);
             PExpr::Exists {
                 plan: Box::new(plan),
                 negated: *negated,

@@ -1,4 +1,11 @@
 //! Query solutions: the tabular results a SELECT query produces.
+//!
+//! Rows hold owned [`Term`]s, but the evaluator keeps solutions at the
+//! interned-id level through DISTINCT / ORDER BY / OFFSET / LIMIT and only
+//! materialises the rows that survive pagination, so a `ResultSet` never
+//! carries more `String` clones than its final size. Consumers that want
+//! the terms themselves should use [`ResultSet::into_parts`] instead of
+//! cloning out of [`ResultSet::rows`].
 
 use sofya_rdf::Term;
 
@@ -36,6 +43,12 @@ impl ResultSet {
     /// The raw rows.
     pub fn rows(&self) -> &[Vec<Option<Term>>] {
         &self.rows
+    }
+
+    /// Consumes the result set into `(vars, rows)`, letting callers move
+    /// the terms out instead of cloning them.
+    pub fn into_parts(self) -> (Vec<String>, Vec<Vec<Option<Term>>>) {
+        (self.vars, self.rows)
     }
 
     /// Iterates over rows.
