@@ -18,7 +18,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use sofya_core::{Aligner, AlignerConfig};
+use sofya_core::{Aligner, AlignerConfig, AlignmentSession};
 use sofya_endpoint::LocalEndpoint;
 use sofya_kbgen::{generate, GeneratedPair, PairConfig, StructureCounts};
 use sofya_rdf::{Term, TriplePattern, TripleStore};
@@ -123,7 +123,8 @@ fn store_cases(suite: &mut Suite, tag: &str, small: bool, pair: &GeneratedPair) 
     let (big_rel, _) = biggest_relation(pair);
     let big_id = store.dict().lookup_iri(&big_rel).unwrap();
 
-    // Bulk load: re-insert every triple of kb2 into a fresh store.
+    // Bulk load: re-ingest every triple of kb2 into a fresh store through
+    // the batch API (one sort + dedup + merge per index).
     let triples: Vec<(Term, Term, Term)> = store
         .iter()
         .map(|t| {
@@ -133,9 +134,7 @@ fn store_cases(suite: &mut Suite, tag: &str, small: bool, pair: &GeneratedPair) 
         .collect();
     suite.run(&format!("store/bulk_load_{tag}"), small, || {
         let mut fresh = TripleStore::new();
-        for (s, p, o) in &triples {
-            fresh.insert_terms(s, p, o);
-        }
+        fresh.load_batch_terms(triples.iter().map(|(s, p, o)| (s, p, o)));
         fresh.len() as u64
     });
 
@@ -221,14 +220,35 @@ fn sparql_cases(suite: &mut Suite, tag: &str, small: bool, pair: &GeneratedPair)
     });
 }
 
-fn alignment_cases(suite: &mut Suite, pair: &GeneratedPair) {
+fn alignment_cases(suite: &mut Suite, tag: &str, small: bool, pair: &GeneratedPair) {
     let source = LocalEndpoint::new("kb2", pair.kb2.clone());
     let target = LocalEndpoint::new("kb1", pair.kb1.clone());
     let config = AlignerConfig::paper_defaults(SEED);
     let relation = pair.kb1_relations[0].clone();
-    suite.run("align/align_relation_small", true, || {
+    suite.run(&format!("align/align_relation_{tag}"), small, || {
         let aligner = Aligner::new(&source, &target, config.clone());
         aligner.align_relation(&relation).unwrap().len() as u64
+    });
+}
+
+/// End-to-end alignment session: a fresh [`AlignmentSession`] aligns a
+/// handful of relations, then re-reads each through the session cache —
+/// the paper's query-time contract (first query pays, later ones reuse).
+fn session_case(suite: &mut Suite, pair: &GeneratedPair) {
+    let source = LocalEndpoint::new("kb2", pair.kb2.clone());
+    let target = LocalEndpoint::new("kb1", pair.kb1.clone());
+    let config = AlignerConfig::paper_defaults(SEED);
+    let relations: Vec<String> = pair.kb1_relations.iter().take(4).cloned().collect();
+    suite.run("align/session_small", true, || {
+        let session = AlignmentSession::new(&source, &target, config.clone());
+        let mut n = 0u64;
+        for relation in &relations {
+            n += session.rules_for(relation).unwrap().len() as u64;
+        }
+        for relation in &relations {
+            n += session.rules_for(relation).unwrap().len() as u64;
+        }
+        n
     });
 }
 
@@ -318,10 +338,12 @@ fn main() {
     eprintln!("running cases…");
     store_cases(&mut suite, "small", true, &small_pair);
     sparql_cases(&mut suite, "small", true, &small_pair);
-    alignment_cases(&mut suite, &small_pair);
+    alignment_cases(&mut suite, "small", true, &small_pair);
+    session_case(&mut suite, &small_pair);
     if let Some(big) = &big_pair {
         store_cases(&mut suite, "100k", false, big);
         sparql_cases(&mut suite, "100k", false, big);
+        alignment_cases(&mut suite, "100k", false, big);
     }
 
     let existing = std::fs::read_to_string(&out_path).unwrap_or_default();
@@ -360,12 +382,39 @@ fn main() {
 
     let baselines = parse_cases(&existing, "baseline_ns");
     let big_triples = big_pair.as_ref().map(|p| p.kb2.len()).unwrap_or(0);
+    // Cases not re-run this time (e.g. the 100k suite under --small) keep
+    // their committed medians, so a partial run never erases trajectory.
+    let mut all_cases = suite.cases.clone();
+    for (name, median) in parse_cases(&existing, "median_ns") {
+        if !all_cases.iter().any(|(n, _)| n == &name) {
+            all_cases.push((name, median));
+        }
+    }
     write_json(
         &out_path,
         big_triples,
         small_pair.kb2.len(),
-        &suite.cases,
+        &all_cases,
         &baselines,
     );
+    // Geomean of per-case speedups vs the carried-forward baselines — the
+    // one-line trajectory summary for a run. First-appearance cases have
+    // no baseline yet (their speedup is 1.0 by construction) and would
+    // only dilute the metric, so they are skipped.
+    let mut log_sum = 0.0f64;
+    let mut counted = 0usize;
+    for (name, median) in &suite.cases {
+        let Some(&baseline) = baselines.get(name) else {
+            continue;
+        };
+        log_sum += (baseline as f64 / (*median).max(1) as f64).ln();
+        counted += 1;
+    }
+    if counted > 0 {
+        eprintln!(
+            "geomean speedup vs baseline: {:.2}x over {counted} cases",
+            (log_sum / counted as f64).exp()
+        );
+    }
     eprintln!("wrote {out_path}");
 }

@@ -77,29 +77,27 @@ pub fn entity_evidence(
         pairs: Vec::new(),
         subjects: subject_order.len(),
     };
+    // One `objects_of` SELECT per translated subject answers both PCA
+    // questions at once: an empty object set means K knows no r-fact of
+    // x₂ (the pair is *unknown*), and membership of y₂ decides
+    // positive vs counter-example — where the previous per-pair probing
+    // paid one ASK per pair on top of one existence ASK per subject.
+    let mut objects_cache: BTreeMap<&str, Vec<sofya_rdf::Term>> = BTreeMap::new();
     for subject in &subject_order {
-        let pairs = &by_subject[subject];
-        // One existence probe per subject: does K know any r-fact of x₂?
-        // (All pairs of one subject share the same translated x₂ because
-        // the page query binds one sameAs image per row; distinct images
-        // are handled per row below.)
-        let mut known_cache: BTreeMap<&str, bool> = BTreeMap::new();
-        for (x2, y2) in pairs {
-            let known = match known_cache.get(x2.as_str()) {
-                Some(&k) => k,
+        for (x2, y2) in &by_subject[subject] {
+            let objects = match objects_cache.get(x2.as_str()) {
+                Some(objects) => objects,
                 None => {
-                    let k = helpers::has_any_fact(target, x2, conclusion)?;
-                    known_cache.insert(x2, k);
-                    k
+                    let objects = helpers::objects_of(target, x2, conclusion)?;
+                    objects_cache.entry(x2).or_insert(objects)
                 }
             };
-            if !known {
-                evidence.pairs.push(PairEvidence::unknown());
-                continue;
-            }
-            let holds =
-                helpers::has_fact(target, x2, conclusion, &sofya_rdf::Term::iri(y2.clone()))?;
-            evidence.pairs.push(if holds {
+            // Any object (entity or literal) counts as "K knows r-facts
+            // of x₂" — the PCA denominator test, exactly as the previous
+            // `ASK { x₂ r ?y }` probe behaved.
+            evidence.pairs.push(if objects.is_empty() {
+                PairEvidence::unknown()
+            } else if objects.iter().any(|o| o.as_iri() == Some(y2.as_str())) {
                 PairEvidence::positive()
             } else {
                 PairEvidence::pca_negative()
@@ -152,10 +150,21 @@ pub fn literal_evidence(
         pairs: Vec::new(),
         subjects: subject_order.len(),
     };
+    // One `objects_of` SELECT per distinct translated subject; pairs of a
+    // multi-valued subject reuse the fetched literals.
+    let mut literals_cache: BTreeMap<&str, Vec<String>> = BTreeMap::new();
     for subject in &subject_order {
         for (x2, lex) in &by_subject[subject] {
-            let objects = helpers::objects_of(target, x2, conclusion)?;
-            let literals: Vec<&str> = objects.iter().filter_map(|o| o.as_literal()).collect();
+            let literals = match literals_cache.get(x2.as_str()) {
+                Some(literals) => literals,
+                None => {
+                    let literals = helpers::objects_of(target, x2, conclusion)?
+                        .iter()
+                        .filter_map(|o| o.as_literal().map(str::to_owned))
+                        .collect();
+                    literals_cache.entry(x2).or_insert(literals)
+                }
+            };
             if literals.is_empty() {
                 evidence.pairs.push(PairEvidence::unknown());
                 continue;

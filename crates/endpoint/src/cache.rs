@@ -141,6 +141,38 @@ impl<E: Endpoint> Endpoint for CachingEndpoint<E> {
         Ok(answer)
     }
 
+    fn select_prepared(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+    ) -> Result<ResultSet, EndpointError> {
+        // The rendered text is the cache key; on a miss the inner endpoint
+        // still gets the prepared fast path.
+        let query = prepared.render(args)?;
+        if let Some(hit) = self.lookup(&self.select_cache, &query) {
+            return Ok(hit);
+        }
+        let rs = self.inner.select_prepared(prepared, args)?;
+        self.select_cache
+            .lock()
+            .insert(query, (rs.clone(), self.now()));
+        Ok(rs)
+    }
+
+    fn ask_prepared(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+    ) -> Result<bool, EndpointError> {
+        let query = prepared.render(args)?;
+        if let Some(hit) = self.lookup(&self.ask_cache, &query) {
+            return Ok(hit);
+        }
+        let answer = self.inner.ask_prepared(prepared, args)?;
+        self.ask_cache.lock().insert(query, (answer, self.now()));
+        Ok(answer)
+    }
+
     fn name(&self) -> &str {
         self.inner.name()
     }

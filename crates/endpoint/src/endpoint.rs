@@ -1,18 +1,42 @@
 //! The endpoint trait.
 
 use crate::error::EndpointError;
-use sofya_sparql::ResultSet;
+use sofya_rdf::Term;
+use sofya_sparql::{Prepared, ResultSet};
 
 /// A SPARQL endpoint: the only way SOFYA touches a knowledge base.
 ///
 /// Implementations must be shareable across threads — the evaluation
 /// harness aligns many relations in parallel against the same endpoints.
+///
+/// The `*_prepared` methods take a parse-once [`Prepared`] template plus
+/// constant arguments. The default implementations render the bound query
+/// to text and go through [`Endpoint::select`] / [`Endpoint::ask`], so
+/// every wrapper (caching, quota, instrumentation, …) observes prepared
+/// traffic exactly like string traffic; in-process endpoints override them
+/// to execute the bound AST directly and skip parsing entirely.
 pub trait Endpoint: Send + Sync {
     /// Executes a `SELECT` query and returns its solutions.
     fn select(&self, query: &str) -> Result<ResultSet, EndpointError>;
 
     /// Executes an `ASK` query.
     fn ask(&self, query: &str) -> Result<bool, EndpointError>;
+
+    /// Executes a prepared `SELECT` with the given constant arguments.
+    fn select_prepared(
+        &self,
+        prepared: &Prepared,
+        args: &[Term],
+    ) -> Result<ResultSet, EndpointError> {
+        let query = prepared.render(args)?;
+        self.select(&query)
+    }
+
+    /// Executes a prepared `ASK` with the given constant arguments.
+    fn ask_prepared(&self, prepared: &Prepared, args: &[Term]) -> Result<bool, EndpointError> {
+        let query = prepared.render(args)?;
+        self.ask(&query)
+    }
 
     /// A short display name (e.g. `"yago"`, `"dbpedia"`), used in reports.
     fn name(&self) -> &str;
@@ -27,6 +51,18 @@ impl<E: Endpoint + ?Sized> Endpoint for std::sync::Arc<E> {
 
     fn ask(&self, query: &str) -> Result<bool, EndpointError> {
         (**self).ask(query)
+    }
+
+    fn select_prepared(
+        &self,
+        prepared: &Prepared,
+        args: &[Term],
+    ) -> Result<ResultSet, EndpointError> {
+        (**self).select_prepared(prepared, args)
+    }
+
+    fn ask_prepared(&self, prepared: &Prepared, args: &[Term]) -> Result<bool, EndpointError> {
+        (**self).ask_prepared(prepared, args)
     }
 
     fn name(&self) -> &str {

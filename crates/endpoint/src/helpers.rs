@@ -9,6 +9,19 @@ use crate::endpoint::Endpoint;
 use crate::error::EndpointError;
 use sofya_rdf::term::escape_literal;
 use sofya_rdf::Term;
+use sofya_sparql::Prepared;
+use std::sync::OnceLock;
+
+/// Lazily parses a static prepared template exactly once per process.
+/// The aligner's hot probes (per sampled pair / per discovered fact) go
+/// through these instead of `format!` + parse on every call.
+fn prepared(
+    cell: &'static OnceLock<Prepared>,
+    template: &'static str,
+    params: &'static [&'static str],
+) -> &'static Prepared {
+    cell.get_or_init(|| Prepared::new(template, params).expect("static template parses"))
+}
 
 /// Renders a term as a SPARQL constant.
 pub fn term_ref(term: &Term) -> String {
@@ -54,11 +67,9 @@ pub fn relation_fact_count<E: Endpoint + ?Sized>(
     ep: &E,
     relation: &str,
 ) -> Result<usize, EndpointError> {
-    let q = format!(
-        "SELECT (COUNT(*) AS ?n) WHERE {{ ?x {} ?y }}",
-        iri_ref(relation)
-    );
-    let rs = ep.select(&q)?;
+    static Q: OnceLock<Prepared> = OnceLock::new();
+    let q = prepared(&Q, "SELECT (COUNT(*) AS ?n) WHERE { ?x ?r ?y }", &["r"]);
+    let rs = ep.select_prepared(q, &[Term::iri(relation)])?;
     Ok(rs.single_integer().unwrap_or(0).max(0) as usize)
 }
 
@@ -155,12 +166,14 @@ pub fn linked_entity_fact_count<E: Endpoint + ?Sized>(
     relation: &str,
     same_as: &str,
 ) -> Result<usize, EndpointError> {
-    let q = format!(
-        "SELECT (COUNT(*) AS ?n) WHERE {{ ?x {r} ?y . ?x {sa} ?x2 . ?y {sa} ?y2 }}",
-        r = iri_ref(relation),
-        sa = iri_ref(same_as),
+    static Q: OnceLock<Prepared> = OnceLock::new();
+    let q = prepared(
+        &Q,
+        "SELECT (COUNT(*) AS ?n) WHERE { ?x ?r ?y . ?x ?sa ?x2 . ?y ?sa ?y2 }",
+        &["r", "sa"],
     );
-    Ok(ep.select(&q)?.single_integer().unwrap_or(0).max(0) as usize)
+    let rs = ep.select_prepared(q, &[Term::iri(relation), Term::iri(same_as)])?;
+    Ok(rs.single_integer().unwrap_or(0).max(0) as usize)
 }
 
 /// Count of subject-linked literal facts of `relation`.
@@ -169,12 +182,14 @@ pub fn linked_literal_fact_count<E: Endpoint + ?Sized>(
     relation: &str,
     same_as: &str,
 ) -> Result<usize, EndpointError> {
-    let q = format!(
-        "SELECT (COUNT(*) AS ?n) WHERE {{ ?x {r} ?v . ?x {sa} ?x2 . FILTER(ISLITERAL(?v)) }}",
-        r = iri_ref(relation),
-        sa = iri_ref(same_as),
+    static Q: OnceLock<Prepared> = OnceLock::new();
+    let q = prepared(
+        &Q,
+        "SELECT (COUNT(*) AS ?n) WHERE { ?x ?r ?v . ?x ?sa ?x2 . FILTER(ISLITERAL(?v)) }",
+        &["r", "sa"],
     );
-    Ok(ep.select(&q)?.single_integer().unwrap_or(0).max(0) as usize)
+    let rs = ep.select_prepared(q, &[Term::iri(relation), Term::iri(same_as)])?;
+    Ok(rs.single_integer().unwrap_or(0).max(0) as usize)
 }
 
 /// Distinct relations of an entity (in subject position).
@@ -182,11 +197,13 @@ pub fn relations_of_entity<E: Endpoint + ?Sized>(
     ep: &E,
     entity: &str,
 ) -> Result<Vec<String>, EndpointError> {
-    let q = format!(
-        "SELECT DISTINCT ?p WHERE {{ {} ?p ?o }} ORDER BY ?p",
-        iri_ref(entity)
+    static Q: OnceLock<Prepared> = OnceLock::new();
+    let q = prepared(
+        &Q,
+        "SELECT DISTINCT ?p WHERE { ?x ?p ?o } ORDER BY ?p",
+        &["x"],
     );
-    let rs = ep.select(&q)?;
+    let rs = ep.select_prepared(q, &[Term::iri(entity)])?;
     Ok(rs
         .column("p")
         .into_iter()
@@ -200,12 +217,13 @@ pub fn relations_between<E: Endpoint + ?Sized>(
     subject: &str,
     object: &str,
 ) -> Result<Vec<String>, EndpointError> {
-    let q = format!(
-        "SELECT DISTINCT ?p WHERE {{ {s} ?p {o} }} ORDER BY ?p",
-        s = iri_ref(subject),
-        o = iri_ref(object),
+    static Q: OnceLock<Prepared> = OnceLock::new();
+    let q = prepared(
+        &Q,
+        "SELECT DISTINCT ?p WHERE { ?s ?p ?o } ORDER BY ?p",
+        &["s", "o"],
     );
-    let rs = ep.select(&q)?;
+    let rs = ep.select_prepared(q, &[Term::iri(subject), Term::iri(object)])?;
     Ok(rs
         .column("p")
         .into_iter()
@@ -219,12 +237,9 @@ pub fn objects_of<E: Endpoint + ?Sized>(
     subject: &str,
     relation: &str,
 ) -> Result<Vec<Term>, EndpointError> {
-    let q = format!(
-        "SELECT ?y WHERE {{ {s} {r} ?y }} ORDER BY ?y",
-        s = iri_ref(subject),
-        r = iri_ref(relation),
-    );
-    let rs = ep.select(&q)?;
+    static Q: OnceLock<Prepared> = OnceLock::new();
+    let q = prepared(&Q, "SELECT ?y WHERE { ?s ?r ?y } ORDER BY ?y", &["s", "r"]);
+    let rs = ep.select_prepared(q, &[Term::iri(subject), Term::iri(relation)])?;
     Ok(rs.column("y").into_iter().cloned().collect())
 }
 
@@ -235,13 +250,12 @@ pub fn has_fact<E: Endpoint + ?Sized>(
     relation: &str,
     object: &Term,
 ) -> Result<bool, EndpointError> {
-    let q = format!(
-        "ASK {{ {s} {r} {o} }}",
-        s = iri_ref(subject),
-        r = iri_ref(relation),
-        o = term_ref(object),
-    );
-    ep.ask(&q)
+    static Q: OnceLock<Prepared> = OnceLock::new();
+    let q = prepared(&Q, "ASK { ?s ?r ?o }", &["s", "r", "o"]);
+    ep.ask_prepared(
+        q,
+        &[Term::iri(subject), Term::iri(relation), object.clone()],
+    )
 }
 
 /// Whether the subject has *any* `r` fact (the PCA's "knows r-attributes
@@ -251,12 +265,9 @@ pub fn has_any_fact<E: Endpoint + ?Sized>(
     subject: &str,
     relation: &str,
 ) -> Result<bool, EndpointError> {
-    let q = format!(
-        "ASK {{ {s} {r} ?y }}",
-        s = iri_ref(subject),
-        r = iri_ref(relation)
-    );
-    ep.ask(&q)
+    static Q: OnceLock<Prepared> = OnceLock::new();
+    let q = prepared(&Q, "ASK { ?s ?r ?y }", &["s", "r"]);
+    ep.ask_prepared(q, &[Term::iri(subject), Term::iri(relation)])
 }
 
 /// The `sameAs` images of an entity.
@@ -265,12 +276,13 @@ pub fn same_as_of<E: Endpoint + ?Sized>(
     entity: &str,
     same_as: &str,
 ) -> Result<Vec<String>, EndpointError> {
-    let q = format!(
-        "SELECT ?e WHERE {{ {x} {sa} ?e }} ORDER BY ?e",
-        x = iri_ref(entity),
-        sa = iri_ref(same_as),
+    static Q: OnceLock<Prepared> = OnceLock::new();
+    let q = prepared(
+        &Q,
+        "SELECT ?e WHERE { ?x ?sa ?e } ORDER BY ?e",
+        &["x", "sa"],
     );
-    let rs = ep.select(&q)?;
+    let rs = ep.select_prepared(q, &[Term::iri(entity), Term::iri(same_as)])?;
     Ok(rs
         .column("e")
         .into_iter()

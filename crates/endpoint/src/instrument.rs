@@ -97,6 +97,31 @@ impl<E: Endpoint> Endpoint for InstrumentedEndpoint<E> {
         self.inner.ask(query)
     }
 
+    fn select_prepared(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+    ) -> Result<ResultSet, EndpointError> {
+        self.counters.select_queries.fetch_add(1, Ordering::Relaxed);
+        let rs = self.inner.select_prepared(prepared, args)?;
+        self.counters
+            .rows_returned
+            .fetch_add(rs.len() as u64, Ordering::Relaxed);
+        self.counters
+            .cells_returned
+            .fetch_add(rs.cell_count() as u64, Ordering::Relaxed);
+        Ok(rs)
+    }
+
+    fn ask_prepared(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+    ) -> Result<bool, EndpointError> {
+        self.counters.ask_queries.fetch_add(1, Ordering::Relaxed);
+        self.inner.ask_prepared(prepared, args)
+    }
+
     fn name(&self) -> &str {
         self.inner.name()
     }

@@ -92,6 +92,26 @@ impl<E: Endpoint> Endpoint for LatencyEndpoint<E> {
         Ok(answer)
     }
 
+    fn select_prepared(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+    ) -> Result<ResultSet, EndpointError> {
+        let rs = self.inner.select_prepared(prepared, args)?;
+        self.charge(rs.len());
+        Ok(rs)
+    }
+
+    fn ask_prepared(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+    ) -> Result<bool, EndpointError> {
+        let answer = self.inner.ask_prepared(prepared, args)?;
+        self.charge(1);
+        Ok(answer)
+    }
+
     fn name(&self) -> &str {
         self.inner.name()
     }

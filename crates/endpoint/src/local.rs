@@ -2,20 +2,75 @@
 
 use crate::endpoint::Endpoint;
 use crate::error::EndpointError;
-use sofya_rdf::{StoreStats, TripleStore};
-use sofya_sparql::{execute_with_options, PlanOptions, QueryOutcome, ResultSet};
+use parking_lot::Mutex;
+use sofya_rdf::{StoreStats, Term, TripleStore};
+use sofya_sparql::{
+    compile_with_options, execute_ast_with_options, execute_compiled, CompiledQuery, PlanOptions,
+    Prepared, QueryOutcome, ResultSet,
+};
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, OnceLock};
+
+/// Default bound on the per-endpoint plan cache. The aligner issues a few
+/// dozen distinct query strings per relation; 512 comfortably covers a
+/// whole alignment session while bounding memory for adversarial query
+/// streams.
+const DEFAULT_PLAN_CACHE_CAPACITY: usize = 512;
+
+/// A bounded FIFO map from query string to its compiled plan.
+struct PlanCache {
+    plans: HashMap<String, Arc<CompiledQuery>>,
+    order: VecDeque<String>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            plans: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    fn get(&self, query: &str) -> Option<Arc<CompiledQuery>> {
+        self.plans.get(query).cloned()
+    }
+
+    fn insert(&mut self, query: String, compiled: Arc<CompiledQuery>) {
+        if self.capacity == 0 || self.plans.contains_key(&query) {
+            return;
+        }
+        while self.plans.len() >= self.capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.plans.remove(&oldest);
+        }
+        self.order.push_back(query.clone());
+        self.plans.insert(query, compiled);
+    }
+}
 
 /// The "remote server" of this reproduction: a [`TripleStore`] queried
 /// through `sofya-sparql`. The store is immutable once wrapped, so the
-/// endpoint is trivially thread-safe — and that immutability also lets it
-/// compute [`StoreStats`] once (lazily, on the first query) and feed them
-/// to the selectivity-driven query planner on every request.
+/// endpoint is trivially thread-safe — and that immutability buys two
+/// layers of work-skipping:
+///
+/// * [`StoreStats`] are computed once (lazily, on the first query) and fed
+///   to the selectivity-driven query planner on every request;
+/// * a bounded **plan cache** keyed by query string makes re-issued
+///   queries skip tokenizer, parser, and planner entirely (the aligner
+///   re-issues a handful of fixed shapes throughout a session), and the
+///   [`Endpoint::select_prepared`] / [`Endpoint::ask_prepared`] overrides
+///   execute bound ASTs directly so parameterized probes never parse at
+///   all.
 #[derive(Clone)]
 pub struct LocalEndpoint {
     name: String,
     store: Arc<TripleStore>,
     stats: Arc<OnceLock<StoreStats>>,
+    plans: Arc<Mutex<PlanCache>>,
 }
 
 impl LocalEndpoint {
@@ -30,7 +85,26 @@ impl LocalEndpoint {
             name: name.into(),
             store,
             stats: Arc::new(OnceLock::new()),
+            plans: Arc::new(Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY))),
         }
+    }
+
+    /// Overrides the plan-cache capacity (0 disables caching). Existing
+    /// entries beyond the new bound are evicted oldest-first.
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        let mut cache = self.plans.lock();
+        cache.capacity = capacity;
+        while cache.plans.len() > capacity {
+            let Some(oldest) = cache.order.pop_front() else {
+                break;
+            };
+            cache.plans.remove(&oldest);
+        }
+    }
+
+    /// Number of cached plans (shared across clones of this endpoint).
+    pub fn plan_cache_len(&self) -> usize {
+        self.plans.lock().plans.len()
     }
 
     /// Read access to the underlying store (used by generators and tests;
@@ -51,11 +125,28 @@ impl LocalEndpoint {
             ..PlanOptions::default()
         }
     }
+
+    /// The compiled form of `query`: cache hit, or parse + plan + insert.
+    fn compiled(&self, query: &str) -> Result<Arc<CompiledQuery>, EndpointError> {
+        if let Some(hit) = self.plans.lock().get(query) {
+            return Ok(hit);
+        }
+        let compiled = Arc::new(compile_with_options(
+            &self.store,
+            query,
+            self.plan_options(),
+        )?);
+        self.plans
+            .lock()
+            .insert(query.to_owned(), Arc::clone(&compiled));
+        Ok(compiled)
+    }
 }
 
 impl Endpoint for LocalEndpoint {
     fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
-        match execute_with_options(&self.store, query, self.plan_options())? {
+        let compiled = self.compiled(query)?;
+        match execute_compiled(&self.store, &compiled)? {
             QueryOutcome::Solutions(rs) => Ok(rs),
             QueryOutcome::Boolean(_) => Err(EndpointError::Sparql(
                 sofya_sparql::SparqlError::eval("expected a SELECT query, found ASK"),
@@ -64,7 +155,32 @@ impl Endpoint for LocalEndpoint {
     }
 
     fn ask(&self, query: &str) -> Result<bool, EndpointError> {
-        match execute_with_options(&self.store, query, self.plan_options())? {
+        let compiled = self.compiled(query)?;
+        match execute_compiled(&self.store, &compiled)? {
+            QueryOutcome::Boolean(b) => Ok(b),
+            QueryOutcome::Solutions(_) => Err(EndpointError::Sparql(
+                sofya_sparql::SparqlError::eval("expected an ASK query, found SELECT"),
+            )),
+        }
+    }
+
+    fn select_prepared(
+        &self,
+        prepared: &Prepared,
+        args: &[Term],
+    ) -> Result<ResultSet, EndpointError> {
+        let bound = prepared.bind(args)?;
+        match execute_ast_with_options(&self.store, &bound, self.plan_options())? {
+            QueryOutcome::Solutions(rs) => Ok(rs),
+            QueryOutcome::Boolean(_) => Err(EndpointError::Sparql(
+                sofya_sparql::SparqlError::eval("expected a SELECT query, found ASK"),
+            )),
+        }
+    }
+
+    fn ask_prepared(&self, prepared: &Prepared, args: &[Term]) -> Result<bool, EndpointError> {
+        let bound = prepared.bind(args)?;
+        match execute_ast_with_options(&self.store, &bound, self.plan_options())? {
             QueryOutcome::Boolean(b) => Ok(b),
             QueryOutcome::Solutions(_) => Err(EndpointError::Sparql(
                 sofya_sparql::SparqlError::eval("expected an ASK query, found SELECT"),
@@ -82,6 +198,7 @@ impl std::fmt::Debug for LocalEndpoint {
         f.debug_struct("LocalEndpoint")
             .field("name", &self.name)
             .field("triples", &self.store.len())
+            .field("cached_plans", &self.plan_cache_len())
             .finish()
     }
 }
@@ -117,5 +234,70 @@ mod tests {
     #[test]
     fn name_is_reported() {
         assert_eq!(endpoint().name(), "test");
+    }
+
+    #[test]
+    fn plan_cache_reuses_compiled_queries() {
+        let ep = endpoint();
+        assert_eq!(ep.plan_cache_len(), 0);
+        let q = "SELECT ?o { <e:a> <r:p> ?o }";
+        let first = ep.select(q).unwrap();
+        assert_eq!(ep.plan_cache_len(), 1);
+        let second = ep.select(q).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(ep.plan_cache_len(), 1);
+        // ASK plans are cached too, under their own key.
+        ep.ask("ASK { <e:a> <r:p> <e:b> }").unwrap();
+        assert_eq!(ep.plan_cache_len(), 2);
+    }
+
+    #[test]
+    fn plan_cache_is_bounded_fifo() {
+        let ep = endpoint();
+        ep.set_plan_cache_capacity(4);
+        for i in 0..20 {
+            let _ = ep.select(&format!("SELECT ?o {{ <e:a> <r:p> ?o }} LIMIT {i}"));
+        }
+        assert_eq!(ep.plan_cache_len(), 4);
+        // Cached and uncached execution agree.
+        let cached = ep.select("SELECT ?o { <e:a> <r:p> ?o } LIMIT 19").unwrap();
+        ep.set_plan_cache_capacity(0);
+        let uncached = ep.select("SELECT ?o { <e:a> <r:p> ?o } LIMIT 19").unwrap();
+        assert_eq!(cached, uncached);
+        assert_eq!(ep.plan_cache_len(), 0);
+    }
+
+    #[test]
+    fn parse_errors_are_not_cached() {
+        let ep = endpoint();
+        let _ = ep.select("NOT SPARQL");
+        assert_eq!(ep.plan_cache_len(), 0);
+    }
+
+    #[test]
+    fn prepared_queries_match_string_queries() {
+        let ep = endpoint();
+        let probe = Prepared::new("ASK { ?s ?r ?o }", &["s", "r", "o"]).unwrap();
+        assert!(ep
+            .ask_prepared(
+                &probe,
+                &[Term::iri("e:a"), Term::iri("r:p"), Term::iri("e:b")]
+            )
+            .unwrap());
+        assert!(!ep
+            .ask_prepared(
+                &probe,
+                &[Term::iri("e:b"), Term::iri("r:p"), Term::iri("e:a")]
+            )
+            .unwrap());
+        let objects =
+            Prepared::new("SELECT ?o WHERE { ?s ?r ?o } ORDER BY ?o", &["s", "r"]).unwrap();
+        let rs = ep
+            .select_prepared(&objects, &[Term::iri("e:a"), Term::iri("r:p")])
+            .unwrap();
+        let oracle = ep
+            .select("SELECT ?o WHERE { <e:a> <r:p> ?o } ORDER BY ?o")
+            .unwrap();
+        assert_eq!(rs, oracle);
     }
 }

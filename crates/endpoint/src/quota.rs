@@ -107,6 +107,31 @@ impl<E: Endpoint> Endpoint for QuotaEndpoint<E> {
         self.inner.ask(query)
     }
 
+    fn select_prepared(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+    ) -> Result<ResultSet, EndpointError> {
+        self.charge()?;
+        let rs = self.inner.select_prepared(prepared, args)?;
+        match self.config.max_rows_per_query {
+            Some(cap) if rs.len() > cap => {
+                let rows = rs.rows()[..cap].to_vec();
+                Ok(ResultSet::new(rs.vars().to_vec(), rows))
+            }
+            _ => Ok(rs),
+        }
+    }
+
+    fn ask_prepared(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+    ) -> Result<bool, EndpointError> {
+        self.charge()?;
+        self.inner.ask_prepared(prepared, args)
+    }
+
     fn name(&self) -> &str {
         self.inner.name()
     }

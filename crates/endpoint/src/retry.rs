@@ -63,6 +63,24 @@ impl<E: Endpoint> Endpoint for FlakyEndpoint<E> {
         self.inner.ask(query)
     }
 
+    fn select_prepared(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+    ) -> Result<ResultSet, EndpointError> {
+        self.maybe_fail()?;
+        self.inner.select_prepared(prepared, args)
+    }
+
+    fn ask_prepared(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+    ) -> Result<bool, EndpointError> {
+        self.maybe_fail()?;
+        self.inner.ask_prepared(prepared, args)
+    }
+
     fn name(&self) -> &str {
         self.inner.name()
     }
@@ -195,6 +213,22 @@ impl<E: Endpoint> Endpoint for RetryEndpoint<E> {
 
     fn ask(&self, query: &str) -> Result<bool, EndpointError> {
         self.with_retries(|| self.inner.ask(query))
+    }
+
+    fn select_prepared(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+    ) -> Result<ResultSet, EndpointError> {
+        self.with_retries(|| self.inner.select_prepared(prepared, args))
+    }
+
+    fn ask_prepared(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+    ) -> Result<bool, EndpointError> {
+        self.with_retries(|| self.inner.ask_prepared(prepared, args))
     }
 
     fn name(&self) -> &str {

@@ -73,6 +73,11 @@ pub fn generate(config: &PairConfig) -> GeneratedPair {
     let mut kb2 = TripleStore::new();
     let kb1_name = config.kb1.name.clone();
     let kb2_name = config.kb2.name.clone();
+    // Facts are staged as interned keys and bulk-loaded once per store:
+    // one sort + dedup + merge per index instead of a sorted-buffer
+    // memmove per insert.
+    let mut stage1: Vec<(sofya_rdf::TermId, sofya_rdf::TermId, sofya_rdf::TermId)> = Vec::new();
+    let mut stage2: Vec<(sofya_rdf::TermId, sofya_rdf::TermId, sofya_rdf::TermId)> = Vec::new();
 
     // sameAs triples, both directions.
     let same_as = Term::iri(&config.same_as_iri);
@@ -80,8 +85,8 @@ pub fn generate(config: &PairConfig) -> GeneratedPair {
         if is_linked {
             let e1 = Term::iri(kb1_entity_iri(&kb1_name, i as u32));
             let e2 = Term::iri(kb2_entity_iri(&kb2_name, i as u32));
-            kb1.insert_terms(&e1, &same_as, &e2);
-            kb2.insert_terms(&e2, &same_as, &e1);
+            stage1.push((kb1.intern(&e1), kb1.intern(&same_as), kb1.intern(&e2)));
+            stage2.push((kb2.intern(&e2), kb2.intern(&same_as), kb2.intern(&e1)));
         }
     }
 
@@ -93,8 +98,13 @@ pub fn generate(config: &PairConfig) -> GeneratedPair {
             let Some(iri) = iri else { continue };
             let side = if is_kb1 { &config.kb1 } else { &config.kb2 };
             let exists = if is_kb1 { &exists1 } else { &exists2 };
-            let store = if is_kb1 { &mut kb1 } else { &mut kb2 };
+            let (store, stage) = if is_kb1 {
+                (&mut kb1, &mut stage1)
+            } else {
+                (&mut kb2, &mut stage2)
+            };
             let pred = Term::iri(iri);
+            let pred_id = store.intern(&pred);
             if is_kb1 {
                 kb1_relations.push(iri.clone());
             } else {
@@ -119,7 +129,11 @@ pub fn generate(config: &PairConfig) -> GeneratedPair {
                     } else {
                         (kb2_entity_iri(&kb2_name, s), kb2_entity_iri(&kb2_name, o))
                     };
-                    store.insert_terms(&Term::iri(s_iri), &pred, &Term::iri(o_iri));
+                    stage.push((
+                        store.intern(&Term::iri(s_iri)),
+                        pred_id,
+                        store.intern(&Term::iri(o_iri)),
+                    ));
                 }
             }
 
@@ -142,11 +156,17 @@ pub fn generate(config: &PairConfig) -> GeneratedPair {
                         kb2_entity_iri(&kb2_name, *s)
                     };
                     let surface = NameForge::corrupt(&mut rng, base);
-                    store.insert_terms(&Term::iri(s_iri), &pred, &Term::literal(surface));
+                    stage.push((
+                        store.intern(&Term::iri(s_iri)),
+                        pred_id,
+                        store.intern(&Term::literal(surface)),
+                    ));
                 }
             }
         }
     }
+    kb1.load_batch(stage1);
+    kb2.load_batch(stage2);
 
     // Gold derivation from plant kinds.
     let mut gold = AlignmentGold::default();

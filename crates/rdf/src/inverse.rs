@@ -63,7 +63,7 @@ pub fn materialize_inverses_filtered(
         })
         .collect();
 
-    let mut inserted = 0;
+    let mut batch = Vec::with_capacity(triples.len());
     for (s, p, o) in triples {
         let p_iri = store
             .dict()
@@ -72,11 +72,9 @@ pub fn materialize_inverses_filtered(
             .expect("filtered to IRI predicates above")
             .to_owned();
         let inv = store.intern(&Term::iri(inverse_iri(&p_iri)));
-        if store.insert(o, inv, s) {
-            inserted += 1;
-        }
+        batch.push((o, inv, s));
     }
-    inserted
+    store.load_batch(batch)
 }
 
 #[cfg(test)]

@@ -18,7 +18,12 @@ pub fn parse_ntriples(input: &str) -> Result<TripleStore, RdfError> {
 }
 
 /// Parses N-Triples text, inserting into an existing store.
+///
+/// The whole document is staged and bulk-loaded through
+/// [`TripleStore::load_batch`] (one sort + dedup + merge per index), so
+/// nothing is inserted when any line fails to parse.
 pub fn parse_ntriples_into(input: &str, store: &mut TripleStore) -> Result<(), RdfError> {
+    let mut batch = Vec::new();
     for (idx, raw_line) in input.lines().enumerate() {
         let lineno = idx + 1;
         let line = raw_line.trim();
@@ -47,8 +52,9 @@ pub fn parse_ntriples_into(input: &str, store: &mut TripleStore) -> Result<(), R
         if s.is_literal() {
             return Err(RdfError::parse(lineno, "subject must not be a literal"));
         }
-        store.insert_terms(&s, &p, &o);
+        batch.push((store.intern(&s), store.intern(&p), store.intern(&o)));
     }
+    store.load_batch(batch);
     Ok(())
 }
 

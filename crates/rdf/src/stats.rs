@@ -61,34 +61,42 @@ pub struct StoreStats {
 }
 
 impl StoreStats {
-    /// Computes statistics for every predicate in `store` in one pass per
-    /// predicate range (POS index order).
+    /// Computes statistics for every predicate in one linear pass over its
+    /// POS page: the page is sorted by `(o, s)`, so distinct objects fall
+    /// out of a dedup walk (each object term resolved once per distinct
+    /// value), and distinct subjects need one scratch sort per predicate.
+    /// Store-level distincts come from the flat SPO/OSP runs.
     pub fn compute(store: &TripleStore) -> Self {
         let mut by_predicate = BTreeMap::new();
-        let mut all_subjects = std::collections::BTreeSet::new();
-        let mut all_objects = std::collections::BTreeSet::new();
+        let mut subjects_scratch: Vec<u32> = Vec::new();
         for p in store.predicates() {
             let mut facts = 0usize;
             let mut literal_objects = 0usize;
-            let mut subjects = std::collections::BTreeSet::new();
-            let mut objects = std::collections::BTreeSet::new();
-            for t in store.triples_with_predicate(p) {
+            let mut distinct_objects = 0usize;
+            let mut last_object = None;
+            let mut last_is_literal = false;
+            subjects_scratch.clear();
+            for (o, s) in store.predicate_pairs(p) {
                 facts += 1;
-                subjects.insert(t.s);
-                objects.insert(t.o);
-                if store.dict().resolve(t.o).is_literal() {
+                subjects_scratch.push(s.0);
+                if last_object != Some(o) {
+                    distinct_objects += 1;
+                    last_object = Some(o);
+                    last_is_literal = store.dict().resolve(o).is_literal();
+                }
+                if last_is_literal {
                     literal_objects += 1;
                 }
             }
-            all_subjects.extend(subjects.iter().copied());
-            all_objects.extend(objects.iter().copied());
+            subjects_scratch.sort_unstable();
+            subjects_scratch.dedup();
             by_predicate.insert(
                 p,
                 PredicateStats {
                     predicate: p,
                     facts,
-                    distinct_subjects: subjects.len(),
-                    distinct_objects: objects.len(),
+                    distinct_subjects: subjects_scratch.len(),
+                    distinct_objects,
                     literal_object_ratio: if facts == 0 {
                         0.0
                     } else {
@@ -100,8 +108,8 @@ impl StoreStats {
         Self {
             by_predicate,
             total_triples: store.len(),
-            distinct_subjects: all_subjects.len(),
-            distinct_objects: all_objects.len(),
+            distinct_subjects: store.distinct_subject_count(),
+            distinct_objects: store.distinct_object_count(),
         }
     }
 

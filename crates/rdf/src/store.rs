@@ -1,37 +1,53 @@
-//! The in-memory triple store: flat sorted permutation indexes with
-//! zero-allocation prefix scans.
+//! The in-memory triple store: flat sorted permutation indexes for SPO and
+//! OSP, a *predicate-partitioned* POS index, and zero-allocation prefix
+//! scans.
 //!
-//! Three flat sorted `Vec<(u32, u32, u32)>` runs (SPO, POS, OSP) replace
-//! the earlier `BTreeSet` permutations: a prefix lookup is two binary
-//! searches yielding a contiguous slice, iteration is a linear walk over
-//! dense memory, and exact pattern cardinalities come from the same
-//! bounds in O(log n) ([`TripleStore::count_pattern`]).
+//! SPO and OSP are flat sorted `Vec<(u32, u32, u32)>` runs: a prefix lookup
+//! is two binary searches yielding a contiguous slice, iteration is a
+//! linear walk over dense memory, and exact pattern cardinalities come
+//! from the same bounds in O(log n) ([`TripleStore::count_pattern`]).
 //!
-//! Writes go through a small *insert buffer* — a second sorted run per
-//! permutation — merged into the main run whenever it reaches the merge
-//! threshold (amortized O(1) index maintenance per insert at repo scales).
-//! Reads consult both runs through a two-way merge, so results are always
-//! exact regardless of pending buffered inserts; [`TripleStore::flush`]
-//! compacts eagerly after a bulk load.
+//! The POS permutation is different: every scan of it binds the predicate
+//! (the `?x <p> ?y` / `?x <p> <o>` shapes — SOFYA's bread and butter), so
+//! instead of one flat run it is partitioned into **per-predicate pages**,
+//! each a sorted `Vec<(u32, u32)>` of `(o, s)` pairs. Buffer merges and
+//! removals memmove only the touched predicate's page, binary searches are
+//! page-local, and a predicate's cardinality is just its page length —
+//! read in O(log #predicates) and fed to the query planner's selectivity
+//! oracle through [`TripleStore::count_pattern`].
+//!
+//! Writes go through small *insert buffers* — a second sorted run per flat
+//! permutation and per page — merged into the main run whenever they reach
+//! the merge threshold (amortized O(1) index maintenance per insert at
+//! repo scales). Reads consult both runs through a two-way merge, so
+//! results are always exact regardless of pending buffered inserts;
+//! [`TripleStore::flush`] compacts eagerly. Bulk ingestion should use
+//! [`TripleStore::load_batch`], which appends unsorted and pays one
+//! sort + dedup + merge per index for the whole batch.
 
 use crate::dict::{Dict, TermId};
 use crate::term::Term;
 use crate::triple::{Triple, TriplePattern};
 
 type Key = (u32, u32, u32);
+/// An `(o, s)` entry of one predicate's POS page.
+type Pair = (u32, u32);
 
 /// Buffered inserts per permutation before they are merged into the main
 /// run. Small enough that the sorted insertion memmove stays cheap, large
 /// enough that merges amortize.
 const DEFAULT_MERGE_THRESHOLD: usize = 1024;
 
+/// Per-page insert buffer bound: pages are merged independently, so the
+/// buffer can stay much smaller than the global threshold without losing
+/// amortization (the memmove it triggers is page-local).
+const PAGE_BUFFER_THRESHOLD: usize = 64;
+
 /// Which permutation a key run is sorted by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Perm {
     /// `(s, p, o)`
     Spo,
-    /// `(p, o, s)`
-    Pos,
     /// `(o, s, p)`
     Osp,
 }
@@ -42,9 +58,27 @@ impl Perm {
         let (a, b, c) = k;
         match self {
             Perm::Spo => Triple::new(TermId(a), TermId(b), TermId(c)),
-            Perm::Pos => Triple::new(TermId(c), TermId(a), TermId(b)),
             Perm::Osp => Triple::new(TermId(b), TermId(c), TermId(a)),
         }
+    }
+}
+
+/// One predicate's slice of the POS index: sorted `(o, s)` pairs in a main
+/// run plus a small sorted insert buffer.
+#[derive(Debug, Clone, Default)]
+struct PredPage {
+    /// The predicate's id (the page key; pages are sorted by it).
+    pred: u32,
+    /// Main sorted run of `(o, s)` pairs.
+    run: Vec<Pair>,
+    /// Pending sorted inserts, merged into `run` on threshold or flush.
+    buf: Vec<Pair>,
+}
+
+impl PredPage {
+    #[inline]
+    fn len(&self) -> usize {
+        self.run.len() + self.buf.len()
     }
 }
 
@@ -75,18 +109,83 @@ fn prefix_slice(run: &[Key], a: Option<u32>, b: Option<u32>, c: Option<u32>) -> 
     &run[lo..hi]
 }
 
-/// A zero-allocation pattern scan: a two-way sorted merge over the main
-/// run's prefix slice and the insert buffer's prefix slice, decoded to
-/// [`Triple`]s on the fly.
+/// The sub-slice of a sorted pair run with first component `a` (or all).
+/// `(None, Some(_))` is not a prefix and must not reach this function.
+#[inline]
+fn pair_prefix_slice(run: &[Pair], a: Option<u32>, b: Option<u32>) -> &[Pair] {
+    let (lo, hi) = match (a, b) {
+        (None, _) => {
+            debug_assert!(b.is_none(), "bound second component without the first");
+            (0, run.len())
+        }
+        (Some(a), None) => (
+            run.partition_point(|&(x, _)| x < a),
+            run.partition_point(|&(x, _)| x <= a),
+        ),
+        (Some(a), Some(b)) => (
+            run.partition_point(|&k| k < (a, b)),
+            run.partition_point(|&k| k <= (a, b)),
+        ),
+    };
+    &run[lo..hi]
+}
+
+/// A zero-allocation pattern scan: a two-way sorted merge over a main
+/// run's prefix slice and an insert buffer's prefix slice, decoded to
+/// [`Triple`]s on the fly. For predicate-bound shapes the slices come from
+/// one predicate's page (pairs `(o, s)` with the fixed predicate re-attached
+/// during decoding).
 ///
 /// Yields triples in the permutation's sort order. The length is exact
 /// ([`ExactSizeIterator`]), because every pattern shape maps to pure
-/// prefix ranges on one of the three permutations — no residual filtering.
+/// prefix ranges — no residual filtering.
 #[derive(Debug, Clone)]
 pub struct PatternScan<'a> {
-    main: &'a [Key],
-    buf: &'a [Key],
-    perm: Perm,
+    mode: ScanMode<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum ScanMode<'a> {
+    /// A flat-run scan (SPO or OSP order).
+    Flat {
+        main: &'a [Key],
+        buf: &'a [Key],
+        perm: Perm,
+    },
+    /// One predicate's page (POS order within the page: by `(o, s)`).
+    Page {
+        pred: u32,
+        run: &'a [Pair],
+        buf: &'a [Pair],
+    },
+}
+
+impl PatternScan<'_> {
+    /// An always-empty scan.
+    fn empty() -> PatternScan<'static> {
+        PatternScan {
+            mode: ScanMode::Flat {
+                main: &[],
+                buf: &[],
+                perm: Perm::Spo,
+            },
+        }
+    }
+}
+
+/// Pops the smaller head of two sorted slices (two-way merge step).
+#[inline]
+fn merge_next<'a, T: Copy + Ord>(main: &mut &'a [T], buf: &mut &'a [T]) -> Option<T> {
+    let take_main = match (main.first(), buf.first()) {
+        (Some(m), Some(b)) => m <= b,
+        (Some(_), None) => true,
+        (None, Some(_)) => false,
+        (None, None) => return None,
+    };
+    let src = if take_main { main } else { buf };
+    let k = src[0];
+    *src = &src[1..];
+    Some(k)
 }
 
 impl Iterator for PatternScan<'_> {
@@ -94,37 +193,35 @@ impl Iterator for PatternScan<'_> {
 
     #[inline]
     fn next(&mut self) -> Option<Triple> {
-        let take_main = match (self.main.first(), self.buf.first()) {
-            (Some(m), Some(b)) => m <= b,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (None, None) => return None,
-        };
-        let key = if take_main {
-            let k = self.main[0];
-            self.main = &self.main[1..];
-            k
-        } else {
-            let k = self.buf[0];
-            self.buf = &self.buf[1..];
-            k
-        };
-        Some(self.perm.decode(key))
+        match &mut self.mode {
+            ScanMode::Flat { main, buf, perm } => merge_next(main, buf).map(|k| perm.decode(k)),
+            ScanMode::Page { pred, run, buf } => {
+                merge_next(run, buf).map(|(o, s)| Triple::new(TermId(s), TermId(*pred), TermId(o)))
+            }
+        }
     }
 
     #[inline]
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.main.len() + self.buf.len();
+        let n = self.len();
         (n, Some(n))
     }
 
     #[inline]
     fn count(self) -> usize {
-        self.main.len() + self.buf.len()
+        self.len()
     }
 }
 
-impl ExactSizeIterator for PatternScan<'_> {}
+impl ExactSizeIterator for PatternScan<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        match &self.mode {
+            ScanMode::Flat { main, buf, .. } => main.len() + buf.len(),
+            ScanMode::Page { run, buf, .. } => run.len() + buf.len(),
+        }
+    }
+}
 
 /// An in-memory, dictionary-encoded triple store.
 ///
@@ -134,7 +231,7 @@ impl ExactSizeIterator for PatternScan<'_> {}
 /// | bound          | index | prefix      |
 /// |----------------|-------|-------------|
 /// | `s` / `s,p` / `s,p,o` | SPO | `s` / `s,p` / `s,p,o` |
-/// | `p` / `p,o`    | POS   | `p` / `p,o` |
+/// | `p` / `p,o`    | POS page for `p` | `·` / `o` |
 /// | `o` / `o,s`    | OSP   | `o` / `o,s` |
 /// | nothing        | SPO   | full run    |
 ///
@@ -145,11 +242,11 @@ impl ExactSizeIterator for PatternScan<'_> {}
 pub struct TripleStore {
     dict: Dict,
     spo: Vec<Key>,
-    pos: Vec<Key>,
     osp: Vec<Key>,
     buf_spo: Vec<Key>,
-    buf_pos: Vec<Key>,
     buf_osp: Vec<Key>,
+    /// Per-predicate POS pages, sorted by predicate id.
+    pages: Vec<PredPage>,
     merge_threshold: usize,
 }
 
@@ -158,11 +255,10 @@ impl Default for TripleStore {
         Self {
             dict: Dict::new(),
             spo: Vec::new(),
-            pos: Vec::new(),
             osp: Vec::new(),
             buf_spo: Vec::new(),
-            buf_pos: Vec::new(),
             buf_osp: Vec::new(),
+            pages: Vec::new(),
             merge_threshold: DEFAULT_MERGE_THRESHOLD,
         }
     }
@@ -170,7 +266,7 @@ impl Default for TripleStore {
 
 /// Merges the sorted `buf` into the sorted `main` in place (backward
 /// merge: one resize, no scratch allocation), leaving `buf` empty.
-fn merge_run(main: &mut Vec<Key>, buf: &mut Vec<Key>) {
+fn merge_run<T: Copy + Ord + Default>(main: &mut Vec<T>, buf: &mut Vec<T>) {
     if buf.is_empty() {
         return;
     }
@@ -179,7 +275,7 @@ fn merge_run(main: &mut Vec<Key>, buf: &mut Vec<Key>) {
         return;
     }
     let old = main.len();
-    main.resize(old + buf.len(), (0, 0, 0));
+    main.resize(old + buf.len(), T::default());
     let mut i = old; // one past the next unmerged main element
     let mut j = buf.len(); // one past the next unmerged buf element
     let mut k = main.len(); // one past the next write position
@@ -199,13 +295,13 @@ fn merge_run(main: &mut Vec<Key>, buf: &mut Vec<Key>) {
 /// Inserts `key` into a sorted run, preserving order. The caller
 /// guarantees the key is not already present.
 #[inline]
-fn sorted_insert(run: &mut Vec<Key>, key: Key) {
+fn sorted_insert<T: Copy + Ord>(run: &mut Vec<T>, key: T) {
     let at = run.partition_point(|&k| k < key);
     run.insert(at, key);
 }
 
 /// Removes `key` from a sorted run if present; `true` on removal.
-fn sorted_remove(run: &mut Vec<Key>, key: Key) -> bool {
+fn sorted_remove<T: Copy + Ord>(run: &mut Vec<T>, key: T) -> bool {
     match run.binary_search(&key) {
         Ok(at) => {
             run.remove(at);
@@ -252,6 +348,33 @@ impl TripleStore {
         self.dict.intern(term)
     }
 
+    /// The POS page for predicate `p`, if it exists.
+    #[inline]
+    fn page(&self, p: u32) -> Option<&PredPage> {
+        self.pages
+            .binary_search_by_key(&p, |page| page.pred)
+            .ok()
+            .map(|at| &self.pages[at])
+    }
+
+    /// The POS page for predicate `p`, created (empty) if absent.
+    #[inline]
+    fn page_mut(&mut self, p: u32) -> &mut PredPage {
+        match self.pages.binary_search_by_key(&p, |page| page.pred) {
+            Ok(at) => &mut self.pages[at],
+            Err(at) => {
+                self.pages.insert(
+                    at,
+                    PredPage {
+                        pred: p,
+                        ..PredPage::default()
+                    },
+                );
+                &mut self.pages[at]
+            }
+        }
+    }
+
     /// Inserts an encoded triple. Returns `false` if it was already present.
     pub fn insert(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
         let key = (s.0, p.0, o.0);
@@ -264,8 +387,12 @@ impl TripleStore {
             return false;
         }
         self.buf_spo.insert(at, key);
-        sorted_insert(&mut self.buf_pos, (p.0, o.0, s.0));
         sorted_insert(&mut self.buf_osp, (o.0, s.0, p.0));
+        let page = self.page_mut(p.0);
+        sorted_insert(&mut page.buf, (o.0, s.0));
+        if page.buf.len() >= PAGE_BUFFER_THRESHOLD {
+            merge_run(&mut page.run, &mut page.buf);
+        }
         self.maybe_merge();
         true
     }
@@ -278,28 +405,109 @@ impl TripleStore {
         self.insert(s, p, o)
     }
 
+    /// Bulk-loads encoded triples: appends the batch unsorted, then pays
+    /// one sort + dedup + merge per index for the whole batch instead of a
+    /// sorted-buffer memmove per triple. Returns the number of *new*
+    /// triples inserted (duplicates within the batch and against the store
+    /// are skipped).
+    pub fn load_batch(
+        &mut self,
+        triples: impl IntoIterator<Item = (TermId, TermId, TermId)>,
+    ) -> usize {
+        let mut batch: Vec<Key> = triples
+            .into_iter()
+            .map(|(s, p, o)| (s.0, p.0, o.0))
+            .collect();
+        if batch.is_empty() {
+            return 0;
+        }
+        batch.sort_unstable();
+        batch.dedup();
+        batch.retain(|key| {
+            self.spo.binary_search(key).is_err() && self.buf_spo.binary_search(key).is_err()
+        });
+        if batch.is_empty() {
+            return 0;
+        }
+        let inserted = batch.len();
+
+        // SPO: the batch is already in SPO order.
+        let mut spo_batch = batch.clone();
+        merge_run(&mut self.spo, &mut self.buf_spo);
+        merge_run(&mut self.spo, &mut spo_batch);
+
+        // OSP: re-key and sort once.
+        let mut osp_batch: Vec<Key> = batch.iter().map(|&(s, p, o)| (o, s, p)).collect();
+        osp_batch.sort_unstable();
+        merge_run(&mut self.osp, &mut self.buf_osp);
+        merge_run(&mut self.osp, &mut osp_batch);
+
+        // POS pages: sort the batch by (p, o, s) and merge each predicate's
+        // contiguous sub-run into its page.
+        let mut pos_batch: Vec<Key> = batch.iter().map(|&(s, p, o)| (p, o, s)).collect();
+        pos_batch.sort_unstable();
+        let mut start = 0;
+        while start < pos_batch.len() {
+            let pred = pos_batch[start].0;
+            let end = start + pos_batch[start..].partition_point(|&(p, _, _)| p == pred);
+            let mut pairs: Vec<Pair> = pos_batch[start..end]
+                .iter()
+                .map(|&(_, o, s)| (o, s))
+                .collect();
+            let page = self.page_mut(pred);
+            merge_run(&mut page.run, &mut page.buf);
+            merge_run(&mut page.run, &mut pairs);
+            start = end;
+        }
+        inserted
+    }
+
+    /// Interns and bulk-loads term triples (see [`TripleStore::load_batch`]).
+    pub fn load_batch_terms<'t>(
+        &mut self,
+        triples: impl IntoIterator<Item = (&'t Term, &'t Term, &'t Term)>,
+    ) -> usize {
+        let keys: Vec<(TermId, TermId, TermId)> = triples
+            .into_iter()
+            .map(|(s, p, o)| {
+                (
+                    self.dict.intern(s),
+                    self.dict.intern(p),
+                    self.dict.intern(o),
+                )
+            })
+            .collect();
+        self.load_batch(keys)
+    }
+
     /// Removes a triple. Returns `true` if it was present.
     pub fn remove(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
         let key = (s.0, p.0, o.0);
-        if sorted_remove(&mut self.buf_spo, key) {
-            sorted_remove(&mut self.buf_pos, (p.0, o.0, s.0));
-            sorted_remove(&mut self.buf_osp, (o.0, s.0, p.0));
-            return true;
+        let was_buffered = sorted_remove(&mut self.buf_spo, key);
+        if !was_buffered && !sorted_remove(&mut self.spo, key) {
+            return false;
         }
-        if sorted_remove(&mut self.spo, key) {
-            sorted_remove(&mut self.pos, (p.0, o.0, s.0));
+        if !sorted_remove(&mut self.buf_osp, (o.0, s.0, p.0)) {
             sorted_remove(&mut self.osp, (o.0, s.0, p.0));
-            return true;
         }
-        false
+        // The page memmove is bounded by one predicate's cardinality.
+        if let Ok(at) = self.pages.binary_search_by_key(&p.0, |page| page.pred) {
+            let page = &mut self.pages[at];
+            if !sorted_remove(&mut page.buf, (o.0, s.0)) {
+                sorted_remove(&mut page.run, (o.0, s.0));
+            }
+        }
+        true
     }
 
     /// Merges pending buffered inserts into the main runs. Reads are
     /// exact either way; this only compacts (useful after a bulk load).
     pub fn flush(&mut self) {
         merge_run(&mut self.spo, &mut self.buf_spo);
-        merge_run(&mut self.pos, &mut self.buf_pos);
         merge_run(&mut self.osp, &mut self.buf_osp);
+        for page in &mut self.pages {
+            merge_run(&mut page.run, &mut page.buf);
+        }
     }
 
     fn maybe_merge(&mut self) {
@@ -314,36 +522,47 @@ impl TripleStore {
         self.spo.binary_search(&key).is_ok() || self.buf_spo.binary_search(&key).is_ok()
     }
 
-    /// Picks the permutation and prefix for a pattern shape.
+    /// Borrowed range scan for `pattern`: binary-search prefix bounds on
+    /// the selected permutation (a predicate page for `p`-bound shapes),
+    /// returning a zero-allocation iterator over the matching slices of
+    /// the main run and the insert buffer.
     #[inline]
-    fn select_index(&self, pattern: TriplePattern) -> (Perm, [Option<u32>; 3]) {
+    pub fn scan_range(&self, pattern: TriplePattern) -> PatternScan<'_> {
         let TriplePattern { s, p, o } = pattern;
         let (s, p, o) = (s.map(|t| t.0), p.map(|t| t.0), o.map(|t| t.0));
         match (s, p, o) {
-            (Some(s), Some(p), o) => (Perm::Spo, [Some(s), Some(p), o]),
-            (Some(s), None, Some(o)) => (Perm::Osp, [Some(o), Some(s), None]),
-            (Some(s), None, None) => (Perm::Spo, [Some(s), None, None]),
-            (None, Some(p), o) => (Perm::Pos, [Some(p), o, None]),
-            (None, None, Some(o)) => (Perm::Osp, [Some(o), None, None]),
-            (None, None, None) => (Perm::Spo, [None, None, None]),
-        }
-    }
-
-    /// Borrowed range scan for `pattern`: binary-search prefix bounds on
-    /// the selected permutation, returning a zero-allocation iterator over
-    /// the matching slices of the main run and the insert buffer.
-    #[inline]
-    pub fn scan_range(&self, pattern: TriplePattern) -> PatternScan<'_> {
-        let (perm, [a, b, c]) = self.select_index(pattern);
-        let (main, buf) = match perm {
-            Perm::Spo => (&self.spo, &self.buf_spo),
-            Perm::Pos => (&self.pos, &self.buf_pos),
-            Perm::Osp => (&self.osp, &self.buf_osp),
-        };
-        PatternScan {
-            main: prefix_slice(main, a, b, c),
-            buf: prefix_slice(buf, a, b, c),
-            perm,
+            // Predicate bound, subject free: one page answers it.
+            (None, Some(p), o) => match self.page(p) {
+                Some(page) => PatternScan {
+                    mode: ScanMode::Page {
+                        pred: p,
+                        run: pair_prefix_slice(&page.run, o, None),
+                        buf: pair_prefix_slice(&page.buf, o, None),
+                    },
+                },
+                None => PatternScan::empty(),
+            },
+            (s, _, o) => {
+                let (perm, [a, b, c]) = match (s, p, o) {
+                    (Some(s), Some(p), o) => (Perm::Spo, [Some(s), Some(p), o]),
+                    (Some(s), None, Some(o)) => (Perm::Osp, [Some(o), Some(s), None]),
+                    (Some(s), None, None) => (Perm::Spo, [Some(s), None, None]),
+                    (None, None, Some(o)) => (Perm::Osp, [Some(o), None, None]),
+                    (None, None, None) => (Perm::Spo, [None, None, None]),
+                    (None, Some(_), _) => unreachable!("handled by the page arm"),
+                };
+                let (main, buf) = match perm {
+                    Perm::Spo => (&self.spo, &self.buf_spo),
+                    Perm::Osp => (&self.osp, &self.buf_osp),
+                };
+                PatternScan {
+                    mode: ScanMode::Flat {
+                        main: prefix_slice(main, a, b, c),
+                        buf: prefix_slice(buf, a, b, c),
+                        perm,
+                    },
+                }
+            }
         }
     }
 
@@ -354,10 +573,18 @@ impl TripleStore {
         self.scan_range(pattern)
     }
 
-    /// Exact number of triples matching `pattern`, in O(log n): the size
-    /// of the prefix ranges, no iteration.
+    /// Exact number of triples matching `pattern`: O(1) page length for a
+    /// predicate pattern, O(log n) prefix bounds otherwise — no iteration.
     #[inline]
     pub fn count_pattern(&self, pattern: TriplePattern) -> usize {
+        if let TriplePattern {
+            s: None,
+            p: Some(p),
+            o: None,
+        } = pattern
+        {
+            return self.page(p.0).map_or(0, PredPage::len);
+        }
         self.scan_range(pattern).len()
     }
 
@@ -372,6 +599,13 @@ impl TripleStore {
         self.scan_range(TriplePattern::with_p(p))
     }
 
+    /// The `(object, subject)` pairs of predicate `p`, ascending by
+    /// `(o, s)` — a direct page walk used by the statistics pass.
+    pub fn predicate_pairs(&self, p: TermId) -> impl Iterator<Item = (TermId, TermId)> + '_ {
+        self.scan_range(TriplePattern::with_p(p))
+            .map(|t| (t.o, t.s))
+    }
+
     /// All triples with subject `s`.
     pub fn triples_with_subject(&self, s: TermId) -> impl Iterator<Item = Triple> + '_ {
         self.scan_range(TriplePattern::with_s(s))
@@ -382,38 +616,66 @@ impl TripleStore {
         self.scan_range(TriplePattern::with_o(o))
     }
 
-    /// The distinct predicates in the store, ascending by id.
+    /// The distinct predicates in the store, ascending by id — a walk over
+    /// the page directory, O(#predicates).
     pub fn predicates(&self) -> Vec<TermId> {
-        let mut out = Vec::new();
-        let mut last: Option<u32> = None;
-        // POS order groups by predicate; merge both runs in order.
-        let scan = PatternScan {
-            main: &self.pos,
-            buf: &self.buf_pos,
-            perm: Perm::Pos,
-        };
-        for t in scan {
-            let p = t.p.0;
-            if last != Some(p) {
-                out.push(TermId(p));
-                last = Some(p);
+        self.pages
+            .iter()
+            .filter(|page| page.len() > 0)
+            .map(|page| TermId(page.pred))
+            .collect()
+    }
+
+    /// Distinct subjects across the whole store, counted in one linear
+    /// pass over the SPO order (first components of a sorted merge).
+    pub fn distinct_subject_count(&self) -> usize {
+        let (mut main, mut buf) = (self.spo.as_slice(), self.buf_spo.as_slice());
+        let mut n = 0usize;
+        let mut last = None;
+        while let Some((s, _, _)) = merge_next(&mut main, &mut buf) {
+            if last != Some(s) {
+                n += 1;
+                last = Some(s);
             }
         }
-        out
+        n
+    }
+
+    /// Distinct objects across the whole store, counted in one linear pass
+    /// over the OSP order.
+    pub fn distinct_object_count(&self) -> usize {
+        let (mut main, mut buf) = (self.osp.as_slice(), self.buf_osp.as_slice());
+        let mut n = 0usize;
+        let mut last = None;
+        while let Some((o, _, _)) = merge_next(&mut main, &mut buf) {
+            if last != Some(o) {
+                n += 1;
+                last = Some(o);
+            }
+        }
+        n
     }
 
     /// Distinct subjects of predicate `p`, ascending by id.
     pub fn subjects_of(&self, p: TermId) -> Vec<TermId> {
-        let subjects: std::collections::BTreeSet<u32> =
-            self.triples_with_predicate(p).map(|t| t.s.0).collect();
+        let mut subjects: Vec<u32> = self.triples_with_predicate(p).map(|t| t.s.0).collect();
+        subjects.sort_unstable();
+        subjects.dedup();
         subjects.into_iter().map(TermId).collect()
     }
 
-    /// Distinct objects of predicate `p`, ascending by id.
+    /// Distinct objects of predicate `p`, ascending by id. The page is
+    /// sorted by object, so this is a linear dedup walk.
     pub fn objects_of(&self, p: TermId) -> Vec<TermId> {
-        let objects: std::collections::BTreeSet<u32> =
-            self.triples_with_predicate(p).map(|t| t.o.0).collect();
-        objects.into_iter().map(TermId).collect()
+        let mut objects = Vec::new();
+        let mut last = None;
+        for (o, _) in self.predicate_pairs(p) {
+            if last != Some(o) {
+                objects.push(o);
+                last = Some(o);
+            }
+        }
+        objects
     }
 
     /// Objects `y` with `p(x, y)` for the given subject.
@@ -432,8 +694,9 @@ impl TripleStore {
 
     /// Distinct predicates `p` such that `p(s, ·)` exists.
     pub fn predicates_of_subject(&self, s: TermId) -> Vec<TermId> {
-        let preds: std::collections::BTreeSet<u32> =
-            self.triples_with_subject(s).map(|t| t.p.0).collect();
+        let mut preds: Vec<u32> = self.triples_with_subject(s).map(|t| t.p.0).collect();
+        preds.sort_unstable();
+        preds.dedup();
         preds.into_iter().map(TermId).collect()
     }
 
@@ -641,6 +904,65 @@ mod tests {
     }
 
     #[test]
+    fn load_batch_agrees_with_incremental_inserts() {
+        let mut incremental = TripleStore::new();
+        let mut batched = TripleStore::new();
+        let mut x: u32 = 5;
+        let mut batch = Vec::new();
+        for _ in 0..400 {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            let (si, pi, oi) = ((x >> 3) % 17, (x >> 9) % 6, (x >> 16) % 13);
+            let (s, p, o) = (
+                Term::iri(format!("s{si}")),
+                Term::iri(format!("p{pi}")),
+                Term::iri(format!("o{oi}")),
+            );
+            incremental.insert_terms(&s, &p, &o);
+            let key = (batched.intern(&s), batched.intern(&p), batched.intern(&o));
+            batch.push(key);
+        }
+        let inserted = batched.load_batch(batch.clone());
+        assert_eq!(inserted, incremental.len());
+        assert_eq!(batched.len(), incremental.len());
+        // Re-loading the same batch inserts nothing.
+        assert_eq!(batched.load_batch(batch), 0);
+        let a: Vec<(u32, u32, u32)> = incremental.iter().map(|t| (t.s.0, t.p.0, t.o.0)).collect();
+        let b: Vec<(u32, u32, u32)> = batched.iter().map(|t| (t.s.0, t.p.0, t.o.0)).collect();
+        assert_eq!(a, b);
+        // Per-pattern agreement on every predicate.
+        for p in incremental.predicates() {
+            assert_eq!(
+                batched.count_pattern(TriplePattern::with_p(p)),
+                incremental.count_pattern(TriplePattern::with_p(p))
+            );
+        }
+    }
+
+    #[test]
+    fn load_batch_onto_populated_store_dedups_and_merges() {
+        let mut s = store_with(&[("a", "p", "b"), ("c", "q", "d")]);
+        let keys = [
+            ("a", "p", "b"), // duplicate of existing
+            ("a", "p", "z"),
+            ("e", "r", "f"),
+            ("e", "r", "f"), // in-batch duplicate
+        ]
+        .map(|(a, b, c)| {
+            (
+                s.intern(&Term::iri(a)),
+                s.intern(&Term::iri(b)),
+                s.intern(&Term::iri(c)),
+            )
+        });
+        assert_eq!(s.load_batch(keys), 2);
+        assert_eq!(s.len(), 4);
+        let p = s.dict().lookup_iri("p").unwrap();
+        let r = s.dict().lookup_iri("r").unwrap();
+        assert_eq!(s.count_pattern(TriplePattern::with_p(p)), 2);
+        assert_eq!(s.count_pattern(TriplePattern::with_p(r)), 1);
+    }
+
+    #[test]
     fn scan_is_sorted_in_permutation_order_across_runs() {
         let mut s = TripleStore::new();
         s.set_merge_threshold(3);
@@ -653,6 +975,13 @@ mod tests {
         }
         let keys: Vec<(u32, u32, u32)> = s.iter().map(|t| (t.s.0, t.p.0, t.o.0)).collect();
         assert!(keys.windows(2).all(|w| w[0] < w[1]), "SPO order: {keys:?}");
+        // POS page order: by (o, s) within the single predicate.
+        let p = s.dict().lookup_iri("p").unwrap();
+        let pairs: Vec<(u32, u32)> = s.predicate_pairs(p).map(|(o, su)| (o.0, su.0)).collect();
+        assert!(
+            pairs.windows(2).all(|w| w[0] < w[1]),
+            "page order: {pairs:?}"
+        );
     }
 
     #[test]
@@ -661,6 +990,19 @@ mod tests {
         let preds = s.predicates();
         assert_eq!(preds.len(), 2);
         assert!(preds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn emptied_page_is_not_reported_as_predicate() {
+        let mut s = store_with(&[("a", "p", "b"), ("a", "q", "c")]);
+        let (a, p, b) = (
+            s.dict().lookup_iri("a").unwrap(),
+            s.dict().lookup_iri("p").unwrap(),
+            s.dict().lookup_iri("b").unwrap(),
+        );
+        assert!(s.remove(a, p, b));
+        assert_eq!(s.predicates().len(), 1);
+        assert_eq!(s.count_pattern(TriplePattern::with_p(p)), 0);
     }
 
     #[test]
@@ -677,6 +1019,28 @@ mod tests {
         assert_eq!(s.objects_of(p).len(), 2);
         assert_eq!(s.objects_for(a, p).len(), 2);
         assert_eq!(s.predicates_of_subject(a).len(), 2);
+    }
+
+    #[test]
+    fn store_level_distinct_counts_match_sets() {
+        let mut s = TripleStore::new();
+        s.set_merge_threshold(4);
+        let mut x: u32 = 3;
+        let mut subjects = BTreeSet::new();
+        let mut objects = BTreeSet::new();
+        for _ in 0..100 {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            let (si, pi, oi) = ((x >> 3) % 11, (x >> 9) % 3, (x >> 16) % 7);
+            let sid = s.intern(&Term::iri(format!("s{si}")));
+            let pid = s.intern(&Term::iri(format!("p{pi}")));
+            let oid = s.intern(&Term::iri(format!("o{oi}")));
+            if s.insert(sid, pid, oid) {
+                subjects.insert(sid.0);
+                objects.insert(oid.0);
+            }
+        }
+        assert_eq!(s.distinct_subject_count(), subjects.len());
+        assert_eq!(s.distinct_object_count(), objects.len());
     }
 
     #[test]
@@ -722,6 +1086,8 @@ mod tests {
         assert_eq!(s.count_pattern(TriplePattern::with_sp(max, max)), 0);
         assert_eq!(s.count_pattern(TriplePattern::exact(max, max, max)), 0);
         assert_eq!(s.scan(TriplePattern::with_o(max)).count(), 0);
+        assert_eq!(s.scan(TriplePattern::with_p(max)).count(), 0);
+        assert_eq!(s.count_pattern(TriplePattern::with_po(max, max)), 0);
         assert!(!s.contains(max, max, max));
     }
 

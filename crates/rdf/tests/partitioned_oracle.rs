@@ -1,0 +1,152 @@
+//! Property test: the predicate-partitioned store must be observably
+//! identical to a flat-run oracle (a plain `BTreeSet` of SPO keys) under
+//! arbitrary interleavings of insert / remove / flush / bulk-load, at
+//! every merge threshold, for every pattern shape.
+
+use proptest::prelude::*;
+use sofya_rdf::{Term, TermId, TriplePattern, TripleStore};
+use std::collections::BTreeSet;
+
+const ENTITIES: u32 = 9;
+const PREDICATES: u32 = 4;
+
+/// One step of an interleaved op sequence.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, u32, u32),
+    Remove(u32, u32, u32),
+    /// Bulk-load a batch (may contain duplicates, internal and external).
+    Batch(Vec<(u32, u32, u32)>),
+    Flush,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    fn triple() -> (
+        std::ops::Range<u32>,
+        std::ops::Range<u32>,
+        std::ops::Range<u32>,
+    ) {
+        (0..ENTITIES, 0..PREDICATES, 0..ENTITIES)
+    }
+    // The vendored proptest has no weighted prop_oneof; repeating the
+    // insert arm biases the mix toward growth.
+    prop_oneof![
+        triple().prop_map(|(s, p, o)| Op::Insert(s, p, o)),
+        triple().prop_map(|(s, p, o)| Op::Insert(s, p, o)),
+        triple().prop_map(|(s, p, o)| Op::Insert(s, p, o)),
+        triple().prop_map(|(s, p, o)| Op::Remove(s, p, o)),
+        proptest::collection::vec(triple(), 1..20).prop_map(Op::Batch),
+        Just(Op::Flush),
+    ]
+}
+
+/// Interns the fact universe up front so op ids map to stable term ids.
+fn fresh_store(threshold: usize) -> (TripleStore, Vec<TermId>, Vec<TermId>) {
+    let mut store = TripleStore::new();
+    store.set_merge_threshold(threshold);
+    let entities: Vec<TermId> = (0..ENTITIES)
+        .map(|e| store.intern(&Term::iri(format!("e{e}"))))
+        .collect();
+    let predicates: Vec<TermId> = (0..PREDICATES)
+        .map(|p| store.intern(&Term::iri(format!("p{p}"))))
+        .collect();
+    (store, entities, predicates)
+}
+
+/// Every pattern shape over the (small) id universe, plus a foreign id.
+fn check_all_patterns(store: &TripleStore, oracle: &BTreeSet<(u32, u32, u32)>, step: usize) {
+    // Full-scan agreement (content and SPO order).
+    let scanned: Vec<(u32, u32, u32)> = store.iter().map(|t| (t.s.0, t.p.0, t.o.0)).collect();
+    let expected: Vec<(u32, u32, u32)> = oracle.iter().copied().collect();
+    assert_eq!(scanned, expected, "full scan at step {step}");
+    assert_eq!(store.len(), oracle.len(), "len at step {step}");
+
+    let ids: Vec<Option<TermId>> = (0..ENTITIES + PREDICATES)
+        .map(|i| Some(TermId(i)))
+        .chain([None, Some(TermId(u32::MAX))])
+        .collect();
+    for &s in &ids {
+        for &p in &ids {
+            for &o in &ids {
+                let pat = TriplePattern { s, p, o };
+                let brute: BTreeSet<(u32, u32, u32)> = oracle
+                    .iter()
+                    .copied()
+                    .filter(|&(ks, kp, ko)| {
+                        s.is_none_or(|v| v.0 == ks)
+                            && p.is_none_or(|v| v.0 == kp)
+                            && o.is_none_or(|v| v.0 == ko)
+                    })
+                    .collect();
+                assert_eq!(
+                    store.count_pattern(pat),
+                    brute.len(),
+                    "count {pat:?} at step {step}"
+                );
+                let got: BTreeSet<(u32, u32, u32)> =
+                    store.scan(pat).map(|t| (t.s.0, t.p.0, t.o.0)).collect();
+                assert_eq!(got, brute, "scan {pat:?} at step {step}");
+            }
+        }
+    }
+
+    // Predicate directory agrees with the oracle's live predicates.
+    let live: BTreeSet<u32> = oracle.iter().map(|&(_, p, _)| p).collect();
+    let dir: BTreeSet<u32> = store.predicates().iter().map(|p| p.0).collect();
+    assert_eq!(dir, live, "predicate directory at step {step}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interleaved single ops and batches, checked exhaustively over all
+    /// pattern shapes every few steps (every step would be O(n^3) per op).
+    #[test]
+    fn partitioned_store_matches_flat_oracle(
+        threshold in prop_oneof![Just(1usize), Just(3), Just(8), Just(1024)],
+        ops in proptest::collection::vec(op(), 1..40),
+    ) {
+        let (mut store, entities, predicates) = fresh_store(threshold);
+        let mut oracle: BTreeSet<(u32, u32, u32)> = BTreeSet::new();
+        let key = |s: u32, p: u32, o: u32, e: &[TermId], pr: &[TermId]| {
+            (e[s as usize].0, pr[p as usize].0, e[o as usize].0)
+        };
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::Insert(s, p, o) => {
+                    let (ks, kp, ko) = key(*s, *p, *o, &entities, &predicates);
+                    let fresh = store.insert(TermId(ks), TermId(kp), TermId(ko));
+                    prop_assert_eq!(fresh, oracle.insert((ks, kp, ko)), "insert at step {}", step);
+                }
+                Op::Remove(s, p, o) => {
+                    let (ks, kp, ko) = key(*s, *p, *o, &entities, &predicates);
+                    let was = store.remove(TermId(ks), TermId(kp), TermId(ko));
+                    prop_assert_eq!(was, oracle.remove(&(ks, kp, ko)), "remove at step {}", step);
+                }
+                Op::Batch(batch) => {
+                    let keys: Vec<(TermId, TermId, TermId)> = batch
+                        .iter()
+                        .map(|&(s, p, o)| {
+                            let (ks, kp, ko) = key(s, p, o, &entities, &predicates);
+                            (TermId(ks), TermId(kp), TermId(ko))
+                        })
+                        .collect();
+                    let mut new = 0usize;
+                    for &(s, p, o) in &keys {
+                        if oracle.insert((s.0, p.0, o.0)) {
+                            new += 1;
+                        }
+                    }
+                    prop_assert_eq!(store.load_batch(keys), new, "batch at step {}", step);
+                }
+                Op::Flush => store.flush(),
+            }
+            if step % 7 == 0 {
+                check_all_patterns(&store, &oracle, step);
+            }
+        }
+        check_all_patterns(&store, &oracle, ops.len());
+        store.flush();
+        check_all_patterns(&store, &oracle, ops.len() + 1);
+    }
+}

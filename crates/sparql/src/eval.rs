@@ -29,20 +29,95 @@ pub fn execute_with_options(
     query: &str,
     opts: PlanOptions<'_>,
 ) -> Result<QueryOutcome, SparqlError> {
-    match parse_query(query)? {
+    execute_ast_with_options(store, &parse_query(query)?, opts)
+}
+
+/// Executes an already-parsed query (the fast path for prepared queries:
+/// no tokenizing, no parsing).
+pub fn execute_ast(store: &TripleStore, query: &Query) -> Result<QueryOutcome, SparqlError> {
+    execute_ast_with_options(store, query, PlanOptions::default())
+}
+
+/// Executes an already-parsed query with explicit [`PlanOptions`].
+pub fn execute_ast_with_options(
+    store: &TripleStore,
+    query: &Query,
+    opts: PlanOptions<'_>,
+) -> Result<QueryOutcome, SparqlError> {
+    match query {
         Query::Select(select) => Ok(QueryOutcome::Solutions(execute_select_with(
-            store, &select, opts,
+            store, select, opts,
         )?)),
         Query::Ask(pattern) => {
-            let plan = GroupPlan::build_with(store, &pattern, &[], opts);
-            // A bare pattern set resolves through the flat indexes without
-            // running the join at all: non-emptiness of the prefix range.
-            if let Some(n) = exact_pattern_count(store, &plan) {
-                return Ok(QueryOutcome::Boolean(n > 0));
-            }
-            Ok(QueryOutcome::Boolean(any_solution(store, &plan, None)?))
+            let plan = GroupPlan::build_with(store, pattern, &[], opts);
+            Ok(QueryOutcome::Boolean(execute_ask_planned(store, &plan)?))
         }
     }
+}
+
+/// A query compiled against one concrete (immutable) store: parsed once,
+/// planned once. Re-executing skips both stages — the backing for
+/// endpoint-level plan caches.
+///
+/// The embedded plan holds dictionary ids of *that* store; executing it
+/// against a store whose dictionary differs yields garbage, so keep one
+/// cache per store (the `LocalEndpoint` wrapper does).
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    inner: CompiledInner,
+}
+
+#[derive(Debug, Clone)]
+enum CompiledInner {
+    Select {
+        query: Box<SelectQuery>,
+        plan: GroupPlan,
+    },
+    Ask {
+        plan: GroupPlan,
+    },
+}
+
+/// Parses and plans `query` against `store` for repeated execution via
+/// [`execute_compiled`].
+pub fn compile_with_options(
+    store: &TripleStore,
+    query: &str,
+    opts: PlanOptions<'_>,
+) -> Result<CompiledQuery, SparqlError> {
+    let inner = match parse_query(query)? {
+        Query::Select(select) => CompiledInner::Select {
+            plan: GroupPlan::build_with(store, &select.pattern, &[], opts),
+            query: Box::new(select),
+        },
+        Query::Ask(pattern) => CompiledInner::Ask {
+            plan: GroupPlan::build_with(store, &pattern, &[], opts),
+        },
+    };
+    Ok(CompiledQuery { inner })
+}
+
+/// Executes a compiled query against the store it was compiled for.
+pub fn execute_compiled(
+    store: &TripleStore,
+    compiled: &CompiledQuery,
+) -> Result<QueryOutcome, SparqlError> {
+    match &compiled.inner {
+        CompiledInner::Select { query, plan } => Ok(QueryOutcome::Solutions(
+            execute_select_planned(store, query, plan)?,
+        )),
+        CompiledInner::Ask { plan } => Ok(QueryOutcome::Boolean(execute_ask_planned(store, plan)?)),
+    }
+}
+
+/// Executes a planned ASK: a bare pattern set resolves through the flat
+/// indexes without running the join at all (non-emptiness of the prefix
+/// range).
+fn execute_ask_planned(store: &TripleStore, plan: &GroupPlan) -> Result<bool, SparqlError> {
+    if let Some(n) = exact_pattern_count(store, plan) {
+        return Ok(n > 0);
+    }
+    any_solution(store, plan, None)
 }
 
 /// Parses and executes a `SELECT` query.
@@ -126,7 +201,15 @@ pub fn execute_select_with(
     opts: PlanOptions<'_>,
 ) -> Result<ResultSet, SparqlError> {
     let plan = GroupPlan::build_with(store, &query.pattern, &[], opts);
+    execute_select_planned(store, query, &plan)
+}
 
+/// Executes a `SELECT` whose group plan was already built.
+fn execute_select_planned(
+    store: &TripleStore,
+    query: &SelectQuery,
+    plan: &GroupPlan,
+) -> Result<ResultSet, SparqlError> {
     // COUNT over a bare pattern short-circuits through the index bounds:
     // no join, no binding materialisation.
     if let Projection::Count {
@@ -150,7 +233,7 @@ pub fn execute_select_with(
                 }),
         };
         if var_always_bound {
-            if let Some(n) = exact_pattern_count(store, &plan) {
+            if let Some(n) = exact_pattern_count(store, plan) {
                 return Ok(aggregate_row(query, alias, n));
             }
         }
@@ -171,7 +254,7 @@ pub fn execute_select_with(
     };
 
     let binding = vec![None; plan.var_names.len()];
-    let bindings = eval_group(store, &plan, binding, early_stop)?;
+    let bindings = eval_group(store, plan, binding, early_stop)?;
 
     // Aggregation short-circuits projection.
     if let Projection::Count {

@@ -41,6 +41,7 @@ pub mod error;
 pub mod eval;
 pub mod parser;
 pub mod plan;
+pub mod prepared;
 pub mod solution;
 pub mod token;
 pub mod unparse;
@@ -49,9 +50,12 @@ pub mod value;
 pub use ast::{Expr, NodePattern, Projection, Query, SelectQuery, TriplePatternAst};
 pub use error::SparqlError;
 pub use eval::{
-    execute, execute_ask, execute_query, execute_select_with, execute_with_options, QueryOutcome,
+    compile_with_options, execute, execute_ask, execute_ast, execute_ast_with_options,
+    execute_compiled, execute_query, execute_select_with, execute_with_options, CompiledQuery,
+    QueryOutcome,
 };
 pub use parser::parse_query;
 pub use plan::PlanOptions;
+pub use prepared::Prepared;
 pub use solution::ResultSet;
 pub use unparse::unparse;

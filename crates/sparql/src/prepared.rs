@@ -1,0 +1,340 @@
+//! Parameterized prepared queries.
+//!
+//! SOFYA's aligner issues a handful of fixed query *shapes* over and over
+//! with different constants (`ASK { <x> <r> ?y }` for thousands of `x`).
+//! Paying tokenizer + parser for every instance is pure overhead: a
+//! [`Prepared`] query parses the template **once** and afterwards binds
+//! constants directly into a clone of the AST — no string formatting, no
+//! re-parse.
+//!
+//! A template is ordinary SPARQL text in which some variables are declared
+//! as parameters by name:
+//!
+//! ```
+//! use sofya_rdf::{Term, TripleStore};
+//! use sofya_sparql::Prepared;
+//!
+//! let probe = Prepared::new("ASK { ?s ?r ?y }", &["s", "r"]).unwrap();
+//! let mut store = TripleStore::new();
+//! store.insert_terms(&Term::iri("a"), &Term::iri("p"), &Term::iri("b"));
+//! let bound = probe.bind(&[Term::iri("a"), Term::iri("p")]).unwrap();
+//! let out = sofya_sparql::execute_ast(&store, &bound).unwrap();
+//! assert_eq!(out, sofya_sparql::QueryOutcome::Boolean(true));
+//! ```
+//!
+//! Binding replaces every occurrence of a parameter variable — in triple
+//! patterns, `FILTER` expressions, and nested `UNION` / `OPTIONAL` /
+//! `EXISTS` groups — with the corresponding constant term. Endpoints that
+//! cannot execute an AST directly (remote HTTP endpoints, wrappers keyed
+//! by query strings) fall back to [`Prepared::render`], which serialises
+//! the bound AST through [`crate::unparse`].
+
+use crate::ast::{Expr, GroupGraphPattern, NodePattern, Projection, Query};
+use crate::error::SparqlError;
+use crate::parser::parse_query;
+use crate::unparse::unparse;
+use sofya_rdf::Term;
+
+/// A parse-once query template with named constant parameters.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    query: Query,
+    params: Vec<String>,
+}
+
+impl Prepared {
+    /// Parses `template` and declares the variables named in `params`
+    /// (without the `?` sigil) as bind-time constants, in order.
+    ///
+    /// Every parameter must occur in the template's graph pattern, and
+    /// none may appear in the projection or `ORDER BY` (a constant cannot
+    /// be projected or sorted by).
+    pub fn new(template: &str, params: &[&str]) -> Result<Self, SparqlError> {
+        let query = parse_query(template)?;
+        let params: Vec<String> = params.iter().map(|p| (*p).to_owned()).collect();
+        for (i, param) in params.iter().enumerate() {
+            if params[..i].contains(param) {
+                return Err(SparqlError::parse(format!(
+                    "duplicate prepared parameter ?{param}"
+                )));
+            }
+        }
+        let pattern = match &query {
+            Query::Select(s) => &s.pattern,
+            Query::Ask(p) => p,
+        };
+        let mut pattern_vars = Vec::new();
+        template_vars(pattern, &mut pattern_vars);
+        for param in &params {
+            if !pattern_vars.contains(param) {
+                return Err(SparqlError::parse(format!(
+                    "prepared parameter ?{param} does not occur in the template pattern"
+                )));
+            }
+        }
+        if let Query::Select(s) = &query {
+            for param in &params {
+                // `SELECT *` projects every pattern variable, and COUNT(?v)
+                // aggregates over one — binding either away at execution
+                // time would silently change the result shape.
+                let projected = match &s.projection {
+                    Projection::Vars(vars) => vars.contains(param),
+                    Projection::Star => true,
+                    Projection::Count { var, .. } => var.as_ref() == Some(param),
+                };
+                if projected || s.order_by.iter().any(|k| &k.var == param) {
+                    return Err(SparqlError::parse(format!(
+                        "prepared parameter ?{param} cannot be projected or ordered by"
+                    )));
+                }
+            }
+        }
+        Ok(Self { query, params })
+    }
+
+    /// Number of declared parameters.
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Binds `args` (one term per parameter, in declaration order) into a
+    /// clone of the template AST.
+    pub fn bind(&self, args: &[Term]) -> Result<Query, SparqlError> {
+        if args.len() != self.params.len() {
+            return Err(SparqlError::eval(format!(
+                "prepared query expects {} argument(s), got {}",
+                self.params.len(),
+                args.len()
+            )));
+        }
+        let mut query = self.query.clone();
+        match &mut query {
+            Query::Select(s) => bind_group(&mut s.pattern, &self.params, args),
+            Query::Ask(p) => bind_group(p, &self.params, args),
+        }
+        Ok(query)
+    }
+
+    /// Binds `args` and serialises the result to SPARQL text (the slow
+    /// path for endpoints that only speak strings).
+    pub fn render(&self, args: &[Term]) -> Result<String, SparqlError> {
+        Ok(unparse(&self.bind(args)?))
+    }
+}
+
+fn lookup<'a>(params: &[String], args: &'a [Term], name: &str) -> Option<&'a Term> {
+    params.iter().position(|p| p == name).map(|i| &args[i])
+}
+
+/// Every variable of the group tree, including those only referenced by
+/// filter expressions and `EXISTS` sub-patterns (unlike
+/// [`crate::ast::collect_pattern_vars`], which only walks triple
+/// positions — parameters may legitimately appear in filters only).
+fn template_vars(group: &GroupGraphPattern, vars: &mut Vec<String>) {
+    crate::ast::collect_pattern_vars(group, vars);
+    fn expr_vars(expr: &Expr, vars: &mut Vec<String>) {
+        match expr {
+            Expr::Var(v) => {
+                if !vars.iter().any(|existing| existing == v) {
+                    vars.push(v.clone());
+                }
+            }
+            Expr::Const(_) => {}
+            Expr::Compare(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                expr_vars(a, vars);
+                expr_vars(b, vars);
+            }
+            Expr::Not(inner) => expr_vars(inner, vars),
+            Expr::Call(_, args) => args.iter().for_each(|a| expr_vars(a, vars)),
+            Expr::Exists { pattern, .. } => template_vars(pattern, vars),
+        }
+    }
+    fn filter_walk(group: &GroupGraphPattern, vars: &mut Vec<String>) {
+        group.filters.iter().for_each(|f| expr_vars(f, vars));
+        for block in &group.unions {
+            block.iter().for_each(|b| filter_walk(b, vars));
+        }
+        group.optionals.iter().for_each(|o| filter_walk(o, vars));
+    }
+    filter_walk(group, vars);
+}
+
+fn bind_group(group: &mut GroupGraphPattern, params: &[String], args: &[Term]) {
+    for triple in &mut group.triples {
+        for node in [&mut triple.s, &mut triple.p, &mut triple.o] {
+            if let NodePattern::Var(name) = node {
+                if let Some(term) = lookup(params, args, name) {
+                    *node = NodePattern::Term(term.clone());
+                }
+            }
+        }
+    }
+    for filter in &mut group.filters {
+        bind_expr(filter, params, args);
+    }
+    for block in &mut group.unions {
+        for branch in block {
+            bind_group(branch, params, args);
+        }
+    }
+    for optional in &mut group.optionals {
+        bind_group(optional, params, args);
+    }
+}
+
+fn bind_expr(expr: &mut Expr, params: &[String], args: &[Term]) {
+    match expr {
+        Expr::Var(name) => {
+            if let Some(term) = lookup(params, args, name) {
+                *expr = Expr::Const(term.clone());
+            }
+        }
+        Expr::Const(_) => {}
+        Expr::Compare(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+            bind_expr(a, params, args);
+            bind_expr(b, params, args);
+        }
+        Expr::Not(inner) => bind_expr(inner, params, args),
+        Expr::Call(_, call_args) => {
+            for a in call_args {
+                bind_expr(a, params, args);
+            }
+        }
+        Expr::Exists { pattern, .. } => bind_group(pattern, params, args),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{execute, execute_ask, execute_ast};
+    use crate::QueryOutcome;
+    use sofya_rdf::TripleStore;
+
+    fn demo_store() -> TripleStore {
+        let mut s = TripleStore::new();
+        s.insert_terms(&Term::iri("e:a"), &Term::iri("r:p"), &Term::iri("e:b"));
+        s.insert_terms(&Term::iri("e:a"), &Term::iri("r:q"), &Term::iri("e:c"));
+        s.insert_terms(&Term::iri("e:b"), &Term::iri("r:p"), &Term::iri("e:c"));
+        s
+    }
+
+    #[test]
+    fn bound_ask_matches_string_query() {
+        let store = demo_store();
+        let probe = Prepared::new("ASK { ?s ?r ?y }", &["s", "r"]).unwrap();
+        for (s, r, want) in [
+            ("e:a", "r:p", true),
+            ("e:a", "r:q", true),
+            ("e:c", "r:p", false),
+        ] {
+            let bound = probe.bind(&[Term::iri(s), Term::iri(r)]).unwrap();
+            let direct = execute_ast(&store, &bound).unwrap();
+            let via_string = execute_ask(&store, &format!("ASK {{ <{s}> <{r}> ?y }}")).unwrap();
+            assert_eq!(direct, QueryOutcome::Boolean(want));
+            assert_eq!(via_string, want);
+        }
+    }
+
+    #[test]
+    fn bound_select_matches_string_query() {
+        let store = demo_store();
+        let q = Prepared::new(
+            "SELECT DISTINCT ?p WHERE { ?s ?p ?o } ORDER BY ?p",
+            &["s", "o"],
+        )
+        .unwrap();
+        let bound = q.bind(&[Term::iri("e:a"), Term::iri("e:b")]).unwrap();
+        let QueryOutcome::Solutions(rs) = execute_ast(&store, &bound).unwrap() else {
+            panic!("expected solutions");
+        };
+        let oracle = execute(
+            &store,
+            "SELECT DISTINCT ?p WHERE { <e:a> ?p <e:b> } ORDER BY ?p",
+        )
+        .unwrap();
+        assert_eq!(rs, oracle);
+    }
+
+    #[test]
+    fn render_produces_equivalent_text() {
+        let store = demo_store();
+        let probe = Prepared::new("ASK { ?s ?r ?y }", &["s", "r"]).unwrap();
+        let text = probe.render(&[Term::iri("e:a"), Term::iri("r:p")]).unwrap();
+        assert!(execute_ask(&store, &text).unwrap());
+    }
+
+    #[test]
+    fn binds_inside_filters_and_exists() {
+        let store = demo_store();
+        let q = Prepared::new(
+            "SELECT ?x { ?x <r:p> ?y FILTER NOT EXISTS { ?x <r:q> ?c } }",
+            &["c"],
+        )
+        .unwrap();
+        let bound = q.bind(&[Term::iri("e:c")]).unwrap();
+        let QueryOutcome::Solutions(rs) = execute_ast(&store, &bound).unwrap() else {
+            panic!("expected solutions");
+        };
+        // e:a has r:q→e:c, so only e:b survives.
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.cell(0, "x"), Some(&Term::iri("e:b")));
+    }
+
+    #[test]
+    fn literal_arguments_bind() {
+        let mut store = TripleStore::new();
+        store.insert_terms(
+            &Term::iri("e:a"),
+            &Term::iri("r:name"),
+            &Term::literal("Ann"),
+        );
+        let probe = Prepared::new("ASK { ?s <r:name> ?v }", &["s", "v"]).unwrap();
+        let hit = probe
+            .bind(&[Term::iri("e:a"), Term::literal("Ann")])
+            .unwrap();
+        let miss = probe
+            .bind(&[Term::iri("e:a"), Term::literal("Bob")])
+            .unwrap();
+        assert_eq!(
+            execute_ast(&store, &hit).unwrap(),
+            QueryOutcome::Boolean(true)
+        );
+        assert_eq!(
+            execute_ast(&store, &miss).unwrap(),
+            QueryOutcome::Boolean(false)
+        );
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let probe = Prepared::new("ASK { ?s <r:p> ?y }", &["s"]).unwrap();
+        assert!(probe.bind(&[]).is_err());
+        assert!(probe.bind(&[Term::iri("a"), Term::iri("b")]).is_err());
+    }
+
+    #[test]
+    fn unknown_parameter_is_rejected() {
+        assert!(Prepared::new("ASK { ?s <r:p> ?y }", &["ghost"]).is_err());
+    }
+
+    #[test]
+    fn duplicate_parameter_is_rejected() {
+        assert!(Prepared::new("ASK { ?s <r:p> ?y }", &["s", "s"]).is_err());
+    }
+
+    #[test]
+    fn star_and_count_projections_reject_parameters() {
+        assert!(Prepared::new("SELECT * { ?s <r:p> ?y }", &["s"]).is_err());
+        assert!(Prepared::new("SELECT (COUNT(?y) AS ?n) { ?s <r:p> ?y }", &["y"]).is_err());
+        // COUNT(*) and COUNT over a different variable are fine.
+        assert!(Prepared::new("SELECT (COUNT(*) AS ?n) { ?s <r:p> ?y }", &["s"]).is_ok());
+        assert!(Prepared::new("SELECT (COUNT(?y) AS ?n) { ?s <r:p> ?y }", &["s"]).is_ok());
+    }
+
+    #[test]
+    fn projected_parameter_is_rejected() {
+        assert!(Prepared::new("SELECT ?s { ?s <r:p> ?y }", &["s"]).is_err());
+        assert!(Prepared::new("SELECT ?y { ?s <r:p> ?y } ORDER BY ?s", &["s"]).is_err());
+    }
+}
