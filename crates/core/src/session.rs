@@ -12,16 +12,33 @@ use crate::error::AlignError;
 use crate::rule::SubsumptionRule;
 use sofya_endpoint::Endpoint;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// One relation's cache slot. The `epoch` identifies one computation
+/// attempt: a failure is broadcast to exactly the cohort that waited on
+/// that attempt (concurrent peers share the error instead of retrying
+/// serially, which would multiply both latency and endpoint quota spend),
+/// while any *later* request clears the `Failed` marker and retries
+/// fresh — errors are never cached across attempts.
+enum Slot {
+    InProgress { epoch: u64 },
+    Done(Vec<SubsumptionRule>),
+    Failed { epoch: u64, error: AlignError },
+}
 
 /// A caching facade over [`Aligner`] for query-time use.
 ///
-/// Thread-safe: concurrent queries may race to align the same relation
-/// (both compute, last write wins — the results are deterministic, so the
-/// duplicates are identical).
+/// Thread-safe with **single-flight** per relation: when concurrent
+/// queries hit the same cold relation, exactly one computes while the
+/// others wait for its result — a burst of identical requests costs one
+/// alignment's worth of endpoint queries, which is the whole "first query
+/// pays, later ones reuse" contract under the multi-threaded service.
 pub struct AlignmentSession<'a> {
     aligner: Aligner<'a>,
-    cache: Mutex<HashMap<String, Vec<SubsumptionRule>>>,
+    cache: Mutex<HashMap<String, Slot>>,
+    done: Condvar,
+    epochs: AtomicU64,
 }
 
 impl<'a> AlignmentSession<'a> {
@@ -30,20 +47,97 @@ impl<'a> AlignmentSession<'a> {
         Self {
             aligner: Aligner::new(source, target, config),
             cache: Mutex::new(HashMap::new()),
+            done: Condvar::new(),
+            epochs: AtomicU64::new(0),
         }
+    }
+
+    /// A panic in the computing thread must not poison the pool (the
+    /// service scheduler contains it); recover the guard.
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, Slot>> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// The rules for one target relation, aligning on first use.
     pub fn rules_for(&self, relation: &str) -> Result<Vec<SubsumptionRule>, AlignError> {
-        if let Some(hit) = self.cache.lock().expect("cache poisoned").get(relation) {
-            return Ok(hit.clone());
+        // Claim the slot or wait for whoever holds it.
+        let my_epoch = self.epochs.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.lock();
+        loop {
+            match cache.get(relation) {
+                Some(Slot::Done(rules)) => return Ok(rules.clone()),
+                Some(Slot::InProgress { epoch }) => {
+                    let waited_on = *epoch;
+                    cache = self.done.wait(cache).unwrap_or_else(|e| e.into_inner());
+                    // If the attempt we waited on failed, we are part of
+                    // its cohort: share the error instead of each waiter
+                    // re-running a full (doomed) alignment in turn.
+                    if let Some(Slot::Failed { epoch, error }) = cache.get(relation) {
+                        if *epoch == waited_on {
+                            return Err(error.clone());
+                        }
+                    }
+                }
+                Some(Slot::Failed { .. }) => {
+                    // A previous attempt's error we did not wait on:
+                    // clear it and retry fresh (errors are not cached).
+                    cache.remove(relation);
+                }
+                None => {
+                    cache.insert(relation.to_owned(), Slot::InProgress { epoch: my_epoch });
+                    break;
+                }
+            }
         }
-        let rules = self.aligner.align_relation(relation)?;
-        self.cache
-            .lock()
-            .expect("cache poisoned")
-            .insert(relation.to_owned(), rules.clone());
-        Ok(rules)
+        drop(cache);
+
+        // The claim must be released on *every* exit — including a panic
+        // unwinding through `align_relation` (the service scheduler
+        // contains the panic, but a stuck `InProgress` slot would block
+        // every later request for this relation forever). The guard's
+        // `Drop` removes the slot unless it was already replaced with
+        // `Done` or `Failed`, and wakes the waiters either way.
+        struct Claim<'s> {
+            cache: &'s Mutex<HashMap<String, Slot>>,
+            done: &'s Condvar,
+            relation: &'s str,
+        }
+        impl Drop for Claim<'_> {
+            fn drop(&mut self) {
+                let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+                if matches!(cache.get(self.relation), Some(Slot::InProgress { .. })) {
+                    cache.remove(self.relation);
+                }
+                drop(cache);
+                self.done.notify_all();
+            }
+        }
+        let claim = Claim {
+            cache: &self.cache,
+            done: &self.done,
+            relation,
+        };
+
+        let result = self.aligner.align_relation(relation);
+        match &result {
+            Ok(rules) => {
+                self.lock()
+                    .insert(relation.to_owned(), Slot::Done(rules.clone()));
+            }
+            Err(error) => {
+                // Broadcast to the cohort waiting on this epoch; the next
+                // *new* request clears the marker and retries.
+                self.lock().insert(
+                    relation.to_owned(),
+                    Slot::Failed {
+                        epoch: my_epoch,
+                        error: error.clone(),
+                    },
+                );
+            }
+        }
+        drop(claim); // wakes waiters; Done/Failed slots survive the guard
+        result
     }
 
     /// The best source relation for `relation` (highest confidence), if
@@ -52,22 +146,30 @@ impl<'a> AlignmentSession<'a> {
         Ok(self.rules_for(relation)?.first().map(|r| r.premise.clone()))
     }
 
-    /// Relations already aligned in this session.
+    /// Relations already aligned (not merely in flight) in this session.
     pub fn cached_relations(&self) -> Vec<String> {
         let mut relations: Vec<String> = self
-            .cache
             .lock()
-            .expect("cache poisoned")
-            .keys()
-            .cloned()
+            .iter()
+            .filter(|(_, slot)| matches!(slot, Slot::Done(_)))
+            .map(|(relation, _)| relation.clone())
             .collect();
         relations.sort();
         relations
     }
 
-    /// Drops one relation's cached rules (e.g. after a KB update).
+    /// Drops one relation's cached rules (and any lingering failure
+    /// marker), e.g. after a KB update. An in-flight computation keeps
+    /// its claim; its (pre-invalidation) result still lands, as it would
+    /// have had it finished a moment earlier.
     pub fn invalidate(&self, relation: &str) {
-        self.cache.lock().expect("cache poisoned").remove(relation);
+        let mut cache = self.lock();
+        if matches!(
+            cache.get(relation),
+            Some(Slot::Done(_)) | Some(Slot::Failed { .. })
+        ) {
+            cache.remove(relation);
+        }
     }
 
     /// The underlying aligner (for configuration inspection).
@@ -144,6 +246,54 @@ mod tests {
         session.invalidate("y:born");
         session.rules_for("y:born").unwrap();
         assert!(counters.total_queries() > before);
+    }
+
+    #[test]
+    fn errors_are_not_cached_and_do_not_wedge_the_slot() {
+        use sofya_endpoint::{QuotaConfig, QuotaEndpoint};
+        let (dbp, yago) = endpoints();
+        let broke = QuotaEndpoint::new(
+            dbp,
+            QuotaConfig {
+                max_queries: Some(0),
+                max_rows_per_query: None,
+            },
+        );
+        let session = AlignmentSession::new(&broke, &yago, AlignerConfig::paper_defaults(1));
+        assert!(session.rules_for("y:born").is_err());
+        // The failure marker must not wedge or satisfy later requests:
+        // a fresh call retries (and fails again against the dead quota).
+        assert!(session.rules_for("y:born").is_err());
+        assert!(session.cached_relations().is_empty());
+        session.invalidate("y:born"); // clears any lingering marker
+        assert!(session.rules_for("y:born").is_err());
+    }
+
+    #[test]
+    fn concurrent_cold_requests_align_once() {
+        let (dbp, yago) = endpoints();
+        let counters = dbp.counters();
+        // Baseline: what one alignment costs.
+        let solo = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
+        solo.rules_for("y:born").unwrap();
+        let single_cost = counters.total_queries();
+        counters.reset();
+
+        // A burst of identical cold requests must pay that cost once:
+        // one thread computes, the rest wait on the in-flight slot.
+        let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| session.rules_for("y:born").unwrap()))
+                .collect();
+            let results: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+            assert!(results.windows(2).all(|w| w[0] == w[1]));
+        });
+        assert_eq!(
+            counters.total_queries(),
+            single_cost,
+            "single-flight must collapse the burst to one alignment"
+        );
     }
 
     #[test]

@@ -173,6 +173,27 @@ impl<E: Endpoint> Endpoint for CachingEndpoint<E> {
         Ok(answer)
     }
 
+    fn select_prepared_paged(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+        limit: Option<usize>,
+        offset: Option<usize>,
+    ) -> Result<ResultSet, EndpointError> {
+        // Each page renders to a distinct string, so pages never collide.
+        let query = prepared.render_paged(args, limit, offset)?;
+        if let Some(hit) = self.lookup(&self.select_cache, &query) {
+            return Ok(hit);
+        }
+        let rs = self
+            .inner
+            .select_prepared_paged(prepared, args, limit, offset)?;
+        self.select_cache
+            .lock()
+            .insert(query, (rs.clone(), self.now()));
+        Ok(rs)
+    }
+
     fn name(&self) -> &str {
         self.inner.name()
     }

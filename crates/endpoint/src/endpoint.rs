@@ -38,6 +38,23 @@ pub trait Endpoint: Send + Sync {
         self.ask(&query)
     }
 
+    /// Executes a prepared `SELECT` with a structural `LIMIT`/`OFFSET`
+    /// override — the paged sampling shapes, whose page bounds change on
+    /// every call. The default renders the paged query to text (each page
+    /// is a distinct string, so string-keyed wrappers stay correct);
+    /// in-process endpoints override it to execute the bound AST and keep
+    /// pagination entirely off the parse path.
+    fn select_prepared_paged(
+        &self,
+        prepared: &Prepared,
+        args: &[Term],
+        limit: Option<usize>,
+        offset: Option<usize>,
+    ) -> Result<ResultSet, EndpointError> {
+        let query = prepared.render_paged(args, limit, offset)?;
+        self.select(&query)
+    }
+
     /// A short display name (e.g. `"yago"`, `"dbpedia"`), used in reports.
     fn name(&self) -> &str;
 }
@@ -63,6 +80,16 @@ impl<E: Endpoint + ?Sized> Endpoint for std::sync::Arc<E> {
 
     fn ask_prepared(&self, prepared: &Prepared, args: &[Term]) -> Result<bool, EndpointError> {
         (**self).ask_prepared(prepared, args)
+    }
+
+    fn select_prepared_paged(
+        &self,
+        prepared: &Prepared,
+        args: &[Term],
+        limit: Option<usize>,
+        offset: Option<usize>,
+    ) -> Result<ResultSet, EndpointError> {
+        (**self).select_prepared_paged(prepared, args, limit, offset)
     }
 
     fn name(&self) -> &str {

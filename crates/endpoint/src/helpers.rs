@@ -73,18 +73,18 @@ pub fn relation_fact_count<E: Endpoint + ?Sized>(
     Ok(rs.single_integer().unwrap_or(0).max(0) as usize)
 }
 
-/// A page of facts `r(x, y)`, ordered deterministically.
+/// A page of facts `r(x, y)`, ordered deterministically. The page bounds
+/// ride through [`Endpoint::select_prepared_paged`], so in-process
+/// endpoints never parse a per-page query string.
 pub fn relation_facts_page<E: Endpoint + ?Sized>(
     ep: &E,
     relation: &str,
     limit: usize,
     offset: usize,
 ) -> Result<Vec<(Term, Term)>, EndpointError> {
-    let q = format!(
-        "SELECT ?x ?y WHERE {{ ?x {} ?y }} ORDER BY ?x ?y LIMIT {limit} OFFSET {offset}",
-        iri_ref(relation)
-    );
-    let rs = ep.select(&q)?;
+    static Q: OnceLock<Prepared> = OnceLock::new();
+    let q = prepared(&Q, "SELECT ?x ?y WHERE { ?x ?r ?y } ORDER BY ?x ?y", &["r"]);
+    let rs = ep.select_prepared_paged(q, &[Term::iri(relation)], Some(limit), Some(offset))?;
     Ok(rs
         .into_parts()
         .1
@@ -109,13 +109,18 @@ pub fn linked_entity_facts_page<E: Endpoint + ?Sized>(
     limit: usize,
     offset: usize,
 ) -> Result<Vec<(Term, Term, Term, Term)>, EndpointError> {
-    let q = format!(
-        "SELECT ?x ?y ?x2 ?y2 WHERE {{ ?x {r} ?y . ?x {sa} ?x2 . ?y {sa} ?y2 }} \
-         ORDER BY ?x ?y LIMIT {limit} OFFSET {offset}",
-        r = iri_ref(relation),
-        sa = iri_ref(same_as),
+    static Q: OnceLock<Prepared> = OnceLock::new();
+    let q = prepared(
+        &Q,
+        "SELECT ?x ?y ?x2 ?y2 WHERE { ?x ?r ?y . ?x ?sa ?x2 . ?y ?sa ?y2 } ORDER BY ?x ?y",
+        &["r", "sa"],
     );
-    let rs = ep.select(&q)?;
+    let rs = ep.select_prepared_paged(
+        q,
+        &[Term::iri(relation), Term::iri(same_as)],
+        Some(limit),
+        Some(offset),
+    )?;
     Ok(rs
         .into_parts()
         .1
@@ -141,13 +146,18 @@ pub fn linked_literal_facts_page<E: Endpoint + ?Sized>(
     limit: usize,
     offset: usize,
 ) -> Result<Vec<(Term, Term, Term)>, EndpointError> {
-    let q = format!(
-        "SELECT ?x ?v ?x2 WHERE {{ ?x {r} ?v . ?x {sa} ?x2 . FILTER(ISLITERAL(?v)) }} \
-         ORDER BY ?x ?v LIMIT {limit} OFFSET {offset}",
-        r = iri_ref(relation),
-        sa = iri_ref(same_as),
+    static Q: OnceLock<Prepared> = OnceLock::new();
+    let q = prepared(
+        &Q,
+        "SELECT ?x ?v ?x2 WHERE { ?x ?r ?v . ?x ?sa ?x2 . FILTER(ISLITERAL(?v)) } ORDER BY ?x ?v",
+        &["r", "sa"],
     );
-    let rs = ep.select(&q)?;
+    let rs = ep.select_prepared_paged(
+        q,
+        &[Term::iri(relation), Term::iri(same_as)],
+        Some(limit),
+        Some(offset),
+    )?;
     Ok(rs
         .into_parts()
         .1
@@ -299,14 +309,20 @@ pub fn contrastive_subjects_page<E: Endpoint + ?Sized>(
     limit: usize,
     offset: usize,
 ) -> Result<Vec<(Term, Term, Term)>, EndpointError> {
-    let q = format!(
-        "SELECT ?x ?y1 ?y2 WHERE {{ ?x {r1} ?y1 . ?x {r2} ?y2 . \
-         FILTER(?y1 != ?y2) . FILTER NOT EXISTS {{ ?x {r1} ?y2 }} }} \
-         ORDER BY ?x ?y1 ?y2 LIMIT {limit} OFFSET {offset}",
-        r1 = iri_ref(r1),
-        r2 = iri_ref(r2),
+    static Q: OnceLock<Prepared> = OnceLock::new();
+    let q = prepared(
+        &Q,
+        "SELECT ?x ?y1 ?y2 WHERE { ?x ?r1 ?y1 . ?x ?r2 ?y2 . \
+         FILTER(?y1 != ?y2) . FILTER NOT EXISTS { ?x ?r1 ?y2 } } \
+         ORDER BY ?x ?y1 ?y2",
+        &["r1", "r2"],
     );
-    let rs = ep.select(&q)?;
+    let rs = ep.select_prepared_paged(
+        q,
+        &[Term::iri(r1), Term::iri(r2)],
+        Some(limit),
+        Some(offset),
+    )?;
     Ok(rs
         .into_parts()
         .1
@@ -329,16 +345,21 @@ pub fn linked_contrastive_subjects_page<E: Endpoint + ?Sized>(
     limit: usize,
     offset: usize,
 ) -> Result<Vec<(Term, Term, Term)>, EndpointError> {
-    let q = format!(
-        "SELECT ?xt ?y1t ?y2t WHERE {{ ?x {r1} ?y1 . ?x {r2} ?y2 . \
-         ?x {sa} ?xt . ?y1 {sa} ?y1t . ?y2 {sa} ?y2t . \
-         FILTER(?y1 != ?y2) . FILTER NOT EXISTS {{ ?x {r1} ?y2 }} }} \
-         ORDER BY ?xt ?y1t ?y2t LIMIT {limit} OFFSET {offset}",
-        r1 = iri_ref(r1),
-        r2 = iri_ref(r2),
-        sa = iri_ref(same_as),
+    static Q: OnceLock<Prepared> = OnceLock::new();
+    let q = prepared(
+        &Q,
+        "SELECT ?xt ?y1t ?y2t WHERE { ?x ?r1 ?y1 . ?x ?r2 ?y2 . \
+         ?x ?sa ?xt . ?y1 ?sa ?y1t . ?y2 ?sa ?y2t . \
+         FILTER(?y1 != ?y2) . FILTER NOT EXISTS { ?x ?r1 ?y2 } } \
+         ORDER BY ?xt ?y1t ?y2t",
+        &["r1", "r2", "sa"],
     );
-    let rs = ep.select(&q)?;
+    let rs = ep.select_prepared_paged(
+        q,
+        &[Term::iri(r1), Term::iri(r2), Term::iri(same_as)],
+        Some(limit),
+        Some(offset),
+    )?;
     Ok(rs
         .into_parts()
         .1

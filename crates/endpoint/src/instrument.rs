@@ -122,6 +122,26 @@ impl<E: Endpoint> Endpoint for InstrumentedEndpoint<E> {
         self.inner.ask_prepared(prepared, args)
     }
 
+    fn select_prepared_paged(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+        limit: Option<usize>,
+        offset: Option<usize>,
+    ) -> Result<ResultSet, EndpointError> {
+        self.counters.select_queries.fetch_add(1, Ordering::Relaxed);
+        let rs = self
+            .inner
+            .select_prepared_paged(prepared, args, limit, offset)?;
+        self.counters
+            .rows_returned
+            .fetch_add(rs.len() as u64, Ordering::Relaxed);
+        self.counters
+            .cells_returned
+            .fetch_add(rs.cell_count() as u64, Ordering::Relaxed);
+        Ok(rs)
+    }
+
     fn name(&self) -> &str {
         self.inner.name()
     }

@@ -112,6 +112,20 @@ impl<E: Endpoint> Endpoint for LatencyEndpoint<E> {
         Ok(answer)
     }
 
+    fn select_prepared_paged(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+        limit: Option<usize>,
+        offset: Option<usize>,
+    ) -> Result<ResultSet, EndpointError> {
+        let rs = self
+            .inner
+            .select_prepared_paged(prepared, args, limit, offset)?;
+        self.charge(rs.len());
+        Ok(rs)
+    }
+
     fn name(&self) -> &str {
         self.inner.name()
     }

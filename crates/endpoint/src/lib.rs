@@ -21,6 +21,11 @@
 //!   runtime error.
 //! * [`CachingEndpoint`] — memoises identical query strings, as a client
 //!   library would.
+//! * [`SnapshotStore`] / [`ConcurrentEndpoint`] — the single-writer /
+//!   many-readers split: the writer keeps loading and periodically
+//!   publishes an immutable store snapshot; concurrent readers answer
+//!   every query (string, prepared, and paged-prepared) lock-free against
+//!   the currently published snapshot through a sharded LRU plan cache.
 //! * [`helpers`] — the typed query builders for every query shape the
 //!   SOFYA algorithms issue (facts of a relation, relations of an entity,
 //!   `sameAs` resolution, existence probes, counts).
@@ -30,17 +35,21 @@
 
 pub mod cache;
 pub mod clock;
+pub mod concurrent;
 pub mod endpoint;
 pub mod error;
 pub mod helpers;
 pub mod instrument;
 pub mod latency;
 pub mod local;
+pub(crate) mod outcome;
+pub(crate) mod plan_cache;
 pub mod quota;
 pub mod retry;
 
 pub use cache::CachingEndpoint;
 pub use clock::{Clock, ManualClock};
+pub use concurrent::{ConcurrentEndpoint, PinnedEndpoint, PublishedSnapshot, SnapshotStore};
 pub use endpoint::Endpoint;
 pub use error::EndpointError;
 pub use instrument::{EndpointCounters, InstrumentedEndpoint};

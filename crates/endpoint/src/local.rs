@@ -2,55 +2,21 @@
 
 use crate::endpoint::Endpoint;
 use crate::error::EndpointError;
+use crate::outcome::{expect_boolean, expect_solutions};
+use crate::plan_cache::LruPlanCache;
 use parking_lot::Mutex;
 use sofya_rdf::{StoreStats, Term, TripleStore};
 use sofya_sparql::{
-    compile_with_options, execute_ast_with_options, execute_compiled, CompiledQuery, PlanOptions,
-    Prepared, QueryOutcome, ResultSet,
+    compile_with_options, execute_ast_with_options, execute_compiled, execute_compiled_paged,
+    CompiledQuery, PlanOptions, Prepared, ResultSet,
 };
-use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, OnceLock};
 
 /// Default bound on the per-endpoint plan cache. The aligner issues a few
 /// dozen distinct query strings per relation; 512 comfortably covers a
 /// whole alignment session while bounding memory for adversarial query
 /// streams.
-const DEFAULT_PLAN_CACHE_CAPACITY: usize = 512;
-
-/// A bounded FIFO map from query string to its compiled plan.
-struct PlanCache {
-    plans: HashMap<String, Arc<CompiledQuery>>,
-    order: VecDeque<String>,
-    capacity: usize,
-}
-
-impl PlanCache {
-    fn new(capacity: usize) -> Self {
-        Self {
-            plans: HashMap::new(),
-            order: VecDeque::new(),
-            capacity,
-        }
-    }
-
-    fn get(&self, query: &str) -> Option<Arc<CompiledQuery>> {
-        self.plans.get(query).cloned()
-    }
-
-    fn insert(&mut self, query: String, compiled: Arc<CompiledQuery>) {
-        if self.capacity == 0 || self.plans.contains_key(&query) {
-            return;
-        }
-        while self.plans.len() >= self.capacity {
-            let Some(oldest) = self.order.pop_front() else {
-                break;
-            };
-            self.plans.remove(&oldest);
-        }
-        self.order.push_back(query.clone());
-        self.plans.insert(query, compiled);
-    }
-}
+pub(crate) const DEFAULT_PLAN_CACHE_CAPACITY: usize = 512;
 
 /// The "remote server" of this reproduction: a [`TripleStore`] queried
 /// through `sofya-sparql`. The store is immutable once wrapped, so the
@@ -59,18 +25,20 @@ impl PlanCache {
 ///
 /// * [`StoreStats`] are computed once (lazily, on the first query) and fed
 ///   to the selectivity-driven query planner on every request;
-/// * a bounded **plan cache** keyed by query string makes re-issued
+/// * a bounded **LRU plan cache** keyed by query string makes re-issued
 ///   queries skip tokenizer, parser, and planner entirely (the aligner
-///   re-issues a handful of fixed shapes throughout a session), and the
-///   [`Endpoint::select_prepared`] / [`Endpoint::ask_prepared`] overrides
-///   execute bound ASTs directly so parameterized probes never parse at
-///   all.
+///   re-issues a handful of fixed shapes throughout a session; the LRU
+///   policy — shared with [`crate::ConcurrentEndpoint`]'s shards — keeps
+///   those hot shapes resident even when a scan of many distinct paged
+///   queries passes through), and the [`Endpoint::select_prepared`] /
+///   [`Endpoint::ask_prepared`] overrides execute bound ASTs directly so
+///   parameterized probes never parse at all.
 #[derive(Clone)]
 pub struct LocalEndpoint {
     name: String,
     store: Arc<TripleStore>,
     stats: Arc<OnceLock<StoreStats>>,
-    plans: Arc<Mutex<PlanCache>>,
+    plans: Arc<Mutex<LruPlanCache>>,
 }
 
 impl LocalEndpoint {
@@ -85,26 +53,19 @@ impl LocalEndpoint {
             name: name.into(),
             store,
             stats: Arc::new(OnceLock::new()),
-            plans: Arc::new(Mutex::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY))),
+            plans: Arc::new(Mutex::new(LruPlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY))),
         }
     }
 
     /// Overrides the plan-cache capacity (0 disables caching). Existing
-    /// entries beyond the new bound are evicted oldest-first.
+    /// entries beyond the new bound are evicted least-recently-used first.
     pub fn set_plan_cache_capacity(&self, capacity: usize) {
-        let mut cache = self.plans.lock();
-        cache.capacity = capacity;
-        while cache.plans.len() > capacity {
-            let Some(oldest) = cache.order.pop_front() else {
-                break;
-            };
-            cache.plans.remove(&oldest);
-        }
+        self.plans.lock().set_capacity(capacity);
     }
 
     /// Number of cached plans (shared across clones of this endpoint).
     pub fn plan_cache_len(&self) -> usize {
-        self.plans.lock().plans.len()
+        self.plans.lock().len()
     }
 
     /// Read access to the underlying store (used by generators and tests;
@@ -127,8 +88,9 @@ impl LocalEndpoint {
     }
 
     /// The compiled form of `query`: cache hit, or parse + plan + insert.
+    /// The wrapped store is immutable, so entries are stamped version 0.
     fn compiled(&self, query: &str) -> Result<Arc<CompiledQuery>, EndpointError> {
-        if let Some(hit) = self.plans.lock().get(query) {
+        if let Some(hit) = self.plans.lock().get(query, 0) {
             return Ok(hit);
         }
         let compiled = Arc::new(compile_with_options(
@@ -138,30 +100,39 @@ impl LocalEndpoint {
         )?);
         self.plans
             .lock()
-            .insert(query.to_owned(), Arc::clone(&compiled));
+            .insert(query.to_owned(), 0, Arc::clone(&compiled));
         Ok(compiled)
+    }
+
+    /// The compiled form of a bound paged template, keyed by
+    /// `(template token, args)` — pagination is applied at execution
+    /// time, so all pages of a shape share one compilation. The wrapped
+    /// store is immutable, so entries are stamped version 0.
+    fn compiled_prepared_paged(
+        &self,
+        prepared: &Prepared,
+        args: &[Term],
+    ) -> Result<Arc<CompiledQuery>, EndpointError> {
+        Ok(crate::plan_cache::compile_bound_paged(
+            &self.store,
+            self.plan_options(),
+            prepared,
+            args,
+            |key| self.plans.lock().get(key, 0),
+            |key, plan| self.plans.lock().insert(key, 0, plan),
+        )?)
     }
 }
 
 impl Endpoint for LocalEndpoint {
     fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
         let compiled = self.compiled(query)?;
-        match execute_compiled(&self.store, &compiled)? {
-            QueryOutcome::Solutions(rs) => Ok(rs),
-            QueryOutcome::Boolean(_) => Err(EndpointError::Sparql(
-                sofya_sparql::SparqlError::eval("expected a SELECT query, found ASK"),
-            )),
-        }
+        expect_solutions(execute_compiled(&self.store, &compiled)?)
     }
 
     fn ask(&self, query: &str) -> Result<bool, EndpointError> {
         let compiled = self.compiled(query)?;
-        match execute_compiled(&self.store, &compiled)? {
-            QueryOutcome::Boolean(b) => Ok(b),
-            QueryOutcome::Solutions(_) => Err(EndpointError::Sparql(
-                sofya_sparql::SparqlError::eval("expected an ASK query, found SELECT"),
-            )),
-        }
+        expect_boolean(execute_compiled(&self.store, &compiled)?)
     }
 
     fn select_prepared(
@@ -170,22 +141,41 @@ impl Endpoint for LocalEndpoint {
         args: &[Term],
     ) -> Result<ResultSet, EndpointError> {
         let bound = prepared.bind(args)?;
-        match execute_ast_with_options(&self.store, &bound, self.plan_options())? {
-            QueryOutcome::Solutions(rs) => Ok(rs),
-            QueryOutcome::Boolean(_) => Err(EndpointError::Sparql(
-                sofya_sparql::SparqlError::eval("expected a SELECT query, found ASK"),
-            )),
-        }
+        expect_solutions(execute_ast_with_options(
+            &self.store,
+            &bound,
+            self.plan_options(),
+        )?)
     }
 
     fn ask_prepared(&self, prepared: &Prepared, args: &[Term]) -> Result<bool, EndpointError> {
         let bound = prepared.bind(args)?;
-        match execute_ast_with_options(&self.store, &bound, self.plan_options())? {
-            QueryOutcome::Boolean(b) => Ok(b),
-            QueryOutcome::Solutions(_) => Err(EndpointError::Sparql(
-                sofya_sparql::SparqlError::eval("expected an ASK query, found SELECT"),
-            )),
-        }
+        expect_boolean(execute_ast_with_options(
+            &self.store,
+            &bound,
+            self.plan_options(),
+        )?)
+    }
+
+    fn select_prepared_paged(
+        &self,
+        prepared: &Prepared,
+        args: &[Term],
+        limit: Option<usize>,
+        offset: Option<usize>,
+    ) -> Result<ResultSet, EndpointError> {
+        // Paged shapes are the expensive multi-pattern joins and their
+        // bound plan is page-independent, so it is compiled once per
+        // (template, args) and every page reuses it with an execution-time
+        // LIMIT/OFFSET override. (Plain prepared probes skip this cache:
+        // their args vary per probe and their plans are trivial.)
+        let compiled = self.compiled_prepared_paged(prepared, args)?;
+        expect_solutions(execute_compiled_paged(
+            &self.store,
+            &compiled,
+            limit,
+            offset,
+        )?)
     }
 
     fn name(&self) -> &str {
@@ -252,7 +242,7 @@ mod tests {
     }
 
     #[test]
-    fn plan_cache_is_bounded_fifo() {
+    fn plan_cache_is_bounded_lru() {
         let ep = endpoint();
         ep.set_plan_cache_capacity(4);
         for i in 0..20 {
@@ -272,6 +262,38 @@ mod tests {
         let ep = endpoint();
         let _ = ep.select("NOT SPARQL");
         assert_eq!(ep.plan_cache_len(), 0);
+    }
+
+    #[test]
+    fn plan_cache_keeps_reused_entries_under_churn() {
+        let ep = endpoint();
+        ep.set_plan_cache_capacity(2);
+        let hot = "SELECT ?o { <e:a> <r:p> ?o }";
+        let oracle = ep.select(hot).unwrap();
+        // A stream of distinct paged shapes would evict a FIFO entry; the
+        // LRU keeps `hot` because we re-touch it between insertions.
+        for i in 0..10 {
+            let _ = ep.select(&format!("SELECT ?o {{ <e:a> <r:p> ?o }} LIMIT {i}"));
+            assert_eq!(ep.select(hot).unwrap(), oracle);
+        }
+        assert_eq!(ep.plan_cache_len(), 2);
+    }
+
+    #[test]
+    fn prepared_paged_matches_string_pagination() {
+        let ep = endpoint();
+        let q = Prepared::new("SELECT ?o WHERE { ?s ?r ?o } ORDER BY ?o", &["s", "r"]).unwrap();
+        let args = [Term::iri("e:a"), Term::iri("r:p")];
+        let page = ep
+            .select_prepared_paged(&q, &args, Some(1), Some(1))
+            .unwrap();
+        let oracle = ep
+            .select("SELECT ?o WHERE { <e:a> <r:p> ?o } ORDER BY ?o LIMIT 1 OFFSET 1")
+            .unwrap();
+        assert_eq!(page, oracle);
+        // No limit/offset override behaves like plain select_prepared.
+        let full = ep.select_prepared_paged(&q, &args, None, None).unwrap();
+        assert_eq!(full, ep.select_prepared(&q, &args).unwrap());
     }
 
     #[test]

@@ -1,0 +1,24 @@
+//! Shared outcome-shape checks for in-process endpoints: a `SELECT`
+//! entry point answering with a boolean (or vice versa) is a caller bug
+//! surfaced as one consistently-worded error.
+
+use crate::error::EndpointError;
+use sofya_sparql::{QueryOutcome, ResultSet, SparqlError};
+
+pub(crate) fn expect_solutions(outcome: QueryOutcome) -> Result<ResultSet, EndpointError> {
+    match outcome {
+        QueryOutcome::Solutions(rs) => Ok(rs),
+        QueryOutcome::Boolean(_) => Err(EndpointError::Sparql(SparqlError::eval(
+            "expected a SELECT query, found ASK",
+        ))),
+    }
+}
+
+pub(crate) fn expect_boolean(outcome: QueryOutcome) -> Result<bool, EndpointError> {
+    match outcome {
+        QueryOutcome::Boolean(b) => Ok(b),
+        QueryOutcome::Solutions(_) => Err(EndpointError::Sparql(SparqlError::eval(
+            "expected an ASK query, found SELECT",
+        ))),
+    }
+}

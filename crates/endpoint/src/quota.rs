@@ -87,19 +87,24 @@ impl<E: Endpoint> QuotaEndpoint<E> {
         }
         Ok(())
     }
+
+    /// Server-side truncation at `max_rows_per_query` (silent, as on real
+    /// endpoints).
+    fn cap_rows(&self, rs: ResultSet) -> ResultSet {
+        match self.config.max_rows_per_query {
+            Some(cap) if rs.len() > cap => {
+                let rows = rs.rows()[..cap].to_vec();
+                ResultSet::new(rs.vars().to_vec(), rows)
+            }
+            _ => rs,
+        }
+    }
 }
 
 impl<E: Endpoint> Endpoint for QuotaEndpoint<E> {
     fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
         self.charge()?;
-        let rs = self.inner.select(query)?;
-        match self.config.max_rows_per_query {
-            Some(cap) if rs.len() > cap => {
-                let rows = rs.rows()[..cap].to_vec();
-                Ok(ResultSet::new(rs.vars().to_vec(), rows))
-            }
-            _ => Ok(rs),
-        }
+        Ok(self.cap_rows(self.inner.select(query)?))
     }
 
     fn ask(&self, query: &str) -> Result<bool, EndpointError> {
@@ -113,14 +118,7 @@ impl<E: Endpoint> Endpoint for QuotaEndpoint<E> {
         args: &[sofya_rdf::Term],
     ) -> Result<ResultSet, EndpointError> {
         self.charge()?;
-        let rs = self.inner.select_prepared(prepared, args)?;
-        match self.config.max_rows_per_query {
-            Some(cap) if rs.len() > cap => {
-                let rows = rs.rows()[..cap].to_vec();
-                Ok(ResultSet::new(rs.vars().to_vec(), rows))
-            }
-            _ => Ok(rs),
-        }
+        Ok(self.cap_rows(self.inner.select_prepared(prepared, args)?))
     }
 
     fn ask_prepared(
@@ -130,6 +128,20 @@ impl<E: Endpoint> Endpoint for QuotaEndpoint<E> {
     ) -> Result<bool, EndpointError> {
         self.charge()?;
         self.inner.ask_prepared(prepared, args)
+    }
+
+    fn select_prepared_paged(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+        limit: Option<usize>,
+        offset: Option<usize>,
+    ) -> Result<ResultSet, EndpointError> {
+        self.charge()?;
+        Ok(self.cap_rows(
+            self.inner
+                .select_prepared_paged(prepared, args, limit, offset)?,
+        ))
     }
 
     fn name(&self) -> &str {

@@ -81,6 +81,18 @@ impl<E: Endpoint> Endpoint for FlakyEndpoint<E> {
         self.inner.ask_prepared(prepared, args)
     }
 
+    fn select_prepared_paged(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+        limit: Option<usize>,
+        offset: Option<usize>,
+    ) -> Result<ResultSet, EndpointError> {
+        self.maybe_fail()?;
+        self.inner
+            .select_prepared_paged(prepared, args, limit, offset)
+    }
+
     fn name(&self) -> &str {
         self.inner.name()
     }
@@ -229,6 +241,19 @@ impl<E: Endpoint> Endpoint for RetryEndpoint<E> {
         args: &[sofya_rdf::Term],
     ) -> Result<bool, EndpointError> {
         self.with_retries(|| self.inner.ask_prepared(prepared, args))
+    }
+
+    fn select_prepared_paged(
+        &self,
+        prepared: &sofya_sparql::Prepared,
+        args: &[sofya_rdf::Term],
+        limit: Option<usize>,
+        offset: Option<usize>,
+    ) -> Result<ResultSet, EndpointError> {
+        self.with_retries(|| {
+            self.inner
+                .select_prepared_paged(prepared, args, limit, offset)
+        })
     }
 
     fn name(&self) -> &str {

@@ -6,6 +6,7 @@ use crate::metrics::PrecisionRecall;
 use crate::table1::run_table1;
 use sofya_core::AlignError;
 use sofya_kbgen::{generate, PairConfig};
+use sofya_service::run_batch;
 
 /// Mean and sample standard deviation of a series.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,16 +62,35 @@ pub struct AggregatedRow {
 /// Runs Table 1 on `seeds.len()` independently generated pairs and
 /// aggregates per method row. `make_config` maps a seed to the generator
 /// configuration (e.g. `PairConfig::small`).
+///
+/// Seeds are scheduled as independent sessions on the `sofya-service`
+/// worker pool (generation + the full Table 1 run per job); aggregation
+/// order follows the input seed order, so results are identical to the
+/// old sequential loop. The thread budget is split between the two
+/// levels — `outer` concurrent seeds × `inner` alignment workers per
+/// seed stays ≈ `threads` — so parallelising seeds neither oversubscribes
+/// the host nor multiplies peak memory (at most `outer` generated pairs
+/// are resident at once).
 pub fn table1_over_seeds(
     seeds: &[u64],
-    make_config: impl Fn(u64) -> PairConfig,
+    make_config: impl Fn(u64) -> PairConfig + Sync,
     sample_size: usize,
     threads: usize,
 ) -> Result<Vec<AggregatedRow>, AlignError> {
-    let mut per_method: Vec<(String, Vec<[f64; 4]>)> = Vec::new();
-    for &seed in seeds {
+    let outer = threads.max(1).min(seeds.len().max(1));
+    // Round the inner budget *up*: mild oversubscription when the split
+    // is uneven beats stranding threads (e.g. 6 threads / 4 seeds gives
+    // 4×2, not 4×1).
+    let inner = threads.max(1).div_ceil(outer);
+    let tables = run_batch(outer, seeds.to_vec(), |seed: u64| {
         let pair = generate(&make_config(seed));
-        let table = run_table1(&pair, seed, sample_size, threads)?;
+        run_table1(&pair, seed, sample_size, inner)
+    })
+    .map_err(|e| AlignError::Config(e.to_string()))?;
+
+    let mut per_method: Vec<(String, Vec<[f64; 4]>)> = Vec::new();
+    for table in tables {
+        let table = table?;
         for (i, row) in table.rows.iter().enumerate() {
             if per_method.len() <= i {
                 per_method.push((row.label.clone(), Vec::new()));

@@ -1,9 +1,16 @@
 //! Parallel alignment of every relation in one direction, with endpoint
 //! cost accounting.
+//!
+//! Fan-out goes through the `sofya-service` scheduler: one job per
+//! target relation, `threads` pool workers, a queue sized to the batch
+//! (this harness has nowhere to shed load to). Worker panics are
+//! contained by the scheduler and re-raised here, preserving the old
+//! hand-rolled-scope semantics for the test suite.
 
 use sofya_core::{AlignError, Aligner, AlignerConfig, SubsumptionRule};
 use sofya_endpoint::{Endpoint, EndpointCounters, InstrumentedEndpoint, LocalEndpoint};
 use sofya_rdf::TripleStore;
+use sofya_service::run_batch;
 
 /// The outcome of aligning one direction (`premises ⊂ conclusions`).
 #[derive(Debug, Clone)]
@@ -72,12 +79,12 @@ fn rows_of(c: &EndpointCounters) -> u64 {
     c.rows_returned()
 }
 
-/// Aligns all target relations across `threads` workers.
+/// Aligns all target relations across `threads` scheduler workers.
 ///
-/// Work is distributed by striding the relation list; each worker builds
-/// its own [`Aligner`] over the shared endpoints. Results are
-/// deterministic regardless of thread count because per-relation RNGs are
-/// seeded from the relation IRI.
+/// Each relation is one job on the service scheduler's bounded queue;
+/// the pool shares a single [`Aligner`] over the shared endpoints.
+/// Results are deterministic regardless of thread count because
+/// per-relation RNGs are seeded from the relation IRI.
 pub fn align_all_parallel(
     source: &dyn Endpoint,
     target: &dyn Endpoint,
@@ -86,26 +93,13 @@ pub fn align_all_parallel(
 ) -> Result<Vec<SubsumptionRule>, AlignError> {
     let relations = Aligner::new(source, target, config.clone()).target_relations()?;
     let threads = threads.max(1).min(relations.len().max(1));
+    let aligner = Aligner::new(source, target, config.clone());
 
-    let results: Vec<Result<Vec<SubsumptionRule>, AlignError>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for worker in 0..threads {
-            let relations = &relations;
-            let config = config.clone();
-            handles.push(scope.spawn(move || {
-                let aligner = Aligner::new(source, target, config);
-                let mut out = Vec::new();
-                for relation in relations.iter().skip(worker).step_by(threads) {
-                    out.extend(aligner.align_relation(relation)?);
-                }
-                Ok(out)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
+    let results: Vec<Result<Vec<SubsumptionRule>, AlignError>> =
+        run_batch(threads, relations, |relation: String| {
+            aligner.align_relation(&relation)
+        })
+        .map_err(|e| AlignError::Config(e.to_string()))?;
 
     let mut rules = Vec::new();
     for r in results {

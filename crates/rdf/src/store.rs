@@ -24,10 +24,21 @@
 //! [`TripleStore::flush`] compacts eagerly. Bulk ingestion should use
 //! [`TripleStore::load_batch`], which appends unsorted and pays one
 //! sort + dedup + merge per index for the whole batch.
+//!
+//! The dictionary and every main run live behind `Arc`s with
+//! copy-on-write mutation (`Arc::make_mut`), so
+//! [`TripleStore::snapshot`] can publish an immutable
+//! [`StoreSnapshot`](crate::snapshot::StoreSnapshot) by flushing and
+//! cloning the `Arc`s — O(#predicates), no data copy. The single writer
+//! keeps loading afterwards; the first merge or removal touching a run
+//! still referenced by a live snapshot pays one copy of that run, and
+//! later ones are free again.
 
 use crate::dict::{Dict, TermId};
+use crate::snapshot::StoreSnapshot;
 use crate::term::Term;
 use crate::triple::{Triple, TriplePattern};
+use std::sync::Arc;
 
 type Key = (u32, u32, u32);
 /// An `(o, s)` entry of one predicate's POS page.
@@ -69,8 +80,8 @@ impl Perm {
 struct PredPage {
     /// The predicate's id (the page key; pages are sorted by it).
     pred: u32,
-    /// Main sorted run of `(o, s)` pairs.
-    run: Vec<Pair>,
+    /// Main sorted run of `(o, s)` pairs, shared with live snapshots.
+    run: Arc<Vec<Pair>>,
     /// Pending sorted inserts, merged into `run` on threshold or flush.
     buf: Vec<Pair>,
 }
@@ -240,26 +251,30 @@ impl ExactSizeIterator for PatternScan<'_> {
 /// methods take `&self` and never allocate for the scan itself.
 #[derive(Debug, Clone)]
 pub struct TripleStore {
-    dict: Dict,
-    spo: Vec<Key>,
-    osp: Vec<Key>,
+    dict: Arc<Dict>,
+    spo: Arc<Vec<Key>>,
+    osp: Arc<Vec<Key>>,
     buf_spo: Vec<Key>,
     buf_osp: Vec<Key>,
     /// Per-predicate POS pages, sorted by predicate id.
     pages: Vec<PredPage>,
     merge_threshold: usize,
+    /// Bumped on every successful mutation; snapshots record the value
+    /// they were taken at, so staleness is a subtraction.
+    generation: u64,
 }
 
 impl Default for TripleStore {
     fn default() -> Self {
         Self {
-            dict: Dict::new(),
-            spo: Vec::new(),
-            osp: Vec::new(),
+            dict: Arc::new(Dict::new()),
+            spo: Arc::new(Vec::new()),
+            osp: Arc::new(Vec::new()),
             buf_spo: Vec::new(),
             buf_osp: Vec::new(),
             pages: Vec::new(),
             merge_threshold: DEFAULT_MERGE_THRESHOLD,
+            generation: 0,
         }
     }
 }
@@ -323,8 +338,29 @@ impl TripleStore {
     }
 
     /// Mutable access to the dictionary (to pre-intern vocabulary).
+    /// Copy-on-write: if a snapshot still shares the dictionary, this
+    /// clones it once before handing out the mutable reference.
     pub fn dict_mut(&mut self) -> &mut Dict {
-        &mut self.dict
+        Arc::make_mut(&mut self.dict)
+    }
+
+    /// The mutation counter: bumped once per successful `insert`,
+    /// `remove`, or non-empty `load_batch`. Snapshots record it, so
+    /// `store.generation() - snapshot.version()` is the number of writes
+    /// a snapshot is behind.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Publishes the current contents as an immutable, shareable
+    /// [`StoreSnapshot`]: flushes the insert buffers, then clones the
+    /// `Arc`s of the dictionary and every main run — O(#predicates), no
+    /// triple is copied. The writer may keep mutating `self`; the first
+    /// merge or removal that touches a run still shared with a live
+    /// snapshot pays a one-time copy of that run (`Arc::make_mut`).
+    pub fn snapshot(&mut self) -> StoreSnapshot {
+        self.flush();
+        StoreSnapshot::new(self.clone(), self.generation)
     }
 
     /// Number of triples.
@@ -345,7 +381,7 @@ impl TripleStore {
 
     /// Interns a term in this store's dictionary.
     pub fn intern(&mut self, term: &Term) -> TermId {
-        self.dict.intern(term)
+        Arc::make_mut(&mut self.dict).intern(term)
     }
 
     /// The POS page for predicate `p`, if it exists.
@@ -391,17 +427,19 @@ impl TripleStore {
         let page = self.page_mut(p.0);
         sorted_insert(&mut page.buf, (o.0, s.0));
         if page.buf.len() >= PAGE_BUFFER_THRESHOLD {
-            merge_run(&mut page.run, &mut page.buf);
+            merge_run(Arc::make_mut(&mut page.run), &mut page.buf);
         }
+        self.generation += 1;
         self.maybe_merge();
         true
     }
 
     /// Interns the three terms and inserts the triple.
     pub fn insert_terms(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
-        let s = self.dict.intern(s);
-        let p = self.dict.intern(p);
-        let o = self.dict.intern(o);
+        let dict = Arc::make_mut(&mut self.dict);
+        let s = dict.intern(s);
+        let p = dict.intern(p);
+        let o = dict.intern(o);
         self.insert(s, p, o)
     }
 
@@ -433,14 +471,16 @@ impl TripleStore {
 
         // SPO: the batch is already in SPO order.
         let mut spo_batch = batch.clone();
-        merge_run(&mut self.spo, &mut self.buf_spo);
-        merge_run(&mut self.spo, &mut spo_batch);
+        let spo = Arc::make_mut(&mut self.spo);
+        merge_run(spo, &mut self.buf_spo);
+        merge_run(spo, &mut spo_batch);
 
         // OSP: re-key and sort once.
         let mut osp_batch: Vec<Key> = batch.iter().map(|&(s, p, o)| (o, s, p)).collect();
         osp_batch.sort_unstable();
-        merge_run(&mut self.osp, &mut self.buf_osp);
-        merge_run(&mut self.osp, &mut osp_batch);
+        let osp = Arc::make_mut(&mut self.osp);
+        merge_run(osp, &mut self.buf_osp);
+        merge_run(osp, &mut osp_batch);
 
         // POS pages: sort the batch by (p, o, s) and merge each predicate's
         // contiguous sub-run into its page.
@@ -455,10 +495,12 @@ impl TripleStore {
                 .map(|&(_, o, s)| (o, s))
                 .collect();
             let page = self.page_mut(pred);
-            merge_run(&mut page.run, &mut page.buf);
-            merge_run(&mut page.run, &mut pairs);
+            let run = Arc::make_mut(&mut page.run);
+            merge_run(run, &mut page.buf);
+            merge_run(run, &mut pairs);
             start = end;
         }
+        self.generation += 1;
         inserted
     }
 
@@ -467,15 +509,10 @@ impl TripleStore {
         &mut self,
         triples: impl IntoIterator<Item = (&'t Term, &'t Term, &'t Term)>,
     ) -> usize {
+        let dict = Arc::make_mut(&mut self.dict);
         let keys: Vec<(TermId, TermId, TermId)> = triples
             .into_iter()
-            .map(|(s, p, o)| {
-                (
-                    self.dict.intern(s),
-                    self.dict.intern(p),
-                    self.dict.intern(o),
-                )
-            })
+            .map(|(s, p, o)| (dict.intern(s), dict.intern(p), dict.intern(o)))
             .collect();
         self.load_batch(keys)
     }
@@ -483,30 +520,44 @@ impl TripleStore {
     /// Removes a triple. Returns `true` if it was present.
     pub fn remove(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
         let key = (s.0, p.0, o.0);
-        let was_buffered = sorted_remove(&mut self.buf_spo, key);
-        if !was_buffered && !sorted_remove(&mut self.spo, key) {
-            return false;
+        // Probe before `make_mut` so a miss never copies a shared run.
+        if !sorted_remove(&mut self.buf_spo, key) {
+            if self.spo.binary_search(&key).is_err() {
+                return false;
+            }
+            sorted_remove(Arc::make_mut(&mut self.spo), key);
         }
-        if !sorted_remove(&mut self.buf_osp, (o.0, s.0, p.0)) {
-            sorted_remove(&mut self.osp, (o.0, s.0, p.0));
+        let osp_key = (o.0, s.0, p.0);
+        if !sorted_remove(&mut self.buf_osp, osp_key) && self.osp.binary_search(&osp_key).is_ok() {
+            sorted_remove(Arc::make_mut(&mut self.osp), osp_key);
         }
         // The page memmove is bounded by one predicate's cardinality.
         if let Ok(at) = self.pages.binary_search_by_key(&p.0, |page| page.pred) {
             let page = &mut self.pages[at];
-            if !sorted_remove(&mut page.buf, (o.0, s.0)) {
-                sorted_remove(&mut page.run, (o.0, s.0));
+            if !sorted_remove(&mut page.buf, (o.0, s.0))
+                && page.run.binary_search(&(o.0, s.0)).is_ok()
+            {
+                sorted_remove(Arc::make_mut(&mut page.run), (o.0, s.0));
             }
         }
+        self.generation += 1;
         true
     }
 
     /// Merges pending buffered inserts into the main runs. Reads are
     /// exact either way; this only compacts (useful after a bulk load).
     pub fn flush(&mut self) {
-        merge_run(&mut self.spo, &mut self.buf_spo);
-        merge_run(&mut self.osp, &mut self.buf_osp);
+        // Guarded so a no-op flush never copies runs shared with snapshots.
+        if !self.buf_spo.is_empty() {
+            merge_run(Arc::make_mut(&mut self.spo), &mut self.buf_spo);
+        }
+        if !self.buf_osp.is_empty() {
+            merge_run(Arc::make_mut(&mut self.osp), &mut self.buf_osp);
+        }
         for page in &mut self.pages {
-            merge_run(&mut page.run, &mut page.buf);
+            if !page.buf.is_empty() {
+                merge_run(Arc::make_mut(&mut page.run), &mut page.buf);
+            }
         }
     }
 

@@ -1,0 +1,190 @@
+//! A bounded multi-producer / multi-consumer work queue.
+//!
+//! The scheduler's backpressure primitive: producers `try_push` and are
+//! told immediately when the queue is full (the service turns that into a
+//! reject-with-retry-after instead of letting latency grow unboundedly);
+//! consumers block on `pop` until work arrives or the queue is closed.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` rather than the vendored
+//! `parking_lot` shim because the shim exposes no condition variable; the
+//! lock is held only for a `VecDeque` operation.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a `try_push` did not enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back for retry.
+    Full(T),
+    /// The queue was closed; no further work is accepted.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO queue with blocking consumers and non-blocking
+/// (reject-on-full) producers.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` pending items
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of pending items.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether no items are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking; on a full or closed queue the item is
+    /// returned so the caller can apply its backpressure policy.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available (returning it) or the queue is
+    /// closed *and* drained (returning `None` — the consumer's shutdown
+    /// signal).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: producers are rejected from now on, consumers
+    /// drain the remaining items and then observe `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // Matches parking_lot semantics: a panicking worker (contained by
+        // the scheduler's catch_unwind) must not poison the whole service.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_round_trip_in_order() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_rejects_and_returns_item() {
+        let q = BoundedQueue::new(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        assert_eq!(q.try_push("c"), Err(PushError::Full("c")));
+        // Draining one slot re-opens the queue.
+        assert_eq!(q.pop(), Some("a"));
+        q.try_push("c").unwrap();
+    }
+
+    #[test]
+    fn close_rejects_producers_and_drains_consumers() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(PushError::Closed(2)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed queue stays closed");
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push_across_threads() {
+        let q = std::sync::Arc::new(BoundedQueue::new(2));
+        std::thread::scope(|scope| {
+            let consumer = {
+                let q = std::sync::Arc::clone(&q);
+                scope.spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            };
+            for i in 0..20 {
+                loop {
+                    match q.try_push(i) {
+                        Ok(()) => break,
+                        Err(PushError::Full(_)) => std::thread::yield_now(),
+                        Err(PushError::Closed(_)) => panic!("unexpected close"),
+                    }
+                }
+            }
+            q.close();
+            let got = consumer.join().unwrap();
+            assert_eq!(got, (0..20).collect::<Vec<_>>());
+        });
+    }
+}

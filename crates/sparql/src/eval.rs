@@ -97,16 +97,58 @@ pub fn compile_with_options(
     Ok(CompiledQuery { inner })
 }
 
+/// Plans an already-parsed (e.g. prepared-and-bound) query for repeated
+/// execution. This is the backing for endpoint-level *prepared* plan
+/// caches: the join order of a bound template does not depend on
+/// `LIMIT`/`OFFSET`, so one compilation serves every page via
+/// [`execute_compiled_paged`].
+pub fn compile_ast_with_options(
+    store: &TripleStore,
+    query: &Query,
+    opts: PlanOptions<'_>,
+) -> CompiledQuery {
+    let inner = match query {
+        Query::Select(select) => CompiledInner::Select {
+            plan: GroupPlan::build_with(store, &select.pattern, &[], opts),
+            query: Box::new(select.clone()),
+        },
+        Query::Ask(pattern) => CompiledInner::Ask {
+            plan: GroupPlan::build_with(store, pattern, &[], opts),
+        },
+    };
+    CompiledQuery { inner }
+}
+
 /// Executes a compiled query against the store it was compiled for.
 pub fn execute_compiled(
     store: &TripleStore,
     compiled: &CompiledQuery,
 ) -> Result<QueryOutcome, SparqlError> {
+    execute_compiled_paged(store, compiled, None, None)
+}
+
+/// Executes a compiled query with a structural `LIMIT`/`OFFSET` override
+/// (`None` keeps the compiled query's own modifier). The pagination of a
+/// solution sequence never changes the plan, so cached compilations are
+/// shared across all pages of a shape.
+pub fn execute_compiled_paged(
+    store: &TripleStore,
+    compiled: &CompiledQuery,
+    limit: Option<usize>,
+    offset: Option<usize>,
+) -> Result<QueryOutcome, SparqlError> {
     match &compiled.inner {
         CompiledInner::Select { query, plan } => Ok(QueryOutcome::Solutions(
-            execute_select_planned(store, query, plan)?,
+            execute_select_planned_paged(store, query, plan, limit, offset)?,
         )),
-        CompiledInner::Ask { plan } => Ok(QueryOutcome::Boolean(execute_ask_planned(store, plan)?)),
+        CompiledInner::Ask { plan } => {
+            if limit.is_some() || offset.is_some() {
+                return Err(SparqlError::eval(
+                    "LIMIT/OFFSET cannot be applied to an ASK query",
+                ));
+            }
+            Ok(QueryOutcome::Boolean(execute_ask_planned(store, plan)?))
+        }
     }
 }
 
@@ -182,10 +224,15 @@ pub fn execute_select(store: &TripleStore, query: &SelectQuery) -> Result<Result
     execute_select_with(store, query, PlanOptions::default())
 }
 
-/// The single-row result of an aggregate projection, with the query's
+/// The single-row result of an aggregate projection, with the effective
 /// solution modifiers applied: `OFFSET ≥ 1` or `LIMIT 0` drop the row.
-fn aggregate_row(query: &SelectQuery, alias: &str, count: usize) -> ResultSet {
-    let survives = query.offset.unwrap_or(0) == 0 && query.limit.unwrap_or(usize::MAX) >= 1;
+fn aggregate_row(
+    limit: Option<usize>,
+    offset: Option<usize>,
+    alias: &str,
+    count: usize,
+) -> ResultSet {
+    let survives = offset.unwrap_or(0) == 0 && limit.unwrap_or(usize::MAX) >= 1;
     let rows = if survives {
         vec![vec![Some(Term::integer(count as i64))]]
     } else {
@@ -210,6 +257,20 @@ fn execute_select_planned(
     query: &SelectQuery,
     plan: &GroupPlan,
 ) -> Result<ResultSet, SparqlError> {
+    execute_select_planned_paged(store, query, plan, None, None)
+}
+
+/// Executes a planned `SELECT` with optional `LIMIT`/`OFFSET` overrides
+/// (`None` falls back to the query's own modifiers).
+fn execute_select_planned_paged(
+    store: &TripleStore,
+    query: &SelectQuery,
+    plan: &GroupPlan,
+    limit_override: Option<usize>,
+    offset_override: Option<usize>,
+) -> Result<ResultSet, SparqlError> {
+    let limit = limit_override.or(query.limit);
+    let offset = offset_override.or(query.offset);
     // COUNT over a bare pattern short-circuits through the index bounds:
     // no join, no binding materialisation.
     if let Projection::Count {
@@ -234,7 +295,7 @@ fn execute_select_planned(
         };
         if var_always_bound {
             if let Some(n) = exact_pattern_count(store, plan) {
-                return Ok(aggregate_row(query, alias, n));
+                return Ok(aggregate_row(limit, offset, alias, n));
             }
         }
     }
@@ -246,9 +307,7 @@ fn execute_select_planned(
         && !plan.has_subgroups()
         && !matches!(query.projection, Projection::Count { .. })
     {
-        query
-            .limit
-            .map(|l| l.saturating_add(query.offset.unwrap_or(0)))
+        limit.map(|l| l.saturating_add(offset.unwrap_or(0)))
     } else {
         None
     };
@@ -280,7 +339,7 @@ fn execute_select_planned(
                 }
             }
         };
-        return Ok(aggregate_row(query, alias, count));
+        return Ok(aggregate_row(limit, offset, alias, count));
     }
 
     // Projection stays at the interned-id level for deduplication,
@@ -332,11 +391,10 @@ fn execute_select_planned(
         });
     }
 
-    let offset = query.offset.unwrap_or(0);
     let rows: Vec<Vec<Option<Term>>> = id_rows
         .into_iter()
-        .skip(offset)
-        .take(query.limit.unwrap_or(usize::MAX))
+        .skip(offset.unwrap_or(0))
+        .take(limit.unwrap_or(usize::MAX))
         .map(|row| {
             row.into_iter()
                 .map(|cell| cell.map(|id| store.dict().resolve(id).clone()))

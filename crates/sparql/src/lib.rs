@@ -50,12 +50,27 @@ pub mod value;
 pub use ast::{Expr, NodePattern, Projection, Query, SelectQuery, TriplePatternAst};
 pub use error::SparqlError;
 pub use eval::{
-    compile_with_options, execute, execute_ask, execute_ast, execute_ast_with_options,
-    execute_compiled, execute_query, execute_select_with, execute_with_options, CompiledQuery,
-    QueryOutcome,
+    compile_ast_with_options, compile_with_options, execute, execute_ask, execute_ast,
+    execute_ast_with_options, execute_compiled, execute_compiled_paged, execute_query,
+    execute_select_with, execute_with_options, CompiledQuery, QueryOutcome,
 };
 pub use parser::parse_query;
 pub use plan::PlanOptions;
 pub use prepared::Prepared;
 pub use solution::ResultSet;
 pub use unparse::unparse;
+
+// Concurrency audit: the service layer shares prepared templates and
+// compiled plans across worker threads (`Arc<CompiledQuery>` in sharded
+// plan caches, `&'static Prepared` in the endpoint helpers). Keep the
+// auto-derived `Send + Sync` bounds pinned so a future interior-mutability
+// field fails to compile here instead of deep inside the scheduler.
+#[allow(dead_code)]
+fn _assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Prepared>();
+    check::<CompiledQuery>();
+    check::<Query>();
+    check::<ResultSet>();
+    check::<QueryOutcome>();
+}

@@ -40,6 +40,10 @@ use sofya_rdf::Term;
 pub struct Prepared {
     query: Query,
     params: Vec<String>,
+    /// Process-unique template identity (shared by clones), so endpoint
+    /// plan caches can key compiled bound plans by `(template, args)`
+    /// without serialising the query.
+    token: u64,
 }
 
 impl Prepared {
@@ -89,12 +93,24 @@ impl Prepared {
                 }
             }
         }
-        Ok(Self { query, params })
+        static NEXT_TOKEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        Ok(Self {
+            query,
+            params,
+            token: NEXT_TOKEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        })
     }
 
     /// Number of declared parameters.
     pub fn param_count(&self) -> usize {
         self.params.len()
+    }
+
+    /// A process-unique identity for this template (clones share it).
+    /// Endpoint plan caches combine it with the rendered arguments to key
+    /// compiled bound plans.
+    pub fn cache_token(&self) -> u64 {
+        self.token
     }
 
     /// Binds `args` (one term per parameter, in declaration order) into a
@@ -119,6 +135,56 @@ impl Prepared {
     /// path for endpoints that only speak strings).
     pub fn render(&self, args: &[Term]) -> Result<String, SparqlError> {
         Ok(unparse(&self.bind(args)?))
+    }
+
+    /// Whether the template is a `SELECT` (as opposed to an `ASK`).
+    pub fn is_select(&self) -> bool {
+        matches!(self.query, Query::Select(_))
+    }
+
+    /// Binds `args` and then overrides the template's `LIMIT` / `OFFSET`
+    /// structurally — the paged-query fast path. The aligner's paging
+    /// shapes vary `LIMIT`/`OFFSET` on every call, so threading them
+    /// through the AST (instead of formatting a fresh query string per
+    /// page) keeps pagination on the zero-parse path.
+    ///
+    /// `None` leaves the template's own modifier untouched. Errors on
+    /// `ASK` templates, which have no solution sequence to page.
+    pub fn bind_paged(
+        &self,
+        args: &[Term],
+        limit: Option<usize>,
+        offset: Option<usize>,
+    ) -> Result<Query, SparqlError> {
+        let mut query = self.bind(args)?;
+        match &mut query {
+            Query::Select(s) => {
+                if limit.is_some() {
+                    s.limit = limit;
+                }
+                if offset.is_some() {
+                    s.offset = offset;
+                }
+            }
+            Query::Ask(_) => {
+                return Err(SparqlError::eval(
+                    "LIMIT/OFFSET cannot be applied to an ASK template",
+                ));
+            }
+        }
+        Ok(query)
+    }
+
+    /// Binds `args` with a `LIMIT`/`OFFSET` override and serialises to
+    /// SPARQL text (for endpoints that only speak strings; each page is a
+    /// distinct string, so string-keyed caches stay correct).
+    pub fn render_paged(
+        &self,
+        args: &[Term],
+        limit: Option<usize>,
+        offset: Option<usize>,
+    ) -> Result<String, SparqlError> {
+        Ok(unparse(&self.bind_paged(args, limit, offset)?))
     }
 }
 
@@ -330,6 +396,70 @@ mod tests {
         // COUNT(*) and COUNT over a different variable are fine.
         assert!(Prepared::new("SELECT (COUNT(*) AS ?n) { ?s <r:p> ?y }", &["s"]).is_ok());
         assert!(Prepared::new("SELECT (COUNT(?y) AS ?n) { ?s <r:p> ?y }", &["s"]).is_ok());
+    }
+
+    #[test]
+    fn bind_paged_overrides_limit_and_offset() {
+        let store = demo_store();
+        let q = Prepared::new("SELECT ?y WHERE { ?s ?p ?y } ORDER BY ?y", &["s"]).unwrap();
+        let all = {
+            let QueryOutcome::Solutions(rs) =
+                execute_ast(&store, &q.bind(&[Term::iri("e:a")]).unwrap()).unwrap()
+            else {
+                panic!("expected solutions");
+            };
+            rs
+        };
+        assert_eq!(all.len(), 2);
+        for (limit, offset) in [(Some(1), None), (Some(1), Some(1)), (None, Some(1))] {
+            let bound = q.bind_paged(&[Term::iri("e:a")], limit, offset).unwrap();
+            let QueryOutcome::Solutions(page) = execute_ast(&store, &bound).unwrap() else {
+                panic!("expected solutions");
+            };
+            let mut text = "SELECT ?y WHERE { <e:a> ?p ?y } ORDER BY ?y".to_owned();
+            if let Some(l) = limit {
+                text.push_str(&format!(" LIMIT {l}"));
+            }
+            if let Some(o) = offset {
+                text.push_str(&format!(" OFFSET {o}"));
+            }
+            let oracle = execute(&store, &text).unwrap();
+            assert_eq!(page, oracle, "limit {limit:?} offset {offset:?}");
+        }
+    }
+
+    #[test]
+    fn bind_paged_none_keeps_template_modifiers() {
+        let store = demo_store();
+        let q = Prepared::new("SELECT ?y WHERE { ?s ?p ?y } ORDER BY ?y LIMIT 1", &["s"]).unwrap();
+        let bound = q.bind_paged(&[Term::iri("e:a")], None, None).unwrap();
+        let QueryOutcome::Solutions(rs) = execute_ast(&store, &bound).unwrap() else {
+            panic!("expected solutions");
+        };
+        assert_eq!(rs.len(), 1, "template's own LIMIT 1 must survive");
+    }
+
+    #[test]
+    fn bind_paged_rejects_ask_and_render_paged_round_trips() {
+        let ask = Prepared::new("ASK { ?s <r:p> ?y }", &["s"]).unwrap();
+        assert!(ask.bind_paged(&[Term::iri("e:a")], Some(1), None).is_err());
+        assert!(!ask.is_select());
+
+        let store = demo_store();
+        let q = Prepared::new("SELECT ?y WHERE { ?s ?p ?y } ORDER BY ?y", &["s"]).unwrap();
+        assert!(q.is_select());
+        let text = q
+            .render_paged(&[Term::iri("e:a")], Some(1), Some(1))
+            .unwrap();
+        let via_string = execute(&store, &text).unwrap();
+        let QueryOutcome::Solutions(direct) = execute_ast(
+            &store,
+            &q.bind_paged(&[Term::iri("e:a")], Some(1), Some(1)).unwrap(),
+        )
+        .unwrap() else {
+            panic!("expected solutions");
+        };
+        assert_eq!(via_string, direct);
     }
 
     #[test]
