@@ -21,13 +21,36 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use sofya_core::{Aligner, AlignerConfig, AlignmentSession};
-use sofya_endpoint::{LocalEndpoint, SnapshotStore};
+use sofya_endpoint::{Endpoint, LocalEndpoint, Request, SnapshotStore};
 use sofya_kbgen::{generate, GeneratedPair, PairConfig, StructureCounts};
 use sofya_rdf::{Term, TriplePattern, TripleStore};
 use sofya_service::{AlignmentRequest, AlignmentService, SchedulerConfig};
-use sofya_sparql::{execute, execute_ask};
+use sofya_sparql::{execute, execute_ask, Prepared};
 
 const SEED: u64 = 42;
+
+/// Worker threads the host can actually run in parallel.
+fn host_nproc() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Best-effort hostname, sanitized to JSON-safe characters. Recorded so
+/// the ROADMAP's service-throughput numbers are never compared across
+/// machine classes unawares (the 1-core container's 4thr ≈ 1thr by
+/// physics; see ROADMAP "Multi-core throughput numbers").
+fn host_name() -> String {
+    std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .ok()
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok())
+        .unwrap_or_else(|| "unknown".to_owned())
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        .collect()
+}
 
 /// Default output path: the workspace root, two levels above this crate.
 fn default_out_path() -> String {
@@ -241,6 +264,49 @@ fn alignment_cases(suite: &mut Suite, tag: &str, small: bool, pair: &GeneratedPa
     });
 }
 
+/// The typed-pipeline batch path: one `Request::Batch` of 16 prepared
+/// probes (the alignment hot shapes) against a `ConcurrentEndpoint` —
+/// one snapshot pin and one response set per batch, the unit of work the
+/// service scheduler dispatches.
+fn endpoint_cases(suite: &mut Suite, pair: &GeneratedPair) {
+    let writer = SnapshotStore::new(pair.kb2.clone());
+    let reader = writer.reader("kb2");
+    let probe = Prepared::new("ASK { ?s ?r ?o }", &["s", "r", "o"]).unwrap();
+    let objects = Prepared::new("SELECT ?o WHERE { ?s ?r ?o } ORDER BY ?o", &["s", "r"]).unwrap();
+    let (big_rel, _) = biggest_relation(pair);
+    let subjects: Vec<Term> = pair
+        .kb2
+        .scan(TriplePattern::with_p(
+            pair.kb2.dict().lookup_iri(&big_rel).unwrap(),
+        ))
+        .take(8)
+        .map(|t| pair.kb2.resolve(t).0.clone())
+        .collect();
+    let probe_args: Vec<Vec<Term>> = subjects
+        .iter()
+        .map(|s| vec![s.clone(), Term::iri(&big_rel), Term::iri("kb2:nope")])
+        .collect();
+    let select_args: Vec<Vec<Term>> = subjects
+        .iter()
+        .map(|s| vec![s.clone(), Term::iri(&big_rel)])
+        .collect();
+    suite.run("endpoint/batch_16_probes_small", true, || {
+        let mut requests: Vec<Request<'_>> = Vec::with_capacity(16);
+        for (pa, sa) in probe_args.iter().zip(&select_args) {
+            requests.push(Request::PreparedAsk {
+                prepared: &probe,
+                args: pa,
+            });
+            requests.push(Request::PreparedSelect {
+                prepared: &objects,
+                args: sa,
+            });
+        }
+        let response = reader.execute(Request::Batch(requests)).expect("batch");
+        response.row_count()
+    });
+}
+
 /// End-to-end alignment session: a fresh [`AlignmentSession`] aligns a
 /// handful of relations, then re-reads each through the session cache —
 /// the paper's query-time contract (first query pays, later ones reuse).
@@ -361,6 +427,13 @@ fn write_json(
     body.push_str("{\n");
     body.push_str("  \"schema\": 1,\n");
     body.push_str(&format!("  \"seed\": {SEED},\n"));
+    // Host metadata: multi-threaded service numbers only compare across
+    // runs on the same machine class, so every run records where it ran.
+    body.push_str(&format!(
+        "  \"host\": {{ \"nproc\": {}, \"hostname\": \"{}\" }},\n",
+        host_nproc(),
+        host_name()
+    ));
     body.push_str(&format!("  \"kb_triples_100k\": {kb_triples_big},\n"));
     body.push_str(&format!("  \"kb_triples_small\": {kb_triples_small},\n"));
     body.push_str("  \"cases\": {\n");
@@ -412,6 +485,7 @@ fn main() {
     sparql_cases(&mut suite, "small", true, &small_pair);
     alignment_cases(&mut suite, "small", true, &small_pair);
     session_case(&mut suite, &small_pair);
+    endpoint_cases(&mut suite, &small_pair);
     if let Some(big) = &big_pair {
         store_cases(&mut suite, "100k", false, big);
         sparql_cases(&mut suite, "100k", false, big);
@@ -429,6 +503,29 @@ fn main() {
         if committed.is_empty() {
             eprintln!("--check: no committed medians found at {out_path}; nothing to compare");
             return;
+        }
+        // Cross-machine comparisons of multi-threaded cases are noise;
+        // say so loudly when the committed file came from a different
+        // core count (the committed host line is `"nproc": N`).
+        let committed_nproc: Option<usize> = existing.find("\"nproc\":").and_then(|pos| {
+            existing[pos + "\"nproc\":".len()..]
+                .chars()
+                .skip_while(|c| c.is_whitespace())
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .ok()
+        });
+        match committed_nproc {
+            Some(n) if n != host_nproc() => eprintln!(
+                "WARNING: committed medians were measured with nproc = {n}, this host has \
+                 nproc = {} — service/* comparisons are cross-machine-class",
+                host_nproc()
+            ),
+            None => {
+                eprintln!("NOTE: committed BENCH json has no host metadata (pre-host-stamp run)")
+            }
+            _ => {}
         }
         let mut failed = false;
         for (name, median) in &suite.cases {

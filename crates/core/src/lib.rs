@@ -14,8 +14,8 @@
 //!    relation holding on a translated pair as a candidate.
 //! 2. **Rule validation** (§2.1): score each candidate with an
 //!    association-rule confidence over a sample of its own facts —
-//!    [`cwaconf`](confidence::cwaconf) (closed-world, Eq. 1) or
-//!    [`pcaconf`](confidence::pcaconf) (partial-completeness, Eq. 2).
+//!    [`confidence::cwaconf`] (closed-world, Eq. 1) or
+//!    [`confidence::pcaconf`] (partial-completeness, Eq. 2).
 //! 3. **Sampling strategy** (§2.2): *Simple Sample Extraction* draws a
 //!    pseudo-random page of linked facts; *Unbiased Sample Extraction*
 //!    (UBS) additionally hunts for **contrastive** subjects — `x` with

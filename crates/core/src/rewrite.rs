@@ -142,7 +142,7 @@ impl<'a, 's> QueryRewriter<'a, 's> {
 mod tests {
     use super::*;
     use crate::config::AlignerConfig;
-    use sofya_endpoint::LocalEndpoint;
+    use sofya_endpoint::{EndpointExt, LocalEndpoint};
     use sofya_rdf::TripleStore;
 
     const SA: &str = "http://www.w3.org/2002/07/owl#sameAs";

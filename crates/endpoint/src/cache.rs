@@ -1,48 +1,55 @@
 //! Client-side memoisation of identical queries.
 
 use crate::clock::Clock;
-use crate::endpoint::Endpoint;
+use crate::endpoint::{Endpoint, Request, Response};
 use crate::error::EndpointError;
 use parking_lot::Mutex;
-use sofya_sparql::ResultSet;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// An endpoint wrapper that caches results by exact query string.
+/// An endpoint wrapper that caches responses by rendered request.
 ///
 /// SOFYA re-issues identical `sameAs` lookups and existence probes for
 /// entities shared between samples; a client-side cache keeps those free.
-/// Only successful results are cached (a transient failure should be
+/// Only successful responses are cached (a transient failure should be
 /// retried, and quota errors must keep failing).
+///
+/// Every request kind shares one cache: the key is the request's SPARQL
+/// rendering prefixed with its response shape, so a `SELECT` and a
+/// `COUNT` over the same pattern never collide. A [`Request::Batch`] is
+/// **decomposed** — each leaf is looked up and memoised individually, so
+/// a batch re-issuing known probes is answered from the cache without
+/// touching the inner endpoint at all. (Decomposition means a cached
+/// batch no longer reaches the inner endpoint as one unit; stack this
+/// wrapper over a [`crate::PinnedEndpoint`] when batch-level snapshot
+/// consistency matters too.)
 ///
 /// [`CachingEndpoint::with_ttl`] adds expiry against an injected
 /// [`Clock`]: an entry older than the TTL counts as a miss, is evicted,
-/// and the fresh result is re-cached with a new timestamp. Without a TTL
-/// entries live until [`CachingEndpoint::clear`].
+/// and the fresh response is re-cached with a new timestamp. Without a
+/// TTL entries live until [`CachingEndpoint::clear`].
 pub struct CachingEndpoint<E> {
     inner: E,
-    select_cache: Mutex<HashMap<String, (ResultSet, Duration)>>,
-    ask_cache: Mutex<HashMap<String, (bool, Duration)>>,
+    cache: Mutex<HashMap<String, (Response, Duration)>>,
     hits: Mutex<u64>,
     expirations: Mutex<u64>,
     ttl: Option<(Duration, Arc<dyn Clock>)>,
 }
 
 impl<E: Endpoint> CachingEndpoint<E> {
-    /// Wraps `inner` with empty caches and no expiry.
+    /// Wraps `inner` with an empty cache and no expiry.
     pub fn new(inner: E) -> Self {
         Self {
             inner,
-            select_cache: Mutex::new(HashMap::new()),
-            ask_cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
             hits: Mutex::new(0),
             expirations: Mutex::new(0),
             ttl: None,
         }
     }
 
-    /// Wraps `inner` with caches whose entries expire once `clock` has
+    /// Wraps `inner` with a cache whose entries expire once `clock` has
     /// advanced by at least `ttl` since insertion.
     pub fn with_ttl(inner: E, ttl: Duration, clock: Arc<dyn Clock>) -> Self {
         Self {
@@ -51,7 +58,7 @@ impl<E: Endpoint> CachingEndpoint<E> {
         }
     }
 
-    /// Number of cache hits so far (both query kinds).
+    /// Number of cache hits so far (all request kinds).
     pub fn hits(&self) -> u64 {
         *self.hits.lock()
     }
@@ -61,16 +68,15 @@ impl<E: Endpoint> CachingEndpoint<E> {
         *self.expirations.lock()
     }
 
-    /// Number of cached entries (both query kinds; expired entries that
+    /// Number of cached entries (all request kinds; expired entries that
     /// have not been touched since lapsing still count).
     pub fn entries(&self) -> usize {
-        self.select_cache.lock().len() + self.ask_cache.lock().len()
+        self.cache.lock().len()
     }
 
     /// Drops all cached entries.
     pub fn clear(&self) {
-        self.select_cache.lock().clear();
-        self.ask_cache.lock().clear();
+        self.cache.lock().clear();
     }
 
     /// The wrapped endpoint.
@@ -96,102 +102,59 @@ impl<E: Endpoint> CachingEndpoint<E> {
 
     /// Cache lookup with expiry: a lapsed entry is evicted and reported
     /// as a miss.
-    fn lookup<V: Clone>(
-        &self,
-        cache: &Mutex<HashMap<String, (V, Duration)>>,
-        query: &str,
-    ) -> Option<V> {
-        let mut cache = cache.lock();
-        match cache.get(query) {
+    fn lookup(&self, key: &str) -> Option<Response> {
+        let mut cache = self.cache.lock();
+        match cache.get(key) {
             Some((value, stamp)) if self.fresh(*stamp) => {
                 let value = value.clone();
                 *self.hits.lock() += 1;
                 Some(value)
             }
             Some(_) => {
-                cache.remove(query);
+                cache.remove(key);
                 *self.expirations.lock() += 1;
                 None
             }
             None => None,
         }
     }
+
+    /// The cache key of a non-batch request: its response shape (so one
+    /// pattern rendered as `SELECT` and as `COUNT` never collide) plus
+    /// its SPARQL rendering (each page of a paged shape renders to a
+    /// distinct string, so pages never collide either).
+    fn key(req: &Request<'_>) -> Result<String, EndpointError> {
+        let shape = match req {
+            Request::Select { .. }
+            | Request::PreparedSelect { .. }
+            | Request::PreparedSelectPaged { .. } => 'S',
+            Request::Ask { .. } | Request::PreparedAsk { .. } => 'A',
+            Request::Count { .. } => 'C',
+            Request::Batch(_) => unreachable!("batches are decomposed before keying"),
+        };
+        Ok(format!("{shape}\u{1}{}", req.to_sparql()?))
+    }
 }
 
 impl<E: Endpoint> Endpoint for CachingEndpoint<E> {
-    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
-        if let Some(hit) = self.lookup(&self.select_cache, query) {
+    fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
+        if let Request::Batch(requests) = req {
+            return Ok(Response::Batch(
+                requests
+                    .into_iter()
+                    .map(|sub| self.execute(sub))
+                    .collect::<Result<_, _>>()?,
+            ));
+        }
+        let key = Self::key(&req)?;
+        if let Some(hit) = self.lookup(&key) {
             return Ok(hit);
         }
-        let rs = self.inner.select(query)?;
-        self.select_cache
+        let response = self.inner.execute(req)?;
+        self.cache
             .lock()
-            .insert(query.to_owned(), (rs.clone(), self.now()));
-        Ok(rs)
-    }
-
-    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
-        if let Some(hit) = self.lookup(&self.ask_cache, query) {
-            return Ok(hit);
-        }
-        let answer = self.inner.ask(query)?;
-        self.ask_cache
-            .lock()
-            .insert(query.to_owned(), (answer, self.now()));
-        Ok(answer)
-    }
-
-    fn select_prepared(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-    ) -> Result<ResultSet, EndpointError> {
-        // The rendered text is the cache key; on a miss the inner endpoint
-        // still gets the prepared fast path.
-        let query = prepared.render(args)?;
-        if let Some(hit) = self.lookup(&self.select_cache, &query) {
-            return Ok(hit);
-        }
-        let rs = self.inner.select_prepared(prepared, args)?;
-        self.select_cache
-            .lock()
-            .insert(query, (rs.clone(), self.now()));
-        Ok(rs)
-    }
-
-    fn ask_prepared(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-    ) -> Result<bool, EndpointError> {
-        let query = prepared.render(args)?;
-        if let Some(hit) = self.lookup(&self.ask_cache, &query) {
-            return Ok(hit);
-        }
-        let answer = self.inner.ask_prepared(prepared, args)?;
-        self.ask_cache.lock().insert(query, (answer, self.now()));
-        Ok(answer)
-    }
-
-    fn select_prepared_paged(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-        limit: Option<usize>,
-        offset: Option<usize>,
-    ) -> Result<ResultSet, EndpointError> {
-        // Each page renders to a distinct string, so pages never collide.
-        let query = prepared.render_paged(args, limit, offset)?;
-        if let Some(hit) = self.lookup(&self.select_cache, &query) {
-            return Ok(hit);
-        }
-        let rs = self
-            .inner
-            .select_prepared_paged(prepared, args, limit, offset)?;
-        self.select_cache
-            .lock()
-            .insert(query, (rs.clone(), self.now()));
-        Ok(rs)
+            .insert(key, (response.clone(), self.now()));
+        Ok(response)
     }
 
     fn name(&self) -> &str {
@@ -202,9 +165,11 @@ impl<E: Endpoint> Endpoint for CachingEndpoint<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::endpoint::EndpointExt;
     use crate::instrument::InstrumentedEndpoint;
     use crate::local::LocalEndpoint;
     use sofya_rdf::{Term, TripleStore};
+    use sofya_sparql::Prepared;
 
     fn stack() -> CachingEndpoint<InstrumentedEndpoint<LocalEndpoint>> {
         let mut store = TripleStore::new();
@@ -241,6 +206,45 @@ mod tests {
         ep.select("SELECT ?s { ?s <p> <b> }").unwrap();
         assert_eq!(ep.entries(), 2);
         assert_eq!(ep.hits(), 0);
+    }
+
+    #[test]
+    fn counts_and_selects_of_one_pattern_do_not_collide() {
+        let ep = stack();
+        let pattern = Prepared::new("SELECT ?o WHERE { ?s <p> ?o }", &["s"]).unwrap();
+        let args = [Term::iri("a")];
+        assert_eq!(ep.count_prepared(&pattern, &args).unwrap(), 1);
+        let rows = ep.select_prepared(&pattern, &args).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(ep.entries(), 2, "count and select cached separately");
+        // Both kinds hit on re-issue.
+        assert_eq!(ep.count_prepared(&pattern, &args).unwrap(), 1);
+        assert_eq!(ep.select_prepared(&pattern, &args).unwrap(), rows);
+        assert_eq!(ep.hits(), 2);
+    }
+
+    #[test]
+    fn batches_are_decomposed_into_cached_leaves() {
+        let ep = stack();
+        let counters = ep.inner().counters();
+        let q = "SELECT ?o { <a> <p> ?o }";
+        ep.select(q).unwrap();
+        assert_eq!(counters.select_queries(), 1);
+        // A batch re-issuing the cached probe plus one new ASK only
+        // forwards the ASK.
+        let responses = ep
+            .execute_batch(vec![
+                Request::Select { query: q },
+                Request::Ask {
+                    query: "ASK { <a> <p> <b> }",
+                },
+            ])
+            .unwrap();
+        assert_eq!(responses.len(), 2);
+        assert_eq!(counters.select_queries(), 1);
+        assert_eq!(counters.ask_queries(), 1);
+        assert_eq!(ep.hits(), 1);
+        assert_eq!(ep.entries(), 2);
     }
 
     #[test]

@@ -18,11 +18,11 @@
 //!   harmless: the running query keeps its snapshot alive.
 //!
 //! Plans are cached in a sharded LRU keyed by query string and stamped
-//! with the snapshot version they were compiled against (see
-//! [`crate::plan_cache`]); a publish therefore invalidates stale plans
-//! lazily, on their next lookup.
+//! with the snapshot version they were compiled against (see the
+//! crate-private `plan_cache` module); a publish therefore invalidates
+//! stale plans lazily, on their next lookup.
 
-use crate::endpoint::Endpoint;
+use crate::endpoint::{Endpoint, Request, Response};
 use crate::error::EndpointError;
 use crate::local::DEFAULT_PLAN_CACHE_CAPACITY;
 use crate::plan_cache::ShardedPlanCache;
@@ -30,7 +30,7 @@ use parking_lot::Mutex;
 use sofya_rdf::{StoreSnapshot, StoreStats, Term, TripleStore};
 use sofya_sparql::{
     compile_with_options, execute_ast_with_options, execute_compiled, execute_compiled_paged,
-    CompiledQuery, PlanOptions, Prepared, ResultSet,
+    CompiledQuery, PlanOptions, Prepared,
 };
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -226,11 +226,12 @@ impl ConcurrentEndpoint {
     }
 }
 
-/// Answers every snapshot-level query; shared by the per-query-fresh
+/// Answers every snapshot-level request; shared by the per-query-fresh
 /// [`ConcurrentEndpoint`] and the transactionally-consistent
 /// [`PinnedEndpoint`].
 mod on_snapshot {
     use super::*;
+    use crate::outcome::{execute_count, response_of};
 
     /// Compile-or-cache a query string against `snap`. Entries from older
     /// snapshot versions are misses (their constant ids may be stale).
@@ -272,104 +273,63 @@ mod on_snapshot {
         )?)
     }
 
-    use crate::outcome::{expect_boolean, expect_solutions};
-
-    pub(super) fn select(
+    /// Executes one typed request against one published snapshot. A
+    /// batch recurses with the **same** snapshot, so its sub-requests
+    /// observe one consistent state no matter how many publishes land
+    /// while it runs.
+    pub(super) fn execute(
         plans: &ShardedPlanCache,
         snap: &PublishedSnapshot,
-        query: &str,
-    ) -> Result<ResultSet, EndpointError> {
-        let compiled = compiled(plans, snap, query)?;
-        expect_solutions(execute_compiled(snap.snapshot().store(), &compiled)?)
-    }
-
-    pub(super) fn ask(
-        plans: &ShardedPlanCache,
-        snap: &PublishedSnapshot,
-        query: &str,
-    ) -> Result<bool, EndpointError> {
-        let compiled = compiled(plans, snap, query)?;
-        expect_boolean(execute_compiled(snap.snapshot().store(), &compiled)?)
-    }
-
-    pub(super) fn select_prepared(
-        snap: &PublishedSnapshot,
-        prepared: &Prepared,
-        args: &[Term],
-    ) -> Result<ResultSet, EndpointError> {
-        expect_solutions(execute_ast_with_options(
-            snap.snapshot().store(),
-            &prepared.bind(args)?,
-            snap.plan_options(),
-        )?)
-    }
-
-    pub(super) fn ask_prepared(
-        snap: &PublishedSnapshot,
-        prepared: &Prepared,
-        args: &[Term],
-    ) -> Result<bool, EndpointError> {
-        expect_boolean(execute_ast_with_options(
-            snap.snapshot().store(),
-            &prepared.bind(args)?,
-            snap.plan_options(),
-        )?)
-    }
-
-    pub(super) fn select_prepared_paged(
-        plans: &ShardedPlanCache,
-        snap: &PublishedSnapshot,
-        prepared: &Prepared,
-        args: &[Term],
-        limit: Option<usize>,
-        offset: Option<usize>,
-    ) -> Result<ResultSet, EndpointError> {
-        let compiled = compiled_prepared_paged(plans, snap, prepared, args)?;
-        expect_solutions(execute_compiled_paged(
-            snap.snapshot().store(),
-            &compiled,
-            limit,
-            offset,
-        )?)
+        req: Request<'_>,
+    ) -> Result<Response, EndpointError> {
+        match req {
+            Request::Select { query } | Request::Ask { query } => {
+                let compiled = compiled(plans, snap, query)?;
+                Ok(response_of(execute_compiled(
+                    snap.snapshot().store(),
+                    &compiled,
+                )?))
+            }
+            Request::PreparedSelect { prepared, args }
+            | Request::PreparedAsk { prepared, args } => Ok(response_of(execute_ast_with_options(
+                snap.snapshot().store(),
+                &prepared.bind(args)?,
+                snap.plan_options(),
+            )?)),
+            Request::PreparedSelectPaged {
+                prepared,
+                args,
+                limit,
+                offset,
+            } => {
+                let compiled = compiled_prepared_paged(plans, snap, prepared, args)?;
+                Ok(response_of(execute_compiled_paged(
+                    snap.snapshot().store(),
+                    &compiled,
+                    limit,
+                    offset,
+                )?))
+            }
+            Request::Count { prepared, args } => {
+                execute_count(snap.snapshot().store(), prepared, args, snap.plan_options())
+                    .map(Response::Count)
+            }
+            Request::Batch(requests) => Ok(Response::Batch(
+                requests
+                    .into_iter()
+                    .map(|sub| execute(plans, snap, sub))
+                    .collect::<Result<_, _>>()?,
+            )),
+        }
     }
 }
 
 impl Endpoint for ConcurrentEndpoint {
-    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
-        on_snapshot::select(&self.plans, &self.cell.load(), query)
-    }
-
-    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
-        on_snapshot::ask(&self.plans, &self.cell.load(), query)
-    }
-
-    fn select_prepared(
-        &self,
-        prepared: &Prepared,
-        args: &[Term],
-    ) -> Result<ResultSet, EndpointError> {
-        on_snapshot::select_prepared(&self.cell.load(), prepared, args)
-    }
-
-    fn ask_prepared(&self, prepared: &Prepared, args: &[Term]) -> Result<bool, EndpointError> {
-        on_snapshot::ask_prepared(&self.cell.load(), prepared, args)
-    }
-
-    fn select_prepared_paged(
-        &self,
-        prepared: &Prepared,
-        args: &[Term],
-        limit: Option<usize>,
-        offset: Option<usize>,
-    ) -> Result<ResultSet, EndpointError> {
-        on_snapshot::select_prepared_paged(
-            &self.plans,
-            &self.cell.load(),
-            prepared,
-            args,
-            limit,
-            offset,
-        )
+    /// Resolves the published snapshot **once** per request — a batch
+    /// therefore runs entirely against the snapshot current at its
+    /// start, paying a single epoch-cell load for all its sub-requests.
+    fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
+        on_snapshot::execute(&self.plans, &self.cell.load(), req)
     }
 
     fn name(&self) -> &str {
@@ -407,34 +367,8 @@ impl PinnedEndpoint {
 }
 
 impl Endpoint for PinnedEndpoint {
-    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
-        on_snapshot::select(&self.plans, &self.snap, query)
-    }
-
-    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
-        on_snapshot::ask(&self.plans, &self.snap, query)
-    }
-
-    fn select_prepared(
-        &self,
-        prepared: &Prepared,
-        args: &[Term],
-    ) -> Result<ResultSet, EndpointError> {
-        on_snapshot::select_prepared(&self.snap, prepared, args)
-    }
-
-    fn ask_prepared(&self, prepared: &Prepared, args: &[Term]) -> Result<bool, EndpointError> {
-        on_snapshot::ask_prepared(&self.snap, prepared, args)
-    }
-
-    fn select_prepared_paged(
-        &self,
-        prepared: &Prepared,
-        args: &[Term],
-        limit: Option<usize>,
-        offset: Option<usize>,
-    ) -> Result<ResultSet, EndpointError> {
-        on_snapshot::select_prepared_paged(&self.plans, &self.snap, prepared, args, limit, offset)
+    fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
+        on_snapshot::execute(&self.plans, &self.snap, req)
     }
 
     fn name(&self) -> &str {
@@ -467,6 +401,7 @@ impl std::fmt::Debug for ConcurrentEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::endpoint::EndpointExt;
     use crate::local::LocalEndpoint;
     use sofya_rdf::TriplePattern;
 
@@ -590,6 +525,122 @@ mod tests {
             .select_prepared_paged(&objects, &args, Some(1), Some(1))
             .unwrap();
         assert_eq!(page.rows()[0], all.rows()[1]);
+    }
+
+    /// The acceptance differential: a `Batch` answers exactly what the
+    /// same requests answer when issued sequentially (against a quiesced
+    /// store), across every request variant.
+    #[test]
+    fn batch_matches_sequential_execution() {
+        let mut store = TripleStore::new();
+        for i in 0..30 {
+            store.insert_terms(
+                &Term::iri(format!("e:s{}", i % 7)),
+                &Term::iri(format!("r:p{}", i % 3)),
+                &Term::iri(format!("e:o{i}")),
+            );
+        }
+        let writer = SnapshotStore::new(store);
+        let ep = writer.reader("kb");
+
+        let objects =
+            Prepared::new("SELECT ?o WHERE { ?s ?r ?o } ORDER BY ?o", &["s", "r"]).unwrap();
+        let probe = Prepared::new("ASK { ?s ?r ?o }", &["s", "r", "o"]).unwrap();
+        let pattern = Prepared::new("SELECT ?s ?o WHERE { ?s ?r ?o }", &["r"]).unwrap();
+        let args = [Term::iri("e:s1"), Term::iri("r:p1")];
+        let probe_args = [Term::iri("e:s1"), Term::iri("r:p1"), Term::iri("e:o1")];
+        let count_args = [Term::iri("r:p1")];
+        let requests = || {
+            vec![
+                Request::Select {
+                    query: "SELECT ?s ?o { ?s <r:p1> ?o } ORDER BY ?s ?o",
+                },
+                Request::Ask {
+                    query: "ASK { <e:s1> <r:p1> ?o }",
+                },
+                Request::PreparedSelect {
+                    prepared: &objects,
+                    args: &args,
+                },
+                Request::PreparedAsk {
+                    prepared: &probe,
+                    args: &probe_args,
+                },
+                Request::PreparedSelectPaged {
+                    prepared: &objects,
+                    args: &args,
+                    limit: Some(2),
+                    offset: Some(1),
+                },
+                Request::Count {
+                    prepared: &pattern,
+                    args: &count_args,
+                },
+            ]
+        };
+        let batched = ep.execute_batch(requests()).unwrap();
+        let sequential: Vec<Response> = requests()
+            .into_iter()
+            .map(|req| ep.execute(req).unwrap())
+            .collect();
+        assert_eq!(batched, sequential);
+        // Nested batches flatten to the same per-leaf responses.
+        let nested = ep
+            .execute(Request::Batch(vec![Request::Batch(requests())]))
+            .unwrap();
+        assert_eq!(nested, Response::Batch(vec![Response::Batch(sequential)]));
+    }
+
+    /// A batch straddling publishes stays on one snapshot: dependent
+    /// count → page sub-requests agree with each other even though a
+    /// sequentially-issued pair would straddle the version bump.
+    #[test]
+    fn batch_is_pinned_to_one_snapshot() {
+        let mut writer = seeded();
+        let ep = writer.reader("kb");
+        let pattern = Prepared::new("SELECT ?o WHERE { ?s ?r ?o }", &["s", "r"]).unwrap();
+        let args = [Term::iri("e:a"), Term::iri("r:p")];
+        let batch_count = || {
+            let responses = ep
+                .execute_batch(vec![
+                    Request::Count {
+                        prepared: &pattern,
+                        args: &args,
+                    },
+                    Request::Count {
+                        prepared: &pattern,
+                        args: &args,
+                    },
+                ])
+                .unwrap();
+            (
+                responses[0].clone().into_count().unwrap(),
+                responses[1].clone().into_count().unwrap(),
+            )
+        };
+        assert_eq!(batch_count(), (2, 2));
+        writer
+            .store_mut()
+            .insert_terms(&Term::iri("e:a"), &Term::iri("r:p"), &Term::iri("e:d"));
+        writer.publish();
+        // Both sub-counts see the same (new) state.
+        assert_eq!(batch_count(), (3, 3));
+    }
+
+    #[test]
+    fn count_requests_match_count_star_queries() {
+        let mut writer = seeded();
+        let ep = writer.reader("kb");
+        let pattern = Prepared::new("SELECT ?o WHERE { ?s ?r ?o }", &["s", "r"]).unwrap();
+        let args = [Term::iri("e:a"), Term::iri("r:p")];
+        let oracle = ep
+            .select("SELECT (COUNT(*) AS ?n) { <e:a> <r:p> ?o }")
+            .unwrap()
+            .single_integer()
+            .unwrap();
+        assert_eq!(ep.count_prepared(&pattern, &args).unwrap(), oracle as u64);
+        writer.publish();
+        assert_eq!(ep.count_prepared(&pattern, &args).unwrap(), oracle as u64);
     }
 
     #[test]

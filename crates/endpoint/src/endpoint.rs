@@ -1,26 +1,373 @@
-//! The endpoint trait.
+//! The endpoint trait: one typed request/response pipeline.
+//!
+//! Every KB access in SOFYA is a [`Request`] handed to
+//! [`Endpoint::execute`], which answers with the matching [`Response`]
+//! shape. Wrappers (caching, quota, retry, instrumentation, latency, …)
+//! therefore intercept **every** query kind — string, prepared, paged,
+//! count, batch, and ones added later — by overriding a single method,
+//! instead of forwarding five parallel entry points and silently missing
+//! one (the bug class that regressed the first paged fast path).
+//!
+//! Callers never build requests by hand: [`EndpointExt`] provides the
+//! ergonomic methods ([`EndpointExt::select`], [`EndpointExt::ask`],
+//! [`EndpointExt::count_prepared`], …) that construct the request and
+//! destructure the response.
 
 use crate::error::EndpointError;
 use sofya_rdf::Term;
-use sofya_sparql::{Prepared, ResultSet};
+use sofya_sparql::{unparse, Prepared, Query, ResultSet, SparqlError};
+use std::sync::Arc;
+
+/// One typed endpoint request. Borrowed: a request is built on the stack
+/// of the issuing call and consumed by [`Endpoint::execute`]; use
+/// [`RequestBuf`] when a request must own its parts (queues, schedulers).
+///
+/// ```
+/// use sofya_endpoint::{Endpoint, EndpointExt, LocalEndpoint, Request, Response};
+/// use sofya_rdf::{Term, TripleStore};
+///
+/// let mut store = TripleStore::new();
+/// store.insert_terms(&Term::iri("e:a"), &Term::iri("r:p"), &Term::iri("e:b"));
+/// let ep = LocalEndpoint::new("kb", store);
+///
+/// // The typed pipeline: one method, one request enum.
+/// let resp = ep.execute(Request::Ask { query: "ASK { <e:a> <r:p> <e:b> }" }).unwrap();
+/// assert_eq!(resp, Response::Boolean(true));
+///
+/// // The ergonomic layer builds the request for you.
+/// assert!(ep.ask("ASK { <e:a> <r:p> <e:b> }").unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub enum Request<'a> {
+    /// A `SELECT` query string; answered with [`Response::Rows`].
+    Select {
+        /// The SPARQL text.
+        query: &'a str,
+    },
+    /// An `ASK` query string; answered with [`Response::Boolean`].
+    Ask {
+        /// The SPARQL text.
+        query: &'a str,
+    },
+    /// A prepared `SELECT` template bound to constant arguments;
+    /// answered with [`Response::Rows`].
+    PreparedSelect {
+        /// The parse-once template.
+        prepared: &'a Prepared,
+        /// One constant per template parameter, in declaration order.
+        args: &'a [Term],
+    },
+    /// A prepared `ASK` template bound to constant arguments; answered
+    /// with [`Response::Boolean`].
+    PreparedAsk {
+        /// The parse-once template.
+        prepared: &'a Prepared,
+        /// One constant per template parameter, in declaration order.
+        args: &'a [Term],
+    },
+    /// A prepared `SELECT` with a structural `LIMIT`/`OFFSET` override —
+    /// the paged sampling shapes, whose page bounds change on every
+    /// call; answered with [`Response::Rows`].
+    PreparedSelectPaged {
+        /// The parse-once template.
+        prepared: &'a Prepared,
+        /// One constant per template parameter, in declaration order.
+        args: &'a [Term],
+        /// Page size (`None` keeps the template's own `LIMIT`).
+        limit: Option<usize>,
+        /// Page start (`None` keeps the template's own `OFFSET`).
+        offset: Option<usize>,
+    },
+    /// `COUNT(*)` over the graph pattern of a bound `SELECT` template,
+    /// ignoring the template's projection and solution modifiers;
+    /// answered with [`Response::Count`]. In-process endpoints resolve
+    /// single-pattern counts straight off the index bounds without
+    /// materializing a single row — the aligner's hottest probe.
+    Count {
+        /// The parse-once pattern template (must be a `SELECT`).
+        prepared: &'a Prepared,
+        /// One constant per template parameter, in declaration order.
+        args: &'a [Term],
+    },
+    /// A request set executed as one unit; answered with
+    /// [`Response::Batch`] (one response per sub-request, in order; the
+    /// first failing sub-request fails the whole batch).
+    /// [`crate::ConcurrentEndpoint`] executes the entire batch against a
+    /// single pinned snapshot, so dependent sub-requests observe one
+    /// consistent state and pay one epoch-cell load.
+    Batch(Vec<Request<'a>>),
+}
+
+impl<'a> Request<'a> {
+    /// A short label for error messages and accounting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Select { .. } => "select",
+            Request::Ask { .. } => "ask",
+            Request::PreparedSelect { .. } => "prepared-select",
+            Request::PreparedAsk { .. } => "prepared-ask",
+            Request::PreparedSelectPaged { .. } => "prepared-select-paged",
+            Request::Count { .. } => "count",
+            Request::Batch(_) => "batch",
+        }
+    }
+
+    /// Number of leaf (non-batch) requests: 1 for every plain request,
+    /// the recursive sum for a batch. This is the unit quota charging
+    /// and query accounting use, so batching never hides queries from
+    /// the paper's "few queries" bookkeeping.
+    pub fn leaf_count(&self) -> u64 {
+        match self {
+            Request::Batch(reqs) => reqs.iter().map(Request::leaf_count).sum(),
+            _ => 1,
+        }
+    }
+
+    /// The SPARQL text a string-only backend (an HTTP endpoint, a
+    /// string-keyed cache) would send for this request. Prepared
+    /// requests render their bound template; [`Request::Count`] renders
+    /// a `SELECT (COUNT(*) AS ?n)` rewrite of its pattern. A batch has
+    /// no single rendering and errors — decompose it first.
+    pub fn to_sparql(&self) -> Result<String, EndpointError> {
+        match self {
+            Request::Select { query } | Request::Ask { query } => Ok((*query).to_owned()),
+            Request::PreparedSelect { prepared, args }
+            | Request::PreparedAsk { prepared, args } => Ok(prepared.render(args)?),
+            Request::PreparedSelectPaged {
+                prepared,
+                args,
+                limit,
+                offset,
+            } => Ok(prepared.render_paged(args, *limit, *offset)?),
+            Request::Count { prepared, args } => Ok(unparse(&Query::Select(
+                crate::outcome::count_rewrite(prepared, args)?,
+            ))),
+            Request::Batch(_) => Err(EndpointError::Other(
+                "a batch request has no single SPARQL rendering".to_owned(),
+            )),
+        }
+    }
+}
+
+/// The error for a [`Request::Count`] whose template is an `ASK`.
+pub(crate) fn count_of_ask_error() -> EndpointError {
+    EndpointError::Sparql(SparqlError::eval(
+        "COUNT requires a SELECT template, found ASK",
+    ))
+}
+
+/// An owning [`Request`]: the same variants with owned strings,
+/// `Arc`-shared templates, and owned argument vectors, so a request can
+/// outlive the frame that built it (queued batches, scheduler jobs —
+/// see `sofya-service`'s query service). Borrow it back with
+/// [`RequestBuf::as_request`] at execution time.
+#[derive(Debug, Clone)]
+pub enum RequestBuf {
+    /// Owned form of [`Request::Select`].
+    Select {
+        /// The SPARQL text.
+        query: String,
+    },
+    /// Owned form of [`Request::Ask`].
+    Ask {
+        /// The SPARQL text.
+        query: String,
+    },
+    /// Owned form of [`Request::PreparedSelect`].
+    PreparedSelect {
+        /// The shared template.
+        prepared: Arc<Prepared>,
+        /// One constant per template parameter.
+        args: Vec<Term>,
+    },
+    /// Owned form of [`Request::PreparedAsk`].
+    PreparedAsk {
+        /// The shared template.
+        prepared: Arc<Prepared>,
+        /// One constant per template parameter.
+        args: Vec<Term>,
+    },
+    /// Owned form of [`Request::PreparedSelectPaged`].
+    PreparedSelectPaged {
+        /// The shared template.
+        prepared: Arc<Prepared>,
+        /// One constant per template parameter.
+        args: Vec<Term>,
+        /// Page size.
+        limit: Option<usize>,
+        /// Page start.
+        offset: Option<usize>,
+    },
+    /// Owned form of [`Request::Count`].
+    Count {
+        /// The shared pattern template.
+        prepared: Arc<Prepared>,
+        /// One constant per template parameter.
+        args: Vec<Term>,
+    },
+    /// Owned form of [`Request::Batch`].
+    Batch(Vec<RequestBuf>),
+}
+
+impl RequestBuf {
+    /// The borrowed view this buffer executes as.
+    pub fn as_request(&self) -> Request<'_> {
+        match self {
+            RequestBuf::Select { query } => Request::Select { query },
+            RequestBuf::Ask { query } => Request::Ask { query },
+            RequestBuf::PreparedSelect { prepared, args } => {
+                Request::PreparedSelect { prepared, args }
+            }
+            RequestBuf::PreparedAsk { prepared, args } => Request::PreparedAsk { prepared, args },
+            RequestBuf::PreparedSelectPaged {
+                prepared,
+                args,
+                limit,
+                offset,
+            } => Request::PreparedSelectPaged {
+                prepared,
+                args,
+                limit: *limit,
+                offset: *offset,
+            },
+            RequestBuf::Count { prepared, args } => Request::Count { prepared, args },
+            RequestBuf::Batch(reqs) => Request::Batch(reqs.iter().map(Self::as_request).collect()),
+        }
+    }
+
+    /// Number of leaf (non-batch) requests (see [`Request::leaf_count`]).
+    pub fn leaf_count(&self) -> u64 {
+        match self {
+            RequestBuf::Batch(reqs) => reqs.iter().map(Self::leaf_count).sum(),
+            _ => 1,
+        }
+    }
+}
+
+/// One typed endpoint response, mirroring the [`Request`] variants.
+///
+/// ```
+/// use sofya_endpoint::Response;
+/// use sofya_sparql::ResultSet;
+///
+/// let resp = Response::Count(7);
+/// assert_eq!(resp.clone().into_count().unwrap(), 7);
+/// // Destructuring into the wrong shape is a caller bug, surfaced as an
+/// // error instead of a panic.
+/// assert!(resp.into_rows().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Solution rows (from the `SELECT` request shapes).
+    Rows(ResultSet),
+    /// An `ASK` answer.
+    Boolean(bool),
+    /// A `COUNT(*)` value.
+    Count(u64),
+    /// One response per sub-request of a [`Request::Batch`], in order.
+    Batch(Vec<Response>),
+}
+
+impl Response {
+    /// A short label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::Rows(_) => "rows",
+            Response::Boolean(_) => "boolean",
+            Response::Count(_) => "count",
+            Response::Batch(_) => "batch",
+        }
+    }
+
+    /// Rows transferred by this response, counting booleans and counts
+    /// as one row each and recursing through batches (the transfer-cost
+    /// proxy used by the latency model).
+    pub fn row_count(&self) -> u64 {
+        match self {
+            Response::Rows(rs) => rs.len() as u64,
+            Response::Boolean(_) | Response::Count(_) => 1,
+            Response::Batch(responses) => responses.iter().map(Response::row_count).sum(),
+        }
+    }
+
+    fn mismatch(expected: &'static str, found: &'static str) -> EndpointError {
+        EndpointError::Sparql(SparqlError::eval(format!(
+            "expected a {expected} response, found {found}"
+        )))
+    }
+
+    /// The solution rows, or a shape-mismatch error.
+    pub fn into_rows(self) -> Result<ResultSet, EndpointError> {
+        match self {
+            Response::Rows(rs) => Ok(rs),
+            other => Err(Self::mismatch("rows", other.kind())),
+        }
+    }
+
+    /// The boolean answer, or a shape-mismatch error.
+    pub fn into_boolean(self) -> Result<bool, EndpointError> {
+        match self {
+            Response::Boolean(b) => Ok(b),
+            other => Err(Self::mismatch("boolean", other.kind())),
+        }
+    }
+
+    /// The count value, or a shape-mismatch error.
+    pub fn into_count(self) -> Result<u64, EndpointError> {
+        match self {
+            Response::Count(n) => Ok(n),
+            other => Err(Self::mismatch("count", other.kind())),
+        }
+    }
+
+    /// The per-sub-request responses, or a shape-mismatch error.
+    pub fn into_batch(self) -> Result<Vec<Response>, EndpointError> {
+        match self {
+            Response::Batch(responses) => Ok(responses),
+            other => Err(Self::mismatch("batch", other.kind())),
+        }
+    }
+}
 
 /// A SPARQL endpoint: the only way SOFYA touches a knowledge base.
 ///
 /// Implementations must be shareable across threads — the evaluation
 /// harness aligns many relations in parallel against the same endpoints.
 ///
-/// The `*_prepared` methods take a parse-once [`Prepared`] template plus
-/// constant arguments. The default implementations render the bound query
-/// to text and go through [`Endpoint::select`] / [`Endpoint::ask`], so
-/// every wrapper (caching, quota, instrumentation, …) observes prepared
-/// traffic exactly like string traffic; in-process endpoints override them
-/// to execute the bound AST directly and skip parsing entirely.
+/// `execute` is the **single required method**: every query shape
+/// arrives as a typed [`Request`] and leaves as the matching
+/// [`Response`]. Wrappers therefore compose as middleware — each
+/// intercepts one `execute`, and a query shape added to the enum later
+/// is covered by every existing wrapper by construction. Algorithms call
+/// the ergonomic [`EndpointExt`] methods instead of building requests.
 pub trait Endpoint: Send + Sync {
+    /// Executes one typed request.
+    fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError>;
+
+    /// A short display name (e.g. `"yago"`, `"dbpedia"`), used in
+    /// reports. Wrappers forward their inner endpoint's name; the
+    /// default is a placeholder for anonymous test endpoints.
+    fn name(&self) -> &str {
+        "endpoint"
+    }
+}
+
+/// Ergonomic request builders, provided for every [`Endpoint`].
+///
+/// These are the methods SOFYA's algorithms call; each builds the typed
+/// [`Request`], executes it, and destructures the [`Response`], so the
+/// trait surface every backend and wrapper must cover stays at one
+/// method.
+pub trait EndpointExt: Endpoint {
     /// Executes a `SELECT` query and returns its solutions.
-    fn select(&self, query: &str) -> Result<ResultSet, EndpointError>;
+    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
+        self.execute(Request::Select { query })?.into_rows()
+    }
 
     /// Executes an `ASK` query.
-    fn ask(&self, query: &str) -> Result<bool, EndpointError>;
+    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
+        self.execute(Request::Ask { query })?.into_boolean()
+    }
 
     /// Executes a prepared `SELECT` with the given constant arguments.
     fn select_prepared(
@@ -28,22 +375,19 @@ pub trait Endpoint: Send + Sync {
         prepared: &Prepared,
         args: &[Term],
     ) -> Result<ResultSet, EndpointError> {
-        let query = prepared.render(args)?;
-        self.select(&query)
+        self.execute(Request::PreparedSelect { prepared, args })?
+            .into_rows()
     }
 
     /// Executes a prepared `ASK` with the given constant arguments.
     fn ask_prepared(&self, prepared: &Prepared, args: &[Term]) -> Result<bool, EndpointError> {
-        let query = prepared.render(args)?;
-        self.ask(&query)
+        self.execute(Request::PreparedAsk { prepared, args })?
+            .into_boolean()
     }
 
     /// Executes a prepared `SELECT` with a structural `LIMIT`/`OFFSET`
     /// override — the paged sampling shapes, whose page bounds change on
-    /// every call. The default renders the paged query to text (each page
-    /// is a distinct string, so string-keyed wrappers stay correct);
-    /// in-process endpoints override it to execute the bound AST and keep
-    /// pagination entirely off the parse path.
+    /// every call.
     fn select_prepared_paged(
         &self,
         prepared: &Prepared,
@@ -51,45 +395,36 @@ pub trait Endpoint: Send + Sync {
         limit: Option<usize>,
         offset: Option<usize>,
     ) -> Result<ResultSet, EndpointError> {
-        let query = prepared.render_paged(args, limit, offset)?;
-        self.select(&query)
+        self.execute(Request::PreparedSelectPaged {
+            prepared,
+            args,
+            limit,
+            offset,
+        })?
+        .into_rows()
     }
 
-    /// A short display name (e.g. `"yago"`, `"dbpedia"`), used in reports.
-    fn name(&self) -> &str;
+    /// `COUNT(*)` over the graph pattern of a bound `SELECT` template
+    /// (see [`Request::Count`]).
+    fn count_prepared(&self, prepared: &Prepared, args: &[Term]) -> Result<u64, EndpointError> {
+        self.execute(Request::Count { prepared, args })?
+            .into_count()
+    }
+
+    /// Executes a request set as one unit (see [`Request::Batch`]) and
+    /// returns the per-sub-request responses in order.
+    fn execute_batch(&self, requests: Vec<Request<'_>>) -> Result<Vec<Response>, EndpointError> {
+        self.execute(Request::Batch(requests))?.into_batch()
+    }
 }
+
+impl<E: Endpoint + ?Sized> EndpointExt for E {}
 
 /// Blanket implementation so `Arc<E>` is itself an endpoint; wrappers and
 /// algorithms can hold `Arc<dyn Endpoint>` and compose freely.
-impl<E: Endpoint + ?Sized> Endpoint for std::sync::Arc<E> {
-    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
-        (**self).select(query)
-    }
-
-    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
-        (**self).ask(query)
-    }
-
-    fn select_prepared(
-        &self,
-        prepared: &Prepared,
-        args: &[Term],
-    ) -> Result<ResultSet, EndpointError> {
-        (**self).select_prepared(prepared, args)
-    }
-
-    fn ask_prepared(&self, prepared: &Prepared, args: &[Term]) -> Result<bool, EndpointError> {
-        (**self).ask_prepared(prepared, args)
-    }
-
-    fn select_prepared_paged(
-        &self,
-        prepared: &Prepared,
-        args: &[Term],
-        limit: Option<usize>,
-        offset: Option<usize>,
-    ) -> Result<ResultSet, EndpointError> {
-        (**self).select_prepared_paged(prepared, args, limit, offset)
+impl<E: Endpoint + ?Sized> Endpoint for Arc<E> {
+    fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
+        (**self).execute(req)
     }
 
     fn name(&self) -> &str {
@@ -100,17 +435,25 @@ impl<E: Endpoint + ?Sized> Endpoint for std::sync::Arc<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     struct Fake;
 
     impl Endpoint for Fake {
-        fn select(&self, _query: &str) -> Result<ResultSet, EndpointError> {
-            Ok(ResultSet::default())
+        fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
+            Ok(match req {
+                Request::Select { .. }
+                | Request::PreparedSelect { .. }
+                | Request::PreparedSelectPaged { .. } => Response::Rows(ResultSet::default()),
+                Request::Ask { .. } | Request::PreparedAsk { .. } => Response::Boolean(true),
+                Request::Count { .. } => Response::Count(3),
+                Request::Batch(reqs) => Response::Batch(
+                    reqs.into_iter()
+                        .map(|r| self.execute(r))
+                        .collect::<Result<_, _>>()?,
+                ),
+            })
         }
-        fn ask(&self, _query: &str) -> Result<bool, EndpointError> {
-            Ok(true)
-        }
+
         fn name(&self) -> &str {
             "fake"
         }
@@ -122,5 +465,80 @@ mod tests {
         assert_eq!(arc.name(), "fake");
         assert!(arc.ask("ASK { }").unwrap());
         assert!(arc.select("SELECT * { }").unwrap().is_empty());
+    }
+
+    #[test]
+    fn ext_methods_destructure_responses() {
+        let ep = Fake;
+        let probe = Prepared::new("ASK { ?s ?r ?o }", &["s"]).unwrap();
+        assert!(ep.ask_prepared(&probe, &[Term::iri("a")]).unwrap());
+        let pattern = Prepared::new("SELECT ?y WHERE { ?s ?r ?y }", &["s"]).unwrap();
+        assert_eq!(ep.count_prepared(&pattern, &[Term::iri("a")]).unwrap(), 3);
+        // Shape mismatch is an error, not a panic: a boolean response
+        // refuses to be destructured as rows.
+        let boolean = ep.execute(Request::Ask { query: "ASK { }" }).unwrap();
+        assert!(boolean.into_rows().is_err());
+    }
+
+    #[test]
+    fn batch_responds_per_sub_request() {
+        let ep = Fake;
+        let responses = ep
+            .execute_batch(vec![
+                Request::Ask { query: "ASK { }" },
+                Request::Select {
+                    query: "SELECT * { }",
+                },
+            ])
+            .unwrap();
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0], Response::Boolean(true));
+        assert!(matches!(responses[1], Response::Rows(_)));
+    }
+
+    #[test]
+    fn leaf_count_expands_batches() {
+        let q = "ASK { }";
+        let batch = Request::Batch(vec![
+            Request::Ask { query: q },
+            Request::Batch(vec![Request::Ask { query: q }, Request::Ask { query: q }]),
+        ]);
+        assert_eq!(batch.leaf_count(), 3);
+        assert_eq!(Request::Ask { query: q }.leaf_count(), 1);
+    }
+
+    #[test]
+    fn count_renders_as_count_star() {
+        let pattern = Prepared::new("SELECT ?x ?y WHERE { ?x ?r ?y } ORDER BY ?x", &["r"]).unwrap();
+        let req = Request::Count {
+            prepared: &pattern,
+            args: &[Term::iri("r:p")],
+        };
+        let text = req.to_sparql().unwrap();
+        assert!(text.contains("COUNT(*)"), "got: {text}");
+        assert!(!text.contains("ORDER BY"), "modifiers stripped: {text}");
+        // Batches have no single rendering.
+        assert!(Request::Batch(vec![]).to_sparql().is_err());
+    }
+
+    #[test]
+    fn request_buf_round_trips() {
+        let prepared = Arc::new(Prepared::new("ASK { ?s ?r ?o }", &["s"]).unwrap());
+        let buf = RequestBuf::Batch(vec![
+            RequestBuf::Select {
+                query: "SELECT * { }".to_owned(),
+            },
+            RequestBuf::PreparedAsk {
+                prepared,
+                args: vec![Term::iri("a")],
+            },
+        ]);
+        assert_eq!(buf.leaf_count(), 2);
+        let req = buf.as_request();
+        assert_eq!(req.kind(), "batch");
+        assert_eq!(req.leaf_count(), 2);
+        let ep = Fake;
+        let resp = ep.execute(req).unwrap();
+        assert_eq!(resp.row_count(), 1); // empty rows + one boolean
     }
 }

@@ -5,7 +5,7 @@
 //! data access goes through the [`Endpoint`] trait (and therefore through
 //! the quota/instrumentation wrappers).
 
-use crate::endpoint::Endpoint;
+use crate::endpoint::{Endpoint, EndpointExt};
 use crate::error::EndpointError;
 use sofya_rdf::term::escape_literal;
 use sofya_rdf::Term;
@@ -62,19 +62,20 @@ pub fn all_relations<E: Endpoint + ?Sized>(ep: &E) -> Result<Vec<String>, Endpoi
         .collect())
 }
 
-/// `COUNT(*)` of facts `r(x, y)`.
+/// `COUNT(*)` of facts `r(x, y)`, via the typed
+/// [`crate::Request::Count`] fast path (the single-pattern count reads
+/// straight off the index bounds — no rows materialized).
 pub fn relation_fact_count<E: Endpoint + ?Sized>(
     ep: &E,
     relation: &str,
 ) -> Result<usize, EndpointError> {
     static Q: OnceLock<Prepared> = OnceLock::new();
-    let q = prepared(&Q, "SELECT (COUNT(*) AS ?n) WHERE { ?x ?r ?y }", &["r"]);
-    let rs = ep.select_prepared(q, &[Term::iri(relation)])?;
-    Ok(rs.single_integer().unwrap_or(0).max(0) as usize)
+    let q = prepared(&Q, "SELECT ?x ?y WHERE { ?x ?r ?y }", &["r"]);
+    Ok(ep.count_prepared(q, &[Term::iri(relation)])? as usize)
 }
 
 /// A page of facts `r(x, y)`, ordered deterministically. The page bounds
-/// ride through [`Endpoint::select_prepared_paged`], so in-process
+/// ride through [`EndpointExt::select_prepared_paged`], so in-process
 /// endpoints never parse a per-page query string.
 pub fn relation_facts_page<E: Endpoint + ?Sized>(
     ep: &E,
@@ -179,11 +180,10 @@ pub fn linked_entity_fact_count<E: Endpoint + ?Sized>(
     static Q: OnceLock<Prepared> = OnceLock::new();
     let q = prepared(
         &Q,
-        "SELECT (COUNT(*) AS ?n) WHERE { ?x ?r ?y . ?x ?sa ?x2 . ?y ?sa ?y2 }",
+        "SELECT ?x ?y ?x2 ?y2 WHERE { ?x ?r ?y . ?x ?sa ?x2 . ?y ?sa ?y2 }",
         &["r", "sa"],
     );
-    let rs = ep.select_prepared(q, &[Term::iri(relation), Term::iri(same_as)])?;
-    Ok(rs.single_integer().unwrap_or(0).max(0) as usize)
+    Ok(ep.count_prepared(q, &[Term::iri(relation), Term::iri(same_as)])? as usize)
 }
 
 /// Count of subject-linked literal facts of `relation`.
@@ -195,11 +195,10 @@ pub fn linked_literal_fact_count<E: Endpoint + ?Sized>(
     static Q: OnceLock<Prepared> = OnceLock::new();
     let q = prepared(
         &Q,
-        "SELECT (COUNT(*) AS ?n) WHERE { ?x ?r ?v . ?x ?sa ?x2 . FILTER(ISLITERAL(?v)) }",
+        "SELECT ?x ?v ?x2 WHERE { ?x ?r ?v . ?x ?sa ?x2 . FILTER(ISLITERAL(?v)) }",
         &["r", "sa"],
     );
-    let rs = ep.select_prepared(q, &[Term::iri(relation), Term::iri(same_as)])?;
-    Ok(rs.single_integer().unwrap_or(0).max(0) as usize)
+    Ok(ep.count_prepared(q, &[Term::iri(relation), Term::iri(same_as)])? as usize)
 }
 
 /// Distinct relations of an entity (in subject position).

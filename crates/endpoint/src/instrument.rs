@@ -1,8 +1,7 @@
 //! Query/transfer accounting for the "few queries" claim.
 
-use crate::endpoint::Endpoint;
+use crate::endpoint::{Endpoint, Request, Response};
 use crate::error::EndpointError;
-use sofya_sparql::ResultSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -10,31 +9,66 @@ use std::sync::Arc;
 ///
 /// Cheap to clone (the counters are shared), so a harness can keep a
 /// handle while the endpoint is moved into the aligner.
+///
+/// Counting is **per leaf request**: a [`Request::Batch`] contributes
+/// one increment per contained non-batch request to the matching
+/// variant counter (select/ask/count), plus the same number to
+/// [`EndpointCounters::batch_expanded`] — so the paper's "few queries"
+/// accounting stays exact no matter how requests are grouped, and the
+/// batch share is visible separately.
+///
+/// Queries are counted **at issue time**, before execution — the same
+/// rule as for single requests (a failed query still counts as issued).
+/// For a batch that means every leaf counts once the batch is
+/// transmitted, even if the backend aborts the batch at an earlier
+/// failing leaf: the server received them all.
 #[derive(Debug, Clone, Default)]
 pub struct EndpointCounters {
     select_queries: Arc<AtomicU64>,
     ask_queries: Arc<AtomicU64>,
+    count_queries: Arc<AtomicU64>,
+    batches: Arc<AtomicU64>,
+    batch_expanded: Arc<AtomicU64>,
     rows_returned: Arc<AtomicU64>,
     cells_returned: Arc<AtomicU64>,
 }
 
 impl EndpointCounters {
-    /// Number of `SELECT` queries issued.
+    /// Number of `SELECT`-shaped leaf requests issued (string, prepared,
+    /// and paged-prepared).
     pub fn select_queries(&self) -> u64 {
         self.select_queries.load(Ordering::Relaxed)
     }
 
-    /// Number of `ASK` queries issued.
+    /// Number of `ASK`-shaped leaf requests issued.
     pub fn ask_queries(&self) -> u64 {
         self.ask_queries.load(Ordering::Relaxed)
     }
 
-    /// Total queries of both kinds.
-    pub fn total_queries(&self) -> u64 {
-        self.select_queries() + self.ask_queries()
+    /// Number of `COUNT` leaf requests issued.
+    pub fn count_queries(&self) -> u64 {
+        self.count_queries.load(Ordering::Relaxed)
     }
 
-    /// Total solution rows transferred.
+    /// Number of batch requests received (nested batches count once
+    /// each).
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Number of leaf requests that arrived inside a batch (each is
+    /// *also* counted under its own variant).
+    pub fn batch_expanded(&self) -> u64 {
+        self.batch_expanded.load(Ordering::Relaxed)
+    }
+
+    /// Total leaf queries of all variants.
+    pub fn total_queries(&self) -> u64 {
+        self.select_queries() + self.ask_queries() + self.count_queries()
+    }
+
+    /// Total solution rows transferred (a count response transfers one
+    /// row).
     pub fn rows_returned(&self) -> u64 {
         self.rows_returned.load(Ordering::Relaxed)
     }
@@ -48,8 +82,59 @@ impl EndpointCounters {
     pub fn reset(&self) {
         self.select_queries.store(0, Ordering::Relaxed);
         self.ask_queries.store(0, Ordering::Relaxed);
+        self.count_queries.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.batch_expanded.store(0, Ordering::Relaxed);
         self.rows_returned.store(0, Ordering::Relaxed);
         self.cells_returned.store(0, Ordering::Relaxed);
+    }
+
+    /// Charges one request (recursively, for batches) to the per-variant
+    /// counters. Recorded before execution, so failed queries still
+    /// count as issued.
+    fn record_request(&self, req: &Request<'_>, in_batch: bool) {
+        let variant = match req {
+            Request::Select { .. }
+            | Request::PreparedSelect { .. }
+            | Request::PreparedSelectPaged { .. } => &self.select_queries,
+            Request::Ask { .. } | Request::PreparedAsk { .. } => &self.ask_queries,
+            Request::Count { .. } => &self.count_queries,
+            Request::Batch(subs) => {
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                for sub in subs {
+                    self.record_request(sub, true);
+                }
+                return;
+            }
+        };
+        variant.fetch_add(1, Ordering::Relaxed);
+        if in_batch {
+            self.batch_expanded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Accumulates the transfer cost of one response (recursively, for
+    /// batches). Booleans transfer no rows (as before); counts transfer
+    /// one row of one cell.
+    fn record_response(&self, resp: &Response) {
+        match resp {
+            Response::Rows(rs) => {
+                self.rows_returned
+                    .fetch_add(rs.len() as u64, Ordering::Relaxed);
+                self.cells_returned
+                    .fetch_add(rs.cell_count() as u64, Ordering::Relaxed);
+            }
+            Response::Boolean(_) => {}
+            Response::Count(_) => {
+                self.rows_returned.fetch_add(1, Ordering::Relaxed);
+                self.cells_returned.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::Batch(subs) => {
+                for sub in subs {
+                    self.record_response(sub);
+                }
+            }
+        }
     }
 }
 
@@ -80,66 +165,11 @@ impl<E: Endpoint> InstrumentedEndpoint<E> {
 }
 
 impl<E: Endpoint> Endpoint for InstrumentedEndpoint<E> {
-    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
-        self.counters.select_queries.fetch_add(1, Ordering::Relaxed);
-        let rs = self.inner.select(query)?;
-        self.counters
-            .rows_returned
-            .fetch_add(rs.len() as u64, Ordering::Relaxed);
-        self.counters
-            .cells_returned
-            .fetch_add(rs.cell_count() as u64, Ordering::Relaxed);
-        Ok(rs)
-    }
-
-    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
-        self.counters.ask_queries.fetch_add(1, Ordering::Relaxed);
-        self.inner.ask(query)
-    }
-
-    fn select_prepared(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-    ) -> Result<ResultSet, EndpointError> {
-        self.counters.select_queries.fetch_add(1, Ordering::Relaxed);
-        let rs = self.inner.select_prepared(prepared, args)?;
-        self.counters
-            .rows_returned
-            .fetch_add(rs.len() as u64, Ordering::Relaxed);
-        self.counters
-            .cells_returned
-            .fetch_add(rs.cell_count() as u64, Ordering::Relaxed);
-        Ok(rs)
-    }
-
-    fn ask_prepared(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-    ) -> Result<bool, EndpointError> {
-        self.counters.ask_queries.fetch_add(1, Ordering::Relaxed);
-        self.inner.ask_prepared(prepared, args)
-    }
-
-    fn select_prepared_paged(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-        limit: Option<usize>,
-        offset: Option<usize>,
-    ) -> Result<ResultSet, EndpointError> {
-        self.counters.select_queries.fetch_add(1, Ordering::Relaxed);
-        let rs = self
-            .inner
-            .select_prepared_paged(prepared, args, limit, offset)?;
-        self.counters
-            .rows_returned
-            .fetch_add(rs.len() as u64, Ordering::Relaxed);
-        self.counters
-            .cells_returned
-            .fetch_add(rs.cell_count() as u64, Ordering::Relaxed);
-        Ok(rs)
+    fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
+        self.counters.record_request(&req, false);
+        let response = self.inner.execute(req)?;
+        self.counters.record_response(&response);
+        Ok(response)
     }
 
     fn name(&self) -> &str {
@@ -150,8 +180,10 @@ impl<E: Endpoint> Endpoint for InstrumentedEndpoint<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::endpoint::EndpointExt;
     use crate::local::LocalEndpoint;
     use sofya_rdf::{Term, TripleStore};
+    use sofya_sparql::Prepared;
 
     fn wrapped() -> InstrumentedEndpoint<LocalEndpoint> {
         let mut store = TripleStore::new();
@@ -182,6 +214,51 @@ mod tests {
     }
 
     #[test]
+    fn counts_count_requests_in_their_own_variant() {
+        let ep = wrapped();
+        let counters = ep.counters();
+        let pattern = Prepared::new("SELECT ?o WHERE { ?s <p> ?o }", &["s"]).unwrap();
+        assert_eq!(ep.count_prepared(&pattern, &[Term::iri("a")]).unwrap(), 2);
+        assert_eq!(counters.count_queries(), 1);
+        assert_eq!(counters.select_queries(), 0);
+        assert_eq!(counters.total_queries(), 1);
+        // A count transfers one row of one cell.
+        assert_eq!(counters.rows_returned(), 1);
+        assert_eq!(counters.cells_returned(), 1);
+    }
+
+    #[test]
+    fn batches_expand_into_exact_per_variant_counts() {
+        let ep = wrapped();
+        let counters = ep.counters();
+        let pattern = Prepared::new("SELECT ?o WHERE { ?s <p> ?o }", &["s"]).unwrap();
+        let args = [Term::iri("a")];
+        ep.execute_batch(vec![
+            Request::Select {
+                query: "SELECT ?o { <a> <p> ?o }",
+            },
+            Request::Ask {
+                query: "ASK { <a> <p> <b> }",
+            },
+            Request::Count {
+                prepared: &pattern,
+                args: &args,
+            },
+            Request::Batch(vec![Request::Ask {
+                query: "ASK { <a> <p> <c> }",
+            }]),
+        ])
+        .unwrap();
+        assert_eq!(counters.select_queries(), 1);
+        assert_eq!(counters.ask_queries(), 2);
+        assert_eq!(counters.count_queries(), 1);
+        assert_eq!(counters.total_queries(), 4);
+        assert_eq!(counters.batch_expanded(), 4);
+        assert_eq!(counters.batches(), 2); // outer + nested
+        assert_eq!(counters.rows_returned(), 2 + 1); // select rows + count row
+    }
+
+    #[test]
     fn failed_queries_still_count_as_issued() {
         let ep = wrapped();
         let counters = ep.counters();
@@ -198,6 +275,7 @@ mod tests {
         counters.reset();
         assert_eq!(counters.total_queries(), 0);
         assert_eq!(counters.rows_returned(), 0);
+        assert_eq!(counters.batches(), 0);
     }
 
     #[test]

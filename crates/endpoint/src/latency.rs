@@ -6,9 +6,8 @@
 //! report "aligning this relation would take ≈1.8 s against a 20 ms-RTT
 //! endpoint" deterministically.
 
-use crate::endpoint::Endpoint;
+use crate::endpoint::{Endpoint, Request, Response};
 use crate::error::EndpointError;
-use sofya_sparql::ResultSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -80,50 +79,13 @@ impl<E: Endpoint> LatencyEndpoint<E> {
 }
 
 impl<E: Endpoint> Endpoint for LatencyEndpoint<E> {
-    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
-        let rs = self.inner.select(query)?;
-        self.charge(rs.len());
-        Ok(rs)
-    }
-
-    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
-        let answer = self.inner.ask(query)?;
-        self.charge(1);
-        Ok(answer)
-    }
-
-    fn select_prepared(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-    ) -> Result<ResultSet, EndpointError> {
-        let rs = self.inner.select_prepared(prepared, args)?;
-        self.charge(rs.len());
-        Ok(rs)
-    }
-
-    fn ask_prepared(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-    ) -> Result<bool, EndpointError> {
-        let answer = self.inner.ask_prepared(prepared, args)?;
-        self.charge(1);
-        Ok(answer)
-    }
-
-    fn select_prepared_paged(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-        limit: Option<usize>,
-        offset: Option<usize>,
-    ) -> Result<ResultSet, EndpointError> {
-        let rs = self
-            .inner
-            .select_prepared_paged(prepared, args, limit, offset)?;
-        self.charge(rs.len());
-        Ok(rs)
+    /// One round trip per request plus transfer per response row — which
+    /// is exactly why [`Request::Batch`] exists: N batched probes cost
+    /// one RTT where N sequential requests cost N.
+    fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
+        let response = self.inner.execute(req)?;
+        self.charge(response.row_count() as usize);
+        Ok(response)
     }
 
     fn name(&self) -> &str {
@@ -134,6 +96,7 @@ impl<E: Endpoint> Endpoint for LatencyEndpoint<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::endpoint::EndpointExt;
     use crate::local::LocalEndpoint;
     use sofya_rdf::{Term, TripleStore};
 
@@ -161,6 +124,24 @@ mod tests {
         assert_eq!(ep.simulated_time(), Duration::from_millis(20));
         ep.ask("ASK { <e:0> <r:p> <e:o> }").unwrap();
         assert_eq!(ep.simulated_time(), Duration::from_millis(31));
+    }
+
+    #[test]
+    fn a_batch_costs_one_round_trip() {
+        let model = LatencyModel {
+            round_trip: Duration::from_millis(10),
+            per_row: Duration::from_millis(1),
+        };
+        let ep = wrapped(model);
+        let q = "ASK { <e:0> <r:p> <e:o> }";
+        ep.execute_batch(vec![
+            Request::Ask { query: q },
+            Request::Ask { query: q },
+            Request::Ask { query: q },
+        ])
+        .unwrap();
+        // One RTT + 3 boolean rows — not 3 RTTs.
+        assert_eq!(ep.simulated_time(), Duration::from_millis(13));
     }
 
     #[test]

@@ -8,8 +8,14 @@
 //! DBpedia's truncate results at a server-side limit). This crate models
 //! that contract:
 //!
-//! * [`Endpoint`] — the trait every KB access goes through (query strings
-//!   in, result tables out; nothing else).
+//! * [`Endpoint`] — the trait every KB access goes through. One required
+//!   method: `execute(Request) -> Response`, a **typed request/response
+//!   pipeline**. The [`Request`] enum covers every query shape (string
+//!   `SELECT`/`ASK`, prepared, paged-prepared, `COUNT`, and `Batch`);
+//!   wrappers intercept all of them by overriding that single method, so
+//!   no query shape can bypass a middleware layer. Algorithms call the
+//!   ergonomic [`EndpointExt`] methods, which build the request and
+//!   destructure the [`Response`].
 //! * [`LocalEndpoint`] — an endpoint backed by an in-process
 //!   [`sofya_rdf::TripleStore`] evaluated by `sofya-sparql`; plays the role
 //!   of the remote server in this reproduction.
@@ -50,7 +56,7 @@ pub mod retry;
 pub use cache::CachingEndpoint;
 pub use clock::{Clock, ManualClock};
 pub use concurrent::{ConcurrentEndpoint, PinnedEndpoint, PublishedSnapshot, SnapshotStore};
-pub use endpoint::Endpoint;
+pub use endpoint::{Endpoint, EndpointExt, Request, RequestBuf, Response};
 pub use error::EndpointError;
 pub use instrument::{EndpointCounters, InstrumentedEndpoint};
 pub use latency::{LatencyEndpoint, LatencyModel};

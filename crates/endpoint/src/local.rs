@@ -1,14 +1,14 @@
 //! An endpoint backed by an in-process triple store.
 
-use crate::endpoint::Endpoint;
+use crate::endpoint::{Endpoint, Request, Response};
 use crate::error::EndpointError;
-use crate::outcome::{expect_boolean, expect_solutions};
+use crate::outcome::{execute_count, response_of};
 use crate::plan_cache::LruPlanCache;
 use parking_lot::Mutex;
 use sofya_rdf::{StoreStats, Term, TripleStore};
 use sofya_sparql::{
     compile_with_options, execute_ast_with_options, execute_compiled, execute_compiled_paged,
-    CompiledQuery, PlanOptions, Prepared, ResultSet,
+    CompiledQuery, PlanOptions, Prepared,
 };
 use std::sync::{Arc, OnceLock};
 
@@ -30,9 +30,9 @@ pub(crate) const DEFAULT_PLAN_CACHE_CAPACITY: usize = 512;
 ///   re-issues a handful of fixed shapes throughout a session; the LRU
 ///   policy — shared with [`crate::ConcurrentEndpoint`]'s shards — keeps
 ///   those hot shapes resident even when a scan of many distinct paged
-///   queries passes through), and the [`Endpoint::select_prepared`] /
-///   [`Endpoint::ask_prepared`] overrides execute bound ASTs directly so
-///   parameterized probes never parse at all.
+///   queries passes through), and the prepared request shapes
+///   ([`crate::Request::PreparedSelect`] and friends) execute bound ASTs
+///   directly so parameterized probes never parse at all.
 #[derive(Clone)]
 pub struct LocalEndpoint {
     name: String,
@@ -125,57 +125,54 @@ impl LocalEndpoint {
 }
 
 impl Endpoint for LocalEndpoint {
-    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
-        let compiled = self.compiled(query)?;
-        expect_solutions(execute_compiled(&self.store, &compiled)?)
-    }
-
-    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
-        let compiled = self.compiled(query)?;
-        expect_boolean(execute_compiled(&self.store, &compiled)?)
-    }
-
-    fn select_prepared(
-        &self,
-        prepared: &Prepared,
-        args: &[Term],
-    ) -> Result<ResultSet, EndpointError> {
-        let bound = prepared.bind(args)?;
-        expect_solutions(execute_ast_with_options(
-            &self.store,
-            &bound,
-            self.plan_options(),
-        )?)
-    }
-
-    fn ask_prepared(&self, prepared: &Prepared, args: &[Term]) -> Result<bool, EndpointError> {
-        let bound = prepared.bind(args)?;
-        expect_boolean(execute_ast_with_options(
-            &self.store,
-            &bound,
-            self.plan_options(),
-        )?)
-    }
-
-    fn select_prepared_paged(
-        &self,
-        prepared: &Prepared,
-        args: &[Term],
-        limit: Option<usize>,
-        offset: Option<usize>,
-    ) -> Result<ResultSet, EndpointError> {
-        // Paged shapes are the expensive multi-pattern joins and their
-        // bound plan is page-independent, so it is compiled once per
-        // (template, args) and every page reuses it with an execution-time
-        // LIMIT/OFFSET override. (Plain prepared probes skip this cache:
-        // their args vary per probe and their plans are trivial.)
-        let compiled = self.compiled_prepared_paged(prepared, args)?;
-        expect_solutions(execute_compiled_paged(
-            &self.store,
-            &compiled,
-            limit,
-            offset,
-        )?)
+    fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
+        match req {
+            // String queries go through the string-keyed plan cache.
+            Request::Select { query } | Request::Ask { query } => {
+                let compiled = self.compiled(query)?;
+                Ok(response_of(execute_compiled(&self.store, &compiled)?))
+            }
+            // Prepared probes bind + plan per call: their args vary per
+            // probe and their plans are trivial, so caching buys nothing.
+            Request::PreparedSelect { prepared, args }
+            | Request::PreparedAsk { prepared, args } => {
+                let bound = prepared.bind(args)?;
+                Ok(response_of(execute_ast_with_options(
+                    &self.store,
+                    &bound,
+                    self.plan_options(),
+                )?))
+            }
+            // Paged shapes are the expensive multi-pattern joins and
+            // their bound plan is page-independent, so it is compiled
+            // once per (template, args) and every page reuses it with an
+            // execution-time LIMIT/OFFSET override.
+            Request::PreparedSelectPaged {
+                prepared,
+                args,
+                limit,
+                offset,
+            } => {
+                let compiled = self.compiled_prepared_paged(prepared, args)?;
+                Ok(response_of(execute_compiled_paged(
+                    &self.store,
+                    &compiled,
+                    limit,
+                    offset,
+                )?))
+            }
+            // COUNT(*) over a bound pattern: single-pattern templates
+            // resolve off the index bounds without materializing a row.
+            Request::Count { prepared, args } => {
+                execute_count(&self.store, prepared, args, self.plan_options()).map(Response::Count)
+            }
+            Request::Batch(requests) => Ok(Response::Batch(
+                requests
+                    .into_iter()
+                    .map(|sub| self.execute(sub))
+                    .collect::<Result<_, _>>()?,
+            )),
+        }
     }
 
     fn name(&self) -> &str {
@@ -196,6 +193,7 @@ impl std::fmt::Debug for LocalEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::endpoint::EndpointExt;
     use sofya_rdf::Term;
 
     fn endpoint() -> LocalEndpoint {

@@ -1,24 +1,64 @@
-//! Shared outcome-shape checks for in-process endpoints: a `SELECT`
-//! entry point answering with a boolean (or vice versa) is a caller bug
-//! surfaced as one consistently-worded error.
+//! Shared execution fragments for the in-process endpoints: mapping the
+//! engine's [`QueryOutcome`] into the typed [`Response`], and the
+//! `COUNT(*)` rewrite behind [`crate::Request::Count`].
 
+use crate::endpoint::{count_of_ask_error, Response};
 use crate::error::EndpointError;
-use sofya_sparql::{QueryOutcome, ResultSet, SparqlError};
+use sofya_rdf::{Term, TripleStore};
+use sofya_sparql::{
+    execute_select_with, PlanOptions, Prepared, Projection, Query, QueryOutcome, SelectQuery,
+};
 
-pub(crate) fn expect_solutions(outcome: QueryOutcome) -> Result<ResultSet, EndpointError> {
+/// The typed response for an engine outcome: `SELECT` rows become
+/// [`Response::Rows`], `ASK` answers become [`Response::Boolean`]. Shape
+/// checking against what the *caller* expected happens when the response
+/// is destructured (see [`Response::into_rows`] and friends).
+pub(crate) fn response_of(outcome: QueryOutcome) -> Response {
     match outcome {
-        QueryOutcome::Solutions(rs) => Ok(rs),
-        QueryOutcome::Boolean(_) => Err(EndpointError::Sparql(SparqlError::eval(
-            "expected a SELECT query, found ASK",
-        ))),
+        QueryOutcome::Solutions(rs) => Response::Rows(rs),
+        QueryOutcome::Boolean(b) => Response::Boolean(b),
     }
 }
 
-pub(crate) fn expect_boolean(outcome: QueryOutcome) -> Result<bool, EndpointError> {
-    match outcome {
-        QueryOutcome::Boolean(b) => Ok(b),
-        QueryOutcome::Solutions(_) => Err(EndpointError::Sparql(SparqlError::eval(
-            "expected an ASK query, found SELECT",
-        ))),
+/// The **single definition** of [`crate::Request::Count`] semantics:
+/// bind the template, swap its projection for `COUNT(*)`, and strip the
+/// solution modifiers. Both the in-process execution path
+/// ([`execute_count`]) and the string rendering
+/// ([`crate::Request::to_sparql`], which also keys the caching wrapper)
+/// go through this rewrite, so they can never drift apart.
+pub(crate) fn count_rewrite(
+    prepared: &Prepared,
+    args: &[Term],
+) -> Result<SelectQuery, EndpointError> {
+    match prepared.bind(args)? {
+        Query::Select(mut select) => {
+            select.projection = Projection::Count {
+                var: None,
+                distinct: false,
+                alias: "n".to_owned(),
+            };
+            select.distinct = false;
+            select.order_by.clear();
+            select.limit = None;
+            select.offset = None;
+            Ok(select)
+        }
+        Query::Ask(_) => Err(count_of_ask_error()),
     }
+}
+
+/// Executes a [`crate::Request::Count`] against an in-process store via
+/// [`count_rewrite`]. A bare single-pattern template then
+/// short-circuits through the planner's `count_pattern` index bounds —
+/// no join, no row materialization — and multi-pattern templates count
+/// bindings at the interned-id level without ever resolving a term.
+pub(crate) fn execute_count(
+    store: &TripleStore,
+    prepared: &Prepared,
+    args: &[Term],
+    opts: PlanOptions<'_>,
+) -> Result<u64, EndpointError> {
+    let select = count_rewrite(prepared, args)?;
+    let rs = execute_select_with(store, &select, opts)?;
+    Ok(rs.single_integer().unwrap_or(0).max(0) as u64)
 }

@@ -6,7 +6,7 @@
 //! point is to work inside such limits; this wrapper makes them explicit
 //! so experiments fail loudly when an algorithm overspends.
 
-use crate::endpoint::Endpoint;
+use crate::endpoint::{Endpoint, Request, Response};
 use crate::error::EndpointError;
 use sofya_sparql::ResultSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -75,10 +75,19 @@ impl<E: Endpoint> QuotaEndpoint<E> {
         &self.inner
     }
 
-    fn charge(&self) -> Result<(), EndpointError> {
-        let used = self.used.fetch_add(1, Ordering::Relaxed);
+    /// Charges `n` leaf queries against the budget. A **rejected**
+    /// request is charged exactly one unit — the server round-trip the
+    /// rejected envelope cost — never its full leaf count: none of an
+    /// oversized batch's queries executed, so burning the whole
+    /// remaining budget for it would let one bad batch starve a client
+    /// that sequential issuance would not have.
+    fn charge(&self, n: u64) -> Result<(), EndpointError> {
+        let used = self.used.fetch_add(n, Ordering::Relaxed);
         if let Some(max) = self.config.max_queries {
-            if used >= max {
+            if used + n > max {
+                if n > 1 {
+                    self.used.fetch_sub(n - 1, Ordering::Relaxed);
+                }
                 return Err(EndpointError::QuotaExceeded {
                     endpoint: self.inner.name().to_owned(),
                     max_queries: max,
@@ -99,49 +108,28 @@ impl<E: Endpoint> QuotaEndpoint<E> {
             _ => rs,
         }
     }
+
+    /// Applies the per-query row cap to every row-shaped response,
+    /// recursing through batches (each batched `SELECT` is one query on
+    /// the server, so each gets its own cap).
+    fn cap_response(&self, response: Response) -> Response {
+        match response {
+            Response::Rows(rs) => Response::Rows(self.cap_rows(rs)),
+            Response::Batch(subs) => {
+                Response::Batch(subs.into_iter().map(|r| self.cap_response(r)).collect())
+            }
+            other => other,
+        }
+    }
 }
 
 impl<E: Endpoint> Endpoint for QuotaEndpoint<E> {
-    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
-        self.charge()?;
-        Ok(self.cap_rows(self.inner.select(query)?))
-    }
-
-    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
-        self.charge()?;
-        self.inner.ask(query)
-    }
-
-    fn select_prepared(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-    ) -> Result<ResultSet, EndpointError> {
-        self.charge()?;
-        Ok(self.cap_rows(self.inner.select_prepared(prepared, args)?))
-    }
-
-    fn ask_prepared(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-    ) -> Result<bool, EndpointError> {
-        self.charge()?;
-        self.inner.ask_prepared(prepared, args)
-    }
-
-    fn select_prepared_paged(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-        limit: Option<usize>,
-        offset: Option<usize>,
-    ) -> Result<ResultSet, EndpointError> {
-        self.charge()?;
-        Ok(self.cap_rows(
-            self.inner
-                .select_prepared_paged(prepared, args, limit, offset)?,
-        ))
+    /// Charges one budget unit per **leaf** request — a batch of five
+    /// queries spends five, so batching can never smuggle work past the
+    /// budget — then caps every row-shaped response.
+    fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
+        self.charge(req.leaf_count())?;
+        Ok(self.cap_response(self.inner.execute(req)?))
     }
 
     fn name(&self) -> &str {
@@ -152,6 +140,7 @@ impl<E: Endpoint> Endpoint for QuotaEndpoint<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::endpoint::EndpointExt;
     use crate::local::LocalEndpoint;
     use sofya_rdf::{Term, TripleStore};
 
@@ -226,6 +215,62 @@ mod tests {
         ep.select("SELECT ?s { ?s <r:p> ?o }").unwrap();
         ep.ask("ASK { <e:0> <r:p> <e:o> }").unwrap();
         assert!(ep.select("SELECT ?s { ?s <r:p> ?o }").is_err());
+    }
+
+    #[test]
+    fn batches_charge_per_leaf_request() {
+        let ep = QuotaEndpoint::new(
+            base(),
+            QuotaConfig {
+                max_queries: Some(3),
+                max_rows_per_query: Some(5),
+            },
+        );
+        // A 3-leaf batch fits exactly; its SELECTs are row-capped.
+        let responses = ep
+            .execute_batch(vec![
+                Request::Select {
+                    query: "SELECT ?s { ?s <r:p> ?o }",
+                },
+                Request::Select {
+                    query: "SELECT ?s { ?s <r:p> ?o }",
+                },
+                Request::Ask {
+                    query: "ASK { <e:0> <r:p> <e:o> }",
+                },
+            ])
+            .unwrap();
+        for resp in &responses[..2] {
+            assert_eq!(resp.clone().into_rows().unwrap().len(), 5);
+        }
+        assert_eq!(ep.used_queries(), 3);
+        // The next single query is over budget: batching hid nothing.
+        assert!(ep.ask("ASK { <e:0> <r:p> <e:o> }").is_err());
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected_before_execution() {
+        let ep = QuotaEndpoint::new(
+            base(),
+            QuotaConfig {
+                max_queries: Some(2),
+                max_rows_per_query: None,
+            },
+        );
+        let q = "ASK { <e:0> <r:p> <e:o> }";
+        let err = ep
+            .execute_batch(vec![
+                Request::Ask { query: q },
+                Request::Ask { query: q },
+                Request::Ask { query: q },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, EndpointError::QuotaExceeded { .. }));
+        // The rejected envelope cost one unit, not three: the budget is
+        // not burned by a batch that never executed.
+        assert_eq!(ep.used_queries(), 1);
+        assert_eq!(ep.remaining_queries(), 1);
+        assert!(ep.ask(q).is_ok());
     }
 
     #[test]

@@ -7,9 +7,8 @@
 //! **not** retried: retrying an exhausted budget can never succeed.
 
 use crate::clock::Clock;
-use crate::endpoint::Endpoint;
+use crate::endpoint::{Endpoint, Request, Response};
 use crate::error::EndpointError;
-use sofya_sparql::ResultSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -53,44 +52,11 @@ impl<E: Endpoint> FlakyEndpoint<E> {
 }
 
 impl<E: Endpoint> Endpoint for FlakyEndpoint<E> {
-    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
+    /// One failure opportunity per request — a whole batch is one
+    /// transport exchange, so it fails (and is retried) as a unit.
+    fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
         self.maybe_fail()?;
-        self.inner.select(query)
-    }
-
-    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
-        self.maybe_fail()?;
-        self.inner.ask(query)
-    }
-
-    fn select_prepared(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-    ) -> Result<ResultSet, EndpointError> {
-        self.maybe_fail()?;
-        self.inner.select_prepared(prepared, args)
-    }
-
-    fn ask_prepared(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-    ) -> Result<bool, EndpointError> {
-        self.maybe_fail()?;
-        self.inner.ask_prepared(prepared, args)
-    }
-
-    fn select_prepared_paged(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-        limit: Option<usize>,
-        offset: Option<usize>,
-    ) -> Result<ResultSet, EndpointError> {
-        self.maybe_fail()?;
-        self.inner
-            .select_prepared_paged(prepared, args, limit, offset)
+        self.inner.execute(req)
     }
 
     fn name(&self) -> &str {
@@ -219,41 +185,11 @@ impl<E: Endpoint> RetryEndpoint<E> {
 }
 
 impl<E: Endpoint> Endpoint for RetryEndpoint<E> {
-    fn select(&self, query: &str) -> Result<ResultSet, EndpointError> {
-        self.with_retries(|| self.inner.select(query))
-    }
-
-    fn ask(&self, query: &str) -> Result<bool, EndpointError> {
-        self.with_retries(|| self.inner.ask(query))
-    }
-
-    fn select_prepared(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-    ) -> Result<ResultSet, EndpointError> {
-        self.with_retries(|| self.inner.select_prepared(prepared, args))
-    }
-
-    fn ask_prepared(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-    ) -> Result<bool, EndpointError> {
-        self.with_retries(|| self.inner.ask_prepared(prepared, args))
-    }
-
-    fn select_prepared_paged(
-        &self,
-        prepared: &sofya_sparql::Prepared,
-        args: &[sofya_rdf::Term],
-        limit: Option<usize>,
-        offset: Option<usize>,
-    ) -> Result<ResultSet, EndpointError> {
-        self.with_retries(|| {
-            self.inner
-                .select_prepared_paged(prepared, args, limit, offset)
-        })
+    /// Re-issues the whole request on transient failure (requests are
+    /// cheap to clone: borrowed strings, template references, and — for
+    /// batches — a vector of the same).
+    fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
+        self.with_retries(|| self.inner.execute(req.clone()))
     }
 
     fn name(&self) -> &str {
@@ -264,6 +200,7 @@ impl<E: Endpoint> Endpoint for RetryEndpoint<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::endpoint::EndpointExt;
     use crate::local::LocalEndpoint;
     use crate::quota::{QuotaConfig, QuotaEndpoint};
     use sofya_rdf::{Term, TripleStore};

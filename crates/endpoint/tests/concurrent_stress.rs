@@ -15,7 +15,7 @@
 //! the atomics race at full speed rather than debug-build pace.
 
 use proptest::prelude::*;
-use sofya_endpoint::{Endpoint, SnapshotStore};
+use sofya_endpoint::{EndpointExt, SnapshotStore};
 use sofya_rdf::{Term, TriplePattern, TripleStore};
 use sofya_sparql::Prepared;
 use std::collections::HashMap;

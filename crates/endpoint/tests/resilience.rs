@@ -3,7 +3,7 @@
 //! clocks and counters, never wall time, so every assertion is exact.
 
 use sofya_endpoint::{
-    BackoffPolicy, CachingEndpoint, Clock, Endpoint, EndpointError, FlakyEndpoint,
+    BackoffPolicy, CachingEndpoint, Clock, EndpointError, EndpointExt, FlakyEndpoint,
     InstrumentedEndpoint, LocalEndpoint, ManualClock, QuotaConfig, QuotaEndpoint, RetryEndpoint,
 };
 use sofya_rdf::{Term, TripleStore};

@@ -28,7 +28,7 @@
 //! The dictionary and every main run live behind `Arc`s with
 //! copy-on-write mutation (`Arc::make_mut`), so
 //! [`TripleStore::snapshot`] can publish an immutable
-//! [`StoreSnapshot`](crate::snapshot::StoreSnapshot) by flushing and
+//! [`crate::snapshot::StoreSnapshot`] by flushing and
 //! cloning the `Arc`s — O(#predicates), no data copy. The single writer
 //! keeps loading afterwards; the first merge or removal touching a run
 //! still referenced by a live snapshot pays one copy of that run, and

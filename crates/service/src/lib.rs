@@ -17,7 +17,10 @@
 //!   atomics, shared freely with the workers;
 //! * the alignment-specific [`service::AlignmentService`]: a shared
 //!   [`sofya_core::AlignmentSession`] (first request per relation pays,
-//!   later ones are cache hits) scheduled across the pool.
+//!   later ones are cache hits) scheduled across the pool;
+//! * the [`query::QueryService`]: raw endpoint traffic, scheduled as
+//!   whole [`sofya_endpoint::Request::Batch`]es — one job, one snapshot
+//!   pin, one response set per client batch.
 //!
 //! Snapshot isolation for the *data* side lives one layer down, in
 //! [`sofya_endpoint::SnapshotStore`] / [`sofya_endpoint::ConcurrentEndpoint`]:
@@ -35,11 +38,13 @@
 //! ```
 
 pub mod metrics;
+pub mod query;
 pub mod queue;
 pub mod scheduler;
 pub mod service;
 
 pub use metrics::{LatencyHistogram, MetricsReport, ServiceMetrics};
+pub use query::{QueryBatch, QueryBatchOutcome, QueryFailure, QueryService};
 pub use queue::{BoundedQueue, PushError};
 pub use scheduler::{
     run_batch, serve, JobOutcome, JobTicket, RejectedJob, SchedulerConfig, SchedulerHandle,

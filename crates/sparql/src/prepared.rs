@@ -27,7 +27,7 @@
 //! `EXISTS` groups — with the corresponding constant term. Endpoints that
 //! cannot execute an AST directly (remote HTTP endpoints, wrappers keyed
 //! by query strings) fall back to [`Prepared::render`], which serialises
-//! the bound AST through [`crate::unparse`].
+//! the bound AST through [`crate::unparse()`].
 
 use crate::ast::{Expr, GroupGraphPattern, NodePattern, Projection, Query};
 use crate::error::SparqlError;

@@ -8,9 +8,9 @@
 //! particular function; this crate implements the classical family from
 //! scratch (no offline NLP crate covers them):
 //!
-//! * edit distances — [`levenshtein`], [`damerau_osa`] (optimal string
+//! * edit distances — [`levenshtein()`], [`damerau_osa`] (optimal string
 //!   alignment), both with bounded early-exit variants;
-//! * [`jaro`] and [`jaro_winkler`];
+//! * [`jaro()`] and [`jaro_winkler`];
 //! * q-gram profiles with Jaccard / Dice / overlap / cosine coefficients;
 //! * token-level measures (token-set Jaccard, Monge–Elkan over a
 //!   character measure);

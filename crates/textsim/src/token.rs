@@ -3,7 +3,7 @@
 use crate::jaro::jaro_winkler;
 
 /// Splits on whitespace. Inputs are expected to be pre-normalised (see
-/// [`crate::normalize`]), so no further cleanup happens here.
+/// [`crate::normalize()`]), so no further cleanup happens here.
 pub fn tokenize(s: &str) -> Vec<&str> {
     s.split_whitespace().collect()
 }

@@ -16,7 +16,7 @@ use std::collections::BTreeSet;
 use std::time::Duration;
 
 use sofya::align::{AlignerConfig, AlignmentSession, QueryRewriter};
-use sofya::endpoint::{Endpoint, LatencyEndpoint, LatencyModel, LocalEndpoint};
+use sofya::endpoint::{Endpoint, EndpointExt, LatencyEndpoint, LatencyModel, LocalEndpoint};
 use sofya::kbgen::{generate, PairConfig};
 
 fn main() {
