@@ -23,9 +23,11 @@ use std::time::Instant;
 use sofya_core::{Aligner, AlignerConfig, AlignmentSession};
 use sofya_endpoint::{Endpoint, LocalEndpoint, Request, SnapshotStore};
 use sofya_kbgen::{generate, GeneratedPair, PairConfig, StructureCounts};
+use sofya_net::{HttpServer, RemoteEndpoint, ServerConfig};
 use sofya_rdf::{Term, TriplePattern, TripleStore};
 use sofya_service::{AlignmentRequest, AlignmentService, SchedulerConfig};
 use sofya_sparql::{execute, execute_ask, Prepared};
+use std::sync::Arc;
 
 const SEED: u64 = 42;
 
@@ -307,6 +309,68 @@ fn endpoint_cases(suite: &mut Suite, pair: &GeneratedPair) {
     });
 }
 
+/// The network layer over loopback TCP: the same batched probe set as
+/// `endpoint/batch_16_probes_small` through a real `HttpServer` +
+/// `RemoteEndpoint` pair (wire encode, HTTP round trip, scheduler
+/// dispatch, wire decode), and a whole relation aligned
+/// source-local/target-remote — the federation hot path whose cost the
+/// batching work bounds at one round trip per probe set.
+fn net_cases(suite: &mut Suite, pair: &GeneratedPair) {
+    let server = HttpServer::start(
+        Arc::new(LocalEndpoint::new("kb2", pair.kb2.clone())),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+    let remote = RemoteEndpoint::new("kb2", server.addr());
+
+    let probe = Prepared::new("ASK { ?s ?r ?o }", &["s", "r", "o"]).unwrap();
+    let objects = Prepared::new("SELECT ?o WHERE { ?s ?r ?o } ORDER BY ?o", &["s", "r"]).unwrap();
+    let (big_rel, _) = biggest_relation(pair);
+    let subjects: Vec<Term> = pair
+        .kb2
+        .scan(TriplePattern::with_p(
+            pair.kb2.dict().lookup_iri(&big_rel).unwrap(),
+        ))
+        .take(8)
+        .map(|t| pair.kb2.resolve(t).0.clone())
+        .collect();
+    let probe_args: Vec<Vec<Term>> = subjects
+        .iter()
+        .map(|s| vec![s.clone(), Term::iri(&big_rel), Term::iri("kb2:nope")])
+        .collect();
+    let select_args: Vec<Vec<Term>> = subjects
+        .iter()
+        .map(|s| vec![s.clone(), Term::iri(&big_rel)])
+        .collect();
+    suite.run("net/remote_probe_small", true, || {
+        let mut requests: Vec<Request<'_>> = Vec::with_capacity(16);
+        for (pa, sa) in probe_args.iter().zip(&select_args) {
+            requests.push(Request::PreparedAsk {
+                prepared: &probe,
+                args: pa,
+            });
+            requests.push(Request::PreparedSelect {
+                prepared: &objects,
+                args: sa,
+            });
+        }
+        let response = remote.execute(Request::Batch(requests)).expect("batch");
+        response.row_count()
+    });
+
+    // Whole-relation federation: kb2 is the remote *target* (where the
+    // batched evidence probes land), kb1 stays local as the source.
+    let source = LocalEndpoint::new("kb1", pair.kb1.clone());
+    let config = AlignerConfig::paper_defaults(SEED);
+    let relation = pair.kb2_relations[0].clone();
+    suite.run("align/remote_relation_batched", true, || {
+        let aligner = Aligner::new(&source, &remote, config.clone());
+        aligner.align_relation(&relation).unwrap().len() as u64
+    });
+    server.shutdown();
+}
+
 /// End-to-end alignment session: a fresh [`AlignmentSession`] aligns a
 /// handful of relations, then re-reads each through the session cache —
 /// the paper's query-time contract (first query pays, later ones reuse).
@@ -486,6 +550,7 @@ fn main() {
     alignment_cases(&mut suite, "small", true, &small_pair);
     session_case(&mut suite, &small_pair);
     endpoint_cases(&mut suite, &small_pair);
+    net_cases(&mut suite, &small_pair);
     if let Some(big) = &big_pair {
         store_cases(&mut suite, "100k", false, big);
         sparql_cases(&mut suite, "100k", false, big);
@@ -540,8 +605,12 @@ fn main() {
                 // core count and neighbors (committed numbers may come
                 // from a different machine class entirely), so the
                 // service cases get a wider budget than the
-                // single-threaded micro-cases.
-                let budget = if name.starts_with("service/") {
+                // single-threaded micro-cases. The loopback network cases
+                // add kernel TCP scheduling on top, same budget.
+                let budget = if name.starts_with("service/")
+                    || name.starts_with("net/")
+                    || name.starts_with("align/remote_")
+                {
                     4.0
                 } else {
                     2.0

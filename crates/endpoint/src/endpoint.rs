@@ -95,6 +95,17 @@ pub enum Request<'a> {
     /// [`crate::ConcurrentEndpoint`] executes the entire batch against a
     /// single pinned snapshot, so dependent sub-requests observe one
     /// consistent state and pay one epoch-cell load.
+    ///
+    /// Batches may nest: a sub-request may itself be a `Batch`, and the
+    /// response mirrors the nesting shape. Accounting recurses rather
+    /// than rejecting — [`Request::leaf_count`] counts only non-batch
+    /// leaves at any depth, quota charging ([`crate::QuotaEndpoint`])
+    /// charges leaves, cache decomposition ([`crate::CachingEndpoint`])
+    /// recurses into inner batches, and instrumentation
+    /// ([`crate::EndpointCounters`]) counts each nesting level as a
+    /// batch while attributing leaves once. A nested batch still pins a
+    /// single snapshot for the whole tree on
+    /// [`crate::ConcurrentEndpoint`].
     Batch(Vec<Request<'a>>),
 }
 

@@ -5,7 +5,7 @@
 //! data access goes through the [`Endpoint`] trait (and therefore through
 //! the quota/instrumentation wrappers).
 
-use crate::endpoint::{Endpoint, EndpointExt};
+use crate::endpoint::{Endpoint, EndpointExt, Request};
 use crate::error::EndpointError;
 use sofya_rdf::term::escape_literal;
 use sofya_rdf::Term;
@@ -240,16 +240,68 @@ pub fn relations_between<E: Endpoint + ?Sized>(
         .collect())
 }
 
+/// The shared `objects_of` template, used by both the single-subject
+/// probe and the batched variant so prepared-plan and response caches
+/// agree on the query identity.
+fn objects_template() -> &'static Prepared {
+    static Q: OnceLock<Prepared> = OnceLock::new();
+    prepared(&Q, "SELECT ?y WHERE { ?s ?r ?y } ORDER BY ?y", &["s", "r"])
+}
+
 /// All objects `y` of `r(x, y)` for a fixed subject.
 pub fn objects_of<E: Endpoint + ?Sized>(
     ep: &E,
     subject: &str,
     relation: &str,
 ) -> Result<Vec<Term>, EndpointError> {
-    static Q: OnceLock<Prepared> = OnceLock::new();
-    let q = prepared(&Q, "SELECT ?y WHERE { ?s ?r ?y } ORDER BY ?y", &["s", "r"]);
-    let rs = ep.select_prepared(q, &[Term::iri(subject), Term::iri(relation)])?;
+    let rs = ep.select_prepared(
+        objects_template(),
+        &[Term::iri(subject), Term::iri(relation)],
+    )?;
     Ok(rs.column("y").into_iter().cloned().collect())
+}
+
+/// The objects `y` of `r(x, y)` for **many** subjects at once, issued as
+/// a single [`Request::Batch`] — one round trip (and, on a
+/// [`crate::ConcurrentEndpoint`], one snapshot pin) for a whole probe
+/// set, where per-subject [`objects_of`] calls would pay one each. The
+/// returned object lists are positionally aligned with `subjects`.
+///
+/// This is the aligner's evidence hot path: one relation's sampled
+/// subjects cost O(1) round trips instead of O(subjects), which is what
+/// makes alignment viable against a remote endpoint at real RTTs.
+pub fn objects_of_batch<E: Endpoint + ?Sized>(
+    ep: &E,
+    subjects: &[&str],
+    relation: &str,
+) -> Result<Vec<Vec<Term>>, EndpointError> {
+    if subjects.is_empty() {
+        return Ok(Vec::new());
+    }
+    let template = objects_template();
+    let args: Vec<[Term; 2]> = subjects
+        .iter()
+        .map(|s| [Term::iri(*s), Term::iri(relation)])
+        .collect();
+    let requests: Vec<Request<'_>> = args
+        .iter()
+        .map(|a| Request::PreparedSelect {
+            prepared: template,
+            args: a,
+        })
+        .collect();
+    let responses = ep.execute(Request::Batch(requests))?.into_batch()?;
+    responses
+        .into_iter()
+        .map(|resp| {
+            let (vars, rows) = resp.into_rows()?.into_parts();
+            debug_assert_eq!(vars.as_slice(), ["y".to_owned()]);
+            Ok(rows
+                .into_iter()
+                .filter_map(|row| row.into_iter().next().flatten())
+                .collect())
+        })
+        .collect()
 }
 
 /// Existence probe `ASK { s r o }`.
@@ -491,6 +543,30 @@ mod tests {
         assert!(!has_fact(&ep, "m:tenet", "r:director", &Term::iri("p:thomas")).unwrap());
         assert!(has_any_fact(&ep, "m:tenet", "r:producer").unwrap());
         assert!(!has_any_fact(&ep, "p:nolan", "r:producer").unwrap());
+    }
+
+    #[test]
+    fn objects_of_batch_matches_per_subject_probes_in_one_request() {
+        let ep = std::sync::Arc::new(movie_endpoint());
+        let counted = crate::InstrumentedEndpoint::new(ep.clone());
+        let subjects = ["m:inception", "m:tenet", "m:missing"];
+        let batched = objects_of_batch(&counted, &subjects, "r:producer").unwrap();
+        assert_eq!(batched.len(), 3);
+        for (subject, objects) in subjects.iter().zip(&batched) {
+            assert_eq!(
+                objects,
+                &objects_of(ep.as_ref(), subject, "r:producer").unwrap()
+            );
+        }
+        assert!(batched[2].is_empty());
+        // The whole probe set travelled as ONE batch request.
+        assert_eq!(counted.counters().batches(), 1);
+        assert_eq!(
+            objects_of_batch(ep.as_ref(), &[], "r:producer")
+                .unwrap()
+                .len(),
+            0
+        );
     }
 
     #[test]

@@ -5,14 +5,15 @@
 //! This test stacks the caching / quota / resilience (retry-over-flaky)
 //! / instrumentation wrappers in **every** order over a `LocalEndpoint`
 //! and fires a random request sequence (string, prepared, paged, count,
-//! and batch shapes): the responses must be identical to the bare
-//! endpoint's, and the instrumentation counters must stay consistent
-//! with the issued traffic.
+//! and batch shapes — including batches nested inside batches): the
+//! responses must be identical to the bare endpoint's, and the
+//! instrumentation counters must stay consistent with the issued
+//! traffic.
 
 use proptest::prelude::*;
 use sofya_endpoint::{
     CachingEndpoint, Endpoint, EndpointCounters, EndpointError, FlakyEndpoint,
-    InstrumentedEndpoint, LocalEndpoint, QuotaConfig, QuotaEndpoint, Request, Response,
+    InstrumentedEndpoint, LocalEndpoint, QuotaConfig, QuotaEndpoint, RequestBuf, Response,
     RetryEndpoint,
 };
 use sofya_rdf::{Term, TripleStore};
@@ -34,21 +35,25 @@ fn store() -> TripleStore {
     store
 }
 
-fn objects_template() -> &'static Prepared {
-    static Q: OnceLock<Prepared> = OnceLock::new();
-    Q.get_or_init(|| {
-        Prepared::new("SELECT ?o WHERE { ?s ?r ?o } ORDER BY ?o", &["s", "r"]).unwrap()
-    })
+fn objects_template() -> Arc<Prepared> {
+    static Q: OnceLock<Arc<Prepared>> = OnceLock::new();
+    Arc::clone(Q.get_or_init(|| {
+        Arc::new(Prepared::new("SELECT ?o WHERE { ?s ?r ?o } ORDER BY ?o", &["s", "r"]).unwrap())
+    }))
 }
 
-fn probe_template() -> &'static Prepared {
-    static Q: OnceLock<Prepared> = OnceLock::new();
-    Q.get_or_init(|| Prepared::new("ASK { ?s ?r ?o }", &["s", "r", "o"]).unwrap())
+fn probe_template() -> Arc<Prepared> {
+    static Q: OnceLock<Arc<Prepared>> = OnceLock::new();
+    Arc::clone(
+        Q.get_or_init(|| Arc::new(Prepared::new("ASK { ?s ?r ?o }", &["s", "r", "o"]).unwrap())),
+    )
 }
 
-fn pattern_template() -> &'static Prepared {
-    static Q: OnceLock<Prepared> = OnceLock::new();
-    Q.get_or_init(|| Prepared::new("SELECT ?s ?o WHERE { ?s ?r ?o }", &["r"]).unwrap())
+fn pattern_template() -> Arc<Prepared> {
+    static Q: OnceLock<Arc<Prepared>> = OnceLock::new();
+    Arc::clone(Q.get_or_init(|| {
+        Arc::new(Prepared::new("SELECT ?s ?o WHERE { ?s ?r ?o }", &["r"]).unwrap())
+    }))
 }
 
 /// A generatable request description; materialized into a [`Request`]
@@ -72,102 +77,54 @@ impl Spec {
         }
     }
 
-    /// Executes this spec against `ep`, materializing the request.
-    fn run(&self, ep: &dyn Endpoint) -> Result<Response, EndpointError> {
+    /// Number of batch nodes at any depth (the instrumentation counts
+    /// each nesting level once).
+    fn batches(&self) -> u64 {
         match self {
-            Spec::Select(s, p) => ep.execute(Request::Select {
-                query: &format!("SELECT ?o {{ <e:s{s}> <r:p{p}> ?o }} ORDER BY ?o"),
-            }),
-            Spec::Ask(s, p) => ep.execute(Request::Ask {
-                query: &format!("ASK {{ <e:s{s}> <r:p{p}> ?o }}"),
-            }),
-            Spec::PreparedSelect(s, p) => ep.execute(Request::PreparedSelect {
+            Spec::Batch(subs) => 1 + subs.iter().map(Spec::batches).sum::<u64>(),
+            _ => 0,
+        }
+    }
+
+    /// Materializes this spec as an owned request buffer; nesting in the
+    /// spec carries straight through to nested [`RequestBuf::Batch`]es.
+    fn to_buf(&self) -> RequestBuf {
+        match self {
+            Spec::Select(s, p) => RequestBuf::Select {
+                query: format!("SELECT ?o {{ <e:s{s}> <r:p{p}> ?o }} ORDER BY ?o"),
+            },
+            Spec::Ask(s, p) => RequestBuf::Ask {
+                query: format!("ASK {{ <e:s{s}> <r:p{p}> ?o }}"),
+            },
+            Spec::PreparedSelect(s, p) => RequestBuf::PreparedSelect {
                 prepared: objects_template(),
-                args: &[Term::iri(format!("e:s{s}")), Term::iri(format!("r:p{p}"))],
-            }),
-            Spec::PreparedAsk(s, p, o) => ep.execute(Request::PreparedAsk {
+                args: vec![Term::iri(format!("e:s{s}")), Term::iri(format!("r:p{p}"))],
+            },
+            Spec::PreparedAsk(s, p, o) => RequestBuf::PreparedAsk {
                 prepared: probe_template(),
-                args: &[
+                args: vec![
                     Term::iri(format!("e:s{s}")),
                     Term::iri(format!("r:p{p}")),
                     Term::iri(format!("e:o{o}")),
                 ],
-            }),
-            Spec::Paged(s, p, limit, offset) => ep.execute(Request::PreparedSelectPaged {
+            },
+            Spec::Paged(s, p, limit, offset) => RequestBuf::PreparedSelectPaged {
                 prepared: objects_template(),
-                args: &[Term::iri(format!("e:s{s}")), Term::iri(format!("r:p{p}"))],
+                args: vec![Term::iri(format!("e:s{s}")), Term::iri(format!("r:p{p}"))],
                 limit: Some(*limit as usize),
                 offset: Some(*offset as usize),
-            }),
-            Spec::Count(p) => ep.execute(Request::Count {
+            },
+            Spec::Count(p) => RequestBuf::Count {
                 prepared: pattern_template(),
-                args: &[Term::iri(format!("r:p{p}"))],
-            }),
-            Spec::Batch(_) => self.run_batch(ep),
+                args: vec![Term::iri(format!("r:p{p}"))],
+            },
+            Spec::Batch(subs) => RequestBuf::Batch(subs.iter().map(Spec::to_buf).collect()),
         }
     }
 
-    /// Executes a batch spec as one [`Request::Batch`].
-    fn run_batch(&self, ep: &dyn Endpoint) -> Result<Response, EndpointError> {
-        let Spec::Batch(subs) = self else {
-            unreachable!("only called for batches")
-        };
-        // Owned storage for the strings/args the borrowed requests need.
-        let mut texts: Vec<(usize, String)> = Vec::new();
-        let mut args: Vec<(usize, Vec<Term>)> = Vec::new();
-        for (i, sub) in subs.iter().enumerate() {
-            match sub {
-                Spec::Select(s, p) => texts.push((
-                    i,
-                    format!("SELECT ?o {{ <e:s{s}> <r:p{p}> ?o }} ORDER BY ?o"),
-                )),
-                Spec::Ask(s, p) => texts.push((i, format!("ASK {{ <e:s{s}> <r:p{p}> ?o }}"))),
-                Spec::PreparedSelect(s, p) | Spec::Paged(s, p, _, _) => args.push((
-                    i,
-                    vec![Term::iri(format!("e:s{s}")), Term::iri(format!("r:p{p}"))],
-                )),
-                Spec::PreparedAsk(s, p, o) => args.push((
-                    i,
-                    vec![
-                        Term::iri(format!("e:s{s}")),
-                        Term::iri(format!("r:p{p}")),
-                        Term::iri(format!("e:o{o}")),
-                    ],
-                )),
-                Spec::Count(p) => args.push((i, vec![Term::iri(format!("r:p{p}"))])),
-                Spec::Batch(_) => unreachable!("specs nest at most one level"),
-            }
-        }
-        let text_of = |i: usize| &texts.iter().find(|(j, _)| *j == i).unwrap().1;
-        let args_of = |i: usize| &args.iter().find(|(j, _)| *j == i).unwrap().1[..];
-        let requests: Vec<Request<'_>> = subs
-            .iter()
-            .enumerate()
-            .map(|(i, sub)| match sub {
-                Spec::Select(..) => Request::Select { query: text_of(i) },
-                Spec::Ask(..) => Request::Ask { query: text_of(i) },
-                Spec::PreparedSelect(..) => Request::PreparedSelect {
-                    prepared: objects_template(),
-                    args: args_of(i),
-                },
-                Spec::PreparedAsk(..) => Request::PreparedAsk {
-                    prepared: probe_template(),
-                    args: args_of(i),
-                },
-                Spec::Paged(_, _, limit, offset) => Request::PreparedSelectPaged {
-                    prepared: objects_template(),
-                    args: args_of(i),
-                    limit: Some(*limit as usize),
-                    offset: Some(*offset as usize),
-                },
-                Spec::Count(_) => Request::Count {
-                    prepared: pattern_template(),
-                    args: args_of(i),
-                },
-                Spec::Batch(_) => unreachable!("specs nest at most one level"),
-            })
-            .collect();
-        ep.execute(Request::Batch(requests))
+    /// Executes this spec against `ep`, materializing the request.
+    fn run(&self, ep: &dyn Endpoint) -> Result<Response, EndpointError> {
+        ep.execute(self.to_buf().as_request())
     }
 }
 
@@ -183,12 +140,23 @@ fn leaf_spec() -> impl Strategy<Value = Spec> {
     ]
 }
 
+/// A batch element: usually a leaf, sometimes a nested batch — so the
+/// generated traffic exercises batches inside batches.
+fn batch_item() -> impl Strategy<Value = Spec> {
+    prop_oneof![
+        leaf_spec(),
+        leaf_spec(),
+        leaf_spec(),
+        proptest::collection::vec(leaf_spec(), 1..4).prop_map(Spec::Batch),
+    ]
+}
+
 fn spec() -> impl Strategy<Value = Spec> {
     prop_oneof![
         leaf_spec(),
         leaf_spec(),
         leaf_spec(),
-        proptest::collection::vec(leaf_spec(), 1..5).prop_map(Spec::Batch),
+        proptest::collection::vec(batch_item(), 1..5).prop_map(Spec::Batch),
     ]
 }
 
@@ -280,8 +248,8 @@ proptest! {
         let instrument_outermost = order.last() == Some(&Layer::Instrument);
         if instrument_outermost {
             prop_assert_eq!(counters.total_queries(), issued_leaves);
-            let expected_batches =
-                specs.iter().filter(|s| matches!(s, Spec::Batch(_))).count() as u64;
+            // Nested batches count once per nesting level.
+            let expected_batches: u64 = specs.iter().map(Spec::batches).sum();
             prop_assert_eq!(counters.batches(), expected_batches);
             let expected_expanded: u64 = specs
                 .iter()

@@ -1,0 +1,188 @@
+//! The HTTP client backend: a [`sofya_endpoint::Endpoint`] that executes
+//! over the wire.
+//!
+//! [`RemoteEndpoint`] renders each typed request to the wire format,
+//! POSTs it to a [`crate::HttpServer`] (or anything speaking the same
+//! protocol), and decodes the envelope back into the exact
+//! [`Response`] / [`EndpointError`] local execution would produce — so
+//! the whole middleware stack (quota, caching, instrumentation, retry)
+//! and the alignment pipeline compose over it unchanged.
+//!
+//! Connections are reused across requests (HTTP/1.1 keep-alive, one
+//! pooled connection guarded by a mutex). A send on a previously pooled
+//! connection that fails mid-flight is retried once on a fresh dial —
+//! the server may have expired the idle connection — after which I/O
+//! failures surface as [`EndpointError::Other`], the retryable class for
+//! [`sofya_endpoint::RetryEndpoint`] backoff stacks.
+
+use crate::http::{read_response, write_request, HttpResponse};
+use crate::json::Json;
+use crate::wire::{envelope_from_json, WireRequest};
+use parking_lot::Mutex;
+use sofya_endpoint::{Endpoint, EndpointError, Request, Response};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client knobs.
+#[derive(Debug, Clone)]
+pub struct RemoteConfig {
+    /// Sent as the `X-Client` header: the server's quota and accounting
+    /// key for this client.
+    pub client_id: String,
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Read/write timeout per HTTP round trip.
+    pub io_timeout: Duration,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> Self {
+        Self {
+            client_id: "sofya".to_owned(),
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// An endpoint backed by a remote HTTP server.
+#[derive(Debug)]
+pub struct RemoteEndpoint {
+    name: String,
+    addr: SocketAddr,
+    config: RemoteConfig,
+    conn: Mutex<Option<TcpStream>>,
+}
+
+impl RemoteEndpoint {
+    /// Creates a client for the server at `addr` with default knobs.
+    /// Dials lazily on the first request.
+    pub fn new(name: impl Into<String>, addr: SocketAddr) -> Self {
+        Self::with_config(name, addr, RemoteConfig::default())
+    }
+
+    /// Creates a client with explicit timeouts and client id.
+    pub fn with_config(name: impl Into<String>, addr: SocketAddr, config: RemoteConfig) -> Self {
+        Self {
+            name: name.into(),
+            addr,
+            config,
+            conn: Mutex::new(None),
+        }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Fetches the server's `GET /metrics` report as raw JSON text.
+    pub fn fetch_metrics(&self) -> Result<String, EndpointError> {
+        let response = self.roundtrip("GET", "/metrics", b"")?;
+        if response.status != 200 {
+            return Err(EndpointError::Other(format!(
+                "metrics fetch failed with HTTP {}",
+                response.status
+            )));
+        }
+        String::from_utf8(response.body)
+            .map_err(|e| EndpointError::Other(format!("non-UTF-8 metrics body: {e}")))
+    }
+
+    fn dial(&self) -> Result<TcpStream, EndpointError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
+            .map_err(|e| EndpointError::Other(format!("connect to {}: {e}", self.addr)))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(self.config.io_timeout));
+        let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+        Ok(stream)
+    }
+
+    /// One HTTP round trip with connection reuse: take the pooled
+    /// connection (or dial), send, receive, and pool the connection
+    /// again on success. A failure on a *reused* connection gets one
+    /// retry on a fresh dial; a failure on a fresh connection surfaces.
+    fn roundtrip(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<HttpResponse, EndpointError> {
+        let mut pooled = self.conn.lock();
+        let (stream, was_pooled) = match pooled.take() {
+            Some(stream) => (stream, true),
+            None => (self.dial()?, false),
+        };
+        match self.send_recv(stream, method, path, body) {
+            Ok((stream, response)) => {
+                *pooled = Some(stream);
+                Ok(response)
+            }
+            Err(first) => {
+                if !was_pooled {
+                    return Err(EndpointError::Other(format!("http round trip: {first}")));
+                }
+                // The pooled connection may have been closed server-side
+                // while idle; retry exactly once on a fresh dial.
+                let stream = self.dial()?;
+                match self.send_recv(stream, method, path, body) {
+                    Ok((stream, response)) => {
+                        *pooled = Some(stream);
+                        Ok(response)
+                    }
+                    Err(second) => Err(EndpointError::Other(format!(
+                        "http round trip failed twice: {first}; then {second}"
+                    ))),
+                }
+            }
+        }
+    }
+
+    fn send_recv(
+        &self,
+        mut stream: TcpStream,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(TcpStream, HttpResponse)> {
+        write_request(
+            &mut stream,
+            method,
+            path,
+            &[
+                ("Host", "sofya"),
+                ("X-Client", &self.config.client_id),
+                ("Content-Type", "application/json"),
+            ],
+            body,
+        )?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let response = read_response(&mut reader)?;
+        Ok((stream, response))
+    }
+}
+
+impl Endpoint for RemoteEndpoint {
+    fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
+        let wire = WireRequest::from_request(&req)?;
+        let mut body = wire.to_json().to_text();
+        body.push('\n');
+        let response = self.roundtrip("POST", "/query", body.as_bytes())?;
+        let text = std::str::from_utf8(&response.body)
+            .map_err(|e| EndpointError::Other(format!("non-UTF-8 response body: {e}")))?;
+        let json = Json::parse(text.trim_end_matches('\n'))
+            .map_err(|e| EndpointError::Other(format!("bad response JSON: {e}")))?;
+        match envelope_from_json(&json) {
+            Ok(result) => result,
+            Err(e) => Err(EndpointError::Other(format!(
+                "HTTP {} with undecodable envelope: {e}",
+                response.status
+            ))),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}

@@ -1,0 +1,278 @@
+//! Minimal HTTP/1.1 framing over blocking streams.
+//!
+//! Just enough of the protocol for the wire format: one request line or
+//! status line, `\r\n`-terminated headers, and a `Content-Length`-framed
+//! body. Persistent connections are the default (HTTP/1.1 keep-alive);
+//! chunked transfer, compression, and multi-line headers are out of
+//! scope — both ends of the wire are this crate.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on a message body; larger announcements are rejected
+/// before any allocation, so a corrupt length can't balloon memory.
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Upper bound on header section size.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// A parsed request head plus body.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, …), uppercased as received.
+    pub method: String,
+    /// Request target (`/query`, `/metrics`, …).
+    pub path: String,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length`-framed body.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed response head plus body.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn bad_data(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// Reads one `\r\n`-terminated line (returned without the terminator).
+/// `Ok(None)` signals clean EOF **before any byte** — the peer closed a
+/// keep-alive connection between messages.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(bad_data("connection closed mid-line"));
+            }
+            Ok(_) => {
+                *budget = budget
+                    .checked_sub(1)
+                    .ok_or_else(|| bad_data("header section too large"))?;
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text =
+                        String::from_utf8(line).map_err(|_| bad_data("non-UTF-8 header line"))?;
+                    return Ok(Some(text));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn read_headers(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+) -> io::Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, budget)?
+            .ok_or_else(|| bad_data("connection closed inside headers"))?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad_data(format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+}
+
+fn read_body(reader: &mut impl BufRead, headers: &[(String, String)]) -> io::Result<Vec<u8>> {
+    let length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| bad_data(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if length > MAX_BODY_BYTES {
+        return Err(bad_data(format!("body of {length} bytes exceeds limit")));
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Reads one request. `Ok(None)` means the peer closed the idle
+/// connection cleanly (keep-alive end-of-life, not an error).
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<HttpRequest>> {
+    let mut budget = MAX_HEADER_BYTES;
+    let Some(request_line) = read_line(reader, &mut budget)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m, p, v),
+        _ => return Err(bad_data(format!("malformed request line {request_line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad_data(format!("unsupported protocol {version:?}")));
+    }
+    let headers = read_headers(reader, &mut budget)?;
+    let body = read_body(reader, &headers)?;
+    Ok(Some(HttpRequest {
+        method: method.to_ascii_uppercase(),
+        path: path.to_owned(),
+        headers,
+        body,
+    }))
+}
+
+/// Writes one request with a `Content-Length`-framed body.
+pub fn write_request(
+    writer: &mut impl Write,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Reads one response.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<HttpResponse> {
+    let mut budget = MAX_HEADER_BYTES;
+    let status_line = read_line(reader, &mut budget)?
+        .ok_or_else(|| bad_data("connection closed before response"))?;
+    let mut parts = status_line.split_whitespace();
+    let (version, status) = match (parts.next(), parts.next()) {
+        (Some(v), Some(s)) => (v, s),
+        _ => return Err(bad_data(format!("malformed status line {status_line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad_data(format!("unsupported protocol {version:?}")));
+    }
+    let status: u16 = status
+        .parse()
+        .map_err(|_| bad_data(format!("bad status code {status:?}")))?;
+    let headers = read_headers(reader, &mut budget)?;
+    let body = read_body(reader, &headers)?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Writes one response with a `Content-Length`-framed body.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!("HTTP/1.1 {status} {reason}\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_round_trips_through_a_buffer() {
+        let mut buffer = Vec::new();
+        write_request(
+            &mut buffer,
+            "POST",
+            "/query",
+            &[("X-Client", "tester"), ("Content-Type", "application/json")],
+            b"{\"op\":\"ask\"}\n",
+        )
+        .unwrap();
+        let mut reader = BufReader::new(buffer.as_slice());
+        let req = read_request(&mut reader).unwrap().expect("one request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.header("x-client"), Some("tester"));
+        assert_eq!(req.header("X-CLIENT"), Some("tester"));
+        assert_eq!(req.body, b"{\"op\":\"ask\"}\n");
+        // The connection is now idle; a clean close reads as None.
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn response_round_trips_through_a_buffer() {
+        let mut buffer = Vec::new();
+        write_response(
+            &mut buffer,
+            429,
+            "Too Many Requests",
+            &[("Retry-After", "1")],
+            b"{}",
+        )
+        .unwrap();
+        let resp = read_response(&mut BufReader::new(buffer.as_slice())).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.body, b"{}");
+    }
+
+    #[test]
+    fn oversized_and_malformed_frames_are_rejected() {
+        let msg = format!(
+            "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = read_request(&mut BufReader::new(msg.as_bytes())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(read_request(&mut BufReader::new(&b"NOT HTTP\r\n\r\n"[..])).is_err());
+        assert!(read_request(&mut BufReader::new(&b"GET / SPDY/9\r\n\r\n"[..])).is_err());
+    }
+}

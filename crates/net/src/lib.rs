@@ -1,0 +1,34 @@
+//! Network layer: query and alignment over HTTP.
+//!
+//! This crate takes the [`sofya_endpoint::Endpoint`] abstraction across
+//! process boundaries. The server side ([`HttpServer`]) fronts any local
+//! endpoint with a minimal HTTP/1.1 listener whose every request flows
+//! through the [`sofya_service::scheduler`] — so remote clients get the
+//! same per-client quotas, bounded-queue backpressure, panic
+//! containment, and latency metrics as local service traffic. The client
+//! side ([`RemoteEndpoint`]) implements `Endpoint` over that wire, so a
+//! remote store composes with the existing middleware stack (retry,
+//! caching, instrumentation) and the alignment pipeline unchanged: two
+//! sofya instances can federate with the source store local and the
+//! target store remote.
+//!
+//! The wire format is line-delimited JSON ([`wire`]): each request is
+//! one `{"op": …}` object (select / ask / count / batch, with batches
+//! nesting), each response one `{"ok": …}` envelope. Prepared queries
+//! are rendered to SPARQL text client-side, and `count` responses are
+//! reshaped server-side from the aggregate row — so a remote endpoint
+//! returns bit-identical [`sofya_endpoint::Response`] values to local
+//! execution. A whole batch is a single HTTP round trip and a single
+//! server-side snapshot pin, which is what makes batched evidence
+//! probes pay one RTT per relation instead of one per subject.
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use client::{RemoteConfig, RemoteEndpoint};
+pub use json::Json;
+pub use server::{metrics_to_json, HttpServer, ServerConfig};
+pub use wire::{execute_wire, WireError, WireRequest};

@@ -1,0 +1,333 @@
+//! The HTTP front-end: a `TcpListener` accept loop in front of the
+//! [`sofya_service::scheduler`].
+//!
+//! Every wire request — a single query or a whole batch — is **one
+//! scheduler job**, submitted under the client id from the `X-Client`
+//! header. That puts remote traffic behind exactly the machinery local
+//! [`sofya_service::QueryService`] traffic gets: per-client quotas
+//! (`429 Too Many Requests`), bounded-queue backpressure (`503` with
+//! `Retry-After`), panic containment (`500`, pool keeps serving), and
+//! p50/p99 latency metrics (exposed at `GET /metrics` and via
+//! [`HttpServer::metrics`]).
+//!
+//! Routes:
+//!
+//! * `POST /query` — body: one JSON wire request line; response: one
+//!   JSON envelope line (`{"ok":true,"response":…}` or
+//!   `{"ok":false,"error":…}`).
+//! * `GET /metrics` — current [`MetricsReport`] as JSON.
+
+use crate::http::{read_request, write_response, HttpRequest};
+use crate::json::Json;
+use crate::wire::{envelope_to_json, execute_wire, WireRequest};
+use parking_lot::Mutex;
+use sofya_endpoint::{Endpoint, EndpointError, Response};
+use sofya_service::scheduler::{serve, JobOutcome, SchedulerConfig, SchedulerHandle, SubmitError};
+use sofya_service::{MetricsReport, ServiceMetrics};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Scheduler configuration: workers, queue bound, per-client quotas,
+    /// retry-after hint. Applies to remote traffic unchanged.
+    pub scheduler: SchedulerConfig,
+    /// How often an idle connection wakes to check for shutdown; also
+    /// the read timeout granularity. Keep-alive connections poll at this
+    /// interval, so shutdown latency is bounded by it.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            scheduler: SchedulerConfig::default(),
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// A running HTTP server. Shut down explicitly with
+/// [`HttpServer::shutdown`] or implicitly on drop.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    metrics: Arc<Mutex<MetricsReport>>,
+}
+
+impl HttpServer {
+    /// Binds `bind_addr` (use port 0 for an ephemeral port) and starts
+    /// serving `endpoint` on a background thread. Returns once the
+    /// listener is bound, so [`HttpServer::addr`] is immediately
+    /// connectable.
+    pub fn start(
+        endpoint: Arc<dyn Endpoint>,
+        config: ServerConfig,
+        bind_addr: &str,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(Mutex::new(ServiceMetrics::default().report()));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || {
+                let handler = |wire: WireRequest| execute_wire(endpoint.as_ref(), &wire);
+                let scheduler = config.scheduler.clone();
+                let _ = serve(&scheduler, handler, |handle| {
+                    accept_loop(&listener, handle, &config, &stop, &metrics);
+                    *metrics.lock() = handle.metrics().report();
+                });
+            })
+        };
+        Ok(HttpServer {
+            addr,
+            stop,
+            thread: Some(thread),
+            metrics,
+        })
+    }
+
+    /// The bound address (with the actual port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The latest server-side metrics snapshot (refreshed after every
+    /// served request and at shutdown).
+    pub fn metrics(&self) -> MetricsReport {
+        *self.metrics.lock()
+    }
+
+    /// Stops accepting, drains in-flight jobs, and joins the server
+    /// thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock a blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+type Handle<'s> = SchedulerHandle<'s, WireRequest, Result<Response, EndpointError>>;
+
+fn accept_loop(
+    listener: &TcpListener,
+    handle: &Handle<'_>,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+    metrics: &Mutex<MetricsReport>,
+) {
+    std::thread::scope(|scope| loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        scope.spawn(move || serve_connection(stream, handle, config, stop, metrics));
+    });
+}
+
+/// Serves one keep-alive connection until the peer closes, an I/O error
+/// occurs, or the server stops. Idle waits poll at
+/// [`ServerConfig::poll_interval`] via `fill_buf`, which consumes
+/// nothing on timeout — so a poll never corrupts message framing.
+fn serve_connection(
+    mut stream: TcpStream,
+    handle: &Handle<'_>,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+    metrics: &Mutex<MetricsReport>,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.poll_interval));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    while !stop.load(Ordering::SeqCst) {
+        // Poll for the first byte without consuming anything.
+        match std::io::BufRead::fill_buf(&mut reader) {
+            Ok([]) => return, // clean close
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(_) => {
+                let body = error_body(&EndpointError::Other("malformed HTTP request".into()));
+                let _ = write_response(&mut stream, 400, "Bad Request", &json_headers(), &body);
+                return;
+            }
+        };
+        let (status, reason, extra, body) = route(&request, handle, config);
+        *metrics.lock() = handle.metrics().report();
+        let mut headers = json_headers();
+        if let Some((name, value)) = &extra {
+            headers.push((name, value));
+        }
+        if write_response(&mut stream, status, reason, &headers, &body).is_err() {
+            return;
+        }
+    }
+}
+
+fn json_headers() -> Vec<(&'static str, &'static str)> {
+    vec![("Content-Type", "application/json")]
+}
+
+fn error_body(error: &EndpointError) -> Vec<u8> {
+    let mut text = envelope_to_json(&Err(error.clone())).to_text();
+    text.push('\n');
+    text.into_bytes()
+}
+
+type Routed = (u16, &'static str, Option<(&'static str, String)>, Vec<u8>);
+
+fn route(request: &HttpRequest, handle: &Handle<'_>, config: &ServerConfig) -> Routed {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/query") => serve_query(request, handle, config),
+        ("GET", "/metrics") => {
+            let mut text = metrics_to_json(&handle.metrics().report()).to_text();
+            text.push('\n');
+            (200, "OK", None, text.into_bytes())
+        }
+        _ => (
+            404,
+            "Not Found",
+            None,
+            error_body(&EndpointError::Other(format!(
+                "no route for {} {}",
+                request.method, request.path
+            ))),
+        ),
+    }
+}
+
+fn serve_query(request: &HttpRequest, handle: &Handle<'_>, config: &ServerConfig) -> Routed {
+    let client = request.header("x-client").unwrap_or("anonymous").to_owned();
+    let wire = match std::str::from_utf8(&request.body)
+        .map_err(|e| e.to_string())
+        .and_then(|text| Json::parse(text.trim_end_matches('\n')))
+        .and_then(|json| WireRequest::from_json(&json).map_err(|e| e.to_string()))
+    {
+        Ok(wire) => wire,
+        Err(e) => {
+            return (
+                400,
+                "Bad Request",
+                None,
+                error_body(&EndpointError::Other(format!("bad wire request: {e}"))),
+            )
+        }
+    };
+    match handle.submit(&client, wire) {
+        Ok(ticket) => match ticket.wait() {
+            JobOutcome::Completed(result) => {
+                let mut text = envelope_to_json(&result).to_text();
+                text.push('\n');
+                (200, "OK", None, text.into_bytes())
+            }
+            JobOutcome::Panicked(message) => (
+                500,
+                "Internal Server Error",
+                None,
+                error_body(&EndpointError::Other(format!(
+                    "query handler panicked: {message}"
+                ))),
+            ),
+        },
+        Err(rejected) => match rejected.error {
+            SubmitError::QueueFull { retry_after } => (
+                503,
+                "Service Unavailable",
+                Some(("Retry-After", format!("{}", retry_after.as_millis().max(1)))),
+                error_body(&EndpointError::Other(format!(
+                    "server busy: retry after {retry_after:?}"
+                ))),
+            ),
+            SubmitError::QuotaExhausted { client } => {
+                let max_queries = configured_quota(&config.scheduler, &client);
+                (
+                    429,
+                    "Too Many Requests",
+                    None,
+                    error_body(&EndpointError::QuotaExceeded {
+                        endpoint: client,
+                        max_queries,
+                    }),
+                )
+            }
+            SubmitError::ShuttingDown => (
+                503,
+                "Service Unavailable",
+                None,
+                error_body(&EndpointError::Other("server shutting down".into())),
+            ),
+        },
+    }
+}
+
+fn configured_quota(scheduler: &SchedulerConfig, client: &str) -> u64 {
+    scheduler
+        .client_quotas
+        .iter()
+        .find(|(name, _)| name == client)
+        .map(|(_, quota)| *quota)
+        .or(scheduler.default_client_quota)
+        .unwrap_or(0)
+}
+
+/// Serializes a [`MetricsReport`] for `GET /metrics`.
+pub fn metrics_to_json(report: &MetricsReport) -> Json {
+    Json::obj(vec![
+        ("submitted", Json::Uint(report.submitted)),
+        ("completed", Json::Uint(report.completed)),
+        ("rejected_full", Json::Uint(report.rejected_full)),
+        ("rejected_quota", Json::Uint(report.rejected_quota)),
+        ("panicked", Json::Uint(report.panicked)),
+        ("queue_depth", Json::Uint(report.queue_depth)),
+        ("latency_mean_ns", Json::Uint(report.latency_mean_ns)),
+        ("latency_p50_ns", Json::Uint(report.latency_p50_ns)),
+        ("latency_p99_ns", Json::Uint(report.latency_p99_ns)),
+        ("queue_wait_p99_ns", Json::Uint(report.queue_wait_p99_ns)),
+        ("snapshot_age_ns", Json::Uint(report.snapshot_age_ns)),
+    ])
+}

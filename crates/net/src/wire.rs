@@ -1,0 +1,549 @@
+//! The wire format: typed requests and responses as line-delimited JSON.
+//!
+//! A [`sofya_endpoint::Request`] crosses the wire as a [`WireRequest`]:
+//! every non-batch shape is rendered to its SPARQL text client-side (via
+//! [`Request::to_sparql`]), tagged with its response shape (`select` /
+//! `ask` / `count`), and batches nest structurally. Prepared templates
+//! therefore never travel — the server sees plain SPARQL, and the typed
+//! `count` tag lets it hand back a [`Response::Count`] so the response
+//! tree a remote client observes is **bit-identical** to local
+//! execution.
+//!
+//! Encoding is one JSON document per message, terminated by `\n` (the
+//! HTTP body of one request/response is exactly one line). All encoders
+//! are deterministic: same message, same bytes.
+
+use crate::json::Json;
+use sofya_endpoint::{EndpointError, Request, RequestBuf, Response};
+use sofya_rdf::Term;
+use sofya_sparql::{ResultSet, SparqlError};
+
+/// A request as it travels: SPARQL text plus the expected response
+/// shape. Batches nest, mirroring [`Request::Batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// A `SELECT`, answered with rows.
+    Select(String),
+    /// An `ASK`, answered with a boolean.
+    Ask(String),
+    /// A `SELECT (COUNT(*) AS ?n)` rendering, answered with a count.
+    Count(String),
+    /// A request set executed as one unit (one scheduler job, one
+    /// snapshot pin server-side).
+    Batch(Vec<WireRequest>),
+}
+
+/// Errors while encoding or decoding wire messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire format error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for EndpointError {
+    fn from(e: WireError) -> Self {
+        EndpointError::Other(e.to_string())
+    }
+}
+
+impl WireRequest {
+    /// Lowers a typed request into its wire form, rendering every
+    /// non-batch shape to SPARQL text.
+    pub fn from_request(req: &Request<'_>) -> Result<WireRequest, EndpointError> {
+        Ok(match req {
+            Request::Batch(subs) => WireRequest::Batch(
+                subs.iter()
+                    .map(WireRequest::from_request)
+                    .collect::<Result<_, _>>()?,
+            ),
+            Request::Count { .. } => WireRequest::Count(req.to_sparql()?),
+            Request::Ask { .. } | Request::PreparedAsk { .. } => WireRequest::Ask(req.to_sparql()?),
+            _ => WireRequest::Select(req.to_sparql()?),
+        })
+    }
+
+    /// The owned request the server executes: `count` runs as the
+    /// rendered `SELECT (COUNT(*) AS ?n)` string (one execution for the
+    /// whole tree — a batch stays a single [`RequestBuf::Batch`], so one
+    /// snapshot pin); [`reshape`] converts the aggregate row back to a
+    /// [`Response::Count`] afterwards.
+    pub fn to_request_buf(&self) -> RequestBuf {
+        match self {
+            WireRequest::Select(q) | WireRequest::Count(q) => {
+                RequestBuf::Select { query: q.clone() }
+            }
+            WireRequest::Ask(q) => RequestBuf::Ask { query: q.clone() },
+            WireRequest::Batch(subs) => {
+                RequestBuf::Batch(subs.iter().map(WireRequest::to_request_buf).collect())
+            }
+        }
+    }
+
+    /// Number of leaf (non-batch) requests, mirroring
+    /// [`Request::leaf_count`].
+    pub fn leaf_count(&self) -> u64 {
+        match self {
+            WireRequest::Batch(subs) => subs.iter().map(WireRequest::leaf_count).sum(),
+            _ => 1,
+        }
+    }
+
+    /// Encodes to a JSON value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            WireRequest::Select(q) => {
+                Json::obj(vec![("op", Json::str("select")), ("query", Json::str(q))])
+            }
+            WireRequest::Ask(q) => {
+                Json::obj(vec![("op", Json::str("ask")), ("query", Json::str(q))])
+            }
+            WireRequest::Count(q) => {
+                Json::obj(vec![("op", Json::str("count")), ("query", Json::str(q))])
+            }
+            WireRequest::Batch(subs) => Json::obj(vec![
+                ("op", Json::str("batch")),
+                (
+                    "requests",
+                    Json::Arr(subs.iter().map(WireRequest::to_json).collect()),
+                ),
+            ]),
+        }
+    }
+
+    /// Decodes from a JSON value.
+    pub fn from_json(json: &Json) -> Result<WireRequest, WireError> {
+        let op = json
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError("request missing \"op\"".to_owned()))?;
+        let query = || {
+            json.get("query")
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| WireError(format!("{op} request missing \"query\"")))
+        };
+        match op {
+            "select" => Ok(WireRequest::Select(query()?)),
+            "ask" => Ok(WireRequest::Ask(query()?)),
+            "count" => Ok(WireRequest::Count(query()?)),
+            "batch" => {
+                let subs = json
+                    .get("requests")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| WireError("batch request missing \"requests\"".to_owned()))?;
+                Ok(WireRequest::Batch(
+                    subs.iter()
+                        .map(WireRequest::from_json)
+                        .collect::<Result<_, _>>()?,
+                ))
+            }
+            other => Err(WireError(format!("unknown request op {other:?}"))),
+        }
+    }
+}
+
+/// Restores the typed response shape after server-side execution: a
+/// `count` leaf executed as its aggregate `SELECT` comes back as one row
+/// of one integer, which this converts to [`Response::Count`]; batches
+/// recurse positionally. Select and ask leaves pass through untouched.
+pub fn reshape(wire: &WireRequest, response: Response) -> Result<Response, EndpointError> {
+    match (wire, response) {
+        (WireRequest::Count(_), Response::Rows(rows)) => {
+            let n = rows.single_integer().ok_or_else(|| {
+                EndpointError::Other("count query returned a non-aggregate result".to_owned())
+            })?;
+            Ok(Response::Count(n as u64))
+        }
+        (WireRequest::Batch(subs), Response::Batch(responses)) => {
+            if subs.len() != responses.len() {
+                return Err(EndpointError::Other(format!(
+                    "batch arity mismatch: {} requests, {} responses",
+                    subs.len(),
+                    responses.len()
+                )));
+            }
+            Ok(Response::Batch(
+                subs.iter()
+                    .zip(responses)
+                    .map(|(sub, resp)| reshape(sub, resp))
+                    .collect::<Result<_, _>>()?,
+            ))
+        }
+        (_, response) => Ok(response),
+    }
+}
+
+/// Executes one wire request against an endpoint: a single
+/// `execute` call for the whole tree, then [`reshape`].
+pub fn execute_wire(
+    ep: &dyn sofya_endpoint::Endpoint,
+    wire: &WireRequest,
+) -> Result<Response, EndpointError> {
+    let buf = wire.to_request_buf();
+    let response = ep.execute(buf.as_request())?;
+    reshape(wire, response)
+}
+
+fn term_to_json(term: &Term) -> Json {
+    match term {
+        Term::Iri(value) => Json::obj(vec![("t", Json::str("iri")), ("v", Json::str(value))]),
+        Term::Literal {
+            lexical,
+            lang,
+            datatype,
+        } => {
+            let mut pairs = vec![("t", Json::str("lit")), ("v", Json::str(lexical))];
+            if let Some(lang) = lang {
+                pairs.push(("lang", Json::str(lang)));
+            }
+            if let Some(datatype) = datatype {
+                pairs.push(("dt", Json::str(datatype)));
+            }
+            Json::obj(pairs)
+        }
+        Term::BNode(label) => Json::obj(vec![("t", Json::str("bnode")), ("v", Json::str(label))]),
+    }
+}
+
+fn term_from_json(json: &Json) -> Result<Term, WireError> {
+    let tag = json
+        .get("t")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError("term missing \"t\"".to_owned()))?;
+    let value = json
+        .get("v")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError("term missing \"v\"".to_owned()))?;
+    match tag {
+        "iri" => Ok(Term::Iri(value.to_owned())),
+        "bnode" => Ok(Term::BNode(value.to_owned())),
+        "lit" => Ok(Term::Literal {
+            lexical: value.to_owned(),
+            lang: json.get("lang").and_then(Json::as_str).map(str::to_owned),
+            datatype: json.get("dt").and_then(Json::as_str).map(str::to_owned),
+        }),
+        other => Err(WireError(format!("unknown term tag {other:?}"))),
+    }
+}
+
+/// Encodes a response to a JSON value.
+pub fn response_to_json(response: &Response) -> Json {
+    match response {
+        Response::Rows(rows) => Json::obj(vec![
+            ("type", Json::str("rows")),
+            (
+                "vars",
+                Json::Arr(rows.vars().iter().map(Json::str).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    rows.rows()
+                        .iter()
+                        .map(|row| {
+                            Json::Arr(
+                                row.iter()
+                                    .map(|cell| match cell {
+                                        Some(term) => term_to_json(term),
+                                        None => Json::Null,
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Response::Boolean(b) => Json::obj(vec![
+            ("type", Json::str("boolean")),
+            ("value", Json::Bool(*b)),
+        ]),
+        Response::Count(n) => Json::obj(vec![
+            ("type", Json::str("count")),
+            ("value", Json::Uint(*n)),
+        ]),
+        Response::Batch(responses) => Json::obj(vec![
+            ("type", Json::str("batch")),
+            (
+                "responses",
+                Json::Arr(responses.iter().map(response_to_json).collect()),
+            ),
+        ]),
+    }
+}
+
+/// Decodes a response from a JSON value.
+pub fn response_from_json(json: &Json) -> Result<Response, WireError> {
+    let kind = json
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError("response missing \"type\"".to_owned()))?;
+    match kind {
+        "rows" => {
+            let vars: Vec<String> = json
+                .get("vars")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| WireError("rows response missing \"vars\"".to_owned()))?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| WireError("non-string var name".to_owned()))
+                })
+                .collect::<Result<_, _>>()?;
+            let rows: Vec<Vec<Option<Term>>> = json
+                .get("rows")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| WireError("rows response missing \"rows\"".to_owned()))?
+                .iter()
+                .map(|row| {
+                    let cells = row
+                        .as_arr()
+                        .ok_or_else(|| WireError("row is not an array".to_owned()))?;
+                    if cells.len() != vars.len() {
+                        return Err(WireError(format!(
+                            "row width {} does not match {} vars",
+                            cells.len(),
+                            vars.len()
+                        )));
+                    }
+                    cells
+                        .iter()
+                        .map(|cell| match cell {
+                            Json::Null => Ok(None),
+                            term => term_from_json(term).map(Some),
+                        })
+                        .collect()
+                })
+                .collect::<Result<_, _>>()?;
+            Ok(Response::Rows(ResultSet::new(vars, rows)))
+        }
+        "boolean" => Ok(Response::Boolean(
+            json.get("value")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| WireError("boolean response missing \"value\"".to_owned()))?,
+        )),
+        "count" => Ok(Response::Count(
+            json.get("value")
+                .and_then(Json::as_uint)
+                .ok_or_else(|| WireError("count response missing \"value\"".to_owned()))?,
+        )),
+        "batch" => {
+            let responses = json
+                .get("responses")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| WireError("batch response missing \"responses\"".to_owned()))?;
+            Ok(Response::Batch(
+                responses
+                    .iter()
+                    .map(response_from_json)
+                    .collect::<Result<_, _>>()?,
+            ))
+        }
+        other => Err(WireError(format!("unknown response type {other:?}"))),
+    }
+}
+
+/// Encodes an endpoint error to a JSON value.
+pub fn error_to_json(error: &EndpointError) -> Json {
+    match error {
+        EndpointError::Sparql(SparqlError::Lex { offset, message }) => Json::obj(vec![
+            ("kind", Json::str("lex")),
+            ("offset", Json::Uint(*offset as u64)),
+            ("message", Json::str(message)),
+        ]),
+        EndpointError::Sparql(SparqlError::Parse { message }) => Json::obj(vec![
+            ("kind", Json::str("parse")),
+            ("message", Json::str(message)),
+        ]),
+        EndpointError::Sparql(SparqlError::Eval { message }) => Json::obj(vec![
+            ("kind", Json::str("eval")),
+            ("message", Json::str(message)),
+        ]),
+        EndpointError::QuotaExceeded {
+            endpoint,
+            max_queries,
+        } => Json::obj(vec![
+            ("kind", Json::str("quota")),
+            ("endpoint", Json::str(endpoint)),
+            ("max_queries", Json::Uint(*max_queries)),
+        ]),
+        EndpointError::Other(message) => Json::obj(vec![
+            ("kind", Json::str("other")),
+            ("message", Json::str(message)),
+        ]),
+    }
+}
+
+/// Decodes an endpoint error from a JSON value.
+pub fn error_from_json(json: &Json) -> Result<EndpointError, WireError> {
+    let kind = json
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError("error missing \"kind\"".to_owned()))?;
+    let message = || {
+        json.get("message")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| WireError(format!("{kind} error missing \"message\"")))
+    };
+    match kind {
+        "lex" => Ok(EndpointError::Sparql(SparqlError::Lex {
+            offset: json
+                .get("offset")
+                .and_then(Json::as_uint)
+                .ok_or_else(|| WireError("lex error missing \"offset\"".to_owned()))?
+                as usize,
+            message: message()?,
+        })),
+        "parse" => Ok(EndpointError::Sparql(SparqlError::Parse {
+            message: message()?,
+        })),
+        "eval" => Ok(EndpointError::Sparql(SparqlError::Eval {
+            message: message()?,
+        })),
+        "quota" => Ok(EndpointError::QuotaExceeded {
+            endpoint: json
+                .get("endpoint")
+                .and_then(Json::as_str)
+                .ok_or_else(|| WireError("quota error missing \"endpoint\"".to_owned()))?
+                .to_owned(),
+            max_queries: json
+                .get("max_queries")
+                .and_then(Json::as_uint)
+                .ok_or_else(|| WireError("quota error missing \"max_queries\"".to_owned()))?,
+        }),
+        "other" => Ok(EndpointError::Other(message()?)),
+        other => Err(WireError(format!("unknown error kind {other:?}"))),
+    }
+}
+
+/// Encodes the full result envelope the server sends back.
+pub fn envelope_to_json(result: &Result<Response, EndpointError>) -> Json {
+    match result {
+        Ok(response) => Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("response", response_to_json(response)),
+        ]),
+        Err(error) => Json::obj(vec![
+            ("ok", Json::Bool(false)),
+            ("error", error_to_json(error)),
+        ]),
+    }
+}
+
+/// Decodes the result envelope.
+pub fn envelope_from_json(json: &Json) -> Result<Result<Response, EndpointError>, WireError> {
+    match json.get("ok").and_then(Json::as_bool) {
+        Some(true) => {
+            let response = json
+                .get("response")
+                .ok_or_else(|| WireError("ok envelope missing \"response\"".to_owned()))?;
+            Ok(Ok(response_from_json(response)?))
+        }
+        Some(false) => {
+            let error = json
+                .get("error")
+                .ok_or_else(|| WireError("error envelope missing \"error\"".to_owned()))?;
+            Ok(Err(error_from_json(error)?))
+        }
+        None => Err(WireError("envelope missing \"ok\"".to_owned())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sofya_endpoint::{Endpoint, EndpointExt, LocalEndpoint};
+    use sofya_rdf::TripleStore;
+    use sofya_sparql::Prepared;
+
+    fn endpoint() -> LocalEndpoint {
+        let mut store = TripleStore::new();
+        store.insert_terms(&Term::iri("e:a"), &Term::iri("r:p"), &Term::iri("e:b"));
+        store.insert_terms(&Term::iri("e:a"), &Term::iri("r:p"), &Term::literal("x"));
+        LocalEndpoint::new("kb", store)
+    }
+
+    #[test]
+    fn request_json_round_trips() {
+        let wire = WireRequest::Batch(vec![
+            WireRequest::Select("SELECT ?o { <e:a> <r:p> ?o }".to_owned()),
+            WireRequest::Batch(vec![WireRequest::Ask(
+                "ASK { <e:a> <r:p> <e:b> }".to_owned(),
+            )]),
+            WireRequest::Count("SELECT (COUNT(*) AS ?n) { ?s <r:p> ?o }".to_owned()),
+        ]);
+        let json = wire.to_json();
+        assert_eq!(WireRequest::from_json(&json).unwrap(), wire);
+        assert_eq!(wire.leaf_count(), 3);
+    }
+
+    #[test]
+    fn prepared_requests_lower_to_rendered_sparql() {
+        let prepared =
+            Prepared::new("SELECT ?o WHERE { ?s <r:p> ?o } ORDER BY ?o", &["s"]).unwrap();
+        let args = [Term::iri("e:a")];
+        let req = Request::PreparedSelect {
+            prepared: &prepared,
+            args: &args,
+        };
+        let wire = WireRequest::from_request(&req).unwrap();
+        let WireRequest::Select(q) = &wire else {
+            panic!("prepared select lowers to select, got {wire:?}");
+        };
+        assert!(q.contains("<e:a>"), "args are bound into the text: {q}");
+    }
+
+    #[test]
+    fn execute_wire_reshapes_counts_and_matches_local() {
+        let ep = endpoint();
+        let prepared = Prepared::new("SELECT ?s ?o WHERE { ?s ?r ?o }", &["r"]).unwrap();
+        let args = [Term::iri("r:p")];
+        let local = ep
+            .execute(Request::Count {
+                prepared: &prepared,
+                args: &args,
+            })
+            .unwrap();
+        let wire = WireRequest::from_request(&Request::Count {
+            prepared: &prepared,
+            args: &args,
+        })
+        .unwrap();
+        let remote_shaped = execute_wire(&ep, &wire).unwrap();
+        assert_eq!(remote_shaped, local);
+        assert_eq!(remote_shaped, Response::Count(2));
+    }
+
+    #[test]
+    fn envelope_round_trips_both_arms() {
+        let ep = endpoint();
+        let rows = ep
+            .select("SELECT ?o { <e:a> <r:p> ?o } ORDER BY ?o")
+            .unwrap();
+        for result in [
+            Ok(Response::Rows(rows)),
+            Ok(Response::Batch(vec![
+                Response::Boolean(false),
+                Response::Count(7),
+            ])),
+            Err(EndpointError::Sparql(SparqlError::lex(3, "bad char"))),
+            Err(EndpointError::QuotaExceeded {
+                endpoint: "kb".to_owned(),
+                max_queries: 9,
+            }),
+            Err(EndpointError::Other("boom".to_owned())),
+        ] {
+            let json = envelope_to_json(&result);
+            let text = json.to_text();
+            let back = envelope_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, result);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Loopback federation end-to-end: a real `HttpServer` on `127.0.0.1:0`
+//! serving a target store, a `RemoteEndpoint` dialing it, and the full
+//! alignment pipeline running source-local / target-remote. The remote
+//! run must be *bit-identical* to the all-local run, the server-side
+//! scheduler must observe the traffic, and its quota machinery must
+//! reject over-budget clients with a typed error.
+
+use sofya_core::{Aligner, AlignerConfig};
+use sofya_endpoint::{EndpointExt, InstrumentedEndpoint, LocalEndpoint};
+use sofya_net::{HttpServer, Json, RemoteConfig, RemoteEndpoint, ServerConfig};
+use sofya_rdf::{Term, TripleStore};
+use sofya_service::SchedulerConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SA: &str = "http://www.w3.org/2002/07/owl#sameAs";
+
+fn link(a: &mut TripleStore, b: &mut TripleStore, ea: &str, eb: &str) {
+    a.insert_terms(&Term::iri(ea), &Term::iri(SA), &Term::iri(eb));
+    b.insert_terms(&Term::iri(eb), &Term::iri(SA), &Term::iri(ea));
+}
+
+/// The paper's movie example, sized up: every movie has one director
+/// (the true rule `d:hasDirector ⇒ y:directedBy`), directors produce
+/// 2/3 of the time, and a dedicated producer directs nothing (the
+/// overlap trap the UBS strategy prunes).
+fn movie_stores() -> (TripleStore, TripleStore) {
+    let mut yago = TripleStore::new();
+    let mut dbp = TripleStore::new();
+    for i in 0..12 {
+        let (my, md) = (format!("y:m{i}"), format!("d:M{i}"));
+        let (dir_y, dir_d) = (format!("y:dir{i}"), format!("d:Dir{i}"));
+        let (pr_y, pr_d) = (format!("y:pr{i}"), format!("d:Pr{i}"));
+        link(&mut yago, &mut dbp, &my, &md);
+        link(&mut yago, &mut dbp, &dir_y, &dir_d);
+        link(&mut yago, &mut dbp, &pr_y, &pr_d);
+        yago.insert_terms(
+            &Term::iri(&my),
+            &Term::iri("y:directedBy"),
+            &Term::iri(&dir_y),
+        );
+        dbp.insert_terms(
+            &Term::iri(&md),
+            &Term::iri("d:hasDirector"),
+            &Term::iri(&dir_d),
+        );
+        if i % 3 != 0 {
+            dbp.insert_terms(
+                &Term::iri(&md),
+                &Term::iri("d:hasProducer"),
+                &Term::iri(&dir_d),
+            );
+        }
+        dbp.insert_terms(
+            &Term::iri(&md),
+            &Term::iri("d:hasProducer"),
+            &Term::iri(&pr_d),
+        );
+    }
+    (dbp, yago)
+}
+
+fn start_server(store: TripleStore, config: ServerConfig) -> HttpServer {
+    HttpServer::start(
+        Arc::new(LocalEndpoint::new("yago", store)),
+        config,
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback")
+}
+
+#[test]
+fn federated_alignment_is_bit_identical_to_local() {
+    let (dbp_store, yago_store) = movie_stores();
+    let source = LocalEndpoint::new("dbp", dbp_store);
+
+    // All-local reference run (UBS exercises ask/select/count shapes).
+    let config = AlignerConfig::paper_defaults(5);
+    let local_target = LocalEndpoint::new("yago", yago_store.clone());
+    let local_rules = Aligner::new(&source, &local_target, config.clone())
+        .align_relation("y:directedBy")
+        .expect("local alignment");
+    assert!(!local_rules.is_empty(), "scenario must produce rules");
+
+    // Same target behind a real TCP server; source stays local.
+    let server = start_server(yago_store, ServerConfig::default());
+    let remote = RemoteEndpoint::new("yago", server.addr());
+    let remote_rules = Aligner::new(&source, &remote, config)
+        .align_relation("y:directedBy")
+        .expect("federated alignment");
+
+    // Bit-identical: same rules, same confidences (f64 equality), same
+    // order — the wire must not perturb a single classification.
+    assert_eq!(local_rules, remote_rules);
+
+    // The traffic went through the server-side scheduler.
+    let metrics = server.metrics();
+    assert!(metrics.completed > 0, "{metrics:?}");
+    assert_eq!(metrics.panicked, 0, "{metrics:?}");
+    assert_eq!(metrics.rejected_quota, 0, "{metrics:?}");
+    server.shutdown();
+}
+
+/// Evidence probes batch into one wire request per relation: the number
+/// of HTTP round trips the server completes stays an order of magnitude
+/// below the leaf-query count a per-subject client would have issued.
+#[test]
+fn federated_alignment_batches_probes_over_the_wire() {
+    let (dbp_store, yago_store) = movie_stores();
+    let source = LocalEndpoint::new("dbp", dbp_store);
+    let server = start_server(yago_store, ServerConfig::default());
+    // Client-side instrumentation counts leaf queries; the server's
+    // `completed` counts scheduler jobs = HTTP round trips.
+    let remote =
+        InstrumentedEndpoint::new(Arc::new(RemoteEndpoint::new("yago", server.addr()))
+            as Arc<dyn sofya_endpoint::Endpoint>);
+    let rules = Aligner::new(&source, &remote, AlignerConfig::paper_defaults(5))
+        .align_relation("y:directedBy")
+        .expect("federated alignment");
+    assert!(!rules.is_empty());
+
+    let leaves = remote.counters().total_queries();
+    let round_trips = server.metrics().completed;
+    assert!(remote.counters().batches() > 0, "probes must batch");
+    assert!(
+        round_trips < leaves,
+        "batching must compress round trips: {round_trips} trips for {leaves} leaves"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn server_quota_rejection_surfaces_as_typed_error() {
+    let mut store = TripleStore::new();
+    store.insert_terms(&Term::iri("e:s"), &Term::iri("e:p"), &Term::iri("e:o"));
+    let server = start_server(
+        store,
+        ServerConfig {
+            scheduler: SchedulerConfig {
+                default_client_quota: Some(2),
+                ..SchedulerConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let remote = RemoteEndpoint::with_config(
+        "kb",
+        server.addr(),
+        RemoteConfig {
+            client_id: "alice".to_owned(),
+            ..RemoteConfig::default()
+        },
+    );
+    assert!(remote.ask("ASK { <e:s> <e:p> <e:o> }").unwrap());
+    assert!(remote.ask("ASK { <e:s> <e:p> <e:o> }").unwrap());
+    match remote.ask("ASK { <e:s> <e:p> <e:o> }") {
+        Err(sofya_endpoint::EndpointError::QuotaExceeded {
+            endpoint,
+            max_queries,
+        }) => {
+            assert_eq!(endpoint, "alice");
+            assert_eq!(max_queries, 2);
+        }
+        other => panic!("expected quota error, got {other:?}"),
+    }
+    assert!(server.metrics().rejected_quota >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn remote_errors_decode_to_the_local_error_types() {
+    let mut store = TripleStore::new();
+    store.insert_terms(&Term::iri("e:s"), &Term::iri("e:p"), &Term::iri("e:o"));
+    let server = start_server(store, ServerConfig::default());
+    let remote = RemoteEndpoint::new("kb", server.addr());
+    // A malformed query fails server-side in the SPARQL layer and must
+    // come back as the same typed SparqlError a local endpoint returns.
+    match remote.select("THIS IS NOT SPARQL") {
+        Err(sofya_endpoint::EndpointError::Sparql(_)) => {}
+        other => panic!("expected a SPARQL error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn metrics_route_serves_the_scheduler_report() {
+    let mut store = TripleStore::new();
+    store.insert_terms(&Term::iri("e:s"), &Term::iri("e:p"), &Term::iri("e:o"));
+    let server = start_server(store, ServerConfig::default());
+    let remote = RemoteEndpoint::new("kb", server.addr());
+    assert!(remote.ask("ASK { <e:s> <e:p> <e:o> }").unwrap());
+    let report = Json::parse(remote.fetch_metrics().unwrap().trim_end()).unwrap();
+    assert_eq!(report.get("completed").and_then(Json::as_uint), Some(1));
+    assert_eq!(report.get("panicked").and_then(Json::as_uint), Some(0));
+    assert!(report
+        .get("latency_p99_ns")
+        .and_then(Json::as_uint)
+        .is_some());
+    server.shutdown();
+}
+
+/// Connection reuse: one client issuing many sequential requests keeps
+/// working across the whole run (single keep-alive connection), and a
+/// server restart between requests is healed by the one reconnect retry.
+#[test]
+fn connection_reuse_and_reconnect() {
+    let mut store = TripleStore::new();
+    store.insert_terms(&Term::iri("e:s"), &Term::iri("e:p"), &Term::iri("e:o"));
+    let server = start_server(store.clone(), ServerConfig::default());
+    let addr = server.addr();
+    let remote = RemoteEndpoint::with_config(
+        "kb",
+        addr,
+        RemoteConfig {
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(5),
+            ..RemoteConfig::default()
+        },
+    );
+    for _ in 0..10 {
+        assert!(remote.ask("ASK { <e:s> <e:p> <e:o> }").unwrap());
+    }
+    assert_eq!(server.metrics().completed, 10);
+    server.shutdown();
+
+    // Restart on the same port: the pooled connection is now dead, and
+    // the next request must transparently reconnect.
+    let server = HttpServer::start(
+        Arc::new(LocalEndpoint::new("yago", store)),
+        ServerConfig::default(),
+        &addr.to_string(),
+    )
+    .expect("rebind same port");
+    assert!(remote.ask("ASK { <e:s> <e:p> <e:o> }").unwrap());
+    server.shutdown();
+}

@@ -12,6 +12,7 @@ pub use sofya_core as align;
 pub use sofya_endpoint as endpoint;
 pub use sofya_eval as eval;
 pub use sofya_kbgen as kbgen;
+pub use sofya_net as net;
 pub use sofya_rdf as rdf;
 pub use sofya_service as service;
 pub use sofya_sparql as sparql;
