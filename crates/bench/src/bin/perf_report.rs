@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use sofya_core::{Aligner, AlignerConfig, AlignmentSession};
+use sofya_durability::{DurabilityConfig, DurableLog, StdIo, StorageIo};
 use sofya_endpoint::{Endpoint, LocalEndpoint, Request, SnapshotStore};
 use sofya_kbgen::{generate, GeneratedPair, PairConfig, StructureCounts};
 use sofya_net::{HttpServer, RemoteEndpoint, ServerConfig};
@@ -374,6 +375,62 @@ fn net_cases(suite: &mut Suite, pair: &GeneratedPair) {
 /// End-to-end alignment session: a fresh [`AlignmentSession`] aligns a
 /// handful of relations, then re-reads each through the session cache —
 /// the paper's query-time contract (first query pays, later ones reuse).
+/// Durability overhead and recovery speed on real files: one group
+/// commit journaling the whole KB through the WAL, and a cold
+/// `recover()` (segment load + WAL replay + fingerprint check) of the
+/// same directory.
+fn durability_cases(suite: &mut Suite, tag: &str, small: bool, pair: &GeneratedPair) {
+    let dict = pair.kb2.dict();
+    let triples: Vec<(Term, Term, Term)> = pair
+        .kb2
+        .iter()
+        .map(|t| {
+            (
+                dict.resolve(t.s).clone(),
+                dict.resolve(t.p).clone(),
+                dict.resolve(t.o).clone(),
+            )
+        })
+        .collect();
+    let base = std::env::temp_dir().join(format!("sofya-perf-durability-{}", std::process::id()));
+
+    let publish_dir = base.join(format!("publish-{tag}"));
+    suite.run(&format!("durability/publish_wal_{tag}"), small, || {
+        let _ = std::fs::remove_dir_all(&publish_dir);
+        let io: Arc<dyn StorageIo> = Arc::new(StdIo::open(&publish_dir).expect("temp dir"));
+        let mut store = TripleStore::new();
+        let snapshot = store.snapshot();
+        let mut log =
+            DurableLog::create(io, DurabilityConfig::default(), &snapshot).expect("create log");
+        let loaded = store.load_batch_terms(triples.iter().map(|(s, p, o)| (s, p, o)));
+        log.record_batch(&triples);
+        let receipt = log.commit(&store.snapshot()).expect("group commit");
+        loaded as u64 + receipt.epoch
+    });
+
+    // Persist once, outside the timed loop; every iteration recovers the
+    // same directory cold (whole-KB WAL replay — epoch 1 is below the
+    // checkpoint cadence, so nothing is pre-materialised in segments).
+    let recover_dir = base.join(format!("recover-{tag}"));
+    let _ = std::fs::remove_dir_all(&recover_dir);
+    {
+        let io: Arc<dyn StorageIo> = Arc::new(StdIo::open(&recover_dir).expect("temp dir"));
+        let mut store = TripleStore::new();
+        let snapshot = store.snapshot();
+        let mut log =
+            DurableLog::create(io, DurabilityConfig::default(), &snapshot).expect("create log");
+        store.load_batch_terms(triples.iter().map(|(s, p, o)| (s, p, o)));
+        log.record_batch(&triples);
+        log.commit(&store.snapshot()).expect("group commit");
+    }
+    suite.run(&format!("durability/recover_{tag}"), small, || {
+        let io: Arc<dyn StorageIo> = Arc::new(StdIo::open(&recover_dir).expect("temp dir"));
+        let (log, store) = DurableLog::recover(io, DurabilityConfig::default()).expect("recover");
+        store.len() as u64 + log.epoch()
+    });
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 fn session_case(suite: &mut Suite, pair: &GeneratedPair) {
     let source = LocalEndpoint::new("kb2", pair.kb2.clone());
     let target = LocalEndpoint::new("kb1", pair.kb1.clone());
@@ -551,10 +608,12 @@ fn main() {
     session_case(&mut suite, &small_pair);
     endpoint_cases(&mut suite, &small_pair);
     net_cases(&mut suite, &small_pair);
+    durability_cases(&mut suite, "small", true, &small_pair);
     if let Some(big) = &big_pair {
         store_cases(&mut suite, "100k", false, big);
         sparql_cases(&mut suite, "100k", false, big);
         alignment_cases(&mut suite, "100k", false, big);
+        durability_cases(&mut suite, "100k", false, big);
     }
     // Last: the service workload churns allocations across threads, so it
     // runs after the latency-sensitive micro-cases to keep them
@@ -606,10 +665,13 @@ fn main() {
                 // from a different machine class entirely), so the
                 // service cases get a wider budget than the
                 // single-threaded micro-cases. The loopback network cases
-                // add kernel TCP scheduling on top, same budget.
+                // add kernel TCP scheduling on top, same budget; the
+                // durability cases are bound by real fsync latency, which
+                // swings even wider across storage classes.
                 let budget = if name.starts_with("service/")
                     || name.starts_with("net/")
                     || name.starts_with("align/remote_")
+                    || name.starts_with("durability/")
                 {
                     4.0
                 } else {

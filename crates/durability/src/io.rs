@@ -1,0 +1,480 @@
+//! Injectable storage: the only path between the durability layer and
+//! the bytes that survive a crash.
+//!
+//! Everything the WAL and segment writers do goes through [`StorageIo`],
+//! a small flat-namespace file API. Three implementations:
+//!
+//! * [`StdIo`] — real files under a root directory (`std::fs`), with
+//!   `fsync` via `File::sync_all` and atomic replace via `fs::rename`
+//!   plus a directory sync.
+//! * [`MemIo`] — an in-memory filesystem that models *volatile* state:
+//!   each file tracks how many bytes have been fsynced, and
+//!   [`MemIo::crash`] drops every unsynced tail — the crash model the
+//!   recovery harness drives.
+//! * [`FaultyIo`] — wraps another impl and injects one scripted fault
+//!   (torn write, short write, silent bit flip, fsync error, or kill)
+//!   at the n-th mutating operation.
+//!
+//! Names are flat relative file names (`wal.log`, `MANIFEST`, …); no
+//! subdirectories, no path traversal.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A minimal durable-file API. All offsets are implicit: files are only
+/// ever read whole, overwritten whole, or appended to — the access
+/// pattern of a WAL plus immutable segments.
+pub trait StorageIo: Send + Sync + std::fmt::Debug {
+    /// Reads the whole file. `ErrorKind::NotFound` if absent.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+    /// Creates or truncates the file and writes `bytes`.
+    fn write(&self, name: &str, bytes: &[u8]) -> io::Result<()>;
+    /// Appends `bytes`, creating the file if absent.
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()>;
+    /// Forces the file's current content to stable storage.
+    fn fsync(&self, name: &str) -> io::Result<()>;
+    /// Atomically replaces `to` with `from` (and makes the replacement
+    /// itself durable).
+    fn rename(&self, from: &str, to: &str) -> io::Result<()>;
+    /// Removes the file. `ErrorKind::NotFound` if absent.
+    fn remove(&self, name: &str) -> io::Result<()>;
+    /// Whether the file exists.
+    fn exists(&self, name: &str) -> bool;
+}
+
+// ---------------------------------------------------------------- StdIo
+
+/// Real files under a root directory.
+#[derive(Debug)]
+pub struct StdIo {
+    root: PathBuf,
+}
+
+impl StdIo {
+    /// Opens (creating if needed) `root` as the storage directory.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl StorageIo for StdIo {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(self.path(name))
+    }
+
+    fn write(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(self.path(name), bytes)
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))?;
+        file.write_all(bytes)
+    }
+
+    fn fsync(&self, name: &str) -> io::Result<()> {
+        std::fs::File::open(self.path(name))?.sync_all()
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        std::fs::rename(self.path(from), self.path(to))?;
+        // Make the rename durable: sync the containing directory.
+        std::fs::File::open(&self.root)?.sync_all()
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        std::fs::remove_file(self.path(name))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path(name).exists()
+    }
+}
+
+// ---------------------------------------------------------------- MemIo
+
+#[derive(Debug, Default, Clone)]
+struct MemFile {
+    data: Vec<u8>,
+    /// Bytes guaranteed to survive a crash (advanced by `fsync`).
+    synced: usize,
+}
+
+/// An in-memory filesystem with an explicit crash model.
+///
+/// Writes land in `data` immediately (the page cache); only `fsync`
+/// advances the durable watermark. [`MemIo::crash`] truncates every file
+/// to its watermark — what a power cut would leave behind. Renames and
+/// removes are modelled as immediately durable (the directory sync that
+/// [`StdIo`] performs).
+#[derive(Debug, Default)]
+pub struct MemIo {
+    files: Mutex<BTreeMap<String, MemFile>>,
+}
+
+impl MemIo {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulates a power cut: every byte not yet fsynced is lost.
+    pub fn crash(&self) {
+        let mut files = self.files.lock();
+        for file in files.values_mut() {
+            file.data.truncate(file.synced);
+            // What survived is what the disk had.
+            file.synced = file.data.len();
+        }
+    }
+
+    /// File names currently present (tests/debugging).
+    pub fn file_names(&self) -> Vec<String> {
+        self.files.lock().keys().cloned().collect()
+    }
+}
+
+fn not_found(name: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::NotFound, format!("no such file: {name}"))
+}
+
+impl StorageIo for MemIo {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.files
+            .lock()
+            .get(name)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| not_found(name))
+    }
+
+    fn write(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        // An overwrite is volatile until fsynced: a crash right after
+        // loses everything, including the previous content (the
+        // truncate already happened).
+        self.files.lock().insert(
+            name.to_owned(),
+            MemFile {
+                data: bytes.to_vec(),
+                synced: 0,
+            },
+        );
+        Ok(())
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .entry(name.to_owned())
+            .or_default()
+            .data
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn fsync(&self, name: &str) -> io::Result<()> {
+        let mut files = self.files.lock();
+        let file = files.get_mut(name).ok_or_else(|| not_found(name))?;
+        file.synced = file.data.len();
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let mut files = self.files.lock();
+        let file = files.remove(from).ok_or_else(|| not_found(from))?;
+        files.insert(to.to_owned(), file);
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.files
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| not_found(name))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.files.lock().contains_key(name)
+    }
+}
+
+// -------------------------------------------------------------- FaultyIo
+
+/// The failure injected by [`FaultyIo`] when its operation counter hits
+/// the scripted fault point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A write persists only a prefix (half the bytes), then errors.
+    TornWrite,
+    /// A write persists all but the last byte, then errors.
+    ShortWrite,
+    /// A write persists fully but with one byte corrupted — and reports
+    /// success. The only *silent* fault.
+    BitFlip,
+    /// The operation fails without any effect (an fsync returning EIO,
+    /// a rename that never happened).
+    FsyncError,
+    /// The process dies at this operation: it and every later mutating
+    /// operation fail with no effect.
+    Kill,
+}
+
+impl FaultKind {
+    /// All injectable fault kinds, for exhaustive harness sweeps.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::TornWrite,
+        FaultKind::ShortWrite,
+        FaultKind::BitFlip,
+        FaultKind::FsyncError,
+        FaultKind::Kill,
+    ];
+}
+
+fn injected(kind: FaultKind) -> io::Error {
+    io::Error::other(format!("injected fault: {kind:?}"))
+}
+
+/// Wraps a [`StorageIo`] and injects one scripted fault at the `at`-th
+/// mutating operation (1-based; `write`, `append`, `fsync`, `rename`,
+/// and `remove` count, reads don't).
+///
+/// Partial effects go through the inner impl, so a [`MemIo`] underneath
+/// sees exactly the bytes a torn write would leave in the page cache.
+#[derive(Debug)]
+pub struct FaultyIo {
+    inner: Arc<dyn StorageIo>,
+    at: u64,
+    kind: FaultKind,
+    ops: AtomicU64,
+    fired: AtomicBool,
+    killed: AtomicBool,
+}
+
+impl FaultyIo {
+    /// Injects `kind` at mutating operation number `at` (1-based). Use
+    /// `at = u64::MAX` for a pure operation counter that never fires.
+    pub fn new(inner: Arc<dyn StorageIo>, at: u64, kind: FaultKind) -> Self {
+        Self {
+            inner,
+            at,
+            kind,
+            ops: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
+        }
+    }
+
+    /// Mutating operations observed so far.
+    pub fn ops_seen(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Whether the scripted fault has fired.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// `Some(kind)` when this mutating op is the fault point.
+    fn arm(&self) -> Option<FaultKind> {
+        if self.killed.load(Ordering::SeqCst) {
+            return Some(FaultKind::Kill);
+        }
+        let op = self.ops.fetch_add(1, Ordering::SeqCst) + 1;
+        if op == self.at {
+            self.fired.store(true, Ordering::SeqCst);
+            if self.kind == FaultKind::Kill {
+                self.killed.store(true, Ordering::SeqCst);
+            }
+            Some(self.kind)
+        } else {
+            None
+        }
+    }
+
+    fn faulty_bytes(&self, kind: FaultKind, bytes: &[u8]) -> Option<Vec<u8>> {
+        match kind {
+            FaultKind::TornWrite => Some(bytes[..bytes.len() / 2].to_vec()),
+            FaultKind::ShortWrite => Some(bytes[..bytes.len().saturating_sub(1)].to_vec()),
+            FaultKind::BitFlip => {
+                let mut out = bytes.to_vec();
+                if let Some(byte) = out.get_mut(bytes.len() / 3) {
+                    *byte ^= 0x40;
+                }
+                Some(out)
+            }
+            FaultKind::FsyncError | FaultKind::Kill => None,
+        }
+    }
+}
+
+impl StorageIo for FaultyIo {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.inner.read(name)
+    }
+
+    fn write(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        match self.arm() {
+            None => self.inner.write(name, bytes),
+            Some(FaultKind::BitFlip) => {
+                let corrupt = self.faulty_bytes(FaultKind::BitFlip, bytes).unwrap();
+                self.inner.write(name, &corrupt)
+            }
+            Some(kind) => {
+                if let Some(prefix) = self.faulty_bytes(kind, bytes) {
+                    let _ = self.inner.write(name, &prefix);
+                }
+                Err(injected(kind))
+            }
+        }
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        match self.arm() {
+            None => self.inner.append(name, bytes),
+            Some(FaultKind::BitFlip) => {
+                let corrupt = self.faulty_bytes(FaultKind::BitFlip, bytes).unwrap();
+                self.inner.append(name, &corrupt)
+            }
+            Some(kind) => {
+                if let Some(prefix) = self.faulty_bytes(kind, bytes) {
+                    let _ = self.inner.append(name, &prefix);
+                }
+                Err(injected(kind))
+            }
+        }
+    }
+
+    fn fsync(&self, name: &str) -> io::Result<()> {
+        match self.arm() {
+            None => self.inner.fsync(name),
+            // A bit flip has nothing to corrupt in an fsync; pass through.
+            Some(FaultKind::BitFlip) => self.inner.fsync(name),
+            Some(kind) => Err(injected(kind)),
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        match self.arm() {
+            None | Some(FaultKind::BitFlip) => self.inner.rename(from, to),
+            Some(kind) => Err(injected(kind)),
+        }
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        match self.arm() {
+            None | Some(FaultKind::BitFlip) => self.inner.remove(name),
+            Some(kind) => Err(injected(kind)),
+        }
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.inner.exists(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memio_drops_unsynced_bytes_on_crash() {
+        let io = MemIo::new();
+        io.append("wal", b"durable").unwrap();
+        io.fsync("wal").unwrap();
+        io.append("wal", b" volatile").unwrap();
+        io.crash();
+        assert_eq!(io.read("wal").unwrap(), b"durable");
+    }
+
+    #[test]
+    fn memio_overwrite_is_volatile_until_fsync() {
+        let io = MemIo::new();
+        io.write("f", b"v1").unwrap();
+        io.fsync("f").unwrap();
+        io.write("f", b"v2").unwrap();
+        io.crash();
+        // The truncate-and-rewrite was never synced: nothing survives.
+        assert_eq!(io.read("f").unwrap(), b"");
+    }
+
+    #[test]
+    fn memio_rename_replaces_atomically() {
+        let io = MemIo::new();
+        io.write("a", b"new").unwrap();
+        io.fsync("a").unwrap();
+        io.write("b", b"old").unwrap();
+        io.fsync("b").unwrap();
+        io.rename("a", "b").unwrap();
+        io.crash();
+        assert!(!io.exists("a"));
+        assert_eq!(io.read("b").unwrap(), b"new");
+    }
+
+    #[test]
+    fn faulty_torn_write_leaves_a_prefix_and_errors() {
+        let mem = Arc::new(MemIo::new());
+        let io = FaultyIo::new(
+            Arc::clone(&mem) as Arc<dyn StorageIo>,
+            1,
+            FaultKind::TornWrite,
+        );
+        assert!(io.append("wal", b"0123456789").is_err());
+        assert!(io.fired());
+        assert_eq!(mem.read("wal").unwrap(), b"01234");
+    }
+
+    #[test]
+    fn faulty_bit_flip_is_silent() {
+        let mem = Arc::new(MemIo::new());
+        let io = FaultyIo::new(
+            Arc::clone(&mem) as Arc<dyn StorageIo>,
+            1,
+            FaultKind::BitFlip,
+        );
+        io.append("wal", b"0123456789").unwrap();
+        let stored = mem.read("wal").unwrap();
+        assert_ne!(stored, b"0123456789");
+        assert_eq!(stored.len(), 10);
+    }
+
+    #[test]
+    fn faulty_kill_fails_everything_after() {
+        let mem = Arc::new(MemIo::new());
+        let io = FaultyIo::new(Arc::clone(&mem) as Arc<dyn StorageIo>, 2, FaultKind::Kill);
+        io.append("wal", b"a").unwrap();
+        assert!(io.fsync("wal").is_err());
+        assert!(io.append("wal", b"b").is_err());
+        assert!(io.write("other", b"c").is_err());
+        assert_eq!(mem.read("wal").unwrap(), b"a");
+    }
+
+    #[test]
+    fn stdio_round_trips_through_real_files() {
+        let dir = std::env::temp_dir().join(format!("sofya-stdio-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let io = StdIo::open(&dir).unwrap();
+        io.write("seg", b"abc").unwrap();
+        io.append("seg", b"def").unwrap();
+        io.fsync("seg").unwrap();
+        assert_eq!(io.read("seg").unwrap(), b"abcdef");
+        io.write("m.tmp", b"manifest").unwrap();
+        io.rename("m.tmp", "m").unwrap();
+        assert!(!io.exists("m.tmp"));
+        assert_eq!(io.read("m").unwrap(), b"manifest");
+        io.remove("m").unwrap();
+        assert!(!io.exists("m"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,261 @@
+//! Checksummed segment files and the manifest.
+//!
+//! Every durable file except the WAL uses one self-validating frame:
+//!
+//! ```text
+//! magic: 8 bytes  "SOFYASEG"
+//! kind:  u8       1 = dict delta, 2 = triple runs, 3 = manifest
+//! len:   u64 LE   payload length
+//! crc:   u32 LE   CRC-32 of the payload
+//! payload
+//! ```
+//!
+//! Payloads reuse the `sofya_rdf::segment` codecs. The manifest lists
+//! the durable epoch, its snapshot fingerprint, the dictionary delta
+//! segments (append-only term ranges), and the single runs segment
+//! holding the flushed SPO index of the checkpointed snapshot. It is
+//! written to `MANIFEST.tmp`, fsynced, then atomically renamed over
+//! `MANIFEST` — the rename is the checkpoint's commit point.
+
+use crate::crc::crc32;
+use crate::error::DurabilityError;
+use crate::io::StorageIo;
+use sofya_rdf::segment::ByteReader;
+
+const MAGIC: &[u8; 8] = b"SOFYASEG";
+
+/// The WAL file name.
+pub const WAL_FILE: &str = "wal.log";
+/// The manifest file name (the durable root).
+pub const MANIFEST_FILE: &str = "MANIFEST";
+/// Scratch name the manifest is staged under before its atomic rename.
+pub const MANIFEST_TMP_FILE: &str = "MANIFEST.tmp";
+
+/// Segment frame kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// A dictionary delta: a contiguous range of terms in id order.
+    Dict,
+    /// The flushed SPO index of a checkpointed snapshot.
+    Runs,
+    /// The manifest.
+    Manifest,
+}
+
+impl SegmentKind {
+    fn tag(self) -> u8 {
+        match self {
+            SegmentKind::Dict => 1,
+            SegmentKind::Runs => 2,
+            SegmentKind::Manifest => 3,
+        }
+    }
+}
+
+/// Writes `payload` under `name` as a framed segment and fsyncs it.
+pub fn write_segment(
+    io: &dyn StorageIo,
+    name: &str,
+    kind: SegmentKind,
+    payload: &[u8],
+) -> Result<(), DurabilityError> {
+    let mut framed = Vec::with_capacity(21 + payload.len());
+    framed.extend_from_slice(MAGIC);
+    framed.push(kind.tag());
+    framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    framed.extend_from_slice(&crc32(payload).to_le_bytes());
+    framed.extend_from_slice(payload);
+    io.write(name, &framed)?;
+    io.fsync(name)?;
+    Ok(())
+}
+
+/// Reads and validates the segment `name`, returning its payload.
+pub fn read_segment(
+    io: &dyn StorageIo,
+    name: &str,
+    kind: SegmentKind,
+) -> Result<Vec<u8>, DurabilityError> {
+    let bytes = io.read(name)?;
+    let corrupt = |what: &str| DurabilityError::Corrupt(format!("segment {name}: {what}"));
+    if bytes.len() < 21 {
+        return Err(corrupt("truncated header"));
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    if bytes[8] != kind.tag() {
+        return Err(corrupt("wrong segment kind"));
+    }
+    let len = u64::from_le_bytes(bytes[9..17].try_into().unwrap());
+    if len != (bytes.len() - 21) as u64 {
+        return Err(corrupt("length mismatch"));
+    }
+    let crc = u32::from_le_bytes(bytes[17..21].try_into().unwrap());
+    let payload = &bytes[21..];
+    if crc32(payload) != crc {
+        return Err(corrupt("checksum mismatch"));
+    }
+    Ok(payload.to_vec())
+}
+
+/// One dictionary delta segment: terms `[start, start + count)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictSegment {
+    /// File name (`dict-<start>.seg`).
+    pub name: String,
+    /// First term id covered.
+    pub start: u32,
+    /// Number of terms.
+    pub count: u32,
+}
+
+/// The decoded manifest: everything recovery needs to rebuild the
+/// checkpointed snapshot before replaying the WAL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The durable epoch this checkpoint captured.
+    pub epoch: u64,
+    /// `StoreSnapshot::fingerprint()` of the checkpointed state.
+    pub fingerprint: u64,
+    /// Total interned terms at the checkpoint.
+    pub term_count: u32,
+    /// Total triples at the checkpoint.
+    pub triple_count: u64,
+    /// The runs segment file name.
+    pub runs: String,
+    /// Dictionary delta segments in id order.
+    pub dict_segments: Vec<DictSegment>,
+}
+
+fn push_string(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+impl Manifest {
+    /// Encodes the manifest payload (framing is [`write_segment`]'s job).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.epoch.to_le_bytes());
+        buf.extend_from_slice(&self.fingerprint.to_le_bytes());
+        buf.extend_from_slice(&self.term_count.to_le_bytes());
+        buf.extend_from_slice(&self.triple_count.to_le_bytes());
+        push_string(&mut buf, &self.runs);
+        buf.extend_from_slice(&(self.dict_segments.len() as u32).to_le_bytes());
+        for seg in &self.dict_segments {
+            push_string(&mut buf, &seg.name);
+            buf.extend_from_slice(&seg.start.to_le_bytes());
+            buf.extend_from_slice(&seg.count.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Decodes a manifest payload.
+    pub fn decode(payload: &[u8]) -> Result<Manifest, DurabilityError> {
+        let mut reader = ByteReader::new(payload);
+        let mut read = || -> Result<Manifest, sofya_rdf::CodecError> {
+            let epoch = reader.u64()?;
+            let fingerprint = reader.u64()?;
+            let term_count = reader.u32()?;
+            let triple_count = reader.u64()?;
+            let runs = reader.string()?;
+            let n = reader.u32()? as usize;
+            if n > reader.remaining() {
+                return Err(sofya_rdf::CodecError("dict segment count overflow".into()));
+            }
+            let mut dict_segments = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = reader.string()?;
+                let start = reader.u32()?;
+                let count = reader.u32()?;
+                dict_segments.push(DictSegment { name, start, count });
+            }
+            Ok(Manifest {
+                epoch,
+                fingerprint,
+                term_count,
+                triple_count,
+                runs,
+                dict_segments,
+            })
+        };
+        read().map_err(|e| DurabilityError::Corrupt(format!("manifest: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::MemIo;
+
+    fn sample() -> Manifest {
+        Manifest {
+            epoch: 12,
+            fingerprint: 0xDEAD_BEEF,
+            term_count: 9,
+            triple_count: 5,
+            runs: "runs-0000000000000012.seg".into(),
+            dict_segments: vec![
+                DictSegment {
+                    name: "dict-00000000.seg".into(),
+                    start: 0,
+                    count: 6,
+                },
+                DictSegment {
+                    name: "dict-00000006.seg".into(),
+                    start: 6,
+                    count: 3,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = sample();
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn segment_file_round_trips_and_validates() {
+        let io = MemIo::new();
+        let payload = sample().encode();
+        write_segment(&io, "m", SegmentKind::Manifest, &payload).unwrap();
+        assert_eq!(
+            read_segment(&io, "m", SegmentKind::Manifest).unwrap(),
+            payload
+        );
+        // Wrong kind.
+        assert!(read_segment(&io, "m", SegmentKind::Dict).is_err());
+        // Any corrupted byte fails validation.
+        let framed = io.read("m").unwrap();
+        for i in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x01;
+            io.write("bad", &bad).unwrap();
+            assert!(
+                read_segment(&io, "bad", SegmentKind::Manifest).is_err(),
+                "flip at {i} accepted"
+            );
+        }
+        // Truncations fail validation.
+        for cut in 0..framed.len() {
+            io.write("cut", &framed[..cut]).unwrap();
+            assert!(read_segment(&io, "cut", SegmentKind::Manifest).is_err());
+        }
+    }
+
+    #[test]
+    fn manifest_decode_rejects_garbage() {
+        assert!(Manifest::decode(&[]).is_err());
+        let mut truncated = sample().encode();
+        truncated.truncate(10);
+        assert!(Manifest::decode(&truncated).is_err());
+        // A huge segment count must not allocate.
+        let mut bad = sample().encode();
+        let pos = 28 + 4 + sample().runs.len();
+        bad[pos..pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Manifest::decode(&bad).is_err());
+    }
+}

@@ -151,6 +151,18 @@ impl SnapshotStore {
         published
     }
 
+    /// Publishes a snapshot taken earlier from this store's writer half.
+    ///
+    /// This is [`SnapshotStore::publish`] split in two, for callers that
+    /// must act between snapshotting and the visibility swap — the
+    /// durable store commits its write-ahead log against the snapshot
+    /// first, so readers never observe state that a crash could lose.
+    pub fn install(&mut self, snapshot: StoreSnapshot) -> Arc<PublishedSnapshot> {
+        let published = Arc::new(PublishedSnapshot::new(snapshot));
+        self.cell.swap(Arc::clone(&published));
+        published
+    }
+
     /// The currently published state.
     pub fn current(&self) -> Arc<PublishedSnapshot> {
         self.cell.load()

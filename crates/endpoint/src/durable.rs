@@ -1,0 +1,292 @@
+//! Crash-safe writer: a [`SnapshotStore`] paired with a
+//! [`sofya_durability::DurableLog`].
+//!
+//! [`DurableStore`] is the single mutation path for a store that must
+//! survive crashes. Every insert/remove/bulk-load goes through it so the
+//! matching WAL record is journaled, and [`DurableStore::publish`]
+//! orders the two halves of visibility correctly: the snapshot is taken,
+//! the write-ahead log **commits (fsyncs) first**, and only then is the
+//! snapshot swapped into the readers' cell. Readers therefore never
+//! observe state that a crash could take back.
+//!
+//! The [`DurabilityGauge`] is the cheap observable surface: the service
+//! metrics prober reads the durable epoch and drains WAL fsync latency
+//! samples from it without touching the writer.
+
+use crate::concurrent::{ConcurrentEndpoint, PublishedSnapshot, SnapshotStore};
+use parking_lot::Mutex;
+use sofya_durability::{CommitReceipt, DurabilityConfig, DurabilityError, DurableLog, StorageIo};
+use sofya_rdf::{Term, TripleStore};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Bounds the un-drained fsync sample buffer when no prober is attached.
+const MAX_PENDING_FSYNC_SAMPLES: usize = 4096;
+
+/// Shared durability observables: the highest fsynced epoch and recent
+/// WAL fsync latencies, drained by the metrics prober.
+#[derive(Debug, Default)]
+pub struct DurabilityGauge {
+    epoch: AtomicU64,
+    fsync_ns: Mutex<Vec<u64>>,
+}
+
+impl DurabilityGauge {
+    /// A fresh gauge at epoch 0 with no samples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The highest epoch whose commit has been fsynced — everything up
+    /// to here survives a crash.
+    pub fn durable_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Records a successful commit.
+    pub fn on_commit(&self, receipt: &CommitReceipt) {
+        self.epoch.store(receipt.epoch, Ordering::Release);
+        let mut samples = self.fsync_ns.lock();
+        if samples.len() < MAX_PENDING_FSYNC_SAMPLES {
+            samples.push(receipt.fsync_latency.as_nanos() as u64);
+        }
+    }
+
+    /// Sets the durable epoch directly (used after recovery, where there
+    /// is no commit receipt).
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
+    /// Takes all fsync latency samples accumulated since the last drain.
+    pub fn drain_fsync_ns(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.fsync_ns.lock())
+    }
+}
+
+/// A [`SnapshotStore`] whose mutations are journaled to a write-ahead
+/// log and whose publishes are durable before they are visible.
+#[derive(Debug)]
+pub struct DurableStore {
+    store: SnapshotStore,
+    log: DurableLog,
+    gauge: Arc<DurabilityGauge>,
+}
+
+impl DurableStore {
+    /// Initialises an empty durable store in a fresh directory.
+    ///
+    /// Fails if the directory already holds durable state — use
+    /// [`DurableStore::recover`] for that.
+    pub fn create(
+        io: Arc<dyn StorageIo>,
+        config: DurabilityConfig,
+    ) -> Result<Self, DurabilityError> {
+        let mut store = TripleStore::new();
+        let snapshot = store.snapshot();
+        let log = DurableLog::create(io, config, &snapshot)?;
+        let gauge = Arc::new(DurabilityGauge::new());
+        gauge.set_epoch(log.epoch());
+        Ok(Self {
+            store: SnapshotStore::new(store),
+            log,
+            gauge,
+        })
+    }
+
+    /// Rebuilds the store from the manifest, segments, and WAL in `io`,
+    /// and publishes the recovered state so readers see it immediately.
+    pub fn recover(
+        io: Arc<dyn StorageIo>,
+        config: DurabilityConfig,
+    ) -> Result<Self, DurabilityError> {
+        let (log, store) = DurableLog::recover(io, config)?;
+        let gauge = Arc::new(DurabilityGauge::new());
+        gauge.set_epoch(log.epoch());
+        Ok(Self {
+            store: SnapshotStore::new(store),
+            log,
+            gauge,
+        })
+    }
+
+    /// Inserts one triple; returns whether it was new. New triples are
+    /// journaled (durable at the next [`DurableStore::publish`]).
+    pub fn insert(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        let fresh = self.store.store_mut().insert_terms(s, p, o);
+        if fresh {
+            self.log.record_insert(s, p, o);
+        }
+        fresh
+    }
+
+    /// Removes one triple by its terms; returns whether it was present.
+    pub fn remove(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        let store = self.store.store_mut();
+        let (Some(si), Some(pi), Some(oi)) = (
+            store.dict().lookup(s),
+            store.dict().lookup(p),
+            store.dict().lookup(o),
+        ) else {
+            return false;
+        };
+        let removed = store.remove(si, pi, oi);
+        if removed {
+            self.log.record_remove(s, p, o);
+        }
+        removed
+    }
+
+    /// Bulk-loads triples; returns how many were new. The batch is
+    /// journaled verbatim (pre-dedup) so replay re-interns terms in the
+    /// same order and recovered term ids match exactly.
+    pub fn load_batch(&mut self, triples: &[(Term, Term, Term)]) -> usize {
+        let loaded = self
+            .store
+            .store_mut()
+            .load_batch_terms(triples.iter().map(|(s, p, o)| (s, p, o)));
+        if loaded > 0 {
+            self.log.record_batch(triples);
+        }
+        loaded
+    }
+
+    /// Durably publishes the writer's state: snapshot, WAL group commit
+    /// (the fsync is the ack), then the visibility swap. On a commit
+    /// error nothing is swapped — readers keep the previous epoch and
+    /// the log is poisoned until [`DurableStore::recover`].
+    pub fn publish(&mut self) -> Result<CommitReceipt, DurabilityError> {
+        let snapshot = self.store.store_mut().snapshot();
+        let receipt = self.log.commit(&snapshot)?;
+        self.store.install(snapshot);
+        self.gauge.on_commit(&receipt);
+        Ok(receipt)
+    }
+
+    /// The epoch of the last durable publish.
+    pub fn epoch(&self) -> u64 {
+        self.log.epoch()
+    }
+
+    /// The shared gauge for metrics probing.
+    pub fn gauge(&self) -> Arc<DurabilityGauge> {
+        Arc::clone(&self.gauge)
+    }
+
+    /// Read access to the writer's working state.
+    pub fn store(&self) -> &TripleStore {
+        self.store.store()
+    }
+
+    /// The currently published (and durable) state.
+    pub fn current(&self) -> Arc<PublishedSnapshot> {
+        self.store.current()
+    }
+
+    /// A concurrent reader over the published state; see
+    /// [`SnapshotStore::reader`].
+    pub fn reader(&self, name: impl Into<String>) -> ConcurrentEndpoint {
+        self.store.reader(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::EndpointExt;
+    use sofya_durability::MemIo;
+
+    fn t(i: usize) -> (Term, Term, Term) {
+        (
+            Term::iri(format!("e:s{i}")),
+            Term::iri("e:p"),
+            Term::integer(i as i64),
+        )
+    }
+
+    #[test]
+    fn publish_makes_state_durable_and_visible() {
+        let mem = Arc::new(MemIo::new());
+        let io: Arc<dyn StorageIo> = Arc::clone(&mem) as Arc<dyn StorageIo>;
+        let mut durable = DurableStore::create(io, DurabilityConfig::default()).unwrap();
+        let reader = durable.reader("r");
+        for i in 0..5 {
+            let (s, p, o) = t(i);
+            assert!(durable.insert(&s, &p, &o));
+        }
+        // Not yet published: readers still see the empty store.
+        assert_eq!(reader.current().snapshot().len(), 0);
+        let receipt = durable.publish().unwrap();
+        assert_eq!(receipt.epoch, 1);
+        assert_eq!(durable.gauge().durable_epoch(), 1);
+        assert_eq!(reader.current().snapshot().len(), 5);
+        let want = durable.current().snapshot().fingerprint();
+
+        // Crash to the fsync watermark and recover: same state, and
+        // readers of the recovered store see it immediately.
+        mem.crash();
+        let io2: Arc<dyn StorageIo> = Arc::clone(&mem) as Arc<dyn StorageIo>;
+        let recovered = DurableStore::recover(io2, DurabilityConfig::default()).unwrap();
+        assert_eq!(recovered.epoch(), 1);
+        assert_eq!(recovered.gauge().durable_epoch(), 1);
+        assert_eq!(recovered.current().snapshot().fingerprint(), want);
+        let r2 = recovered.reader("r2");
+        assert!(r2
+            .ask("ASK { <e:s0> <e:p> 0 }")
+            .expect("recovered reader answers"));
+    }
+
+    #[test]
+    fn mixed_mutations_round_trip_through_recovery() {
+        let mem = Arc::new(MemIo::new());
+        let io: Arc<dyn StorageIo> = Arc::clone(&mem) as Arc<dyn StorageIo>;
+        let mut durable = DurableStore::create(
+            io,
+            DurabilityConfig {
+                checkpoint_every: 2,
+            },
+        )
+        .unwrap();
+        let batch: Vec<_> = (0..20).map(t).collect();
+        assert_eq!(durable.load_batch(&batch), 20);
+        durable.publish().unwrap();
+        let (s, p, o) = t(3);
+        assert!(durable.remove(&s, &p, &o));
+        assert!(!durable.remove(&s, &p, &o), "second remove is a no-op");
+        durable.publish().unwrap(); // epoch 2: checkpoint
+        assert!(durable.insert(&Term::iri("e:x"), &p, &o));
+        durable.publish().unwrap();
+        let want = durable.current().snapshot().fingerprint();
+
+        mem.crash();
+        let io2: Arc<dyn StorageIo> = Arc::clone(&mem) as Arc<dyn StorageIo>;
+        let recovered = DurableStore::recover(
+            io2,
+            DurabilityConfig {
+                checkpoint_every: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(recovered.epoch(), 3);
+        assert_eq!(recovered.current().snapshot().fingerprint(), want);
+        assert_eq!(recovered.store().len(), 20);
+    }
+
+    #[test]
+    fn gauge_collects_fsync_samples() {
+        let io: Arc<dyn StorageIo> = Arc::new(MemIo::new());
+        let mut durable = DurableStore::create(io, DurabilityConfig::default()).unwrap();
+        let gauge = durable.gauge();
+        for i in 0..3 {
+            let (s, p, o) = t(i);
+            durable.insert(&s, &p, &o);
+            durable.publish().unwrap();
+        }
+        assert_eq!(gauge.drain_fsync_ns().len(), 3);
+        assert!(
+            gauge.drain_fsync_ns().is_empty(),
+            "drain empties the buffer"
+        );
+        assert_eq!(gauge.durable_epoch(), 3);
+    }
+}

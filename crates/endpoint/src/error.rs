@@ -2,6 +2,7 @@
 
 use sofya_sparql::SparqlError;
 use std::fmt;
+use std::time::Duration;
 
 /// Errors surfaced by endpoint implementations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,6 +16,18 @@ pub enum EndpointError {
         endpoint: String,
         /// The configured maximum number of queries.
         max_queries: u64,
+        /// Server hint: when the budget refills. `None` means the quota
+        /// is permanent — retrying can never succeed.
+        retry_after: Option<Duration>,
+    },
+    /// The endpoint is temporarily refusing work (overloaded or shutting
+    /// down) — the HTTP 503 class. Transient by definition; `retry_after`
+    /// carries the server's `Retry-After` hint when it sent one.
+    Unavailable {
+        /// Human-readable reason.
+        message: String,
+        /// Server hint for when to try again.
+        retry_after: Option<Duration>,
     },
     /// Any other failure (kept as text; a remote endpoint would return
     /// HTTP-level errors here).
@@ -28,11 +41,26 @@ impl fmt::Display for EndpointError {
             EndpointError::QuotaExceeded {
                 endpoint,
                 max_queries,
+                retry_after,
             } => {
                 write!(
                     f,
                     "endpoint '{endpoint}': query quota of {max_queries} exhausted"
-                )
+                )?;
+                if let Some(after) = retry_after {
+                    write!(f, " (retry after {:?})", after)?;
+                }
+                Ok(())
+            }
+            EndpointError::Unavailable {
+                message,
+                retry_after,
+            } => {
+                write!(f, "endpoint unavailable: {message}")?;
+                if let Some(after) = retry_after {
+                    write!(f, " (retry after {:?})", after)?;
+                }
+                Ok(())
             }
             EndpointError::Other(msg) => write!(f, "endpoint error: {msg}"),
         }
@@ -63,9 +91,22 @@ mod tests {
         let quota = EndpointError::QuotaExceeded {
             endpoint: "dbpedia".into(),
             max_queries: 100,
+            retry_after: None,
         };
         assert!(quota.to_string().contains("dbpedia"));
         assert!(quota.to_string().contains("100"));
+        let hinted = EndpointError::QuotaExceeded {
+            endpoint: "dbpedia".into(),
+            max_queries: 100,
+            retry_after: Some(Duration::from_secs(7)),
+        };
+        assert!(hinted.to_string().contains("retry after"));
+        let unavailable = EndpointError::Unavailable {
+            message: "draining".into(),
+            retry_after: Some(Duration::from_secs(1)),
+        };
+        assert!(unavailable.to_string().contains("unavailable"));
+        assert!(unavailable.to_string().contains("retry after"));
         let other = EndpointError::Other("boom".into());
         assert!(other.to_string().contains("boom"));
         let sparql: EndpointError = SparqlError::parse("x").into();

@@ -42,6 +42,7 @@
 pub mod cache;
 pub mod clock;
 pub mod concurrent;
+pub mod durable;
 pub mod endpoint;
 pub mod error;
 pub mod helpers;
@@ -56,6 +57,7 @@ pub mod retry;
 pub use cache::CachingEndpoint;
 pub use clock::{Clock, ManualClock};
 pub use concurrent::{ConcurrentEndpoint, PinnedEndpoint, PublishedSnapshot, SnapshotStore};
+pub use durable::{DurabilityGauge, DurableStore};
 pub use endpoint::{Endpoint, EndpointExt, Request, RequestBuf, Response};
 pub use error::EndpointError;
 pub use instrument::{EndpointCounters, InstrumentedEndpoint};

@@ -91,6 +91,8 @@ impl<E: Endpoint> QuotaEndpoint<E> {
                 return Err(EndpointError::QuotaExceeded {
                     endpoint: self.inner.name().to_owned(),
                     max_queries: max,
+                    // A per-run budget never refills: no retry hint.
+                    retry_after: None,
                 });
             }
         }

@@ -96,13 +96,20 @@ impl BackoffPolicy {
 
 /// Retries transient failures up to `max_retries` additional attempts.
 ///
-/// Retried errors: [`EndpointError::Other`] (the transport-level class).
-/// SPARQL errors (the query itself is broken) and quota exhaustion are
-/// surfaced immediately.
+/// Retried errors: [`EndpointError::Other`] (the transport-level class)
+/// and [`EndpointError::Unavailable`] (the 503 class). A quota error
+/// with a `retry_after` hint is also transient — the budget refills —
+/// and is retried; one without a hint is permanent and surfaced
+/// immediately, as are SPARQL errors (the query itself is broken).
 ///
-/// With [`RetryEndpoint::with_backoff`] each retry also charges an
-/// exponential delay to an injected [`Clock`] — the crate never sleeps,
-/// it *accounts* the time a production client would have waited, so the
+/// When a retried error carries a server `Retry-After` hint, the hint
+/// **replaces** the local backoff schedule for that retry: the server
+/// knows when it will have capacity, the client's exponential guess
+/// does not.
+///
+/// With [`RetryEndpoint::with_backoff`] each retry also charges its
+/// delay to an injected [`Clock`] — the crate never sleeps, it
+/// *accounts* the time a production client would have waited, so the
 /// schedule is testable deterministically.
 pub struct RetryEndpoint<E> {
     inner: E,
@@ -157,6 +164,21 @@ impl<E: Endpoint> RetryEndpoint<E> {
         &self.inner
     }
 
+    /// Whether `error` is worth another attempt, and the server's
+    /// `Retry-After` hint if it sent one.
+    fn transient_hint(error: &EndpointError) -> Option<Option<Duration>> {
+        match error {
+            EndpointError::Other(_) => Some(None),
+            EndpointError::Unavailable { retry_after, .. } => Some(*retry_after),
+            // A hinted quota refills; an unhinted one never does.
+            EndpointError::QuotaExceeded {
+                retry_after: Some(after),
+                ..
+            } => Some(Some(*after)),
+            _ => None,
+        }
+    }
+
     fn with_retries<T>(
         &self,
         mut attempt: impl FnMut() -> Result<T, EndpointError>,
@@ -165,11 +187,16 @@ impl<E: Endpoint> RetryEndpoint<E> {
         for try_no in 0..=self.max_retries {
             match attempt() {
                 Ok(value) => return Ok(value),
-                Err(e @ EndpointError::Other(_)) => {
+                Err(e) => {
+                    let Some(hint) = Self::transient_hint(&e) else {
+                        return Err(e);
+                    };
                     if try_no < self.max_retries {
                         self.retries_used.fetch_add(1, Ordering::Relaxed);
                         if let Some((policy, clock)) = &self.backoff {
-                            let delay = policy.delay_for(try_no);
+                            // The server's hint overrides the local
+                            // guess; without one, back off as scheduled.
+                            let delay = hint.unwrap_or_else(|| policy.delay_for(try_no));
                             clock.advance(delay);
                             self.backoff_nanos
                                 .fetch_add(delay.as_nanos() as u64, Ordering::Relaxed);
@@ -177,7 +204,6 @@ impl<E: Endpoint> RetryEndpoint<E> {
                     }
                     last_err = Some(e);
                 }
-                Err(fatal) => return Err(fatal),
             }
         }
         Err(last_err.expect("at least one attempt"))
@@ -255,6 +281,78 @@ mod tests {
         let err = ep.select("NOT SPARQL").unwrap_err();
         assert!(matches!(err, EndpointError::Sparql(_)));
         assert_eq!(ep.retries_used(), 0);
+    }
+
+    /// Emits a scripted error sequence, then answers from `inner`.
+    struct Scripted {
+        inner: LocalEndpoint,
+        errors: std::sync::Mutex<Vec<EndpointError>>,
+    }
+
+    impl Scripted {
+        fn new(errors: Vec<EndpointError>) -> Self {
+            Self {
+                inner: base(),
+                errors: std::sync::Mutex::new(errors),
+            }
+        }
+    }
+
+    impl Endpoint for Scripted {
+        fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
+            let mut errors = self.errors.lock().unwrap();
+            if errors.is_empty() {
+                self.inner.execute(req)
+            } else {
+                Err(errors.remove(0))
+            }
+        }
+
+        fn name(&self) -> &str {
+            "scripted"
+        }
+    }
+
+    #[test]
+    fn server_retry_after_hint_overrides_backoff_schedule() {
+        use crate::clock::ManualClock;
+        let scripted = Scripted::new(vec![
+            EndpointError::Unavailable {
+                message: "queue full".into(),
+                retry_after: Some(Duration::from_millis(250)),
+            },
+            EndpointError::Unavailable {
+                message: "queue full".into(),
+                retry_after: None,
+            },
+        ]);
+        let clock = Arc::new(ManualClock::new());
+        let policy = BackoffPolicy::exponential(Duration::from_millis(100));
+        let ep = RetryEndpoint::with_backoff(scripted, 3, policy, clock.clone());
+        ep.ask("ASK { <a> <p> <b> }").unwrap();
+        assert_eq!(ep.retries_used(), 2);
+        // Retry 0 waits the server's 250 ms hint (not the schedule's
+        // 100 ms); retry 1 has no hint and falls back to the schedule's
+        // 100 · 2¹ = 200 ms.
+        let want = Duration::from_millis(250 + 200);
+        assert_eq!(ep.backoff_time(), want);
+        assert_eq!(clock.now(), want);
+    }
+
+    #[test]
+    fn hinted_quota_errors_are_retried_after_the_hint() {
+        use crate::clock::ManualClock;
+        let scripted = Scripted::new(vec![EndpointError::QuotaExceeded {
+            endpoint: "remote".into(),
+            max_queries: 10,
+            retry_after: Some(Duration::from_secs(2)),
+        }]);
+        let clock = Arc::new(ManualClock::new());
+        let policy = BackoffPolicy::exponential(Duration::from_millis(100));
+        let ep = RetryEndpoint::with_backoff(scripted, 3, policy, clock.clone());
+        ep.ask("ASK { <a> <p> <b> }").unwrap();
+        assert_eq!(ep.retries_used(), 1);
+        assert_eq!(ep.backoff_time(), Duration::from_secs(2));
     }
 
     #[test]

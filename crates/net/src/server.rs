@@ -21,14 +21,14 @@ use crate::http::{read_request, write_response, HttpRequest};
 use crate::json::Json;
 use crate::wire::{envelope_to_json, execute_wire, WireRequest};
 use parking_lot::Mutex;
-use sofya_endpoint::{Endpoint, EndpointError, Response};
+use sofya_endpoint::{DurabilityGauge, Endpoint, EndpointError, Response};
 use sofya_service::scheduler::{serve, JobOutcome, SchedulerConfig, SchedulerHandle, SubmitError};
 use sofya_service::{MetricsReport, ServiceMetrics};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server knobs.
 #[derive(Debug, Clone)]
@@ -40,6 +40,14 @@ pub struct ServerConfig {
     /// the read timeout granularity. Keep-alive connections poll at this
     /// interval, so shutdown latency is bounded by it.
     pub poll_interval: Duration,
+    /// How long [`HttpServer::shutdown`] waits for in-flight requests to
+    /// finish before closing connections anyway. During the drain, new
+    /// requests are refused with `503` instead of being left hanging.
+    pub drain_deadline: Duration,
+    /// Durability observables from the store's writer (see
+    /// [`sofya_endpoint::DurableStore::gauge`]). When set, `GET /metrics`
+    /// reports the durable epoch and WAL fsync latency.
+    pub durability: Option<Arc<DurabilityGauge>>,
 }
 
 impl Default for ServerConfig {
@@ -47,7 +55,35 @@ impl Default for ServerConfig {
         Self {
             scheduler: SchedulerConfig::default(),
             poll_interval: Duration::from_millis(25),
+            drain_deadline: Duration::from_secs(5),
+            durability: None,
         }
+    }
+}
+
+/// Server lifecycle phases: `RUNNING → DRAINING → STOPPED`, one-way.
+const RUNNING: u8 = 0;
+const DRAINING: u8 = 1;
+const STOPPED: u8 = 2;
+
+/// Shared shutdown state: the phase plus the number of requests whose
+/// handling has started but whose response is not yet written.
+#[derive(Debug)]
+struct Lifecycle {
+    phase: AtomicU8,
+    in_flight: AtomicUsize,
+}
+
+impl Lifecycle {
+    fn new() -> Self {
+        Self {
+            phase: AtomicU8::new(RUNNING),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    fn phase(&self) -> u8 {
+        self.phase.load(Ordering::SeqCst)
     }
 }
 
@@ -56,7 +92,8 @@ impl Default for ServerConfig {
 #[derive(Debug)]
 pub struct HttpServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    lifecycle: Arc<Lifecycle>,
+    drain_deadline: Duration,
     thread: Option<std::thread::JoinHandle<()>>,
     metrics: Arc<Mutex<MetricsReport>>,
 }
@@ -73,23 +110,25 @@ impl HttpServer {
     ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(bind_addr)?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
+        let lifecycle = Arc::new(Lifecycle::new());
+        let drain_deadline = config.drain_deadline;
         let metrics = Arc::new(Mutex::new(ServiceMetrics::default().report()));
         let thread = {
-            let stop = Arc::clone(&stop);
+            let lifecycle = Arc::clone(&lifecycle);
             let metrics = Arc::clone(&metrics);
             std::thread::spawn(move || {
                 let handler = |wire: WireRequest| execute_wire(endpoint.as_ref(), &wire);
                 let scheduler = config.scheduler.clone();
                 let _ = serve(&scheduler, handler, |handle| {
-                    accept_loop(&listener, handle, &config, &stop, &metrics);
+                    accept_loop(&listener, handle, &config, &lifecycle, &metrics);
                     *metrics.lock() = handle.metrics().report();
                 });
             })
         };
         Ok(HttpServer {
             addr,
-            stop,
+            lifecycle,
+            drain_deadline,
             thread: Some(thread),
             metrics,
         })
@@ -106,14 +145,20 @@ impl HttpServer {
         *self.metrics.lock()
     }
 
-    /// Stops accepting, drains in-flight jobs, and joins the server
-    /// thread.
+    /// Gracefully stops the server: new requests are refused with `503`
+    /// while in-flight ones get up to [`ServerConfig::drain_deadline`]
+    /// to finish, then connections close and the thread joins.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.lifecycle.phase.store(DRAINING, Ordering::SeqCst);
+        let deadline = Instant::now() + self.drain_deadline;
+        while self.lifecycle.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.lifecycle.phase.store(STOPPED, Ordering::SeqCst);
         // Unblock a blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(thread) = self.thread.take() {
@@ -136,35 +181,84 @@ fn accept_loop(
     listener: &TcpListener,
     handle: &Handle<'_>,
     config: &ServerConfig,
-    stop: &AtomicBool,
+    lifecycle: &Lifecycle,
     metrics: &Mutex<MetricsReport>,
 ) {
     std::thread::scope(|scope| loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => {
-                if stop.load(Ordering::SeqCst) {
+                if lifecycle.phase() == STOPPED {
                     break;
                 }
                 continue;
             }
         };
-        if stop.load(Ordering::SeqCst) {
-            break;
+        match lifecycle.phase() {
+            STOPPED => break,
+            // Still listening while draining, but only to say no: a
+            // late client gets an immediate 503 instead of a connection
+            // reset it would misread as a network failure.
+            DRAINING => {
+                scope.spawn(move || refuse_connection(stream, config));
+            }
+            _ => {
+                scope.spawn(move || serve_connection(stream, handle, config, lifecycle, metrics));
+            }
         }
-        scope.spawn(move || serve_connection(stream, handle, config, stop, metrics));
     });
 }
 
+/// Answers one request on a connection accepted mid-drain with `503`,
+/// then closes.
+fn refuse_connection(mut stream: TcpStream, config: &ServerConfig) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.poll_interval));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    // Wait (bounded by the drain deadline, so shutdown's join cannot
+    // hang on us) for the request to start arriving, then read it so the
+    // peer is not mid-write when the response lands.
+    let deadline = Instant::now() + config.drain_deadline;
+    loop {
+        match std::io::BufRead::fill_buf(&mut reader) {
+            Ok([]) => return,
+            Ok(_) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) && Instant::now() < deadline => {}
+            Err(_) => return,
+        }
+    }
+    let Ok(Some(_request)) = read_request(&mut reader) else {
+        return;
+    };
+    let body = error_body(&EndpointError::Unavailable {
+        message: "server shutting down".into(),
+        retry_after: None,
+    });
+    let mut headers = json_headers();
+    headers.push(("Connection", "close"));
+    let _ = write_response(&mut stream, 503, "Service Unavailable", &headers, &body);
+}
+
 /// Serves one keep-alive connection until the peer closes, an I/O error
-/// occurs, or the server stops. Idle waits poll at
+/// occurs, or the server leaves the `RUNNING` phase. Idle waits poll at
 /// [`ServerConfig::poll_interval`] via `fill_buf`, which consumes
 /// nothing on timeout — so a poll never corrupts message framing.
+///
+/// A request whose bytes have started arriving when the drain begins is
+/// still served to completion (it counts as in-flight); the connection
+/// closes right after its response.
 fn serve_connection(
     mut stream: TcpStream,
     handle: &Handle<'_>,
     config: &ServerConfig,
-    stop: &AtomicBool,
+    lifecycle: &Lifecycle,
     metrics: &Mutex<MetricsReport>,
 ) {
     let _ = stream.set_nodelay(true);
@@ -173,7 +267,7 @@ fn serve_connection(
         return;
     };
     let mut reader = BufReader::new(read_half);
-    while !stop.load(Ordering::SeqCst) {
+    while lifecycle.phase() == RUNNING {
         // Poll for the first byte without consuming anything.
         match std::io::BufRead::fill_buf(&mut reader) {
             Ok([]) => return, // clean close
@@ -188,25 +282,40 @@ fn serve_connection(
             }
             Err(_) => return,
         }
-        let request = match read_request(&mut reader) {
-            Ok(Some(request)) => request,
-            Ok(None) => return,
-            Err(_) => {
-                let body = error_body(&EndpointError::Other("malformed HTTP request".into()));
-                let _ = write_response(&mut stream, 400, "Bad Request", &json_headers(), &body);
-                return;
-            }
-        };
-        let (status, reason, extra, body) = route(&request, handle, config);
-        *metrics.lock() = handle.metrics().report();
-        let mut headers = json_headers();
-        if let Some((name, value)) = &extra {
-            headers.push((name, value));
-        }
-        if write_response(&mut stream, status, reason, &headers, &body).is_err() {
+        lifecycle.in_flight.fetch_add(1, Ordering::SeqCst);
+        let outcome = serve_one_request(&mut stream, &mut reader, handle, config, metrics);
+        lifecycle.in_flight.fetch_sub(1, Ordering::SeqCst);
+        if outcome.is_err() {
             return;
         }
     }
+}
+
+/// Reads, routes, and answers a single request whose first bytes are
+/// already buffered. `Err` means the connection is unusable.
+fn serve_one_request(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    handle: &Handle<'_>,
+    config: &ServerConfig,
+    metrics: &Mutex<MetricsReport>,
+) -> Result<(), ()> {
+    let request = match read_request(reader) {
+        Ok(Some(request)) => request,
+        Ok(None) => return Err(()),
+        Err(_) => {
+            let body = error_body(&EndpointError::Other("malformed HTTP request".into()));
+            let _ = write_response(stream, 400, "Bad Request", &json_headers(), &body);
+            return Err(());
+        }
+    };
+    let (status, reason, extra, body) = route(&request, handle, config);
+    *metrics.lock() = handle.metrics().report();
+    let mut headers = json_headers();
+    if let Some((name, value)) = &extra {
+        headers.push((name, value));
+    }
+    write_response(stream, status, reason, &headers, &body).map_err(|_| ())
 }
 
 fn json_headers() -> Vec<(&'static str, &'static str)> {
@@ -225,6 +334,15 @@ fn route(request: &HttpRequest, handle: &Handle<'_>, config: &ServerConfig) -> R
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/query") => serve_query(request, handle, config),
         ("GET", "/metrics") => {
+            // Fold the writer-side durability observables in lazily, at
+            // probe time — commits never touch the service registry.
+            if let Some(gauge) = &config.durability {
+                let service = handle.metrics();
+                service.record_durable_epoch(gauge.durable_epoch());
+                for ns in gauge.drain_fsync_ns() {
+                    service.record_wal_fsync(Duration::from_nanos(ns));
+                }
+            }
             let mut text = metrics_to_json(&handle.metrics().report()).to_text();
             text.push('\n');
             (200, "OK", None, text.into_bytes())
@@ -279,9 +397,12 @@ fn serve_query(request: &HttpRequest, handle: &Handle<'_>, config: &ServerConfig
                 503,
                 "Service Unavailable",
                 Some(("Retry-After", format!("{}", retry_after.as_millis().max(1)))),
-                error_body(&EndpointError::Other(format!(
-                    "server busy: retry after {retry_after:?}"
-                ))),
+                error_body(&EndpointError::Unavailable {
+                    message: "server busy".into(),
+                    // The same hint rides both the header and the wire
+                    // envelope, so typed clients see it too.
+                    retry_after: Some(retry_after),
+                }),
             ),
             SubmitError::QuotaExhausted { client } => {
                 let max_queries = configured_quota(&config.scheduler, &client);
@@ -292,6 +413,7 @@ fn serve_query(request: &HttpRequest, handle: &Handle<'_>, config: &ServerConfig
                     error_body(&EndpointError::QuotaExceeded {
                         endpoint: client,
                         max_queries,
+                        retry_after: None,
                     }),
                 )
             }
@@ -299,7 +421,10 @@ fn serve_query(request: &HttpRequest, handle: &Handle<'_>, config: &ServerConfig
                 503,
                 "Service Unavailable",
                 None,
-                error_body(&EndpointError::Other("server shutting down".into())),
+                error_body(&EndpointError::Unavailable {
+                    message: "server shutting down".into(),
+                    retry_after: None,
+                }),
             ),
         },
     }
@@ -329,5 +454,7 @@ pub fn metrics_to_json(report: &MetricsReport) -> Json {
         ("latency_p99_ns", Json::Uint(report.latency_p99_ns)),
         ("queue_wait_p99_ns", Json::Uint(report.queue_wait_p99_ns)),
         ("snapshot_age_ns", Json::Uint(report.snapshot_age_ns)),
+        ("wal_fsync_p99_ns", Json::Uint(report.wal_fsync_p99_ns)),
+        ("durable_epoch", Json::Uint(report.durable_epoch)),
     ])
 }

@@ -368,16 +368,43 @@ pub fn error_to_json(error: &EndpointError) -> Json {
         EndpointError::QuotaExceeded {
             endpoint,
             max_queries,
-        } => Json::obj(vec![
-            ("kind", Json::str("quota")),
-            ("endpoint", Json::str(endpoint)),
-            ("max_queries", Json::Uint(*max_queries)),
-        ]),
+            retry_after,
+        } => {
+            let mut fields = vec![
+                ("kind", Json::str("quota")),
+                ("endpoint", Json::str(endpoint)),
+                ("max_queries", Json::Uint(*max_queries)),
+            ];
+            if let Some(after) = retry_after {
+                fields.push(("retry_after_ms", Json::Uint(after.as_millis() as u64)));
+            }
+            Json::obj(fields)
+        }
+        EndpointError::Unavailable {
+            message,
+            retry_after,
+        } => {
+            let mut fields = vec![
+                ("kind", Json::str("unavailable")),
+                ("message", Json::str(message)),
+            ];
+            if let Some(after) = retry_after {
+                fields.push(("retry_after_ms", Json::Uint(after.as_millis() as u64)));
+            }
+            Json::obj(fields)
+        }
         EndpointError::Other(message) => Json::obj(vec![
             ("kind", Json::str("other")),
             ("message", Json::str(message)),
         ]),
     }
+}
+
+/// The optional `retry_after_ms` hint on quota/unavailable errors.
+fn retry_after_from_json(json: &Json) -> Option<std::time::Duration> {
+    json.get("retry_after_ms")
+        .and_then(Json::as_uint)
+        .map(std::time::Duration::from_millis)
 }
 
 /// Decodes an endpoint error from a JSON value.
@@ -417,6 +444,11 @@ pub fn error_from_json(json: &Json) -> Result<EndpointError, WireError> {
                 .get("max_queries")
                 .and_then(Json::as_uint)
                 .ok_or_else(|| WireError("quota error missing \"max_queries\"".to_owned()))?,
+            retry_after: retry_after_from_json(json),
+        }),
+        "unavailable" => Ok(EndpointError::Unavailable {
+            message: message()?,
+            retry_after: retry_after_from_json(json),
         }),
         "other" => Ok(EndpointError::Other(message()?)),
         other => Err(WireError(format!("unknown error kind {other:?}"))),
@@ -537,6 +569,20 @@ mod tests {
             Err(EndpointError::QuotaExceeded {
                 endpoint: "kb".to_owned(),
                 max_queries: 9,
+                retry_after: None,
+            }),
+            Err(EndpointError::QuotaExceeded {
+                endpoint: "kb".to_owned(),
+                max_queries: 9,
+                retry_after: Some(std::time::Duration::from_millis(1500)),
+            }),
+            Err(EndpointError::Unavailable {
+                message: "draining".to_owned(),
+                retry_after: Some(std::time::Duration::from_secs(1)),
+            }),
+            Err(EndpointError::Unavailable {
+                message: "overloaded".to_owned(),
+                retry_after: None,
             }),
             Err(EndpointError::Other("boom".to_owned())),
         ] {

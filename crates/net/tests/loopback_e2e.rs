@@ -157,6 +157,7 @@ fn server_quota_rejection_surfaces_as_typed_error() {
         Err(sofya_endpoint::EndpointError::QuotaExceeded {
             endpoint,
             max_queries,
+            ..
         }) => {
             assert_eq!(endpoint, "alice");
             assert_eq!(max_queries, 2);
@@ -196,6 +197,45 @@ fn metrics_route_serves_the_scheduler_report() {
         .get("latency_p99_ns")
         .and_then(Json::as_uint)
         .is_some());
+    server.shutdown();
+}
+
+/// A durable writer behind the server: its gauge rides `ServerConfig`
+/// and `GET /metrics` reports the crash-durable epoch plus WAL fsync
+/// latency alongside the scheduler counters.
+#[test]
+fn metrics_route_reports_the_durable_epoch() {
+    use sofya_durability::{DurabilityConfig, MemIo, StorageIo};
+    use sofya_endpoint::DurableStore;
+
+    let io: Arc<dyn StorageIo> = Arc::new(MemIo::new());
+    let mut durable = DurableStore::create(io, DurabilityConfig::default()).unwrap();
+    for i in 0..3 {
+        durable.insert(
+            &Term::iri(format!("e:s{i}")),
+            &Term::iri("e:p"),
+            &Term::iri("e:o"),
+        );
+        durable.publish().unwrap();
+    }
+    let config = ServerConfig {
+        durability: Some(durable.gauge()),
+        ..ServerConfig::default()
+    };
+    let server = HttpServer::start(Arc::new(durable.reader("www")), config, "127.0.0.1:0")
+        .expect("bind loopback");
+    let remote = RemoteEndpoint::new("kb", server.addr());
+    assert!(remote.ask("ASK { <e:s0> <e:p> <e:o> }").unwrap());
+    let report = Json::parse(remote.fetch_metrics().unwrap().trim_end()).unwrap();
+    assert_eq!(report.get("durable_epoch").and_then(Json::as_uint), Some(3));
+    assert!(
+        report
+            .get("wal_fsync_p99_ns")
+            .and_then(Json::as_uint)
+            .unwrap()
+            > 0,
+        "three commits drained into the fsync histogram"
+    );
     server.shutdown();
 }
 

@@ -43,6 +43,7 @@ pub mod dict;
 pub mod error;
 pub mod inverse;
 pub mod ntriples;
+pub mod segment;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
@@ -55,6 +56,7 @@ pub use inverse::{
     inverse_iri, is_inverse_iri, materialize_inverses, materialize_inverses_filtered,
 };
 pub use ntriples::{parse_ntriples, write_ntriples};
+pub use segment::CodecError;
 pub use snapshot::StoreSnapshot;
 pub use stats::{PredicateStats, StoreStats};
 pub use store::{PatternScan, TripleStore};

@@ -99,6 +99,11 @@ pub struct ServiceMetrics {
     /// Age of the store snapshot observed by the most recent request, in
     /// nanoseconds — how stale reads are allowed to get.
     snapshot_age_ns: AtomicU64,
+    /// WAL group-commit fsync latency (the durable-publish ack path).
+    wal_fsync: LatencyHistogram,
+    /// Highest epoch whose WAL commit has been fsynced — everything up
+    /// to here survives a crash.
+    durable_epoch: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -143,6 +148,16 @@ impl ServiceMetrics {
         self.snapshot_age_ns.store(ns, Ordering::Relaxed);
     }
 
+    /// Records one WAL fsync latency observation (a durable publish).
+    pub fn record_wal_fsync(&self, latency: Duration) {
+        self.wal_fsync.record(latency);
+    }
+
+    /// Records the durable epoch gauge (last write wins).
+    pub fn record_durable_epoch(&self, epoch: u64) {
+        self.durable_epoch.store(epoch, Ordering::Relaxed);
+    }
+
     /// Current queue depth.
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Ordering::Relaxed)
@@ -162,6 +177,8 @@ impl ServiceMetrics {
             latency_p99_ns: self.latency.quantile_ns(0.99),
             queue_wait_p99_ns: self.queue_wait.quantile_ns(0.99),
             snapshot_age_ns: self.snapshot_age_ns.load(Ordering::Relaxed),
+            wal_fsync_p99_ns: self.wal_fsync.quantile_ns(0.99),
+            durable_epoch: self.durable_epoch.load(Ordering::Relaxed),
         }
     }
 }
@@ -191,6 +208,11 @@ pub struct MetricsReport {
     pub queue_wait_p99_ns: u64,
     /// Snapshot age observed by the most recent request (ns).
     pub snapshot_age_ns: u64,
+    /// Approximate 99th-percentile WAL fsync latency (ns); 0 when the
+    /// store runs without durability.
+    pub wal_fsync_p99_ns: u64,
+    /// Highest crash-durable epoch; 0 without durability.
+    pub durable_epoch: u64,
 }
 
 impl MetricsReport {
@@ -242,6 +264,8 @@ mod tests {
         m.on_rejected_quota();
         m.on_panicked();
         m.record_snapshot_age(Duration::from_millis(3));
+        m.record_wal_fsync(Duration::from_micros(120));
+        m.record_durable_epoch(7);
         let r = m.report();
         assert_eq!(r.submitted, 2);
         assert_eq!(r.completed, 1);
@@ -251,6 +275,12 @@ mod tests {
         assert_eq!(r.queue_depth, 1);
         assert!(r.latency_p50_ns > 0);
         assert!(r.snapshot_age_ns >= 3_000_000);
+        assert!(
+            r.wal_fsync_p99_ns >= 120_000 / 2,
+            "p99 {}",
+            r.wal_fsync_p99_ns
+        );
+        assert_eq!(r.durable_epoch, 7);
         assert!(r.throughput_per_sec(Duration::from_secs(1)) >= 1.0);
         assert_eq!(r.throughput_per_sec(Duration::ZERO), 0.0);
     }

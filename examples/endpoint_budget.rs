@@ -66,6 +66,7 @@ fn main() {
         Err(AlignError::Endpoint(EndpointError::QuotaExceeded {
             endpoint,
             max_queries,
+            ..
         })) => {
             println!("\nwith a 5-query budget: endpoint '{endpoint}' cut us off after {max_queries} queries — as a real service would");
         }

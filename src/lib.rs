@@ -9,6 +9,7 @@
 //! experiments). See the `examples/` directory for runnable walkthroughs.
 
 pub use sofya_core as align;
+pub use sofya_durability as durability;
 pub use sofya_endpoint as endpoint;
 pub use sofya_eval as eval;
 pub use sofya_kbgen as kbgen;
