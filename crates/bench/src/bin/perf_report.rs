@@ -18,16 +18,18 @@
 //!   with a `[skip-perf]` commit tag.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sofya_core::{Aligner, AlignerConfig, AlignmentSession};
 use sofya_durability::{DurabilityConfig, DurableLog, StdIo, StorageIo};
-use sofya_endpoint::{Endpoint, LocalEndpoint, Request, SnapshotStore};
+use sofya_endpoint::{
+    BudgetConfig, DeadlineEndpoint, Endpoint, EndpointError, LocalEndpoint, Request, SnapshotStore,
+};
 use sofya_kbgen::{generate, GeneratedPair, PairConfig, StructureCounts};
 use sofya_net::{HttpServer, RemoteEndpoint, ServerConfig};
 use sofya_rdf::{Term, TriplePattern, TripleStore};
 use sofya_service::{AlignmentRequest, AlignmentService, SchedulerConfig};
-use sofya_sparql::{execute, execute_ask, Prepared};
+use sofya_sparql::{execute, execute_ask, Prepared, QueryBudget};
 use std::sync::Arc;
 
 const SEED: u64 = 42;
@@ -369,7 +371,86 @@ fn net_cases(suite: &mut Suite, pair: &GeneratedPair) {
         let aligner = Aligner::new(&source, &remote, config.clone());
         aligner.align_relation(&relation).unwrap().len() as u64
     });
+
+    // The overload wall-clock: a runaway cross join with ~1 ms of client
+    // budget left. The client announces the remainder as `X-Deadline-Ms`,
+    // the server's cooperative eval kills it at the next poll, and the
+    // typed 504-class error rides back — the whole shed path must stay
+    // milliseconds, not the seconds the join would take.
+    let runaway = "SELECT ?a ?c ?e WHERE { ?a ?p ?b . ?c ?q ?d . ?e ?r ?f }";
+    suite.run("net/expired_deadline_shed", true, || {
+        let budget = QueryBudget::unlimited().with_time_limit(Duration::from_millis(1));
+        match remote.execute_with_budget(Request::Select { query: runaway }, &budget) {
+            Err(EndpointError::DeadlineExceeded { .. })
+            | Err(EndpointError::BudgetExceeded { .. }) => 1,
+            Ok(r) => panic!(
+                "runaway finished under a 1 ms budget: {} rows",
+                r.row_count()
+            ),
+            Err(e) => panic!("expected a deadline kill, got {e:?}"),
+        }
+    });
     server.shutdown();
+}
+
+/// The kill switch's price tag: the whole-relation alignment of
+/// `align/align_relation_small`, but with the target endpoint behind a
+/// [`DeadlineEndpoint`] carrying a far-future deadline — every query runs
+/// fully budgeted (deadline polled each 1024 scan rows) yet nothing ever
+/// trips. Returns `budgeted / unbudgeted`; the unbudgeted reference is
+/// measured in-process around the budgeted run (max of before/after, so
+/// thermal drift inflates the denominator, not the ratio), and `--check`
+/// fails if the polling costs more than 5%.
+fn deadline_overhead_case(suite: &mut Suite, pair: &GeneratedPair) -> Option<f64> {
+    let name = "service/deadline_check_overhead";
+    if suite
+        .filter
+        .as_ref()
+        .is_some_and(|f| !name.contains(f.as_str()))
+    {
+        return None;
+    }
+    let source = LocalEndpoint::new("kb2", pair.kb2.clone());
+    let target = LocalEndpoint::new("kb1", pair.kb1.clone());
+    let config = AlignerConfig::paper_defaults(SEED);
+    let relation = pair.kb1_relations[0].clone();
+
+    let unbudgeted_before = median_ns(|| {
+        let aligner = Aligner::new(&source, &target, config.clone());
+        aligner.align_relation(&relation).unwrap().len() as u64
+    });
+
+    let budget = BudgetConfig::with_time_limit(Duration::from_secs(3600));
+    let budgeted_source =
+        DeadlineEndpoint::new(LocalEndpoint::new("kb2", pair.kb2.clone()), budget);
+    let budgeted_target =
+        DeadlineEndpoint::new(LocalEndpoint::new("kb1", pair.kb1.clone()), budget);
+    suite.run(name, true, || {
+        let aligner = Aligner::new(&budgeted_source, &budgeted_target, config.clone());
+        aligner.align_relation(&relation).unwrap().len() as u64
+    });
+    let budgeted = suite
+        .cases
+        .last()
+        .filter(|(n, _)| n == name)
+        .map(|(_, m)| *m)?;
+
+    let unbudgeted_after = median_ns(|| {
+        let aligner = Aligner::new(&source, &target, config.clone());
+        aligner.align_relation(&relation).unwrap().len() as u64
+    });
+    // Run-to-run noise on this case is ±5% — the same order as the guard
+    // itself — so compare the *best* budgeted median against the *worst*
+    // unbudgeted one: random jitter cancels out of the ratio, while a
+    // systematic polling cost shifts every budgeted sample and still trips.
+    let budgeted_retry = median_ns(|| {
+        let aligner = Aligner::new(&budgeted_source, &budgeted_target, config.clone());
+        aligner.align_relation(&relation).unwrap().len() as u64
+    });
+    let reference = unbudgeted_before.max(unbudgeted_after);
+    let ratio = budgeted.min(budgeted_retry) as f64 / reference.max(1) as f64;
+    eprintln!("    -> budget polling overhead: {ratio:.3}x vs unbudgeted ({reference} ns)");
+    Some(ratio)
 }
 
 /// End-to-end alignment session: a fresh [`AlignmentSession`] aligns a
@@ -619,6 +700,7 @@ fn main() {
     // runs after the latency-sensitive micro-cases to keep them
     // comparable with earlier PRs' in-process ordering.
     service_cases(&mut suite, &small_pair);
+    let overhead_ratio = deadline_overhead_case(&mut suite, &small_pair);
 
     let existing = std::fs::read_to_string(&out_path).unwrap_or_default();
 
@@ -652,8 +734,26 @@ fn main() {
             _ => {}
         }
         let mut failed = false;
+        // The deadline-overhead guard compares against an in-process
+        // unbudgeted reference, not a committed number, so it is immune
+        // to machine-class drift: budget polling itself must cost ≤ 5%.
+        if let Some(ratio) = overhead_ratio {
+            if ratio > 1.05 {
+                eprintln!(
+                    "REGRESSION service/deadline_check_overhead: budgeted evaluation runs at \
+                     {ratio:.3}x the unbudgeted in-process reference (budget 1.05x)"
+                );
+                failed = true;
+            }
+        }
         for (name, median) in &suite.cases {
-            if let Some(&want) = committed.get(name) {
+            let Some(&want) = committed.get(name) else {
+                // First appearance: nothing committed to compare against.
+                // Not a failure — the next default run seeds its baseline.
+                eprintln!("  NEW {name}: {median} ns/op, no committed baseline yet");
+                continue;
+            };
+            {
                 // Sub-2µs cases are dominated by timer and closure overhead
                 // and swing with the host machine, not with regressions;
                 // exempt them from the cross-machine guard.

@@ -4,6 +4,7 @@ use crate::clock::Clock;
 use crate::endpoint::{Endpoint, Request, Response};
 use crate::error::EndpointError;
 use parking_lot::Mutex;
+use sofya_sparql::QueryBudget;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -159,6 +160,34 @@ impl<E: Endpoint> Endpoint for CachingEndpoint<E> {
 
     fn name(&self) -> &str {
         self.inner.name()
+    }
+
+    /// A cache hit answers without touching the inner endpoint (and so
+    /// without spending any of the budget); a miss forwards the budget
+    /// inward. Errors — including budget breaches — are never cached, so
+    /// a killed query does not poison the entry for the next caller.
+    fn execute_with_budget(
+        &self,
+        req: Request<'_>,
+        budget: &QueryBudget,
+    ) -> Result<Response, EndpointError> {
+        if let Request::Batch(requests) = req {
+            return Ok(Response::Batch(
+                requests
+                    .into_iter()
+                    .map(|sub| self.execute_with_budget(sub, budget))
+                    .collect::<Result<_, _>>()?,
+            ));
+        }
+        let key = Self::key(&req)?;
+        if let Some(hit) = self.lookup(&key) {
+            return Ok(hit);
+        }
+        let response = self.inner.execute_with_budget(req, budget)?;
+        self.cache
+            .lock()
+            .insert(key, (response.clone(), self.now()));
+        Ok(response)
     }
 }
 

@@ -29,8 +29,9 @@ use crate::plan_cache::ShardedPlanCache;
 use parking_lot::Mutex;
 use sofya_rdf::{StoreSnapshot, StoreStats, Term, TripleStore};
 use sofya_sparql::{
-    compile_with_options, execute_ast_with_options, execute_compiled, execute_compiled_paged,
-    CompiledQuery, PlanOptions, Prepared,
+    compile_with_options, execute_ast_budgeted, execute_ast_with_options, execute_compiled,
+    execute_compiled_paged, execute_compiled_paged_budgeted, CompiledQuery, PlanOptions, Prepared,
+    QueryBudget,
 };
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -243,7 +244,7 @@ impl ConcurrentEndpoint {
 /// [`PinnedEndpoint`].
 mod on_snapshot {
     use super::*;
-    use crate::outcome::{execute_count, response_of};
+    use crate::outcome::{execute_count, execute_count_budgeted, response_of};
 
     /// Compile-or-cache a query string against `snap`. Entries from older
     /// snapshot versions are misses (their constant ids may be stale).
@@ -334,6 +335,67 @@ mod on_snapshot {
             )),
         }
     }
+
+    /// [`execute`] under a [`QueryBudget`]: same snapshot discipline,
+    /// but the budget is threaded into the evaluator's scan loops. A
+    /// killed query drops its snapshot `Arc` like any other — no state
+    /// to roll back, and cached plans stay valid for the next caller.
+    pub(super) fn execute_budgeted(
+        plans: &ShardedPlanCache,
+        snap: &PublishedSnapshot,
+        req: Request<'_>,
+        budget: &QueryBudget,
+    ) -> Result<Response, EndpointError> {
+        match req {
+            Request::Select { query } | Request::Ask { query } => {
+                let compiled = compiled(plans, snap, query)?;
+                Ok(response_of(execute_compiled_paged_budgeted(
+                    snap.snapshot().store(),
+                    &compiled,
+                    None,
+                    None,
+                    budget,
+                )?))
+            }
+            Request::PreparedSelect { prepared, args }
+            | Request::PreparedAsk { prepared, args } => Ok(response_of(execute_ast_budgeted(
+                snap.snapshot().store(),
+                &prepared.bind(args)?,
+                snap.plan_options(),
+                budget,
+            )?)),
+            Request::PreparedSelectPaged {
+                prepared,
+                args,
+                limit,
+                offset,
+            } => {
+                let compiled = compiled_prepared_paged(plans, snap, prepared, args)?;
+                Ok(response_of(execute_compiled_paged_budgeted(
+                    snap.snapshot().store(),
+                    &compiled,
+                    limit,
+                    offset,
+                    budget,
+                )?))
+            }
+            Request::Count { prepared, args } => execute_count_budgeted(
+                snap.snapshot().store(),
+                prepared,
+                args,
+                snap.plan_options(),
+                budget,
+            )
+            .map(Response::Count),
+            // Sub-requests share the one (absolute-deadline) budget.
+            Request::Batch(requests) => Ok(Response::Batch(
+                requests
+                    .into_iter()
+                    .map(|sub| execute_budgeted(plans, snap, sub, budget))
+                    .collect::<Result<_, _>>()?,
+            )),
+        }
+    }
 }
 
 impl Endpoint for ConcurrentEndpoint {
@@ -346,6 +408,17 @@ impl Endpoint for ConcurrentEndpoint {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn execute_with_budget(
+        &self,
+        req: Request<'_>,
+        budget: &QueryBudget,
+    ) -> Result<Response, EndpointError> {
+        if budget.is_unlimited() {
+            return self.execute(req);
+        }
+        on_snapshot::execute_budgeted(&self.plans, &self.cell.load(), req, budget)
     }
 }
 
@@ -385,6 +458,17 @@ impl Endpoint for PinnedEndpoint {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn execute_with_budget(
+        &self,
+        req: Request<'_>,
+        budget: &QueryBudget,
+    ) -> Result<Response, EndpointError> {
+        if budget.is_unlimited() {
+            return self.execute(req);
+        }
+        on_snapshot::execute_budgeted(&self.plans, &self.snap, req, budget)
     }
 }
 

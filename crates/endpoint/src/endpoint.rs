@@ -15,7 +15,7 @@
 
 use crate::error::EndpointError;
 use sofya_rdf::Term;
-use sofya_sparql::{unparse, Prepared, Query, ResultSet, SparqlError};
+use sofya_sparql::{unparse, Prepared, Query, QueryBudget, ResultSet, SparqlError};
 use std::sync::Arc;
 
 /// One typed endpoint request. Borrowed: a request is built on the stack
@@ -361,6 +361,30 @@ pub trait Endpoint: Send + Sync {
     fn name(&self) -> &str {
         "endpoint"
     }
+
+    /// Executes one typed request under a [`QueryBudget`].
+    ///
+    /// The default refuses already-expired or cancelled work up front,
+    /// then runs `execute` to completion — correct (the budget is a cap,
+    /// not a guarantee of partial progress) but not *cooperative*.
+    /// Backends that own an evaluator override this to thread the budget
+    /// into scanning so a breached query unwinds in bounded time;
+    /// wrappers override it to delegate inward so the budget survives
+    /// the whole middleware stack.
+    ///
+    /// Budget breaches surface as [`sofya_sparql::SparqlError::Budget`]
+    /// wrapped in [`EndpointError::Sparql`]; the deadline middleware
+    /// ([`crate::DeadlineEndpoint`]) and the server map those to the
+    /// typed [`EndpointError::DeadlineExceeded`] /
+    /// [`EndpointError::BudgetExceeded`] classes.
+    fn execute_with_budget(
+        &self,
+        req: Request<'_>,
+        budget: &QueryBudget,
+    ) -> Result<Response, EndpointError> {
+        budget.check_expired()?;
+        self.execute(req)
+    }
 }
 
 /// Ergonomic request builders, provided for every [`Endpoint`].
@@ -440,6 +464,14 @@ impl<E: Endpoint + ?Sized> Endpoint for Arc<E> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn execute_with_budget(
+        &self,
+        req: Request<'_>,
+        budget: &QueryBudget,
+    ) -> Result<Response, EndpointError> {
+        (**self).execute_with_budget(req, budget)
     }
 }
 

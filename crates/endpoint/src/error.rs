@@ -29,6 +29,21 @@ pub enum EndpointError {
         /// Server hint for when to try again.
         retry_after: Option<Duration>,
     },
+    /// The query's wall-clock deadline passed (or its cancel token was
+    /// tripped) before it finished — the HTTP 504 class. Counted by the
+    /// circuit breaker but **not** retried: the deadline belongs to the
+    /// caller, and retrying an expired request cannot help.
+    DeadlineExceeded {
+        /// How long the query ran before it was killed.
+        elapsed: Duration,
+    },
+    /// A non-time budget limit (rows scanned, intermediate bindings) was
+    /// breached. Deterministic for a given query and dataset, so never
+    /// retried and not counted by the breaker.
+    BudgetExceeded {
+        /// Which limit was breached, in words.
+        message: String,
+    },
     /// Any other failure (kept as text; a remote endpoint would return
     /// HTTP-level errors here).
     Other(String),
@@ -61,6 +76,12 @@ impl fmt::Display for EndpointError {
                     write!(f, " (retry after {:?})", after)?;
                 }
                 Ok(())
+            }
+            EndpointError::DeadlineExceeded { elapsed } => {
+                write!(f, "deadline exceeded after {:?}", elapsed)
+            }
+            EndpointError::BudgetExceeded { message } => {
+                write!(f, "query budget exceeded: {message}")
             }
             EndpointError::Other(msg) => write!(f, "endpoint error: {msg}"),
         }
@@ -107,6 +128,14 @@ mod tests {
         };
         assert!(unavailable.to_string().contains("unavailable"));
         assert!(unavailable.to_string().contains("retry after"));
+        let deadline = EndpointError::DeadlineExceeded {
+            elapsed: Duration::from_millis(250),
+        };
+        assert!(deadline.to_string().contains("deadline exceeded"));
+        let budget = EndpointError::BudgetExceeded {
+            message: "scanned more than 10 rows".into(),
+        };
+        assert!(budget.to_string().contains("budget"));
         let other = EndpointError::Other("boom".into());
         assert!(other.to_string().contains("boom"));
         let sparql: EndpointError = SparqlError::parse("x").into();

@@ -2,6 +2,7 @@
 
 use crate::endpoint::{Endpoint, Request, Response};
 use crate::error::EndpointError;
+use sofya_sparql::QueryBudget;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -174,6 +175,17 @@ impl<E: Endpoint> Endpoint for InstrumentedEndpoint<E> {
 
     fn name(&self) -> &str {
         self.inner.name()
+    }
+
+    fn execute_with_budget(
+        &self,
+        req: Request<'_>,
+        budget: &QueryBudget,
+    ) -> Result<Response, EndpointError> {
+        self.counters.record_request(&req, false);
+        let response = self.inner.execute_with_budget(req, budget)?;
+        self.counters.record_response(&response);
+        Ok(response)
     }
 }
 

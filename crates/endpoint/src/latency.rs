@@ -8,6 +8,7 @@
 
 use crate::endpoint::{Endpoint, Request, Response};
 use crate::error::EndpointError;
+use sofya_sparql::QueryBudget;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -90,6 +91,16 @@ impl<E: Endpoint> Endpoint for LatencyEndpoint<E> {
 
     fn name(&self) -> &str {
         self.inner.name()
+    }
+
+    fn execute_with_budget(
+        &self,
+        req: Request<'_>,
+        budget: &QueryBudget,
+    ) -> Result<Response, EndpointError> {
+        let response = self.inner.execute_with_budget(req, budget)?;
+        self.charge(response.row_count() as usize);
+        Ok(response)
     }
 }
 

@@ -42,6 +42,7 @@
 pub mod cache;
 pub mod clock;
 pub mod concurrent;
+pub mod deadline;
 pub mod durable;
 pub mod endpoint;
 pub mod error;
@@ -57,6 +58,7 @@ pub mod retry;
 pub use cache::CachingEndpoint;
 pub use clock::{Clock, ManualClock};
 pub use concurrent::{ConcurrentEndpoint, PinnedEndpoint, PublishedSnapshot, SnapshotStore};
+pub use deadline::{map_budget_error, BudgetConfig, DeadlineEndpoint};
 pub use durable::{DurabilityGauge, DurableStore};
 pub use endpoint::{Endpoint, EndpointExt, Request, RequestBuf, Response};
 pub use error::EndpointError;
@@ -64,4 +66,4 @@ pub use instrument::{EndpointCounters, InstrumentedEndpoint};
 pub use latency::{LatencyEndpoint, LatencyModel};
 pub use local::LocalEndpoint;
 pub use quota::{QuotaConfig, QuotaEndpoint};
-pub use retry::{BackoffPolicy, FlakyEndpoint, RetryEndpoint};
+pub use retry::{BackoffPolicy, BreakerConfig, BreakerState, FlakyEndpoint, RetryEndpoint};

@@ -2,13 +2,14 @@
 
 use crate::endpoint::{Endpoint, Request, Response};
 use crate::error::EndpointError;
-use crate::outcome::{execute_count, response_of};
+use crate::outcome::{execute_count, execute_count_budgeted, response_of};
 use crate::plan_cache::LruPlanCache;
 use parking_lot::Mutex;
 use sofya_rdf::{StoreStats, Term, TripleStore};
 use sofya_sparql::{
-    compile_with_options, execute_ast_with_options, execute_compiled, execute_compiled_paged,
-    CompiledQuery, PlanOptions, Prepared,
+    compile_with_options, execute_ast_budgeted, execute_ast_with_options, execute_compiled,
+    execute_compiled_paged, execute_compiled_paged_budgeted, CompiledQuery, PlanOptions, Prepared,
+    QueryBudget,
 };
 use std::sync::{Arc, OnceLock};
 
@@ -177,6 +178,72 @@ impl Endpoint for LocalEndpoint {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Cooperative budgeted execution: the budget is threaded into the
+    /// evaluator's scan loops, so a breached query unwinds within one
+    /// poll interval instead of running to completion. Plan caching is
+    /// unaffected — compilation is budget-independent, and a killed
+    /// query leaves its (valid) cached plan for the next caller.
+    fn execute_with_budget(
+        &self,
+        req: Request<'_>,
+        budget: &QueryBudget,
+    ) -> Result<Response, EndpointError> {
+        if budget.is_unlimited() {
+            return self.execute(req);
+        }
+        match req {
+            Request::Select { query } | Request::Ask { query } => {
+                let compiled = self.compiled(query)?;
+                Ok(response_of(execute_compiled_paged_budgeted(
+                    &self.store,
+                    &compiled,
+                    None,
+                    None,
+                    budget,
+                )?))
+            }
+            Request::PreparedSelect { prepared, args }
+            | Request::PreparedAsk { prepared, args } => {
+                let bound = prepared.bind(args)?;
+                Ok(response_of(execute_ast_budgeted(
+                    &self.store,
+                    &bound,
+                    self.plan_options(),
+                    budget,
+                )?))
+            }
+            Request::PreparedSelectPaged {
+                prepared,
+                args,
+                limit,
+                offset,
+            } => {
+                let compiled = self.compiled_prepared_paged(prepared, args)?;
+                Ok(response_of(execute_compiled_paged_budgeted(
+                    &self.store,
+                    &compiled,
+                    limit,
+                    offset,
+                    budget,
+                )?))
+            }
+            Request::Count { prepared, args } => {
+                execute_count_budgeted(&self.store, prepared, args, self.plan_options(), budget)
+                    .map(Response::Count)
+            }
+            // Sub-requests share the one budget: the deadline is absolute
+            // and the scan counter is per-sub-query, so a batch cannot
+            // outlive the deadline even though each member restarts its
+            // row count.
+            Request::Batch(requests) => Ok(Response::Batch(
+                requests
+                    .into_iter()
+                    .map(|sub| self.execute_with_budget(sub, budget))
+                    .collect::<Result<_, _>>()?,
+            )),
+        }
     }
 }
 

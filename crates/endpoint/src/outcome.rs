@@ -6,7 +6,8 @@ use crate::endpoint::{count_of_ask_error, Response};
 use crate::error::EndpointError;
 use sofya_rdf::{Term, TripleStore};
 use sofya_sparql::{
-    execute_select_with, PlanOptions, Prepared, Projection, Query, QueryOutcome, SelectQuery,
+    execute_select_budgeted, execute_select_with, PlanOptions, Prepared, Projection, Query,
+    QueryBudget, QueryOutcome, SelectQuery,
 };
 
 /// The typed response for an engine outcome: `SELECT` rows become
@@ -60,5 +61,20 @@ pub(crate) fn execute_count(
 ) -> Result<u64, EndpointError> {
     let select = count_rewrite(prepared, args)?;
     let rs = execute_select_with(store, &select, opts)?;
+    Ok(rs.single_integer().unwrap_or(0).max(0) as u64)
+}
+
+/// [`execute_count`] under a [`QueryBudget`]: the count rewrite still
+/// short-circuits through index bounds when it can, but a scan-backed
+/// count ticks the budget per row like any other query.
+pub(crate) fn execute_count_budgeted(
+    store: &TripleStore,
+    prepared: &Prepared,
+    args: &[Term],
+    opts: PlanOptions<'_>,
+    budget: &QueryBudget,
+) -> Result<u64, EndpointError> {
+    let select = count_rewrite(prepared, args)?;
+    let rs = execute_select_budgeted(store, &select, opts, budget)?;
     Ok(rs.single_integer().unwrap_or(0).max(0) as u64)
 }

@@ -8,7 +8,7 @@
 
 use crate::endpoint::{Endpoint, Request, Response};
 use crate::error::EndpointError;
-use sofya_sparql::ResultSet;
+use sofya_sparql::{QueryBudget, ResultSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Limits enforced by a [`QuotaEndpoint`].
@@ -136,6 +136,15 @@ impl<E: Endpoint> Endpoint for QuotaEndpoint<E> {
 
     fn name(&self) -> &str {
         self.inner.name()
+    }
+
+    fn execute_with_budget(
+        &self,
+        req: Request<'_>,
+        budget: &QueryBudget,
+    ) -> Result<Response, EndpointError> {
+        self.charge(req.leaf_count())?;
+        Ok(self.cap_response(self.inner.execute_with_budget(req, budget)?))
     }
 }
 

@@ -9,7 +9,8 @@
 use crate::clock::Clock;
 use crate::endpoint::{Endpoint, Request, Response};
 use crate::error::EndpointError;
-use std::sync::atomic::{AtomicU64, Ordering};
+use sofya_sparql::QueryBudget;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -61,6 +62,195 @@ impl<E: Endpoint> Endpoint for FlakyEndpoint<E> {
 
     fn name(&self) -> &str {
         self.inner.name()
+    }
+
+    fn execute_with_budget(
+        &self,
+        req: Request<'_>,
+        budget: &QueryBudget,
+    ) -> Result<Response, EndpointError> {
+        self.maybe_fail()?;
+        self.inner.execute_with_budget(req, budget)
+    }
+}
+
+/// The externally visible state of a [`RetryEndpoint`] circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow through; consecutive failures are being counted.
+    Closed,
+    /// Requests fail fast without touching the endpoint until the
+    /// cooldown elapses.
+    Open,
+    /// The cooldown elapsed: exactly one probe request is allowed
+    /// through; its outcome closes or re-opens the breaker.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// A numeric encoding for metrics gauges: closed = 0, open = 1,
+    /// half-open = 2.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// Circuit-breaker policy for [`RetryEndpoint::with_breaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive breaker-counted failures (503s and deadline
+    /// timeouts, *after* retries are exhausted) that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before allowing a half-open
+    /// probe, measured on the injected [`Clock`].
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    /// Trip after 5 consecutive failures; probe again after 30 s.
+    fn default() -> Self {
+        Self {
+            failure_threshold: 5,
+            cooldown: Duration::from_secs(30),
+        }
+    }
+}
+
+const BREAKER_CLOSED: u8 = 0;
+const BREAKER_OPEN: u8 = 1;
+const BREAKER_HALF_OPEN: u8 = 2;
+
+/// Closed → (K consecutive failures) → Open → (cooldown) → HalfOpen →
+/// one probe → Closed or back to Open. Time comes from the injected
+/// [`Clock`], so the whole lifecycle is deterministic under
+/// [`crate::ManualClock`].
+struct Breaker {
+    config: BreakerConfig,
+    clock: Arc<dyn Clock>,
+    state: AtomicU8,
+    consecutive: AtomicU32,
+    opened_at_nanos: AtomicU64,
+    probe_in_flight: AtomicBool,
+    trips: AtomicU64,
+}
+
+impl Breaker {
+    fn new(config: BreakerConfig, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            config,
+            clock,
+            state: AtomicU8::new(BREAKER_CLOSED),
+            consecutive: AtomicU32::new(0),
+            opened_at_nanos: AtomicU64::new(0),
+            probe_in_flight: AtomicBool::new(false),
+            trips: AtomicU64::new(0),
+        }
+    }
+
+    fn state(&self) -> BreakerState {
+        match self.state.load(Ordering::Acquire) {
+            BREAKER_OPEN => BreakerState::Open,
+            BREAKER_HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// Whether `error` counts toward tripping the breaker: the classes
+    /// that mean "the server did not usefully respond". Errors the
+    /// server *computed* (SPARQL, quota, budget caps) prove it is alive
+    /// and reset the failure streak instead.
+    fn counts_as_failure(error: &EndpointError) -> bool {
+        matches!(
+            error,
+            EndpointError::Unavailable { .. } | EndpointError::DeadlineExceeded { .. }
+        )
+    }
+
+    fn fail_fast(&self, name: &str, retry_after: Option<Duration>) -> EndpointError {
+        EndpointError::Unavailable {
+            message: format!("circuit breaker open for '{name}'"),
+            retry_after,
+        }
+    }
+
+    /// Gate on the current state; `Ok(())` admits one attempt (in
+    /// half-open, only the single probe winner).
+    fn admit(&self, name: &str) -> Result<(), EndpointError> {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                BREAKER_OPEN => {
+                    let opened = Duration::from_nanos(self.opened_at_nanos.load(Ordering::Acquire));
+                    let since = self.clock.now().saturating_sub(opened);
+                    if since < self.config.cooldown {
+                        return Err(self.fail_fast(name, Some(self.config.cooldown - since)));
+                    }
+                    // Cooldown over — race to half-open and retry the gate.
+                    let _ = self.state.compare_exchange(
+                        BREAKER_OPEN,
+                        BREAKER_HALF_OPEN,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                }
+                BREAKER_HALF_OPEN => {
+                    if self
+                        .probe_in_flight
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return Ok(());
+                    }
+                    return Err(self.fail_fast(name, Some(self.config.cooldown)));
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// The server responded (success, or an error it computed): close
+    /// and reset the streak.
+    fn record_success(&self) {
+        self.state.store(BREAKER_CLOSED, Ordering::Release);
+        self.consecutive.store(0, Ordering::Release);
+        self.probe_in_flight.store(false, Ordering::Release);
+    }
+
+    /// A breaker-counted failure after retries were exhausted.
+    fn record_failure(&self) {
+        let was = self.state.load(Ordering::Acquire);
+        self.probe_in_flight.store(false, Ordering::Release);
+        if was == BREAKER_HALF_OPEN {
+            // Failed probe: straight back to open for another cooldown.
+            self.trip();
+            return;
+        }
+        // `was` is Closed here (an Open state never admits attempts).
+        let streak = self.consecutive.fetch_add(1, Ordering::AcqRel) + 1;
+        if streak >= self.config.failure_threshold {
+            self.trip();
+        }
+    }
+
+    fn trip(&self) {
+        self.opened_at_nanos
+            .store(self.clock.now().as_nanos() as u64, Ordering::Release);
+        self.consecutive.store(0, Ordering::Release);
+        self.trips.fetch_add(1, Ordering::Relaxed);
+        self.state.store(BREAKER_OPEN, Ordering::Release);
     }
 }
 
@@ -117,6 +307,7 @@ pub struct RetryEndpoint<E> {
     retries_used: AtomicU64,
     backoff: Option<(BackoffPolicy, Arc<dyn Clock>)>,
     backoff_nanos: AtomicU64,
+    breaker: Option<Breaker>,
 }
 
 impl<E: Endpoint> RetryEndpoint<E> {
@@ -129,6 +320,7 @@ impl<E: Endpoint> RetryEndpoint<E> {
             retries_used: AtomicU64::new(0),
             backoff: None,
             backoff_nanos: AtomicU64::new(0),
+            breaker: None,
         }
     }
 
@@ -141,11 +333,23 @@ impl<E: Endpoint> RetryEndpoint<E> {
         clock: Arc<dyn Clock>,
     ) -> Self {
         Self {
-            inner,
-            max_retries,
-            retries_used: AtomicU64::new(0),
             backoff: Some((policy, clock)),
-            backoff_nanos: AtomicU64::new(0),
+            ..Self::new(inner, max_retries)
+        }
+    }
+
+    /// Adds a circuit breaker in front of the retry loop: after
+    /// `config.failure_threshold` consecutive breaker-counted failures
+    /// (503s and deadline timeouts, each *after* its retries were
+    /// exhausted) the breaker opens and every request fails fast with
+    /// [`EndpointError::Unavailable`] — no load reaches a struggling
+    /// server. Once `config.cooldown` has elapsed on `clock`, a single
+    /// half-open probe is admitted; its success closes the breaker, its
+    /// failure re-opens it for another cooldown.
+    pub fn with_breaker(self, config: BreakerConfig, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            breaker: Some(Breaker::new(config, clock)),
+            ..self
         }
     }
 
@@ -162,6 +366,19 @@ impl<E: Endpoint> RetryEndpoint<E> {
     /// The wrapped endpoint.
     pub fn inner(&self) -> &E {
         &self.inner
+    }
+
+    /// The breaker's current state (`None` without a breaker).
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.breaker.as_ref().map(Breaker::state)
+    }
+
+    /// How many times the breaker has tripped open (0 without one).
+    pub fn breaker_trips(&self) -> u64 {
+        self.breaker
+            .as_ref()
+            .map(|b| b.trips.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// Whether `error` is worth another attempt, and the server's
@@ -208,6 +425,27 @@ impl<E: Endpoint> RetryEndpoint<E> {
         }
         Err(last_err.expect("at least one attempt"))
     }
+
+    /// The breaker-gated retry loop: fail fast while open, run the
+    /// retries otherwise, and record the *final* outcome (individual
+    /// retried attempts don't count — only a query that exhausted its
+    /// retries is a breaker failure).
+    fn guarded<T>(
+        &self,
+        attempt: impl FnMut() -> Result<T, EndpointError>,
+    ) -> Result<T, EndpointError> {
+        if let Some(breaker) = &self.breaker {
+            breaker.admit(self.inner.name())?;
+        }
+        let result = self.with_retries(attempt);
+        if let Some(breaker) = &self.breaker {
+            match &result {
+                Err(e) if Breaker::counts_as_failure(e) => breaker.record_failure(),
+                _ => breaker.record_success(),
+            }
+        }
+        result
+    }
 }
 
 impl<E: Endpoint> Endpoint for RetryEndpoint<E> {
@@ -215,11 +453,19 @@ impl<E: Endpoint> Endpoint for RetryEndpoint<E> {
     /// cheap to clone: borrowed strings, template references, and — for
     /// batches — a vector of the same).
     fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
-        self.with_retries(|| self.inner.execute(req.clone()))
+        self.guarded(|| self.inner.execute(req.clone()))
     }
 
     fn name(&self) -> &str {
         self.inner.name()
+    }
+
+    fn execute_with_budget(
+        &self,
+        req: Request<'_>,
+        budget: &QueryBudget,
+    ) -> Result<Response, EndpointError> {
+        self.guarded(|| self.inner.execute_with_budget(req.clone(), budget))
     }
 }
 
@@ -353,6 +599,135 @@ mod tests {
         ep.ask("ASK { <a> <p> <b> }").unwrap();
         assert_eq!(ep.retries_used(), 1);
         assert_eq!(ep.backoff_time(), Duration::from_secs(2));
+    }
+
+    fn unavailable() -> EndpointError {
+        EndpointError::Unavailable {
+            message: "down".into(),
+            retry_after: None,
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_fails_fast() {
+        use crate::clock::ManualClock;
+        let clock: Arc<ManualClock> = Arc::new(ManualClock::new());
+        // Every attempt (including retries) fails with a 503.
+        let scripted = Scripted::new(vec![unavailable(); 100]);
+        let config = BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(10),
+        };
+        let ep = RetryEndpoint::new(scripted, 0).with_breaker(config, clock.clone());
+        assert_eq!(ep.breaker_state(), Some(BreakerState::Closed));
+        for _ in 0..3 {
+            ep.ask("ASK { <a> <p> <b> }").unwrap_err();
+        }
+        assert_eq!(ep.breaker_state(), Some(BreakerState::Open));
+        assert_eq!(ep.breaker_trips(), 1);
+        // While open, requests fail fast without reaching the endpoint.
+        let before = ep.inner().errors.lock().unwrap().len();
+        let err = ep.ask("ASK { <a> <p> <b> }").unwrap_err();
+        assert!(err.to_string().contains("circuit breaker open"));
+        assert!(matches!(
+            err,
+            EndpointError::Unavailable {
+                retry_after: Some(_),
+                ..
+            }
+        ));
+        assert_eq!(ep.inner().errors.lock().unwrap().len(), before);
+    }
+
+    #[test]
+    fn breaker_half_open_probe_closes_on_success() {
+        use crate::clock::ManualClock;
+        let clock: Arc<ManualClock> = Arc::new(ManualClock::new());
+        // Two failures trip the breaker; the script is then empty, so
+        // the probe succeeds against the local store.
+        let scripted = Scripted::new(vec![unavailable(); 2]);
+        let config = BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(5),
+        };
+        let ep = RetryEndpoint::new(scripted, 0).with_breaker(config, clock.clone());
+        for _ in 0..2 {
+            ep.ask("ASK { <a> <p> <b> }").unwrap_err();
+        }
+        assert_eq!(ep.breaker_state(), Some(BreakerState::Open));
+        // Cooldown not yet elapsed: still failing fast.
+        clock.advance(Duration::from_secs(4));
+        ep.ask("ASK { <a> <p> <b> }").unwrap_err();
+        // Cooldown elapsed: the probe goes through and closes the breaker.
+        clock.advance(Duration::from_secs(1));
+        assert!(ep.ask("ASK { <a> <p> <b> }").unwrap());
+        assert_eq!(ep.breaker_state(), Some(BreakerState::Closed));
+        assert!(ep.ask("ASK { <a> <p> <b> }").unwrap());
+    }
+
+    #[test]
+    fn breaker_failed_probe_reopens() {
+        use crate::clock::ManualClock;
+        let clock: Arc<ManualClock> = Arc::new(ManualClock::new());
+        // One failure trips the breaker, the probe fails too, then a
+        // second cooldown's probe succeeds.
+        let scripted = Scripted::new(vec![unavailable(); 2]);
+        let config = BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_secs(5),
+        };
+        let ep = RetryEndpoint::new(scripted, 0).with_breaker(config, clock.clone());
+        ep.ask("ASK { <a> <p> <b> }").unwrap_err();
+        assert_eq!(ep.breaker_state(), Some(BreakerState::Open));
+        clock.advance(Duration::from_secs(5));
+        ep.ask("ASK { <a> <p> <b> }").unwrap_err(); // failed probe
+        assert_eq!(ep.breaker_state(), Some(BreakerState::Open));
+        assert_eq!(ep.breaker_trips(), 2);
+        clock.advance(Duration::from_secs(5));
+        assert!(ep.ask("ASK { <a> <p> <b> }").unwrap());
+        assert_eq!(ep.breaker_state(), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn server_computed_errors_reset_the_breaker_streak() {
+        use crate::clock::ManualClock;
+        let clock: Arc<ManualClock> = Arc::new(ManualClock::new());
+        let scripted = Scripted::new(vec![unavailable(), unavailable()]);
+        let config = BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(5),
+        };
+        let ep = RetryEndpoint::new(scripted, 0).with_breaker(config, clock);
+        ep.ask("ASK { <a> <p> <b> }").unwrap_err();
+        ep.ask("ASK { <a> <p> <b> }").unwrap_err();
+        // A SPARQL error proves the server is alive: streak resets, so
+        // the breaker needs a fresh run of 3 to trip.
+        ep.select("NOT SPARQL").unwrap_err();
+        assert_eq!(ep.breaker_state(), Some(BreakerState::Closed));
+        assert_eq!(ep.breaker_trips(), 0);
+    }
+
+    #[test]
+    fn deadline_errors_count_toward_the_breaker() {
+        use crate::clock::ManualClock;
+        let clock: Arc<ManualClock> = Arc::new(ManualClock::new());
+        let scripted = Scripted::new(vec![
+            EndpointError::DeadlineExceeded {
+                elapsed: Duration::from_millis(100),
+            },
+            unavailable(),
+        ]);
+        let config = BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(5),
+        };
+        let ep = RetryEndpoint::new(scripted, 0).with_breaker(config, clock);
+        // Deadline errors are not retried (the caller's deadline is
+        // gone) but do count as the server failing to answer in time.
+        ep.ask("ASK { <a> <p> <b> }").unwrap_err();
+        assert_eq!(ep.retries_used(), 0);
+        ep.ask("ASK { <a> <p> <b> }").unwrap_err();
+        assert_eq!(ep.breaker_state(), Some(BreakerState::Open));
     }
 
     #[test]

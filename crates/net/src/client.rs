@@ -11,18 +11,28 @@
 //! Connections are reused across requests (HTTP/1.1 keep-alive, one
 //! pooled connection guarded by a mutex). A send on a previously pooled
 //! connection that fails mid-flight is retried once on a fresh dial —
-//! the server may have expired the idle connection — after which I/O
-//! failures surface as [`EndpointError::Other`], the retryable class for
-//! [`sofya_endpoint::RetryEndpoint`] backoff stacks.
+//! the server may have expired the idle connection. Transport-level
+//! failures (connect/read timeouts, refused or reset connections,
+//! mid-response disconnects) surface as the typed, retryable
+//! [`EndpointError::Unavailable`] — the class
+//! [`sofya_endpoint::RetryEndpoint`] backs off on and its circuit
+//! breaker counts; only non-transport decode failures fall back to
+//! [`EndpointError::Other`].
+//!
+//! Deadlines propagate: when executed with a budget carrying a
+//! deadline, the client sends the *remaining* time as `X-Deadline-Ms`,
+//! so the server enforces what is left of the caller's budget rather
+//! than restarting its own clock.
 
 use crate::http::{read_response, write_request, HttpResponse};
 use crate::json::Json;
 use crate::wire::{envelope_from_json, WireRequest};
 use parking_lot::Mutex;
-use sofya_endpoint::{Endpoint, EndpointError, Request, Response};
+use sofya_endpoint::{map_budget_error, Endpoint, EndpointError, Request, Response};
+use sofya_sparql::QueryBudget;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Client knobs.
 #[derive(Debug, Clone)]
@@ -79,7 +89,7 @@ impl RemoteEndpoint {
 
     /// Fetches the server's `GET /metrics` report as raw JSON text.
     pub fn fetch_metrics(&self) -> Result<String, EndpointError> {
-        let response = self.roundtrip("GET", "/metrics", b"")?;
+        let response = self.roundtrip("GET", "/metrics", b"", None)?;
         if response.status != 200 {
             return Err(EndpointError::Other(format!(
                 "metrics fetch failed with HTTP {}",
@@ -92,7 +102,7 @@ impl RemoteEndpoint {
 
     fn dial(&self) -> Result<TcpStream, EndpointError> {
         let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
-            .map_err(|e| EndpointError::Other(format!("connect to {}: {e}", self.addr)))?;
+            .map_err(|e| classify_io(format!("connect to {}", self.addr), &e))?;
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(self.config.io_timeout));
         let _ = stream.set_write_timeout(Some(self.config.io_timeout));
@@ -108,32 +118,34 @@ impl RemoteEndpoint {
         method: &str,
         path: &str,
         body: &[u8],
+        deadline_ms: Option<u64>,
     ) -> Result<HttpResponse, EndpointError> {
         let mut pooled = self.conn.lock();
         let (stream, was_pooled) = match pooled.take() {
             Some(stream) => (stream, true),
             None => (self.dial()?, false),
         };
-        match self.send_recv(stream, method, path, body) {
+        match self.send_recv(stream, method, path, body, deadline_ms) {
             Ok((stream, response)) => {
                 *pooled = Some(stream);
                 Ok(response)
             }
             Err(first) => {
                 if !was_pooled {
-                    return Err(EndpointError::Other(format!("http round trip: {first}")));
+                    return Err(classify_io("http round trip", &first));
                 }
                 // The pooled connection may have been closed server-side
                 // while idle; retry exactly once on a fresh dial.
                 let stream = self.dial()?;
-                match self.send_recv(stream, method, path, body) {
+                match self.send_recv(stream, method, path, body, deadline_ms) {
                     Ok((stream, response)) => {
                         *pooled = Some(stream);
                         Ok(response)
                     }
-                    Err(second) => Err(EndpointError::Other(format!(
-                        "http round trip failed twice: {first}; then {second}"
-                    ))),
+                    Err(second) => Err(classify_io(
+                        format!("http round trip failed twice: {first}; then"),
+                        &second,
+                    )),
                 }
             }
         }
@@ -145,30 +157,33 @@ impl RemoteEndpoint {
         method: &str,
         path: &str,
         body: &[u8],
+        deadline_ms: Option<u64>,
     ) -> std::io::Result<(TcpStream, HttpResponse)> {
-        write_request(
-            &mut stream,
-            method,
-            path,
-            &[
-                ("Host", "sofya"),
-                ("X-Client", &self.config.client_id),
-                ("Content-Type", "application/json"),
-            ],
-            body,
-        )?;
+        let deadline_value;
+        let mut headers = vec![
+            ("Host", "sofya"),
+            ("X-Client", self.config.client_id.as_str()),
+            ("Content-Type", "application/json"),
+        ];
+        if let Some(ms) = deadline_ms {
+            deadline_value = ms.to_string();
+            headers.push(("X-Deadline-Ms", &deadline_value));
+        }
+        write_request(&mut stream, method, path, &headers, body)?;
         let mut reader = BufReader::new(stream.try_clone()?);
         let response = read_response(&mut reader)?;
         Ok((stream, response))
     }
-}
 
-impl Endpoint for RemoteEndpoint {
-    fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
+    fn execute_inner(
+        &self,
+        req: Request<'_>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, EndpointError> {
         let wire = WireRequest::from_request(&req)?;
         let mut body = wire.to_json().to_text();
         body.push('\n');
-        let response = self.roundtrip("POST", "/query", body.as_bytes())?;
+        let response = self.roundtrip("POST", "/query", body.as_bytes(), deadline_ms)?;
         let text = std::str::from_utf8(&response.body)
             .map_err(|e| EndpointError::Other(format!("non-UTF-8 response body: {e}")))?;
         let json = Json::parse(text.trim_end_matches('\n'))
@@ -181,8 +196,95 @@ impl Endpoint for RemoteEndpoint {
             ))),
         }
     }
+}
+
+/// Classifies a transport-level I/O failure: timeouts, refused, reset,
+/// or torn-down connections are the retryable
+/// [`EndpointError::Unavailable`] class (the circuit breaker counts
+/// them); anything else — notably `InvalidData` from a malformed frame
+/// — stays opaque.
+fn classify_io(context: impl std::fmt::Display, error: &std::io::Error) -> EndpointError {
+    use std::io::ErrorKind;
+    match error.kind() {
+        ErrorKind::TimedOut
+        | ErrorKind::WouldBlock
+        | ErrorKind::ConnectionRefused
+        | ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::BrokenPipe
+        | ErrorKind::NotConnected
+        | ErrorKind::UnexpectedEof => EndpointError::Unavailable {
+            message: format!("{context}: {error}"),
+            retry_after: None,
+        },
+        _ => EndpointError::Other(format!("{context}: {error}")),
+    }
+}
+
+impl Endpoint for RemoteEndpoint {
+    fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
+        self.execute_inner(req, None)
+    }
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The remaining time of the caller's budget travels as
+    /// `X-Deadline-Ms`; an already-expired or cancelled budget fails
+    /// locally without spending a round trip. Scan/binding caps are
+    /// enforced by the *server's* configuration — they do not travel.
+    fn execute_with_budget(
+        &self,
+        req: Request<'_>,
+        budget: &QueryBudget,
+    ) -> Result<Response, EndpointError> {
+        let started = Instant::now();
+        budget
+            .check_expired()
+            .map_err(|e| map_budget_error(EndpointError::Sparql(e), started.elapsed()))?;
+        let deadline_ms = budget.remaining_time().map(|left| {
+            // Round down, but never announce 0 for a still-live budget
+            // (0 means "already expired" server-side).
+            (left.as_millis() as u64).max(1)
+        });
+        self.execute_inner(req, deadline_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Error, ErrorKind};
+
+    #[test]
+    fn transport_failures_classify_as_unavailable() {
+        for kind in [
+            ErrorKind::TimedOut,
+            ErrorKind::WouldBlock,
+            ErrorKind::ConnectionRefused,
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::BrokenPipe,
+            ErrorKind::NotConnected,
+            ErrorKind::UnexpectedEof,
+        ] {
+            let got = classify_io("ctx", &Error::new(kind, "boom"));
+            assert!(
+                matches!(got, EndpointError::Unavailable { .. }),
+                "{kind:?} must be retryable, got {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_transport_failures_stay_opaque() {
+        for kind in [ErrorKind::InvalidData, ErrorKind::PermissionDenied] {
+            let got = classify_io("ctx", &Error::new(kind, "boom"));
+            assert!(
+                matches!(got, EndpointError::Other(_)),
+                "{kind:?} is not transport flakiness, got {got:?}"
+            );
+        }
     }
 }

@@ -65,6 +65,13 @@ fn bad_data(message: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.into())
 }
 
+/// A connection torn down mid-message: `UnexpectedEof`, not
+/// `InvalidData` — the peer vanished, the bytes were not malformed.
+/// Clients classify this as a retryable transport failure.
+fn torn_down(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, message.into())
+}
+
 /// Reads one `\r\n`-terminated line (returned without the terminator).
 /// `Ok(None)` signals clean EOF **before any byte** — the peer closed a
 /// keep-alive connection between messages.
@@ -77,7 +84,7 @@ fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> io::Result<Option
                 if line.is_empty() {
                     return Ok(None);
                 }
-                return Err(bad_data("connection closed mid-line"));
+                return Err(torn_down("connection closed mid-line"));
             }
             Ok(_) => {
                 *budget = budget
@@ -105,7 +112,7 @@ fn read_headers(
     let mut headers = Vec::new();
     loop {
         let line = read_line(reader, budget)?
-            .ok_or_else(|| bad_data("connection closed inside headers"))?;
+            .ok_or_else(|| torn_down("connection closed inside headers"))?;
         if line.is_empty() {
             return Ok(headers);
         }
@@ -181,7 +188,7 @@ pub fn write_request(
 pub fn read_response(reader: &mut impl BufRead) -> io::Result<HttpResponse> {
     let mut budget = MAX_HEADER_BYTES;
     let status_line = read_line(reader, &mut budget)?
-        .ok_or_else(|| bad_data("connection closed before response"))?;
+        .ok_or_else(|| torn_down("connection closed before response"))?;
     let mut parts = status_line.split_whitespace();
     let (version, status) = match (parts.next(), parts.next()) {
         (Some(v), Some(s)) => (v, s),

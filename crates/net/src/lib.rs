@@ -31,4 +31,4 @@ pub mod wire;
 pub use client::{RemoteConfig, RemoteEndpoint};
 pub use json::Json;
 pub use server::{metrics_to_json, HttpServer, ServerConfig};
-pub use wire::{execute_wire, WireError, WireRequest};
+pub use wire::{execute_wire, execute_wire_budgeted, WireError, WireRequest};

@@ -19,11 +19,14 @@
 
 use crate::http::{read_request, write_response, HttpRequest};
 use crate::json::Json;
-use crate::wire::{envelope_to_json, execute_wire, WireRequest};
+use crate::wire::{envelope_to_json, execute_wire_budgeted, WireRequest};
 use parking_lot::Mutex;
-use sofya_endpoint::{DurabilityGauge, Endpoint, EndpointError, Response};
+use sofya_endpoint::{
+    map_budget_error, BudgetConfig, DurabilityGauge, Endpoint, EndpointError, Response,
+};
 use sofya_service::scheduler::{serve, JobOutcome, SchedulerConfig, SchedulerHandle, SubmitError};
 use sofya_service::{MetricsReport, ServiceMetrics};
+use sofya_sparql::{CancelToken, QueryBudget};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
@@ -43,7 +46,16 @@ pub struct ServerConfig {
     /// How long [`HttpServer::shutdown`] waits for in-flight requests to
     /// finish before closing connections anyway. During the drain, new
     /// requests are refused with `503` instead of being left hanging.
+    /// If in-flight queries outlive the drain, the server trips its
+    /// cancel token so budgeted evaluation unwinds, and allows up to one
+    /// more `drain_deadline` of grace for that.
     pub drain_deadline: Duration,
+    /// Per-query execution limits (the runaway-query kill switch). The
+    /// effective deadline of a request is the *tighter* of
+    /// `budget.time_limit` and the client's `X-Deadline-Ms` header;
+    /// queued requests whose deadline passes before a worker picks them
+    /// up are shed without executing.
+    pub budget: BudgetConfig,
     /// Durability observables from the store's writer (see
     /// [`sofya_endpoint::DurableStore::gauge`]). When set, `GET /metrics`
     /// reports the durable epoch and WAL fsync latency.
@@ -56,6 +68,7 @@ impl Default for ServerConfig {
             scheduler: SchedulerConfig::default(),
             poll_interval: Duration::from_millis(25),
             drain_deadline: Duration::from_secs(5),
+            budget: BudgetConfig::default(),
             durability: None,
         }
     }
@@ -96,6 +109,7 @@ pub struct HttpServer {
     drain_deadline: Duration,
     thread: Option<std::thread::JoinHandle<()>>,
     metrics: Arc<Mutex<MetricsReport>>,
+    cancel: Arc<CancelToken>,
 }
 
 impl HttpServer {
@@ -113,14 +127,32 @@ impl HttpServer {
         let lifecycle = Arc::new(Lifecycle::new());
         let drain_deadline = config.drain_deadline;
         let metrics = Arc::new(Mutex::new(ServiceMetrics::default().report()));
+        let cancel = Arc::new(CancelToken::new());
         let thread = {
             let lifecycle = Arc::clone(&lifecycle);
             let metrics = Arc::clone(&metrics);
+            let cancel = Arc::clone(&cancel);
             std::thread::spawn(move || {
-                let handler = |wire: WireRequest| execute_wire(endpoint.as_ref(), &wire);
+                let budget_config = config.budget;
+                let handler_cancel = Arc::clone(&cancel);
+                // Every job runs under the configured caps plus the
+                // server's kill switch; the absolute deadline rides in
+                // with the job (computed when the request was read, so
+                // queue wait spends the budget too).
+                let handler = move |job: WireJob| {
+                    let budget = QueryBudget {
+                        deadline: job.deadline,
+                        max_rows_scanned: budget_config.max_rows_scanned,
+                        max_bindings: budget_config.max_bindings,
+                        cancel: Some(Arc::clone(&handler_cancel)),
+                    };
+                    let started = Instant::now();
+                    execute_wire_budgeted(endpoint.as_ref(), &job.wire, &budget)
+                        .map_err(|e| map_budget_error(e, started.elapsed()))
+                };
                 let scheduler = config.scheduler.clone();
                 let _ = serve(&scheduler, handler, |handle| {
-                    accept_loop(&listener, handle, &config, &lifecycle, &metrics);
+                    accept_loop(&listener, handle, &config, &lifecycle, &metrics, &cancel);
                     *metrics.lock() = handle.metrics().report();
                 });
             })
@@ -131,6 +163,7 @@ impl HttpServer {
             drain_deadline,
             thread: Some(thread),
             metrics,
+            cancel,
         })
     }
 
@@ -152,11 +185,29 @@ impl HttpServer {
         self.stop_and_join();
     }
 
+    /// The server's kill switch: tripping it aborts every in-flight
+    /// budgeted query within one evaluator poll interval. Tripped
+    /// automatically when a drain outlives [`ServerConfig::drain_deadline`].
+    pub fn cancel_token(&self) -> Arc<CancelToken> {
+        Arc::clone(&self.cancel)
+    }
+
     fn stop_and_join(&mut self) {
         self.lifecycle.phase.store(DRAINING, Ordering::SeqCst);
         let deadline = Instant::now() + self.drain_deadline;
         while self.lifecycle.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(1));
+        }
+        if self.lifecycle.in_flight.load(Ordering::SeqCst) > 0 {
+            // In-flight queries outlived the drain deadline: trip the
+            // kill switch so budgeted evaluation unwinds cooperatively,
+            // and give that bounded grace instead of abandoning the
+            // worker threads mid-query.
+            self.cancel.cancel();
+            let grace = Instant::now() + self.drain_deadline;
+            while self.lifecycle.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < grace {
+                std::thread::sleep(Duration::from_millis(1));
+            }
         }
         self.lifecycle.phase.store(STOPPED, Ordering::SeqCst);
         // Unblock a blocking accept with a throwaway connection.
@@ -175,7 +226,16 @@ impl Drop for HttpServer {
     }
 }
 
-type Handle<'s> = SchedulerHandle<'s, WireRequest, Result<Response, EndpointError>>;
+/// One scheduler job: the wire request plus the absolute deadline it
+/// must beat (already the tighter of the server's limit and the
+/// client's `X-Deadline-Ms`). The scheduler sheds it unexecuted if the
+/// deadline passes while it is still queued.
+struct WireJob {
+    wire: WireRequest,
+    deadline: Option<Instant>,
+}
+
+type Handle<'s> = SchedulerHandle<'s, WireJob, Result<Response, EndpointError>>;
 
 fn accept_loop(
     listener: &TcpListener,
@@ -183,6 +243,7 @@ fn accept_loop(
     config: &ServerConfig,
     lifecycle: &Lifecycle,
     metrics: &Mutex<MetricsReport>,
+    cancel: &Arc<CancelToken>,
 ) {
     std::thread::scope(|scope| loop {
         let stream = match listener.accept() {
@@ -203,7 +264,9 @@ fn accept_loop(
                 scope.spawn(move || refuse_connection(stream, config));
             }
             _ => {
-                scope.spawn(move || serve_connection(stream, handle, config, lifecycle, metrics));
+                scope.spawn(move || {
+                    serve_connection(stream, handle, config, lifecycle, metrics, cancel)
+                });
             }
         }
     });
@@ -260,6 +323,7 @@ fn serve_connection(
     config: &ServerConfig,
     lifecycle: &Lifecycle,
     metrics: &Mutex<MetricsReport>,
+    cancel: &Arc<CancelToken>,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(config.poll_interval));
@@ -283,7 +347,7 @@ fn serve_connection(
             Err(_) => return,
         }
         lifecycle.in_flight.fetch_add(1, Ordering::SeqCst);
-        let outcome = serve_one_request(&mut stream, &mut reader, handle, config, metrics);
+        let outcome = serve_one_request(&mut stream, &mut reader, handle, config, metrics, cancel);
         lifecycle.in_flight.fetch_sub(1, Ordering::SeqCst);
         if outcome.is_err() {
             return;
@@ -299,6 +363,7 @@ fn serve_one_request(
     handle: &Handle<'_>,
     config: &ServerConfig,
     metrics: &Mutex<MetricsReport>,
+    cancel: &Arc<CancelToken>,
 ) -> Result<(), ()> {
     let request = match read_request(reader) {
         Ok(Some(request)) => request,
@@ -309,7 +374,7 @@ fn serve_one_request(
             return Err(());
         }
     };
-    let (status, reason, extra, body) = route(&request, handle, config);
+    let (status, reason, extra, body) = route(&request, handle, config, cancel);
     *metrics.lock() = handle.metrics().report();
     let mut headers = json_headers();
     if let Some((name, value)) = &extra {
@@ -330,9 +395,14 @@ fn error_body(error: &EndpointError) -> Vec<u8> {
 
 type Routed = (u16, &'static str, Option<(&'static str, String)>, Vec<u8>);
 
-fn route(request: &HttpRequest, handle: &Handle<'_>, config: &ServerConfig) -> Routed {
+fn route(
+    request: &HttpRequest,
+    handle: &Handle<'_>,
+    config: &ServerConfig,
+    cancel: &Arc<CancelToken>,
+) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/query") => serve_query(request, handle, config),
+        ("POST", "/query") => serve_query(request, handle, config, cancel),
         ("GET", "/metrics") => {
             // Fold the writer-side durability observables in lazily, at
             // probe time — commits never touch the service registry.
@@ -359,7 +429,13 @@ fn route(request: &HttpRequest, handle: &Handle<'_>, config: &ServerConfig) -> R
     }
 }
 
-fn serve_query(request: &HttpRequest, handle: &Handle<'_>, config: &ServerConfig) -> Routed {
+fn serve_query(
+    request: &HttpRequest,
+    handle: &Handle<'_>,
+    config: &ServerConfig,
+    cancel: &Arc<CancelToken>,
+) -> Routed {
+    let started = Instant::now();
     let client = request.header("x-client").unwrap_or("anonymous").to_owned();
     let wire = match std::str::from_utf8(&request.body)
         .map_err(|e| e.to_string())
@@ -376,13 +452,49 @@ fn serve_query(request: &HttpRequest, handle: &Handle<'_>, config: &ServerConfig
             )
         }
     };
-    match handle.submit(&client, wire) {
+    // The effective deadline: the tighter of the server's own limit and
+    // whatever remains of the client's budget (`X-Deadline-Ms` carries
+    // the remaining milliseconds, so queue wait here spends it too).
+    let client_limit = request
+        .header("x-deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis);
+    let time_limit = match (config.budget.time_limit, client_limit) {
+        (Some(server), Some(client)) => Some(server.min(client)),
+        (server, client) => server.or(client),
+    };
+    let deadline = time_limit.map(|limit| started + limit);
+    match handle.submit_with_deadline(&client, WireJob { wire, deadline }, deadline) {
         Ok(ticket) => match ticket.wait() {
             JobOutcome::Completed(result) => {
+                let (status, reason) = match &result {
+                    // 504 class: the query was killed, not answered.
+                    // Cancelled-by-kill-switch and ran-out-of-time are
+                    // tallied separately.
+                    Err(EndpointError::DeadlineExceeded { .. }) => {
+                        if cancel.is_cancelled() {
+                            handle.metrics().on_query_cancelled();
+                        } else {
+                            handle.metrics().on_query_timed_out();
+                        }
+                        (504, "Gateway Timeout")
+                    }
+                    _ => (200, "OK"),
+                };
                 let mut text = envelope_to_json(&result).to_text();
                 text.push('\n');
-                (200, "OK", None, text.into_bytes())
+                (status, reason, None, text.into_bytes())
             }
+            // Shed at dequeue: the deadline passed while queued, the
+            // worker never ran it (`queries_shed` is counted there).
+            JobOutcome::Shed => (
+                504,
+                "Gateway Timeout",
+                None,
+                error_body(&EndpointError::DeadlineExceeded {
+                    elapsed: started.elapsed(),
+                }),
+            ),
             JobOutcome::Panicked(message) => (
                 500,
                 "Internal Server Error",
@@ -456,5 +568,9 @@ pub fn metrics_to_json(report: &MetricsReport) -> Json {
         ("snapshot_age_ns", Json::Uint(report.snapshot_age_ns)),
         ("wal_fsync_p99_ns", Json::Uint(report.wal_fsync_p99_ns)),
         ("durable_epoch", Json::Uint(report.durable_epoch)),
+        ("queries_timed_out", Json::Uint(report.queries_timed_out)),
+        ("queries_cancelled", Json::Uint(report.queries_cancelled)),
+        ("queries_shed", Json::Uint(report.queries_shed)),
+        ("breaker_state", Json::Uint(report.breaker_state)),
     ])
 }

@@ -16,7 +16,7 @@
 use crate::json::Json;
 use sofya_endpoint::{EndpointError, Request, RequestBuf, Response};
 use sofya_rdf::Term;
-use sofya_sparql::{ResultSet, SparqlError};
+use sofya_sparql::{BudgetBreach, QueryBudget, ResultSet, SparqlError};
 
 /// A request as it travels: SPARQL text plus the expected response
 /// shape. Batches nest, mirroring [`Request::Batch`].
@@ -186,6 +186,19 @@ pub fn execute_wire(
 ) -> Result<Response, EndpointError> {
     let buf = wire.to_request_buf();
     let response = ep.execute(buf.as_request())?;
+    reshape(wire, response)
+}
+
+/// [`execute_wire`] under a [`QueryBudget`]: the whole tree runs on the
+/// endpoint's budgeted path, so a deadline, scan cap, or cancel token
+/// bounds server-side work for the request as a unit.
+pub fn execute_wire_budgeted(
+    ep: &dyn sofya_endpoint::Endpoint,
+    wire: &WireRequest,
+    budget: &QueryBudget,
+) -> Result<Response, EndpointError> {
+    let buf = wire.to_request_buf();
+    let response = ep.execute_with_budget(buf.as_request(), budget)?;
     reshape(wire, response)
 }
 
@@ -365,6 +378,34 @@ pub fn error_to_json(error: &EndpointError) -> Json {
             ("kind", Json::str("eval")),
             ("message", Json::str(message)),
         ]),
+        // Raw engine-level breaches normally get mapped to the typed
+        // deadline/budget classes before reaching the wire (see
+        // `sofya_endpoint::map_budget_error`), but the encoding is
+        // lossless either way.
+        EndpointError::Sparql(SparqlError::Budget { breach }) => {
+            let mut fields = vec![("kind", Json::str("sparql_budget"))];
+            match breach {
+                BudgetBreach::Deadline => fields.push(("breach", Json::str("deadline"))),
+                BudgetBreach::Cancelled => fields.push(("breach", Json::str("cancelled"))),
+                BudgetBreach::RowsScanned { limit } => {
+                    fields.push(("breach", Json::str("rows_scanned")));
+                    fields.push(("limit", Json::Uint(*limit)));
+                }
+                BudgetBreach::Bindings { limit } => {
+                    fields.push(("breach", Json::str("bindings")));
+                    fields.push(("limit", Json::Uint(*limit as u64)));
+                }
+            }
+            Json::obj(fields)
+        }
+        EndpointError::DeadlineExceeded { elapsed } => Json::obj(vec![
+            ("kind", Json::str("deadline")),
+            ("elapsed_ns", Json::Uint(elapsed.as_nanos() as u64)),
+        ]),
+        EndpointError::BudgetExceeded { message } => Json::obj(vec![
+            ("kind", Json::str("budget")),
+            ("message", Json::str(message)),
+        ]),
         EndpointError::QuotaExceeded {
             endpoint,
             max_queries,
@@ -449,6 +490,37 @@ pub fn error_from_json(json: &Json) -> Result<EndpointError, WireError> {
         "unavailable" => Ok(EndpointError::Unavailable {
             message: message()?,
             retry_after: retry_after_from_json(json),
+        }),
+        "sparql_budget" => {
+            let breach = json
+                .get("breach")
+                .and_then(Json::as_str)
+                .ok_or_else(|| WireError("sparql_budget error missing \"breach\"".to_owned()))?;
+            let limit = || {
+                json.get("limit")
+                    .and_then(Json::as_uint)
+                    .ok_or_else(|| WireError(format!("{breach} breach missing \"limit\"")))
+            };
+            let breach = match breach {
+                "deadline" => BudgetBreach::Deadline,
+                "cancelled" => BudgetBreach::Cancelled,
+                "rows_scanned" => BudgetBreach::RowsScanned { limit: limit()? },
+                "bindings" => BudgetBreach::Bindings {
+                    limit: limit()? as usize,
+                },
+                other => return Err(WireError(format!("unknown budget breach {other:?}"))),
+            };
+            Ok(EndpointError::Sparql(SparqlError::budget(breach)))
+        }
+        "deadline" => Ok(EndpointError::DeadlineExceeded {
+            elapsed: std::time::Duration::from_nanos(
+                json.get("elapsed_ns")
+                    .and_then(Json::as_uint)
+                    .ok_or_else(|| WireError("deadline error missing \"elapsed_ns\"".to_owned()))?,
+            ),
+        }),
+        "budget" => Ok(EndpointError::BudgetExceeded {
+            message: message()?,
         }),
         "other" => Ok(EndpointError::Other(message()?)),
         other => Err(WireError(format!("unknown error kind {other:?}"))),
@@ -585,6 +657,24 @@ mod tests {
                 retry_after: None,
             }),
             Err(EndpointError::Other("boom".to_owned())),
+            Err(EndpointError::DeadlineExceeded {
+                elapsed: std::time::Duration::from_nanos(1_234_567),
+            }),
+            Err(EndpointError::BudgetExceeded {
+                message: "scanned more than 10 rows".to_owned(),
+            }),
+            Err(EndpointError::Sparql(SparqlError::budget(
+                BudgetBreach::Deadline,
+            ))),
+            Err(EndpointError::Sparql(SparqlError::budget(
+                BudgetBreach::Cancelled,
+            ))),
+            Err(EndpointError::Sparql(SparqlError::budget(
+                BudgetBreach::RowsScanned { limit: 42 },
+            ))),
+            Err(EndpointError::Sparql(SparqlError::budget(
+                BudgetBreach::Bindings { limit: 7 },
+            ))),
         ] {
             let json = envelope_to_json(&result);
             let text = json.to_text();

@@ -1,0 +1,463 @@
+//! Chaos harness for the overload path: runaway queries, expired
+//! deadlines, drain-time cancellation, and injected transport faults.
+//!
+//! The scenarios, end to end over real loopback sockets:
+//!
+//! * an adversarial cross-join query is killed within its deadline plus
+//!   a small grace while concurrent healthy traffic keeps completing
+//!   correctly, and the kill shows up in `GET /metrics`;
+//! * queued work whose deadline passes before a worker frees up is shed
+//!   without ever executing;
+//! * a drain whose in-flight query outlives `drain_deadline` trips the
+//!   kill switch instead of hanging shutdown;
+//! * a chaos proxy injecting mid-response disconnects drives the
+//!   client-side circuit breaker open, fail-fast, and back closed
+//!   through a half-open probe — all on a deterministic manual clock.
+
+use sofya_endpoint::{
+    BreakerConfig, BreakerState, Clock, Endpoint, EndpointError, EndpointExt, LocalEndpoint,
+    ManualClock, Request, Response, RetryEndpoint,
+};
+use sofya_net::http::{read_request, write_response};
+use sofya_net::{HttpServer, Json, RemoteConfig, RemoteEndpoint, ServerConfig};
+use sofya_rdf::{Term, TripleStore};
+use sofya_service::scheduler::SchedulerConfig;
+use sofya_sparql::QueryBudget;
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A store big enough that an unbudgeted triple cross join runs for
+/// minutes: three unconstrained patterns over `n` triples scan `n³`
+/// rows.
+fn adversarial_store(n: usize) -> TripleStore {
+    let mut store = TripleStore::new();
+    for i in 0..n {
+        store.insert_terms(
+            &Term::iri(format!("e:s{i}")),
+            &Term::iri("r:p"),
+            &Term::iri(format!("e:o{i}")),
+        );
+    }
+    store
+}
+
+const RUNAWAY: &str = "SELECT ?a ?c ?e { ?a ?p ?b . ?c ?q ?d . ?e ?r ?f }";
+
+fn metrics_field(remote: &RemoteEndpoint, field: &str) -> u64 {
+    let text = remote.fetch_metrics().expect("metrics fetch");
+    Json::parse(text.trim_end_matches('\n'))
+        .expect("metrics JSON")
+        .get(field)
+        .and_then(Json::as_uint)
+        .unwrap_or_else(|| panic!("metrics missing {field}: {text}"))
+}
+
+#[test]
+fn runaway_query_is_killed_while_healthy_traffic_flows() {
+    let config = ServerConfig {
+        scheduler: SchedulerConfig {
+            workers: 2,
+            ..SchedulerConfig::default()
+        },
+        budget: sofya_endpoint::BudgetConfig::with_time_limit(Duration::from_millis(150)),
+        ..ServerConfig::default()
+    };
+    let server = HttpServer::start(
+        Arc::new(LocalEndpoint::new("kb", adversarial_store(600))),
+        config,
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+
+    let runaway = std::thread::spawn(move || {
+        let started = Instant::now();
+        let result = RemoteEndpoint::new("adversary", addr).select(RUNAWAY);
+        (result, started.elapsed())
+    });
+
+    // Healthy traffic keeps completing correctly while the runaway is
+    // being killed on the other worker.
+    let healthy = RemoteEndpoint::new("healthy", addr);
+    for i in 0..10 {
+        assert!(
+            healthy
+                .ask(&format!("ASK {{ <e:s{i}> <r:p> <e:o{i}> }}"))
+                .expect("healthy ask succeeds during overload"),
+            "healthy answer stays correct"
+        );
+    }
+
+    let (result, elapsed) = runaway.join().unwrap();
+    let err = result.expect_err("runaway must not run to completion");
+    assert!(
+        matches!(err, EndpointError::DeadlineExceeded { .. }),
+        "expected a typed 504-class kill, got {err:?}"
+    );
+    // Deadline 150ms + cooperative-poll grace; the unbudgeted query
+    // would run for minutes. Generous slack for a loaded CI box.
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "kill took {elapsed:?}, not within deadline + grace"
+    );
+    assert_eq!(metrics_field(&healthy, "queries_timed_out"), 1);
+    assert_eq!(metrics_field(&healthy, "queries_shed"), 0);
+
+    // The worker was reclaimed: the same server keeps answering.
+    assert!(healthy.ask("ASK { <e:s0> <r:p> <e:o0> }").unwrap());
+    server.shutdown();
+}
+
+/// Parks every query on a gate until the test opens it (the inner
+/// endpoint itself is instant).
+struct GatedEndpoint {
+    inner: LocalEndpoint,
+    entered: AtomicUsize,
+    gate: (Mutex<bool>, Condvar),
+}
+
+impl GatedEndpoint {
+    fn new(store: TripleStore) -> Self {
+        Self {
+            inner: LocalEndpoint::new("gated", store),
+            entered: AtomicUsize::new(0),
+            gate: (Mutex::new(false), Condvar::new()),
+        }
+    }
+
+    fn open(&self) {
+        let (lock, cvar) = &self.gate;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+    }
+
+    fn park(&self) {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        let (lock, cvar) = &self.gate;
+        let mut open = lock.lock().unwrap();
+        while !*open {
+            open = cvar.wait(open).unwrap();
+        }
+    }
+}
+
+impl Endpoint for GatedEndpoint {
+    fn execute(&self, req: Request<'_>) -> Result<Response, EndpointError> {
+        self.park();
+        self.inner.execute(req)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn execute_with_budget(
+        &self,
+        req: Request<'_>,
+        budget: &QueryBudget,
+    ) -> Result<Response, EndpointError> {
+        self.park();
+        self.inner.execute_with_budget(req, budget)
+    }
+}
+
+#[test]
+fn expired_queued_work_is_shed_without_executing() {
+    let mut store = TripleStore::new();
+    store.insert_terms(&Term::iri("e:s"), &Term::iri("r:p"), &Term::iri("e:o"));
+    let gated = Arc::new(GatedEndpoint::new(store));
+    let config = ServerConfig {
+        scheduler: SchedulerConfig {
+            workers: 1,
+            ..SchedulerConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = HttpServer::start(
+        Arc::clone(&gated) as Arc<dyn Endpoint>,
+        config,
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+
+    // Occupy the only worker.
+    let parked = std::thread::spawn(move || {
+        RemoteEndpoint::new("slow", addr).ask("ASK { <e:s> <r:p> <e:o> }")
+    });
+    while gated.entered.load(Ordering::SeqCst) == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // A tightly-budgeted request queues behind it; its deadline will be
+    // long gone by the time the worker frees up.
+    let doomed = std::thread::spawn(move || {
+        let budget = QueryBudget::unlimited().with_time_limit(Duration::from_millis(5));
+        RemoteEndpoint::new("doomed", addr).execute_with_budget(
+            Request::Ask {
+                query: "ASK { <e:s> <r:p> <e:o> }",
+            },
+            &budget,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    gated.open();
+
+    let err = doomed.join().unwrap().expect_err("deadline long expired");
+    assert!(
+        matches!(err, EndpointError::DeadlineExceeded { .. }),
+        "shed work surfaces as the typed 504 class, got {err:?}"
+    );
+    assert!(parked.join().unwrap().expect("parked request completes"));
+    assert_eq!(
+        gated.entered.load(Ordering::SeqCst),
+        1,
+        "the shed request never reached the endpoint"
+    );
+    let probe = RemoteEndpoint::new("probe", addr);
+    assert_eq!(metrics_field(&probe, "queries_shed"), 1);
+    server.shutdown();
+}
+
+/// Satellite: draining must not wait out a query whose budget (here:
+/// none at all) outlives `drain_deadline` — the server trips its kill
+/// switch and shutdown stays bounded.
+#[test]
+fn drain_cancels_in_flight_queries_that_outlive_the_deadline() {
+    let config = ServerConfig {
+        drain_deadline: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let server = HttpServer::start(
+        Arc::new(LocalEndpoint::new("kb", adversarial_store(600))),
+        config,
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+
+    let runaway =
+        std::thread::spawn(move || RemoteEndpoint::new("adversary", addr).select(RUNAWAY));
+    // Let the runaway reach the evaluator before draining.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let started = Instant::now();
+    server.shutdown();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "shutdown hung on the runaway for {elapsed:?}"
+    );
+
+    let err = runaway.join().unwrap().expect_err("query was cancelled");
+    assert!(
+        matches!(
+            err,
+            EndpointError::DeadlineExceeded { .. } | EndpointError::Unavailable { .. }
+        ),
+        "cancelled in-flight work surfaces typed, got {err:?}"
+    );
+}
+
+/// A fault-injecting stand-in for a flaky server: each scripted fault
+/// consumes one connection; once the script runs dry it answers every
+/// request with a healthy `ASK → true` envelope.
+enum Fault {
+    /// Read the request, start writing the response head, then sever
+    /// the connection mid-line.
+    DisconnectMidResponse,
+}
+
+struct ChaosServer {
+    addr: SocketAddr,
+    connections: Arc<AtomicUsize>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosServer {
+    fn start(faults: Vec<Fault>) -> ChaosServer {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind chaos proxy");
+        let addr = listener.local_addr().unwrap();
+        let connections = Arc::new(AtomicUsize::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let connections = Arc::clone(&connections);
+            let stop = Arc::clone(&stop);
+            let mut faults = VecDeque::from(faults);
+            std::thread::spawn(move || loop {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    break;
+                };
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                connections.fetch_add(1, Ordering::SeqCst);
+                let Ok(clone) = stream.try_clone() else {
+                    continue;
+                };
+                let mut reader = BufReader::new(clone);
+                let Ok(Some(_request)) = read_request(&mut reader) else {
+                    continue;
+                };
+                match faults.pop_front() {
+                    Some(Fault::DisconnectMidResponse) => {
+                        // A torn response head: the client sees EOF
+                        // mid-line, a transport failure.
+                        let _ = stream.write_all(b"HTTP/1.1 200 OK\r\nContent-");
+                        let _ = stream.flush();
+                        // Connection drops here.
+                    }
+                    None => {
+                        let body =
+                            b"{\"ok\":true,\"response\":{\"type\":\"boolean\",\"value\":true}}\n";
+                        let _ = write_response(
+                            &mut stream,
+                            200,
+                            "OK",
+                            &[("Content-Type", "application/json")],
+                            body,
+                        );
+                    }
+                }
+            })
+        };
+        ChaosServer {
+            addr,
+            connections,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn connections(&self) -> usize {
+        self.connections.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ChaosServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[test]
+fn injected_disconnects_open_the_breaker_and_a_probe_recloses_it() {
+    let chaos = ChaosServer::start(vec![
+        Fault::DisconnectMidResponse,
+        Fault::DisconnectMidResponse,
+    ]);
+    let remote = RemoteEndpoint::with_config(
+        "chaotic",
+        chaos.addr,
+        RemoteConfig {
+            io_timeout: Duration::from_secs(5),
+            ..RemoteConfig::default()
+        },
+    );
+    let clock = Arc::new(ManualClock::new());
+    let ep = RetryEndpoint::new(remote, 0).with_breaker(
+        BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(30),
+        },
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    );
+    let query = "ASK { <e:s> <r:p> <e:o> }";
+
+    // Two injected disconnects: typed transport failures, breaker opens.
+    for _ in 0..2 {
+        let err = ep.ask(query).expect_err("fault injected");
+        assert!(
+            matches!(err, EndpointError::Unavailable { .. }),
+            "mid-response disconnect classifies as Unavailable, got {err:?}"
+        );
+    }
+    assert_eq!(ep.breaker_state(), Some(BreakerState::Open));
+    assert_eq!(chaos.connections(), 2);
+
+    // Open breaker fails fast: no new connection reaches the wire.
+    let err = ep.ask(query).expect_err("breaker is open");
+    assert!(
+        matches!(&err, EndpointError::Unavailable { message, retry_after }
+            if message.contains("circuit breaker open") && retry_after.is_some()),
+        "fail-fast carries the breaker message and a retry hint, got {err:?}"
+    );
+    assert_eq!(chaos.connections(), 2, "no wire traffic while open");
+
+    // After the cooldown a single probe goes through; the fault script
+    // is dry, the probe succeeds, and the breaker closes again.
+    clock.advance(Duration::from_secs(31));
+    assert!(ep.ask(query).expect("half-open probe succeeds"));
+    assert_eq!(ep.breaker_state(), Some(BreakerState::Closed));
+    assert_eq!(ep.breaker_trips(), 1);
+    assert_eq!(chaos.connections(), 3);
+
+    // Healthy steady state persists.
+    assert!(ep.ask(query).unwrap());
+}
+
+/// Satellite: a refused connection (nothing listening) is the typed,
+/// retryable class — it must feed the breaker, not vanish into `Other`.
+#[test]
+fn connection_refused_is_typed_unavailable() {
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+        // Listener drops here; the port refuses.
+    };
+    let err = RemoteEndpoint::new("nobody", addr)
+        .ask("ASK { <e:s> <r:p> <e:o> }")
+        .expect_err("nothing is listening");
+    assert!(
+        matches!(err, EndpointError::Unavailable { .. }),
+        "refused connect classifies as Unavailable, got {err:?}"
+    );
+}
+
+/// The deadline header travels and is enforced server-side even when
+/// the server itself has no configured limit.
+#[test]
+fn client_deadline_header_bounds_server_work() {
+    let server = HttpServer::start(
+        Arc::new(LocalEndpoint::new("kb", adversarial_store(600))),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+    let remote = RemoteEndpoint::new("kb", server.addr());
+
+    // Sanity: the budgeted path still answers small queries correctly.
+    let budget = QueryBudget::unlimited().with_time_limit(Duration::from_secs(30));
+    let ok = remote
+        .execute_with_budget(
+            Request::Ask {
+                query: "ASK { <e:s0> <r:p> <e:o0> }",
+            },
+            &budget,
+        )
+        .expect("budgeted ask");
+    assert_eq!(ok, Response::Boolean(true));
+
+    // The adversarial query dies by the *client's* deadline.
+    let started = Instant::now();
+    let tight = QueryBudget::unlimited().with_time_limit(Duration::from_millis(150));
+    let err = remote
+        .execute_with_budget(Request::Select { query: RUNAWAY }, &tight)
+        .expect_err("client deadline kills the query server-side");
+    assert!(
+        matches!(err, EndpointError::DeadlineExceeded { .. }),
+        "got {err:?}"
+    );
+    assert!(started.elapsed() < Duration::from_secs(5));
+    assert_eq!(metrics_field(&remote, "queries_timed_out"), 1);
+    server.shutdown();
+}

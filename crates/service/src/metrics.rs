@@ -104,6 +104,16 @@ pub struct ServiceMetrics {
     /// Highest epoch whose WAL commit has been fsynced — everything up
     /// to here survives a crash.
     durable_epoch: AtomicU64,
+    /// Queries killed because their execution deadline passed.
+    queries_timed_out: AtomicU64,
+    /// Queries aborted by an external cancel (drain, client disconnect).
+    queries_cancelled: AtomicU64,
+    /// Queued jobs dropped unexecuted because their deadline had already
+    /// passed at dequeue time (no worker time wasted on them).
+    queries_shed: AtomicU64,
+    /// Upstream circuit-breaker state gauge (0 closed / 1 open / 2
+    /// half-open); 0 when no breaker reports in.
+    breaker_state: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -158,6 +168,26 @@ impl ServiceMetrics {
         self.durable_epoch.store(epoch, Ordering::Relaxed);
     }
 
+    /// Counts one query killed by its deadline.
+    pub fn on_query_timed_out(&self) {
+        self.queries_timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one query aborted by an external cancel.
+    pub fn on_query_cancelled(&self) {
+        self.queries_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one queued job shed unexecuted (deadline already passed).
+    pub fn on_query_shed(&self) {
+        self.queries_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the upstream breaker-state gauge (last write wins).
+    pub fn record_breaker_state(&self, state: u64) {
+        self.breaker_state.store(state, Ordering::Relaxed);
+    }
+
     /// Current queue depth.
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Ordering::Relaxed)
@@ -179,6 +209,10 @@ impl ServiceMetrics {
             snapshot_age_ns: self.snapshot_age_ns.load(Ordering::Relaxed),
             wal_fsync_p99_ns: self.wal_fsync.quantile_ns(0.99),
             durable_epoch: self.durable_epoch.load(Ordering::Relaxed),
+            queries_timed_out: self.queries_timed_out.load(Ordering::Relaxed),
+            queries_cancelled: self.queries_cancelled.load(Ordering::Relaxed),
+            queries_shed: self.queries_shed.load(Ordering::Relaxed),
+            breaker_state: self.breaker_state.load(Ordering::Relaxed),
         }
     }
 }
@@ -213,6 +247,14 @@ pub struct MetricsReport {
     pub wal_fsync_p99_ns: u64,
     /// Highest crash-durable epoch; 0 without durability.
     pub durable_epoch: u64,
+    /// Queries killed by their execution deadline.
+    pub queries_timed_out: u64,
+    /// Queries aborted by an external cancel (drain, disconnect).
+    pub queries_cancelled: u64,
+    /// Queued jobs shed unexecuted because their deadline had passed.
+    pub queries_shed: u64,
+    /// Upstream circuit-breaker state (0 closed / 1 open / 2 half-open).
+    pub breaker_state: u64,
 }
 
 impl MetricsReport {
@@ -266,7 +308,15 @@ mod tests {
         m.record_snapshot_age(Duration::from_millis(3));
         m.record_wal_fsync(Duration::from_micros(120));
         m.record_durable_epoch(7);
+        m.on_query_timed_out();
+        m.on_query_cancelled();
+        m.on_query_shed();
+        m.record_breaker_state(2);
         let r = m.report();
+        assert_eq!(r.queries_timed_out, 1);
+        assert_eq!(r.queries_cancelled, 1);
+        assert_eq!(r.queries_shed, 1);
+        assert_eq!(r.breaker_state, 2);
         assert_eq!(r.submitted, 2);
         assert_eq!(r.completed, 1);
         assert_eq!(r.rejected_full, 1);

@@ -126,6 +126,9 @@ impl<'a, E: Endpoint + ?Sized> QueryService<'a, E> {
                         Ok(ticket) => match ticket.wait() {
                             JobOutcome::Completed(result) => result.map_err(QueryFailure::Endpoint),
                             JobOutcome::Panicked(msg) => Err(QueryFailure::Panicked(msg)),
+                            JobOutcome::Shed => {
+                                unreachable!("batch queries are submitted without a deadline")
+                            }
                         },
                         Err(error) => Err(QueryFailure::Rejected(error)),
                     })

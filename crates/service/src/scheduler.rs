@@ -132,6 +132,10 @@ pub enum JobOutcome<R> {
     /// The handler panicked (contained; the worker kept serving). The
     /// payload is the panic message.
     Panicked(String),
+    /// The job was dropped unexecuted: its deadline had already passed
+    /// when a worker dequeued it, so running it would only waste worker
+    /// time on an answer nobody is waiting for.
+    Shed,
 }
 
 /// A claim on one accepted job's eventual outcome.
@@ -155,6 +159,9 @@ struct Envelope<J, R> {
     job: J,
     reply: mpsc::Sender<JobOutcome<R>>,
     submitted_at: Instant,
+    /// Absolute deadline; a worker dequeuing the envelope after this
+    /// instant sheds it instead of running the handler.
+    deadline: Option<Instant>,
 }
 
 /// The driver's interface to a running scheduler.
@@ -171,6 +178,21 @@ impl<J, R> SchedulerHandle<'_, J, R> {
     /// the caller decides whether to retry, shed, or surface the error,
     /// and gets the job back to do so.
     pub fn submit(&self, client: &str, job: J) -> Result<JobTicket<R>, RejectedJob<J>> {
+        self.submit_with_deadline(client, job, None)
+    }
+
+    /// [`SchedulerHandle::submit`] with an absolute deadline attached:
+    /// if the job is still queued when the deadline passes, the worker
+    /// that dequeues it **sheds** it (reports [`JobOutcome::Shed`],
+    /// counts `queries_shed`) instead of running the handler — under
+    /// overload, worker time goes to jobs whose callers are still
+    /// waiting.
+    pub fn submit_with_deadline(
+        &self,
+        client: &str,
+        job: J,
+        deadline: Option<Instant>,
+    ) -> Result<JobTicket<R>, RejectedJob<J>> {
         if !self.try_charge(client) {
             self.metrics.on_rejected_quota();
             return Err(RejectedJob {
@@ -185,6 +207,7 @@ impl<J, R> SchedulerHandle<'_, J, R> {
             job,
             reply: tx,
             submitted_at: Instant::now(),
+            deadline,
         };
         // Count the submission *before* the push: the moment the envelope
         // is in the queue a worker may dequeue it, and its depth decrement
@@ -336,8 +359,18 @@ where
             job,
             reply,
             submitted_at,
+            deadline,
         } = envelope;
         metrics.on_dequeued(submitted_at.elapsed());
+        // Deadline-aware admission: work whose caller has already given
+        // up is dropped here, before it can occupy the worker.
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                metrics.on_query_shed();
+                let _ = reply.send(JobOutcome::Shed);
+                continue;
+            }
+        }
         match std::panic::catch_unwind(AssertUnwindSafe(|| handler(job))) {
             Ok(result) => {
                 metrics.on_completed(submitted_at.elapsed());
@@ -379,6 +412,7 @@ where
             .map(|ticket| match ticket.wait() {
                 JobOutcome::Completed(result) => result,
                 JobOutcome::Panicked(msg) => panic!("scheduler worker panicked: {msg}"),
+                JobOutcome::Shed => unreachable!("batch jobs carry no deadline"),
             })
             .collect()
     })
@@ -426,7 +460,7 @@ mod tests {
                     .into_iter()
                     .map(|t| match t.wait() {
                         JobOutcome::Completed(v) => v,
-                        JobOutcome::Panicked(msg) => panic!("unexpected panic: {msg}"),
+                        other => panic!("unexpected outcome: {other:?}"),
                     })
                     .sum();
                 assert_eq!(handle.metrics().report().completed, 8);
@@ -569,7 +603,7 @@ mod tests {
                 let bad = handle.submit("c", 13).unwrap();
                 match bad.wait() {
                     JobOutcome::Panicked(msg) => assert!(msg.contains("boom"), "{msg}"),
-                    JobOutcome::Completed(_) => panic!("expected a contained panic"),
+                    other => panic!("expected a contained panic, got {other:?}"),
                 }
                 // The pool is still fully operational afterwards.
                 let tickets: Vec<_> = (0..6).map(|i| handle.submit("c", i).unwrap()).collect();
@@ -603,6 +637,75 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out, 8);
+    }
+
+    /// Deadline-aware admission: a job whose deadline passes while it is
+    /// queued behind a slow one is shed at dequeue — the handler never
+    /// runs for it — while an undeadlined job behind it completes.
+    #[test]
+    fn expired_queued_jobs_are_shed_not_executed() {
+        let config = SchedulerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..SchedulerConfig::default()
+        };
+        let (gate_tx, gate_rx) = channel::<()>();
+        let (started_tx, started_rx) = channel::<()>();
+        let gate = Mutex::new((Some(gate_rx), started_tx));
+        let ran = AtomicU64::new(0);
+        serve(
+            &config,
+            |block: bool| {
+                if block {
+                    let (rx, started) = {
+                        let mut g = gate.lock();
+                        (g.0.take().unwrap(), g.1.clone())
+                    };
+                    started.send(()).unwrap();
+                    rx.recv().unwrap();
+                } else {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            |handle| {
+                let t1 = handle.submit("c", true).unwrap();
+                started_rx.recv().unwrap(); // worker parked on job 1
+                                            // Queued behind it: one already-expired job, one without
+                                            // a deadline.
+                let expired = handle
+                    .submit_with_deadline("c", false, Some(Instant::now()))
+                    .unwrap();
+                let healthy = handle.submit("c", false).unwrap();
+                gate_tx.send(()).unwrap();
+                assert!(matches!(expired.wait(), JobOutcome::Shed));
+                assert!(matches!(healthy.wait(), JobOutcome::Completed(())));
+                assert!(matches!(t1.wait(), JobOutcome::Completed(())));
+                assert_eq!(ran.load(Ordering::Relaxed), 1, "shed job never ran");
+                let report = handle.metrics().report();
+                assert_eq!(report.queries_shed, 1);
+                // A shed job still counts as dequeued, not completed.
+                assert_eq!(report.completed, 2);
+            },
+        )
+        .unwrap();
+    }
+
+    /// A future deadline that has not passed does not shed.
+    #[test]
+    fn unexpired_deadlines_execute_normally() {
+        let config = SchedulerConfig::for_batch(1, 4);
+        serve(
+            &config,
+            |x: u64| x + 1,
+            |handle| {
+                let t = handle
+                    .submit_with_deadline("c", 1, Some(Instant::now() + Duration::from_secs(60)))
+                    .unwrap();
+                assert!(matches!(t.wait(), JobOutcome::Completed(2)));
+                assert_eq!(handle.metrics().report().queries_shed, 0);
+            },
+        )
+        .unwrap();
     }
 
     #[test]

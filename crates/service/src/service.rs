@@ -164,6 +164,9 @@ impl<'a> AlignmentService<'a> {
                                 rules.map_err(ServiceFailure::Align)
                             }
                             JobOutcome::Panicked(msg) => Err(ServiceFailure::Panicked(msg)),
+                            JobOutcome::Shed => {
+                                unreachable!("alignment requests are submitted without a deadline")
+                            }
                         },
                         Err(error) => Err(ServiceFailure::Rejected(error)),
                     })

@@ -1,5 +1,6 @@
 //! Error type for SPARQL parsing and evaluation.
 
+use crate::budget::BudgetBreach;
 use std::fmt;
 
 /// Errors raised while lexing, parsing, planning, or evaluating a query.
@@ -21,6 +22,14 @@ pub enum SparqlError {
     Eval {
         /// Description of the failure.
         message: String,
+    },
+    /// The query exceeded its [`crate::QueryBudget`] (deadline, scan
+    /// cap, binding cap) or was cancelled. Unlike [`SparqlError::Eval`],
+    /// this is **not** absorbed by FILTER error semantics — a killed
+    /// query always surfaces this error, never a partial result.
+    Budget {
+        /// Which limit was breached.
+        breach: BudgetBreach,
     },
 }
 
@@ -46,6 +55,17 @@ impl SparqlError {
             message: message.into(),
         }
     }
+
+    /// Constructs a budget-breach error.
+    pub fn budget(breach: BudgetBreach) -> Self {
+        SparqlError::Budget { breach }
+    }
+
+    /// Whether this is a budget breach (used by layers that must keep
+    /// cancellation errors out of SPARQL's error-absorbing contexts).
+    pub fn is_budget(&self) -> bool {
+        matches!(self, SparqlError::Budget { .. })
+    }
 }
 
 impl fmt::Display for SparqlError {
@@ -56,6 +76,7 @@ impl fmt::Display for SparqlError {
             }
             SparqlError::Parse { message } => write!(f, "SPARQL syntax error: {message}"),
             SparqlError::Eval { message } => write!(f, "SPARQL evaluation error: {message}"),
+            SparqlError::Budget { breach } => write!(f, "query budget exceeded: {breach}"),
         }
     }
 }
@@ -77,5 +98,9 @@ mod tests {
         assert!(SparqlError::eval("type error")
             .to_string()
             .contains("evaluation"));
+        let budget = SparqlError::budget(BudgetBreach::Deadline);
+        assert!(budget.to_string().contains("budget"));
+        assert!(budget.is_budget());
+        assert!(!SparqlError::parse("x").is_budget());
     }
 }

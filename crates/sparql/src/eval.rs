@@ -1,6 +1,7 @@
 //! Query evaluation: index nested-loop joins over the planned BGP.
 
 use crate::ast::{Builtin, Projection, Query, SelectQuery};
+use crate::budget::{BudgetTracker, QueryBudget};
 use crate::error::SparqlError;
 use crate::parser::parse_query;
 use crate::plan::{GroupPlan, PExpr, PlanOptions, Slot};
@@ -44,13 +45,40 @@ pub fn execute_ast_with_options(
     query: &Query,
     opts: PlanOptions<'_>,
 ) -> Result<QueryOutcome, SparqlError> {
+    execute_ast_budgeted(store, query, opts, &QueryBudget::unlimited())
+}
+
+/// Executes an already-parsed query under a [`QueryBudget`]: the
+/// evaluator cooperatively checks the budget as it scans, so a cancelled
+/// or expired query unwinds with [`SparqlError::Budget`] in bounded time
+/// instead of running to completion.
+pub fn execute_ast_budgeted(
+    store: &TripleStore,
+    query: &Query,
+    opts: PlanOptions<'_>,
+    budget: &QueryBudget,
+) -> Result<QueryOutcome, SparqlError> {
+    let mut tracker = BudgetTracker::new(budget);
+    tracker.preflight()?;
     match query {
-        Query::Select(select) => Ok(QueryOutcome::Solutions(execute_select_with(
-            store, select, opts,
-        )?)),
+        Query::Select(select) => {
+            let plan = GroupPlan::build_with(store, &select.pattern, &[], opts);
+            Ok(QueryOutcome::Solutions(execute_select_planned_paged(
+                store,
+                select,
+                &plan,
+                None,
+                None,
+                &mut tracker,
+            )?))
+        }
         Query::Ask(pattern) => {
             let plan = GroupPlan::build_with(store, pattern, &[], opts);
-            Ok(QueryOutcome::Boolean(execute_ask_planned(store, &plan)?))
+            Ok(QueryOutcome::Boolean(execute_ask_planned(
+                store,
+                &plan,
+                &mut tracker,
+            )?))
         }
     }
 }
@@ -127,6 +155,16 @@ pub fn execute_compiled(
     execute_compiled_paged(store, compiled, None, None)
 }
 
+/// Executes a compiled query under a [`QueryBudget`] (see
+/// [`execute_ast_budgeted`] for the cooperative-cancellation contract).
+pub fn execute_compiled_budgeted(
+    store: &TripleStore,
+    compiled: &CompiledQuery,
+    budget: &QueryBudget,
+) -> Result<QueryOutcome, SparqlError> {
+    execute_compiled_paged_budgeted(store, compiled, None, None, budget)
+}
+
 /// Executes a compiled query with a structural `LIMIT`/`OFFSET` override
 /// (`None` keeps the compiled query's own modifier). The pagination of a
 /// solution sequence never changes the plan, so cached compilations are
@@ -137,9 +175,23 @@ pub fn execute_compiled_paged(
     limit: Option<usize>,
     offset: Option<usize>,
 ) -> Result<QueryOutcome, SparqlError> {
+    execute_compiled_paged_budgeted(store, compiled, limit, offset, &QueryBudget::unlimited())
+}
+
+/// Executes a compiled query with pagination overrides under a
+/// [`QueryBudget`] (see [`execute_ast_budgeted`]).
+pub fn execute_compiled_paged_budgeted(
+    store: &TripleStore,
+    compiled: &CompiledQuery,
+    limit: Option<usize>,
+    offset: Option<usize>,
+    budget: &QueryBudget,
+) -> Result<QueryOutcome, SparqlError> {
+    let mut tracker = BudgetTracker::new(budget);
+    tracker.preflight()?;
     match &compiled.inner {
         CompiledInner::Select { query, plan } => Ok(QueryOutcome::Solutions(
-            execute_select_planned_paged(store, query, plan, limit, offset)?,
+            execute_select_planned_paged(store, query, plan, limit, offset, &mut tracker)?,
         )),
         CompiledInner::Ask { plan } => {
             if limit.is_some() || offset.is_some() {
@@ -147,7 +199,11 @@ pub fn execute_compiled_paged(
                     "LIMIT/OFFSET cannot be applied to an ASK query",
                 ));
             }
-            Ok(QueryOutcome::Boolean(execute_ask_planned(store, plan)?))
+            Ok(QueryOutcome::Boolean(execute_ask_planned(
+                store,
+                plan,
+                &mut tracker,
+            )?))
         }
     }
 }
@@ -155,11 +211,15 @@ pub fn execute_compiled_paged(
 /// Executes a planned ASK: a bare pattern set resolves through the flat
 /// indexes without running the join at all (non-emptiness of the prefix
 /// range).
-fn execute_ask_planned(store: &TripleStore, plan: &GroupPlan) -> Result<bool, SparqlError> {
+fn execute_ask_planned(
+    store: &TripleStore,
+    plan: &GroupPlan,
+    t: &mut BudgetTracker<'_>,
+) -> Result<bool, SparqlError> {
     if let Some(n) = exact_pattern_count(store, plan) {
         return Ok(n > 0);
     }
-    any_solution(store, plan, None)
+    any_solution(store, plan, None, t)
 }
 
 /// Parses and executes a `SELECT` query.
@@ -247,17 +307,21 @@ pub fn execute_select_with(
     query: &SelectQuery,
     opts: PlanOptions<'_>,
 ) -> Result<ResultSet, SparqlError> {
-    let plan = GroupPlan::build_with(store, &query.pattern, &[], opts);
-    execute_select_planned(store, query, &plan)
+    execute_select_budgeted(store, query, opts, &QueryBudget::unlimited())
 }
 
-/// Executes a `SELECT` whose group plan was already built.
-fn execute_select_planned(
+/// Executes a parsed `SELECT` under a [`QueryBudget`] (see
+/// [`execute_ast_budgeted`]).
+pub fn execute_select_budgeted(
     store: &TripleStore,
     query: &SelectQuery,
-    plan: &GroupPlan,
+    opts: PlanOptions<'_>,
+    budget: &QueryBudget,
 ) -> Result<ResultSet, SparqlError> {
-    execute_select_planned_paged(store, query, plan, None, None)
+    let mut tracker = BudgetTracker::new(budget);
+    tracker.preflight()?;
+    let plan = GroupPlan::build_with(store, &query.pattern, &[], opts);
+    execute_select_planned_paged(store, query, &plan, None, None, &mut tracker)
 }
 
 /// Executes a planned `SELECT` with optional `LIMIT`/`OFFSET` overrides
@@ -268,6 +332,7 @@ fn execute_select_planned_paged(
     plan: &GroupPlan,
     limit_override: Option<usize>,
     offset_override: Option<usize>,
+    t: &mut BudgetTracker<'_>,
 ) -> Result<ResultSet, SparqlError> {
     let limit = limit_override.or(query.limit);
     let offset = offset_override.or(query.offset);
@@ -313,7 +378,7 @@ fn execute_select_planned_paged(
     };
 
     let binding = vec![None; plan.var_names.len()];
-    let bindings = eval_group(store, plan, binding, early_stop)?;
+    let bindings = eval_group(store, plan, binding, early_stop, t)?;
 
     // Aggregation short-circuits projection.
     if let Projection::Count {
@@ -410,13 +475,14 @@ fn any_solution(
     store: &TripleStore,
     plan: &GroupPlan,
     seed: Option<&[Option<TermId>]>,
+    t: &mut BudgetTracker<'_>,
 ) -> Result<bool, SparqlError> {
     let mut binding = vec![None; plan.var_names.len()];
     if let Some(seed) = seed {
         binding[..seed.len()].copy_from_slice(seed);
     }
     let early_stop = if plan.has_subgroups() { None } else { Some(1) };
-    let out = eval_group(store, plan, binding, early_stop)?;
+    let out = eval_group(store, plan, binding, early_stop, t)?;
     Ok(!out.is_empty())
 }
 
@@ -427,10 +493,11 @@ fn eval_group(
     plan: &GroupPlan,
     seed: Vec<Option<TermId>>,
     early_stop: Option<usize>,
+    t: &mut BudgetTracker<'_>,
 ) -> Result<Vec<Vec<Option<TermId>>>, SparqlError> {
     let mut solutions = Vec::new();
     let mut binding = seed;
-    collect_solutions(store, plan, 0, &mut binding, early_stop, &mut solutions)?;
+    collect_solutions(store, plan, 0, &mut binding, early_stop, &mut solutions, t)?;
 
     for block in &plan.unions {
         let mut next = Vec::new();
@@ -440,7 +507,8 @@ fn eval_group(
                 // prefix; the branch may bind additional variables.
                 let mut seed = solution.clone();
                 seed.resize(branch.var_names.len(), None);
-                next.extend(eval_group(store, branch, seed, None)?);
+                next.extend(eval_group(store, branch, seed, None, t)?);
+                t.check_bindings(next.len())?;
             }
         }
         solutions = next;
@@ -451,12 +519,13 @@ fn eval_group(
         for solution in &solutions {
             let mut seed = solution.clone();
             seed.resize(optional.var_names.len(), None);
-            let extended = eval_group(store, optional, seed, None)?;
+            let extended = eval_group(store, optional, seed, None, t)?;
             if extended.is_empty() {
                 next.push(solution.clone());
             } else {
                 next.extend(extended);
             }
+            t.check_bindings(next.len())?;
         }
         solutions = next;
     }
@@ -466,7 +535,7 @@ fn eval_group(
         for solution in solutions {
             let mut pass = true;
             for filter in &plan.post_filters {
-                if !filter_passes(store, filter, &solution)? {
+                if !filter_passes(store, filter, &solution, t)? {
                     pass = false;
                     break;
                 }
@@ -489,6 +558,7 @@ fn eval_group(
 }
 
 /// Recursive index nested-loop join.
+#[allow(clippy::too_many_arguments)]
 fn collect_solutions(
     store: &TripleStore,
     plan: &GroupPlan,
@@ -496,17 +566,19 @@ fn collect_solutions(
     binding: &mut Vec<Option<TermId>>,
     early_stop: Option<usize>,
     out: &mut Vec<Vec<Option<TermId>>>,
+    t: &mut BudgetTracker<'_>,
 ) -> Result<(), SparqlError> {
     if early_stop.is_some_and(|lim| out.len() >= lim) {
         return Ok(());
     }
     // Filters scheduled at this level.
     for filter in &plan.filters_at[level] {
-        if !filter_passes(store, filter, binding)? {
+        if !filter_passes(store, filter, binding, t)? {
             return Ok(());
         }
     }
     if level == plan.patterns.len() {
+        t.check_bindings(out.len() + 1)?;
         out.push(binding.clone());
         return Ok(());
     }
@@ -530,8 +602,12 @@ fn collect_solutions(
 
     // Zero-allocation: the scan is a borrowed slice walk over the store's
     // flat indexes (it borrows only `store`, so mutating the binding
-    // vector and recursing are both fine inside the loop).
+    // vector and recursing are both fine inside the loop). The budget
+    // tick here is the cooperative kill switch: every scanned row is
+    // charged, and the deadline/cancel token is polled every
+    // [`crate::budget::POLL_INTERVAL`] rows.
     for triple in store.scan_range(scan_pattern) {
+        t.tick_scan()?;
         let mut touched: [Option<usize>; 3] = [None; 3];
         if !bind_slot(pattern.s, triple.s, binding, &mut touched[0])
             || !bind_slot(pattern.p, triple.p, binding, &mut touched[1])
@@ -540,7 +616,7 @@ fn collect_solutions(
             undo(binding, &touched);
             continue;
         }
-        collect_solutions(store, plan, level + 1, binding, early_stop, out)?;
+        collect_solutions(store, plan, level + 1, binding, early_stop, out, t)?;
         undo(binding, &touched);
         if early_stop.is_some_and(|lim| out.len() >= lim) {
             return Ok(());
@@ -578,13 +654,18 @@ fn undo(binding: &mut [Option<TermId>], touched: &[Option<usize>; 3]) {
 }
 
 /// Evaluates a filter; evaluation errors count as `false` per SPARQL.
+/// Budget breaches are the one exception: absorbing a cancellation
+/// raised inside an EXISTS sub-query would silently turn a killed query
+/// into a partial result set, so they propagate.
 fn filter_passes(
     store: &TripleStore,
     filter: &PExpr,
     binding: &[Option<TermId>],
+    t: &mut BudgetTracker<'_>,
 ) -> Result<bool, SparqlError> {
-    match eval_expr(store, filter, binding) {
+    match eval_expr(store, filter, binding, t) {
         Ok(v) => Ok(v.effective_boolean().unwrap_or(false)),
+        Err(e) if e.is_budget() => Err(e),
         Err(_) => Ok(false),
     }
 }
@@ -606,38 +687,39 @@ fn eval_expr(
     store: &TripleStore,
     expr: &PExpr,
     binding: &[Option<TermId>],
+    t: &mut BudgetTracker<'_>,
 ) -> Result<Value, SparqlError> {
     match expr {
         PExpr::Var(i) => var_value(store, *i, binding),
-        PExpr::Const(t) => Ok(Value::Term(t.clone())),
+        PExpr::Const(term) => Ok(Value::Term(term.clone())),
         PExpr::Compare(op, a, b) => {
-            let va = eval_expr(store, a, binding)?;
-            let vb = eval_expr(store, b, binding)?;
+            let va = eval_expr(store, a, binding, t)?;
+            let vb = eval_expr(store, b, binding, t)?;
             Ok(Value::Bool(va.compare(*op, &vb)?))
         }
         PExpr::And(a, b) => {
-            let va = eval_expr(store, a, binding)?.effective_boolean()?;
+            let va = eval_expr(store, a, binding, t)?.effective_boolean()?;
             if !va {
                 return Ok(Value::Bool(false));
             }
-            let vb = eval_expr(store, b, binding)?.effective_boolean()?;
+            let vb = eval_expr(store, b, binding, t)?.effective_boolean()?;
             Ok(Value::Bool(vb))
         }
         PExpr::Or(a, b) => {
-            let va = eval_expr(store, a, binding)?.effective_boolean()?;
+            let va = eval_expr(store, a, binding, t)?.effective_boolean()?;
             if va {
                 return Ok(Value::Bool(true));
             }
-            let vb = eval_expr(store, b, binding)?.effective_boolean()?;
+            let vb = eval_expr(store, b, binding, t)?.effective_boolean()?;
             Ok(Value::Bool(vb))
         }
         PExpr::Not(inner) => {
-            let v = eval_expr(store, inner, binding)?.effective_boolean()?;
+            let v = eval_expr(store, inner, binding, t)?.effective_boolean()?;
             Ok(Value::Bool(!v))
         }
-        PExpr::Call(builtin, args) => eval_builtin(store, *builtin, args, binding),
+        PExpr::Call(builtin, args) => eval_builtin(store, *builtin, args, binding, t),
         PExpr::Exists { plan, negated } => {
-            let found = any_solution(store, plan, Some(binding))?;
+            let found = any_solution(store, plan, Some(binding), t)?;
             Ok(Value::Bool(found != *negated))
         }
     }
@@ -648,6 +730,7 @@ fn eval_builtin(
     builtin: Builtin,
     args: &[PExpr],
     binding: &[Option<TermId>],
+    t: &mut BudgetTracker<'_>,
 ) -> Result<Value, SparqlError> {
     match builtin {
         Builtin::Bound => {
@@ -658,18 +741,18 @@ fn eval_builtin(
             Ok(Value::Bool(bound))
         }
         Builtin::Str => {
-            let v = eval_expr(store, &args[0], binding)?;
+            let v = eval_expr(store, &args[0], binding, t)?;
             Ok(Value::Str(v.string_form()?))
         }
         Builtin::Lang => {
-            let v = eval_expr(store, &args[0], binding)?;
+            let v = eval_expr(store, &args[0], binding, t)?;
             match v {
                 Value::Term(Term::Literal { lang, .. }) => Ok(Value::Str(lang.unwrap_or_default())),
                 _ => Err(SparqlError::eval("LANG expects a literal")),
             }
         }
         Builtin::Datatype => {
-            let v = eval_expr(store, &args[0], binding)?;
+            let v = eval_expr(store, &args[0], binding, t)?;
             match v {
                 Value::Term(Term::Literal { datatype, lang, .. }) => {
                     let dt = match (datatype, lang) {
@@ -685,19 +768,19 @@ fn eval_builtin(
             }
         }
         Builtin::IsIri | Builtin::IsLiteral | Builtin::IsBlank => {
-            let v = eval_expr(store, &args[0], binding)?;
-            let Value::Term(t) = v else {
+            let v = eval_expr(store, &args[0], binding, t)?;
+            let Value::Term(term) = v else {
                 return Ok(Value::Bool(false));
             };
             Ok(Value::Bool(match builtin {
-                Builtin::IsIri => t.is_iri(),
-                Builtin::IsLiteral => t.is_literal(),
-                _ => t.is_bnode(),
+                Builtin::IsIri => term.is_iri(),
+                Builtin::IsLiteral => term.is_literal(),
+                _ => term.is_bnode(),
             }))
         }
         Builtin::StrStarts | Builtin::StrEnds | Builtin::Contains => {
-            let a = eval_expr(store, &args[0], binding)?.string_form()?;
-            let b = eval_expr(store, &args[1], binding)?.string_form()?;
+            let a = eval_expr(store, &args[0], binding, t)?.string_form()?;
+            let b = eval_expr(store, &args[1], binding, t)?.string_form()?;
             Ok(Value::Bool(match builtin {
                 Builtin::StrStarts => a.starts_with(&b),
                 Builtin::StrEnds => a.ends_with(&b),
@@ -705,8 +788,8 @@ fn eval_builtin(
             }))
         }
         Builtin::Regex => {
-            let text = eval_expr(store, &args[0], binding)?.string_form()?;
-            let pattern = eval_expr(store, &args[1], binding)?.string_form()?;
+            let text = eval_expr(store, &args[0], binding, t)?.string_form()?;
+            let pattern = eval_expr(store, &args[1], binding, t)?.string_form()?;
             Ok(Value::Bool(regex_lite(&text, &pattern)))
         }
     }
@@ -1011,6 +1094,77 @@ mod tests {
         let s = demo_store();
         let rs = execute(&s, "SELECT ?x { ?x <r:bornIn> ?y } LIMIT 1").unwrap();
         assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn budget_row_cap_kills_a_cross_join() {
+        use crate::budget::{BudgetBreach, QueryBudget};
+        let s = demo_store();
+        let q = parse_query("SELECT ?a ?b ?c { ?a ?p ?b . ?c ?q ?d }").unwrap();
+        let budget = QueryBudget::unlimited().with_max_rows_scanned(10);
+        let err = execute_ast_budgeted(&s, &q, PlanOptions::default(), &budget).unwrap_err();
+        assert!(matches!(
+            err,
+            SparqlError::Budget {
+                breach: BudgetBreach::RowsScanned { limit: 10 }
+            }
+        ));
+        // The same query under an ample budget matches the unbudgeted run.
+        let roomy = QueryBudget::unlimited().with_max_rows_scanned(1_000_000);
+        let budgeted = execute_ast_budgeted(&s, &q, PlanOptions::default(), &roomy).unwrap();
+        let plain = execute_ast(&s, &q).unwrap();
+        assert_eq!(budgeted, plain);
+    }
+
+    #[test]
+    fn budget_binding_cap_kills_wide_results() {
+        use crate::budget::{BudgetBreach, QueryBudget};
+        let s = demo_store();
+        let q = parse_query("SELECT ?s ?p ?o { ?s ?p ?o }").unwrap();
+        let budget = QueryBudget::unlimited().with_max_bindings(3);
+        let err = execute_ast_budgeted(&s, &q, PlanOptions::default(), &budget).unwrap_err();
+        assert!(matches!(
+            err,
+            SparqlError::Budget {
+                breach: BudgetBreach::Bindings { limit: 3 }
+            }
+        ));
+    }
+
+    #[test]
+    fn cancelled_token_fails_even_the_index_fast_paths() {
+        use crate::budget::{BudgetBreach, CancelToken, QueryBudget};
+        use std::sync::Arc;
+        let s = demo_store();
+        let token = Arc::new(CancelToken::new());
+        token.cancel();
+        let budget = QueryBudget::unlimited().with_cancel(token);
+        // ASK and COUNT resolve off index bounds without scanning; the
+        // preflight check still refuses cancelled work.
+        let ask = parse_query("ASK { <e:s1> <r:bornIn> <e:usa> }").unwrap();
+        let err = execute_ast_budgeted(&s, &ask, PlanOptions::default(), &budget).unwrap_err();
+        assert!(matches!(
+            err,
+            SparqlError::Budget {
+                breach: BudgetBreach::Cancelled
+            }
+        ));
+        let count = parse_query("SELECT (COUNT(*) AS ?n) { ?x <r:bornIn> ?y }").unwrap();
+        assert!(execute_ast_budgeted(&s, &count, PlanOptions::default(), &budget).is_err());
+    }
+
+    #[test]
+    fn budget_breach_inside_filter_exists_is_not_absorbed() {
+        use crate::budget::QueryBudget;
+        let s = demo_store();
+        // The EXISTS sub-query forces scans inside filter evaluation; a
+        // tiny scan cap must surface as an error, not drop rows silently.
+        let q =
+            parse_query("SELECT ?x { ?x <r:bornIn> ?c FILTER EXISTS { ?x <r:livesIn> <e:usa> } }")
+                .unwrap();
+        let budget = QueryBudget::unlimited().with_max_rows_scanned(1);
+        let err = execute_ast_budgeted(&s, &q, PlanOptions::default(), &budget).unwrap_err();
+        assert!(err.is_budget(), "got {err:?}");
     }
 
     #[test]
