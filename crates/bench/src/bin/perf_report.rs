@@ -8,8 +8,9 @@
 //!   before/after numbers across PRs; a case's first appearance seeds its
 //!   baseline with the current median.
 //! * `--small` — run only the `*_small` cases (fast enough for CI).
-//! * `--filter <substr>` — run only cases whose name contains the
-//!   substring (isolated re-measurement of one suite).
+//! * `--filter <substr>[,<substr>…]` — run only cases whose name
+//!   contains any of the comma-separated substrings (isolated
+//!   re-measurement of one or more suites, e.g. `--filter store/,stream/`).
 //! * `--check` — re-run (respecting `--small`) and compare against the
 //!   committed JSON instead of writing: any tracked case slower than
 //!   2x its committed `median_ns` fails with exit code 1 (cases under
@@ -136,19 +137,23 @@ fn smallest_relation(pair: &GeneratedPair) -> (String, usize) {
 struct Suite {
     cases: Vec<(String, u64)>,
     small_only: bool,
-    /// `--filter <substr>`: only run cases whose name contains it.
-    filter: Option<String>,
+    /// `--filter a,b,…`: only run cases whose name contains any entry.
+    /// Empty means "run everything".
+    filter: Vec<String>,
 }
 
 impl Suite {
+    /// Whether `--filter` lets this case run.
+    fn selected(&self, name: &str) -> bool {
+        self.filter.is_empty() || self.filter.iter().any(|f| name.contains(f.as_str()))
+    }
+
     fn run(&mut self, name: &str, small: bool, f: impl FnMut() -> u64) {
         if self.small_only && !small {
             return;
         }
-        if let Some(filter) = &self.filter {
-            if !name.contains(filter.as_str()) {
-                return;
-            }
+        if !self.selected(name) {
+            return;
         }
         let med = median_ns(f);
         eprintln!("  {name:<44} {med:>12} ns/op");
@@ -403,11 +408,7 @@ fn net_cases(suite: &mut Suite, pair: &GeneratedPair) {
 /// fails if the polling costs more than 5%.
 fn deadline_overhead_case(suite: &mut Suite, pair: &GeneratedPair) -> Option<f64> {
     let name = "service/deadline_check_overhead";
-    if suite
-        .filter
-        .as_ref()
-        .is_some_and(|f| !name.contains(f.as_str()))
-    {
+    if !suite.selected(name) {
         return None;
     }
     let source = LocalEndpoint::new("kb2", pair.kb2.clone());
@@ -510,6 +511,110 @@ fn durability_cases(suite: &mut Suite, tag: &str, small: bool, pair: &GeneratedP
         store.len() as u64 + log.epoch()
     });
     let _ = std::fs::remove_dir_all(&base);
+}
+
+/// The streaming tier's pinned numbers.
+///
+/// * `stream/realign_dirty_1_of_32` — a session holding 32 cached
+///   relation alignments absorbs a publish dirtying exactly one of
+///   them: delta replay + footprint intersection + one re-mine. The
+///   acceptance ratio against `stream/realign_full_32` (a from-scratch
+///   32-relation session at the same epoch) is the incremental payoff.
+/// * `stream/ingest_publish_p99` — one 256-triple micro-batch through
+///   [`sofya_stream::StreamIngestor`]: buffer, count-trigger publish,
+///   delta accumulation, ring append.
+fn stream_cases(suite: &mut Suite) {
+    use sofya_stream::{FreshnessTracker, IngestorConfig, KbSide, StreamIngestor};
+
+    const SA: &str = "http://www.w3.org/2002/07/owl#sameAs";
+    const RELATIONS: usize = 32;
+    let mut yago = TripleStore::new();
+    let mut dbp = TripleStore::new();
+    for k in 0..RELATIONS {
+        for i in 0..12 {
+            let (py, pd) = (format!("y:p{k}_{i}"), format!("d:P{k}_{i}"));
+            let (cy, cd) = (format!("y:c{k}_{i}"), format!("d:C{k}_{i}"));
+            yago.insert_terms(
+                &Term::iri(&py),
+                &Term::iri(format!("y:r{k}")),
+                &Term::iri(&cy),
+            );
+            dbp.insert_terms(
+                &Term::iri(&pd),
+                &Term::iri(format!("d:q{k}")),
+                &Term::iri(&cd),
+            );
+            yago.insert_terms(&Term::iri(&py), &Term::iri(SA), &Term::iri(&pd));
+            yago.insert_terms(&Term::iri(&cy), &Term::iri(SA), &Term::iri(&cd));
+            dbp.insert_terms(&Term::iri(&pd), &Term::iri(SA), &Term::iri(&py));
+            dbp.insert_terms(&Term::iri(&cd), &Term::iri(SA), &Term::iri(&cy));
+        }
+    }
+
+    let source = LocalEndpoint::new("dbp", dbp);
+    let mut writer = SnapshotStore::new(yago.clone());
+    let target = writer.reader("yago");
+    let config = AlignerConfig::paper_defaults(SEED);
+    let session = AlignmentSession::new(&source, &target as &dyn Endpoint, config.clone());
+    let mut tracker = FreshnessTracker::new(&writer, KbSide::Target);
+    for k in 0..RELATIONS {
+        session.rules_for(&format!("y:r{k}")).unwrap();
+    }
+    suite.run("stream/realign_dirty_1_of_32", true, || {
+        // Each iteration publishes a net-zero flicker (insert + remove
+        // of one fact) on one relation: exactly one of the 32 cached
+        // alignments goes dirty, and the store never grows, so every
+        // sample re-mines the same-sized relation.
+        let store = writer.store_mut();
+        let (s, p, o) = (
+            Term::iri("y:p7_0"),
+            Term::iri("y:r7"),
+            Term::iri("y:c_flicker"),
+        );
+        store.insert_terms(&s, &p, &o);
+        let ids = (
+            store.dict().lookup(&s).unwrap(),
+            store.dict().lookup(&p).unwrap(),
+            store.dict().lookup(&o).unwrap(),
+        );
+        store.remove(ids.0, ids.1, ids.2);
+        writer.publish();
+        tracker.sync(&session);
+        session.refresh_dirty().unwrap() as u64
+    });
+
+    suite.run("stream/realign_full_32", true, || {
+        let fresh = AlignmentSession::new(&source, &target as &dyn Endpoint, config.clone());
+        let mut n = 0u64;
+        for k in 0..RELATIONS {
+            n += fresh.rules_for(&format!("y:r{k}")).unwrap().len() as u64;
+        }
+        n
+    });
+
+    let mut ingestor = StreamIngestor::new(
+        SnapshotStore::new(TripleStore::new()),
+        IngestorConfig {
+            publish_count: 256,
+            max_buffered: 4096,
+            publish_interval: None,
+            window: None,
+        },
+    );
+    let mut batch_seq = 0u64;
+    suite.run("stream/ingest_publish_p99", true, || {
+        // 256 distinct triples: buffer fills, the count trigger fires
+        // exactly once, and the publish accumulates a 256-insert delta.
+        batch_seq += 1;
+        let delta = ingestor.offer_batch((0..256u64).map(|i| {
+            (
+                Term::iri(format!("s:e{batch_seq}_{i}")),
+                Term::iri("s:p"),
+                Term::iri(format!("s:v{batch_seq}_{i}")),
+            )
+        }));
+        delta.expect("count trigger publishes every batch").epoch
+    });
 }
 
 fn session_case(suite: &mut Suite, pair: &GeneratedPair) {
@@ -660,10 +765,18 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(default_out_path);
-    let filter = args
+    let filter: Vec<String> = args
         .iter()
         .position(|a| a == "--filter")
-        .and_then(|i| args.get(i + 1).cloned());
+        .and_then(|i| args.get(i + 1))
+        .map(|list| {
+            list.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect()
+        })
+        .unwrap_or_default();
 
     eprintln!("generating fixed-seed KBs (seed {SEED})…");
     let small_pair = generate(&PairConfig::small(SEED));
@@ -689,6 +802,7 @@ fn main() {
     session_case(&mut suite, &small_pair);
     endpoint_cases(&mut suite, &small_pair);
     net_cases(&mut suite, &small_pair);
+    stream_cases(&mut suite);
     durability_cases(&mut suite, "small", true, &small_pair);
     if let Some(big) = &big_pair {
         store_cases(&mut suite, "100k", false, big);
@@ -767,11 +881,14 @@ fn main() {
                 // single-threaded micro-cases. The loopback network cases
                 // add kernel TCP scheduling on top, same budget; the
                 // durability cases are bound by real fsync latency, which
-                // swings even wider across storage classes.
+                // swings even wider across storage classes; the streaming
+                // cases time whole mine-and-publish cycles whose sampling
+                // work is allocation-heavy and machine-sensitive.
                 let budget = if name.starts_with("service/")
                     || name.starts_with("net/")
                     || name.starts_with("align/remote_")
                     || name.starts_with("durability/")
+                    || name.starts_with("stream/")
                 {
                     4.0
                 } else {

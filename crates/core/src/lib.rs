@@ -49,6 +49,7 @@ pub mod config;
 pub mod discovery;
 pub mod error;
 pub mod evidence;
+pub mod footprint;
 pub mod rewrite;
 pub mod rule;
 pub mod session;
@@ -58,6 +59,7 @@ pub use aligner::Aligner;
 pub use confidence::{cwaconf, pcaconf, PairEvidence, SampleEvidence};
 pub use config::{AlignerConfig, ConfidenceMeasure, SamplingStrategy};
 pub use error::AlignError;
+pub use footprint::{EvidenceFootprint, SideFootprint};
 pub use rewrite::{QueryRewriter, Rewrite, RewriteError};
 pub use rule::{equivalences, EquivalenceRule, SubsumptionRule};
 pub use session::AlignmentSession;

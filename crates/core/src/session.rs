@@ -9,8 +9,9 @@
 use crate::aligner::Aligner;
 use crate::config::AlignerConfig;
 use crate::error::AlignError;
+use crate::footprint::EvidenceFootprint;
 use crate::rule::SubsumptionRule;
-use sofya_endpoint::Endpoint;
+use sofya_endpoint::{Endpoint, PublishDelta};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -22,9 +23,30 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 /// while any *later* request clears the `Failed` marker and retries
 /// fresh — errors are never cached across attempts.
 enum Slot {
-    InProgress { epoch: u64 },
-    Done(Vec<SubsumptionRule>),
-    Failed { epoch: u64, error: AlignError },
+    InProgress {
+        epoch: u64,
+    },
+    Done {
+        rules: Vec<SubsumptionRule>,
+        /// What the alignment read — consulted by the delta feed to
+        /// decide whether a publish dirtied this relation.
+        footprint: EvidenceFootprint,
+        /// Set by [`AlignmentSession::apply_source_delta`] /
+        /// [`AlignmentSession::apply_target_delta`]; a dirty slot is
+        /// re-mined on the next [`AlignmentSession::rules_for`].
+        dirty: bool,
+    },
+    Failed {
+        epoch: u64,
+        error: AlignError,
+    },
+}
+
+/// Which endpoint a [`PublishDelta`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeltaSide {
+    Source,
+    Target,
 }
 
 /// A caching facade over [`Aligner`] for query-time use.
@@ -65,7 +87,14 @@ impl<'a> AlignmentSession<'a> {
         let mut cache = self.lock();
         loop {
             match cache.get(relation) {
-                Some(Slot::Done(rules)) => return Ok(rules.clone()),
+                Some(Slot::Done { rules, dirty, .. }) => {
+                    if !dirty {
+                        return Ok(rules.clone());
+                    }
+                    // Dirtied by a delta: drop the stale entry and fall
+                    // through to a fresh (single-flight) re-mine.
+                    cache.remove(relation);
+                }
                 Some(Slot::InProgress { epoch }) => {
                     let waited_on = *epoch;
                     cache = self.done.wait(cache).unwrap_or_else(|e| e.into_inner());
@@ -118,11 +147,17 @@ impl<'a> AlignmentSession<'a> {
             relation,
         };
 
-        let result = self.aligner.align_relation(relation);
+        let result = self.aligner.align_relation_traced(relation);
         match &result {
-            Ok(rules) => {
-                self.lock()
-                    .insert(relation.to_owned(), Slot::Done(rules.clone()));
+            Ok((rules, footprint)) => {
+                self.lock().insert(
+                    relation.to_owned(),
+                    Slot::Done {
+                        rules: rules.clone(),
+                        footprint: footprint.clone(),
+                        dirty: false,
+                    },
+                );
             }
             Err(error) => {
                 // Broadcast to the cohort waiting on this epoch; the next
@@ -137,7 +172,7 @@ impl<'a> AlignmentSession<'a> {
             }
         }
         drop(claim); // wakes waiters; Done/Failed slots survive the guard
-        result
+        result.map(|(rules, _)| rules)
     }
 
     /// The best source relation for `relation` (highest confidence), if
@@ -146,12 +181,13 @@ impl<'a> AlignmentSession<'a> {
         Ok(self.rules_for(relation)?.first().map(|r| r.premise.clone()))
     }
 
-    /// Relations already aligned (not merely in flight) in this session.
+    /// Relations already aligned (not merely in flight) in this session,
+    /// including ones currently marked dirty.
     pub fn cached_relations(&self) -> Vec<String> {
         let mut relations: Vec<String> = self
             .lock()
             .iter()
-            .filter(|(_, slot)| matches!(slot, Slot::Done(_)))
+            .filter(|(_, slot)| matches!(slot, Slot::Done { .. }))
             .map(|(relation, _)| relation.clone())
             .collect();
         relations.sort();
@@ -166,10 +202,80 @@ impl<'a> AlignmentSession<'a> {
         let mut cache = self.lock();
         if matches!(
             cache.get(relation),
-            Some(Slot::Done(_)) | Some(Slot::Failed { .. })
+            Some(Slot::Done { .. }) | Some(Slot::Failed { .. })
         ) {
             cache.remove(relation);
         }
+    }
+
+    /// Drops every cached alignment (the resync path: the delta ring
+    /// evicted a gap this session missed, so footprint-based dirtiness
+    /// can no longer be decided).
+    pub fn invalidate_all(&self) {
+        self.lock()
+            .retain(|_, slot| matches!(slot, Slot::InProgress { .. }));
+    }
+
+    /// Applies a delta published by the **source** KB's store: marks
+    /// dirty every cached relation whose source-side evidence footprint
+    /// intersects it. Returns the number of newly dirtied relations.
+    pub fn apply_source_delta(&self, delta: &PublishDelta) -> usize {
+        self.apply_delta(DeltaSide::Source, delta)
+    }
+
+    /// Applies a delta published by the **target** KB's store (see
+    /// [`AlignmentSession::apply_source_delta`]).
+    pub fn apply_target_delta(&self, delta: &PublishDelta) -> usize {
+        self.apply_delta(DeltaSide::Target, delta)
+    }
+
+    fn apply_delta(&self, side: DeltaSide, delta: &PublishDelta) -> usize {
+        if delta.is_empty() {
+            return 0;
+        }
+        let mut newly_dirty = 0;
+        for slot in self.lock().values_mut() {
+            if let Slot::Done {
+                footprint, dirty, ..
+            } = slot
+            {
+                if *dirty {
+                    continue;
+                }
+                let hit = match side {
+                    DeltaSide::Source => footprint.source.is_dirty(delta),
+                    DeltaSide::Target => footprint.target.is_dirty(delta),
+                };
+                if hit {
+                    *dirty = true;
+                    newly_dirty += 1;
+                }
+            }
+        }
+        newly_dirty
+    }
+
+    /// Relations currently marked dirty (cached but stale), sorted.
+    pub fn dirty_relations(&self) -> Vec<String> {
+        let mut relations: Vec<String> = self
+            .lock()
+            .iter()
+            .filter(|(_, slot)| matches!(slot, Slot::Done { dirty: true, .. }))
+            .map(|(relation, _)| relation.clone())
+            .collect();
+        relations.sort();
+        relations
+    }
+
+    /// Eagerly re-mines every dirty relation (the background refresher's
+    /// work loop). Returns how many relations were refreshed.
+    pub fn refresh_dirty(&self) -> Result<usize, AlignError> {
+        let dirty = self.dirty_relations();
+        let n = dirty.len();
+        for relation in dirty {
+            self.rules_for(&relation)?;
+        }
+        Ok(n)
     }
 
     /// The underlying aligner (for configuration inspection).
@@ -294,6 +400,70 @@ mod tests {
             single_cost,
             "single-flight must collapse the burst to one alignment"
         );
+    }
+
+    #[test]
+    fn deltas_dirty_only_intersecting_relations() {
+        use sofya_endpoint::{PredicateDelta, PublishDelta};
+
+        let (dbp, yago) = endpoints();
+        let counters = dbp.counters();
+        let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
+        session.rules_for("y:born").unwrap();
+        assert!(session.dirty_relations().is_empty());
+        let after_mine = counters.total_queries();
+
+        // A target-side delta on an unrelated predicate: still clean,
+        // and the next lookup is still free.
+        let unrelated = PublishDelta {
+            prev_epoch: 1,
+            epoch: 2,
+            predicates: vec![PredicateDelta {
+                predicate: Term::iri("y:unrelated"),
+                inserts: 1,
+                removes: 0,
+            }],
+            terms: vec![Term::iri("y:nobody")],
+        };
+        assert_eq!(session.apply_target_delta(&unrelated), 0);
+        session.rules_for("y:born").unwrap();
+        assert_eq!(counters.total_queries(), after_mine);
+
+        // A delta touching the mined relation's own predicate dirties it;
+        // the next lookup re-mines.
+        let touching = PublishDelta {
+            prev_epoch: 2,
+            epoch: 3,
+            predicates: vec![PredicateDelta {
+                predicate: Term::iri("y:born"),
+                inserts: 1,
+                removes: 0,
+            }],
+            terms: vec![Term::iri("y:p0")],
+        };
+        assert_eq!(session.apply_target_delta(&touching), 1);
+        assert_eq!(session.dirty_relations(), vec!["y:born"]);
+        session.rules_for("y:born").unwrap();
+        assert!(counters.total_queries() > after_mine, "dirty slot re-mines");
+        assert!(session.dirty_relations().is_empty());
+
+        // Re-applying the same delta after the refresh dirties nothing:
+        // the refreshed footprint was mined at the newer state.
+        // (Conservative tracking may legitimately dirty again if the
+        // footprint still covers the predicate — it does here.)
+        assert_eq!(session.apply_target_delta(&touching), 1);
+        assert_eq!(session.refresh_dirty().unwrap(), 1);
+        assert!(session.dirty_relations().is_empty());
+    }
+
+    #[test]
+    fn invalidate_all_clears_every_cached_relation() {
+        let (dbp, yago) = endpoints();
+        let session = AlignmentSession::new(&dbp, &yago, AlignerConfig::paper_defaults(1));
+        session.rules_for("y:born").unwrap();
+        assert!(!session.cached_relations().is_empty());
+        session.invalidate_all();
+        assert!(session.cached_relations().is_empty());
     }
 
     #[test]

@@ -22,12 +22,13 @@
 //! crate-private `plan_cache` module); a publish therefore invalidates
 //! stale plans lazily, on their next lookup.
 
+use crate::delta::{DeltaLog, FreshnessGauge, PredicateDelta, PublishDelta};
 use crate::endpoint::{Endpoint, Request, Response};
 use crate::error::EndpointError;
 use crate::local::DEFAULT_PLAN_CACHE_CAPACITY;
 use crate::plan_cache::ShardedPlanCache;
 use parking_lot::Mutex;
-use sofya_rdf::{StoreSnapshot, StoreStats, Term, TripleStore};
+use sofya_rdf::{StoreDelta, StoreSnapshot, StoreStats, Term, TripleStore};
 use sofya_sparql::{
     compile_with_options, execute_ast_budgeted, execute_ast_with_options, execute_compiled,
     execute_compiled_paged, execute_compiled_paged_budgeted, CompiledQuery, PlanOptions, Prepared,
@@ -103,6 +104,35 @@ impl Cell {
     }
 }
 
+/// Resolves the writer's raw id-level mutation log against the published
+/// snapshot's dictionary (append-only, so every recorded id resolves).
+fn resolve_delta(
+    prev_epoch: u64,
+    epoch: u64,
+    raw: StoreDelta,
+    snapshot: &StoreSnapshot,
+) -> PublishDelta {
+    let dict = snapshot.dict();
+    PublishDelta {
+        prev_epoch,
+        epoch,
+        predicates: raw
+            .predicates
+            .into_iter()
+            .map(|(p, inserts, removes)| PredicateDelta {
+                predicate: dict.resolve(p).clone(),
+                inserts,
+                removes,
+            })
+            .collect(),
+        terms: raw
+            .terms
+            .into_iter()
+            .map(|t| dict.resolve(t).clone())
+            .collect(),
+    }
+}
+
 /// The writer half: owns the mutable store and the publication cell.
 ///
 /// Not `Clone` — the single-writer discipline is encoded in ownership.
@@ -114,20 +144,39 @@ pub struct SnapshotStore {
     /// Shared by every reader handed out from this store, so workers
     /// reuse one another's compiled plans.
     plans: Arc<ShardedPlanCache>,
+    /// Ring of recent publish deltas for incremental subscribers.
+    deltas: Arc<DeltaLog>,
+    /// Streaming freshness gauges (`last_publish_epoch`, …).
+    freshness: Arc<FreshnessGauge>,
 }
 
 impl SnapshotStore {
     /// Wraps `store` and immediately publishes its current state, so
     /// readers created before the first explicit publish see a complete
     /// (not empty) view.
-    pub fn new(mut store: TripleStore) -> Self {
+    pub fn new(store: TripleStore) -> Self {
+        Self::with_delta_capacity(store, crate::delta::DEFAULT_DELTA_LOG_CAPACITY)
+    }
+
+    /// [`SnapshotStore::new`] with an explicit delta-ring capacity (how
+    /// many publishes a lagging subscriber can catch up across before
+    /// being told to resync).
+    pub fn with_delta_capacity(mut store: TripleStore, delta_capacity: usize) -> Self {
+        // Everything mutated before wrapping is covered by the initial
+        // published snapshot; it is not a delta anyone can have missed.
+        let _ = store.take_pending_delta();
         let first = Arc::new(PublishedSnapshot::new(store.snapshot()));
+        let initial_epoch = first.version();
+        let freshness = Arc::new(FreshnessGauge::new());
+        freshness.set_last_publish_epoch(initial_epoch);
         Self {
             store,
             cell: Arc::new(Cell {
                 current: Mutex::new(first),
             }),
             plans: Arc::new(ShardedPlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
+            deltas: Arc::new(DeltaLog::new(delta_capacity, initial_epoch)),
+            freshness,
         }
     }
 
@@ -146,10 +195,22 @@ impl SnapshotStore {
     /// Publishes the writer's current state: flush, snapshot, swap. Cost
     /// is the pending buffer merge plus O(#predicates) `Arc` clones; see
     /// [`sofya_rdf::snapshot`] for the copy-on-write fine print.
-    pub fn publish(&mut self) -> Arc<PublishedSnapshot> {
-        let published = Arc::new(PublishedSnapshot::new(self.store.snapshot()));
-        self.cell.swap(Arc::clone(&published));
-        published
+    ///
+    /// Returns the [`PublishDelta`] describing exactly what changed
+    /// since the previous epoch — O(mutations since the last publish),
+    /// accumulated in the writer path, never recomputed from the store.
+    ///
+    /// **No-op fast path:** with zero pending mutations the currently
+    /// published snapshot is left in place (same `Arc`, same epoch, same
+    /// publication time) and a no-op delta is returned. Version-stamped
+    /// cached plans therefore stay valid across idle publishes.
+    pub fn publish(&mut self) -> Arc<PublishDelta> {
+        let current_epoch = self.current().version();
+        if self.store.generation() == current_epoch {
+            return Arc::new(PublishDelta::noop(current_epoch));
+        }
+        let snapshot = self.store.snapshot();
+        self.install(snapshot)
     }
 
     /// Publishes a snapshot taken earlier from this store's writer half.
@@ -158,15 +219,39 @@ impl SnapshotStore {
     /// must act between snapshotting and the visibility swap — the
     /// durable store commits its write-ahead log against the snapshot
     /// first, so readers never observe state that a crash could lose.
-    pub fn install(&mut self, snapshot: StoreSnapshot) -> Arc<PublishedSnapshot> {
+    ///
+    /// Drains the writer's pending mutation log into the returned
+    /// [`PublishDelta`] and appends it to the delta ring.
+    pub fn install(&mut self, snapshot: StoreSnapshot) -> Arc<PublishDelta> {
+        let prev_epoch = self.current().version();
+        let raw = self.store.take_pending_delta();
+        let delta = Arc::new(resolve_delta(
+            prev_epoch,
+            snapshot.version(),
+            raw,
+            &snapshot,
+        ));
         let published = Arc::new(PublishedSnapshot::new(snapshot));
-        self.cell.swap(Arc::clone(&published));
-        published
+        self.cell.swap(published);
+        self.deltas.push(Arc::clone(&delta));
+        self.freshness.set_last_publish_epoch(delta.epoch);
+        delta
     }
 
     /// The currently published state.
     pub fn current(&self) -> Arc<PublishedSnapshot> {
         self.cell.load()
+    }
+
+    /// The shared ring of recent publish deltas (for subscribers that
+    /// track which relations a publish dirtied).
+    pub fn delta_log(&self) -> Arc<DeltaLog> {
+        Arc::clone(&self.deltas)
+    }
+
+    /// The shared streaming freshness gauges.
+    pub fn freshness(&self) -> Arc<FreshnessGauge> {
+        Arc::clone(&self.freshness)
     }
 
     /// A concurrent endpoint over whatever snapshot is current at each
@@ -768,6 +853,89 @@ mod tests {
                 .count_pattern(TriplePattern::with_p(p)),
             3
         );
+    }
+
+    /// Satellite regression: a publish with zero pending mutations must
+    /// not bump the epoch, swap the snapshot `Arc`, reset the age clock,
+    /// or invalidate version-stamped cached plans.
+    #[test]
+    fn noop_publish_keeps_snapshot_epoch_and_plans() {
+        let mut writer = seeded();
+        let ep = writer.reader("kb");
+        assert_eq!(ep.select("SELECT ?o { <e:a> <r:p> ?o }").unwrap().len(), 2);
+        assert_eq!(ep.plan_cache_len(), 1);
+
+        let before = writer.current();
+        let delta = writer.publish();
+        assert!(delta.is_noop());
+        assert!(delta.is_empty());
+        assert_eq!(delta.epoch, before.version());
+        assert!(
+            Arc::ptr_eq(&before, &writer.current()),
+            "no-op publish must leave the published Arc in place"
+        );
+        assert_eq!(writer.delta_log().len(), 0, "no-op deltas are not logged");
+
+        // The cached plan is still valid (same version stamp) and the
+        // reader still answers correctly.
+        assert_eq!(ep.select("SELECT ?o { <e:a> <r:p> ?o }").unwrap().len(), 2);
+        assert_eq!(ep.plan_cache_len(), 1);
+
+        // A real mutation still publishes as before.
+        writer
+            .store_mut()
+            .insert_terms(&Term::iri("e:a"), &Term::iri("r:p"), &Term::iri("e:d"));
+        let delta = writer.publish();
+        assert!(!delta.is_noop());
+        assert!(delta.epoch > delta.prev_epoch);
+        assert_eq!(delta.prev_epoch, before.version());
+        assert_eq!(ep.select("SELECT ?o { <e:a> <r:p> ?o }").unwrap().len(), 3);
+    }
+
+    /// The delta feed reports exactly the predicates/terms touched since
+    /// the previous epoch, and the ring replays a lagging subscriber's
+    /// gap in order.
+    #[test]
+    fn publish_delta_reports_touched_predicates_and_terms() {
+        let mut writer = seeded();
+        let base_epoch = writer.current().version();
+
+        writer
+            .store_mut()
+            .insert_terms(&Term::iri("e:x"), &Term::iri("r:q"), &Term::iri("e:y"));
+        let d1 = writer.publish();
+        assert_eq!(d1.prev_epoch, base_epoch);
+        assert_eq!(d1.predicates.len(), 1);
+        assert_eq!(d1.predicates[0].predicate, Term::iri("r:q"));
+        assert_eq!((d1.predicates[0].inserts, d1.predicates[0].removes), (1, 0));
+        let terms: Vec<&Term> = d1.terms.iter().collect();
+        assert!(terms.contains(&&Term::iri("e:x")) && terms.contains(&&Term::iri("e:y")));
+
+        // Removal counts land on the removes side of the same predicate.
+        {
+            let store = writer.store_mut();
+            let (x, q, y) = (
+                store.dict().lookup_iri("e:x").unwrap(),
+                store.dict().lookup_iri("r:q").unwrap(),
+                store.dict().lookup_iri("e:y").unwrap(),
+            );
+            assert!(store.remove(x, q, y));
+        }
+        let d2 = writer.publish();
+        assert_eq!((d2.predicates[0].inserts, d2.predicates[0].removes), (0, 1));
+        assert_eq!(d2.prev_epoch, d1.epoch);
+
+        // A subscriber at the base epoch replays both deltas in order.
+        match writer.delta_log().deltas_since(base_epoch) {
+            crate::delta::CatchUp::Deltas(ds) => {
+                assert_eq!(
+                    ds.iter().map(|d| d.epoch).collect::<Vec<_>>(),
+                    vec![d1.epoch, d2.epoch]
+                );
+            }
+            other => panic!("expected a replayable gap, got {other:?}"),
+        }
+        assert_eq!(writer.freshness().last_publish_epoch(), d2.epoch);
     }
 
     #[test]

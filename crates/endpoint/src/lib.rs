@@ -43,6 +43,7 @@ pub mod cache;
 pub mod clock;
 pub mod concurrent;
 pub mod deadline;
+pub mod delta;
 pub mod durable;
 pub mod endpoint;
 pub mod error;
@@ -59,6 +60,7 @@ pub use cache::CachingEndpoint;
 pub use clock::{Clock, ManualClock};
 pub use concurrent::{ConcurrentEndpoint, PinnedEndpoint, PublishedSnapshot, SnapshotStore};
 pub use deadline::{map_budget_error, BudgetConfig, DeadlineEndpoint};
+pub use delta::{CatchUp, DeltaLog, FreshnessGauge, PredicateDelta, PublishDelta};
 pub use durable::{DurabilityGauge, DurableStore};
 pub use endpoint::{Endpoint, EndpointExt, Request, RequestBuf, Response};
 pub use error::EndpointError;

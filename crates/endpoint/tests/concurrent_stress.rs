@@ -208,7 +208,8 @@ proptest! {
                     }
                     Op::FlushPublish => {
                         writer.store_mut().flush();
-                        let published = writer.publish();
+                        writer.publish();
+                        let published = writer.current();
                         registry.lock().unwrap().insert(
                             published.version(),
                             published.snapshot().fingerprint(),
@@ -218,7 +219,8 @@ proptest! {
                 }
             }
             // Final publish so readers can verify the end state, then stop.
-            let published = writer.publish();
+            writer.publish();
+            let published = writer.current();
             registry
                 .lock()
                 .unwrap()
@@ -259,7 +261,8 @@ fn fixed_churn_sequence_round_trips() {
             store.insert_terms(&term("s", s), &term("p", p), &term("o", o));
         }
         if step % 50 == 49 {
-            let snap = writer.publish();
+            writer.publish();
+            let snap = writer.current();
             published.push((snap.version(), snap.snapshot().fingerprint(), snap));
         }
     }

@@ -1,0 +1,113 @@
+//! The ingestion front door: what `POST /ingest` accepts and where the
+//! parsed triples go.
+//!
+//! The server itself does not know how to mutate a store — writers live
+//! behind [`sofya_endpoint::SnapshotStore`] and friends, owned by
+//! whoever composed the process. So the route delegates to an
+//! [`IngestSink`]: one call per HTTP request (and per scheduler job),
+//! handing over the parsed batch and getting back the epoch the caller
+//! can read its own writes at.
+//!
+//! Two body formats are auto-detected per request:
+//!
+//! * **N-Triples** — the standard line syntax, parsed with
+//!   [`sofya_rdf::parse_ntriples`] (comments and blank lines allowed).
+//! * **line-JSON** — one `{"s":…,"p":…,"o":…}` object per line, each
+//!   term in the wire term encoding (see [`crate::wire::term_to_json`]).
+//!   Detected by a leading `{`.
+
+use crate::json::Json;
+use crate::wire::term_from_json;
+use sofya_endpoint::EndpointError;
+use sofya_rdf::{parse_ntriples, Term};
+
+/// Where `POST /ingest` delivers parsed triples. Implemented by the
+/// streaming layer (`sofya_stream::SharedIngestor`); one call covers one
+/// HTTP request, executed as one scheduler job.
+pub trait IngestSink: Send + Sync {
+    /// Accepts a batch of triples and returns the epoch at which they
+    /// are (or will be) readable: the epoch of the publish that covered
+    /// them, or of the snapshot current at buffering time if the batch
+    /// only filled a buffer.
+    fn ingest(&self, triples: Vec<(Term, Term, Term)>) -> Result<u64, EndpointError>;
+}
+
+/// Parses an ingest request body into triples, auto-detecting the
+/// format: a body whose first non-whitespace byte is `{` is line-JSON,
+/// anything else is N-Triples.
+pub fn parse_ingest_body(body: &str) -> Result<Vec<(Term, Term, Term)>, String> {
+    if body.trim_start().starts_with('{') {
+        parse_line_json(body)
+    } else {
+        let store = parse_ntriples(body).map_err(|e| e.to_string())?;
+        Ok(store
+            .iter()
+            .map(|t| {
+                let (s, p, o) = store.resolve(t);
+                (s.clone(), p.clone(), o.clone())
+            })
+            .collect())
+    }
+}
+
+fn parse_line_json(body: &str) -> Result<Vec<(Term, Term, Term)>, String> {
+    let mut triples = Vec::new();
+    for (idx, raw_line) in body.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let json = Json::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let term = |key: &str| {
+            let value = json
+                .get(key)
+                .ok_or_else(|| format!("line {}: triple missing {key:?}", idx + 1))?;
+            term_from_json(value).map_err(|e| format!("line {}: {e}", idx + 1))
+        };
+        triples.push((term("s")?, term("p")?, term("o")?));
+    }
+    Ok(triples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::term_to_json;
+
+    #[test]
+    fn ntriples_bodies_parse() {
+        let triples = parse_ingest_body(
+            "# comment\n\
+             <http://e/a> <http://r/p> <http://e/b> .\n\
+             \n\
+             <http://e/a> <http://r/p> \"lit\" .\n",
+        )
+        .unwrap();
+        assert_eq!(triples.len(), 2);
+        assert!(triples
+            .iter()
+            .all(|(_, p, _)| *p == Term::iri("http://r/p")));
+    }
+
+    #[test]
+    fn line_json_bodies_parse() {
+        let line = Json::obj(vec![
+            ("s", term_to_json(&Term::iri("e:a"))),
+            ("p", term_to_json(&Term::iri("r:p"))),
+            ("o", term_to_json(&Term::literal("x"))),
+        ])
+        .to_text();
+        let body = format!("{line}\n{line}\n");
+        let triples = parse_ingest_body(&body).unwrap();
+        assert_eq!(triples.len(), 2);
+        assert_eq!(triples[0].0, Term::iri("e:a"));
+        assert_eq!(triples[0].2, Term::literal("x"));
+    }
+
+    #[test]
+    fn malformed_bodies_name_the_line() {
+        let err = parse_ingest_body("{\"s\":1}\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(parse_ingest_body("not ntriples at all").is_err());
+    }
+}

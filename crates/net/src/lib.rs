@@ -24,11 +24,15 @@
 
 pub mod client;
 pub mod http;
+pub mod ingest;
 pub mod json;
 pub mod server;
 pub mod wire;
 
 pub use client::{RemoteConfig, RemoteEndpoint};
+pub use ingest::{parse_ingest_body, IngestSink};
 pub use json::Json;
 pub use server::{metrics_to_json, HttpServer, ServerConfig};
-pub use wire::{execute_wire, execute_wire_budgeted, WireError, WireRequest};
+pub use wire::{
+    execute_wire, execute_wire_budgeted, term_from_json, term_to_json, WireError, WireRequest,
+};

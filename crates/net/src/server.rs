@@ -15,14 +15,21 @@
 //! * `POST /query` — body: one JSON wire request line; response: one
 //!   JSON envelope line (`{"ok":true,"response":…}` or
 //!   `{"ok":false,"error":…}`).
+//! * `POST /ingest` — body: N-Triples or line-JSON triples (see
+//!   [`crate::ingest`]); the batch is handed to the configured
+//!   [`IngestSink`] as **one scheduler job** and answered with `202`
+//!   and `{"ok":true,"epoch":…}`. Routed only when
+//!   [`ServerConfig::ingest`] is set.
 //! * `GET /metrics` — current [`MetricsReport`] as JSON.
 
 use crate::http::{read_request, write_response, HttpRequest};
+use crate::ingest::{parse_ingest_body, IngestSink};
 use crate::json::Json;
 use crate::wire::{envelope_to_json, execute_wire_budgeted, WireRequest};
 use parking_lot::Mutex;
 use sofya_endpoint::{
-    map_budget_error, BudgetConfig, DurabilityGauge, Endpoint, EndpointError, Response,
+    map_budget_error, BudgetConfig, DurabilityGauge, Endpoint, EndpointError, FreshnessGauge,
+    Response,
 };
 use sofya_service::scheduler::{serve, JobOutcome, SchedulerConfig, SchedulerHandle, SubmitError};
 use sofya_service::{MetricsReport, ServiceMetrics};
@@ -34,7 +41,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Server knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Scheduler configuration: workers, queue bound, per-client quotas,
     /// retry-after hint. Applies to remote traffic unchanged.
@@ -60,6 +67,27 @@ pub struct ServerConfig {
     /// [`sofya_endpoint::DurableStore::gauge`]). When set, `GET /metrics`
     /// reports the durable epoch and WAL fsync latency.
     pub durability: Option<Arc<DurabilityGauge>>,
+    /// Where `POST /ingest` delivers parsed triples. When unset, the
+    /// route answers `404` — a pure query server exposes no write path.
+    pub ingest: Option<Arc<dyn IngestSink>>,
+    /// Freshness observables from the streaming layer. When set,
+    /// `GET /metrics` reports the last published epoch, the number of
+    /// dirty cached relation alignments, and their staleness in epochs.
+    pub freshness: Option<Arc<FreshnessGauge>>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("scheduler", &self.scheduler)
+            .field("poll_interval", &self.poll_interval)
+            .field("drain_deadline", &self.drain_deadline)
+            .field("budget", &self.budget)
+            .field("durability", &self.durability)
+            .field("ingest", &self.ingest.as_ref().map(|_| "dyn IngestSink"))
+            .field("freshness", &self.freshness)
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -70,6 +98,8 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(5),
             budget: BudgetConfig::default(),
             durability: None,
+            ingest: None,
+            freshness: None,
         }
     }
 }
@@ -139,6 +169,7 @@ impl HttpServer {
                 // server's kill switch; the absolute deadline rides in
                 // with the job (computed when the request was read, so
                 // queue wait spends the budget too).
+                let ingest_sink = config.ingest.clone();
                 let handler = move |job: WireJob| {
                     let budget = QueryBudget {
                         deadline: job.deadline,
@@ -147,8 +178,20 @@ impl HttpServer {
                         cancel: Some(Arc::clone(&handler_cancel)),
                     };
                     let started = Instant::now();
-                    execute_wire_budgeted(endpoint.as_ref(), &job.wire, &budget)
-                        .map_err(|e| map_budget_error(e, started.elapsed()))
+                    match job.payload {
+                        JobPayload::Query(wire) => {
+                            execute_wire_budgeted(endpoint.as_ref(), &wire, &budget)
+                                .map_err(|e| map_budget_error(e, started.elapsed()))
+                        }
+                        // The ingest sink owns publishing; the epoch it
+                        // returns rides back as a count response.
+                        JobPayload::Ingest(triples) => match &ingest_sink {
+                            Some(sink) => sink.ingest(triples).map(Response::Count),
+                            None => Err(EndpointError::Other(
+                                "ingestion is not enabled on this server".to_owned(),
+                            )),
+                        },
+                    }
                 };
                 let scheduler = config.scheduler.clone();
                 let _ = serve(&scheduler, handler, |handle| {
@@ -226,12 +269,19 @@ impl Drop for HttpServer {
     }
 }
 
-/// One scheduler job: the wire request plus the absolute deadline it
-/// must beat (already the tighter of the server's limit and the
-/// client's `X-Deadline-Ms`). The scheduler sheds it unexecuted if the
-/// deadline passes while it is still queued.
+/// What one scheduler job carries: a query tree to execute or an ingest
+/// batch to deliver to the sink.
+enum JobPayload {
+    Query(WireRequest),
+    Ingest(Vec<(sofya_rdf::Term, sofya_rdf::Term, sofya_rdf::Term)>),
+}
+
+/// One scheduler job: the payload plus the absolute deadline it must
+/// beat (already the tighter of the server's limit and the client's
+/// `X-Deadline-Ms`). The scheduler sheds it unexecuted if the deadline
+/// passes while it is still queued.
 struct WireJob {
-    wire: WireRequest,
+    payload: JobPayload,
     deadline: Option<Instant>,
 }
 
@@ -403,6 +453,7 @@ fn route(
 ) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/query") => serve_query(request, handle, config, cancel),
+        ("POST", "/ingest") => serve_ingest(request, handle, config, cancel),
         ("GET", "/metrics") => {
             // Fold the writer-side durability observables in lazily, at
             // probe time — commits never touch the service registry.
@@ -412,6 +463,14 @@ fn route(
                 for ns in gauge.drain_fsync_ns() {
                     service.record_wal_fsync(Duration::from_nanos(ns));
                 }
+            }
+            // Same lazy fold for the streaming-side freshness gauges —
+            // publishes and refreshes never touch the service registry.
+            if let Some(gauge) = &config.freshness {
+                let service = handle.metrics();
+                service.record_last_publish_epoch(gauge.last_publish_epoch());
+                service.record_dirty_relations(gauge.dirty_relations());
+                service.record_alignment_staleness_epochs(gauge.staleness_epochs());
             }
             let mut text = metrics_to_json(&handle.metrics().report()).to_text();
             text.push('\n');
@@ -452,9 +511,118 @@ fn serve_query(
             )
         }
     };
-    // The effective deadline: the tighter of the server's own limit and
-    // whatever remains of the client's budget (`X-Deadline-Ms` carries
-    // the remaining milliseconds, so queue wait here spends it too).
+    let deadline = effective_deadline(request, config, started);
+    let job = WireJob {
+        payload: JobPayload::Query(wire),
+        deadline,
+    };
+    match handle.submit_with_deadline(&client, job, deadline) {
+        Ok(ticket) => match ticket.wait() {
+            JobOutcome::Completed(result) => {
+                let (status, reason) = match &result {
+                    Err(error) => completed_error_status(error, handle, cancel),
+                    Ok(_) => (200, "OK"),
+                };
+                let mut text = envelope_to_json(&result).to_text();
+                text.push('\n');
+                (status, reason, None, text.into_bytes())
+            }
+            JobOutcome::Shed => shed_routed(started),
+            JobOutcome::Panicked(message) => panicked_routed(&message),
+        },
+        Err(rejected) => rejected_routed(rejected.error, config),
+    }
+}
+
+/// Handles `POST /ingest`: parses the triple batch (N-Triples or
+/// line-JSON, auto-detected), hands it to the configured sink as one
+/// scheduler job, and answers `202` with the epoch the batch is
+/// readable at. Ingest jobs share the query path's quotas, queue
+/// backpressure, deadline shedding, and panic containment.
+fn serve_ingest(
+    request: &HttpRequest,
+    handle: &Handle<'_>,
+    config: &ServerConfig,
+    cancel: &Arc<CancelToken>,
+) -> Routed {
+    if config.ingest.is_none() {
+        return (
+            404,
+            "Not Found",
+            None,
+            error_body(&EndpointError::Other(
+                "ingestion is not enabled on this server".to_owned(),
+            )),
+        );
+    }
+    let started = Instant::now();
+    let client = request.header("x-client").unwrap_or("anonymous").to_owned();
+    let triples = match std::str::from_utf8(&request.body)
+        .map_err(|e| e.to_string())
+        .and_then(parse_ingest_body)
+    {
+        Ok(triples) => triples,
+        Err(e) => {
+            return (
+                400,
+                "Bad Request",
+                None,
+                error_body(&EndpointError::Other(format!("bad ingest body: {e}"))),
+            )
+        }
+    };
+    if triples.is_empty() {
+        return (
+            400,
+            "Bad Request",
+            None,
+            error_body(&EndpointError::Other(
+                "ingest body contains no triples".to_owned(),
+            )),
+        );
+    }
+    let deadline = effective_deadline(request, config, started);
+    let job = WireJob {
+        payload: JobPayload::Ingest(triples),
+        deadline,
+    };
+    match handle.submit_with_deadline(&client, job, deadline) {
+        Ok(ticket) => match ticket.wait() {
+            JobOutcome::Completed(Ok(Response::Count(epoch))) => {
+                let mut text =
+                    Json::obj(vec![("ok", Json::Bool(true)), ("epoch", Json::Uint(epoch))])
+                        .to_text();
+                text.push('\n');
+                (202, "Accepted", None, text.into_bytes())
+            }
+            JobOutcome::Completed(Ok(_)) => (
+                500,
+                "Internal Server Error",
+                None,
+                error_body(&EndpointError::Other(
+                    "ingest sink produced a non-count response".to_owned(),
+                )),
+            ),
+            JobOutcome::Completed(Err(error)) => {
+                let (status, reason) = completed_error_status(&error, handle, cancel);
+                (status, reason, None, error_body(&error))
+            }
+            JobOutcome::Shed => shed_routed(started),
+            JobOutcome::Panicked(message) => panicked_routed(&message),
+        },
+        Err(rejected) => rejected_routed(rejected.error, config),
+    }
+}
+
+/// The effective deadline of a request: the tighter of the server's own
+/// limit and whatever remains of the client's budget (`X-Deadline-Ms`
+/// carries the remaining milliseconds, so queue wait here spends it
+/// too).
+fn effective_deadline(
+    request: &HttpRequest,
+    config: &ServerConfig,
+    started: Instant,
+) -> Option<Instant> {
     let client_limit = request
         .header("x-deadline-ms")
         .and_then(|v| v.parse::<u64>().ok())
@@ -463,82 +631,90 @@ fn serve_query(
         (Some(server), Some(client)) => Some(server.min(client)),
         (server, client) => server.or(client),
     };
-    let deadline = time_limit.map(|limit| started + limit);
-    match handle.submit_with_deadline(&client, WireJob { wire, deadline }, deadline) {
-        Ok(ticket) => match ticket.wait() {
-            JobOutcome::Completed(result) => {
-                let (status, reason) = match &result {
-                    // 504 class: the query was killed, not answered.
-                    // Cancelled-by-kill-switch and ran-out-of-time are
-                    // tallied separately.
-                    Err(EndpointError::DeadlineExceeded { .. }) => {
-                        if cancel.is_cancelled() {
-                            handle.metrics().on_query_cancelled();
-                        } else {
-                            handle.metrics().on_query_timed_out();
-                        }
-                        (504, "Gateway Timeout")
-                    }
-                    _ => (200, "OK"),
-                };
-                let mut text = envelope_to_json(&result).to_text();
-                text.push('\n');
-                (status, reason, None, text.into_bytes())
+    time_limit.map(|limit| started + limit)
+}
+
+/// Status for a job that completed with an error. The 504 class means
+/// the job was killed, not answered; cancelled-by-kill-switch and
+/// ran-out-of-time are tallied separately.
+fn completed_error_status(
+    error: &EndpointError,
+    handle: &Handle<'_>,
+    cancel: &Arc<CancelToken>,
+) -> (u16, &'static str) {
+    match error {
+        EndpointError::DeadlineExceeded { .. } => {
+            if cancel.is_cancelled() {
+                handle.metrics().on_query_cancelled();
+            } else {
+                handle.metrics().on_query_timed_out();
             }
-            // Shed at dequeue: the deadline passed while queued, the
-            // worker never ran it (`queries_shed` is counted there).
-            JobOutcome::Shed => (
-                504,
-                "Gateway Timeout",
+            (504, "Gateway Timeout")
+        }
+        _ => (200, "OK"),
+    }
+}
+
+/// Shed at dequeue: the deadline passed while queued, the worker never
+/// ran it (`queries_shed` is counted there).
+fn shed_routed(started: Instant) -> Routed {
+    (
+        504,
+        "Gateway Timeout",
+        None,
+        error_body(&EndpointError::DeadlineExceeded {
+            elapsed: started.elapsed(),
+        }),
+    )
+}
+
+fn panicked_routed(message: &str) -> Routed {
+    (
+        500,
+        "Internal Server Error",
+        None,
+        error_body(&EndpointError::Other(format!(
+            "query handler panicked: {message}"
+        ))),
+    )
+}
+
+/// Maps a scheduler rejection to its HTTP answer.
+fn rejected_routed(error: SubmitError, config: &ServerConfig) -> Routed {
+    match error {
+        SubmitError::QueueFull { retry_after } => (
+            503,
+            "Service Unavailable",
+            Some(("Retry-After", format!("{}", retry_after.as_millis().max(1)))),
+            error_body(&EndpointError::Unavailable {
+                message: "server busy".into(),
+                // The same hint rides both the header and the wire
+                // envelope, so typed clients see it too.
+                retry_after: Some(retry_after),
+            }),
+        ),
+        SubmitError::QuotaExhausted { client } => {
+            let max_queries = configured_quota(&config.scheduler, &client);
+            (
+                429,
+                "Too Many Requests",
                 None,
-                error_body(&EndpointError::DeadlineExceeded {
-                    elapsed: started.elapsed(),
-                }),
-            ),
-            JobOutcome::Panicked(message) => (
-                500,
-                "Internal Server Error",
-                None,
-                error_body(&EndpointError::Other(format!(
-                    "query handler panicked: {message}"
-                ))),
-            ),
-        },
-        Err(rejected) => match rejected.error {
-            SubmitError::QueueFull { retry_after } => (
-                503,
-                "Service Unavailable",
-                Some(("Retry-After", format!("{}", retry_after.as_millis().max(1)))),
-                error_body(&EndpointError::Unavailable {
-                    message: "server busy".into(),
-                    // The same hint rides both the header and the wire
-                    // envelope, so typed clients see it too.
-                    retry_after: Some(retry_after),
-                }),
-            ),
-            SubmitError::QuotaExhausted { client } => {
-                let max_queries = configured_quota(&config.scheduler, &client);
-                (
-                    429,
-                    "Too Many Requests",
-                    None,
-                    error_body(&EndpointError::QuotaExceeded {
-                        endpoint: client,
-                        max_queries,
-                        retry_after: None,
-                    }),
-                )
-            }
-            SubmitError::ShuttingDown => (
-                503,
-                "Service Unavailable",
-                None,
-                error_body(&EndpointError::Unavailable {
-                    message: "server shutting down".into(),
+                error_body(&EndpointError::QuotaExceeded {
+                    endpoint: client,
+                    max_queries,
                     retry_after: None,
                 }),
-            ),
-        },
+            )
+        }
+        SubmitError::ShuttingDown => (
+            503,
+            "Service Unavailable",
+            None,
+            error_body(&EndpointError::Unavailable {
+                message: "server shutting down".into(),
+                retry_after: None,
+            }),
+        ),
     }
 }
 
@@ -572,5 +748,11 @@ pub fn metrics_to_json(report: &MetricsReport) -> Json {
         ("queries_cancelled", Json::Uint(report.queries_cancelled)),
         ("queries_shed", Json::Uint(report.queries_shed)),
         ("breaker_state", Json::Uint(report.breaker_state)),
+        ("last_publish_epoch", Json::Uint(report.last_publish_epoch)),
+        ("dirty_relations", Json::Uint(report.dirty_relations)),
+        (
+            "alignment_staleness_epochs",
+            Json::Uint(report.alignment_staleness_epochs),
+        ),
     ])
 }

@@ -202,7 +202,9 @@ pub fn execute_wire_budgeted(
     reshape(wire, response)
 }
 
-fn term_to_json(term: &Term) -> Json {
+/// Encodes one RDF term in the wire term encoding
+/// (`{"t":"iri"|"lit"|"bnode","v":…}` plus optional `lang`/`dt`).
+pub fn term_to_json(term: &Term) -> Json {
     match term {
         Term::Iri(value) => Json::obj(vec![("t", Json::str("iri")), ("v", Json::str(value))]),
         Term::Literal {
@@ -223,7 +225,8 @@ fn term_to_json(term: &Term) -> Json {
     }
 }
 
-fn term_from_json(json: &Json) -> Result<Term, WireError> {
+/// Decodes one RDF term from the wire term encoding.
+pub fn term_from_json(json: &Json) -> Result<Term, WireError> {
     let tag = json
         .get("t")
         .and_then(Json::as_str)

@@ -59,6 +59,6 @@ pub use ntriples::{parse_ntriples, write_ntriples};
 pub use segment::CodecError;
 pub use snapshot::StoreSnapshot;
 pub use stats::{PredicateStats, StoreStats};
-pub use store::{PatternScan, TripleStore};
+pub use store::{PatternScan, StoreDelta, TripleStore};
 pub use term::Term;
 pub use triple::{Triple, TriplePattern};

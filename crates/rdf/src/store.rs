@@ -38,6 +38,7 @@ use crate::dict::{Dict, TermId};
 use crate::snapshot::StoreSnapshot;
 use crate::term::Term;
 use crate::triple::{Triple, TriplePattern};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 type Key = (u32, u32, u32);
@@ -53,6 +54,56 @@ const DEFAULT_MERGE_THRESHOLD: usize = 1024;
 /// buffer can stay much smaller than the global threshold without losing
 /// amortization (the memmove it triggers is page-local).
 const PAGE_BUFFER_THRESHOLD: usize = 64;
+
+/// Mutations accumulated in the writer path since the last
+/// [`TripleStore::take_pending_delta`]: per-predicate insert/remove
+/// counts plus the set of subject/object ids touched. Maintained in
+/// O(1) amortized per mutation, so draining it at publish time is
+/// O(mutations since the last publish), never O(store).
+#[derive(Debug, Clone, Default)]
+struct PendingDelta {
+    /// predicate id → (inserts, removes)
+    preds: BTreeMap<u32, (u64, u64)>,
+    /// Subject and object ids of every mutated triple.
+    terms: BTreeSet<u32>,
+}
+
+impl PendingDelta {
+    #[inline]
+    fn record(&mut self, s: u32, p: u32, o: u32, removal: bool) {
+        let counts = self.preds.entry(p).or_default();
+        if removal {
+            counts.1 += 1;
+        } else {
+            counts.0 += 1;
+        }
+        self.terms.insert(s);
+        self.terms.insert(o);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+}
+
+/// The drained form of the writer's pending mutation log (see
+/// [`TripleStore::take_pending_delta`]): raw dictionary ids, resolvable
+/// against any snapshot taken at or after the covered mutations (the
+/// dictionary is append-only).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreDelta {
+    /// `(predicate id, inserts, removes)`, ascending by predicate id.
+    pub predicates: Vec<(TermId, u64, u64)>,
+    /// Distinct subject/object ids of every mutated triple, ascending.
+    pub terms: Vec<TermId>,
+}
+
+impl StoreDelta {
+    /// Whether the delta covers no mutations at all.
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+}
 
 /// Which permutation a key run is sorted by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -262,6 +313,9 @@ pub struct TripleStore {
     /// Bumped on every successful mutation; snapshots record the value
     /// they were taken at, so staleness is a subtraction.
     generation: u64,
+    /// Mutations since the last `take_pending_delta` (the publish-time
+    /// delta feed).
+    pending: PendingDelta,
 }
 
 impl Default for TripleStore {
@@ -275,6 +329,7 @@ impl Default for TripleStore {
             pages: Vec::new(),
             merge_threshold: DEFAULT_MERGE_THRESHOLD,
             generation: 0,
+            pending: PendingDelta::default(),
         }
     }
 }
@@ -360,7 +415,33 @@ impl TripleStore {
     /// snapshot pays a one-time copy of that run (`Arc::make_mut`).
     pub fn snapshot(&mut self) -> StoreSnapshot {
         self.flush();
-        StoreSnapshot::new(self.clone(), self.generation)
+        let mut clone = self.clone();
+        // The snapshot is immutable; carrying the writer's pending
+        // mutation log into it would only pin memory.
+        clone.pending = PendingDelta::default();
+        StoreSnapshot::new(clone, self.generation)
+    }
+
+    /// Drains the mutation log accumulated since the previous call (or
+    /// store creation): per-predicate insert/remove counts and the
+    /// subject/object ids touched. O(mutations covered). The endpoint
+    /// layer calls this at publish time to build the delta feed.
+    pub fn take_pending_delta(&mut self) -> StoreDelta {
+        let pending = std::mem::take(&mut self.pending);
+        StoreDelta {
+            predicates: pending
+                .preds
+                .into_iter()
+                .map(|(p, (ins, rem))| (TermId(p), ins, rem))
+                .collect(),
+            terms: pending.terms.into_iter().map(TermId).collect(),
+        }
+    }
+
+    /// Whether any mutation has been recorded since the last
+    /// [`TripleStore::take_pending_delta`].
+    pub fn has_pending_delta(&self) -> bool {
+        !self.pending.is_empty()
     }
 
     /// Number of triples.
@@ -430,6 +511,7 @@ impl TripleStore {
             merge_run(Arc::make_mut(&mut page.run), &mut page.buf);
         }
         self.generation += 1;
+        self.pending.record(s.0, p.0, o.0, false);
         self.maybe_merge();
         true
     }
@@ -468,6 +550,10 @@ impl TripleStore {
             return 0;
         }
         let inserted = batch.len();
+        // `batch` now holds exactly the new triples.
+        for &(s, p, o) in &batch {
+            self.pending.record(s, p, o, false);
+        }
 
         // SPO: the batch is already in SPO order.
         let mut spo_batch = batch.clone();
@@ -541,6 +627,7 @@ impl TripleStore {
             }
         }
         self.generation += 1;
+        self.pending.record(s.0, p.0, o.0, true);
         true
     }
 
@@ -1151,6 +1238,45 @@ mod tests {
         let after: Vec<Triple> = s.iter().collect();
         assert_eq!(before, after);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn pending_delta_tracks_mutations_exactly() {
+        let mut s = TripleStore::new();
+        assert!(!s.has_pending_delta());
+        assert!(s.take_pending_delta().is_empty());
+
+        let a = s.intern(&Term::iri("a"));
+        let b = s.intern(&Term::iri("b"));
+        let c = s.intern(&Term::iri("c"));
+        let p = s.intern(&Term::iri("p"));
+        let q = s.intern(&Term::iri("q"));
+
+        assert!(s.insert(a, p, b));
+        assert!(!s.insert(a, p, b)); // duplicate: not recorded
+        assert!(!s.remove(a, q, b)); // miss: not recorded
+        s.load_batch(vec![(a, p, b), (b, q, c)]); // one new triple
+        assert!(s.remove(a, p, b));
+
+        assert!(s.has_pending_delta());
+        let delta = s.take_pending_delta();
+        assert_eq!(
+            delta.predicates,
+            vec![(p, 1, 1), (q, 1, 0)],
+            "per-predicate insert/remove counts"
+        );
+        let terms: BTreeSet<TermId> = delta.terms.iter().copied().collect();
+        assert_eq!(terms, BTreeSet::from([a, b, c]));
+
+        // Drained: the next delta starts empty.
+        assert!(!s.has_pending_delta());
+        assert!(s.take_pending_delta().is_empty());
+
+        // Snapshots never carry the writer's pending log.
+        assert!(s.insert(b, p, c));
+        let snap = s.snapshot();
+        assert!(!snap.store().has_pending_delta());
+        assert!(s.has_pending_delta());
     }
 
     #[test]

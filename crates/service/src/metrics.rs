@@ -114,6 +114,13 @@ pub struct ServiceMetrics {
     /// Upstream circuit-breaker state gauge (0 closed / 1 open / 2
     /// half-open); 0 when no breaker reports in.
     breaker_state: AtomicU64,
+    /// Epoch of the most recent snapshot publish — staleness expressible
+    /// in epochs, alongside the wall-clock `snapshot_age_ns`.
+    last_publish_epoch: AtomicU64,
+    /// Cached relation alignments currently dirtied by deltas.
+    dirty_relations: AtomicU64,
+    /// Epoch lag of the stalest dirty alignment (0 when clean).
+    alignment_staleness_epochs: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -188,6 +195,21 @@ impl ServiceMetrics {
         self.breaker_state.store(state, Ordering::Relaxed);
     }
 
+    /// Records the epoch of the newest published snapshot (a gauge).
+    pub fn record_last_publish_epoch(&self, epoch: u64) {
+        self.last_publish_epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// Records how many cached alignments are currently dirty (a gauge).
+    pub fn record_dirty_relations(&self, n: u64) {
+        self.dirty_relations.store(n, Ordering::Relaxed);
+    }
+
+    /// Records the epoch lag of the stalest dirty alignment (a gauge).
+    pub fn record_alignment_staleness_epochs(&self, n: u64) {
+        self.alignment_staleness_epochs.store(n, Ordering::Relaxed);
+    }
+
     /// Current queue depth.
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Ordering::Relaxed)
@@ -213,6 +235,9 @@ impl ServiceMetrics {
             queries_cancelled: self.queries_cancelled.load(Ordering::Relaxed),
             queries_shed: self.queries_shed.load(Ordering::Relaxed),
             breaker_state: self.breaker_state.load(Ordering::Relaxed),
+            last_publish_epoch: self.last_publish_epoch.load(Ordering::Relaxed),
+            dirty_relations: self.dirty_relations.load(Ordering::Relaxed),
+            alignment_staleness_epochs: self.alignment_staleness_epochs.load(Ordering::Relaxed),
         }
     }
 }
@@ -255,6 +280,12 @@ pub struct MetricsReport {
     pub queries_shed: u64,
     /// Upstream circuit-breaker state (0 closed / 1 open / 2 half-open).
     pub breaker_state: u64,
+    /// Epoch of the most recent snapshot publish (0 when unreported).
+    pub last_publish_epoch: u64,
+    /// Cached relation alignments currently dirty (streaming path).
+    pub dirty_relations: u64,
+    /// Epoch lag of the stalest dirty alignment (0 when clean).
+    pub alignment_staleness_epochs: u64,
 }
 
 impl MetricsReport {
@@ -312,7 +343,13 @@ mod tests {
         m.on_query_cancelled();
         m.on_query_shed();
         m.record_breaker_state(2);
+        m.record_last_publish_epoch(11);
+        m.record_dirty_relations(4);
+        m.record_alignment_staleness_epochs(2);
         let r = m.report();
+        assert_eq!(r.last_publish_epoch, 11);
+        assert_eq!(r.dirty_relations, 4);
+        assert_eq!(r.alignment_staleness_epochs, 2);
         assert_eq!(r.queries_timed_out, 1);
         assert_eq!(r.queries_cancelled, 1);
         assert_eq!(r.queries_shed, 1);

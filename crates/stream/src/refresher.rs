@@ -1,0 +1,112 @@
+//! The background refresher: eager re-mining of dirtied alignments.
+//!
+//! Without it, a dirtied relation pays its re-mine on the next
+//! [`AlignmentSession::rules_for`] — correct, but the unlucky first
+//! caller eats the latency. [`run_refresher`] moves that cost off the
+//! query path: a dedicated thread syncs the trackers, re-mines whatever
+//! went dirty, and syncs again so the freshness gauges observe the
+//! recovery, sleeping `poll` between rounds.
+//!
+//! The loop is cooperative: it runs on the caller's thread (spawn it
+//! under `std::thread::scope` next to the session it borrows) and exits
+//! when `stop` is raised or a re-mine fails (the error propagates — the
+//! supervisor decides whether to restart).
+
+use crate::tracker::FreshnessTracker;
+use sofya_core::{AlignError, AlignmentSession};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Runs the refresh loop until `stop` is raised. Returns the total
+/// number of relation re-mines performed, or the first alignment error.
+pub fn run_refresher(
+    session: &AlignmentSession<'_>,
+    trackers: &mut [FreshnessTracker],
+    stop: &AtomicBool,
+    poll: Duration,
+) -> Result<u64, AlignError> {
+    let mut refreshed = 0u64;
+    loop {
+        for tracker in trackers.iter_mut() {
+            tracker.sync(session);
+        }
+        let round = session.refresh_dirty()? as u64;
+        if round > 0 {
+            refreshed += round;
+            // The gauges still report the pre-refresh dirtiness; sync
+            // again so they observe the recovery promptly.
+            for tracker in trackers.iter_mut() {
+                tracker.sync(session);
+            }
+        }
+        if stop.load(Ordering::Acquire) {
+            return Ok(refreshed);
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::KbSide;
+    use sofya_core::AlignerConfig;
+    use sofya_endpoint::{Endpoint, LocalEndpoint, SnapshotStore};
+    use sofya_rdf::{Term, TripleStore};
+
+    const SA: &str = "http://www.w3.org/2002/07/owl#sameAs";
+
+    #[test]
+    fn refresher_re_mines_dirtied_relations_in_the_background() {
+        let mut yago = TripleStore::new();
+        let mut dbp = TripleStore::new();
+        for i in 0..8 {
+            let (py, pd) = (format!("y:p{i}"), format!("d:P{i}"));
+            let (cy, cd) = (format!("y:c{i}"), format!("d:C{i}"));
+            yago.insert_terms(&Term::iri(&py), &Term::iri("y:born"), &Term::iri(&cy));
+            dbp.insert_terms(&Term::iri(&pd), &Term::iri("d:birthPlace"), &Term::iri(&cd));
+            yago.insert_terms(&Term::iri(&py), &Term::iri(SA), &Term::iri(&pd));
+            yago.insert_terms(&Term::iri(&cy), &Term::iri(SA), &Term::iri(&cd));
+            dbp.insert_terms(&Term::iri(&pd), &Term::iri(SA), &Term::iri(&py));
+            dbp.insert_terms(&Term::iri(&cd), &Term::iri(SA), &Term::iri(&cy));
+        }
+        let source = LocalEndpoint::new("dbp", dbp);
+        let mut writer = SnapshotStore::new(yago);
+        let target = writer.reader("yago");
+        let gauge = writer.freshness();
+        let session = AlignmentSession::new(
+            &source,
+            &target as &dyn Endpoint,
+            AlignerConfig::paper_defaults(1),
+        );
+        session.rules_for("y:born").unwrap();
+
+        let mut trackers = vec![FreshnessTracker::new(&writer, KbSide::Target)];
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let refresher = scope
+                .spawn(|| run_refresher(&session, &mut trackers, &stop, Duration::from_millis(1)));
+            // Dirty the mined relation, then wait for the background
+            // loop to clean it up.
+            writer.store_mut().insert_terms(
+                &Term::iri("y:p0"),
+                &Term::iri("y:born"),
+                &Term::iri("y:elsewhere"),
+            );
+            writer.publish();
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while !session.dirty_relations().is_empty() {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "refresher never cleaned the dirty relation"
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            stop.store(true, Ordering::Release);
+            let refreshed = refresher.join().unwrap().unwrap();
+            assert!(refreshed >= 1, "at least one re-mine ran: {refreshed}");
+        });
+        assert_eq!(gauge.dirty_relations(), 0);
+        assert_eq!(gauge.staleness_epochs(), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! The differential guarantee, property-tested: an incrementally
+//! maintained [`AlignmentSession`] — footprint-dirtied by replayed
+//! deltas, re-mined via `refresh_dirty` — answers **bit-identically**
+//! to a session built from scratch at the same epoch, under arbitrary
+//! interleavings of inserts, removes, batch loads, and publishes.
+//!
+//! Because every per-relation mine seeds its RNG deterministically from
+//! the relation IRI, "same published state" implies "same rules", so
+//! exact `Vec<SubsumptionRule>` equality (confidences included) is the
+//! right assertion — any drift means the dirty tracking missed an
+//! intersecting delta.
+
+use proptest::prelude::*;
+use sofya_core::{AlignerConfig, AlignmentSession};
+use sofya_endpoint::{Endpoint, LocalEndpoint, SnapshotStore};
+use sofya_rdf::{Term, TripleStore};
+use sofya_stream::{FreshnessTracker, KbSide};
+
+const SA: &str = "http://www.w3.org/2002/07/owl#sameAs";
+
+/// Target-side relations the ops mutate (and the sessions mine).
+const RELATIONS: [&str; 3] = ["y:born", "y:livesIn", "y:diedIn"];
+
+fn entity(i: u32) -> Term {
+    Term::iri(format!("y:p{i}"))
+}
+
+fn city(i: u32) -> Term {
+    Term::iri(format!("y:c{i}"))
+}
+
+/// A linked pair: 8 sameAs-bridged entities and cities, with each
+/// target relation mirrored by a minable source premise.
+fn stores() -> (TripleStore, TripleStore) {
+    let mut yago = TripleStore::new();
+    let mut dbp = TripleStore::new();
+    let premises = ["d:birthPlace", "d:residence", "d:deathPlace"];
+    for i in 0..8u32 {
+        let (py, pd) = (format!("y:p{i}"), format!("d:P{i}"));
+        let (cy, cd) = (format!("y:c{i}"), format!("d:C{i}"));
+        for (relation, premise) in RELATIONS.iter().zip(premises) {
+            yago.insert_terms(&Term::iri(&py), &Term::iri(*relation), &Term::iri(&cy));
+            dbp.insert_terms(&Term::iri(&pd), &Term::iri(premise), &Term::iri(&cd));
+        }
+        yago.insert_terms(&Term::iri(&py), &Term::iri(SA), &Term::iri(&pd));
+        yago.insert_terms(&Term::iri(&cy), &Term::iri(SA), &Term::iri(&cd));
+        dbp.insert_terms(&Term::iri(&pd), &Term::iri(SA), &Term::iri(&py));
+        dbp.insert_terms(&Term::iri(&cd), &Term::iri(SA), &Term::iri(&cy));
+    }
+    (dbp, yago)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert `(y:p{s}, RELATIONS[r], y:c{o})` into the target store.
+    Insert(u32, usize, u32),
+    /// Remove the same shape, if present.
+    Remove(u32, usize, u32),
+    /// A burst of inserts landing in one future publish.
+    LoadBatch(Vec<(u32, usize, u32)>),
+    /// Insert a triple no relation's footprint cares about.
+    InsertUnrelated(u32),
+    /// Publish whatever accumulated (possibly a no-op publish).
+    Publish,
+}
+
+fn triple_strategy() -> impl Strategy<Value = (u32, usize, u32)> {
+    (0u32..10, 0usize..RELATIONS.len(), 0u32..10)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        triple_strategy().prop_map(|(s, r, o)| Op::Insert(s, r, o)),
+        triple_strategy().prop_map(|(s, r, o)| Op::Remove(s, r, o)),
+        proptest::collection::vec(triple_strategy(), 1..6).prop_map(Op::LoadBatch),
+        (0u32..6).prop_map(Op::InsertUnrelated),
+        Just(Op::Publish),
+    ]
+}
+
+fn apply(writer: &mut SnapshotStore, op: &Op) -> bool {
+    match op {
+        Op::Insert(s, r, o) => {
+            writer
+                .store_mut()
+                .insert_terms(&entity(*s), &Term::iri(RELATIONS[*r]), &city(*o));
+            false
+        }
+        Op::Remove(s, r, o) => {
+            let store = writer.store_mut();
+            let ids = (
+                store.dict().lookup(&entity(*s)),
+                store.dict().lookup(&Term::iri(RELATIONS[*r])),
+                store.dict().lookup(&city(*o)),
+            );
+            if let (Some(s), Some(p), Some(o)) = ids {
+                store.remove(s, p, o);
+            }
+            false
+        }
+        Op::LoadBatch(batch) => {
+            for (s, r, o) in batch {
+                writer
+                    .store_mut()
+                    .insert_terms(&entity(*s), &Term::iri(RELATIONS[*r]), &city(*o));
+            }
+            false
+        }
+        Op::InsertUnrelated(i) => {
+            writer.store_mut().insert_terms(
+                &Term::iri(format!("y:misc{i}")),
+                &Term::iri("y:unrelated"),
+                &Term::iri("y:junk"),
+            );
+            false
+        }
+        Op::Publish => true,
+    }
+}
+
+proptest! {
+    // Each publish re-mines and cross-checks up to three relations
+    // against a from-scratch session, so keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn incremental_session_is_bit_identical_to_from_scratch(
+        ops in proptest::collection::vec(op_strategy(), 8..32),
+    ) {
+        let (dbp, yago) = stores();
+        let source = LocalEndpoint::new("dbp", dbp);
+        let mut writer = SnapshotStore::new(yago);
+        let target = writer.reader("yago");
+        let config = AlignerConfig::paper_defaults(1);
+
+        let incremental =
+            AlignmentSession::new(&source, &target as &dyn Endpoint, config.clone());
+        let mut tracker = FreshnessTracker::new(&writer, KbSide::Target);
+        for relation in RELATIONS {
+            incremental.rules_for(relation).unwrap();
+        }
+
+        for op in &ops {
+            if !apply(&mut writer, op) {
+                continue;
+            }
+            writer.publish();
+            tracker.sync(&incremental);
+            incremental.refresh_dirty().unwrap();
+            prop_assert!(incremental.dirty_relations().is_empty());
+
+            // A fresh session at the same epoch must agree exactly.
+            let fresh =
+                AlignmentSession::new(&source, &target as &dyn Endpoint, config.clone());
+            for relation in RELATIONS {
+                let incremental_rules = incremental.rules_for(relation).unwrap();
+                let fresh_rules = fresh.rules_for(relation).unwrap();
+                prop_assert_eq!(
+                    incremental_rules,
+                    fresh_rules,
+                    "relation {} diverged at epoch {}",
+                    relation,
+                    writer.current().version()
+                );
+            }
+        }
+
+        // Flush any tail mutations and check the final epoch too.
+        writer.publish();
+        tracker.sync(&incremental);
+        incremental.refresh_dirty().unwrap();
+        let fresh = AlignmentSession::new(&source, &target as &dyn Endpoint, config);
+        for relation in RELATIONS {
+            prop_assert_eq!(
+                incremental.rules_for(relation).unwrap(),
+                fresh.rules_for(relation).unwrap(),
+                "relation {} diverged at the final epoch",
+                relation
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end over a real loopback socket: `POST /ingest` feeds a
+//! [`SharedIngestor`], the publish becomes visible to `/query` readers
+//! on the same server, and `GET /metrics` reports the freshness gauges.
+
+use sofya_net::http::{read_response, write_request, HttpResponse};
+use sofya_net::{HttpServer, RemoteEndpoint, ServerConfig};
+use sofya_rdf::{Term, TripleStore};
+use sofya_stream::{IngestorConfig, SharedIngestor, StreamIngestor};
+use std::io::BufReader;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use sofya_endpoint::{EndpointExt, SnapshotStore};
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> HttpResponse {
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    write_request(
+        &mut conn,
+        method,
+        path,
+        &[("X-Client", "e2e"), ("Connection", "close")],
+        body,
+    )
+    .unwrap();
+    read_response(&mut BufReader::new(conn)).expect("response")
+}
+
+fn body_text(response: &HttpResponse) -> String {
+    String::from_utf8_lossy(&response.body).into_owned()
+}
+
+#[test]
+fn ingest_route_publishes_and_metrics_report_freshness() {
+    let mut seed = TripleStore::new();
+    seed.insert_terms(&Term::iri("e:s"), &Term::iri("e:p"), &Term::iri("e:o"));
+    let ingestor = StreamIngestor::new(
+        SnapshotStore::new(seed),
+        IngestorConfig {
+            publish_count: 1, // every ingest batch publishes immediately
+            ..IngestorConfig::default()
+        },
+    );
+    let reader = ingestor.reader("kb");
+    let gauge = ingestor.freshness();
+    let shared = SharedIngestor::new(ingestor);
+
+    let config = ServerConfig {
+        ingest: Some(shared.clone()),
+        freshness: Some(Arc::clone(&gauge)),
+        ..ServerConfig::default()
+    };
+    let server = HttpServer::start(Arc::new(reader), config, "127.0.0.1:0").expect("bind loopback");
+    let addr = server.addr();
+
+    // An N-Triples body lands, publishes, and reports the new epoch.
+    let nt = b"<e:alice> <e:knows> <e:bob> .\n<e:bob> <e:knows> <e:carol> .\n";
+    let response = request(addr, "POST", "/ingest", nt);
+    assert_eq!(response.status, 202, "{}", body_text(&response));
+    let body = body_text(&response);
+    assert!(body.contains("\"ok\":true"), "{body}");
+    assert!(body.contains("\"epoch\":"), "{body}");
+    let epoch = shared.with(|ing| ing.current_epoch());
+    assert!(epoch > 0);
+    assert!(body.contains(&format!("\"epoch\":{epoch}")), "{body}");
+
+    // The publish is visible to query traffic on the same server.
+    let remote = RemoteEndpoint::new("kb", addr);
+    assert!(remote.ask("ASK { <e:alice> <e:knows> <e:bob> }").unwrap());
+
+    // A line-JSON body works too and advances the epoch.
+    let json = b"{\"s\":{\"t\":\"iri\",\"v\":\"e:carol\"},\"p\":{\"t\":\"iri\",\"v\":\"e:knows\"},\"o\":{\"t\":\"iri\",\"v\":\"e:dave\"}}\n";
+    let response = request(addr, "POST", "/ingest", json);
+    assert_eq!(response.status, 202, "{}", body_text(&response));
+    assert!(remote.ask("ASK { <e:carol> <e:knows> <e:dave> }").unwrap());
+
+    // The freshness gauges ride on /metrics.
+    let response = request(addr, "GET", "/metrics", b"");
+    assert_eq!(response.status, 200);
+    let metrics = body_text(&response);
+    let current = shared.with(|ing| ing.current_epoch());
+    assert!(
+        metrics.contains(&format!("\"last_publish_epoch\":{current}")),
+        "{metrics}"
+    );
+    assert!(metrics.contains("\"dirty_relations\":0"), "{metrics}");
+    assert!(
+        metrics.contains("\"alignment_staleness_epochs\":0"),
+        "{metrics}"
+    );
+    drop(gauge);
+
+    // A malformed body is a client error, not a publish.
+    let response = request(addr, "POST", "/ingest", b"this is not a triple\n");
+    assert_eq!(response.status, 400, "{}", body_text(&response));
+    assert_eq!(shared.with(|ing| ing.current_epoch()), current);
+
+    // An empty body has nothing to ingest.
+    let response = request(addr, "POST", "/ingest", b"");
+    assert_eq!(response.status, 400, "{}", body_text(&response));
+
+    server.shutdown();
+}
+
+#[test]
+fn ingest_route_is_absent_on_a_pure_query_server() {
+    let mut store = TripleStore::new();
+    store.insert_terms(&Term::iri("e:s"), &Term::iri("e:p"), &Term::iri("e:o"));
+    let server = HttpServer::start(
+        Arc::new(sofya_endpoint::LocalEndpoint::new("kb", store)),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("bind loopback");
+    let response = request(server.addr(), "POST", "/ingest", b"<e:a> <e:b> <e:c> .\n");
+    assert_eq!(response.status, 404, "{}", body_text(&response));
+    server.shutdown();
+}
