@@ -1,0 +1,159 @@
+//! The committed violation baseline: a ratchet, not a whitelist.
+//!
+//! Format: one entry per line, tab-separated, lexicographically sorted:
+//!
+//! ```text
+//! rule<TAB>path<TAB>count<TAB>snippet
+//! ```
+//!
+//! Keys are `(rule, path, snippet)` — deliberately *not* line numbers,
+//! so unrelated edits above a baselined site don't churn the file. The
+//! whitespace-collapsed snippet never contains a tab, so the format
+//! splits cleanly. Counts make duplicate snippets in one file exact:
+//! adding a second identical violation to a file shows up as new.
+
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+
+/// Stable identity of a violation for baseline matching.
+pub fn key(v: &Violation) -> String {
+    format!("{}\t{}\t{}", v.rule, v.path, v.snippet)
+}
+
+/// Parsed baseline: key → allowed count.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeMap<String, usize>,
+    /// Lines that failed to parse (reported under `--deny`).
+    pub malformed: Vec<String>,
+    /// Whether the file's lines were in sorted order.
+    pub sorted: bool,
+}
+
+impl Baseline {
+    /// Parses the baseline file contents.
+    pub fn parse(text: &str) -> Baseline {
+        let mut b = Baseline {
+            sorted: true,
+            ..Baseline::default()
+        };
+        let mut prev: Option<&str> = None;
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(p) = prev {
+                if p > line {
+                    b.sorted = false;
+                }
+            }
+            prev = Some(line);
+            let mut parts = line.splitn(4, '\t');
+            let (rule, path, count, snippet) = (
+                parts.next().unwrap_or(""),
+                parts.next().unwrap_or(""),
+                parts.next().unwrap_or(""),
+                parts.next().unwrap_or(""),
+            );
+            match count.parse::<usize>() {
+                Ok(n) if !rule.is_empty() && !path.is_empty() && !snippet.is_empty() => {
+                    *b.entries
+                        .entry(format!("{rule}\t{path}\t{snippet}"))
+                        .or_insert(0) += n;
+                }
+                _ => b.malformed.push(line.to_owned()),
+            }
+        }
+        b
+    }
+
+    /// Allowed count for a violation key.
+    pub fn allowed(&self, key: &str) -> usize {
+        self.entries.get(key).copied().unwrap_or(0)
+    }
+
+    /// Entries whose allowed count exceeds what currently fires — the
+    /// code was fixed, so the baseline must shrink (the ratchet).
+    pub fn stale(&self, current: &BTreeMap<String, usize>) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|(k, &allowed)| current.get(*k).copied().unwrap_or(0) < allowed)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Renders a fresh baseline from the current violation set.
+    pub fn render(violations: &[Violation]) -> String {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for v in violations {
+            *counts.entry(key(v)).or_insert(0) += 1;
+        }
+        let mut out = String::from(
+            "# sofya-analysis baseline — pre-existing violations, ratcheted down only.\n\
+             # Regenerate with: cargo run -p sofya-analysis -- --update-baseline\n",
+        );
+        for (k, n) in &counts {
+            // key is rule\tpath\tsnippet; the file stores count third.
+            let mut parts = k.splitn(3, '\t');
+            let rule = parts.next().unwrap_or("");
+            let path = parts.next().unwrap_or("");
+            let snippet = parts.next().unwrap_or("");
+            out.push_str(&format!("{rule}\t{path}\t{n}\t{snippet}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn v(rule: Rule, path: &str, snippet: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_owned(),
+            line: 1,
+            message: String::new(),
+            snippet: snippet.to_owned(),
+        }
+    }
+
+    #[test]
+    fn round_trips_and_counts() {
+        let vs = vec![
+            v(Rule::PanicPath, "crates/net/src/http.rs", "x.unwrap();"),
+            v(Rule::PanicPath, "crates/net/src/http.rs", "x.unwrap();"),
+            v(
+                Rule::Determinism,
+                "crates/net/src/client.rs",
+                "Instant::now()",
+            ),
+        ];
+        let text = Baseline::render(&vs);
+        let b = Baseline::parse(&text);
+        assert!(b.sorted);
+        assert!(b.malformed.is_empty());
+        assert_eq!(b.allowed(&key(&vs[0])), 2);
+        assert_eq!(b.allowed(&key(&vs[2])), 1);
+        assert_eq!(b.allowed("panic_path\tother.rs\tnope"), 0);
+    }
+
+    #[test]
+    fn unsorted_and_malformed_are_detected() {
+        let b = Baseline::parse("z\tp\t1\ts\na\tp\t1\ts\nnot-a-valid-line\n");
+        assert!(!b.sorted);
+        assert_eq!(b.malformed.len(), 1);
+    }
+
+    #[test]
+    fn stale_entries_surface() {
+        let text = "panic_path\ta.rs\t2\tx.unwrap();\n";
+        let b = Baseline::parse(text);
+        let mut current = BTreeMap::new();
+        current.insert("panic_path\ta.rs\tx.unwrap();".to_owned(), 1);
+        let stale = b.stale(&current);
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].contains("a.rs"));
+    }
+}

@@ -1,0 +1,399 @@
+//! A hand-rolled Rust lexer, just deep enough for lint soundness.
+//!
+//! The rules in this crate are token-sequence matchers, so the one
+//! property the lexer must get exactly right is *where code stops and
+//! trivia begins*: a `panic!` inside a string literal, a doc comment, or
+//! a nested block comment must never produce the tokens a rule matches
+//! on. Everything else (numeric suffixes, multi-char operators) is kept
+//! deliberately coarse — rules only ever look at identifiers and single
+//! punctuation characters.
+//!
+//! Handled precisely:
+//!
+//! * line comments (`//`, `///`, `//!`) and *nested* block comments;
+//! * string literals with escapes, byte strings, char literals;
+//! * raw strings `r"…"` / `r#"…"#` (any hash depth), raw byte strings;
+//! * raw identifiers (`r#match` lexes as one identifier);
+//! * the `'a` lifetime vs `'a'` char-literal ambiguity.
+//!
+//! Non-ASCII bytes outside literals and comments are treated as
+//! punctuation: the workspace's source is ASCII-only outside of string
+//! literals, and an identifier rule can never match punctuation, so
+//! this coarseness cannot create a false match.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers).
+    Ident,
+    /// One punctuation character (`::` is two `Punct` tokens).
+    Punct,
+    /// Any literal: string, raw string, byte string, char, number.
+    Literal,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nesting respected (doc comments included).
+    BlockComment,
+}
+
+/// One lexed token, borrowing its text from the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token's class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Counts newlines in `bytes` (for multi-line tokens).
+fn newlines(bytes: &[u8]) -> u32 {
+    let mut n = 0;
+    for &b in bytes {
+        if b == b'\n' {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Scans a `"…"` body starting *after* the opening quote; returns the
+/// index just past the closing quote (or `len` if unterminated).
+fn scan_string_body(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i = (i + 2).min(b.len()),
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scans a `'…'` char-literal body starting *after* the opening quote;
+/// returns the index just past the closing quote.
+fn scan_char_body(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i = (i + 2).min(b.len()),
+            b'\'' => return i + 1,
+            // A char literal never spans a line; an unterminated quote
+            // (stray `'`) ends at the newline so the rest of the file
+            // still lexes.
+            b'\n' => return i,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scans a raw string starting at the `r` (or after a `b`); `i` points
+/// at the `r`. Returns `Some(end)` past the closing quote+hashes, or
+/// `None` if this is not a raw string at all (e.g. a raw identifier).
+fn scan_raw_string(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1; // past the 'r'
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return None; // `r#match` raw ident, or plain ident starting with r
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == b'"'
+            && b[j + 1..].len() >= hashes
+            && b[j + 1..j + 1 + hashes].iter().all(|&h| h == b'#')
+        {
+            return Some(j + 1 + hashes);
+        }
+        j += 1;
+    }
+    Some(j)
+}
+
+/// Lexes `src` into tokens, comments included.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let start = i;
+        let start_line = line;
+        let c = b[i];
+        let kind = match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+                continue;
+            }
+            _ if c.is_ascii_whitespace() => {
+                i += 1;
+                continue;
+            }
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                TokenKind::LineComment
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                line += newlines(&b[start..i]);
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                i = scan_string_body(b, i + 1);
+                line += newlines(&b[start..i]);
+                TokenKind::Literal
+            }
+            b'\'' => {
+                // Lifetime vs char literal: a `'` followed by an
+                // identifier-start is a lifetime unless the character
+                // after that one closes the quote (`'a'`).
+                let next = b.get(i + 1).copied();
+                match next {
+                    Some(b'\\') => {
+                        i = scan_char_body(b, i + 1);
+                        TokenKind::Literal
+                    }
+                    Some(n) if is_ident_start(n) && b.get(i + 2) != Some(&b'\'') => {
+                        i += 2;
+                        while i < b.len() && is_ident_continue(b[i]) {
+                            i += 1;
+                        }
+                        TokenKind::Lifetime
+                    }
+                    _ => {
+                        i = scan_char_body(b, i + 1);
+                        TokenKind::Literal
+                    }
+                }
+            }
+            b'r' => match scan_raw_string(b, i) {
+                Some(end) => {
+                    i = end;
+                    line += newlines(&b[start..i]);
+                    TokenKind::Literal
+                }
+                None => {
+                    // `r#match` raw identifier, or a plain ident.
+                    i += 1;
+                    if b.get(i) == Some(&b'#') && b.get(i + 1).copied().is_some_and(is_ident_start)
+                    {
+                        i += 1;
+                    }
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    TokenKind::Ident
+                }
+            },
+            b'b' => {
+                // b'x', b"…", br"…", br#"…"#, or an ident starting with b.
+                match b.get(i + 1) {
+                    Some(&b'\'') => {
+                        i = scan_char_body(b, i + 2);
+                        TokenKind::Literal
+                    }
+                    Some(&b'"') => {
+                        i = scan_string_body(b, i + 2);
+                        line += newlines(&b[start..i]);
+                        TokenKind::Literal
+                    }
+                    Some(&b'r') => match scan_raw_string(b, i + 1) {
+                        Some(end) => {
+                            i = end;
+                            line += newlines(&b[start..i]);
+                            TokenKind::Literal
+                        }
+                        None => {
+                            while i < b.len() && is_ident_continue(b[i]) {
+                                i += 1;
+                            }
+                            TokenKind::Ident
+                        }
+                    },
+                    _ => {
+                        while i < b.len() && is_ident_continue(b[i]) {
+                            i += 1;
+                        }
+                        TokenKind::Ident
+                    }
+                }
+            }
+            b'0'..=b'9' => {
+                // Coarse numeric literal: digits, hex, suffixes. Stops
+                // before `.` so ranges (`0..n`) lex as three tokens.
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                TokenKind::Literal
+            }
+            _ if is_ident_start(c) => {
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                TokenKind::Ident
+            }
+            _ => {
+                // One punctuation character; a non-ASCII character is
+                // consumed whole (lead byte plus continuations) so token
+                // boundaries always fall on UTF-8 char boundaries.
+                i += 1;
+                while i < b.len() && (b[i] & 0xC0) == 0x80 {
+                    i += 1;
+                }
+                TokenKind::Punct
+            }
+        };
+        // Guarantee forward progress even on degenerate input, again
+        // swallowing continuation bytes to stay on a char boundary.
+        if i <= start {
+            i = start + 1;
+            while i < b.len() && (b[i] & 0xC0) == 0x80 {
+                i += 1;
+            }
+        }
+        out.push(Token {
+            kind,
+            text: &src[start..i.min(src.len())],
+            line: start_line,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let toks = kinds(r#"let x = "panic!(\"no\")"; // unwrap() here"#);
+        assert!(toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .all(|(_, t)| *t == "let" || *t == "x"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("unwrap")));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("/* a /* b */ still comment */ fn f() {}");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.ends_with("comment */"));
+        assert!(toks[1].1 == "fn");
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds(r###"let s = r#"she said "unwrap()" loudly"#; done"###);
+        let lit = toks.iter().find(|(k, _)| *k == TokenKind::Literal).unwrap();
+        assert!(lit.1.contains("unwrap"));
+        assert!(toks.iter().any(|(_, t)| *t == "done"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && *t == "'x'"));
+    }
+
+    #[test]
+    fn escaped_char_literals_do_not_derail() {
+        let toks = kinds(r"let q = '\''; let n = '\n'; after");
+        assert!(toks.iter().any(|(_, t)| *t == "after"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("let r#match = r#move; rail");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "r#match"));
+        assert!(toks.iter().any(|(_, t)| *t == "rail"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"let m = b"SOFYASEG"; let c = b'\n'; let raw = br#"x"#; tail"##);
+        assert!(toks.iter().any(|(_, t)| *t == "tail"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "SOFYASEG"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "a\n/* x\ny */\n\"s\ntr\"\nz";
+        let toks = lex(src);
+        let z = toks.iter().find(|t| t.text == "z").unwrap();
+        assert_eq!(z.line, 6);
+    }
+}

@@ -1,0 +1,224 @@
+//! Test-region and attribute masking over the token stream.
+//!
+//! Rules must never fire inside test code: `#[cfg(test)]` items,
+//! `#[test]` functions, and `mod tests { … }` blocks are all fair game
+//! for `unwrap()` and wall-clock reads. This module computes, per
+//! significant (non-comment) token, whether it lies inside such a
+//! region — and, separately, whether it lies inside an attribute
+//! (`#[…]`), which the indexing heuristic must ignore.
+//!
+//! The scan is purely lexical: a test attribute (or a `mod tests`
+//! header) masks the following item up to its terminating `;`, or
+//! through its brace-matched `{ … }` body. Nested brackets inside the
+//! item header (`fn f() -> [u8; 4]`) are depth-tracked so an inner `;`
+//! never ends the region early.
+
+use crate::lexer::Token;
+
+/// Per-token flags computed in one pass.
+#[derive(Debug)]
+pub struct Regions {
+    /// Token is inside test-only code (or its introducing attribute).
+    pub test: Vec<bool>,
+    /// Token is inside any `#[…]` / `#![…]` attribute.
+    pub attr: Vec<bool>,
+}
+
+/// Finds the index just past the matching `]` for an attribute whose
+/// `[` is at `open`. Returns `toks.len()` if unterminated.
+fn attr_end(toks: &[Token<'_>], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Whether the attribute tokens in `toks[start..end]` mark a test item:
+/// `#[test]`, or a `#[cfg(…)]` that mentions `test` without `not`.
+fn is_test_attr(toks: &[Token<'_>], start: usize, end: usize) -> bool {
+    let body = &toks[start..end];
+    let has = |name: &str| body.iter().any(|t| t.is_ident(name));
+    if has("test") && !has("cfg") && !has("not") {
+        return true; // #[test], #[tokio::test]-style
+    }
+    has("cfg") && has("test") && !has("not")
+}
+
+/// Finds the end of the item starting at `from`: the index just past
+/// the first depth-0 `;`, or past the brace-matched body of the first
+/// depth-0 `{`. Bracket and paren depth shield inner `;` (array types,
+/// const generics).
+fn item_end(toks: &[Token<'_>], from: usize) -> usize {
+    let mut depth = 0isize;
+    let mut k = from;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(";") {
+            return k + 1;
+        } else if depth == 0 && t.is_punct("{") {
+            // Brace-match the body.
+            let mut braces = 0isize;
+            while k < toks.len() {
+                if toks[k].is_punct("{") {
+                    braces += 1;
+                } else if toks[k].is_punct("}") {
+                    braces -= 1;
+                    if braces == 0 {
+                        return k + 1;
+                    }
+                }
+                k += 1;
+            }
+            return toks.len();
+        }
+        k += 1;
+    }
+    toks.len()
+}
+
+/// Computes test/attribute regions over significant tokens.
+pub fn regions(toks: &[Token<'_>]) -> Regions {
+    let mut test = vec![false; toks.len()];
+    let mut attr = vec![false; toks.len()];
+    let mut k = 0usize;
+    while k < toks.len() {
+        let t = &toks[k];
+        // Attribute: `#[…]` or `#![…]`.
+        if t.is_punct("#") {
+            let mut open = k + 1;
+            if toks.get(open).is_some_and(|t| t.is_punct("!")) {
+                open += 1;
+            }
+            if toks.get(open).is_some_and(|t| t.is_punct("[")) {
+                let end = attr_end(toks, open);
+                for flag in attr.iter_mut().take(end).skip(k) {
+                    *flag = true;
+                }
+                if is_test_attr(toks, open, end) {
+                    // Mask the attribute, any further attributes, and
+                    // the item they introduce.
+                    let mut from = end;
+                    while toks.get(from).is_some_and(|t| t.is_punct("#")) {
+                        let inner_open = from + 1;
+                        if !toks.get(inner_open).is_some_and(|t| t.is_punct("[")) {
+                            break;
+                        }
+                        let inner_end = attr_end(toks, inner_open);
+                        for flag in attr.iter_mut().take(inner_end).skip(from) {
+                            *flag = true;
+                        }
+                        from = inner_end;
+                    }
+                    let stop = item_end(toks, from);
+                    for flag in test.iter_mut().take(stop).skip(k) {
+                        *flag = true;
+                    }
+                    k = stop;
+                    continue;
+                }
+                k = end;
+                continue;
+            }
+        }
+        // Bare `mod tests { … }` (with or without a cfg attribute).
+        if t.is_ident("mod") && toks.get(k + 1).is_some_and(|t| t.is_ident("tests")) && !test[k] {
+            let stop = item_end(toks, k + 1);
+            for flag in test.iter_mut().take(stop).skip(k) {
+                *flag = true;
+            }
+            k = stop;
+            continue;
+        }
+        k += 1;
+    }
+    Regions { test, attr }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, TokenKind};
+
+    fn sig(src: &str) -> Vec<Token<'_>> {
+        lex(src).into_iter().filter(|t| !t.is_comment()).collect()
+    }
+
+    fn masked_idents(src: &str) -> Vec<String> {
+        let toks = sig(src);
+        let r = regions(&toks);
+        toks.iter()
+            .zip(&r.test)
+            .filter(|(t, &m)| m && t.kind == TokenKind::Ident)
+            .map(|(t, _)| t.text.to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked_to_its_closing_brace() {
+        let src = "fn live() {} #[cfg(test)] mod tests { fn t() { x.unwrap(); } } fn also() {}";
+        let masked = masked_idents(src);
+        assert!(masked.contains(&"unwrap".to_owned()));
+        assert!(!masked.contains(&"live".to_owned()));
+        assert!(!masked.contains(&"also".to_owned()));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))] fn real() { x.unwrap(); }";
+        assert!(masked_idents(src).is_empty());
+    }
+
+    #[test]
+    fn test_fn_attr_masks_only_that_fn() {
+        let src = "#[test] fn t() { a.unwrap(); } fn live() { b.ok(); }";
+        let masked = masked_idents(src);
+        assert!(masked.contains(&"unwrap".to_owned()));
+        assert!(!masked.contains(&"ok".to_owned()));
+    }
+
+    #[test]
+    fn inner_semicolons_in_types_do_not_end_the_region() {
+        let src = "#[cfg(test)] fn t() -> [u8; 4] { x.unwrap(); } fn live() {}";
+        let masked = masked_idents(src);
+        assert!(masked.contains(&"unwrap".to_owned()));
+        assert!(!masked.contains(&"live".to_owned()));
+    }
+
+    #[test]
+    fn bare_mod_tests_is_masked() {
+        let src = "mod tests { fn t() { x.unwrap(); } } fn live() {}";
+        let masked = masked_idents(src);
+        assert!(masked.contains(&"unwrap".to_owned()));
+        assert!(!masked.contains(&"live".to_owned()));
+    }
+
+    #[test]
+    fn module_declaration_without_body_masks_to_semicolon() {
+        let src = "#[cfg(test)] mod tests; fn live() { x.ok(); }";
+        let masked = masked_idents(src);
+        assert!(masked.contains(&"tests".to_owned()));
+        assert!(!masked.contains(&"ok".to_owned()));
+    }
+
+    #[test]
+    fn attributes_are_flagged() {
+        let toks = sig("#[derive(Debug)] struct S { a: [u8; 2] }");
+        let r = regions(&toks);
+        let derive_pos = toks.iter().position(|t| t.is_ident("derive")).unwrap();
+        assert!(r.attr[derive_pos]);
+        let a_pos = toks.iter().position(|t| t.is_ident("a")).unwrap();
+        assert!(!r.attr[a_pos]);
+    }
+}

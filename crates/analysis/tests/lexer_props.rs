@@ -1,0 +1,116 @@
+//! Property tests for the lexer/rule-engine boundary: rule-triggering
+//! phrases smuggled inside string literals, raw strings, byte strings,
+//! or comments must never reach the rule engine — and code *after* such
+//! a literal must still be linted (the lexer resynchronises correctly).
+
+use proptest::prelude::*;
+use sofya_analysis::lexer::{lex, TokenKind};
+use sofya_analysis::{analyze_file, Config, Rule};
+
+/// Phrases that each trip at least one rule when lexed as code in a
+/// policed crate/file.
+const PAYLOADS: &[&str] = &[
+    "o.unwrap()",
+    "r.expect(\"checked above\")",
+    "panic!(\"boom\")",
+    "unreachable!()",
+    "todo!()",
+    "v[idx]",
+    "Instant::now()",
+    "SystemTime::now()",
+    "rand::thread_rng()",
+    "len as u32",
+    "d.as_nanos() as u64",
+];
+
+fn payload() -> impl Strategy<Value = &'static str> {
+    (0usize..PAYLOADS.len()).prop_map(|i| PAYLOADS[i])
+}
+
+fn escape(p: &str) -> String {
+    p.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Wraps a payload so it is literal/comment content, never code.
+fn wrap(p: &str, kind: usize, hashes: usize) -> String {
+    match kind {
+        0 => format!("// {p}\n"),
+        1 => format!("/* outer /* {p} */ still comment */\n"),
+        2 => format!("const S: &str = \"{}\";\n", escape(p)),
+        3 => {
+            let h = "#".repeat(hashes);
+            format!("const R: &str = r{h}\"{p}\"{h};\n")
+        }
+        4 => format!("const B: &[u8] = b\"{}\";\n", escape(p)),
+        _ => unreachable!("wrapper kind out of range"),
+    }
+}
+
+fn findings(path: &str, src: &str) -> Vec<Rule> {
+    analyze_file(path, src, &Config::workspace())
+        .into_iter()
+        .map(|v| v.rule)
+        .collect()
+}
+
+proptest! {
+    /// A violation phrase inside any literal or comment produces no
+    /// findings — in the strictest contexts we police (a wire file in a
+    /// serving crate, and a deterministic crate).
+    #[test]
+    fn smuggled_payloads_never_fire(
+        p in payload(),
+        kind in 0usize..5,
+        hashes in 1usize..4,
+    ) {
+        let src = wrap(p, kind, hashes);
+        prop_assert_eq!(&findings("crates/net/src/http.rs", &src), &[]);
+        prop_assert_eq!(&findings("crates/core/src/x.rs", &src), &[]);
+    }
+
+    /// Adversarial mixes of smuggled payloads followed by one real
+    /// violation: the literals stay silent and the real violation is
+    /// still found — the lexer resynchronised after every literal.
+    #[test]
+    fn lexer_resyncs_after_literals(
+        items in proptest::collection::vec((payload(), 0usize..5, 1usize..4), 1..6),
+    ) {
+        let mut src = String::new();
+        for (p, kind, hashes) in &items {
+            src.push_str(&wrap(p, *kind, *hashes));
+        }
+        src.push_str("fn real(o: Option<u8>) -> u8 { o.unwrap() }\n");
+        let got = findings("crates/net/src/x.rs", &src);
+        prop_assert_eq!(&got, &[Rule::PanicPath]);
+    }
+
+    /// The lexer never panics on arbitrary input, and every token it
+    /// returns is a slice of the input appearing at a non-decreasing
+    /// offset (no token is fabricated or reordered).
+    #[test]
+    fn lex_is_total_and_in_order(src in ".{0,200}") {
+        let toks = lex(&src);
+        let base = src.as_ptr() as usize;
+        let mut last = 0usize;
+        for t in &toks {
+            let off = t.text.as_ptr() as usize - base;
+            prop_assert!(off >= last, "token out of order at offset {off}");
+            prop_assert!(off + t.text.len() <= src.len());
+            last = off;
+        }
+    }
+
+    /// A payload wrapped in a raw string lexes to a single literal token
+    /// that still contains the payload verbatim.
+    #[test]
+    fn raw_strings_lex_as_one_literal(p in payload(), hashes in 1usize..4) {
+        let src = wrap(p, 3, hashes);
+        let toks = lex(&src);
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        prop_assert_eq!(lits.len(), 1);
+        prop_assert!(lits[0].text.contains(p));
+    }
+}

@@ -5,6 +5,8 @@
 //! the scale presets defined here, so every experiment is reproducible
 //! from its command line alone.
 
+#![forbid(unsafe_code)]
+
 use sofya_kbgen::{generate, GeneratedPair, PairConfig};
 
 /// Parses `--name=value` from the process arguments.

@@ -43,6 +43,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod aligner;
 pub mod confidence;
 pub mod config;

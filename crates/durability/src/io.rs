@@ -303,17 +303,27 @@ impl FaultyIo {
         }
     }
 
+    /// Corrupts one byte; infallible, so the bit-flip write paths need
+    /// no unwrap.
+    fn bit_flipped(bytes: &[u8]) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        if let Some(byte) = out.get_mut(bytes.len() / 3) {
+            *byte ^= 0x40;
+        }
+        out
+    }
+
     fn faulty_bytes(&self, kind: FaultKind, bytes: &[u8]) -> Option<Vec<u8>> {
         match kind {
-            FaultKind::TornWrite => Some(bytes[..bytes.len() / 2].to_vec()),
-            FaultKind::ShortWrite => Some(bytes[..bytes.len().saturating_sub(1)].to_vec()),
-            FaultKind::BitFlip => {
-                let mut out = bytes.to_vec();
-                if let Some(byte) = out.get_mut(bytes.len() / 3) {
-                    *byte ^= 0x40;
-                }
-                Some(out)
+            FaultKind::TornWrite => {
+                let (keep, _) = bytes.split_at(bytes.len() / 2);
+                Some(keep.to_vec())
             }
+            FaultKind::ShortWrite => {
+                let (keep, _) = bytes.split_at(bytes.len().saturating_sub(1));
+                Some(keep.to_vec())
+            }
+            FaultKind::BitFlip => Some(Self::bit_flipped(bytes)),
             FaultKind::FsyncError | FaultKind::Kill => None,
         }
     }
@@ -328,7 +338,7 @@ impl StorageIo for FaultyIo {
         match self.arm() {
             None => self.inner.write(name, bytes),
             Some(FaultKind::BitFlip) => {
-                let corrupt = self.faulty_bytes(FaultKind::BitFlip, bytes).unwrap();
+                let corrupt = Self::bit_flipped(bytes);
                 self.inner.write(name, &corrupt)
             }
             Some(kind) => {
@@ -344,7 +354,7 @@ impl StorageIo for FaultyIo {
         match self.arm() {
             None => self.inner.append(name, bytes),
             Some(FaultKind::BitFlip) => {
-                let corrupt = self.faulty_bytes(FaultKind::BitFlip, bytes).unwrap();
+                let corrupt = Self::bit_flipped(bytes);
                 self.inner.append(name, &corrupt)
             }
             Some(kind) => {

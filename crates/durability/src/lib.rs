@@ -31,6 +31,8 @@
 //! still restores a valid prefix epoch or refuses with a checksum
 //! error — it never serves torn state.
 
+#![forbid(unsafe_code)]
+
 pub mod crc;
 pub mod error;
 pub mod io;

@@ -203,13 +203,14 @@ impl DurableLog {
         let next = self.epoch + 1;
         let mut buf = Vec::new();
         for op in &self.pending {
-            append_record(&mut buf, next, &WalEntry::Op(op.clone()));
+            append_record(&mut buf, next, &WalEntry::Op(op.clone()))?;
         }
-        append_record(&mut buf, next, &WalEntry::Commit { fingerprint });
+        append_record(&mut buf, next, &WalEntry::Commit { fingerprint })?;
 
         self.io
             .append(WAL_FILE, &buf)
             .map_err(|e| self.poison(e.into()))?;
+        // sofya: allow(determinism) — fsync latency is a wall-clock gauge in the receipt, never alignment state
         let fsync_start = Instant::now();
         self.io.fsync(WAL_FILE).map_err(|e| self.poison(e.into()))?;
         let fsync_latency = fsync_start.elapsed();
@@ -240,7 +241,8 @@ impl DurableLog {
         fingerprint: u64,
     ) -> Result<(), DurabilityError> {
         let dict = snapshot.store().dict();
-        let term_count = u32::try_from(dict.len()).expect("dictionary overflow");
+        let term_count = u32::try_from(dict.len())
+            .map_err(|_| DurabilityError::Corrupt("dictionary exceeds u32 term ids".into()))?;
 
         // Dictionary delta: terms interned since the last checkpoint.
         // Ids are append-only, so old segments stay valid forever.
@@ -287,7 +289,7 @@ impl DurableLog {
             self.io.as_ref(),
             MANIFEST_TMP_FILE,
             SegmentKind::Manifest,
-            &manifest.encode(),
+            &manifest.encode()?,
         )?;
         self.io.rename(MANIFEST_TMP_FILE, MANIFEST_FILE)?;
 
@@ -440,7 +442,7 @@ impl DurableLog {
         let mut kept = Vec::new();
         for record in &records {
             if record.epoch > manifest.epoch && record.epoch <= epoch {
-                append_record(&mut kept, record.epoch, &record.entry);
+                append_record(&mut kept, record.epoch, &record.entry)?;
             }
         }
         if kept != wal {
@@ -639,7 +641,8 @@ mod tests {
             &mut tail,
             2,
             &WalEntry::Op(WalOp::Insert(t(1).0, t(1).1, t(1).2)),
-        );
+        )
+        .expect("encode");
         io.append(WAL_FILE, &tail).unwrap();
         io.fsync(WAL_FILE).unwrap();
         io.crash();

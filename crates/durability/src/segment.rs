@@ -78,21 +78,28 @@ pub fn read_segment(
 ) -> Result<Vec<u8>, DurabilityError> {
     let bytes = io.read(name)?;
     let corrupt = |what: &str| DurabilityError::Corrupt(format!("segment {name}: {what}"));
-    if bytes.len() < 21 {
-        return Err(corrupt("truncated header"));
-    }
-    if &bytes[..8] != MAGIC {
+    // Checked header parse: a truncated or hostile file must come back
+    // as Corrupt, never as a panic in the recovery path.
+    let payload = bytes.get(21..).ok_or_else(|| corrupt("truncated header"))?;
+    if bytes.get(..8) != Some(MAGIC.as_slice()) {
         return Err(corrupt("bad magic"));
     }
-    if bytes[8] != kind.tag() {
+    if bytes.get(8) != Some(&kind.tag()) {
         return Err(corrupt("wrong segment kind"));
     }
-    let len = u64::from_le_bytes(bytes[9..17].try_into().unwrap());
-    if len != (bytes.len() - 21) as u64 {
+    let len = bytes
+        .get(9..17)
+        .and_then(|b| <[u8; 8]>::try_from(b).ok())
+        .map(u64::from_le_bytes)
+        .ok_or_else(|| corrupt("truncated header"))?;
+    if len != payload.len() as u64 {
         return Err(corrupt("length mismatch"));
     }
-    let crc = u32::from_le_bytes(bytes[17..21].try_into().unwrap());
-    let payload = &bytes[21..];
+    let crc = bytes
+        .get(17..21)
+        .and_then(|b| <[u8; 4]>::try_from(b).ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| corrupt("truncated header"))?;
     if crc32(payload) != crc {
         return Err(corrupt("checksum mismatch"));
     }
@@ -128,27 +135,35 @@ pub struct Manifest {
     pub dict_segments: Vec<DictSegment>,
 }
 
-fn push_string(buf: &mut Vec<u8>, s: &str) {
-    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+fn push_string(buf: &mut Vec<u8>, s: &str) -> Result<(), DurabilityError> {
+    let len = u32::try_from(s.len())
+        .map_err(|_| DurabilityError::Corrupt("manifest string exceeds u32 frame".into()))?;
+    buf.extend_from_slice(&len.to_le_bytes());
     buf.extend_from_slice(s.as_bytes());
+    Ok(())
 }
 
 impl Manifest {
-    /// Encodes the manifest payload (framing is [`write_segment`]'s job).
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encodes the manifest payload (framing is [`write_segment`]'s
+    /// job). Errors with [`DurabilityError::Corrupt`] if a length field
+    /// overflows its u32 slot instead of panicking mid-checkpoint.
+    pub fn encode(&self) -> Result<Vec<u8>, DurabilityError> {
         let mut buf = Vec::new();
         buf.extend_from_slice(&self.epoch.to_le_bytes());
         buf.extend_from_slice(&self.fingerprint.to_le_bytes());
         buf.extend_from_slice(&self.term_count.to_le_bytes());
         buf.extend_from_slice(&self.triple_count.to_le_bytes());
-        push_string(&mut buf, &self.runs);
-        buf.extend_from_slice(&(self.dict_segments.len() as u32).to_le_bytes());
+        push_string(&mut buf, &self.runs)?;
+        let seg_count = u32::try_from(self.dict_segments.len()).map_err(|_| {
+            DurabilityError::Corrupt("manifest dict-segment count exceeds u32".into())
+        })?;
+        buf.extend_from_slice(&seg_count.to_le_bytes());
         for seg in &self.dict_segments {
-            push_string(&mut buf, &seg.name);
+            push_string(&mut buf, &seg.name)?;
             buf.extend_from_slice(&seg.start.to_le_bytes());
             buf.extend_from_slice(&seg.count.to_le_bytes());
         }
-        buf
+        Ok(buf)
     }
 
     /// Decodes a manifest payload.
@@ -214,13 +229,13 @@ mod tests {
     #[test]
     fn manifest_round_trips() {
         let m = sample();
-        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+        assert_eq!(Manifest::decode(&m.encode().expect("encode")).unwrap(), m);
     }
 
     #[test]
     fn segment_file_round_trips_and_validates() {
         let io = MemIo::new();
-        let payload = sample().encode();
+        let payload = sample().encode().expect("encode");
         write_segment(&io, "m", SegmentKind::Manifest, &payload).unwrap();
         assert_eq!(
             read_segment(&io, "m", SegmentKind::Manifest).unwrap(),
@@ -249,11 +264,11 @@ mod tests {
     #[test]
     fn manifest_decode_rejects_garbage() {
         assert!(Manifest::decode(&[]).is_err());
-        let mut truncated = sample().encode();
+        let mut truncated = sample().encode().expect("encode");
         truncated.truncate(10);
         assert!(Manifest::decode(&truncated).is_err());
         // A huge segment count must not allocate.
-        let mut bad = sample().encode();
+        let mut bad = sample().encode().expect("encode");
         let pos = 28 + 4 + sample().runs.len();
         bad[pos..pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(Manifest::decode(&bad).is_err());

@@ -25,6 +25,7 @@
 //! group commit rolls back whole.
 
 use crate::crc::crc32;
+use crate::error::DurabilityError;
 use sofya_rdf::segment::{decode_term, encode_term, ByteReader};
 use sofya_rdf::Term;
 
@@ -85,8 +86,22 @@ fn push_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Reads a little-endian u32 at `pos`, or `None` past the end.
+fn read_u32_le(bytes: &[u8], pos: usize) -> Option<u32> {
+    let arr: [u8; 4] = bytes.get(pos..pos.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
+}
+
 /// Appends one framed record to `buf`.
-pub fn append_record(buf: &mut Vec<u8>, epoch: u64, entry: &WalEntry) {
+///
+/// Errors with [`DurabilityError::Corrupt`] if a length field overflows
+/// the u32 frame (a >4 GiB batch or payload) instead of panicking the
+/// publishing worker.
+pub fn append_record(
+    buf: &mut Vec<u8>,
+    epoch: u64,
+    entry: &WalEntry,
+) -> Result<(), DurabilityError> {
     let mut payload = Vec::new();
     push_u64(&mut payload, epoch);
     match entry {
@@ -104,10 +119,10 @@ pub fn append_record(buf: &mut Vec<u8>, epoch: u64, entry: &WalEntry) {
         }
         WalEntry::Op(WalOp::Batch(triples)) => {
             payload.push(KIND_BATCH);
-            push_u32(
-                &mut payload,
-                u32::try_from(triples.len()).expect("batch over 4G triples"),
-            );
+            let count = u32::try_from(triples.len()).map_err(|_| {
+                DurabilityError::Corrupt("wal batch exceeds u32::MAX triples".into())
+            })?;
+            push_u32(&mut payload, count);
             for (s, p, o) in triples {
                 encode_term(&mut payload, s);
                 encode_term(&mut payload, p);
@@ -119,9 +134,12 @@ pub fn append_record(buf: &mut Vec<u8>, epoch: u64, entry: &WalEntry) {
             push_u64(&mut payload, *fingerprint);
         }
     }
-    push_u32(buf, payload.len() as u32);
+    let len = u32::try_from(payload.len())
+        .map_err(|_| DurabilityError::Corrupt("wal record payload exceeds u32 frame".into()))?;
+    push_u32(buf, len);
     push_u32(buf, crc32(&payload));
     buf.extend_from_slice(&payload);
+    Ok(())
 }
 
 fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
@@ -173,13 +191,14 @@ fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
 pub fn scan(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
     let mut records = Vec::new();
     let mut pos = 0usize;
-    while bytes.len() - pos >= 8 {
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
-        if len > MAX_RECORD_BYTES || bytes.len() - pos - 8 < len {
+    while let (Some(len), Some(crc)) = (read_u32_le(bytes, pos), read_u32_le(bytes, pos + 4)) {
+        let len = len as usize;
+        if len > MAX_RECORD_BYTES {
             break;
         }
-        let payload = &bytes[pos + 8..pos + 8 + len];
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+            break;
+        };
         if crc32(payload) != crc {
             break;
         }
@@ -233,7 +252,7 @@ mod tests {
     fn encoded() -> Vec<u8> {
         let mut buf = Vec::new();
         for (epoch, entry) in sample_records() {
-            append_record(&mut buf, epoch, &entry);
+            append_record(&mut buf, epoch, &entry).expect("encode");
         }
         buf
     }

@@ -131,6 +131,7 @@ impl<E: Endpoint> CachingEndpoint<E> {
             | Request::PreparedSelectPaged { .. } => 'S',
             Request::Ask { .. } | Request::PreparedAsk { .. } => 'A',
             Request::Count { .. } => 'C',
+            // sofya: allow(panic_path) — execute() decomposes batches before keying; a Batch here is a caller bug in this crate
             Request::Batch(_) => unreachable!("batches are decomposed before keying"),
         };
         Ok(format!("{shape}\u{1}{}", req.to_sparql()?))

@@ -7,7 +7,7 @@
 //! hand, so timing behaviour is fully deterministic.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A monotonic simulated time source.
 pub trait Clock: Send + Sync {
@@ -47,6 +47,39 @@ impl Clock for ManualClock {
         self.nanos
             .fetch_add(by.as_nanos() as u64, Ordering::Relaxed);
     }
+}
+
+/// The one blessed wall-clock [`Clock`]: production code that genuinely
+/// needs real time takes a `Clock` and is handed one of these, keeping
+/// the wall-clock read behind the injection seam so tests can substitute
+/// a [`ManualClock`].
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    pub fn new() -> Self {
+        Self {
+            // sofya: allow(determinism) — this is the injection seam; every other wall-clock read routes through it
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    /// Real time cannot be advanced by fiat; waiting happens for real.
+    fn advance(&self, _by: Duration) {}
 }
 
 #[cfg(test)]

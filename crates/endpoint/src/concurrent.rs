@@ -52,6 +52,7 @@ impl PublishedSnapshot {
         Self {
             snapshot,
             stats: OnceLock::new(),
+            // sofya: allow(determinism) — publish timestamp is a freshness gauge, never alignment state
             published_at: Instant::now(),
         }
     }

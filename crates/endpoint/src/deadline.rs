@@ -47,6 +47,7 @@ impl BudgetConfig {
     /// The budget for a request starting now (no cancel token attached).
     pub fn budget_starting_now(&self) -> QueryBudget {
         QueryBudget {
+            // sofya: allow(determinism) — deadline enforcement is wall-clock by contract; budgets never alter surviving results
             deadline: self.time_limit.map(|limit| Instant::now() + limit),
             max_rows_scanned: self.max_rows_scanned,
             max_bindings: self.max_bindings,
@@ -127,6 +128,7 @@ impl<E: Endpoint> DeadlineEndpoint<E> {
     }
 
     fn run(&self, req: Request<'_>, budget: QueryBudget) -> Result<Response, EndpointError> {
+        // sofya: allow(determinism) — elapsed time reported in DeadlineExceeded errors
         let start = Instant::now();
         self.inner
             .execute_with_budget(req, &budget)

@@ -20,6 +20,7 @@ fn prepared(
     template: &'static str,
     params: &'static [&'static str],
 ) -> &'static Prepared {
+    // sofya: allow(panic_path) — init-time parse of a compiled-in template; exercised by every test run
     cell.get_or_init(|| Prepared::new(template, params).expect("static template parses"))
 }
 

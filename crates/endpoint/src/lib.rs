@@ -39,6 +39,8 @@
 //! Wrappers compose: `Quota(Instrumented(Local))` is the standard
 //! experiment stack.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod clock;
 pub mod concurrent;
@@ -57,7 +59,7 @@ pub mod quota;
 pub mod retry;
 
 pub use cache::CachingEndpoint;
-pub use clock::{Clock, ManualClock};
+pub use clock::{Clock, ManualClock, WallClock};
 pub use concurrent::{ConcurrentEndpoint, PinnedEndpoint, PublishedSnapshot, SnapshotStore};
 pub use deadline::{map_budget_error, BudgetConfig, DeadlineEndpoint};
 pub use delta::{CatchUp, DeltaLog, FreshnessGauge, PredicateDelta, PublishDelta};

@@ -228,6 +228,7 @@ impl ShardedPlanCache {
     fn shard(&self, query: &str) -> &parking_lot::Mutex<LruPlanCache> {
         let mut h = FnvHasher::default();
         h.write(query.as_bytes());
+        // sofya: allow(panic_path) — index is modulo the shard count, always in bounds
         &self.shards[(h.finish() as usize) % PLAN_CACHE_SHARDS]
     }
 

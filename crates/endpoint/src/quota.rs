@@ -104,7 +104,7 @@ impl<E: Endpoint> QuotaEndpoint<E> {
     fn cap_rows(&self, rs: ResultSet) -> ResultSet {
         match self.config.max_rows_per_query {
             Some(cap) if rs.len() > cap => {
-                let rows = rs.rows()[..cap].to_vec();
+                let rows: Vec<_> = rs.rows().iter().take(cap).cloned().collect();
                 ResultSet::new(rs.vars().to_vec(), rows)
             }
             _ => rs,

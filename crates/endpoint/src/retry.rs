@@ -400,30 +400,32 @@ impl<E: Endpoint> RetryEndpoint<E> {
         &self,
         mut attempt: impl FnMut() -> Result<T, EndpointError>,
     ) -> Result<T, EndpointError> {
-        let mut last_err = None;
-        for try_no in 0..=self.max_retries {
+        let mut try_no = 0;
+        loop {
             match attempt() {
                 Ok(value) => return Ok(value),
                 Err(e) => {
                     let Some(hint) = Self::transient_hint(&e) else {
                         return Err(e);
                     };
-                    if try_no < self.max_retries {
-                        self.retries_used.fetch_add(1, Ordering::Relaxed);
-                        if let Some((policy, clock)) = &self.backoff {
-                            // The server's hint overrides the local
-                            // guess; without one, back off as scheduled.
-                            let delay = hint.unwrap_or_else(|| policy.delay_for(try_no));
-                            clock.advance(delay);
-                            self.backoff_nanos
-                                .fetch_add(delay.as_nanos() as u64, Ordering::Relaxed);
-                        }
+                    // Retries exhausted: the last error is the answer —
+                    // returned directly, so no placeholder to unwrap.
+                    if try_no >= self.max_retries {
+                        return Err(e);
                     }
-                    last_err = Some(e);
+                    self.retries_used.fetch_add(1, Ordering::Relaxed);
+                    if let Some((policy, clock)) = &self.backoff {
+                        // The server's hint overrides the local
+                        // guess; without one, back off as scheduled.
+                        let delay = hint.unwrap_or_else(|| policy.delay_for(try_no));
+                        clock.advance(delay);
+                        self.backoff_nanos
+                            .fetch_add(delay.as_nanos() as u64, Ordering::Relaxed);
+                    }
+                    try_no += 1;
                 }
             }
         }
-        Err(last_err.expect("at least one attempt"))
     }
 
     /// The breaker-gated retry loop: fail fast while open, run the

@@ -17,6 +17,8 @@
 //!   sweeps, and `sameAs`-coverage sweeps;
 //! * [`report`] — fixed-width ASCII tables for terminal output.
 
+#![forbid(unsafe_code)]
+
 pub mod equivalence;
 pub mod metrics;
 pub mod multiseed;

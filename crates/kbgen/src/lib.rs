@@ -46,6 +46,8 @@
 //! Everything is driven by a single `u64` seed; equal configs produce
 //! byte-identical KBs.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod export;
 pub mod generator;

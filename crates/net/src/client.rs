@@ -239,6 +239,7 @@ impl Endpoint for RemoteEndpoint {
         req: Request<'_>,
         budget: &QueryBudget,
     ) -> Result<Response, EndpointError> {
+        // sofya: allow(determinism) — measured request latency for retry pacing and receipts
         let started = Instant::now();
         budget
             .check_expired()

@@ -90,7 +90,8 @@ fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> io::Result<Option
                 *budget = budget
                     .checked_sub(1)
                     .ok_or_else(|| bad_data("header section too large"))?;
-                if byte[0] == b'\n' {
+                let [b] = byte;
+                if b == b'\n' {
                     if line.last() == Some(&b'\r') {
                         line.pop();
                     }
@@ -98,7 +99,7 @@ fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> io::Result<Option
                         String::from_utf8(line).map_err(|_| bad_data("non-UTF-8 header line"))?;
                     return Ok(Some(text));
                 }
-                line.push(byte[0]);
+                line.push(b);
             }
             Err(e) => return Err(e),
         }

@@ -153,7 +153,7 @@ fn write_json_string(s: &str, out: &mut String) {
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+    while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
         *pos += 1;
     }
 }
@@ -224,7 +224,10 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             if matches!(bytes.get(*pos), Some(b'.') | Some(b'e') | Some(b'E')) {
                 return Err("fractional and exponent numbers are not in the wire subset".to_owned());
             }
-            let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ASCII");
+            let text = bytes
+                .get(start..*pos)
+                .and_then(|d| std::str::from_utf8(d).ok())
+                .ok_or("bad integer span")?;
             text.parse::<u64>()
                 .map(Json::Uint)
                 .map_err(|e| format!("bad integer {text:?}: {e}"))
@@ -239,7 +242,10 @@ fn parse_keyword(
     keyword: &str,
     value: Json,
 ) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(keyword.as_bytes()) {
+    if bytes
+        .get(*pos..)
+        .is_some_and(|rest| rest.starts_with(keyword.as_bytes()))
+    {
         *pos += keyword.len();
         Ok(value)
     } else {
@@ -282,11 +288,12 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                         // followed by an escaped low surrogate.
                         let c = if (0xD800..0xDC00).contains(&code) {
                             let next = bytes.get(*pos + 5..*pos + 11).ok_or("lone surrogate")?;
-                            if &next[..2] != b"\\u" {
+                            let (tag, lo_bytes) = next.split_at(2);
+                            if tag != b"\\u" {
                                 return Err("lone surrogate".to_owned());
                             }
                             let lo_hex =
-                                std::str::from_utf8(&next[2..]).map_err(|_| "bad surrogate")?;
+                                std::str::from_utf8(lo_bytes).map_err(|_| "bad surrogate")?;
                             let lo = u32::from_str_radix(lo_hex, 16)
                                 .map_err(|_| format!("bad \\u{lo_hex}"))?;
                             if !(0xDC00..0xE000).contains(&lo) {
@@ -308,8 +315,12 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Consume one UTF-8 scalar (input is a &str, so byte
                 // boundaries are valid).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("non-empty");
+                let rest = bytes
+                    .get(*pos..)
+                    .map(std::str::from_utf8)
+                    .ok_or("truncated string")?
+                    .map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("truncated string")?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

@@ -22,6 +22,8 @@
 //! server-side snapshot pin, which is what makes batched evidence
 //! probes pay one RTT per relation instead of one per subject.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod http;
 pub mod ingest;

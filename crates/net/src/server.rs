@@ -177,6 +177,7 @@ impl HttpServer {
                         max_bindings: budget_config.max_bindings,
                         cancel: Some(Arc::clone(&handler_cancel)),
                     };
+                    // sofya: allow(determinism) — per-job latency metric, never alignment state
                     let started = Instant::now();
                     match job.payload {
                         JobPayload::Query(wire) => {
@@ -237,7 +238,7 @@ impl HttpServer {
 
     fn stop_and_join(&mut self) {
         self.lifecycle.phase.store(DRAINING, Ordering::SeqCst);
-        let deadline = Instant::now() + self.drain_deadline;
+        let deadline = Instant::now() + self.drain_deadline; // sofya: allow(determinism) — shutdown drain is wall-clock bounded
         while self.lifecycle.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(1));
         }
@@ -247,7 +248,7 @@ impl HttpServer {
             // and give that bounded grace instead of abandoning the
             // worker threads mid-query.
             self.cancel.cancel();
-            let grace = Instant::now() + self.drain_deadline;
+            let grace = Instant::now() + self.drain_deadline; // sofya: allow(determinism) — cancellation grace is wall-clock bounded
             while self.lifecycle.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < grace {
                 std::thread::sleep(Duration::from_millis(1));
             }
@@ -334,6 +335,7 @@ fn refuse_connection(mut stream: TcpStream, config: &ServerConfig) {
     // Wait (bounded by the drain deadline, so shutdown's join cannot
     // hang on us) for the request to start arriving, then read it so the
     // peer is not mid-write when the response lands.
+    // sofya: allow(determinism) — socket-drain deadline is wall-clock by contract
     let deadline = Instant::now() + config.drain_deadline;
     loop {
         match std::io::BufRead::fill_buf(&mut reader) {
@@ -342,7 +344,7 @@ fn refuse_connection(mut stream: TcpStream, config: &ServerConfig) {
             Err(e)
                 if matches!(
                     e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut // sofya: allow(determinism) — retry window for a mid-write peer, wall-clock bounded
                 ) && Instant::now() < deadline => {}
             Err(_) => return,
         }
@@ -494,6 +496,7 @@ fn serve_query(
     config: &ServerConfig,
     cancel: &Arc<CancelToken>,
 ) -> Routed {
+    // sofya: allow(determinism) — request latency for the routed response metric
     let started = Instant::now();
     let client = request.header("x-client").unwrap_or("anonymous").to_owned();
     let wire = match std::str::from_utf8(&request.body)
@@ -555,6 +558,7 @@ fn serve_ingest(
             )),
         );
     }
+    // sofya: allow(determinism) — ingest latency for the routed response metric
     let started = Instant::now();
     let client = request.header("x-client").unwrap_or("anonymous").to_owned();
     let triples = match std::str::from_utf8(&request.body)

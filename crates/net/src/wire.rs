@@ -403,7 +403,10 @@ pub fn error_to_json(error: &EndpointError) -> Json {
         }
         EndpointError::DeadlineExceeded { elapsed } => Json::obj(vec![
             ("kind", Json::str("deadline")),
-            ("elapsed_ns", Json::Uint(elapsed.as_nanos() as u64)),
+            (
+                "elapsed_ns",
+                Json::Uint(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)),
+            ),
         ]),
         EndpointError::BudgetExceeded { message } => Json::obj(vec![
             ("kind", Json::str("budget")),
@@ -420,7 +423,10 @@ pub fn error_to_json(error: &EndpointError) -> Json {
                 ("max_queries", Json::Uint(*max_queries)),
             ];
             if let Some(after) = retry_after {
-                fields.push(("retry_after_ms", Json::Uint(after.as_millis() as u64)));
+                fields.push((
+                    "retry_after_ms",
+                    Json::Uint(u64::try_from(after.as_millis()).unwrap_or(u64::MAX)),
+                ));
             }
             Json::obj(fields)
         }
@@ -433,7 +439,10 @@ pub fn error_to_json(error: &EndpointError) -> Json {
                 ("message", Json::str(message)),
             ];
             if let Some(after) = retry_after {
-                fields.push(("retry_after_ms", Json::Uint(after.as_millis() as u64)));
+                fields.push((
+                    "retry_after_ms",
+                    Json::Uint(u64::try_from(after.as_millis()).unwrap_or(u64::MAX)),
+                ));
             }
             Json::obj(fields)
         }

@@ -39,6 +39,8 @@
 //! assert_eq!(store.triples_with_predicate(born_in).count(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dict;
 pub mod error;
 pub mod inverse;

@@ -37,6 +37,8 @@
 //!   (quotas, retry-after)     (panic containment, metrics)
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod metrics;
 pub mod query;
 pub mod queue;

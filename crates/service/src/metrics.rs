@@ -39,7 +39,9 @@ impl LatencyHistogram {
     pub fn record(&self, latency: Duration) {
         let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
         let bucket = (64 - ns.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        if let Some(cell) = self.buckets.get(bucket) {
+            cell.fetch_add(1, Ordering::Relaxed);
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }

@@ -105,6 +105,7 @@ impl<'a, E: Endpoint + ?Sized> QueryService<'a, E> {
     /// [`Request::Batch`] execution. Queue-full backpressure is absorbed
     /// with the retry-after loop; quota rejections surface per batch.
     pub fn run(&self, batches: Vec<QueryBatch>) -> Result<QueryBatchOutcome, ServiceError> {
+        // sofya: allow(determinism) — batch wall-time is a reported metric, never alignment state
         let started = Instant::now();
         let (responses, metrics) = serve(
             &self.scheduler,
@@ -127,6 +128,7 @@ impl<'a, E: Endpoint + ?Sized> QueryService<'a, E> {
                             JobOutcome::Completed(result) => result.map_err(QueryFailure::Endpoint),
                             JobOutcome::Panicked(msg) => Err(QueryFailure::Panicked(msg)),
                             JobOutcome::Shed => {
+                                // sofya: allow(panic_path) — batch queries carry no deadline, Shed cannot occur
                                 unreachable!("batch queries are submitted without a deadline")
                             }
                         },

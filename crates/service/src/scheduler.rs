@@ -206,6 +206,7 @@ impl<J, R> SchedulerHandle<'_, J, R> {
         let envelope = Envelope {
             job,
             reply: tx,
+            // sofya: allow(determinism) — queue-wait latency gauge, never alignment state
             submitted_at: Instant::now(),
             deadline,
         };
@@ -284,7 +285,12 @@ impl<J, R> SchedulerHandle<'_, J, R> {
                 None => return true, // unlimited
             }
         }
-        let remaining = map.get_mut(client).expect("entry just ensured");
+        let Some(remaining) = map.get_mut(client) else {
+            // Unreachable in practice (the entry was ensured above), but
+            // a missing entry must not panic the submission path; treat
+            // it as unlimited rather than killing the request.
+            return true;
+        };
         if *remaining == 0 {
             false
         } else {
@@ -365,6 +371,7 @@ where
         // Deadline-aware admission: work whose caller has already given
         // up is dropped here, before it can occupy the worker.
         if let Some(deadline) = deadline {
+            // sofya: allow(determinism) — deadline shedding is wall-clock by contract
             if Instant::now() >= deadline {
                 metrics.on_query_shed();
                 let _ = reply.send(JobOutcome::Shed);
@@ -404,6 +411,7 @@ where
             .map(|job| {
                 handle
                     .submit("batch", job)
+                    // sofya: allow(panic_path) — offline batch harness; queue is sized to the batch and quotas are off
                     .unwrap_or_else(|_| unreachable!("queue sized to the batch, quotas off"))
             })
             .collect();
@@ -411,7 +419,9 @@ where
             .into_iter()
             .map(|ticket| match ticket.wait() {
                 JobOutcome::Completed(result) => result,
+                // sofya: allow(panic_path) — the batch harness re-raises contained worker panics by documented contract
                 JobOutcome::Panicked(msg) => panic!("scheduler worker panicked: {msg}"),
+                // sofya: allow(panic_path) — batch jobs carry no deadline, Shed cannot occur
                 JobOutcome::Shed => unreachable!("batch jobs carry no deadline"),
             })
             .collect()

@@ -137,6 +137,7 @@ impl<'a> AlignmentService<'a> {
         &self,
         requests: &[AlignmentRequest],
     ) -> Result<AlignmentBatchOutcome, ServiceError> {
+        // sofya: allow(determinism) — batch wall-time is a reported metric, never alignment state
         let started = Instant::now();
         let (responses, metrics) = serve(
             &self.scheduler,
@@ -165,6 +166,7 @@ impl<'a> AlignmentService<'a> {
                             }
                             JobOutcome::Panicked(msg) => Err(ServiceFailure::Panicked(msg)),
                             JobOutcome::Shed => {
+                                // sofya: allow(panic_path) — alignment requests carry no deadline, Shed cannot occur
                                 unreachable!("alignment requests are submitted without a deadline")
                             }
                         },

@@ -124,6 +124,7 @@ impl QueryBudget {
 
     /// Sets the deadline to `limit` from now.
     pub fn with_time_limit(self, limit: Duration) -> Self {
+        // sofya: allow(determinism) — deadline enforcement is wall-clock by contract; budgets never alter surviving results
         self.with_deadline(Instant::now() + limit)
     }
 
@@ -149,6 +150,7 @@ impl QueryBudget {
     /// zero once passed).
     pub fn remaining_time(&self) -> Option<Duration> {
         self.deadline
+            // sofya: allow(determinism) — deadline enforcement is wall-clock by contract
             .map(|d| d.saturating_duration_since(Instant::now()))
     }
 
@@ -161,6 +163,7 @@ impl QueryBudget {
             }
         }
         if let Some(deadline) = self.deadline {
+            // sofya: allow(determinism) — deadline enforcement is wall-clock by contract
             if Instant::now() >= deadline {
                 return Err(SparqlError::budget(BudgetBreach::Deadline));
             }

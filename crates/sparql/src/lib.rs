@@ -36,6 +36,8 @@
 //! assert_eq!(rs.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod budget;
 pub mod error;

@@ -24,13 +24,14 @@
 use crate::tracker::{FreshnessTracker, KbSide};
 use parking_lot::Mutex;
 use sofya_endpoint::{
-    ConcurrentEndpoint, DeltaLog, EndpointError, FreshnessGauge, PublishDelta, SnapshotStore,
+    Clock, ConcurrentEndpoint, DeltaLog, EndpointError, FreshnessGauge, PublishDelta,
+    SnapshotStore, WallClock,
 };
 use sofya_net::IngestSink;
 use sofya_rdf::Term;
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Publish-trigger and windowing knobs for a [`StreamIngestor`].
 #[derive(Debug, Clone)]
@@ -69,20 +70,34 @@ pub struct StreamIngestor {
     store: SnapshotStore,
     config: IngestorConfig,
     buffer: Vec<(Term, Term, Term)>,
-    /// Arrival time of the oldest buffered triple (the time trigger).
-    oldest_buffered: Option<Instant>,
+    /// Time source for arrival stamps. Production uses the wall clock;
+    /// tests inject a [`ManualClock`](sofya_endpoint::ManualClock) so
+    /// the time trigger and window expiry are fully deterministic.
+    clock: Arc<dyn Clock>,
+    /// Arrival stamp of the oldest buffered triple (the time trigger),
+    /// measured on the injected clock.
+    oldest_buffered: Option<Duration>,
     /// Arrival-ordered published triples awaiting expiry (window mode
-    /// only; empty otherwise).
-    live: VecDeque<(Instant, (Term, Term, Term))>,
+    /// only; empty otherwise), stamped on the injected clock.
+    live: VecDeque<(Duration, (Term, Term, Term))>,
 }
 
 impl StreamIngestor {
-    /// Wraps an already-published snapshot store.
+    /// Wraps an already-published snapshot store, stamping arrivals on
+    /// the wall clock.
     pub fn new(store: SnapshotStore, config: IngestorConfig) -> Self {
+        Self::with_clock(store, config, Arc::new(WallClock::new()))
+    }
+
+    /// Wraps an already-published snapshot store with an injected time
+    /// source, making the time trigger and window expiry deterministic
+    /// under a [`ManualClock`](sofya_endpoint::ManualClock).
+    pub fn with_clock(store: SnapshotStore, config: IngestorConfig, clock: Arc<dyn Clock>) -> Self {
         Self {
             store,
             config,
             buffer: Vec::new(),
+            clock,
             oldest_buffered: None,
             live: VecDeque::new(),
         }
@@ -92,7 +107,7 @@ impl StreamIngestor {
     /// fired, `None` if the triple only joined the buffer.
     pub fn offer(&mut self, s: Term, p: Term, o: Term) -> Option<Arc<PublishDelta>> {
         if self.buffer.is_empty() {
-            self.oldest_buffered = Some(Instant::now());
+            self.oldest_buffered = Some(self.clock.now());
         }
         self.buffer.push((s, p, o));
         self.maybe_publish()
@@ -107,7 +122,7 @@ impl StreamIngestor {
         let mut offered = false;
         for (s, p, o) in triples {
             if self.buffer.is_empty() {
-                self.oldest_buffered = Some(Instant::now());
+                self.oldest_buffered = Some(self.clock.now());
             }
             self.buffer.push((s, p, o));
             offered = true;
@@ -123,15 +138,16 @@ impl StreamIngestor {
     /// buffer's age trigger fired, or if window mode has expirable
     /// triples. Call periodically from the owner's housekeeping loop.
     pub fn tick(&mut self) -> Option<Arc<PublishDelta>> {
+        let now = self.clock.now();
         let time_due = match (self.config.publish_interval, self.oldest_buffered) {
-            (Some(interval), Some(oldest)) => oldest.elapsed() >= interval,
+            (Some(interval), Some(oldest)) => now.saturating_sub(oldest) >= interval,
             _ => false,
         };
         let expiry_due = match self.config.window {
             Some(window) => self
                 .live
                 .front()
-                .is_some_and(|(at, _)| at.elapsed() >= window),
+                .is_some_and(|(at, _)| now.saturating_sub(*at) >= window),
             None => false,
         };
         if time_due || expiry_due {
@@ -145,7 +161,7 @@ impl StreamIngestor {
         let count_due = self.buffer.len() >= self.config.publish_count.max(1);
         let cap_due = self.buffer.len() >= self.config.max_buffered.max(1);
         let time_due = match (self.config.publish_interval, self.oldest_buffered) {
-            (Some(interval), Some(oldest)) => oldest.elapsed() >= interval,
+            (Some(interval), Some(oldest)) => self.clock.now().saturating_sub(oldest) >= interval,
             _ => false,
         };
         if count_due || cap_due || time_due {
@@ -159,18 +175,19 @@ impl StreamIngestor {
     /// publishes. With nothing buffered and nothing expired this is the
     /// store's no-op publish fast path (same epoch, no delta logged).
     pub fn publish_now(&mut self) -> Arc<PublishDelta> {
-        let now = Instant::now();
+        let now = self.clock.now();
         let windowed = self.config.window.is_some();
         {
             let store = self.store.store_mut();
             // Expire before flushing, so a triple always survives the
             // publish that makes it visible (even with a zero window).
             if let Some(window) = self.config.window {
-                while let Some((at, _)) = self.live.front() {
-                    if now.duration_since(*at) < window {
+                while let Some((at, triple)) = self.live.front() {
+                    if now.saturating_sub(*at) < window {
                         break;
                     }
-                    let (_, (s, p, o)) = self.live.pop_front().expect("front just probed");
+                    let (s, p, o) = triple.clone();
+                    self.live.pop_front();
                     let dict = store.dict();
                     if let (Some(s), Some(p), Some(o)) =
                         (dict.lookup(&s), dict.lookup(&p), dict.lookup(&o))
@@ -372,6 +389,40 @@ mod tests {
         assert_eq!(reader.select("SELECT ?s { ?s <r:p> ?o }").unwrap().len(), 0);
         assert_eq!(ing.live_in_window(), 0);
         assert!(ing.tick().is_none(), "nothing left to expire");
+    }
+
+    #[test]
+    fn manual_clock_drives_time_trigger_and_window_deterministically() {
+        use sofya_endpoint::ManualClock;
+        let clock = Arc::new(ManualClock::new());
+        let mut ing = StreamIngestor::with_clock(
+            SnapshotStore::new(TripleStore::new()),
+            IngestorConfig {
+                max_buffered: 64,
+                publish_count: 100,
+                publish_interval: Some(Duration::from_secs(5)),
+                window: Some(Duration::from_secs(60)),
+            },
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let reader = ing.reader("kb");
+        let (s, p, o) = triple(0);
+        assert!(ing.offer(s, p, o).is_none(), "interval not yet elapsed");
+        clock.advance(Duration::from_secs(4));
+        assert!(ing.tick().is_none(), "4s < 5s interval: not due");
+        clock.advance(Duration::from_secs(1));
+        let d = ing.tick().expect("5s elapsed: time trigger fires");
+        assert_eq!(d.predicates[0].inserts, 1);
+        assert_eq!(reader.select("SELECT ?s { ?s <r:p> ?o }").unwrap().len(), 1);
+
+        // The published triple was stamped at t=5s; a 60s window expires
+        // it exactly at t=65s, not a tick sooner.
+        clock.advance(Duration::from_secs(59));
+        assert!(ing.tick().is_none(), "59s in window: not expired");
+        clock.advance(Duration::from_secs(1));
+        let d = ing.tick().expect("window lapsed: expiry publish");
+        assert_eq!((d.predicates[0].inserts, d.predicates[0].removes), (0, 1));
+        assert_eq!(reader.select("SELECT ?s { ?s <r:p> ?o }").unwrap().len(), 0);
     }
 
     #[test]

@@ -29,6 +29,8 @@
 //!    (`last_publish_epoch`, `dirty_relations`,
 //!    `alignment_staleness_epochs`) honest.
 
+#![forbid(unsafe_code)]
+
 pub mod ingestor;
 pub mod refresher;
 pub mod tracker;

@@ -22,6 +22,8 @@
 //! All similarity functions return values in `[0, 1]`, `1.0` meaning
 //! identical under that measure; this invariant is property-tested.
 
+#![forbid(unsafe_code)]
+
 pub mod jaro;
 pub mod lcs;
 pub mod levenshtein;

@@ -8,6 +8,8 @@
 //! KB pairs with ground truth), and [`sofya_eval`] (Table-1 style
 //! experiments). See the `examples/` directory for runnable walkthroughs.
 
+#![forbid(unsafe_code)]
+
 pub use sofya_core as align;
 pub use sofya_durability as durability;
 pub use sofya_endpoint as endpoint;
